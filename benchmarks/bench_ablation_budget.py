@@ -1,0 +1,65 @@
+"""Ablation — synopsis resolution budget vs. accuracy and cost.
+
+Sweeps the sparse histogram's bucket width (the paper's only tuning knob
+for its production synopsis): width 1 is value-resolution (shadow estimates
+become exact counts of lost results), wide buckets are cheap but blur the
+burst.  Reports RMS error and per-run time at each width, plus the
+summarize-only floor for reference — the "more advanced synopsis will
+improve result quality under heavy load" claim of Future Work §8.1, made
+quantitative.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import BENCH_PARAMS
+from repro.core import ShedStrategy
+from repro.experiments import ExperimentParams, run_constant_rate
+from repro.quality import ErrorSummary, run_rms
+from repro.synopses import SparseHistogramFactory
+
+RATE = 1800.0
+N_RUNS = 5
+WIDTHS = [1, 2, 5, 10, 25, 50]
+
+
+def run_width(width: int, strategy=ShedStrategy.DATA_TRIAGE):
+    params = ExperimentParams(
+        tuples_per_window=BENCH_PARAMS.tuples_per_window,
+        n_windows=BENCH_PARAMS.n_windows,
+        engine_capacity=BENCH_PARAMS.engine_capacity,
+        queue_capacity=BENCH_PARAMS.queue_capacity,
+        synopsis_factory=SparseHistogramFactory(bucket_width=width),
+    )
+    t0 = time.perf_counter()
+    summary = ErrorSummary.from_values(
+        [
+            run_rms(run_constant_rate(strategy, RATE, params, seed))
+            for seed in range(N_RUNS)
+        ]
+    )
+    return summary, time.perf_counter() - t0
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_ablation_bucket_width(benchmark, width):
+    summary, _ = benchmark.pedantic(run_width, args=(width,), rounds=1, iterations=1)
+    print(f"\nwidth {width:3d}: RMS {summary.mean:7.2f} ± {summary.std:5.2f}")
+
+
+def test_ablation_budget_shape(benchmark):
+    results = benchmark.pedantic(
+        lambda: {w: run_width(w) for w in WIDTHS}, rounds=1, iterations=1
+    )
+    print(f"\nBucket-width ablation at {RATE:.0f} tuples/sec ({N_RUNS} runs):")
+    print(f"{'width':>6s} {'buckets/dim':>12s} {'mean RMS':>10s} {'secs':>7s}")
+    for w, (summary, secs) in results.items():
+        print(f"{w:6d} {100 // w:12d} {summary.mean:10.2f} {secs:7.2f}")
+    means = [results[w][0].mean for w in WIDTHS]
+    # Finer buckets are at least as accurate (allow seed noise).
+    assert means[0] <= means[-1]
+    # Value-resolution triage beats the coarsest setting clearly.
+    assert means[0] < means[-1] * 0.9

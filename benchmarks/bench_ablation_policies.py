@@ -1,0 +1,81 @@
+"""Ablation — victim-selection policies (Future Work §8.1).
+
+*"An additional piece of ongoing work is the implementation of new methods
+for choosing which tuples to drop."*  All five policies run inside Data
+Triage AND inside drop-only on the same bursty workload, showing (a) that
+under Data Triage the policy barely matters — the synopsis compensates —
+which is precisely why the paper says triage *"can take skewed samples of
+data streams without unduly skewing query results"*, while (b) under
+drop-only the policy changes results substantially.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BENCH_PARAMS
+from repro.core import POLICIES, ShedStrategy
+from repro.experiments import ExperimentParams, run_bursty_rate
+from repro.quality import ErrorSummary, run_rms
+
+PEAK = 4000.0
+N_RUNS = 5
+
+
+def run_policy(policy_name: str, strategy: ShedStrategy) -> ErrorSummary:
+    params = ExperimentParams(
+        tuples_per_window=BENCH_PARAMS.tuples_per_window,
+        n_windows=BENCH_PARAMS.n_windows,
+        engine_capacity=BENCH_PARAMS.engine_capacity,
+        queue_capacity=BENCH_PARAMS.queue_capacity,
+        policy=POLICIES[policy_name](),
+    )
+    return ErrorSummary.from_values(
+        [
+            run_rms(run_bursty_rate(strategy, PEAK, params, seed))
+            for seed in range(N_RUNS)
+        ]
+    )
+
+
+@pytest.mark.parametrize("policy_name", list(POLICIES))
+def test_ablation_policy_under_triage(benchmark, policy_name):
+    summary = benchmark.pedantic(
+        run_policy,
+        args=(policy_name, ShedStrategy.DATA_TRIAGE),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\ntriage + {policy_name}: RMS {summary.mean:.1f} ± {summary.std:.1f}")
+    assert summary.mean >= 0
+
+
+def test_ablation_policy_summary(benchmark):
+    def run_all():
+        out = {}
+        for name in POLICIES:
+            out[name] = (
+                run_policy(name, ShedStrategy.DATA_TRIAGE),
+                run_policy(name, ShedStrategy.DROP_ONLY),
+            )
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print(f"\nPolicy ablation at peak {PEAK:.0f} tuples/sec (bursty, {N_RUNS} runs):")
+    print(f"{'policy':14s} {'triage RMS':>14s} {'drop-only RMS':>16s}")
+    for name, (triage, drop) in results.items():
+        print(
+            f"{name:14s} {triage.mean:8.1f} ± {triage.std:4.1f}"
+            f" {drop.mean:9.1f} ± {drop.std:5.1f}"
+        )
+    # Under triage every policy beats its drop-only twin (the synopsis
+    # compensates for whatever the policy discards).
+    for name, (triage, drop) in results.items():
+        assert triage.mean <= drop.mean * 1.02, name
+    # And the spread across policies is much narrower under triage than
+    # under drop-only.
+    triage_means = [t.mean for t, _ in results.values()]
+    drop_means = [d.mean for _, d in results.values()]
+    triage_spread = max(triage_means) - min(triage_means)
+    drop_spread = max(drop_means) - min(drop_means)
+    assert triage_spread < drop_spread

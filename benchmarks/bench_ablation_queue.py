@@ -1,0 +1,64 @@
+"""Ablation — triage-queue capacity (the accuracy/staleness dial).
+
+A bigger queue rides out longer bursts without dropping, but a full queue
+of C tuples delays results by C·service_time seconds.  This bench sweeps
+the capacity at a fixed bursty load and reports RMS error plus the implied
+worst-case staleness, the trade the LoadController automates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BENCH_PARAMS
+from repro.core import ShedStrategy
+from repro.experiments import ExperimentParams, run_bursty_rate
+from repro.quality import ErrorSummary, run_rms
+
+PEAK = 4000.0
+N_RUNS = 5
+CAPACITIES = [5, 20, 50, 150, 400]
+
+
+def run_capacity(capacity: int) -> ErrorSummary:
+    params = ExperimentParams(
+        tuples_per_window=BENCH_PARAMS.tuples_per_window,
+        n_windows=BENCH_PARAMS.n_windows,
+        engine_capacity=BENCH_PARAMS.engine_capacity,
+        queue_capacity=capacity,
+    )
+    return ErrorSummary.from_values(
+        [
+            run_rms(run_bursty_rate(ShedStrategy.DATA_TRIAGE, PEAK, params, seed))
+            for seed in range(N_RUNS)
+        ]
+    )
+
+
+@pytest.mark.parametrize("capacity", CAPACITIES)
+def test_ablation_queue_capacity(benchmark, capacity):
+    summary = benchmark.pedantic(
+        run_capacity, args=(capacity,), rounds=1, iterations=1
+    )
+    staleness = capacity / BENCH_PARAMS.engine_capacity
+    print(
+        f"\ncapacity {capacity:4d}: RMS {summary.mean:7.1f} ± {summary.std:5.1f}"
+        f"  (max backlog delay {staleness:5.2f}s)"
+    )
+
+
+def test_ablation_queue_shape(benchmark):
+    results = benchmark.pedantic(
+        lambda: {c: run_capacity(c) for c in CAPACITIES}, rounds=1, iterations=1
+    )
+    print("\nQueue-capacity ablation (bursty, peak "
+          f"{PEAK:.0f} tuples/sec, {N_RUNS} runs):")
+    for c, s in results.items():
+        print(f"  capacity {c:4d}: RMS {s.mean:7.1f} ± {s.std:5.1f}")
+    # More buffer never hurts accuracy (monotone non-increasing, with slack
+    # for seed noise).
+    means = [results[c].mean for c in CAPACITIES]
+    for smaller, larger in zip(means, means[1:]):
+        assert larger <= smaller * 1.10
+    # And the biggest queue absorbs substantially more of the burst.
+    assert means[-1] < means[0]

@@ -1,0 +1,97 @@
+"""Microbenchmarks of the engine substrate itself.
+
+Not a paper figure — a performance baseline for the pieces every experiment
+leans on: hash joins, hash aggregation, synopsis inserts, and synopsis
+joins.  Regressions here would silently re-scale all virtual-clock
+calibrations, so the suite pins them.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algebra import Multiset
+from repro.engine import QueryExecutor
+from repro.experiments import PAPER_QUERY, paper_catalog
+from repro.sql import Binder, parse_statement
+from repro.synopses import Dimension, SparseCubicHistogram
+
+N = 5000
+JOIN_N = 1200  # 3-way join output grows ~cubically; keep the bench bounded
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return random.Random(13)
+
+
+@pytest.fixture(scope="module")
+def inputs(rng):
+    g = lambda: rng.randint(1, 100)
+    return {
+        "r": Multiset((g(),) for _ in range(JOIN_N)),
+        "s": Multiset((g(), g()) for _ in range(JOIN_N)),
+        "t": Multiset((g(),) for _ in range(JOIN_N)),
+    }
+
+
+@pytest.fixture(scope="module")
+def bound():
+    return Binder(paper_catalog()).bind(parse_statement(PAPER_QUERY))
+
+
+def test_engine_three_way_join_aggregate(benchmark, bound, inputs):
+    executor = QueryExecutor(paper_catalog())
+    result = benchmark.pedantic(
+        lambda: executor.execute(bound, inputs), rounds=3, iterations=1
+    )
+    assert len(result.rows) > 0
+
+
+def test_synopsis_insert_throughput(benchmark, rng):
+    rows = [(rng.randint(1, 100), rng.randint(1, 100)) for _ in range(N)]
+    dims = [Dimension("b", 1, 100), Dimension("c", 1, 100)]
+
+    def build():
+        syn = SparseCubicHistogram(dims, bucket_width=5)
+        syn.insert_many(rows)
+        return syn
+
+    syn = benchmark(build)
+    assert syn.total() == N
+
+
+def test_synopsis_equijoin(benchmark, rng):
+    a = SparseCubicHistogram([Dimension("a", 1, 100)], bucket_width=5)
+    b = SparseCubicHistogram(
+        [Dimension("b", 1, 100), Dimension("c", 1, 100)], bucket_width=5
+    )
+    for _ in range(N):
+        a.insert((rng.randint(1, 100),))
+        b.insert((rng.randint(1, 100), rng.randint(1, 100)))
+    j = benchmark(lambda: a.equijoin(b, "a", "b"))
+    assert j.total() > 0
+
+
+def test_shadow_plan_window_evaluation(benchmark, rng):
+    """Per-window shadow cost — the overhead Data Triage adds at each close."""
+    from repro.rewrite import ShadowPlan, SPJPlan
+
+    plan = SPJPlan.from_bound(Binder(paper_catalog()).bind(parse_statement(PAPER_QUERY)))
+    shadow = ShadowPlan(plan)
+    dims = {
+        "R": [Dimension("R.a", 1, 100)],
+        "S": [Dimension("S.b", 1, 100), Dimension("S.c", 1, 100)],
+        "T": [Dimension("T.d", 1, 100)],
+    }
+    kept, dropped = {}, {}
+    for name, d in dims.items():
+        for target in (kept, dropped):
+            syn = SparseCubicHistogram(d, bucket_width=5)
+            for _ in range(150):
+                syn.insert(tuple(rng.randint(1, 100) for _ in d))
+            target[name] = syn
+    est = benchmark(lambda: shadow.estimate_dropped(kept, dropped))
+    assert est.total() > 0

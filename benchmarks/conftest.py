@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows each figure's regenerated data table.  Scale notes: the paper
+drove a C engine on a 1.4 GHz Pentium 3; these benches run the Python
+reproduction at reduced tuple counts (see EXPERIMENTS.md for the mapping).
+Shapes — who wins, by what factor, where the crossover lands — are asserted,
+absolute numbers are reported.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentParams
+
+#: Figure tables and CSVs are also written here, so they survive pytest's
+#: output capture when the suite runs without ``-s``.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def save_artifact(name: str, text: str) -> Path:
+    """Persist a figure's regenerated data under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+#: Load-experiment scale used by every figure bench (per stream).
+BENCH_PARAMS = ExperimentParams(
+    tuples_per_window=150,
+    n_windows=6,
+    engine_capacity=500.0,
+    queue_capacity=50,
+)
+
+#: Paper: "points represent the mean of nine runs of the experiment".
+N_RUNS = 9
+
+
+@pytest.fixture(scope="session")
+def bench_params() -> ExperimentParams:
+    return BENCH_PARAMS

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Network monitoring under a traffic burst — the paper's motivating scenario.
+
+The introduction argues that bursts carry *different* data than steady state
+(attacks, incidents) and that analysts are "particularly eager to capture
+the properties of the data in the burst."  This example makes that concrete:
+
+* ``FLOWS(src_subnet, dst_port)`` — per-flow records from a border router;
+* ``PORTMAP(port, service)`` — a slowly-refreshing stream mapping ports to
+  service classes (1 = web, 2 = mail, ..., published each window);
+* continuous query: which subnets generate how much traffic per service?
+
+      SELECT src_subnet, COUNT(*) FROM FLOWS, PORTMAP, SERVICES ...
+
+Steady traffic is spread over subnets 1-100; the simulated attack bursts
+(100x rate, Markov-modulated) come from a narrow subnet range.  The script
+shows that with drop-only shedding the attack subnets are mostly invisible,
+while Data Triage reports their activity to within a few percent.
+
+Run:  python examples/network_monitor.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import DataTriagePipeline, PipelineConfig, ShedStrategy
+from repro.engine import Catalog, ColumnType, Schema, StreamTuple, WindowSpec
+from repro.quality import run_rms
+from repro.sources import (
+    GaussianValues,
+    MarkovBurstArrival,
+    RowGenerator,
+    SteadyArrival,
+    UniformValues,
+    generate_stream,
+)
+
+QUERY = (
+    "SELECT src_subnet, COUNT(*) AS flows "
+    "FROM FLOWS, PORTMAP, SERVICES "
+    "WHERE FLOWS.dst_port = PORTMAP.port AND PORTMAP.service = SERVICES.class "
+    "GROUP BY src_subnet;"
+)
+
+ATTACK_SUBNETS = (88, 96)  # the burst traffic comes from this narrow range
+
+
+def build_catalog() -> Catalog:
+    cat = Catalog()
+    cat.create_stream(
+        "FLOWS",
+        Schema.of(("src_subnet", ColumnType.INTEGER), ("dst_port", ColumnType.INTEGER)),
+    )
+    cat.create_stream(
+        "PORTMAP",
+        Schema.of(("port", ColumnType.INTEGER), ("service", ColumnType.INTEGER)),
+    )
+    cat.create_stream("SERVICES", Schema.of(("class", ColumnType.INTEGER)))
+    return cat
+
+
+def build_workload(seed: int, n_flows: int, base_rate: float):
+    """Flows burst 100x; the metadata streams tick along steadily."""
+    rng = random.Random(seed)
+    steady_flows = RowGenerator(
+        [GaussianValues(mean=50, std=25, lo=1, hi=100), UniformValues(1, 32)]
+    )
+    attack_flows = RowGenerator(
+        [
+            UniformValues(*ATTACK_SUBNETS),  # concentrated source range
+            UniformValues(1, 4),  # hammering a few ports
+        ]
+    )
+    arrival = MarkovBurstArrival(
+        base_rate=base_rate, burst_speedup=100.0, burst_fraction=0.6
+    )
+    flows = generate_stream(n_flows, arrival, steady_flows, attack_flows, rng)
+
+    duration = flows[-1].timestamp
+    portmap_gen = RowGenerator([UniformValues(1, 32), UniformValues(1, 8)])
+    services_gen = RowGenerator([UniformValues(1, 8)])
+    n_meta = max(64, int(duration * 16))
+    portmap = generate_stream(
+        n_meta, SteadyArrival(n_meta / duration), portmap_gen, None, rng
+    )
+    services = generate_stream(
+        n_meta, SteadyArrival(n_meta / duration), services_gen, None, rng
+    )
+    return {"FLOWS": flows, "PORTMAP": portmap, "SERVICES": services}, duration
+
+
+def attack_visibility(result) -> tuple[float, float]:
+    """(reported, ideal) flow counts attributed to the attack subnets."""
+    reported = ideal = 0.0
+    lo, hi = ATTACK_SUBNETS
+    for w in result.windows:
+        for key, values in w.merged.items():
+            if lo <= key[0] <= hi:
+                reported += values.get("flows") or 0.0
+        for key, values in (w.ideal or {}).items():
+            if lo <= key[0] <= hi:
+                ideal += values.get("flows") or 0.0
+    return reported, ideal
+
+
+def main() -> None:
+    catalog = build_catalog()
+    streams, duration = build_workload(seed=11, n_flows=1200, base_rate=4.0)
+    window = WindowSpec(width=duration / 8)
+    domains = {
+        "FLOWS.src_subnet": (1, 100),
+        "FLOWS.dst_port": (1, 32),
+        "PORTMAP.port": (1, 32),
+        "PORTMAP.service": (1, 8),
+        "SERVICES.class": (1, 8),
+    }
+
+    print("scenario: border-router flows with a Markov-modulated attack burst")
+    print(f"attack source subnets: {ATTACK_SUBNETS[0]}-{ATTACK_SUBNETS[1]}\n")
+    for strategy in (ShedStrategy.DROP_ONLY, ShedStrategy.DATA_TRIAGE):
+        config = PipelineConfig(
+            strategy=strategy,
+            window=window,
+            queue_capacity=40,
+            service_time=1.0 / 200.0,  # engine capacity: 200 tuples/sec
+            seed=5,
+        )
+        pipeline = DataTriagePipeline(catalog, QUERY, config, domains=domains)
+        result = pipeline.run(streams)
+        reported, ideal = attack_visibility(result)
+        recall = reported / ideal if ideal else 1.0
+        print(
+            f"{strategy.value:12s}: shed {result.drop_fraction:5.1%}; "
+            f"attack-subnet flows reported {reported:8.0f} of {ideal:8.0f} "
+            f"({recall:6.1%}); overall RMS {run_rms(result):.1f}"
+        )
+    print(
+        "\nThe burst data is precisely what drop-only discards; Data Triage's"
+        "\nsynopses of the dropped tuples recover the attack's footprint."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Quickstart: run the paper's experiment query under Data Triage.
+
+Builds the three-stream catalog of paper Figure 7, generates a steady
+workload that exceeds the engine's capacity, runs all three load-shedding
+strategies over the identical input, and prints each strategy's per-window
+RMS error — a one-window version of Figure 8.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import DataTriagePipeline, PipelineConfig, ShedStrategy
+from repro.engine import WindowSpec
+from repro.experiments import PAPER_QUERY, paper_catalog
+from repro.quality import run_rms, window_rms
+from repro.sources import SteadyArrival, generate_stream, paper_row_generators
+
+
+def build_streams(rate_per_stream: float, n_tuples: int, seed: int):
+    """Three Gaussian streams arriving at a constant rate."""
+    rng = random.Random(seed)
+    gens = paper_row_generators()
+    return {
+        name: generate_stream(
+            n_tuples, SteadyArrival(rate_per_stream), gens[name], None, rng
+        )
+        for name in ("R", "S", "T")
+    }
+
+
+def main() -> None:
+    # The engine can process 500 tuples/sec; we send 1200/sec total, so the
+    # triage queues must shed roughly 60% of the input.
+    engine_capacity = 500.0
+    total_rate = 1200.0
+    tuples_per_window = 150
+    per_stream = total_rate / 3
+    window = WindowSpec(width=tuples_per_window / per_stream)
+
+    print(f"query: {PAPER_QUERY}")
+    print(
+        f"load: {total_rate:.0f} tuples/sec vs. engine capacity "
+        f"{engine_capacity:.0f} tuples/sec\n"
+    )
+
+    for strategy in ShedStrategy:
+        streams = build_streams(per_stream, tuples_per_window * 6, seed=42)
+        config = PipelineConfig(
+            strategy=strategy,
+            window=window,
+            queue_capacity=50,
+            service_time=1.0 / engine_capacity,
+            seed=1,
+        )
+        pipeline = DataTriagePipeline(paper_catalog(), PAPER_QUERY, config)
+        result = pipeline.run(streams)
+        print(
+            f"{strategy.value:15s}  dropped {result.drop_fraction:5.1%} of input, "
+            f"overall RMS error {run_rms(result):8.2f}"
+        )
+        for w in result.windows[:3]:
+            err = window_rms(w.ideal, w.merged, "count")
+            n_groups = len(w.merged)
+            print(
+                f"    window {w.window_id}: {n_groups:3d} groups, "
+                f"RMS {err:8.2f}, kept/arrived = "
+                f"{sum(w.kept.values())}/{sum(w.arrived.values())}"
+            )
+        print()
+
+    print(
+        "Data Triage matches drop-only at low load and summarize-only under\n"
+        "overload; here (60% shedding) it beats both — the Figure 8 story."
+    )
+
+
+if __name__ == "__main__":
+    main()

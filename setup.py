@@ -1,0 +1,12 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` on a PEP 517 backend needs `wheel` to build editable
+wheels; this offline environment lacks it.  With setup.py present, pip's
+legacy editable path (`setup.py develop`) works: use
+`pip install -e . --no-build-isolation --no-use-pep517` or plain
+`python setup.py develop`.
+"""
+
+from setuptools import setup
+
+setup()

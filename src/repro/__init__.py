@@ -1,0 +1,22 @@
+"""Data Triage: an adaptive load-shedding architecture for stream queries.
+
+A from-scratch reproduction of Reiss & Hellerstein, *Data Triage: An Adaptive
+Architecture for Load Shedding in TelegraphCQ*.  The package bundles:
+
+* :mod:`repro.engine` -- a mini continuous-query engine (the TelegraphCQ
+  substrate): schemas, windows, SPJ + aggregate execution, object-relational
+  UDF/UDT extensibility;
+* :mod:`repro.sql` -- the paper's SQL dialect (parser, binder, renderer);
+* :mod:`repro.algebra` -- the differential relational algebra of Section 3;
+* :mod:`repro.rewrite` -- the kept/dropped query rewrite of Section 4 and the
+  synopsis shadow plans of Section 5;
+* :mod:`repro.synopses` -- synopsis data structures (sparse cubic histograms,
+  MHIST, samples, sketches, wavelets) with relational operations;
+* :mod:`repro.core` -- Data Triage itself: triage queues, drop policies, the
+  three load-shedding strategies, shadow execution, result merging, and the
+  virtual-clock load pipeline;
+* :mod:`repro.sources`, :mod:`repro.quality`, :mod:`repro.viz` -- workload
+  generation, result scoring, and detail-in-context visualization.
+"""
+
+__version__ = "1.0.0"

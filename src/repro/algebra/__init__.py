@@ -1,0 +1,48 @@
+"""Differential relational algebra over multisets (paper Section 3).
+
+This subpackage is the formal foundation of the Data Triage query rewrite:
+bag-semantics relations (:class:`Multiset`), perturbed-relation triples
+(:class:`DifferentialRelation`), and the differential operators σ̂ π̂ ×̂ ⋈̂ −̂ ∪̂
+that propagate drop/add deltas through a query.
+"""
+
+from repro.algebra.multiset import Multiset, Row
+from repro.algebra.operators import (
+    cross,
+    difference,
+    differential_cross,
+    differential_difference,
+    differential_difference_paper,
+    differential_equijoin,
+    differential_project,
+    differential_select,
+    differential_theta_join,
+    differential_union_all,
+    equijoin,
+    project,
+    select,
+    theta_join,
+    union_all,
+)
+from repro.algebra.triple import DifferentialRelation
+
+__all__ = [
+    "Multiset",
+    "Row",
+    "DifferentialRelation",
+    "select",
+    "project",
+    "cross",
+    "theta_join",
+    "equijoin",
+    "union_all",
+    "difference",
+    "differential_select",
+    "differential_project",
+    "differential_cross",
+    "differential_equijoin",
+    "differential_theta_join",
+    "differential_union_all",
+    "differential_difference",
+    "differential_difference_paper",
+]

@@ -1,0 +1,252 @@
+"""Relational-algebra operators over multisets, plus their differential forms.
+
+The first half of this module implements ordinary bag-semantics operators
+(σ, π, ×, ⋈, −, ∪) over :class:`repro.algebra.multiset.Multiset`.  The second
+half implements the *differential* operators of paper Section 3.2: each
+operator ``F`` gets a version ``F̂`` that consumes and produces
+``(noisy, added, dropped)`` triples (:class:`DifferentialRelation`) while
+preserving the invariant ``noisy == exact + added - dropped``.
+
+Column positions (not names) address attributes at this layer; the SQL/engine
+layers resolve names to positions before calling in.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Sequence
+
+from repro.algebra.multiset import Multiset, Row
+from repro.algebra.triple import DifferentialRelation
+
+Predicate = Callable[[Row], bool]
+
+
+# ---------------------------------------------------------------------------
+# Plain bag operators
+# ---------------------------------------------------------------------------
+def select(rel: Multiset, predicate: Predicate) -> Multiset:
+    """σ: keep the rows satisfying ``predicate`` (multiplicities preserved)."""
+    out = Multiset()
+    for row, n in rel.items():
+        if predicate(row):
+            out.add(row, n)
+    return out
+
+
+def project(rel: Multiset, columns: Sequence[int]) -> Multiset:
+    """π: keep the given column positions.
+
+    Bag projection: duplicates produced by the projection are *kept* — the
+    differential projection operator is only correct over multisets (paper
+    Section 3.2.2 and the SELECT DISTINCT discussion in Future Work).
+    """
+    out = Multiset()
+    for row, n in rel.items():
+        out.add(tuple(row[c] for c in columns), n)
+    return out
+
+
+def cross(left: Multiset, right: Multiset) -> Multiset:
+    """×: concatenate every pair of rows; multiplicities multiply."""
+    out = Multiset()
+    for lrow, ln in left.items():
+        for rrow, rn in right.items():
+            out.add(lrow + rrow, ln * rn)
+    return out
+
+
+def theta_join(left: Multiset, right: Multiset, predicate: Predicate) -> Multiset:
+    """⋈θ: cross product filtered by ``predicate`` over the concatenated row."""
+    out = Multiset()
+    for lrow, ln in left.items():
+        for rrow, rn in right.items():
+            row = lrow + rrow
+            if predicate(row):
+                out.add(row, ln * rn)
+    return out
+
+
+def equijoin(
+    left: Multiset,
+    right: Multiset,
+    left_keys: Sequence[int],
+    right_keys: Sequence[int],
+) -> Multiset:
+    """⋈: hash equijoin on the given key positions (output = concatenated rows)."""
+    if len(left_keys) != len(right_keys):
+        raise ValueError("left and right key lists must have equal length")
+    buckets: dict[tuple, list[tuple[Row, int]]] = defaultdict(list)
+    for rrow, rn in right.items():
+        buckets[tuple(rrow[k] for k in right_keys)].append((rrow, rn))
+    out = Multiset()
+    for lrow, ln in left.items():
+        key = tuple(lrow[k] for k in left_keys)
+        for rrow, rn in buckets.get(key, ()):
+            out.add(lrow + rrow, ln * rn)
+    return out
+
+
+def union_all(left: Multiset, right: Multiset) -> Multiset:
+    """∪ (bag): multiplicities add — SQL's UNION ALL."""
+    return left + right
+
+
+def difference(left: Multiset, right: Multiset) -> Multiset:
+    """−: bag difference (monus) — SQL's EXCEPT ALL."""
+    return left - right
+
+
+# ---------------------------------------------------------------------------
+# Differential operators (paper Section 3.2)
+# ---------------------------------------------------------------------------
+def differential_select(
+    s: DifferentialRelation, predicate: Predicate
+) -> DifferentialRelation:
+    """σ̂ (eq. 4): selection distributes over all three channels."""
+    return DifferentialRelation(
+        noisy=select(s.noisy, predicate),
+        added=select(s.added, predicate),
+        dropped=select(s.dropped, predicate),
+    )
+
+
+def differential_project(
+    s: DifferentialRelation, columns: Sequence[int]
+) -> DifferentialRelation:
+    """π̂ (eq. 5): projection distributes over all three channels.
+
+    Correct only under multiset semantics — see paper Section 3.2.2.
+    """
+    return DifferentialRelation(
+        noisy=project(s.noisy, columns),
+        added=project(s.added, columns),
+        dropped=project(s.dropped, columns),
+    )
+
+
+def _differential_product(
+    s: DifferentialRelation,
+    t: DifferentialRelation,
+    combine: Callable[[Multiset, Multiset], Multiset],
+) -> DifferentialRelation:
+    """Shared body of ×̂ and ⋈̂ (paper Sections 3.2.3/3.2.4).
+
+    With ``K_S = S_noisy - S+`` (the noisy tuples that are genuinely in the
+    exact relation) the paper's equation 8 reads::
+
+        R_noisy = S_noisy × T_noisy
+        R+      = S+ × T+  +  S+ × K_T  +  K_S × T+
+        R-      = S- × T-  +  S- × K_T  +  K_S × T-
+
+    ``combine`` is the underlying bilinear operator (cross product, or an
+    equi/theta join closed over it), which is what makes one derivation serve
+    both operators — the paper notes the join derivation "produces essentially
+    the same definition".
+    """
+    k_s = s.noisy - s.added
+    k_t = t.noisy - t.added
+    noisy = combine(s.noisy, t.noisy)
+    added = (
+        combine(s.added, t.added)
+        + combine(s.added, k_t)
+        + combine(k_s, t.added)
+    )
+    dropped = (
+        combine(s.dropped, t.dropped)
+        + combine(s.dropped, k_t)
+        + combine(k_s, t.dropped)
+    )
+    return DifferentialRelation(noisy=noisy, added=added, dropped=dropped)
+
+
+def differential_cross(
+    s: DifferentialRelation, t: DifferentialRelation
+) -> DifferentialRelation:
+    """×̂ (eq. 8): differential cross product."""
+    return _differential_product(s, t, cross)
+
+
+def differential_equijoin(
+    s: DifferentialRelation,
+    t: DifferentialRelation,
+    left_keys: Sequence[int],
+    right_keys: Sequence[int],
+) -> DifferentialRelation:
+    """⋈̂ (Section 3.2.4): differential equijoin — same shape as ×̂."""
+    return _differential_product(
+        s, t, lambda a, b: equijoin(a, b, left_keys, right_keys)
+    )
+
+
+def differential_theta_join(
+    s: DifferentialRelation, t: DifferentialRelation, predicate: Predicate
+) -> DifferentialRelation:
+    """⋈̂θ: differential theta join, via the shared product derivation."""
+    return _differential_product(s, t, lambda a, b: theta_join(a, b, predicate))
+
+
+def differential_union_all(
+    s: DifferentialRelation, t: DifferentialRelation
+) -> DifferentialRelation:
+    """∪̂ (bag): union distributes over all three channels."""
+    return DifferentialRelation(
+        noisy=s.noisy + t.noisy,
+        added=s.added + t.added,
+        dropped=s.dropped + t.dropped,
+    )
+
+
+def differential_difference_paper(
+    s: DifferentialRelation, t: DifferentialRelation
+) -> DifferentialRelation:
+    """−̂ exactly as printed in the paper (eq. 9).
+
+    ::
+
+        R_noisy = S_noisy - T_noisy
+        R+ = (S+ - T_noisy) + ((T- - S+) ∩ S_noisy)
+        R- = (S+ ∩ T-) + ((S_noisy ∩ T+) - S+) + (S- - T- - T_noisy)
+
+    .. warning::
+       Equation 9 is correct under *set* semantics (each channel
+       duplicate-free and ``S-`` disjoint from ``S_noisy - S+``) but is **not
+       sound for general multisets**: monus is non-linear, so a dropped tuple
+       that duplicates a surviving noisy tuple is mis-attributed.  Example:
+       ``S_noisy={x}, S-={x}, T_noisy={x}`` gives exact ``S-T={x}`` and
+       ``R_noisy=∅``, yet eq. 9 yields empty deltas.  Use
+       :func:`differential_difference` for a sound general-case operator; this
+       function is retained for fidelity to the paper and for the
+       set-semantics regime the paper's SPJ focus actually exercises.
+    """
+    noisy = s.noisy - t.noisy
+    added = (s.added - t.noisy) + ((t.dropped - s.added) & s.noisy)
+    dropped = (
+        (s.added & t.dropped)
+        + ((s.noisy & t.added) - s.added)
+        + ((s.dropped - t.dropped) - t.noisy)
+    )
+    return DifferentialRelation(noisy=noisy, added=added, dropped=dropped)
+
+
+def differential_difference(
+    s: DifferentialRelation, t: DifferentialRelation
+) -> DifferentialRelation:
+    """−̂: sound differential set difference for arbitrary multisets.
+
+    Computes the exact difference from the reconstructed exact inputs and
+    derives the *canonical minimal* deltas::
+
+        R_noisy = S_noisy - T_noisy
+        exact   = S_exact - T_exact
+        R+      = R_noisy - exact      (spurious rows in the noisy answer)
+        R-      = exact - R_noisy      (rows the noisy answer lost)
+
+    This always satisfies the invariant and agrees with eq. 9 wherever eq. 9
+    is itself sound.
+    """
+    noisy = s.noisy - t.noisy
+    exact = s.exact() - t.exact()
+    return DifferentialRelation(
+        noisy=noisy, added=noisy - exact, dropped=exact - noisy
+    )

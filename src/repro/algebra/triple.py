@@ -1,0 +1,93 @@
+"""Differential relations: the (noisy, added, dropped) triple of Section 3.1.
+
+When a stream processor sheds load, tuples disappear from base relations and
+the loss propagates through every intermediate result.  The paper models the
+perturbed version of a relation ``S`` as a *noisy* relation ``S_noisy``
+together with an *added* relation ``S+`` and a *dropped* relation ``S-``,
+maintaining the invariant (paper equation 1):
+
+    ``S_noisy == S + S+ - S-``
+
+equivalently (equation 2): ``S == S_noisy - S+ + S-``, where ``+``/``-`` are
+multiset union and difference.  ``S-`` holds tuples missing from ``S`` because
+of upstream drops; ``S+`` holds tuples *spuriously present* (negation-like
+operators produce extra output when their inputs shrink).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.multiset import Multiset
+
+
+@dataclass(frozen=True)
+class DifferentialRelation:
+    """The triple ``(noisy, added, dropped)`` describing a perturbed relation.
+
+    ``noisy`` is what the lossy system actually has; ``added``/``dropped``
+    quantify its deviation from the exact relation.  :meth:`exact` recovers
+    the true relation via equation 2 of the paper.
+    """
+
+    noisy: Multiset = field(default_factory=Multiset)
+    added: Multiset = field(default_factory=Multiset)
+    dropped: Multiset = field(default_factory=Multiset)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_exact(cls, exact: Multiset) -> "DifferentialRelation":
+        """A relation with no perturbation: ``noisy == exact``, empty deltas."""
+        return cls(noisy=exact.copy(), added=Multiset(), dropped=Multiset())
+
+    @classmethod
+    def from_kept_and_dropped(
+        cls, kept: Multiset, dropped: Multiset
+    ) -> "DifferentialRelation":
+        """The load-shedding case: base tuples were only *removed*.
+
+        ``kept`` is what survived the triage queue; ``dropped`` is what the
+        drop policy evicted.  No spurious tuples appear at base relations, so
+        ``added`` is empty.  This is exactly how Data Triage populates the
+        triple for each input stream.
+        """
+        return cls(noisy=kept.copy(), added=Multiset(), dropped=dropped.copy())
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def exact(self) -> Multiset:
+        """Reconstruct the exact relation: ``noisy - added + dropped``."""
+        return (self.noisy - self.added) + self.dropped
+
+    def check_invariant(self, exact: Multiset) -> bool:
+        """Does ``noisy == exact + added - dropped`` hold against ``exact``?
+
+        This is paper equation 1.  Note that equation 1 and equation 2 are
+        *both* required to hold for a well-formed triple; they are equivalent
+        only when ``added`` does not over-count rows absent from
+        ``exact + added`` (monus is not invertible in general).  The
+        differential operators in :mod:`repro.algebra.operators` preserve the
+        strong form, which :meth:`is_well_formed` checks.
+        """
+        return self.noisy == (exact + self.added) - self.dropped
+
+    def is_well_formed(self) -> bool:
+        """Strong form: both reconstruction directions agree.
+
+        ``exact()`` must satisfy equation 1, i.e. re-deriving ``noisy`` from
+        the reconstructed exact relation returns the original ``noisy``.
+        """
+        return self.check_invariant(self.exact())
+
+    def is_exact(self) -> bool:
+        """True when the triple carries no perturbation at all."""
+        return not self.added and not self.dropped
+
+    def __repr__(self) -> str:
+        return (
+            f"DifferentialRelation(noisy={len(self.noisy)}, "
+            f"added={len(self.added)}, dropped={len(self.dropped)})"
+        )

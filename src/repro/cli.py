@@ -1,0 +1,151 @@
+"""Command-line interface: run the paper's experiments without writing code.
+
+::
+
+    python -m repro.cli fig6 [--rows N]
+    python -m repro.cli fig8 [--rates 100,300,...] [--runs N]
+    python -m repro.cli fig9 [--peaks 600,1200,...] [--runs N]
+    python -m repro.cli explain "SELECT ..."        # engine + rewrite plans
+    python -m repro.cli rewrite "SELECT ..."        # Figures 4/5 SQL
+
+All load experiments print the figure's data table, a terminal chart, and a
+CSV block.  ``explain``/``rewrite`` operate on the paper's R/S/T catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.engine.explain import explain as engine_explain
+from repro.experiments import (
+    ExperimentParams,
+    fast_synopsis_factory,
+    figure8_series,
+    figure9_series,
+    microbench_original,
+    microbench_rewritten,
+    microbench_setup,
+    paper_catalog,
+    slow_synopsis_factory,
+)
+from repro.rewrite import SPJPlan, explain_rewrite, rewrite_to_sql
+from repro.sql import Binder, parse_statement
+
+
+def _floats(text: str) -> list[float]:
+    return [float(x) for x in text.split(",") if x.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="Data Triage experiment runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig6 = sub.add_parser("fig6", help="query-rewrite overhead microbenchmark")
+    fig6.add_argument("--rows", type=int, default=2000, help="rows per table")
+
+    fig8 = sub.add_parser("fig8", help="RMS error vs. constant data rate")
+    fig8.add_argument(
+        "--rates", type=_floats, default=[100, 300, 600, 1000, 1600, 2200, 2800]
+    )
+    fig8.add_argument("--runs", type=int, default=9)
+    fig8.add_argument("--svg", help="also write an SVG chart to this path")
+
+    fig9 = sub.add_parser("fig9", help="RMS error vs. peak rate (bursty)")
+    fig9.add_argument(
+        "--peaks", type=_floats, default=[600, 1200, 2000, 3000, 4500]
+    )
+    fig9.add_argument("--runs", type=int, default=9)
+    fig9.add_argument("--svg", help="also write an SVG chart to this path")
+
+    expl = sub.add_parser("explain", help="engine + rewrite plans for a query")
+    expl.add_argument("query")
+
+    rew = sub.add_parser("rewrite", help="emit the Figures 4/5 SQL for a query")
+    rew.add_argument("query")
+
+    return parser
+
+
+def cmd_fig6(args, out) -> int:
+    setup = microbench_setup(rows_per_table=args.rows)
+
+    def timed(label, fn, *fn_args):
+        t0 = time.perf_counter()
+        fn(*fn_args)
+        secs = time.perf_counter() - t0
+        out.write(f"{label:32s} {secs:8.3f} s\n")
+        return secs
+
+    out.write(f"Figure 6 microbenchmark ({args.rows} rows/table)\n")
+    original = timed("original query", microbench_original, setup)
+    fast = timed(
+        "rewritten (fast synopsis)", microbench_rewritten, setup,
+        fast_synopsis_factory(),
+    )
+    timed(
+        "rewritten (slow synopsis)", microbench_rewritten, setup,
+        slow_synopsis_factory(),
+    )
+    out.write(f"fast/original ratio: {fast / original:.1%}\n")
+    return 0
+
+
+def cmd_series(series, out, svg_path: str | None = None) -> int:
+    out.write(series.to_text() + "\n")
+    out.write(series.to_ascii_chart() + "\n")
+    out.write(series.to_csv())
+    if svg_path:
+        from repro.viz import render_series_svg
+
+        with open(svg_path, "w", encoding="utf-8") as fp:
+            fp.write(render_series_svg(series))
+        out.write(f"\nSVG chart written to {svg_path}\n")
+    return 0
+
+
+def cmd_explain(args, out) -> int:
+    catalog = paper_catalog()
+    bound = Binder(catalog).bind(parse_statement(args.query))
+    out.write("ENGINE PLAN\n-----------\n")
+    out.write(engine_explain(bound))
+    try:
+        plan = SPJPlan.from_bound(bound)
+    except Exception as exc:  # noqa: BLE001 - shown to the user
+        out.write(f"\n(rewrite not applicable: {exc})\n")
+        return 0
+    out.write("\n")
+    out.write(explain_rewrite(plan))
+    return 0
+
+
+def cmd_rewrite(args, out) -> int:
+    catalog = paper_catalog()
+    bound = Binder(catalog).bind(parse_statement(args.query))
+    out.write(rewrite_to_sql(SPJPlan.from_bound(bound)) + "\n")
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "fig6":
+        return cmd_fig6(args, out)
+    if args.command == "fig8":
+        series = figure8_series(args.rates, n_runs=args.runs, params=ExperimentParams())
+        return cmd_series(series, out, args.svg)
+    if args.command == "fig9":
+        series = figure9_series(args.peaks, n_runs=args.runs, params=ExperimentParams())
+        return cmd_series(series, out, args.svg)
+    if args.command == "explain":
+        return cmd_explain(args, out)
+    if args.command == "rewrite":
+        return cmd_rewrite(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

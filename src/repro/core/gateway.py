@@ -1,0 +1,275 @@
+"""Distributed gateways: triage at the data source, upstream of the network.
+
+Paper Figure 1 and the introduction's fourth design goal: *"keeping
+load-shedding logic outside the main query processing datapath and close to
+the data source in scenarios where distributed gateways can be deployed."*
+
+A :class:`TriageGateway` wraps one remote stream: tuples enter the gateway's
+triage queue; the queue drains at the *link's* transmission rate (the
+bottleneck is bandwidth, not CPU); overflow victims are synopsized locally
+and only the compact synopsis crosses the wire at each window boundary,
+charged against the same bandwidth.  The alternative — shipping everything
+and letting the link's buffer tail-drop — is the baseline
+(:func:`run_gateway_experiment` runs both over identical inputs).
+
+Result evaluation reuses the pipeline's window machinery
+(:meth:`DataTriagePipeline.evaluate_windows`), so gateway results merge
+exactly like engine-side triage results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.algebra.multiset import Multiset
+from repro.core.pipeline import DataTriagePipeline, RunResult
+from repro.core.policies import DropPolicy, RandomDropPolicy, TailDropPolicy
+from repro.core.strategies import PipelineConfig, ShedStrategy
+from repro.core.triage_queue import TriageQueue, WindowSynopsis
+from repro.engine.types import StreamTuple
+from repro.engine.window import WindowSpec
+from repro.sources.network import NetworkLink
+from repro.synopses.base import Dimension, Synopsis, SynopsisFactory
+
+
+@dataclass
+class DeliveredTuple:
+    """A tuple that made it across the link.
+
+    ``source_time`` drives window assignment (the tuple's logical time);
+    ``delivery_time`` is when the engine received it (latency accounting).
+    """
+
+    source_time: float
+    delivery_time: float
+    row: tuple
+
+
+@dataclass
+class GatewayOutput:
+    """Everything one gateway produced for one run."""
+
+    delivered: list[DeliveredTuple]
+    synopses: dict[int, WindowSynopsis]  # per-window dropped summaries
+    synopsis_delivery: dict[int, float]  # when each synopsis reached the engine
+    offered: int
+    dropped: int
+    max_delivery_lag: float
+
+    @property
+    def drop_fraction(self) -> float:
+        return self.dropped / self.offered if self.offered else 0.0
+
+
+class TriageGateway:
+    """Per-stream gateway: triage queue in front of a constrained link."""
+
+    def __init__(
+        self,
+        name: str,
+        dimensions: list[Dimension],
+        dim_positions: list[int],
+        link: NetworkLink,
+        queue_capacity: int,
+        synopsis_factory: SynopsisFactory,
+        window: WindowSpec,
+        policy: DropPolicy | None = None,
+        *,
+        summarize: bool = True,
+        synopsis_cell_cost: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        """``synopsis_cell_cost``: link-tuples of bandwidth one synopsis
+        storage cell costs to ship (1.0 = a bucket is as big as a tuple).
+        """
+        self.name = name
+        self.link = link
+        self.window = window
+        self.synopsis_cell_cost = synopsis_cell_cost
+        self.queue = TriageQueue(
+            name=name,
+            dimensions=dimensions,
+            dim_positions=dim_positions,
+            capacity=queue_capacity,
+            policy=policy or RandomDropPolicy(),
+            synopsis_factory=synopsis_factory,
+            window=window,
+            summarize=summarize,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, tuples: list[StreamTuple]) -> GatewayOutput:
+        """Push a full stream through queue + link on the virtual clock."""
+        delivered: list[DeliveredTuple] = []
+        link_free = 0.0
+        service = self.link.transmission_time
+        window_closed: set[int] = set()
+        synopsis_delivery: dict[int, float] = {}
+        synopses: dict[int, WindowSynopsis] = {}
+
+        def drain(until: float) -> None:
+            nonlocal link_free
+            while True:
+                head_ts = self.queue.peek_timestamp()
+                if head_ts is None:
+                    return
+                start = max(link_free, head_ts)
+                if start >= until:
+                    return
+                tup = self.queue.poll()
+                link_free = start + service
+                delivered.append(
+                    DeliveredTuple(
+                        source_time=tup.timestamp,
+                        delivery_time=link_free + self.link.latency,
+                        row=tup.row,
+                    )
+                )
+
+        def close_windows(now: float) -> None:
+            """Ship synopses of windows that ended before ``now``."""
+            nonlocal link_free
+            for wid in list(self.queue.windows_with_drops()):
+                _, end = self.window.bounds(wid)
+                if end <= now and wid not in window_closed:
+                    ws = self.queue.release_window(wid)
+                    synopses[wid] = ws
+                    window_closed.add(wid)
+                    if ws.synopsis is not None:
+                        cost = (
+                            ws.synopsis.storage_size()
+                            * self.synopsis_cell_cost
+                            * service
+                        )
+                        start = max(link_free, end)
+                        link_free = start + cost
+                        synopsis_delivery[wid] = link_free + self.link.latency
+
+        for tup in tuples:
+            drain(until=tup.timestamp)
+            close_windows(tup.timestamp)
+            self.queue.offer(tup)
+        drain(until=math.inf)
+        close_windows(math.inf)
+
+        max_lag = max(
+            (d.delivery_time - d.source_time for d in delivered), default=0.0
+        )
+        return GatewayOutput(
+            delivered=delivered,
+            synopses=synopses,
+            synopsis_delivery=synopsis_delivery,
+            offered=self.queue.stats.offered,
+            dropped=self.queue.stats.dropped,
+            max_delivery_lag=max_lag,
+        )
+
+
+@dataclass
+class GatewayExperimentResult:
+    """A RunResult plus gateway-level accounting."""
+
+    run: RunResult
+    outputs: dict[str, GatewayOutput]
+    max_delivery_lag: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.max_delivery_lag = max(
+            (o.max_delivery_lag for o in self.outputs.values()), default=0.0
+        )
+
+
+def run_gateway_experiment(
+    pipeline: DataTriagePipeline,
+    streams: dict[str, list[StreamTuple]],
+    links: dict[str, NetworkLink],
+    *,
+    queue_capacity: int = 50,
+    summarize: bool = True,
+    policy: DropPolicy | None = None,
+    synopsis_cell_cost: float = 1.0,
+    seed: int = 0,
+) -> GatewayExperimentResult:
+    """Triage each stream at its gateway, then evaluate windows at the engine.
+
+    ``summarize=False`` with a tail-drop policy models the baseline of a
+    plain bounded link buffer (drop at the network, no synopses).  The
+    server engine is assumed fast (the bottleneck is the network), matching
+    the paper's remote-wrapper scenario.
+    """
+    cfg = pipeline.config
+    sources = [link.source_name for link in pipeline.plan.chain]
+    outputs: dict[str, GatewayOutput] = {}
+    for i, s in enumerate(sources):
+        gw = TriageGateway(
+            name=s,
+            dimensions=pipeline._dims[s],
+            dim_positions=pipeline._dim_positions[s],
+            link=links[s],
+            queue_capacity=queue_capacity,
+            synopsis_factory=cfg.synopsis_factory,
+            window=cfg.window,
+            policy=policy or (TailDropPolicy() if not summarize else None),
+            summarize=summarize,
+            synopsis_cell_cost=synopsis_cell_cost,
+            seed=seed * 104729 + i,
+        )
+        outputs[s] = gw.run(streams[s])
+
+    # Assemble per-window structures for the shared evaluator.
+    window = cfg.window
+    kept_rows: dict[str, dict[int, Multiset]] = {s: {} for s in sources}
+    kept_syn: dict[str, dict[int, Synopsis]] = {s: {} for s in sources}
+    dropped_syn: dict[str, dict[int, Synopsis | None]] = {s: {} for s in sources}
+    dropped_counts: dict[str, dict[int, int]] = {s: {} for s in sources}
+    arrived: dict[str, dict[int, int]] = {s: {} for s in sources}
+    window_ids: set[int] = set()
+    for s in sources:
+        for t in streams[s]:
+            for wid in window.window_ids(t.timestamp):
+                arrived[s][wid] = arrived[s].get(wid, 0) + 1
+                window_ids.add(wid)
+        for d in outputs[s].delivered:
+            for wid in window.window_ids(d.source_time):
+                kept_rows[s].setdefault(wid, Multiset()).add(d.row)
+                if summarize:
+                    syn = kept_syn[s].get(wid)
+                    if syn is None:
+                        syn = kept_syn[s][wid] = cfg.synopsis_factory.create(
+                            pipeline._dims[s]
+                        )
+                    syn.insert(
+                        [d.row[p] for p in pipeline._dim_positions[s]]
+                    )
+        for wid, ws in outputs[s].synopses.items():
+            dropped_syn[s][wid] = ws.synopsis
+            dropped_counts[s][wid] = ws.dropped_count
+
+    ideal_inputs = None
+    if cfg.compute_ideal:
+        events = DataTriagePipeline._merge_events(streams, sources)
+        ideal_inputs = pipeline._ideal_inputs(events, sources)
+
+    windows = pipeline.evaluate_windows(
+        window_ids=sorted(window_ids),
+        kept_rows=kept_rows,
+        kept_synopses=kept_syn if summarize else None,
+        dropped_synopses=dropped_syn if summarize else None,
+        dropped_counts=dropped_counts,
+        arrived=arrived,
+        ideal_inputs=ideal_inputs,
+    )
+    total = sum(o.offered for o in outputs.values())
+    total_dropped = sum(o.dropped for o in outputs.values())
+    run = RunResult(
+        windows=windows,
+        total_arrived=total,
+        total_kept=total - total_dropped,
+        total_dropped=total_dropped,
+        strategy=(
+            ShedStrategy.DATA_TRIAGE if summarize else ShedStrategy.DROP_ONLY
+        ),
+    )
+    return GatewayExperimentResult(run=run, outputs=outputs)

@@ -1,0 +1,247 @@
+"""Shared triage across multiple continuous queries (Future Work §8.1).
+
+*"An ambitious aspect of TelegraphCQ is its support for sharing processing
+across multiple continuous queries.  While TelegraphCQ can naturally share
+processing for our kept tuples, we have not explored the possibility of
+sharing synopses of the dropped tuples across queries."*
+
+:class:`SharedTriageRuntime` explores exactly that: N continuous queries run
+over the same input streams with **one** triage queue per stream and **one**
+set of per-window kept/dropped synopses, built over the *union* of the
+columns any query references.  Every query's shadow plan then reads the
+shared synopses — joins address their own dimensions by name, extra
+dimensions simply ride along and marginalize out — so the synopsis-building
+work and memory are paid once instead of once per query.
+
+:meth:`SharedTriageRuntime.sharing_ratio` quantifies the saving against the
+per-query alternative.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.algebra.multiset import Multiset
+from repro.core.pipeline import DataTriagePipeline, RunResult
+from repro.core.strategies import PipelineConfig, ShedStrategy
+from repro.core.triage_queue import TriageQueue
+from repro.engine.catalog import Catalog
+from repro.engine.types import StreamTuple
+from repro.rewrite.plan import RewriteError
+from repro.synopses.base import Dimension, Synopsis
+
+
+@dataclass
+class SharedRunResult:
+    """Per-query results plus the shared-infrastructure accounting."""
+
+    per_query: dict[str, RunResult]
+    shared_synopsis_cells: int
+    unshared_synopsis_cells: int
+    total_arrived: int
+    total_dropped: int
+
+    @property
+    def sharing_ratio(self) -> float:
+        """Synopsis cells saved: unshared / shared (>= 1.0 when sharing wins)."""
+        if self.shared_synopsis_cells == 0:
+            return 1.0
+        return self.unshared_synopsis_cells / self.shared_synopsis_cells
+
+
+class SharedTriageRuntime:
+    """N queries, one triage queue per stream, shared synopses."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        queries: dict[str, str],
+        config: PipelineConfig,
+        domains: dict[str, tuple[int, int]] | None = None,
+    ) -> None:
+        if config.strategy is not ShedStrategy.DATA_TRIAGE:
+            raise ValueError("the shared runtime is a Data Triage construct")
+        self.catalog = catalog
+        self.config = config
+        self.pipelines: dict[str, DataTriagePipeline] = {}
+        for qid, text in queries.items():
+            pipe = DataTriagePipeline(catalog, text, config, domains=domains)
+            for link in pipe.plan.chain:
+                if link.source_name.lower() != link.stream_name.lower():
+                    raise RewriteError(
+                        f"query {qid!r} aliases stream {link.stream_name!r} as "
+                        f"{link.source_name!r}; shared triage requires queries "
+                        "to reference streams by their own names"
+                    )
+            self.pipelines[qid] = pipe
+
+        # Union of referenced dimensions per stream, across all queries.
+        self._dims: dict[str, list[Dimension]] = {}
+        self._dim_positions: dict[str, list[int]] = {}
+        for pipe in self.pipelines.values():
+            for link in pipe.plan.chain:
+                stream = link.stream_name
+                dims = self._dims.setdefault(stream, [])
+                positions = self._dim_positions.setdefault(stream, [])
+                for dim, pos in zip(
+                    pipe._dims[link.source_name],
+                    pipe._dim_positions[link.source_name],
+                ):
+                    if pos not in positions:
+                        positions.append(pos)
+                        dims.append(dim)
+        self.streams_used = sorted(self._dims)
+
+    # ------------------------------------------------------------------
+    def _queries_on(self, stream: str) -> int:
+        return sum(
+            any(l.stream_name == stream for l in p.plan.chain)
+            for p in self.pipelines.values()
+        )
+
+    def run(self, streams: dict[str, list[StreamTuple]]) -> SharedRunResult:
+        """One pass of shedding; every query evaluated from the shared state.
+
+        The engine pays ``service_time`` once per (tuple, consuming query) —
+        kept-tuple processing is per query even when shedding is shared,
+        matching TelegraphCQ's shared-scan-but-per-query-work model.
+        """
+        cfg = self.config
+        missing = [s for s in self.streams_used if s not in streams]
+        if missing:
+            raise ValueError(f"no arrivals supplied for streams {missing}")
+
+        queues: dict[str, TriageQueue] = {}
+        for i, stream in enumerate(self.streams_used):
+            queues[stream] = TriageQueue(
+                name=stream,
+                dimensions=self._dims[stream],
+                dim_positions=self._dim_positions[stream],
+                capacity=cfg.queue_capacity,
+                policy=cfg.policy,
+                synopsis_factory=cfg.synopsis_factory,
+                window=cfg.window,
+                summarize=True,
+                seed=cfg.seed * 7919 + i,
+            )
+
+        events = DataTriagePipeline._merge_events(streams, self.streams_used)
+        window_ids = sorted(
+            {
+                wid
+                for ts, _, _, _ in events
+                for wid in cfg.window.window_ids(ts)
+            }
+        )
+        arrived: dict[str, dict[int, int]] = {s: {} for s in self.streams_used}
+        for ts, _, stream, _ in events:
+            for wid in cfg.window.window_ids(ts):
+                arrived[stream][wid] = arrived[stream].get(wid, 0) + 1
+
+        kept_rows: dict[str, dict[int, Multiset]] = {
+            s: {} for s in self.streams_used
+        }
+        kept_syn: dict[str, dict[int, Synopsis]] = {s: {} for s in self.streams_used}
+        engine_free = 0.0
+
+        def drain(until: float) -> float:
+            t = engine_free
+            while True:
+                best, best_ts = None, math.inf
+                for stream in self.streams_used:
+                    ts = queues[stream].peek_timestamp()
+                    if ts is not None and ts < best_ts:
+                        best, best_ts = stream, ts
+                if best is None:
+                    return max(t, until) if math.isfinite(until) else t
+                start = max(t, best_ts)
+                if start >= until:
+                    return t
+                tup = queues[best].poll()
+                t = start + cfg.service_time * self._queries_on(best)
+                for wid in cfg.window.window_ids(tup.timestamp):
+                    kept_rows[best].setdefault(wid, Multiset()).add(tup.row)
+                    syn = kept_syn[best].get(wid)
+                    if syn is None:
+                        syn = kept_syn[best][wid] = cfg.synopsis_factory.create(
+                            self._dims[best]
+                        )
+                    syn.insert(
+                        [tup.row[p] for p in self._dim_positions[best]]
+                    )
+
+        for ts, _, stream, tup in events:
+            engine_free = drain(until=ts)
+            queues[stream].offer(tup)
+        engine_free = drain(until=math.inf)
+
+        dropped_syn: dict[str, dict[int, Synopsis | None]] = {
+            s: {} for s in self.streams_used
+        }
+        dropped_counts: dict[str, dict[int, int]] = {
+            s: {} for s in self.streams_used
+        }
+        for s in self.streams_used:
+            for wid in window_ids:
+                ws = queues[s].release_window(wid)
+                dropped_syn[s][wid] = ws.synopsis
+                dropped_counts[s][wid] = ws.dropped_count
+
+        # Shared-vs-unshared accounting: what per-query synopses would cost.
+        shared_cells = sum(
+            syn.storage_size()
+            for per in list(kept_syn.values()) + list(dropped_syn.values())
+            for syn in per.values()
+            if syn is not None
+        )
+        unshared_cells = shared_cells and sum(
+            self._queries_on(s)
+            * sum(
+                syn.storage_size()
+                for syn in list(kept_syn[s].values())
+                + [x for x in dropped_syn[s].values() if x is not None]
+            )
+            for s in self.streams_used
+        )
+
+        per_query: dict[str, RunResult] = {}
+        for qid, pipe in self.pipelines.items():
+            q_streams = [l.stream_name for l in pipe.plan.chain]
+            ideal_inputs = None
+            if cfg.compute_ideal:
+                q_events = [e for e in events if e[2] in q_streams]
+                ideal_inputs = pipe._ideal_inputs(q_events, q_streams)
+            windows = pipe.evaluate_windows(
+                window_ids=window_ids,
+                kept_rows={s: kept_rows[s] for s in q_streams},
+                kept_synopses={s: kept_syn[s] for s in q_streams},
+                dropped_synopses={s: dropped_syn[s] for s in q_streams},
+                dropped_counts={s: dropped_counts[s] for s in q_streams},
+                arrived={s: arrived[s] for s in q_streams},
+                ideal_inputs=ideal_inputs,
+            )
+            q_arrived = sum(
+                1 for e in events if e[2] in q_streams
+            )
+            q_kept = q_arrived - sum(
+                queues[s].stats.dropped for s in q_streams
+            )
+            per_query[qid] = RunResult(
+                windows=windows,
+                total_arrived=q_arrived,
+                total_kept=q_kept,
+                total_dropped=q_arrived - q_kept,
+                strategy=ShedStrategy.DATA_TRIAGE,
+                queue_stats={s: queues[s].stats for s in q_streams},
+            )
+
+        total = len(events)
+        total_dropped = sum(q.stats.dropped for q in queues.values())
+        return SharedRunResult(
+            per_query=per_query,
+            shared_synopsis_cells=shared_cells,
+            unshared_synopsis_cells=unshared_cells,
+            total_arrived=total,
+            total_dropped=total_dropped,
+        )

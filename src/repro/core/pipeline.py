@@ -1,0 +1,494 @@
+"""The end-to-end Data Triage pipeline on a virtual clock.
+
+Reproduces the runtime of paper Figures 1 and 2: per-stream triage queues in
+front of a single query engine, per-window exact execution over kept tuples,
+shadow-plan estimation over synopses of dropped tuples, and merging.
+
+The load experiments (Figures 8/9) measured a real machine; here the engine
+is modelled by a *service time* per tuple on a simulated clock (see
+DESIGN.md's substitution log): arrivals carry timestamps, the engine
+processes queued tuples one at a time at ``config.service_time`` seconds
+each, and queues overflow exactly when arrivals outpace that service rate.
+This keeps who-wins/where-crossovers behaviour intact while making runs
+deterministic under a seed.
+
+Event model (discrete-event simulation):
+
+* arrival events, in timestamp order, push tuples into their stream's
+  triage queue (or straight into a window synopsis for summarize-only);
+* between arrivals the engine drains the queues — always taking the
+  globally oldest queued tuple — charging ``service_time`` per tuple;
+* a processed tuple joins its window's kept bag (windows are assigned by
+  *arrival* time, so backlog processed late still lands in the right
+  window, as in TelegraphCQ's windowed operators);
+* after the last arrival the engine drains every queue, so at most one
+  queue's worth of tuples per stream escapes dropping at saturation — the
+  paper's stated maximum-load condition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.algebra.multiset import Multiset
+from repro.core.controller import LoadController
+from repro.core.merge import (
+    Groups,
+    MergeSpec,
+    estimate_groups,
+    exact_groups,
+    merge_groups,
+)
+from repro.core.strategies import PipelineConfig, ShedStrategy
+from repro.core.triage_queue import TriageQueue
+from repro.engine.catalog import Catalog
+from repro.engine.executor import QueryExecutor
+from repro.engine.types import StreamTuple
+from repro.rewrite.plan import RewriteError, SPJPlan
+from repro.rewrite.shadow import ShadowPlan
+from repro.sql.ast import SelectStmt
+from repro.sql.binder import Binder, BoundQuery
+from repro.sql.parser import parse_statement
+from repro.synopses.base import Dimension, Synopsis
+
+
+@dataclass
+class WindowOutcome:
+    """Everything known about one window after the run.
+
+    ``result_latency`` is how long after the window closed the engine
+    finished processing the window's last kept tuple — the staleness a full
+    triage queue imposes (0 when the engine kept up; None when the runner
+    does not track time, e.g. summarize-only).
+    """
+
+    window_id: int
+    merged: Groups
+    exact: Groups
+    estimated: Groups
+    ideal: Groups | None
+    arrived: dict[str, int]
+    kept: dict[str, int]
+    dropped: dict[str, int]
+    result_latency: float | None = None
+    #: Raw mode (non-aggregate queries) only: the window's exact result rows
+    #: and the shadow synopsis of lost result tuples — the inputs the
+    #: detail-in-context UI of paper Figure 3 consumes.
+    raw_rows: "Multiset | None" = None
+    lost_synopsis: "Synopsis | None" = None
+
+
+@dataclass
+class RunResult:
+    """Per-window outcomes plus run-level accounting."""
+
+    windows: list[WindowOutcome]
+    total_arrived: int
+    total_kept: int
+    total_dropped: int
+    strategy: ShedStrategy
+    queue_stats: dict[str, "object"] = field(default_factory=dict)
+
+    @property
+    def drop_fraction(self) -> float:
+        return self.total_dropped / self.total_arrived if self.total_arrived else 0.0
+
+
+class DataTriagePipeline:
+    """Compile a continuous query once; run it under any load/strategy."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        query: str | SelectStmt | BoundQuery,
+        config: PipelineConfig,
+        domains: dict[str, tuple[int, int]] | None = None,
+    ) -> None:
+        """``domains`` maps qualified columns (``'R.a'``) to value bounds;
+        unlisted columns default to the paper's 1..100.
+        """
+        self.catalog = catalog
+        self.config = config
+        if isinstance(query, str):
+            stmt = parse_statement(query)
+            query = Binder(catalog).bind(stmt)
+        elif isinstance(query, SelectStmt):
+            query = Binder(catalog).bind(query)
+        if not isinstance(query, BoundQuery):
+            raise RewriteError("the pipeline requires a single SPJ SELECT block")
+        self.bound = query
+        self.plan = SPJPlan.from_bound(query)
+        self.shadow = ShadowPlan(self.plan)
+        # Aggregate queries merge numerically; non-aggregate queries run in
+        # *raw mode* (Future Work §8.1: "queries without aggregates"): each
+        # window carries its exact result rows plus the lost-results
+        # synopsis, ready for detail-in-context visualization.
+        self.merge_spec = (
+            MergeSpec.from_plan(self.plan) if query.is_aggregate else None
+        )
+        self.executor = QueryExecutor(catalog)
+        self._domains = {k.lower(): v for k, v in (domains or {}).items()}
+        self._dims: dict[str, list[Dimension]] = {}
+        self._dim_positions: dict[str, list[int]] = {}
+        for link in self.plan.chain:
+            dims, positions = self._dimensions_for(link.source_name)
+            self._dims[link.source_name] = dims
+            self._dim_positions[link.source_name] = positions
+
+    # ------------------------------------------------------------------
+    def _referenced_columns(self, source_name: str) -> set[str]:
+        """Bare column names of ``source_name`` the query touches."""
+        src = self.bound.source(source_name)
+        if self.merge_spec is None:
+            # Raw mode: the lost-results synopsis stands in for whole result
+            # tuples, so every column participates.
+            return {c.name.lower() for c in src.schema.columns}
+        out: set[str] = set()
+        for link in self.plan.chain:
+            for p in link.join_with_prefix:
+                if p.left_source == source_name:
+                    out.add(p.left_column.lower())
+                if p.right_source == source_name:
+                    out.add(p.right_column.lower())
+        prefix = f"{source_name.lower()}."
+        for dim in self.merge_spec.group_dims + tuple(
+            d for d in self.merge_spec.agg_dims if d
+        ):
+            if dim.lower().startswith(prefix):
+                out.add(dim.lower()[len(prefix):])
+        for expr in self.plan.local_predicates.get(source_name, []):
+            for col in expr.columns():
+                name = col.rsplit(".", 1)[-1]
+                out.add(name)
+        return out
+
+    def _dimensions_for(self, source_name: str) -> tuple[list[Dimension], list[int]]:
+        src = self.bound.source(source_name)
+        referenced = self._referenced_columns(source_name)
+        dims: list[Dimension] = []
+        positions: list[int] = []
+        for pos, col in enumerate(src.schema.columns):
+            if col.name.lower() not in referenced:
+                continue
+            qualified = f"{source_name}.{col.name}"
+            lo, hi = self._domains.get(qualified.lower(), (1, 100))
+            dims.append(Dimension(qualified, lo, hi))
+            positions.append(pos)
+        if not dims:
+            raise RewriteError(
+                f"query references no synopsizable column of {source_name!r}"
+            )
+        return dims, positions
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, streams: dict[str, list[StreamTuple]]) -> RunResult:
+        """Simulate the full run and compute every window's composite answer.
+
+        ``streams`` maps chain *source names* to timestamp-sorted arrivals.
+        """
+        cfg = self.config
+        sources = [link.source_name for link in self.plan.chain]
+        missing = [s for s in sources if s not in streams]
+        if missing:
+            raise ValueError(f"no arrivals supplied for sources {missing}")
+
+        events = self._merge_events(streams, sources)
+        window_ids = sorted(
+            {
+                wid
+                for ts, _, _, _ in events
+                for wid in cfg.window.window_ids(ts)
+            }
+        )
+        arrived = _nested_counter(sources)
+        for ts, _, source, _ in events:
+            for wid in cfg.window.window_ids(ts):
+                arrived[source][wid] = arrived[source].get(wid, 0) + 1
+
+        if cfg.strategy is ShedStrategy.SUMMARIZE_ONLY:
+            return self._run_summarize_only(events, window_ids, arrived, sources)
+        return self._run_queued(events, window_ids, arrived, sources)
+
+    @staticmethod
+    def _merge_events(streams, sources):
+        events = []
+        for source in sources:
+            for seq, tup in enumerate(streams[source]):
+                events.append((tup.timestamp, seq, source, tup))
+        events.sort(key=lambda e: (e[0], e[2], e[1]))
+        return events
+
+    # ------------------------------------------------------------------
+    def _run_summarize_only(self, events, window_ids, arrived, sources) -> RunResult:
+        cfg = self.config
+        full_syn: dict[str, dict[int, Synopsis]] = {s: {} for s in sources}
+        for ts, _, source, tup in events:
+            for wid in cfg.window.window_ids(ts):
+                syn = full_syn[source].get(wid)
+                if syn is None:
+                    syn = full_syn[source][wid] = cfg.synopsis_factory.create(
+                        self._dims[source]
+                    )
+                syn.insert([tup.row[p] for p in self._dim_positions[source]])
+
+        ideal_inputs = self._ideal_inputs(events, sources) if cfg.compute_ideal else None
+        windows: list[WindowOutcome] = []
+        for wid in window_ids:
+            result_syn = self.shadow.estimate_full(
+                {s: full_syn[s].get(wid) for s in sources}
+            )
+            estimated: Groups = {}
+            if self.merge_spec is not None:
+                estimated = estimate_groups(result_syn, self.merge_spec)
+            ideal = self._ideal_for(ideal_inputs, wid) if ideal_inputs else None
+            windows.append(
+                WindowOutcome(
+                    window_id=wid,
+                    merged=estimated,
+                    exact={},
+                    estimated=estimated,
+                    ideal=ideal,
+                    arrived={s: arrived[s].get(wid, 0) for s in sources},
+                    kept={s: 0 for s in sources},
+                    dropped={s: arrived[s].get(wid, 0) for s in sources},
+                    lost_synopsis=result_syn,
+                )
+            )
+        total = len(events)
+        return RunResult(
+            windows=windows,
+            total_arrived=total,
+            total_kept=0,
+            total_dropped=total,
+            strategy=cfg.strategy,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_queued(self, events, window_ids, arrived, sources) -> RunResult:
+        cfg = self.config
+        queues: dict[str, TriageQueue] = {}
+        for i, source in enumerate(sources):
+            queues[source] = TriageQueue(
+                name=source,
+                dimensions=self._dims[source],
+                dim_positions=self._dim_positions[source],
+                capacity=cfg.queue_capacity,
+                policy=cfg.policy,
+                synopsis_factory=cfg.synopsis_factory,
+                window=cfg.window,
+                summarize=cfg.strategy.summarizes_drops,
+                seed=cfg.seed * 7919 + i,
+            )
+
+        kept_rows: dict[str, dict[int, Multiset]] = {s: {} for s in sources}
+        kept_syn: dict[str, dict[int, Synopsis]] = {s: {} for s in sources}
+        build_kept_syn = cfg.strategy is ShedStrategy.DATA_TRIAGE
+        completion: dict[int, float] = {}  # window -> last kept-tuple finish
+
+        engine_free = 0.0
+
+        def drain(until: float) -> float:
+            t = engine_free
+            while True:
+                best_source, best_ts = None, math.inf
+                for source in sources:
+                    ts = queues[source].peek_timestamp()
+                    if ts is not None and ts < best_ts:
+                        best_source, best_ts = source, ts
+                if best_source is None:
+                    return max(t, until) if math.isfinite(until) else t
+                start = max(t, best_ts)
+                if start >= until:
+                    return t
+                tup = queues[best_source].poll()
+                t = start + cfg.service_time
+                for wid in cfg.window.window_ids(tup.timestamp):
+                    completion[wid] = max(completion.get(wid, 0.0), t)
+                    bag = kept_rows[best_source].setdefault(wid, Multiset())
+                    bag.add(tup.row)
+                    if build_kept_syn:
+                        syn = kept_syn[best_source].get(wid)
+                        if syn is None:
+                            syn = kept_syn[best_source][wid] = (
+                                cfg.synopsis_factory.create(
+                                    self._dims[best_source]
+                                )
+                            )
+                        syn.insert(
+                            [
+                                tup.row[p]
+                                for p in self._dim_positions[best_source]
+                            ]
+                        )
+
+        controllers: dict[str, LoadController] | None = None
+        control_dt = 0.0
+        next_control = math.inf
+        if cfg.adaptive_staleness is not None:
+            # React on a fraction of the staleness budget: bursts shorter
+            # than the control interval are invisible to the controller.
+            controllers = {
+                s: LoadController(alpha=0.5, max_staleness=cfg.adaptive_staleness)
+                for s in sources
+            }
+            # Interval: a quarter of the budget, but never slower than ~50
+            # tuples of engine work — load can whipsaw inside long budgets.
+            control_dt = min(cfg.adaptive_staleness / 4, 50 * cfg.service_time)
+            next_control = control_dt
+
+        for ts, _, source, tup in events:
+            engine_free = drain(until=ts)
+            if controllers is not None and ts >= next_control:
+                elapsed = control_dt
+                while next_control <= ts:
+                    next_control += control_dt
+                for s in sources:
+                    controllers[s].observe(
+                        interval_seconds=elapsed, stats=queues[s].stats
+                    )
+                    queues[s].capacity = controllers[s].recommended_capacity(
+                        cfg.service_time
+                    )
+            queues[source].offer(tup)
+        engine_free = drain(until=math.inf)
+
+        dropped_syn: dict[str, dict[int, Synopsis | None]] = {s: {} for s in sources}
+        dropped_counts: dict[str, dict[int, int]] = {s: {} for s in sources}
+        use_shadow = cfg.strategy is ShedStrategy.DATA_TRIAGE
+        for s in sources:
+            for wid in window_ids:
+                ws = queues[s].release_window(wid)
+                dropped_counts[s][wid] = ws.dropped_count
+                if use_shadow:
+                    dropped_syn[s][wid] = ws.synopsis
+
+        windows = self.evaluate_windows(
+            window_ids=window_ids,
+            kept_rows=kept_rows,
+            kept_synopses=kept_syn if use_shadow else None,
+            dropped_synopses=dropped_syn if use_shadow else None,
+            dropped_counts=dropped_counts,
+            arrived=arrived,
+            ideal_inputs=(
+                self._ideal_inputs(events, sources) if cfg.compute_ideal else None
+            ),
+        )
+        for w in windows:
+            _, end = cfg.window.bounds(w.window_id)
+            finished = completion.get(w.window_id)
+            w.result_latency = max(0.0, finished - end) if finished else 0.0
+        # Count tuples, not per-window memberships (overlapping windows
+        # hold the same tuple several times).
+        total = len(events)
+        total_kept = total - sum(q.stats.dropped for q in queues.values())
+        return RunResult(
+            windows=windows,
+            total_arrived=total,
+            total_kept=total_kept,
+            total_dropped=total - total_kept,
+            strategy=cfg.strategy,
+            queue_stats={s: queues[s].stats for s in sources},
+        )
+
+    # ------------------------------------------------------------------
+    # Window evaluation (shared by the built-in runner and the gateway)
+    # ------------------------------------------------------------------
+    def evaluate_windows(
+        self,
+        window_ids: list[int],
+        kept_rows: dict[str, dict[int, Multiset]],
+        kept_synopses: dict[str, dict[int, Synopsis]] | None,
+        dropped_synopses: dict[str, dict[int, "Synopsis | None"]] | None,
+        dropped_counts: dict[str, dict[int, int]],
+        arrived: dict[str, dict[int, int]],
+        ideal_inputs=None,
+    ) -> list[WindowOutcome]:
+        """Turn per-window kept rows + synopses into composite answers.
+
+        This is the window-boundary work of Figure 2: execute the exact
+        query over the kept bags, run the shadow plan over the synopses
+        (when provided — pass ``None`` for drop-only semantics), and merge.
+        External shedding layers (e.g. the distributed gateway of
+        :mod:`repro.core.gateway`) reuse this after doing their own triage.
+        """
+        sources = [link.source_name for link in self.plan.chain]
+        windows: list[WindowOutcome] = []
+        for wid in window_ids:
+            exact_inputs = {
+                self.bound.source(s).stream_name.lower(): kept_rows[s].get(
+                    wid, Multiset()
+                )
+                for s in sources
+            }
+            result = self.executor.execute(self.bound, exact_inputs)
+
+            result_syn: Synopsis | None = None
+            if dropped_synopses is not None:
+                assert kept_synopses is not None
+                result_syn = self.shadow.estimate_dropped(
+                    {s: kept_synopses[s].get(wid) for s in sources},
+                    {s: dropped_synopses[s].get(wid) for s in sources},
+                )
+
+            raw_rows = None
+            exact: Groups = {}
+            estimated: Groups = {}
+            if self.merge_spec is None:
+                # Raw mode: carry rows + synopsis; no numeric merge exists.
+                raw_rows = result.rows
+                merged = {}
+            else:
+                exact = exact_groups(result.rows, result.schema, self.merge_spec)
+                if dropped_synopses is not None:
+                    estimated = estimate_groups(result_syn, self.merge_spec)
+                    merged = merge_groups(exact, estimated, self.merge_spec)
+                else:
+                    merged = exact
+
+            ideal = self._ideal_for(ideal_inputs, wid) if ideal_inputs else None
+            windows.append(
+                WindowOutcome(
+                    window_id=wid,
+                    merged=merged,
+                    exact=exact,
+                    estimated=estimated,
+                    ideal=ideal,
+                    arrived={s: arrived[s].get(wid, 0) for s in sources},
+                    kept={
+                        s: len(kept_rows[s].get(wid, Multiset())) for s in sources
+                    },
+                    dropped={
+                        s: dropped_counts[s].get(wid, 0) for s in sources
+                    },
+                    raw_rows=raw_rows,
+                    lost_synopsis=result_syn,
+                )
+            )
+        return windows
+
+    # ------------------------------------------------------------------
+    # Ideal (no-shedding) reference
+    # ------------------------------------------------------------------
+    def _ideal_inputs(self, events, sources):
+        per_window: dict[str, dict[int, Multiset]] = {s: {} for s in sources}
+        for ts, _, source, tup in events:
+            for wid in self.config.window.window_ids(ts):
+                per_window[source].setdefault(wid, Multiset()).add(tup.row)
+        return per_window
+
+    def _ideal_for(self, ideal_inputs, wid: int) -> "Groups | None":
+        if self.merge_spec is None:
+            return None  # raw mode has no grouped ideal
+        inputs = {
+            self.bound.source(s).stream_name.lower(): bags.get(wid, Multiset())
+            for s, bags in ideal_inputs.items()
+        }
+        result = self.executor.execute(self.bound, inputs)
+        return exact_groups(result.rows, result.schema, self.merge_spec)
+
+
+def _nested_counter(sources):
+    return {s: {} for s in sources}

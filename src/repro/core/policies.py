@@ -1,0 +1,156 @@
+"""Victim-selection (drop) policies for the triage queue.
+
+*"The current build of TelegraphCQ uses a random drop policy.  When our
+triage queue reaches its capacity, it chose a victim at random from the
+tuples in its buffer"* (paper Section 5.2.1).  :class:`RandomDropPolicy`
+reproduces that; the others implement the Future Work directions of
+Section 8.1 — *"the design of Data Triage opens up several new possibilities
+for victim-selection policies ... 'synergistic' policies ... in which the
+triage queue chooses to drop the tuples that the synopsis data structure can
+summarize most efficiently"* — plus the classic tail/head-drop baselines.
+
+A policy returns the index of the buffer tuple to evict, or
+:data:`DROP_INCOMING` to shed the arriving tuple instead.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.engine.types import StreamTuple
+from repro.synopses.base import Synopsis
+
+#: Sentinel return: shed the incoming tuple, leave the buffer untouched.
+DROP_INCOMING = -1
+
+
+@dataclass
+class PolicyContext:
+    """What a policy may consult when choosing a victim.
+
+    ``synopsis`` is the queue's current dropped-tuple synopsis for the
+    active window (may be ``None`` early in a window); ``dim_positions``
+    maps synopsis dimensions to row positions.
+    """
+
+    rng: random.Random
+    synopsis: Synopsis | None = None
+    dim_positions: tuple[int, ...] = ()
+
+
+class DropPolicy(abc.ABC):
+    """Chooses which tuple to shed when the triage queue is full."""
+
+    @abc.abstractmethod
+    def select_victim(
+        self,
+        buffer: Sequence[StreamTuple],
+        incoming: StreamTuple,
+        context: PolicyContext,
+    ) -> int:
+        """Index into ``buffer`` to evict, or :data:`DROP_INCOMING`."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class RandomDropPolicy(DropPolicy):
+    """The paper's policy: evict a uniformly random victim.
+
+    The incoming tuple participates in the draw, so every tuple present at
+    overflow time has equal survival probability.
+    """
+
+    def select_victim(self, buffer, incoming, context) -> int:
+        i = context.rng.randrange(len(buffer) + 1)
+        return DROP_INCOMING if i == len(buffer) else i
+
+
+class TailDropPolicy(DropPolicy):
+    """Classic tail drop: shed the arriving tuple (favours old data)."""
+
+    def select_victim(self, buffer, incoming, context) -> int:
+        return DROP_INCOMING
+
+
+class HeadDropPolicy(DropPolicy):
+    """Head drop: shed the oldest queued tuple (favours fresh data)."""
+
+    def select_victim(self, buffer, incoming, context) -> int:
+        return 0
+
+
+class FrequencyBiasedPolicy(DropPolicy):
+    """Shed a tuple from the currently most common key (skewed sampling).
+
+    Section 8.1: *"Since Data Triage synopsizes dropped tuples, it can take
+    skewed samples of data streams without unduly skewing query results."*
+    Dropping from over-represented keys keeps rare keys in the exact path
+    (where they are reported precisely) while common keys — well served by
+    the uniformity assumption — go to the synopsis.
+
+    ``key_position`` selects which row field defines a tuple's key.
+    """
+
+    def __init__(self, key_position: int = 0) -> None:
+        self.key_position = key_position
+
+    def select_victim(self, buffer, incoming, context) -> int:
+        counts: Counter = Counter(t.row[self.key_position] for t in buffer)
+        counts[incoming.row[self.key_position]] += 1
+        top_key, _ = counts.most_common(1)[0]
+        if incoming.row[self.key_position] == top_key:
+            candidates = [DROP_INCOMING]
+        else:
+            candidates = []
+        candidates += [
+            i for i, t in enumerate(buffer) if t.row[self.key_position] == top_key
+        ]
+        return context.rng.choice(candidates)
+
+
+class SynergisticPolicy(DropPolicy):
+    """Prefer victims the synopsis already summarizes at zero marginal cost.
+
+    The Future-Work "synergistic" policy: a tuple whose values land in an
+    already-populated synopsis bucket can be evicted without growing the
+    synopsis and with minimal extra approximation error.  Victims are chosen
+    uniformly among tuples whose synopsis cell is already occupied; if no
+    such tuple exists, falls back to a random victim.
+    """
+
+    def select_victim(self, buffer, incoming, context) -> int:
+        syn = context.synopsis
+        if syn is None or not context.dim_positions:
+            i = context.rng.randrange(len(buffer) + 1)
+            return DROP_INCOMING if i == len(buffer) else i
+
+        def covered(t: StreamTuple) -> bool:
+            values = {
+                syn.dimensions[k].name: int(t.row[p])
+                for k, p in enumerate(context.dim_positions)
+            }
+            return syn.estimate_point(**values) > 0
+
+        candidates = [i for i, t in enumerate(buffer) if covered(t)]
+        if covered(incoming):
+            candidates.append(DROP_INCOMING)
+        if not candidates:
+            i = context.rng.randrange(len(buffer) + 1)
+            return DROP_INCOMING if i == len(buffer) else i
+        return context.rng.choice(candidates)
+
+
+#: Name -> constructor, for benchmark/CLI selection.
+POLICIES = {
+    "random": RandomDropPolicy,
+    "tail": TailDropPolicy,
+    "head": HeadDropPolicy,
+    "biased": FrequencyBiasedPolicy,
+    "synergistic": SynergisticPolicy,
+}

@@ -1,0 +1,193 @@
+"""The triage queue: a bounded buffer that synopsizes its overflow.
+
+Paper Figure 1 / Section 1: *"Data Triage places a triage queue between each
+data source and the query processor ...  When a triage queue runs out of
+space, the system uses a drop policy to remove less-critical tuples from the
+queue, and uses synopses to capture the approximate properties of the
+deleted set of tuples.  At the end of each time window ... the triage
+subsystem passes these synopses to the query engine."*
+
+Dropped tuples are folded into a per-window synopsis (windows are assigned
+by arrival timestamp, so a burst that straddles a boundary is attributed
+correctly).  With ``summarize=False`` the same queue implements the
+drop-only baseline — the single-codebase comparison of Section 5.2.1.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.policies import DROP_INCOMING, DropPolicy, PolicyContext
+from repro.engine.types import StreamTuple
+from repro.engine.window import WindowSpec
+from repro.synopses.base import Dimension, Synopsis, SynopsisFactory
+
+
+@dataclass
+class WindowSynopsis:
+    """One window's dropped-tuple summary, as shipped to the shadow query.
+
+    Mirrors the paper's ``R_dropped_syn(syn, earliest, latest)`` stream
+    schema, plus the exact drop count for accounting.
+    """
+
+    window_id: int
+    synopsis: Synopsis | None
+    dropped_count: int
+    earliest: float | None
+    latest: float | None
+
+
+@dataclass
+class QueueStats:
+    """Counters the load controller and experiments read."""
+
+    offered: int = 0
+    dropped: int = 0
+    polled: int = 0
+    overflows: int = 0
+    high_watermark: int = 0
+
+    @property
+    def drop_fraction(self) -> float:
+        return self.dropped / self.offered if self.offered else 0.0
+
+
+class TriageQueue:
+    """Bounded tuple queue with drop-to-synopsis overflow behaviour."""
+
+    def __init__(
+        self,
+        name: str,
+        dimensions: list[Dimension],
+        dim_positions: list[int],
+        capacity: int,
+        policy: DropPolicy,
+        synopsis_factory: SynopsisFactory,
+        window: WindowSpec,
+        *,
+        summarize: bool = True,
+        seed: int = 0,
+    ) -> None:
+        """``dimensions[i]`` describes row position ``dim_positions[i]``.
+
+        ``summarize=False`` turns the queue into the drop-only baseline:
+        victims are counted but not synopsized.
+        """
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        if len(dimensions) != len(dim_positions):
+            raise ValueError("dimensions and dim_positions must align")
+        self.name = name
+        self.dimensions = list(dimensions)
+        self.dim_positions = tuple(dim_positions)
+        self.capacity = capacity
+        self.policy = policy
+        self.synopsis_factory = synopsis_factory
+        self.window = window
+        self.summarize = summarize
+        self._rng = random.Random(seed)
+        self._buffer: deque[StreamTuple] = deque()
+        self._window_synopses: dict[int, Synopsis] = {}
+        self._window_counts: dict[int, int] = {}
+        self._window_bounds: dict[int, tuple[float, float]] = {}
+        self.stats = QueueStats()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._buffer) >= self.capacity
+
+    def peek_timestamp(self) -> float | None:
+        """Arrival time of the head tuple (None when empty)."""
+        return self._buffer[0].timestamp if self._buffer else None
+
+    # ------------------------------------------------------------------
+    def offer(self, tup: StreamTuple) -> None:
+        """A tuple arrives from the source; shed a victim if full."""
+        self.stats.offered += 1
+        if len(self._buffer) < self.capacity:
+            self._buffer.append(tup)
+            self.stats.high_watermark = max(
+                self.stats.high_watermark, len(self._buffer)
+            )
+            return
+        self.stats.overflows += 1
+        wid = self.window.primary_window(tup.timestamp)
+        context = PolicyContext(
+            rng=self._rng,
+            synopsis=self._window_synopses.get(wid),
+            dim_positions=self.dim_positions,
+        )
+        victim_idx = self.policy.select_victim(self._buffer, tup, context)
+        if victim_idx == DROP_INCOMING:
+            victim = tup
+        else:
+            victim = self._buffer[victim_idx]
+            del self._buffer[victim_idx]
+            self._buffer.append(tup)
+        self._shed(victim)
+
+    def poll(self) -> StreamTuple | None:
+        """The engine pulls the next tuple (FIFO order)."""
+        if not self._buffer:
+            return None
+        self.stats.polled += 1
+        return self._buffer.popleft()
+
+    # ------------------------------------------------------------------
+    def _shed(self, victim: StreamTuple) -> None:
+        self.stats.dropped += 1
+        # A victim is charged to every window containing it — one window
+        # for tumbling specs, several when windows overlap (hopping).
+        for wid in self.window.window_ids(victim.timestamp):
+            self._window_counts[wid] = self._window_counts.get(wid, 0) + 1
+            lo, hi = self._window_bounds.get(
+                wid, (victim.timestamp, victim.timestamp)
+            )
+            self._window_bounds[wid] = (
+                min(lo, victim.timestamp),
+                max(hi, victim.timestamp),
+            )
+            if not self.summarize:
+                continue
+            syn = self._window_synopses.get(wid)
+            if syn is None:
+                syn = self._window_synopses[wid] = self.synopsis_factory.create(
+                    self.dimensions
+                )
+            syn.insert([victim.row[p] for p in self.dim_positions])
+
+    # ------------------------------------------------------------------
+    def window_synopsis(self, window_id: int) -> WindowSynopsis:
+        """The dropped-tuple summary for one window (empty if no drops)."""
+        bounds = self._window_bounds.get(window_id)
+        return WindowSynopsis(
+            window_id=window_id,
+            synopsis=self._window_synopses.get(window_id),
+            dropped_count=self._window_counts.get(window_id, 0),
+            earliest=bounds[0] if bounds else None,
+            latest=bounds[1] if bounds else None,
+        )
+
+    def windows_with_drops(self) -> list[int]:
+        return sorted(self._window_counts)
+
+    def release_window(self, window_id: int) -> WindowSynopsis:
+        """Emit and forget a window's synopsis (the end-of-window hand-off)."""
+        out = self.window_synopsis(window_id)
+        self._window_synopses.pop(window_id, None)
+        self._window_counts.pop(window_id, None)
+        self._window_bounds.pop(window_id, None)
+        return out
+
+    def drain(self) -> list[StreamTuple]:
+        """Remove and return everything still buffered (end of run)."""
+        out = list(self._buffer)
+        self._buffer.clear()
+        return out

@@ -1,0 +1,93 @@
+"""The mini continuous-query engine (TelegraphCQ stand-in).
+
+Schemas and stream tuples, scalar expressions, physical operators, time
+windows, an object-relational UDF/UDT registry, a catalog, and a
+window-at-a-time executor.  The Data Triage layer sits entirely *outside*
+this engine, exactly as the paper's implementation sits outside the
+TelegraphCQ core.
+"""
+
+from repro.engine.catalog import SYNOPSIS_STREAM_SCHEMA, Catalog, CatalogError, StreamDef
+from repro.engine.executor import (
+    ContinuousQuery,
+    ExecutionError,
+    QueryExecutor,
+    QueryResult,
+    WindowResult,
+)
+from repro.engine.explain import explain
+from repro.engine.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    ExpressionError,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+    conjoin,
+    conjuncts,
+)
+from repro.engine.operators import (
+    AggregateSpec,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    NestedLoopJoin,
+    PhysicalOperator,
+    Project,
+    Scan,
+    UnionAll,
+)
+from repro.engine.types import (
+    Column,
+    ColumnType,
+    Schema,
+    SchemaError,
+    StreamTuple,
+    parse_type_name,
+)
+from repro.engine.udf import FunctionSignature, UDFError, UDFRegistry
+from repro.engine.window import WindowSpec, assign_windows, parse_window_clause
+
+__all__ = [
+    "Catalog",
+    "CatalogError",
+    "StreamDef",
+    "SYNOPSIS_STREAM_SCHEMA",
+    "ContinuousQuery",
+    "ExecutionError",
+    "QueryExecutor",
+    "QueryResult",
+    "WindowResult",
+    "BinaryOp",
+    "ColumnRef",
+    "Expression",
+    "ExpressionError",
+    "FunctionCall",
+    "Literal",
+    "UnaryOp",
+    "conjoin",
+    "conjuncts",
+    "AggregateSpec",
+    "Filter",
+    "HashAggregate",
+    "HashJoin",
+    "NestedLoopJoin",
+    "PhysicalOperator",
+    "Project",
+    "Scan",
+    "UnionAll",
+    "Column",
+    "ColumnType",
+    "Schema",
+    "SchemaError",
+    "StreamTuple",
+    "parse_type_name",
+    "FunctionSignature",
+    "UDFError",
+    "UDFRegistry",
+    "WindowSpec",
+    "assign_windows",
+    "parse_window_clause",
+    "explain",
+]

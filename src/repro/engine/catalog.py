@@ -1,0 +1,133 @@
+"""System catalog: streams, views, and the UDF/UDT registry.
+
+The Data Triage rewrite manufactures auxiliary streams (``R_kept``,
+``R_dropped``, ``R_dropped_syn``, ``R_kept_syn`` — paper Section 5.1) beside
+each user stream; :meth:`Catalog.create_triage_streams` performs exactly that
+DDL expansion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.types import Column, ColumnType, Schema
+from repro.engine.udf import UDFRegistry
+
+
+class CatalogError(KeyError):
+    """Raised for unknown or duplicate catalog objects."""
+
+
+@dataclass
+class StreamDef:
+    """A registered stream: its schema plus bookkeeping flags."""
+
+    name: str
+    schema: Schema
+    is_auxiliary: bool = False  # True for rewrite-generated _kept/_dropped/_syn
+    source_stream: str | None = None  # the user stream an auxiliary derives from
+
+
+#: Schema of the auxiliary synopsis streams the rewrite creates (paper §5.1):
+#: one synopsis value per window plus the timestamp range it covers.
+SYNOPSIS_STREAM_SCHEMA = Schema(
+    [
+        Column("syn", ColumnType.SYNOPSIS),
+        Column("earliest", ColumnType.TIMESTAMP),
+        Column("latest", ColumnType.TIMESTAMP),
+    ]
+)
+
+
+@dataclass
+class Catalog:
+    """Name → definition maps for streams and views, plus the UDF registry."""
+
+    streams: dict[str, StreamDef] = field(default_factory=dict)
+    views: dict[str, Any] = field(default_factory=dict)  # name -> SQL AST
+    functions: UDFRegistry = field(default_factory=UDFRegistry)
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+    def create_stream(
+        self,
+        name: str,
+        schema: Schema,
+        *,
+        is_auxiliary: bool = False,
+        source_stream: str | None = None,
+        replace: bool = False,
+    ) -> StreamDef:
+        key = name.lower()
+        if key in self.streams and not replace:
+            raise CatalogError(f"stream {name!r} already exists")
+        d = StreamDef(name, schema, is_auxiliary, source_stream)
+        self.streams[key] = d
+        return d
+
+    def stream(self, name: str) -> StreamDef:
+        try:
+            return self.streams[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no stream {name!r}") from None
+
+    def has_stream(self, name: str) -> bool:
+        return name.lower() in self.streams
+
+    def drop_stream(self, name: str) -> None:
+        if self.streams.pop(name.lower(), None) is None:
+            raise CatalogError(f"no stream {name!r}")
+
+    def user_streams(self) -> list[StreamDef]:
+        return [d for d in self.streams.values() if not d.is_auxiliary]
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def create_view(self, name: str, definition: Any, replace: bool = False) -> None:
+        key = name.lower()
+        if key in self.views and not replace:
+            raise CatalogError(f"view {name!r} already exists")
+        self.views[key] = definition
+
+    def view(self, name: str) -> Any:
+        try:
+            return self.views[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no view {name!r}") from None
+
+    def has_view(self, name: str) -> bool:
+        return name.lower() in self.views
+
+    # ------------------------------------------------------------------
+    # Data Triage DDL expansion (paper Sections 4.3 & 5.1)
+    # ------------------------------------------------------------------
+    def create_triage_streams(self, name: str) -> dict[str, StreamDef]:
+        """Create the four auxiliary streams Data Triage needs beside ``name``.
+
+        ``X_kept``/``X_dropped`` carry relational tuples that survived /
+        were evicted from the triage queue; ``X_kept_syn``/``X_dropped_syn``
+        carry one synopsis per window.  Returns the new definitions keyed by
+        suffix.
+        """
+        base = self.stream(name)
+        out: dict[str, StreamDef] = {}
+        for suffix in ("kept", "dropped"):
+            out[suffix] = self.create_stream(
+                f"{base.name}_{suffix}",
+                base.schema,
+                is_auxiliary=True,
+                source_stream=base.name,
+                replace=True,
+            )
+        for suffix in ("kept_syn", "dropped_syn"):
+            out[suffix] = self.create_stream(
+                f"{base.name}_{suffix}",
+                SYNOPSIS_STREAM_SCHEMA,
+                is_auxiliary=True,
+                source_stream=base.name,
+                replace=True,
+            )
+        return out

@@ -1,0 +1,297 @@
+"""Window-at-a-time query execution over bound queries.
+
+:class:`QueryExecutor` takes a :class:`~repro.sql.binder.BoundQuery` plus the
+current window's contents for every stream and produces the window's result
+bag.  Join planning is the textbook greedy heuristic: build a left-deep tree,
+always attaching a source that shares an equijoin predicate with what has
+been joined so far (falling back to a cross product only when the query graph
+is genuinely disconnected).
+
+The continuous-query layer (:class:`ContinuousQuery`) drives this executor
+once per window, which is the paper's execution model for the experiment
+query of Figure 7.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.algebra.multiset import Multiset
+from repro.engine.catalog import Catalog
+from repro.engine.expressions import ColumnRef, Expression, conjoin
+from repro.engine.operators import (
+    Filter,
+    HashAggregate,
+    HashJoin,
+    NestedLoopJoin,
+    PhysicalOperator,
+    Project,
+    Scan,
+    UnionAll,
+)
+from repro.engine.types import Column, Schema, StreamTuple
+from repro.engine.window import WindowSpec, assign_windows
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a query cannot be planned or executed."""
+
+
+@dataclass
+class QueryResult:
+    """A window's result: the output bag plus its schema.
+
+    ``ordered_rows`` is populated (a list, duplicates included) when the
+    query has an ORDER BY and/or LIMIT — bags are unordered, so ordering
+    travels separately.
+    """
+
+    rows: Multiset
+    schema: Schema
+    ordered_rows: list[tuple] | None = None
+
+
+class QueryExecutor:
+    """Executes bound queries over per-window input bags."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._functions = catalog.functions
+
+    # ------------------------------------------------------------------
+    def execute(self, bound, inputs: dict[str, Multiset]) -> QueryResult:
+        """Run ``bound`` (BoundQuery or BoundUnion) over ``inputs``.
+
+        ``inputs`` maps *stream names* (not aliases) to the window's rows.
+        Streams missing from ``inputs`` are treated as empty.
+        """
+        from repro.sql.binder import BoundQuery, BoundUnion
+
+        if isinstance(bound, BoundUnion):
+            results = [self.execute(q, inputs) for q in bound.queries]
+            rows = Multiset()
+            for r in results:
+                rows = rows + r.rows
+            return QueryResult(rows=rows, schema=results[0].schema)
+        if not isinstance(bound, BoundQuery):
+            raise ExecutionError(f"cannot execute {type(bound).__name__}")
+        plan = self._plan(bound, inputs)
+        if not bound.order_by and bound.limit is None:
+            return QueryResult(rows=plan.to_multiset(), schema=plan.schema)
+        rows = list(plan)
+        if bound.order_by:
+            rows = _order_rows(rows, plan.schema, bound.order_by, self._functions)
+        if bound.limit is not None:
+            rows = rows[: bound.limit]
+        return QueryResult(
+            rows=Multiset(rows), schema=plan.schema, ordered_rows=rows
+        )
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _plan(self, bound, inputs: dict[str, Multiset]) -> PhysicalOperator:
+        per_source = {
+            src.name: self._plan_source(src, inputs) for src in bound.sources
+        }
+        # Local selections first (predicate pushdown).
+        for name, preds in bound.local_predicates.items():
+            pred = conjoin(preds)
+            if pred is not None:
+                per_source[name] = Filter(
+                    per_source[name], pred, self._functions
+                )
+
+        joined, joined_names = self._join_sources(bound, per_source)
+
+        residual = conjoin(bound.residual_predicates)
+        if residual is not None:
+            joined = Filter(joined, residual, self._functions)
+
+        if bound.is_aggregate:
+            op: PhysicalOperator = HashAggregate(
+                joined, bound.group_by, bound.aggregates, self._functions
+            )
+            if bound.having is not None:
+                # HAVING sees the aggregate's output row (group keys +
+                # aggregate values addressed by their output names).
+                op = Filter(op, bound.having, self._functions)
+        elif bound.select_star:
+            op = joined
+        else:
+            op = Project(joined, bound.outputs, self._functions)
+
+        if bound.distinct:
+            op = _Distinct(op)
+        return op
+
+    def _plan_source(self, src, inputs: dict[str, Multiset]) -> PhysicalOperator:
+        """Scan a base stream (qualifying its columns) or execute a subquery."""
+        if src.subquery is not None:
+            result = self.execute(src.subquery, inputs)
+            # A derived table's output columns are bare names in SQL: strip
+            # the inner qualifiers (when unambiguous) before re-qualifying
+            # with this source's alias.
+            schema = _qualify(_dequalify(result.schema), src.name)
+            return Scan(result.rows, schema)
+        rows = inputs.get(src.stream_name.lower(), None)
+        if rows is None:
+            rows = inputs.get(src.stream_name, Multiset())
+        return Scan(rows, _qualify(src.schema, src.name))
+
+    def _join_sources(self, bound, per_source: dict[str, PhysicalOperator]):
+        """Greedy left-deep join tree construction."""
+        remaining = dict(per_source)
+        order = [src.name for src in bound.sources]
+        first = order[0]
+        current = remaining.pop(first)
+        joined_names = {first}
+        pending = list(bound.join_predicates)
+        while remaining:
+            # Find a predicate connecting the joined set to a new source.
+            chosen = None
+            for pred in pending:
+                if pred.left_source in joined_names and pred.right_source in remaining:
+                    chosen = (pred, pred.right_source)
+                    break
+                if pred.right_source in joined_names and pred.left_source in remaining:
+                    chosen = (pred.reversed(), pred.left_source)
+                    break
+            if chosen is None:
+                # Disconnected query graph: take the next source in FROM
+                # order and cross-join it.
+                nxt = next(n for n in order if n in remaining)
+                current = NestedLoopJoin(
+                    current, remaining.pop(nxt), None, self._functions
+                )
+                joined_names.add(nxt)
+                continue
+            pred, new_name = chosen
+            # Gather every pending predicate between the joined set ∪ {new}
+            # so multi-key joins use all keys at once.
+            keys_left, keys_right, used = [], [], []
+            for p in pending:
+                cand = None
+                if p.left_source in joined_names and p.right_source == new_name:
+                    cand = p
+                elif p.right_source in joined_names and p.left_source == new_name:
+                    cand = p.reversed()
+                if cand is not None:
+                    keys_left.append(f"{cand.left_source}.{cand.left_column}")
+                    keys_right.append(f"{cand.right_source}.{cand.right_column}")
+                    used.append(p)
+            pending = [p for p in pending if p not in used]
+            current = HashJoin(
+                current, remaining.pop(new_name), keys_left, keys_right
+            )
+            joined_names.add(new_name)
+        return current, joined_names
+
+
+class _Distinct(PhysicalOperator):
+    """Duplicate elimination (SELECT DISTINCT)."""
+
+    def __init__(self, child: PhysicalOperator) -> None:
+        self.child = child
+        self.schema = child.schema
+
+    def __iter__(self):
+        seen: set[tuple] = set()
+        for row in self.child:
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+
+def _order_rows(rows, schema: Schema, order_by, functions) -> list[tuple]:
+    """Stable multi-key sort with SQL NULL placement (NULLs sort last)."""
+    evals = [(expr.bind(schema, functions), asc) for expr, asc in order_by]
+    out = list(rows)
+    # Apply keys from the least significant to the most (stable sort).
+    for ev, ascending in reversed(evals):
+        out.sort(
+            key=lambda row: ((ev(row) is None), ev(row) if ev(row) is not None else 0),
+            reverse=not ascending,
+        )
+        if not ascending:
+            # reverse=True puts NULLs first; move them to the end.
+            nulls = [r for r in out if ev(r) is None]
+            out = [r for r in out if ev(r) is not None] + nulls
+    return out
+
+
+def _dequalify(schema: Schema) -> Schema:
+    """Strip ``x.`` qualifiers when the bare names stay unique."""
+    bare = [c.name.rsplit(".", 1)[-1] for c in schema.columns]
+    if len({b.lower() for b in bare}) != len(bare):
+        return schema  # collisions: keep qualified names
+    return Schema([Column(b, c.type) for b, c in zip(bare, schema.columns)])
+
+
+def _qualify(schema: Schema, name: str) -> Schema:
+    """Prefix every unqualified column with ``name.`` for join disambiguation."""
+    cols = []
+    for c in schema.columns:
+        cols.append(c if "." in c.name else Column(f"{name}.{c.name}", c.type))
+    return Schema(cols)
+
+
+@dataclass
+class WindowResult:
+    """Result of one window of a continuous query."""
+
+    window_id: int
+    start: float
+    end: float
+    rows: Multiset
+    schema: Schema
+
+
+class ContinuousQuery:
+    """Drives a bound query window-by-window over timestamped streams.
+
+    This is the per-window execution loop the Data Triage pipeline sits in
+    front of: the pipeline decides *which* tuples reach each window (triage),
+    and this class computes the per-window relational answer.
+    """
+
+    def __init__(
+        self,
+        executor: QueryExecutor,
+        bound,
+        window: WindowSpec,
+    ) -> None:
+        self.executor = executor
+        self.bound = bound
+        self.window = window
+
+    def run(
+        self, streams: dict[str, Iterable[StreamTuple]]
+    ) -> list[WindowResult]:
+        """Execute over full stream histories, producing one result per window."""
+        per_stream_windows: dict[str, dict[int, list[StreamTuple]]] = {
+            name.lower(): assign_windows(tuples, self.window)
+            for name, tuples in streams.items()
+        }
+        window_ids = sorted(
+            {w for wins in per_stream_windows.values() for w in wins}
+        )
+        out: list[WindowResult] = []
+        for wid in window_ids:
+            inputs = {
+                name: Multiset(t.row for t in wins.get(wid, []))
+                for name, wins in per_stream_windows.items()
+            }
+            result = self.executor.execute(self.bound, inputs)
+            start, end = self.window.bounds(wid)
+            out.append(
+                WindowResult(
+                    window_id=wid,
+                    start=start,
+                    end=end,
+                    rows=result.rows,
+                    schema=result.schema,
+                )
+            )
+        return out

@@ -1,0 +1,192 @@
+"""Column types, schemas, and stream tuples for the mini query engine.
+
+This is the substrate layer standing in for TelegraphCQ's catalog types.  A
+:class:`Schema` is an ordered list of named, typed columns; rows themselves
+are plain Python tuples (see :mod:`repro.algebra.multiset`), and a
+:class:`StreamTuple` wraps a row with the arrival timestamp the windowing
+layer needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class ColumnType(enum.Enum):
+    """SQL-level column types supported by the engine.
+
+    ``SYNOPSIS`` is the object-relational extension type of paper Section 5.1
+    — synopsis values flow through queries like any other column value.
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    TIMESTAMP = "timestamp"
+    SYNOPSIS = "synopsis"
+
+    def validate(self, value: Any) -> bool:
+        """Is ``value`` acceptable for a column of this type? NULL (None) always is."""
+        if value is None:
+            return True
+        if self is ColumnType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is ColumnType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is ColumnType.TEXT:
+            return isinstance(value, str)
+        if self is ColumnType.BOOLEAN:
+            return isinstance(value, bool)
+        if self is ColumnType.TIMESTAMP:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        return True  # SYNOPSIS: any object implementing the Synopsis protocol
+
+
+_TYPE_NAMES = {
+    "int": ColumnType.INTEGER,
+    "integer": ColumnType.INTEGER,
+    "bigint": ColumnType.INTEGER,
+    "float": ColumnType.FLOAT,
+    "real": ColumnType.FLOAT,
+    "double": ColumnType.FLOAT,
+    "text": ColumnType.TEXT,
+    "cstring": ColumnType.TEXT,
+    "varchar": ColumnType.TEXT,
+    "bool": ColumnType.BOOLEAN,
+    "boolean": ColumnType.BOOLEAN,
+    "timestamp": ColumnType.TIMESTAMP,
+    "synopsis": ColumnType.SYNOPSIS,
+}
+
+
+def parse_type_name(name: str) -> ColumnType:
+    """Map a SQL type name (as written in CREATE STREAM) to a ColumnType."""
+    try:
+        return _TYPE_NAMES[name.strip().lower()]
+    except KeyError:
+        raise ValueError(f"unknown column type {name!r}") from None
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    type: ColumnType
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.type.value}"
+
+
+class SchemaError(ValueError):
+    """Raised for schema-level mistakes: unknown/duplicate columns, arity, type."""
+
+
+class Schema:
+    """An ordered, immutable list of columns with name-based lookup.
+
+    Column names are case-insensitive (folded to lower case), matching the
+    PostgreSQL behaviour TelegraphCQ inherits.
+    """
+
+    __slots__ = ("_columns", "_index")
+
+    def __init__(self, columns: list[Column] | tuple[Column, ...]) -> None:
+        self._columns = tuple(columns)
+        index: dict[str, int] = {}
+        for pos, col in enumerate(self._columns):
+            key = col.name.lower()
+            if key in index:
+                raise SchemaError(f"duplicate column name {col.name!r}")
+            index[key] = pos
+        self._index = index
+
+    @classmethod
+    def of(cls, *specs: tuple[str, ColumnType]) -> "Schema":
+        """Shorthand: ``Schema.of(("a", ColumnType.INTEGER), ...)``."""
+        return cls([Column(name, typ) for name, typ in specs])
+
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self):
+        return iter(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def position(self, name: str) -> int:
+        """Index of the column called ``name`` (case-insensitive)."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r} in schema ({', '.join(self.names)})"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        return self._columns[self.position(name)]
+
+    def project(self, names: list[str] | tuple[str, ...]) -> "Schema":
+        """Schema of a projection onto the given columns, in the given order."""
+        return Schema([self.column(n) for n in names])
+
+    def concat(self, other: "Schema", *, prefix_left: str = "", prefix_right: str = "") -> "Schema":
+        """Schema of a cross product / join output.
+
+        Optional prefixes (e.g. stream names) disambiguate columns that would
+        otherwise collide, mirroring qualified names in SQL output schemas.
+        """
+        cols = [Column(prefix_left + c.name, c.type) for c in self._columns]
+        cols += [Column(prefix_right + c.name, c.type) for c in other._columns]
+        return Schema(cols)
+
+    def validate_row(self, row: tuple) -> None:
+        """Raise SchemaError unless ``row`` matches this schema's arity and types."""
+        if len(row) != len(self._columns):
+            raise SchemaError(
+                f"row arity {len(row)} != schema arity {len(self._columns)}"
+            )
+        for value, col in zip(row, self._columns):
+            if not col.type.validate(value):
+                raise SchemaError(
+                    f"value {value!r} invalid for column {col.name} ({col.type.value})"
+                )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        return f"Schema({', '.join(str(c) for c in self._columns)})"
+
+
+@dataclass(frozen=True, order=True)
+class StreamTuple:
+    """A row tagged with its arrival timestamp (seconds, virtual clock).
+
+    Ordering is by timestamp first, which is what the arrival-event merge in
+    the load simulator relies on.
+    """
+
+    timestamp: float
+    row: tuple
+
+    def __repr__(self) -> str:
+        return f"StreamTuple(t={self.timestamp:.4f}, row={self.row})"

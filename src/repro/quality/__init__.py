@@ -1,0 +1,25 @@
+"""Result scoring (RMS error vs. ideal) and experiment reporting."""
+
+from repro.quality.report import Series
+from repro.quality.rms import (
+    ErrorSummary,
+    group_errors,
+    mean_absolute_error,
+    rms,
+    run_metric,
+    run_rms,
+    total_relative_error,
+    window_rms,
+)
+
+__all__ = [
+    "ErrorSummary",
+    "Series",
+    "group_errors",
+    "mean_absolute_error",
+    "total_relative_error",
+    "run_metric",
+    "rms",
+    "run_rms",
+    "window_rms",
+]

@@ -1,0 +1,126 @@
+"""Experiment-series containers and plain-text rendering.
+
+Benchmarks accumulate (x, per-method :class:`ErrorSummary`) points into a
+:class:`Series` table and print it in the shape of the paper's figures: one
+row per load level, one column per load-shedding method, each cell
+``mean ± std``.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+from repro.quality.rms import ErrorSummary
+
+
+@dataclass
+class Series:
+    """One figure's data: x-axis label/values and per-method error curves."""
+
+    title: str
+    x_label: str
+    methods: list[str]
+    rows: list[tuple[float, dict[str, ErrorSummary]]] = field(default_factory=list)
+
+    def add_point(self, x: float, summaries: dict[str, ErrorSummary]) -> None:
+        missing = [m for m in self.methods if m not in summaries]
+        if missing:
+            raise ValueError(f"missing methods at x={x}: {missing}")
+        self.rows.append((x, summaries))
+
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Render as an aligned text table (the bench harness's output)."""
+        out = io.StringIO()
+        out.write(f"{self.title}\n")
+        header = [self.x_label] + [f"{m} (rms ± std)" for m in self.methods]
+        widths = [max(len(h), 12) for h in header]
+        cells_rows = []
+        for x, summaries in self.rows:
+            cells = [f"{x:g}"]
+            for m in self.methods:
+                s = summaries[m]
+                cells.append(f"{s.mean:.1f} ± {s.std:.1f}")
+            cells_rows.append(cells)
+            widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+        def fmt(cells):
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+        out.write(fmt(header) + "\n")
+        out.write("-" * (sum(widths) + 2 * (len(widths) - 1)) + "\n")
+        for cells in cells_rows:
+            out.write(fmt(cells) + "\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """Machine-readable export for external plotting."""
+        out = io.StringIO()
+        cols = [self.x_label]
+        for m in self.methods:
+            cols += [f"{m}_mean", f"{m}_std"]
+        out.write(",".join(cols) + "\n")
+        for x, summaries in self.rows:
+            cells = [f"{x:g}"]
+            for m in self.methods:
+                s = summaries[m]
+                cells += [f"{s.mean:.6g}", f"{s.std:.6g}"]
+            out.write(",".join(cells) + "\n")
+        return out.getvalue()
+
+    def to_ascii_chart(self, width: int = 64, height: int = 16) -> str:
+        """A terminal line chart of every method's mean-RMS curve.
+
+        One glyph per method; x positions follow the swept values linearly,
+        higher error plots higher.  A low-fi rendering of the paper's
+        figures that lives happily in benchmark output.
+        """
+        if not self.rows:
+            return f"{self.title}\n(no data)\n"
+        glyphs = "*o+x#%"
+        xs = [x for x, _ in self.rows]
+        ymax = max(
+            s[m].mean for _, s in self.rows for m in self.methods
+        ) or 1.0
+        x0, x1 = min(xs), max(xs)
+        span = (x1 - x0) or 1.0
+        grid = [[" "] * width for _ in range(height)]
+        for mi, method in enumerate(self.methods):
+            glyph = glyphs[mi % len(glyphs)]
+            for x, summaries in self.rows:
+                col = int((x - x0) / span * (width - 1))
+                row = height - 1 - int(
+                    summaries[method].mean / ymax * (height - 1)
+                )
+                cell = grid[row][col]
+                grid[row][col] = "!" if cell not in (" ", glyph) else glyph
+        out = io.StringIO()
+        out.write(f"{self.title}\n")
+        for r, line in enumerate(grid):
+            label = f"{ymax * (height - 1 - r) / (height - 1):8.1f} |"
+            out.write(label + "".join(line) + "\n")
+        out.write(" " * 9 + "+" + "-" * width + "\n")
+        out.write(f"{'':9}{x0:<10g}{'':{max(0, width - 20)}}{x1:>10g}\n")
+        out.write(
+            "legend: "
+            + "  ".join(
+                f"{glyphs[i % len(glyphs)]}={m}" for i, m in enumerate(self.methods)
+            )
+            + "  (!=overlap)\n"
+        )
+        return out.getvalue()
+
+    # ------------------------------------------------------------------
+    def method_curve(self, method: str) -> list[tuple[float, float]]:
+        """(x, mean-RMS) points of one method."""
+        return [(x, s[method].mean) for x, s in self.rows]
+
+    def crossover(self, method_a: str, method_b: str) -> float | None:
+        """First x where ``method_a``'s mean error exceeds ``method_b``'s.
+
+        The Figure 8 narrative: drop-only starts below summarize-only and
+        eventually crosses above it.  Returns None if no crossover occurs.
+        """
+        for x, s in self.rows:
+            if s[method_a].mean > s[method_b].mean:
+                return x
+        return None

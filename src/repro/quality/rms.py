@@ -1,0 +1,151 @@
+"""Result-quality measurement: RMS error against the ideal result.
+
+Paper Section 6.3: *"We first computed the result of the query from the
+original data.  This 'ideal' result consisted of a set of aggregate values
+grouped by window number and various other attributes.  For each group in
+our actual query results, we compared the aggregate value with the
+corresponding value from the 'ideal' query result.  We then computed the
+root mean square (RMS) value of this difference over all the groups."*
+
+Groups absent from one side count as zero on that side (a group the method
+failed to report is fully in error; a spurious group is error too).  As the
+paper cautions, RMS is not a linear measure — report helpers therefore focus
+on *comparisons* (method A vs. method B at the same load), with multi-run
+means and standard deviations for the error bars of Figures 8 and 9.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.merge import Groups
+from repro.core.pipeline import RunResult
+
+
+def group_errors(
+    ideal: Groups, actual: Groups, aggregate: str
+) -> list[float]:
+    """Per-group signed differences ``actual - ideal`` for one aggregate."""
+    out = []
+    for key in ideal.keys() | actual.keys():
+        iv = (ideal.get(key) or {}).get(aggregate) or 0.0
+        av = (actual.get(key) or {}).get(aggregate) or 0.0
+        out.append(av - iv)
+    return out
+
+
+def rms(values: Sequence[float]) -> float:
+    """Root mean square of a sequence (0.0 for empty input)."""
+    if not values:
+        return 0.0
+    return math.sqrt(sum(v * v for v in values) / len(values))
+
+
+def window_rms(ideal: Groups, actual: Groups, aggregate: str) -> float:
+    """RMS error of one window's grouped result."""
+    return rms(group_errors(ideal, actual, aggregate))
+
+
+def run_rms(result: RunResult, aggregate: str | None = None) -> float:
+    """RMS over *all* (window, group) pairs of a run — the paper's metric.
+
+    ``aggregate`` defaults to the run's single aggregate output when omitted.
+    """
+    errors: list[float] = []
+    for window in result.windows:
+        if window.ideal is None:
+            raise ValueError(
+                "run was executed without compute_ideal; cannot score it"
+            )
+        agg = aggregate or _sole_aggregate(window.ideal, window.merged)
+        if agg is None:
+            continue  # window produced no groups on either side: zero error
+        errors.extend(group_errors(window.ideal, window.merged, agg))
+    return rms(errors)
+
+
+def _sole_aggregate(*groups: Groups) -> str | None:
+    for g in groups:
+        for values in g.values():
+            names = list(values)
+            if len(names) != 1:
+                raise ValueError(
+                    f"run has multiple aggregates {names}; pass one explicitly"
+                )
+            return names[0]
+    return None
+
+
+def mean_absolute_error(ideal: Groups, actual: Groups, aggregate: str) -> float:
+    """MAE companion to the paper's RMS metric (less outlier-sensitive)."""
+    errors = group_errors(ideal, actual, aggregate)
+    if not errors:
+        return 0.0
+    return sum(abs(e) for e in errors) / len(errors)
+
+
+def total_relative_error(ideal: Groups, actual: Groups, aggregate: str) -> float:
+    """|Σ actual − Σ ideal| / Σ ideal — how well the method tracks totals.
+
+    Zero for any method whose estimates conserve mass (Data Triage's
+    synopses do, by construction); grows with dropped mass for drop-only.
+    Returns 0.0 when the ideal total is zero.
+    """
+    ideal_total = sum((v or {}).get(aggregate) or 0.0 for v in ideal.values())
+    actual_total = sum((v or {}).get(aggregate) or 0.0 for v in actual.values())
+    if ideal_total == 0:
+        return 0.0
+    return abs(actual_total - ideal_total) / ideal_total
+
+
+def run_metric(
+    result: RunResult,
+    metric,
+    aggregate: str | None = None,
+) -> float:
+    """Average a per-window metric across a run's windows."""
+    values: list[float] = []
+    for window in result.windows:
+        if window.ideal is None:
+            raise ValueError(
+                "run was executed without compute_ideal; cannot score it"
+            )
+        agg = aggregate or _sole_aggregate(window.ideal, window.merged)
+        if agg is None:
+            continue
+        values.append(metric(window.ideal, window.merged, agg))
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Mean ± standard deviation of RMS error across repeated runs."""
+
+    mean: float
+    std: float
+    n_runs: int
+    values: tuple[float, ...]
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "ErrorSummary":
+        if not values:
+            raise ValueError("need at least one run")
+        n = len(values)
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / n if n > 1 else 0.0
+        return cls(mean=mean, std=math.sqrt(var), n_runs=n, values=tuple(values))
+
+    def dominates(self, other: "ErrorSummary", sigmas: float = 1.0) -> bool:
+        """Is this summary's error lower by a ``sigmas``-σ margin?
+
+        A coarse separation test in the spirit of the paper's "statistically
+        significant margin" claims: the means must differ by more than
+        ``sigmas`` combined standard errors.
+        """
+        se = math.sqrt(
+            (self.std**2) / max(self.n_runs, 1)
+            + (other.std**2) / max(other.n_runs, 1)
+        )
+        return self.mean + sigmas * se < other.mean

@@ -1,0 +1,64 @@
+"""The Data Triage query rewrite (paper Sections 4 and 5.1).
+
+Linearizes a bound SPJ query (:class:`SPJPlan`), expands the dropped-results
+recurrence (:mod:`repro.rewrite.spj`), evaluates it exactly over multisets
+(:mod:`repro.rewrite.differential`), renders it as SQL views
+(:mod:`repro.rewrite.sqlgen` — paper Figures 4/5), and compiles it into
+synopsis shadow plans (:class:`ShadowPlan`).
+"""
+
+from repro.rewrite.distinct import (
+    distinct_view,
+    estimate_distinct_count,
+    evaluate_distinct,
+)
+from repro.rewrite.explain import explain_rewrite
+from repro.rewrite.differential import (
+    evaluate_differential,
+    evaluate_exact,
+    evaluate_expansion,
+    evaluate_term,
+)
+from repro.rewrite.plan import ChainLink, RewriteError, SPJPlan
+from repro.rewrite.shadow import RangeSelection, ShadowLink, ShadowPlan
+from repro.rewrite.spj import (
+    Channel,
+    ExpansionTerm,
+    added_terms,
+    dropped_terms,
+    join_count,
+)
+from repro.rewrite.sqlgen import (
+    dropped_view,
+    kept_view,
+    rewrite_to_sql,
+    shadow_view,
+    substream_ddl,
+)
+
+__all__ = [
+    "SPJPlan",
+    "ChainLink",
+    "RewriteError",
+    "Channel",
+    "ExpansionTerm",
+    "dropped_terms",
+    "added_terms",
+    "join_count",
+    "evaluate_differential",
+    "evaluate_expansion",
+    "evaluate_exact",
+    "evaluate_term",
+    "ShadowPlan",
+    "ShadowLink",
+    "RangeSelection",
+    "substream_ddl",
+    "kept_view",
+    "dropped_view",
+    "shadow_view",
+    "rewrite_to_sql",
+    "distinct_view",
+    "evaluate_distinct",
+    "estimate_distinct_count",
+    "explain_rewrite",
+]

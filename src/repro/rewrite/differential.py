@@ -1,0 +1,152 @@
+"""Differential and expansion-based evaluation of SPJ plans over multisets.
+
+Two independent ways to compute what load shedding did to a query's results,
+used to validate each other (and the formalism of Section 3):
+
+* :func:`evaluate_differential` pushes ``(noisy, added, dropped)`` triples
+  through the differential operators of :mod:`repro.algebra.operators`,
+  exactly as Section 4.1's general rewrite prescribes;
+* :func:`evaluate_expansion` evaluates the flat term list of equation 14
+  (and its added-side twin) directly over kept/dropped bags.
+
+Both operate on the relational (exact multiset) representation.  The
+synopsis-approximated version of the same expansion lives in
+:mod:`repro.rewrite.shadow`.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.multiset import Multiset
+from repro.algebra.operators import (
+    differential_equijoin,
+    differential_select,
+    equijoin,
+    select,
+    union_all,
+)
+from repro.algebra.triple import DifferentialRelation
+from repro.engine.expressions import conjoin
+from repro.engine.types import Column, Schema
+from repro.rewrite.plan import ChainLink, SPJPlan
+from repro.rewrite.spj import Channel, ExpansionTerm, dropped_terms
+
+
+def _qualified_schema(plan: SPJPlan, link: ChainLink) -> Schema:
+    src = plan.bound.source(link.source_name)
+    return Schema(
+        [Column(f"{link.source_name}.{c.name}", c.type) for c in src.schema.columns]
+    )
+
+
+def _concat_schemas(schemas: list[Schema]) -> Schema:
+    cols: list[Column] = []
+    for s in schemas:
+        cols.extend(s.columns)
+    return Schema(cols)
+
+
+def _join_keys(
+    prefix_schema: Schema, link_schema: Schema, link: ChainLink
+) -> tuple[list[int], list[int]]:
+    """Column positions for the equijoin between the prefix and ``link``."""
+    left, right = [], []
+    for p in link.join_with_prefix:
+        left.append(prefix_schema.position(f"{p.left_source}.{p.left_column}"))
+        right.append(link_schema.position(f"{p.right_source}.{p.right_column}"))
+    return left, right
+
+
+def _select_local(
+    plan: SPJPlan, link: ChainLink, rel: Multiset, schema: Schema
+) -> Multiset:
+    pred = conjoin(plan.local_predicates.get(link.source_name, []))
+    if pred is None:
+        return rel
+    fn = pred.bind(schema)
+    return select(rel, lambda row: fn(row) is True)
+
+
+def evaluate_differential(
+    plan: SPJPlan, triples: dict[str, DifferentialRelation]
+) -> tuple[DifferentialRelation, Schema]:
+    """Section 4.1's general rewrite: replace every operator by F̂.
+
+    ``triples`` maps *source names* to their differential relations.
+    Returns the differential result of the join chain (projection and
+    aggregation are left to the caller) plus its schema.
+    """
+    first = plan.chain[0]
+    schema = _qualified_schema(plan, first)
+    current = _differential_select_local(plan, first, triples[first.source_name], schema)
+    for link in plan.chain[1:]:
+        link_schema = _qualified_schema(plan, link)
+        left_keys, right_keys = _join_keys(schema, link_schema, link)
+        nxt = _differential_select_local(
+            plan, link, triples[link.source_name], link_schema
+        )
+        current = differential_equijoin(current, nxt, left_keys, right_keys)
+        schema = _concat_schemas([schema, link_schema])
+    return current, schema
+
+
+def _differential_select_local(
+    plan: SPJPlan,
+    link: ChainLink,
+    triple: DifferentialRelation,
+    schema: Schema,
+) -> DifferentialRelation:
+    pred = conjoin(plan.local_predicates.get(link.source_name, []))
+    if pred is None:
+        return triple
+    fn = pred.bind(schema)
+    return differential_select(triple, lambda row: fn(row) is True)
+
+
+def evaluate_term(
+    plan: SPJPlan,
+    term: ExpansionTerm,
+    kept: dict[str, Multiset],
+    dropped: dict[str, Multiset],
+) -> Multiset:
+    """Evaluate one expansion term over kept/dropped bags."""
+    channels = {
+        Channel.KEPT: lambda name: kept[name],
+        Channel.DROPPED: lambda name: dropped[name],
+        Channel.ALL: lambda name: kept[name] + dropped[name],
+        Channel.NOISY: lambda name: kept[name],
+    }
+    first = plan.chain[0]
+    schema = _qualified_schema(plan, first)
+    rel = channels[term.channels[0]](first.source_name)
+    current = _select_local(plan, first, rel, schema)
+    for pos, link in enumerate(plan.chain[1:], start=1):
+        link_schema = _qualified_schema(plan, link)
+        left_keys, right_keys = _join_keys(schema, link_schema, link)
+        rel = channels[term.channels[pos]](link.source_name)
+        rel = _select_local(plan, link, rel, link_schema)
+        current = equijoin(current, rel, left_keys, right_keys)
+        schema = _concat_schemas([schema, link_schema])
+    return current
+
+
+def evaluate_expansion(
+    plan: SPJPlan,
+    kept: dict[str, Multiset],
+    dropped: dict[str, Multiset],
+) -> Multiset:
+    """Equation 14's flat form: the bag of results lost to dropping.
+
+    ``kept``/``dropped`` map source names to the surviving / evicted bags of
+    each base relation.
+    """
+    result = Multiset()
+    for term in dropped_terms(len(plan.chain)):
+        result = union_all(result, evaluate_term(plan, term, kept, dropped))
+    return result
+
+
+def evaluate_exact(plan: SPJPlan, relations: dict[str, Multiset]) -> Multiset:
+    """The unperturbed join chain — the ideal-result reference."""
+    empty = {name: Multiset() for name in relations}
+    term = ExpansionTerm((Channel.ALL,) * len(plan.chain))
+    return evaluate_term(plan, term, relations, empty)

@@ -1,0 +1,100 @@
+"""SELECT DISTINCT under Data Triage (paper Future Work §8.1).
+
+*"Finally, we would like to extend our query rewriting technique to handle
+SELECT DISTINCT queries.  We believe that we can perform these queries by
+deferring projection to the top of the shadow query plan."*
+
+The subtlety: the differential projection operator is only correct over
+multisets (§3.2.2), so DISTINCT cannot be pushed into the kept/dropped
+arms — a result tuple present in both `Q_kept` and `Q_dropped` would be
+double-reported.  Deferring duplicate elimination **above** the union fixes
+this exactly on the relational path:
+
+    Q_distinct  =  δ( Q_kept  ⊎  Q_dropped )
+
+:func:`distinct_view` emits that SQL; :func:`evaluate_distinct` computes it
+over multisets and is provably equal to δ(Q) (tested).
+
+On the synopsis path an exact δ is impossible (synopses carry mass, not
+identity), so :func:`estimate_distinct_count` provides the natural
+estimator: within each histogram bucket, mass behaves as m uniform draws
+over the bucket's n value-cells, so the expected number of distinct tuples
+is ``n · (1 - (1 - 1/n)^m)`` — the classic occupancy formula.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.multiset import Multiset
+from repro.rewrite.differential import evaluate_exact, evaluate_expansion
+from repro.rewrite.plan import SPJPlan
+from repro.rewrite.sqlgen import dropped_view, kept_view
+from repro.sql.ast import (
+    STAR,
+    CreateViewStmt,
+    SelectItem,
+    SelectStmt,
+    SubquerySource,
+    UnionAllStmt,
+)
+from repro.synopses.base import Synopsis
+
+
+def distinct_view(plan: SPJPlan, view_name: str = "Q_distinct") -> CreateViewStmt:
+    """``SELECT DISTINCT * FROM (Q_kept UNION ALL Q_dropped)``.
+
+    Duplicate elimination deferred to the very top, per the paper's
+    proposal; the inner arms are the standard Figure 4 views inlined.
+    """
+    kept = kept_view(plan).query
+    dropped = dropped_view(plan).query
+    if isinstance(kept, SelectStmt) and (kept.group_by or kept.distinct):
+        raise ValueError("distinct_view applies to non-aggregate SPJ queries")
+    union = UnionAllStmt(
+        [kept] + (dropped.queries if isinstance(dropped, UnionAllStmt) else [dropped])
+    )
+    outer = SelectStmt(
+        items=[SelectItem(STAR)],
+        from_sources=[SubquerySource(union, alias="all_results")],
+        distinct=True,
+    )
+    return CreateViewStmt(view_name, outer)
+
+
+def evaluate_distinct(
+    plan: SPJPlan,
+    kept: dict[str, Multiset],
+    dropped: dict[str, Multiset],
+) -> Multiset:
+    """δ(Q_kept ⊎ Q_dropped): the deferred-distinct answer over multisets.
+
+    Equal to δ(Q(full relations)) — the identity the deferral buys.
+    """
+    combined = evaluate_exact(plan, kept) + evaluate_expansion(plan, kept, dropped)
+    return Multiset.from_counts({row: 1 for row in combined.support()})
+
+
+def estimate_distinct_count(synopsis: Synopsis | None) -> float:
+    """Expected number of distinct tuples summarized by ``synopsis``.
+
+    Per-bucket occupancy estimate: a bucket spanning ``n`` value cells with
+    mass ``m`` is expected to cover ``n (1 - (1 - 1/n)^m)`` distinct tuples.
+    Requires bucket geometry (histogram families); for one-cell buckets the
+    formula degenerates to "at least one tuple", as it should.
+    """
+    if synopsis is None:
+        return 0.0
+    items = getattr(synopsis, "bucket_items", None)
+    if items is None:
+        raise TypeError(
+            f"{type(synopsis).__name__} exposes no bucket geometry; distinct "
+            "estimation needs a histogram synopsis"
+        )
+    total = 0.0
+    for box, mass in items():
+        if mass <= 0:
+            continue
+        n = 1
+        for lo, hi in box:
+            n *= hi - lo + 1
+        total += n * (1.0 - (1.0 - 1.0 / n) ** mass)
+    return total

@@ -1,0 +1,104 @@
+"""The SPJ recurrence expansion (paper Section 4.2, equations 10–14).
+
+For a join chain ``R1 ⋈ ... ⋈ Rn`` whose inputs only *lose* tuples
+(``Ri+ = ∅``, the load-shedding case), equation 14 expands the dropped
+results to::
+
+    Q- = R1- ⋈ R2..n
+       + R1_noisy ⋈ ( R2- ⋈ R3..n
+                    + R2_noisy ⋈ ( R3- ⋈ R4..n + ... ))
+
+Distributing the kept prefixes turns this into a sum of ``n`` disjoint
+terms, one per relation that "takes the blame" for a lost result::
+
+    term_i = (⋈_{j<i} Rj_kept) ⋈ Ri_dropped ⋈ (⋈_{j>i} Rj_all)
+
+where ``Rj_all = Rj_kept + Rj_dropped``.  Both shapes are produced here: the
+flat term list (:func:`dropped_terms`) drives execution, and the rewriter's
+SQL/shadow generators use the nested shape for Figure 5 fidelity.
+
+The symmetric expansion for added tuples (equations in Section 4.2's
+``R1,k+`` recurrence) is included for completeness —
+:func:`added_terms` — though SPJ queries under pure load shedding never
+produce added results (equation 13: ``Q+ = ∅``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Channel(enum.Enum):
+    """Which substream of a relation a term consumes."""
+
+    KEPT = "kept"
+    DROPPED = "dropped"
+    ADDED = "added"
+    ALL = "all"  # kept + dropped (the original relation, reconstructed)
+    NOISY = "noisy"  # what the engine actually saw (= kept when added is ∅)
+
+
+@dataclass(frozen=True)
+class ExpansionTerm:
+    """One additive term: a channel assignment for every chain position."""
+
+    channels: tuple[Channel, ...]
+
+    @property
+    def pivot(self) -> int:
+        """Position of the dropped/added relation in this term."""
+        for i, c in enumerate(self.channels):
+            if c in (Channel.DROPPED, Channel.ADDED):
+                return i
+        raise ValueError("term has no pivot channel")
+
+    def __str__(self) -> str:
+        return " ⋈ ".join(c.value for c in self.channels)
+
+
+def dropped_terms(n: int) -> list[ExpansionTerm]:
+    """The ``n`` terms of equation 14's distributed form.
+
+    Term ``i``: kept for positions ``< i``, dropped at ``i``, all for
+    positions ``> i``.  The terms are disjoint (each lost result is counted
+    exactly once: attribute it to its *first* dropped input) and they sum to
+    ``Q-``.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one relation, got {n}")
+    out = []
+    for i in range(n):
+        channels = (
+            (Channel.KEPT,) * i + (Channel.DROPPED,) + (Channel.ALL,) * (n - i - 1)
+        )
+        out.append(ExpansionTerm(channels))
+    return out
+
+
+def added_terms(n: int) -> list[ExpansionTerm]:
+    """The symmetric expansion of ``R1,k+`` for inputs that gain tuples.
+
+    Term ``i``: true-kept (noisy − added) for positions ``< i``, added at
+    ``i``, noisy for positions ``> i``.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one relation, got {n}")
+    out = []
+    for i in range(n):
+        channels = (
+            (Channel.KEPT,) * i + (Channel.ADDED,) + (Channel.NOISY,) * (n - i - 1)
+        )
+        out.append(ExpansionTerm(channels))
+    return out
+
+
+def join_count(n: int) -> int:
+    """Join operations needed for Q- and Q+ with intermediate reuse.
+
+    The paper notes both expansions are computable with ``3n - 1`` joins by
+    reusing the suffix joins ``R_{i..n}`` — exposed for the cost tests.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one relation, got {n}")
+    return 3 * n - 1

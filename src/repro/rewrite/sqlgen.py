@@ -1,0 +1,321 @@
+"""SQL-to-SQL rewrite output: the views of paper Figures 4 and 5.
+
+Given a bound SPJ query, this module manufactures:
+
+* the substream DDL (``CREATE STREAM R_kept / R_dropped`` and the
+  ``R_all`` union views — Section 4.3's preamble);
+* the synopsis-stream DDL (``R_kept_syn`` / ``R_dropped_syn`` — Section 5.1);
+* ``Q_kept`` — the original query re-pointed at the kept substreams
+  (Figure 4, top);
+* ``Q_dropped`` — the relational dropped-results view (Figure 4, bottom),
+  emitted in equation 14's distributed form: a flat UNION ALL with one arm
+  per relation that takes the blame for a lost result (the nested form in
+  the paper's figure is algebraically identical);
+* ``Q_dropped_syn`` — the object-relational shadow view (Figure 5): one
+  nested ``union``/``equijoin`` expression over the per-window synopsis
+  streams, with a WINDOW clause entry per synopsis stream.
+
+Substreams are aliased back to their original names (``FROM R_kept R``) so
+the query's own predicates apply verbatim — the same effect as Figure 4's
+textual reference rewriting.
+"""
+
+from __future__ import annotations
+
+from repro.engine.expressions import (
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    Literal,
+    conjoin,
+)
+from repro.rewrite.plan import RewriteError, SPJPlan
+from repro.rewrite.spj import Channel, dropped_terms
+from repro.sql.ast import (
+    STAR,
+    ColumnDef,
+    CreateStreamStmt,
+    CreateViewStmt,
+    SelectItem,
+    SelectStmt,
+    TableRef,
+    UnionAllStmt,
+    WindowItem,
+)
+from repro.sql.render import render_statement
+
+
+def substream_ddl(plan: SPJPlan) -> list[CreateStreamStmt | CreateViewStmt]:
+    """``CREATE STREAM X_kept/X_dropped`` + ``X_all`` views + synopsis streams."""
+    out: list[CreateStreamStmt | CreateViewStmt] = []
+    seen: set[str] = set()
+    for link in plan.chain:
+        stream = link.stream_name
+        if stream.lower() in seen:
+            continue
+        seen.add(stream.lower())
+        src = plan.bound.source(link.source_name)
+        cols = [ColumnDef(c.name, c.type.value) for c in src.schema.columns]
+        for suffix in ("kept", "dropped"):
+            out.append(CreateStreamStmt(f"{stream}_{suffix}", cols))
+        out.append(
+            CreateViewStmt(
+                f"{stream}_all",
+                UnionAllStmt(
+                    [
+                        SelectStmt([SelectItem(STAR)], [TableRef(f"{stream}_kept")]),
+                        SelectStmt([SelectItem(STAR)], [TableRef(f"{stream}_dropped")]),
+                    ]
+                ),
+            )
+        )
+        syn_cols = [
+            ColumnDef("syn", "Synopsis"),
+            ColumnDef("earliest", "Timestamp"),
+            ColumnDef("latest", "Timestamp"),
+        ]
+        for suffix in ("kept_syn", "dropped_syn"):
+            out.append(CreateStreamStmt(f"{stream}_{suffix}", syn_cols))
+    return out
+
+
+def _where_for(plan: SPJPlan) -> Expression | None:
+    """The original WHERE clause rebuilt from the bound classification."""
+    exprs: list[Expression] = []
+    for link in plan.chain:
+        exprs.extend(plan.local_predicates.get(link.source_name, []))
+        for p in link.join_with_prefix:
+            exprs.append(
+                _eq(
+                    ColumnRef(p.left_column, p.left_source),
+                    ColumnRef(p.right_column, p.right_source),
+                )
+            )
+    return conjoin(exprs)
+
+
+def _eq(a: Expression, b: Expression) -> Expression:
+    from repro.engine.expressions import BinaryOp
+
+    return BinaryOp("=", a, b)
+
+
+def kept_view(plan: SPJPlan, view_name: str = "Q_kept") -> CreateViewStmt:
+    """Figure 4, top: the original query over the kept substreams."""
+    from_sources = [
+        TableRef(f"{link.stream_name}_kept", alias=link.source_name)
+        for link in plan.chain
+    ]
+    stmt = SelectStmt(
+        items=_original_items(plan),
+        from_sources=from_sources,
+        where=_where_for(plan),
+        group_by=[e for _, e in plan.bound.group_by],
+    )
+    return CreateViewStmt(view_name, stmt)
+
+
+def _original_items(plan: SPJPlan) -> list[SelectItem]:
+    bound = plan.bound
+    if bound.select_star and not bound.is_aggregate:
+        return [SelectItem(STAR)]
+    items = [SelectItem(e, name) for name, e in bound.outputs]
+    for spec in bound.aggregates:
+        arg = spec.argument if spec.argument is not None else Literal("*")
+        items.append(
+            SelectItem(FunctionCall(spec.function, (arg,)), spec.output_name)
+        )
+    return items
+
+
+def dropped_view(plan: SPJPlan, view_name: str = "Q_dropped") -> CreateViewStmt:
+    """Figure 4, bottom: equation 14 as a flat UNION ALL over substreams."""
+    arms = []
+    for term in dropped_terms(len(plan.chain)):
+        from_sources = []
+        for link, channel in zip(plan.chain, term.channels):
+            suffix = {
+                Channel.KEPT: "_kept",
+                Channel.DROPPED: "_dropped",
+                Channel.ALL: "_all",
+            }[channel]
+            from_sources.append(
+                TableRef(f"{link.stream_name}{suffix}", alias=link.source_name)
+            )
+        arms.append(
+            SelectStmt(
+                items=[SelectItem(STAR)],
+                from_sources=from_sources,
+                where=_where_for(plan),
+            )
+        )
+    query = UnionAllStmt(arms) if len(arms) > 1 else arms[0]
+    return CreateViewStmt(view_name, query)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: the synopsis shadow view
+# ---------------------------------------------------------------------------
+def _link_key(plan: SPJPlan, idx: int) -> tuple[str, str]:
+    """(left 'Src.col', right 'Src.col') joining suffix position idx to idx-1.
+
+    Requires a *path-shaped* chain: the link at ``idx`` must attach via a
+    single predicate whose left side is the immediately preceding relation —
+    otherwise the nested suffix joins of Figure 5 cannot be formed.
+    """
+    link = plan.chain[idx]
+    if len(link.join_with_prefix) != 1:
+        raise RewriteError(
+            f"relation {link.source_name!r} joins the prefix via "
+            f"{len(link.join_with_prefix)} predicates; the synopsis shadow "
+            "view needs exactly one per link"
+        )
+    p = link.join_with_prefix[0]
+    if p.left_source != plan.chain[idx - 1].source_name:
+        raise RewriteError(
+            f"join predicate {p} does not connect adjacent chain relations; "
+            "the nested shadow view needs a path-shaped join chain"
+        )
+    return (
+        f"{p.left_source}.{p.left_column}",
+        f"{p.right_source}.{p.right_column}",
+    )
+
+
+def _syn_ref(plan: SPJPlan, idx: int, kept: bool) -> Expression:
+    alias = _syn_alias(plan, idx, kept)
+    return ColumnRef("syn", table=alias)
+
+
+def _syn_alias(plan: SPJPlan, idx: int, kept: bool) -> str:
+    return f"{plan.chain[idx].source_name}_{'k' if kept else 'd'}"
+
+
+def _call(name: str, *args: Expression | str) -> FunctionCall:
+    resolved = tuple(
+        Literal(a) if isinstance(a, str) else a for a in args
+    )
+    return FunctionCall(name, resolved)
+
+
+def _all_expr(plan: SPJPlan, idx: int) -> Expression:
+    """Synopsis of ``R_idx_all ⋈ ... ⋈ R_n_all``."""
+    here = _call(
+        "union", _syn_ref(plan, idx, kept=False), _syn_ref(plan, idx, kept=True)
+    )
+    if idx == len(plan.chain) - 1:
+        return here
+    left_col, right_col = _link_key(plan, idx + 1)
+    return _call("equijoin", here, left_col, _all_expr(plan, idx + 1), right_col)
+
+
+def _dropped_expr(plan: SPJPlan, idx: int) -> Expression:
+    """Synopsis of the dropped results of ``R_idx ⋈ ... ⋈ R_n`` (eq. 14)."""
+    if idx == len(plan.chain) - 1:
+        return _syn_ref(plan, idx, kept=False)
+    left_col, right_col = _link_key(plan, idx + 1)
+    drop_here = _call(
+        "equijoin",
+        _syn_ref(plan, idx, kept=False),
+        left_col,
+        _all_expr(plan, idx + 1),
+        right_col,
+    )
+    drop_later = _call(
+        "equijoin",
+        _syn_ref(plan, idx, kept=True),
+        left_col,
+        _dropped_expr(plan, idx + 1),
+        right_col,
+    )
+    return _call("union", drop_here, drop_later)
+
+
+def _is_path_shaped(plan: SPJPlan) -> bool:
+    for idx, link in enumerate(plan.chain[1:], start=1):
+        if len(link.join_with_prefix) != 1:
+            return False
+        if link.join_with_prefix[0].left_source != plan.chain[idx - 1].source_name:
+            return False
+    return True
+
+
+def _term_expr(plan: SPJPlan, pivot: int) -> Expression:
+    """One distributed term of eq. 14 as a left-fold of equijoin calls."""
+    expr: Expression | None = None
+    for idx, link in enumerate(plan.chain):
+        if idx < pivot:
+            channel = _syn_ref(plan, idx, kept=True)
+        elif idx == pivot:
+            channel = _syn_ref(plan, idx, kept=False)
+        else:
+            channel = _call(
+                "union", _syn_ref(plan, idx, kept=False), _syn_ref(plan, idx, kept=True)
+            )
+        if expr is None:
+            expr = channel
+            continue
+        lefts = ", ".join(
+            f"{p.left_source}.{p.left_column}" for p in link.join_with_prefix
+        )
+        rights = ", ".join(
+            f"{p.right_source}.{p.right_column}" for p in link.join_with_prefix
+        )
+        if len(link.join_with_prefix) == 1:
+            expr = _call("equijoin", expr, lefts, channel, rights)
+        else:
+            expr = _call("equijoin_multi", expr, lefts, channel, rights)
+    assert expr is not None
+    return expr
+
+
+def _flat_dropped_expr(plan: SPJPlan) -> Expression:
+    """Eq. 14's distributed form as SQL: union of per-pivot term folds."""
+    terms = [_term_expr(plan, pivot) for pivot in range(len(plan.chain))]
+    expr = terms[0]
+    for term in terms[1:]:
+        expr = _call("union", expr, term)
+    return expr
+
+
+def shadow_view(
+    plan: SPJPlan,
+    view_name: str = "Q_dropped_syn",
+    window_interval: str = "1 second",
+) -> CreateViewStmt:
+    """The shadow query over synopsis streams.
+
+    Path-shaped single-key chains get the paper's nested Figure 5 form;
+    star-shaped or composite-key chains get the flat distributed form of
+    equation 14 (a union of per-pivot left folds), using the
+    ``equijoin_multi`` UDF for composite keys.
+    """
+    if _is_path_shaped(plan):
+        expr = _dropped_expr(plan, 0)
+    else:
+        expr = _flat_dropped_expr(plan)
+    from_sources = []
+    windows = []
+    for idx, link in enumerate(plan.chain):
+        for kept in (True, False):
+            alias = _syn_alias(plan, idx, kept)
+            suffix = "kept_syn" if kept else "dropped_syn"
+            from_sources.append(
+                TableRef(f"{link.stream_name}_{suffix}", alias=alias)
+            )
+            windows.append(WindowItem(alias, window_interval))
+    stmt = SelectStmt(
+        items=[SelectItem(expr, "result")],
+        from_sources=from_sources,
+        windows=windows,
+    )
+    return CreateViewStmt(view_name, stmt)
+
+
+def rewrite_to_sql(plan: SPJPlan, window_interval: str = "1 second") -> str:
+    """The full rewrite script: DDL + Q_kept + Q_dropped + Q_dropped_syn."""
+    statements = substream_ddl(plan)
+    statements.append(kept_view(plan))
+    statements.append(dropped_view(plan))
+    statements.append(shadow_view(plan, window_interval=window_interval))
+    return "\n\n".join(render_statement(s) for s in statements)

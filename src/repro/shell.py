@@ -1,0 +1,238 @@
+r"""An interactive shell over the mini engine (``python -m repro.shell``).
+
+A tiny psql-style REPL for poking at the reproduction without writing
+scripts: declare streams, load or generate data, run windowed queries, and
+inspect what the Data Triage rewrite would do to them.
+
+SQL statements end with ``;`` (multi-line input accumulates until then):
+
+    CREATE STREAM R (a integer);
+    SELECT a, COUNT(*) AS n FROM R GROUP BY a;
+    SELECT * FROM R WINDOW R ['1 second'];   -- one result set per window
+
+Meta commands start with a backslash:
+
+    \streams               list declared streams and buffered tuple counts
+    \gen R 500             append 500 Gaussian tuples (values 1-100) to R
+    \gen R 500 zipf        ... Zipf-skewed instead
+    \load R path.trace     append tuples from a trace file
+    \save R path.trace     write R's buffer to a trace file
+    \clear R               empty R's buffer
+    \explain SELECT ...    engine plan + Data Triage rewrite plan
+    \rewrite SELECT ...    the Figures 4/5 SQL for the query
+    \help                  this text
+    \quit                  exit
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro.algebra.multiset import Multiset
+from repro.engine.catalog import Catalog
+from repro.engine.executor import ContinuousQuery, QueryExecutor
+from repro.engine.explain import explain as engine_explain
+from repro.engine.types import Column, Schema, StreamTuple, parse_type_name
+from repro.rewrite import SPJPlan, explain_rewrite, rewrite_to_sql
+from repro.sources.generators import GaussianValues, RowGenerator, ZipfValues
+from repro.sources.trace import load_trace_file, save_trace_file
+from repro.sql.ast import CreateStreamStmt, CreateViewStmt, SelectStmt, UnionAllStmt
+from repro.sql.binder import Binder
+from repro.sql.parser import parse_statement
+
+
+class Shell:
+    """State + command dispatch for the REPL; fully drivable from tests."""
+
+    PROMPT = "triage> "
+    CONTINUATION = "   ...> "
+
+    def __init__(self, seed: int = 0) -> None:
+        self.catalog = Catalog()
+        self.executor = QueryExecutor(self.catalog)
+        self.buffers: dict[str, list[StreamTuple]] = {}
+        self._rng = random.Random(seed)
+        self._pending = ""
+
+    # ------------------------------------------------------------------
+    # Input handling
+    # ------------------------------------------------------------------
+    def feed(self, line: str) -> str | None:
+        """Process one input line; returns output text, or None if more
+        input is needed to complete a statement."""
+        stripped = line.strip()
+        if not self._pending and stripped.startswith("\\"):
+            return self._meta(stripped)
+        self._pending = (self._pending + "\n" + line).strip()
+        if not self._pending:
+            return ""
+        if not self._pending.rstrip().endswith(";"):
+            return None
+        text, self._pending = self._pending, ""
+        try:
+            return self._sql(text)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the user
+            return f"error: {exc}"
+
+    @property
+    def wants_more(self) -> bool:
+        return bool(self._pending)
+
+    # ------------------------------------------------------------------
+    # Meta commands
+    # ------------------------------------------------------------------
+    def _meta(self, line: str) -> str:
+        parts = line.split(None, 1)
+        cmd = parts[0][1:].lower()
+        arg = parts[1] if len(parts) > 1 else ""
+        if cmd in ("q", "quit", "exit"):
+            raise EOFError
+        if cmd == "help":
+            return __doc__.strip()
+        if cmd == "streams":
+            if not self.catalog.streams:
+                return "(no streams declared)"
+            lines = []
+            for d in self.catalog.streams.values():
+                n = len(self.buffers.get(d.name.lower(), []))
+                cols = ", ".join(str(c) for c in d.schema.columns)
+                lines.append(f"{d.name} ({cols}) -- {n} tuples buffered")
+            return "\n".join(lines)
+        if cmd == "gen":
+            return self._gen(arg)
+        if cmd == "load":
+            name, path = arg.split(None, 1)
+            stream = self.catalog.stream(name)
+            tuples = load_trace_file(path.strip())
+            self.buffers.setdefault(stream.name.lower(), []).extend(tuples)
+            return f"loaded {len(tuples)} tuples into {stream.name}"
+        if cmd == "save":
+            name, path = arg.split(None, 1)
+            stream = self.catalog.stream(name)
+            tuples = self.buffers.get(stream.name.lower(), [])
+            save_trace_file(tuples, path.strip())
+            return f"saved {len(tuples)} tuples from {stream.name}"
+        if cmd == "clear":
+            stream = self.catalog.stream(arg.strip())
+            self.buffers[stream.name.lower()] = []
+            return f"cleared {stream.name}"
+        if cmd == "explain":
+            return self._explain(arg)
+        if cmd == "rewrite":
+            bound = Binder(self.catalog).bind(parse_statement(arg))
+            return rewrite_to_sql(SPJPlan.from_bound(bound))
+        return f"unknown command \\{cmd} (try \\help)"
+
+    def _gen(self, arg: str) -> str:
+        parts = arg.split()
+        if len(parts) < 2:
+            return "usage: \\gen STREAM COUNT [gaussian|uniform|zipf]"
+        name, count = parts[0], int(parts[1])
+        family = parts[2].lower() if len(parts) > 2 else "gaussian"
+        stream = self.catalog.stream(name)
+        makers = {
+            "gaussian": lambda: GaussianValues(),
+            "zipf": lambda: ZipfValues(),
+            "uniform": lambda: __import__(
+                "repro.sources.generators", fromlist=["UniformValues"]
+            ).UniformValues(),
+        }
+        try:
+            gen = RowGenerator([makers[family]() for _ in stream.schema.columns])
+        except KeyError:
+            return f"unknown value family {family!r}"
+        buf = self.buffers.setdefault(stream.name.lower(), [])
+        t = buf[-1].timestamp if buf else 0.0
+        for _ in range(count):
+            t += 0.01
+            buf.append(StreamTuple(t, gen.draw(self._rng)))
+        return f"generated {count} {family} tuples into {stream.name}"
+
+    def _explain(self, sql: str) -> str:
+        bound = Binder(self.catalog).bind(parse_statement(sql))
+        out = engine_explain(bound)
+        try:
+            plan = SPJPlan.from_bound(bound)
+        except Exception as exc:  # noqa: BLE001
+            return out + f"\n(rewrite not applicable: {exc})"
+        return out + "\n" + explain_rewrite(plan)
+
+    # ------------------------------------------------------------------
+    # SQL statements
+    # ------------------------------------------------------------------
+    def _sql(self, text: str) -> str:
+        stmt = parse_statement(text)
+        if isinstance(stmt, CreateStreamStmt):
+            schema = Schema(
+                [Column(c.name, parse_type_name(c.type_name)) for c in stmt.columns]
+            )
+            self.catalog.create_stream(stmt.name, schema)
+            self.buffers[stmt.name.lower()] = []
+            return f"stream {stmt.name} created"
+        if isinstance(stmt, CreateViewStmt):
+            self.catalog.create_view(stmt.name, stmt.query)
+            return f"view {stmt.name} created"
+        assert isinstance(stmt, (SelectStmt, UnionAllStmt))
+        bound = Binder(self.catalog).bind(stmt)
+        if isinstance(stmt, SelectStmt) and stmt.windows:
+            return self._run_windowed(bound, stmt)
+        inputs = {
+            name: Multiset(t.row for t in tuples)
+            for name, tuples in self.buffers.items()
+        }
+        result = self.executor.execute(bound, inputs)
+        return self._format(result)
+
+    def _run_windowed(self, bound, stmt: SelectStmt) -> str:
+        spec = next(iter(bound.windows.values()))
+        cq = ContinuousQuery(self.executor, bound, spec)
+        streams = {
+            src.stream_name: self.buffers.get(src.stream_name.lower(), [])
+            for src in bound.sources
+            if src.stream_name
+        }
+        chunks = []
+        for wr in cq.run(streams):
+            chunks.append(
+                f"-- window {wr.window_id} [{wr.start:g}, {wr.end:g}):"
+            )
+            chunks.append(self._format_rows(wr.rows, wr.schema))
+        return "\n".join(chunks) if chunks else "(no windows)"
+
+    @staticmethod
+    def _format_rows(rows, schema, ordered=None) -> str:
+        header = " | ".join(schema.names)
+        lines = [header, "-" * len(header)]
+        source = ordered if ordered is not None else sorted(
+            rows, key=lambda r: tuple(str(v) for v in r)
+        )
+        for row in source:
+            lines.append(" | ".join(str(v) for v in row))
+        lines.append(f"({len(source)} rows)")
+        return "\n".join(lines)
+
+    def _format(self, result) -> str:
+        return self._format_rows(result.rows, result.schema, result.ordered_rows)
+
+
+def main() -> int:  # pragma: no cover - interactive wrapper
+    shell = Shell()
+    sys.stdout.write("Data Triage shell -- \\help for commands, \\quit to exit\n")
+    while True:
+        prompt = Shell.CONTINUATION if shell.wants_more else Shell.PROMPT
+        sys.stdout.write(prompt)
+        sys.stdout.flush()
+        line = sys.stdin.readline()
+        if not line:
+            return 0
+        try:
+            out = shell.feed(line)
+        except EOFError:
+            return 0
+        if out:
+            sys.stdout.write(out + "\n")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Workload generation: value distributions, arrival processes, traces."""
+
+from repro.sources.arrival import (
+    Arrival,
+    ArrivalProcess,
+    MarkovBurstArrival,
+    ParetoBurstArrival,
+    SteadyArrival,
+    generate_stream,
+)
+from repro.sources.network import NetworkLink
+from repro.sources.generators import (
+    GaussianValues,
+    RowGenerator,
+    UniformValues,
+    ValueGenerator,
+    ZipfValues,
+    paper_row_generators,
+)
+from repro.sources.trace import (
+    TraceError,
+    dump_trace,
+    load_trace,
+    load_trace_file,
+    rescale_trace,
+    save_trace_file,
+)
+
+__all__ = [
+    "Arrival",
+    "ArrivalProcess",
+    "SteadyArrival",
+    "MarkovBurstArrival",
+    "ParetoBurstArrival",
+    "NetworkLink",
+    "generate_stream",
+    "ValueGenerator",
+    "GaussianValues",
+    "UniformValues",
+    "ZipfValues",
+    "RowGenerator",
+    "paper_row_generators",
+    "TraceError",
+    "dump_trace",
+    "load_trace",
+    "save_trace_file",
+    "load_trace_file",
+    "rescale_trace",
+]

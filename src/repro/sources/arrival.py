@@ -1,0 +1,227 @@
+"""Arrival processes: steady rates and two-state Markov bursts.
+
+Paper Section 6.2.2: *"We used a simple two-state Markov model to determine
+which tuples were 'burst' tuples and which were 'non-burst' tuples.
+Overall, 60 percent of stream tuples were from a burst, and the expected
+burst length was 200 tuples.  Data in bursts arrived 100 times as quickly as
+non-burst data."*
+
+The Markov chain runs per tuple: exit probability ``1/E[len]`` from the
+burst state, and the entry probability chosen so the stationary burst
+fraction matches the target.  Interarrival gaps are the reciprocal of the
+state's rate; burst tuples are drawn from a shifted distribution by the
+workload builder.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+
+from repro.engine.types import StreamTuple
+from repro.sources.generators import RowGenerator
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled arrival: when, and whether it is burst-mode."""
+
+    timestamp: float
+    is_burst: bool
+
+
+class ArrivalProcess(abc.ABC):
+    """Produces the timestamp sequence for one stream."""
+
+    @abc.abstractmethod
+    def schedule(self, n: int, rng: random.Random) -> list[Arrival]:
+        """Timestamps (ascending from 0) for ``n`` tuples."""
+
+    @property
+    @abc.abstractmethod
+    def peak_rate(self) -> float:
+        """The highest instantaneous rate the process reaches (tuples/sec)."""
+
+
+@dataclass(frozen=True)
+class SteadyArrival(ArrivalProcess):
+    """Constant-rate arrivals (Figure 8's workload).
+
+    ``jitter`` perturbs each gap by up to ±jitter fraction, keeping the
+    long-run rate exact while avoiding phase-locking artifacts; the paper's
+    replay tool used deterministic delays, which ``jitter=0`` reproduces.
+    """
+
+    rate: float
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if not 0 <= self.jitter < 1:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def schedule(self, n: int, rng: random.Random) -> list[Arrival]:
+        gap = 1.0 / self.rate
+        out = []
+        t = 0.0
+        for _ in range(n):
+            g = gap
+            if self.jitter:
+                g *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            t += g
+            out.append(Arrival(t, is_burst=False))
+        return out
+
+    @property
+    def peak_rate(self) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class MarkovBurstArrival(ArrivalProcess):
+    """Two-state (burst / non-burst) Markov arrivals (Figure 9's workload)."""
+
+    base_rate: float
+    burst_speedup: float = 100.0
+    burst_fraction: float = 0.6
+    expected_burst_length: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ValueError(f"base_rate must be positive, got {self.base_rate}")
+        if self.burst_speedup < 1:
+            raise ValueError("burst_speedup must be >= 1")
+        if not 0 < self.burst_fraction < 1:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        if self.expected_burst_length < 1:
+            raise ValueError("expected_burst_length must be >= 1")
+
+    @property
+    def exit_probability(self) -> float:
+        """P(leave burst per tuple) — geometric length with the right mean."""
+        return 1.0 / self.expected_burst_length
+
+    @property
+    def entry_probability(self) -> float:
+        """P(enter burst per tuple), set so the stationary burst share matches.
+
+        For the two-state chain, π_burst = p_enter / (p_enter + p_exit).
+        """
+        f = self.burst_fraction
+        return self.exit_probability * f / (1.0 - f)
+
+    def schedule(self, n: int, rng: random.Random) -> list[Arrival]:
+        p_exit, p_enter = self.exit_probability, self.entry_probability
+        # Start the chain in its stationary distribution.
+        in_burst = rng.random() < self.burst_fraction
+        base_gap = 1.0 / self.base_rate
+        burst_gap = base_gap / self.burst_speedup
+        out = []
+        t = 0.0
+        for _ in range(n):
+            t += burst_gap if in_burst else base_gap
+            out.append(Arrival(t, is_burst=in_burst))
+            if in_burst:
+                if rng.random() < p_exit:
+                    in_burst = False
+            elif rng.random() < p_enter:
+                in_burst = True
+        return out
+
+    @property
+    def peak_rate(self) -> float:
+        return self.base_rate * self.burst_speedup
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run average arrival rate."""
+        f = self.burst_fraction
+        mean_gap = f / (self.base_rate * self.burst_speedup) + (1 - f) / self.base_rate
+        return 1.0 / mean_gap
+
+
+@dataclass(frozen=True)
+class ParetoBurstArrival(ArrivalProcess):
+    """Heavy-tailed on/off arrivals (self-similar traffic).
+
+    The paper motivates bursts with the self-similarity literature (Leland
+    et al. [21]; Paxson & Floyd [30]), whose hallmark is *Pareto-distributed*
+    on/off period lengths: superpositions of such sources produce burstiness
+    at every time scale, unlike the geometrically-bounded bursts of the
+    two-state Markov model.  Burst/idle period lengths (in tuples) draw from
+    a Pareto distribution with shape ``alpha``; ``alpha <= 2`` gives the
+    infinite-variance regime the references describe.
+    """
+
+    base_rate: float
+    burst_speedup: float = 100.0
+    alpha: float = 1.5
+    min_burst_length: float = 20.0
+    min_idle_length: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ValueError(f"base_rate must be positive, got {self.base_rate}")
+        if self.burst_speedup < 1:
+            raise ValueError("burst_speedup must be >= 1")
+        if self.alpha <= 1:
+            raise ValueError("alpha must exceed 1 (finite mean periods)")
+        if self.min_burst_length < 1 or self.min_idle_length < 1:
+            raise ValueError("minimum period lengths must be >= 1")
+
+    def _pareto_length(self, rng: random.Random, minimum: float) -> int:
+        # Inverse-CDF: X = x_m / U^(1/alpha).
+        u = rng.random() or 1e-12
+        return max(1, int(minimum / (u ** (1.0 / self.alpha))))
+
+    def schedule(self, n: int, rng: random.Random) -> list[Arrival]:
+        base_gap = 1.0 / self.base_rate
+        burst_gap = base_gap / self.burst_speedup
+        out: list[Arrival] = []
+        t = 0.0
+        in_burst = rng.random() < 0.5
+        remaining = self._pareto_length(
+            rng, self.min_burst_length if in_burst else self.min_idle_length
+        )
+        while len(out) < n:
+            t += burst_gap if in_burst else base_gap
+            out.append(Arrival(t, is_burst=in_burst))
+            remaining -= 1
+            if remaining <= 0:
+                in_burst = not in_burst
+                remaining = self._pareto_length(
+                    rng,
+                    self.min_burst_length if in_burst else self.min_idle_length,
+                )
+        return out
+
+    @property
+    def peak_rate(self) -> float:
+        return self.base_rate * self.burst_speedup
+
+    @property
+    def mean_period_lengths(self) -> tuple[float, float]:
+        """Expected (burst, idle) lengths in tuples: x_m · α / (α − 1)."""
+        factor = self.alpha / (self.alpha - 1.0)
+        return (self.min_burst_length * factor, self.min_idle_length * factor)
+
+
+def generate_stream(
+    n: int,
+    arrival: ArrivalProcess,
+    normal_rows: RowGenerator,
+    burst_rows: RowGenerator | None,
+    rng: random.Random,
+) -> list[StreamTuple]:
+    """Materialize one stream: schedule arrivals, draw each tuple's values.
+
+    Burst arrivals draw from ``burst_rows`` (Section 6.2.2's independent
+    distribution); pass ``None`` to use the normal distribution throughout.
+    """
+    out = []
+    for a in arrival.schedule(n, rng):
+        gen = burst_rows if (a.is_burst and burst_rows is not None) else normal_rows
+        out.append(StreamTuple(a.timestamp, gen.draw(rng)))
+    return out

@@ -1,0 +1,115 @@
+"""Tuple value generators for the experiment workloads.
+
+Paper Section 6.2.1: *"We generated equal numbers of random tuples for each
+of the streams R, S, and T from Gaussian distributions.  The fields in the
+tuples took on values ranging from 1 to 100, inclusive."*  Section 6.2.2:
+burst tuples are *"drawn from Gaussian distributions with means at different
+locations."*
+
+Generators produce integer values clamped to a domain; a
+:class:`RowGenerator` assembles one generator per column into stream rows.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+class ValueGenerator(abc.ABC):
+    """Draws one integer column value per call."""
+
+    @abc.abstractmethod
+    def draw(self, rng: random.Random) -> int:
+        ...
+
+
+@dataclass(frozen=True)
+class GaussianValues(ValueGenerator):
+    """Rounded Gaussian, clamped into [lo, hi] (the paper's distribution)."""
+
+    mean: float = 50.0
+    std: float = 15.0
+    lo: int = 1
+    hi: int = 100
+
+    def draw(self, rng: random.Random) -> int:
+        v = int(round(rng.gauss(self.mean, self.std)))
+        return min(self.hi, max(self.lo, v))
+
+    def shifted(self, delta: float) -> "GaussianValues":
+        """The same distribution with its mean moved (burst-mode data)."""
+        return GaussianValues(self.mean + delta, self.std, self.lo, self.hi)
+
+
+@dataclass(frozen=True)
+class UniformValues(ValueGenerator):
+    """Uniform over [lo, hi]."""
+
+    lo: int = 1
+    hi: int = 100
+
+    def draw(self, rng: random.Random) -> int:
+        return rng.randint(self.lo, self.hi)
+
+
+@dataclass(frozen=True)
+class ZipfValues(ValueGenerator):
+    """Zipf-distributed ranks mapped onto [lo, hi] (skewed workloads).
+
+    Uses inverse-CDF sampling over the truncated Zipf distribution with
+    exponent ``s``; rank 1 (the most common value) maps to ``lo``.
+    """
+
+    s: float = 1.2
+    lo: int = 1
+    hi: int = 100
+
+    def _weights(self) -> list[float]:
+        n = self.hi - self.lo + 1
+        return [1.0 / math.pow(k, self.s) for k in range(1, n + 1)]
+
+    def draw(self, rng: random.Random) -> int:
+        weights = self._weights()
+        total = sum(weights)
+        u = rng.random() * total
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if u <= acc:
+                return self.lo + i
+        return self.hi
+
+
+class RowGenerator:
+    """One :class:`ValueGenerator` per column -> full stream rows."""
+
+    def __init__(self, columns: Sequence[ValueGenerator]) -> None:
+        if not columns:
+            raise ValueError("need at least one column generator")
+        self.columns = list(columns)
+
+    def draw(self, rng: random.Random) -> tuple[int, ...]:
+        return tuple(g.draw(rng) for g in self.columns)
+
+    def shifted(self, delta: float) -> "RowGenerator":
+        """Shift every Gaussian column (burst-mode variant of this stream)."""
+        return RowGenerator(
+            [
+                g.shifted(delta) if isinstance(g, GaussianValues) else g
+                for g in self.columns
+            ]
+        )
+
+
+def paper_row_generators() -> dict[str, RowGenerator]:
+    """The experiment's stream generators: R(a), S(b, c), T(d), all N(50, 15²)."""
+    g = GaussianValues()
+    return {
+        "R": RowGenerator([g]),
+        "S": RowGenerator([g, g]),
+        "T": RowGenerator([g]),
+    }

@@ -1,0 +1,85 @@
+"""Network links between remote wrappers and the query engine.
+
+Paper Figure 1 places triage queues inside the *wrappers* that feed the
+engine — including remote wrappers on the far side of a network — and the
+introduction lists "keeping load-shedding logic ... close to the data
+source in scenarios where distributed gateways can be deployed" among Data
+Triage's design goals, noting that "available network bandwidth ... may
+also be affected during periods of bursts."
+
+:class:`NetworkLink` models that constrained pipe: a propagation latency
+(plus optional uniform jitter) and a bandwidth cap enforced as a
+single-server transmission queue — when tuples are offered faster than the
+link drains, they wait, and their arrival at the engine slips.  The gateway
+layer (:mod:`repro.core.gateway`) composes this with a triage queue to shed
+load *before* the bottleneck.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.engine.types import StreamTuple
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A fixed-capacity link: latency, jitter, and bandwidth (tuples/sec).
+
+    ``bandwidth=None`` models an uncongested LAN (latency only).
+    """
+
+    latency: float = 0.0
+    jitter: float = 0.0
+    bandwidth: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+
+    @property
+    def transmission_time(self) -> float:
+        """Seconds the link is busy per transmitted tuple."""
+        return 0.0 if self.bandwidth is None else 1.0 / self.bandwidth
+
+    def transmit(self, tuples: Iterable[StreamTuple]) -> list[StreamTuple]:
+        """Deliver tuples across the link; returns them re-timestamped.
+
+        Tuples are offered at their current timestamps (must be
+        non-decreasing); each occupies the link for ``1/bandwidth`` seconds
+        (FIFO queueing when offered faster), then arrives ``latency`` plus
+        up to ``jitter`` seconds later.  Delivery order is preserved — the
+        link is a FIFO pipe, jitter only spreads arrival spacing.
+        """
+        rng = random.Random(self.seed)
+        out: list[StreamTuple] = []
+        link_free = 0.0
+        last_arrival = 0.0
+        for t in tuples:
+            start = max(t.timestamp, link_free)
+            link_free = start + self.transmission_time
+            arrival = link_free + self.latency
+            if self.jitter:
+                arrival += rng.random() * self.jitter
+            # FIFO pipes cannot reorder: clamp to the previous arrival.
+            arrival = max(arrival, last_arrival)
+            last_arrival = arrival
+            out.append(StreamTuple(arrival, t.row))
+        return out
+
+    def queueing_delay(self, tuples: list[StreamTuple]) -> float:
+        """Worst-case waiting time a tuple spent queued at the link."""
+        worst = 0.0
+        link_free = 0.0
+        for t in tuples:
+            start = max(t.timestamp, link_free)
+            worst = max(worst, start - t.timestamp)
+            link_free = start + self.transmission_time
+        return worst

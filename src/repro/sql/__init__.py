@@ -1,0 +1,61 @@
+"""TelegraphCQ-flavoured SQL: lexer, parser, AST, binder, renderer."""
+
+from repro.sql.ast import (
+    STAR,
+    ColumnDef,
+    CreateStreamStmt,
+    CreateViewStmt,
+    Query,
+    SelectItem,
+    SelectStmt,
+    Star,
+    Statement,
+    SubquerySource,
+    TableRef,
+    UnionAllStmt,
+    WindowItem,
+)
+from repro.sql.binder import (
+    Binder,
+    BindError,
+    BoundQuery,
+    BoundSource,
+    BoundUnion,
+    JoinPredicate,
+)
+from repro.sql.lexer import LexError, Token, tokenize
+from repro.sql.parser import ParseError, Parser, parse_query, parse_script, parse_statement
+from repro.sql.render import render_expression, render_query, render_statement
+
+__all__ = [
+    "STAR",
+    "ColumnDef",
+    "CreateStreamStmt",
+    "CreateViewStmt",
+    "Query",
+    "SelectItem",
+    "SelectStmt",
+    "Star",
+    "Statement",
+    "SubquerySource",
+    "TableRef",
+    "UnionAllStmt",
+    "WindowItem",
+    "Binder",
+    "BindError",
+    "BoundQuery",
+    "BoundSource",
+    "BoundUnion",
+    "JoinPredicate",
+    "LexError",
+    "Token",
+    "tokenize",
+    "ParseError",
+    "Parser",
+    "parse_query",
+    "parse_script",
+    "parse_statement",
+    "render_expression",
+    "render_query",
+    "render_statement",
+]

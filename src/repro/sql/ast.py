@@ -1,0 +1,143 @@
+"""Abstract syntax tree for the TelegraphCQ-flavoured SQL dialect.
+
+Covers what the paper's queries and its rewrite output need: SELECT
+[DISTINCT] lists with aggregates, comma FROM lists with subqueries, WHERE,
+GROUP BY, the TelegraphCQ ``WINDOW R ['1 second']`` clause, UNION ALL, and
+the DDL statements ``CREATE STREAM`` / ``CREATE VIEW``.
+
+Scalar expressions reuse the engine's expression nodes
+(:mod:`repro.engine.expressions`) so parsed predicates can be bound and
+evaluated directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.engine.expressions import Expression
+
+
+class Star:
+    """The ``*`` in ``SELECT *`` or ``COUNT(*)``."""
+
+    _instance: "Star | None" = None
+
+    def __new__(cls) -> "Star":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+STAR = Star()
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One entry of a SELECT list: an expression (or ``*``) plus optional alias."""
+
+    expr: Union[Expression, Star]
+    alias: str | None = None
+
+    def output_name(self, default: str) -> str:
+        if self.alias:
+            return self.alias
+        from repro.engine.expressions import ColumnRef
+
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name
+        return default
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A named stream/view in FROM, with optional alias: ``R_kept R_k``."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubquerySource:
+    """A parenthesised query in FROM, with optional alias."""
+
+    query: "Query"
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or "?subquery?"
+
+
+FromSource = Union[TableRef, SubquerySource]
+
+
+@dataclass(frozen=True)
+class WindowItem:
+    """One entry of a WINDOW clause: ``R ['1 second']``."""
+
+    table: str
+    interval: str  # the raw interval string, e.g. "1 second"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key: expression plus direction."""
+
+    expr: Expression
+    ascending: bool = True
+
+
+@dataclass
+class SelectStmt:
+    """A SELECT statement (one block; set operations wrap blocks)."""
+
+    items: list[SelectItem]
+    from_sources: list[FromSource]
+    where: Expression | None = None
+    group_by: list[Expression] = field(default_factory=list)
+    having: Expression | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    windows: list[WindowItem] = field(default_factory=list)
+    distinct: bool = False
+
+
+@dataclass
+class UnionAllStmt:
+    """``q1 UNION ALL q2 UNION ALL ...`` (bag union; the rewrite emits these)."""
+
+    queries: list["Query"]
+
+
+Query = Union[SelectStmt, UnionAllStmt]
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """A column in CREATE STREAM: name plus SQL type name."""
+
+    name: str
+    type_name: str
+
+
+@dataclass
+class CreateStreamStmt:
+    name: str
+    columns: list[ColumnDef]
+
+
+@dataclass
+class CreateViewStmt:
+    name: str
+    query: Query
+
+
+Statement = Union[SelectStmt, UnionAllStmt, CreateStreamStmt, CreateViewStmt]

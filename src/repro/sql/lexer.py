@@ -1,0 +1,119 @@
+"""Tokenizer for the SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+KEYWORDS = {
+    "SELECT",
+    "DISTINCT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "UNION",
+    "ALL",
+    "CREATE",
+    "STREAM",
+    "VIEW",
+    "WINDOW",
+    "HAVING",
+    "ORDER",
+    "LIMIT",
+    "ASC",
+    "DESC",
+    "NULL",
+    "TRUE",
+    "FALSE",
+}
+
+# Multi-character symbols must come first so they win the scan.
+SYMBOLS = ["<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", "[", "]", ",", ";", ".", "+", "-", "*", "/", "%"]
+
+
+class LexError(ValueError):
+    """Raised on unrecognisable input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | SYMBOL | EOF
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "KEYWORD" and self.value in names
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.kind == "SYMBOL" and self.value in symbols
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex ``text`` into tokens, ending with a single EOF token."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):  # SQL line comment
+            nl = text.find("\n", i)
+            i = n if nl < 0 else nl + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            chunks: list[str] = []
+            while True:
+                k = text.find("'", j)
+                if k < 0:
+                    raise LexError(f"unterminated string literal at offset {i}")
+                if k + 1 < n and text[k + 1] == "'":  # escaped quote
+                    chunks.append(text[j : k + 1])
+                    j = k + 2
+                    continue
+                chunks.append(text[j:k])
+                break
+            yield Token("STRING", "".join(chunks), i)
+            i = k + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # Don't swallow a dot that isn't followed by a digit
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            yield Token("NUMBER", text[i:j], i)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                yield Token("KEYWORD", word.upper(), i)
+            else:
+                yield Token("IDENT", word, i)
+            i = j
+            continue
+        for sym in SYMBOLS:
+            if text.startswith(sym, i):
+                yield Token("SYMBOL", sym, i)
+                i += len(sym)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at offset {i}")
+    yield Token("EOF", "", n)

@@ -1,0 +1,418 @@
+"""Recursive-descent parser for the TelegraphCQ-flavoured SQL dialect.
+
+Grammar (roughly)::
+
+    script      := statement (";" statement)* [";"]
+    statement   := query | create_stream | create_view
+    query       := select ( "UNION" "ALL" select )*
+    select      := "SELECT" ["DISTINCT"] items "FROM" sources
+                   ["WHERE" expr] ["GROUP" "BY" expr ("," expr)*]
+                   [[";"] "WINDOW" window ("," window)*]
+    items       := "*" | item ("," item)*
+    item        := expr ["AS"] [ident]
+    sources     := source ("," source)*
+    source      := ident [ident] | "(" query ")" [ident]
+    window      := ident "[" STRING "]"
+    create_stream := "CREATE" "STREAM" ident "(" coldef ("," coldef)* ")"
+    create_view := "CREATE" "VIEW" ident "AS" query
+
+The WINDOW clause is accepted both glued to the SELECT and after the
+statement's semicolon — the paper's Figure 7 writes
+``GROUP BY a; WINDOW R['1 second'], ...`` with the clause after the ``;``.
+"""
+
+from __future__ import annotations
+
+from repro.engine.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+)
+from repro.sql.ast import (
+    STAR,
+    ColumnDef,
+    CreateStreamStmt,
+    CreateViewStmt,
+    OrderItem,
+    Query,
+    SelectItem,
+    SelectStmt,
+    Statement,
+    SubquerySource,
+    TableRef,
+    UnionAllStmt,
+    WindowItem,
+)
+from repro.sql.lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid input, with token position."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} (at offset {token.position}, near {token.value!r})")
+        self.token = token
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = tokenize(text)
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind != "EOF":
+            self._pos += 1
+        return tok
+
+    def _accept_keyword(self, *names: str) -> bool:
+        if self._cur.is_keyword(*names):
+            self._advance()
+            return True
+        return False
+
+    def _accept_symbol(self, *symbols: str) -> bool:
+        if self._cur.is_symbol(*symbols):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, name: str) -> None:
+        if not self._accept_keyword(name):
+            raise ParseError(f"expected {name}", self._cur)
+
+    def _expect_symbol(self, symbol: str) -> None:
+        if not self._accept_symbol(symbol):
+            raise ParseError(f"expected {symbol!r}", self._cur)
+
+    def _expect_ident(self) -> str:
+        if self._cur.kind == "IDENT":
+            return self._advance().value
+        raise ParseError("expected identifier", self._cur)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def parse_script(self) -> list[Statement]:
+        """Parse a sequence of statements."""
+        out: list[Statement] = []
+        while not self._cur.kind == "EOF":
+            if self._accept_symbol(";"):
+                continue
+            out.append(self.parse_statement())
+        return out
+
+    def parse_statement(self) -> Statement:
+        if self._cur.is_keyword("CREATE"):
+            return self._parse_create()
+        return self.parse_query()
+
+    def parse_query(self) -> Query:
+        """query := select (UNION ALL select)*"""
+        first = self._parse_select()
+        queries: list[Query] = [first]
+        while self._cur.is_keyword("UNION"):
+            self._advance()
+            self._expect_keyword("ALL")
+            queries.append(self._parse_select())
+        if len(queries) == 1:
+            return first
+        return UnionAllStmt(queries)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _parse_create(self) -> Statement:
+        self._expect_keyword("CREATE")
+        if self._accept_keyword("STREAM"):
+            name = self._expect_ident()
+            self._expect_symbol("(")
+            cols = [self._parse_coldef()]
+            while self._accept_symbol(","):
+                cols.append(self._parse_coldef())
+            self._expect_symbol(")")
+            return CreateStreamStmt(name, cols)
+        if self._accept_keyword("VIEW"):
+            name = self._expect_ident()
+            self._expect_keyword("AS")
+            return CreateViewStmt(name, self.parse_query())
+        raise ParseError("expected STREAM or VIEW after CREATE", self._cur)
+
+    def _parse_coldef(self) -> ColumnDef:
+        name = self._expect_ident()
+        type_name = self._expect_ident()
+        return ColumnDef(name, type_name)
+
+    def _parse_select(self) -> SelectStmt:
+        # A select block may itself be parenthesised: (SELECT ...) UNION ALL ...
+        if self._cur.is_symbol("("):
+            save = self._pos
+            self._advance()
+            if self._cur.is_keyword("SELECT") or self._cur.is_symbol("("):
+                inner = self.parse_query()
+                self._expect_symbol(")")
+                if isinstance(inner, UnionAllStmt):
+                    # Treat a parenthesised union as an anonymous block only
+                    # where a select is expected at top level of a union arm.
+                    raise ParseError("nested UNION needs a FROM subquery", self._cur)
+                return inner
+            self._pos = save  # not a subquery: fall through (shouldn't happen)
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        items = self._parse_select_items()
+        self._expect_keyword("FROM")
+        sources = [self._parse_source()]
+        while self._accept_symbol(","):
+            sources.append(self._parse_source())
+        where = self._parse_expr() if self._accept_keyword("WHERE") else None
+        group_by: list[Expression] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._parse_expr())
+            while self._accept_symbol(","):
+                group_by.append(self._parse_expr())
+        having = self._parse_expr() if self._accept_keyword("HAVING") else None
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._accept_symbol(","):
+                order_by.append(self._parse_order_item())
+        limit: int | None = None
+        if self._accept_keyword("LIMIT"):
+            tok = self._cur
+            if tok.kind != "NUMBER" or "." in tok.value:
+                raise ParseError("LIMIT expects an integer", tok)
+            self._advance()
+            limit = int(tok.value)
+        windows = self._parse_window_clause()
+        return SelectStmt(
+            items=items,
+            from_sources=sources,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            windows=windows,
+            distinct=distinct,
+        )
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self._parse_expr()
+        if self._accept_keyword("DESC"):
+            return OrderItem(expr, ascending=False)
+        self._accept_keyword("ASC")
+        return OrderItem(expr, ascending=True)
+
+    def _parse_window_clause(self) -> list[WindowItem]:
+        # Accept "... GROUP BY a; WINDOW R ['1 second']" (Figure 7 style):
+        # peek past an optional semicolon for a WINDOW keyword.
+        save = self._pos
+        self._accept_symbol(";")
+        if not self._accept_keyword("WINDOW"):
+            self._pos = save
+            return []
+        windows = [self._parse_window_item()]
+        while self._accept_symbol(","):
+            windows.append(self._parse_window_item())
+        return windows
+
+    def _parse_window_item(self) -> WindowItem:
+        table = self._expect_ident()
+        self._expect_symbol("[")
+        if self._cur.kind != "STRING":
+            raise ParseError("expected interval string in WINDOW clause", self._cur)
+        interval = self._advance().value
+        self._expect_symbol("]")
+        return WindowItem(table, interval)
+
+    def _parse_select_items(self) -> list[SelectItem]:
+        items = [self._parse_select_item()]
+        while self._accept_symbol(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        if self._accept_symbol("*"):
+            return SelectItem(STAR)
+        expr = self._parse_expr()
+        alias: str | None = None
+        if self._accept_keyword("AS"):
+            # "count" is an IDENT here (not a keyword), so _expect_ident works.
+            alias = self._expect_ident()
+        elif self._cur.kind == "IDENT":
+            alias = self._advance().value
+        return SelectItem(expr, alias)
+
+    def _parse_source(self):
+        if self._accept_symbol("("):
+            query = self.parse_query()
+            self._expect_symbol(")")
+            alias: str | None = None
+            if self._accept_keyword("AS"):
+                alias = self._expect_ident()
+            elif self._cur.kind == "IDENT":
+                alias = self._advance().value
+            return SubquerySource(query, alias)
+        name = self._expect_ident()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        elif self._cur.kind == "IDENT":
+            alias = self._advance().value
+        return TableRef(name, alias)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _parse_expr(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            left = BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            left = BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expression:
+        if self._accept_keyword("NOT"):
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_additive()
+        if self._cur.is_symbol("=", "!=", "<>", "<", "<=", ">", ">="):
+            op = self._advance().value
+            return BinaryOp(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while self._cur.is_symbol("+", "-"):
+            op = self._advance().value
+            left = BinaryOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while self._cur.is_symbol("*", "/", "%"):
+            op = self._advance().value
+            left = BinaryOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expression:
+        if self._accept_symbol("-"):
+            operand = self._parse_unary()
+            # Constant-fold negated numeric literals so "-1" round-trips as
+            # the literal -1 rather than a unary-minus node.
+            if isinstance(operand, Literal) and isinstance(
+                operand.value, (int, float)
+            ) and not isinstance(operand.value, bool):
+                return Literal(-operand.value)
+            return UnaryOp("-", operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        tok = self._cur
+        if tok.kind == "NUMBER":
+            self._advance()
+            text = tok.value
+            return Literal(float(text) if "." in text else int(text))
+        if tok.kind == "STRING":
+            self._advance()
+            return Literal(tok.value)
+        if tok.is_keyword("NULL"):
+            self._advance()
+            return Literal(None)
+        if tok.is_keyword("TRUE"):
+            self._advance()
+            return Literal(True)
+        if tok.is_keyword("FALSE"):
+            self._advance()
+            return Literal(False)
+        if tok.is_symbol("("):
+            self._advance()
+            expr = self._parse_expr()
+            self._expect_symbol(")")
+            return expr
+        # Keywords may double as function names when called: the paper's
+        # Figure 5 names its synopsis union UDF literally "union(...)".
+        if (
+            tok.kind == "KEYWORD"
+            and self._tokens[self._pos + 1].is_symbol("(")
+        ):
+            tok = Token("IDENT", tok.value.lower(), tok.position)
+            self._pos += 1
+            name = tok.value
+            self._expect_symbol("(")
+            args: list[Expression] = []
+            if self._accept_symbol("*"):
+                self._expect_symbol(")")
+                return FunctionCall(name, (Literal("*"),))
+            if not self._cur.is_symbol(")"):
+                args.append(self._parse_expr())
+                while self._accept_symbol(","):
+                    args.append(self._parse_expr())
+            self._expect_symbol(")")
+            return FunctionCall(name, tuple(args))
+        if tok.kind == "IDENT":
+            name = self._advance().value
+            if self._accept_symbol("("):
+                # Function call; COUNT(*) takes a star argument.
+                args: list[Expression] = []
+                if self._accept_symbol("*"):
+                    self._expect_symbol(")")
+                    return FunctionCall(name, (Literal("*"),))
+                if not self._cur.is_symbol(")"):
+                    args.append(self._parse_expr())
+                    while self._accept_symbol(","):
+                        args.append(self._parse_expr())
+                self._expect_symbol(")")
+                return FunctionCall(name, tuple(args))
+            if self._accept_symbol("."):
+                col = self._expect_ident()
+                return ColumnRef(col, table=name)
+            return ColumnRef(name)
+        raise ParseError("expected expression", tok)
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse exactly one statement (trailing semicolons/windows allowed)."""
+    parser = Parser(text)
+    stmt = parser.parse_statement()
+    leftovers = parser.parse_script()
+    if leftovers:
+        raise ParseError("unexpected trailing statement", parser._cur)
+    return stmt
+
+
+def parse_script(text: str) -> list[Statement]:
+    """Parse a semicolon-separated script."""
+    return Parser(text).parse_script()
+
+
+def parse_query(text: str) -> Query:
+    """Parse a single query (SELECT or UNION ALL chain)."""
+    stmt = parse_statement(text)
+    if not isinstance(stmt, (SelectStmt, UnionAllStmt)):
+        raise ParseError("expected a query", Token("EOF", "", 0))
+    return stmt

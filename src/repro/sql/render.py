@@ -1,0 +1,118 @@
+"""Render AST nodes back to SQL text.
+
+Used by the Data Triage rewriter to emit the CREATE VIEW statements of paper
+Figures 4 and 5, and by round-trip tests (parse → render → parse).
+"""
+
+from __future__ import annotations
+
+from repro.engine.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+)
+from repro.sql.ast import (
+    CreateStreamStmt,
+    CreateViewStmt,
+    Query,
+    SelectStmt,
+    Star,
+    Statement,
+    SubquerySource,
+    TableRef,
+    UnionAllStmt,
+)
+
+
+def render_expression(expr: Expression | Star) -> str:
+    """SQL text of an expression tree."""
+    if isinstance(expr, Star):
+        return "*"
+    if isinstance(expr, ColumnRef):
+        return expr.qualified
+    if isinstance(expr, Literal):
+        if expr.value is None:
+            return "NULL"
+        if expr.value is True:
+            return "TRUE"
+        if expr.value is False:
+            return "FALSE"
+        if isinstance(expr.value, str):
+            escaped = expr.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(expr.value)
+    if isinstance(expr, BinaryOp):
+        op = expr.op.upper() if expr.op.isalpha() else expr.op
+        return f"({render_expression(expr.left)} {op} {render_expression(expr.right)})"
+    if isinstance(expr, UnaryOp):
+        return f"({expr.op.upper()} {render_expression(expr.operand)})"
+    if isinstance(expr, FunctionCall):
+        if (
+            len(expr.args) == 1
+            and isinstance(expr.args[0], Literal)
+            and expr.args[0].value == "*"
+        ):
+            return f"{expr.name}(*)"
+        args = ", ".join(render_expression(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise TypeError(f"cannot render {type(expr).__name__}")
+
+
+def render_query(query: Query, indent: int = 0) -> str:
+    """SQL text of a SELECT / UNION ALL tree, lightly pretty-printed."""
+    pad = "  " * indent
+    if isinstance(query, UnionAllStmt):
+        parts = []
+        for q in query.queries:
+            parts.append(f"{pad}({render_query(q, indent + 1).lstrip()})")
+        return ("\n" + pad + "UNION ALL\n").join(parts)
+    assert isinstance(query, SelectStmt)
+    items = ", ".join(
+        render_expression(i.expr) + (f" AS {i.alias}" if i.alias else "")
+        for i in query.items
+    )
+    sources = []
+    for s in query.from_sources:
+        if isinstance(s, TableRef):
+            sources.append(s.name + (f" {s.alias}" if s.alias else ""))
+        else:
+            assert isinstance(s, SubquerySource)
+            inner = render_query(s.query, indent + 1)
+            sources.append(f"({inner})" + (f" {s.alias}" if s.alias else ""))
+    text = f"{pad}SELECT {'DISTINCT ' if query.distinct else ''}{items}"
+    text += f"\n{pad}FROM " + ", ".join(sources)
+    if query.where is not None:
+        text += f"\n{pad}WHERE {render_expression(query.where)}"
+    if query.group_by:
+        text += f"\n{pad}GROUP BY " + ", ".join(
+            render_expression(e) for e in query.group_by
+        )
+    if query.having is not None:
+        text += f"\n{pad}HAVING {render_expression(query.having)}"
+    if query.order_by:
+        text += f"\n{pad}ORDER BY " + ", ".join(
+            render_expression(o.expr) + ("" if o.ascending else " DESC")
+            for o in query.order_by
+        )
+    if query.limit is not None:
+        text += f"\n{pad}LIMIT {query.limit}"
+    if query.windows:
+        text += f"\n{pad}WINDOW " + ", ".join(
+            f"{w.table} ['{w.interval}']" for w in query.windows
+        )
+    return text
+
+
+def render_statement(stmt: Statement) -> str:
+    """SQL text of a full statement, semicolon-terminated."""
+    if isinstance(stmt, CreateStreamStmt):
+        cols = ", ".join(f"{c.name} {c.type_name}" for c in stmt.columns)
+        return f"CREATE STREAM {stmt.name} ({cols});"
+    if isinstance(stmt, CreateViewStmt):
+        return f"CREATE VIEW {stmt.name} AS\n{render_query(stmt.query, 1)};"
+    if isinstance(stmt, (SelectStmt, UnionAllStmt)):
+        return render_query(stmt) + ";"
+    raise TypeError(f"cannot render {type(stmt).__name__}")

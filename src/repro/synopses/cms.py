@@ -1,0 +1,245 @@
+"""Count-Min sketch synopsis (extension; sketch-family ablation).
+
+Summarizes a bag by one Count-Min sketch per dimension (marginal frequency
+estimates) plus the exact total.  Joint mass is estimated under the
+*attribute-value independence* assumption — precisely the assumption MHIST
+papers criticise — which makes this synopsis a useful lower baseline in the
+synopsis-type ablation: it is extremely cheap to build and join, but blind
+to inter-attribute correlation.
+
+Point queries use the standard CM upper-bound estimate min over rows; join
+sizes use the sum over the (small, integer) join domain of the product of
+marginal estimates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.synopses.base import (
+    Dimension,
+    Synopsis,
+    SynopsisError,
+    SynopsisFactory,
+    require_same_dimensions,
+)
+
+
+class _CMS:
+    """A plain Count-Min sketch over integer keys."""
+
+    __slots__ = ("depth", "width", "table", "_a", "_b", "_prime")
+
+    def __init__(self, depth: int, width: int, seed: int) -> None:
+        self.depth = depth
+        self.width = width
+        self.table = np.zeros((depth, width), dtype=np.float64)
+        rng = np.random.default_rng(seed)
+        self._prime = 2_147_483_647  # Mersenne prime 2^31 - 1
+        self._a = rng.integers(1, self._prime, size=depth, dtype=np.int64)
+        self._b = rng.integers(0, self._prime, size=depth, dtype=np.int64)
+
+    def _slots(self, key: int) -> np.ndarray:
+        return ((self._a * key + self._b) % self._prime) % self.width
+
+    def add(self, key: int, weight: float) -> None:
+        self.table[np.arange(self.depth), self._slots(key)] += weight
+
+    def estimate(self, key: int) -> float:
+        return float(self.table[np.arange(self.depth), self._slots(key)].min())
+
+    def copy(self) -> "_CMS":
+        out = _CMS.__new__(_CMS)
+        out.depth, out.width = self.depth, self.width
+        out.table = self.table.copy()
+        out._a, out._b, out._prime = self._a, self._b, self._prime
+        return out
+
+
+class CountMinSynopsis(Synopsis):
+    """Per-dimension Count-Min sketches + independence-assumption joints."""
+
+    def __init__(
+        self,
+        dimensions: Sequence[Dimension],
+        depth: int = 4,
+        width: int = 64,
+        seed: int = 7,
+    ) -> None:
+        if depth < 1 or width < 1:
+            raise SynopsisError("CMS depth and width must be >= 1")
+        self.dimensions = tuple(dimensions)
+        self.depth, self.width, self.seed = depth, width, seed
+        # One sketch per dimension; a *shared* seed per dimension name keeps
+        # sketches from different windows/streams mergeable.
+        self._sketches = [
+            _CMS(depth, width, seed=seed + 31 * i) for i in range(len(self.dimensions))
+        ]
+        self._total = 0.0
+
+    # ------------------------------------------------------------------
+    def _marginal(self, dim_idx: int) -> dict[int, float]:
+        d = self.dimensions[dim_idx]
+        sk = self._sketches[dim_idx]
+        return {v: sk.estimate(v) for v in range(d.lo, d.hi + 1)}
+
+    def _rebuild_from_marginals(
+        self,
+        dimensions: Sequence[Dimension],
+        marginals: list[dict[int, float]],
+        total: float,
+    ) -> "CountMinSynopsis":
+        out = CountMinSynopsis(dimensions, self.depth, self.width, self.seed)
+        for i, marginal in enumerate(marginals):
+            for v, mass in marginal.items():
+                if mass > 0:
+                    out._sketches[i].add(int(v), mass)
+        out._total = total
+        return out
+
+    # ------------------------------------------------------------------
+    # Synopsis interface
+    # ------------------------------------------------------------------
+    def insert(self, values: Sequence[float], weight: float = 1.0) -> None:
+        self._check_value(values)
+        for i, v in enumerate(values):
+            self._sketches[i].add(int(v), weight)
+        self._total += weight
+
+    def total(self) -> float:
+        return self._total
+
+    def project(self, dims: Sequence[str]) -> "CountMinSynopsis":
+        keep = [self.dim_index(d) for d in dims]
+        out = CountMinSynopsis(
+            [self.dimensions[i] for i in keep], self.depth, self.width, self.seed
+        )
+        out._sketches = [self._sketches[i].copy() for i in keep]
+        out._total = self._total
+        return out
+
+    def union_all(self, other: Synopsis) -> "CountMinSynopsis":
+        if not isinstance(other, CountMinSynopsis):
+            raise SynopsisError(
+                f"cannot union CountMinSynopsis with {type(other).__name__}"
+            )
+        require_same_dimensions(self, other)
+        if (other.depth, other.width, other.seed) != (self.depth, self.width, self.seed):
+            raise SynopsisError("CMS parameter mismatch: sketches not mergeable")
+        out = CountMinSynopsis(self.dimensions, self.depth, self.width, self.seed)
+        for i in range(len(self.dimensions)):
+            out._sketches[i].table = (
+                self._sketches[i].table + other._sketches[i].table
+            )
+        out._total = self._total + other._total
+        return out
+
+    def equijoin(
+        self, other: Synopsis, self_dim: str, other_dim: str
+    ) -> "CountMinSynopsis":
+        """Join size = Σ_v m_self(v)·m_other(v); marginals scale accordingly."""
+        if not isinstance(other, CountMinSynopsis):
+            raise SynopsisError(
+                f"cannot join CountMinSynopsis with {type(other).__name__}"
+            )
+        si = self.dim_index(self_dim)
+        oi = other.dim_index(other_dim)
+        sd, od = self.dimensions[si], other.dimensions[oi]
+        lo, hi = max(sd.lo, od.lo), min(sd.hi, od.hi)
+        self_marg = self._marginal(si)
+        other_marg = other._marginal(oi)
+        join_marginal = {
+            v: self_marg.get(v, 0.0) * other_marg.get(v, 0.0)
+            for v in range(lo, hi + 1)
+        }
+        join_size = sum(join_marginal.values())
+
+        out_dims = list(self.dimensions)
+        other_keep = [i for i in range(len(other.dimensions)) if i != oi]
+        taken = {d.name.lower() for d in out_dims}
+        renamed = []
+        for i in other_keep:
+            d = other.dimensions[i]
+            name = d.name
+            while name.lower() in taken:
+                name += "_r"
+            taken.add(name.lower())
+            renamed.append(d.renamed(name))
+        out_dims.extend(renamed)
+
+        # Under independence, every non-join marginal keeps its shape and is
+        # rescaled so it sums to the join size.
+        marginals: list[dict[int, float]] = []
+        s_scale = join_size / self._total if self._total > 0 else 0.0
+        for i in range(len(self.dimensions)):
+            if i == si:
+                marginals.append(join_marginal)
+            else:
+                marginals.append(
+                    {v: m * s_scale for v, m in self._marginal(i).items()}
+                )
+        o_scale = join_size / other._total if other._total > 0 else 0.0
+        for i in other_keep:
+            marginals.append(
+                {v: m * o_scale for v, m in other._marginal(i).items()}
+            )
+        return self._rebuild_from_marginals(out_dims, marginals, join_size)
+
+    def select_range(self, dim: str, lo: int, hi: int) -> "CountMinSynopsis":
+        di = self.dim_index(dim)
+        marginal = self._marginal(di)
+        kept = {v: m for v, m in marginal.items() if lo <= v <= hi}
+        kept_mass = sum(kept.values())
+        all_mass = sum(marginal.values())
+        frac = kept_mass / all_mass if all_mass > 0 else 0.0
+        marginals = []
+        for i in range(len(self.dimensions)):
+            if i == di:
+                marginals.append(kept)
+            else:
+                marginals.append(
+                    {v: m * frac for v, m in self._marginal(i).items()}
+                )
+        return self._rebuild_from_marginals(
+            self.dimensions, marginals, self._total * frac
+        )
+
+    def group_counts(self, dim: str) -> dict[int, float]:
+        di = self.dim_index(dim)
+        marginal = self._marginal(di)
+        # CM point estimates over-count (hash collisions); renormalize so the
+        # marginal sums to the tracked total.
+        mass = sum(marginal.values())
+        if mass <= 0:
+            return {}
+        factor = self._total / mass
+        return {v: m * factor for v, m in marginal.items() if m > 0}
+
+    def scale(self, factor: float) -> "CountMinSynopsis":
+        out = CountMinSynopsis(self.dimensions, self.depth, self.width, self.seed)
+        for i in range(len(self.dimensions)):
+            out._sketches[i].table = self._sketches[i].table * factor
+        out._total = self._total * factor
+        return out
+
+    def storage_size(self) -> int:
+        return sum(s.table.size for s in self._sketches)
+
+    def empty_like(self) -> "CountMinSynopsis":
+        return CountMinSynopsis(self.dimensions, self.depth, self.width, self.seed)
+
+
+class CountMinFactory(SynopsisFactory):
+    """Factory for :class:`CountMinSynopsis`."""
+
+    def __init__(self, depth: int = 4, width: int = 64, seed: int = 7) -> None:
+        self.depth, self.width, self.seed = depth, width, seed
+
+    def create(self, dimensions: Sequence[Dimension]) -> CountMinSynopsis:
+        return CountMinSynopsis(dimensions, self.depth, self.width, self.seed)
+
+    @property
+    def name(self) -> str:
+        return f"cms(d={self.depth}, w={self.width})"

@@ -1,0 +1,287 @@
+"""End-biased histograms: exact singleton buckets for heavy hitters.
+
+The classic Ioannidis/Poosala family the MHIST work builds on: keep the
+``k`` most frequent values in exact singleton buckets and summarize the
+remaining mass with one uniform "tail" bucket per dimension region.  On
+skewed (Zipf-like) data — precisely the traffic shape the paper's bursty
+references [21, 30] describe — a handful of singletons captures most of the
+mass, making this an excellent cheap synopsis for triage.
+
+This implementation is one-dimensional per dimension with independence
+across dimensions for joint estimates (like the CMS family, but exact on
+the heavy hitters, which dominate joins of skewed streams).  Build is lazy:
+raw value counts buffer until the first read, then the top-k split happens
+per dimension.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.synopses.base import (
+    Dimension,
+    Synopsis,
+    SynopsisError,
+    SynopsisFactory,
+    require_same_dimensions,
+)
+
+
+@dataclass
+class _Marginal:
+    """One dimension's summary: exact singletons + a uniform tail."""
+
+    singletons: dict[int, float]
+    tail_mass: float
+    tail_values: int  # domain values not covered by singletons
+
+    def estimate(self, value: int) -> float:
+        if value in self.singletons:
+            return self.singletons[value]
+        if self.tail_values <= 0:
+            return 0.0
+        return self.tail_mass / self.tail_values
+
+    def total(self) -> float:
+        return sum(self.singletons.values()) + self.tail_mass
+
+    def scaled(self, factor: float) -> "_Marginal":
+        return _Marginal(
+            {v: m * factor for v, m in self.singletons.items()},
+            self.tail_mass * factor,
+            self.tail_values,
+        )
+
+
+class EndBiasedHistogram(Synopsis):
+    """Per-dimension end-biased marginals, independence for joints."""
+
+    def __init__(self, dimensions: Sequence[Dimension], k: int = 12) -> None:
+        if k < 1:
+            raise SynopsisError(f"k must be >= 1, got {k}")
+        self.dimensions = tuple(dimensions)
+        self.k = k
+        self._counts: list[Counter] = [Counter() for _ in self.dimensions]
+        self._total = 0.0
+        self._marginals: list[_Marginal] | None = None  # built lazily
+
+    # ------------------------------------------------------------------
+    def _build(self) -> list[_Marginal]:
+        if self._marginals is None:
+            out = []
+            for dim, counts in zip(self.dimensions, self._counts):
+                top = dict(
+                    sorted(counts.items(), key=lambda kv: kv[1], reverse=True)[
+                        : self.k
+                    ]
+                )
+                tail_mass = sum(counts.values()) - sum(top.values())
+                out.append(
+                    _Marginal(
+                        singletons={int(v): float(m) for v, m in top.items()},
+                        tail_mass=float(tail_mass),
+                        tail_values=dim.n_values - len(top),
+                    )
+                )
+            self._marginals = out
+        return self._marginals
+
+    def _from_marginals(
+        self, dimensions: Sequence[Dimension], marginals: list[_Marginal], total: float
+    ) -> "EndBiasedHistogram":
+        out = EndBiasedHistogram(dimensions, self.k)
+        out._marginals = marginals
+        out._total = total
+        return out
+
+    # ------------------------------------------------------------------
+    # Synopsis interface
+    # ------------------------------------------------------------------
+    def insert(self, values: Sequence[float], weight: float = 1.0) -> None:
+        self._check_value(values)
+        if self._marginals is not None:
+            # Post-build inserts update the built marginals directly.
+            for marginal, v in zip(self._marginals, values):
+                v = int(v)
+                if v in marginal.singletons:
+                    marginal.singletons[v] += weight
+                else:
+                    marginal.tail_mass += weight
+            self._total += weight
+            return
+        for counts, v in zip(self._counts, values):
+            counts[int(v)] += weight
+        self._total += weight
+
+    def total(self) -> float:
+        return self._total
+
+    def project(self, dims: Sequence[str]) -> "EndBiasedHistogram":
+        keep = [self.dim_index(d) for d in dims]
+        marginals = self._build()
+        return self._from_marginals(
+            [self.dimensions[i] for i in keep],
+            [marginals[i] for i in keep],
+            self._total,
+        )
+
+    def union_all(self, other: Synopsis) -> "EndBiasedHistogram":
+        if not isinstance(other, EndBiasedHistogram):
+            raise SynopsisError(
+                f"cannot union EndBiasedHistogram with {type(other).__name__}"
+            )
+        require_same_dimensions(self, other)
+        a, b = self._build(), other._build()
+        merged: list[_Marginal] = []
+        for dim, ma, mb in zip(self.dimensions, a, b):
+            combined: dict[int, float] = defaultdict(float)
+            for v, m in ma.singletons.items():
+                combined[v] += m
+            for v, m in mb.singletons.items():
+                combined[v] += m
+            top = dict(
+                sorted(combined.items(), key=lambda kv: kv[1], reverse=True)[
+                    : self.k
+                ]
+            )
+            demoted = sum(combined.values()) - sum(top.values())
+            merged.append(
+                _Marginal(
+                    singletons=top,
+                    tail_mass=ma.tail_mass + mb.tail_mass + demoted,
+                    tail_values=dim.n_values - len(top),
+                )
+            )
+        return self._from_marginals(
+            self.dimensions, merged, self._total + other._total
+        )
+
+    def equijoin(
+        self, other: Synopsis, self_dim: str, other_dim: str
+    ) -> "EndBiasedHistogram":
+        """Join size = Σ_v est_a(v)·est_b(v); heavy hitters contribute exactly."""
+        if not isinstance(other, EndBiasedHistogram):
+            raise SynopsisError(
+                f"cannot join EndBiasedHistogram with {type(other).__name__}"
+            )
+        si, oi = self.dim_index(self_dim), other.dim_index(other_dim)
+        sd, od = self.dimensions[si], other.dimensions[oi]
+        ma, mb = self._build()[si], other._build()[oi]
+        lo, hi = max(sd.lo, od.lo), min(sd.hi, od.hi)
+        # Join marginal: exact on values that are singletons on either side;
+        # a single tail×tail product term covers the rest.
+        named = (set(ma.singletons) | set(mb.singletons)) & set(
+            range(lo, hi + 1)
+        )
+        join_singletons = {
+            v: ma.estimate(v) * mb.estimate(v) for v in named
+        }
+        tail_values = (hi - lo + 1) - len(named)
+        tail_mass = 0.0
+        if tail_values > 0 and ma.tail_values > 0 and mb.tail_values > 0:
+            per_value = (ma.tail_mass / ma.tail_values) * (
+                mb.tail_mass / mb.tail_values
+            )
+            tail_mass = per_value * tail_values
+        join_size = sum(join_singletons.values()) + tail_mass
+
+        out_dims = list(self.dimensions)
+        other_keep = [i for i in range(len(other.dimensions)) if i != oi]
+        taken = {d.name.lower() for d in out_dims}
+        for i in other_keep:
+            d = other.dimensions[i]
+            name = d.name
+            while name.lower() in taken:
+                name += "_r"
+            taken.add(name.lower())
+            out_dims.append(d.renamed(name))
+
+        marginals: list[_Marginal] = []
+        s_scale = join_size / self._total if self._total > 0 else 0.0
+        for i, m in enumerate(self._build()):
+            if i == si:
+                marginals.append(
+                    _Marginal(join_singletons, tail_mass, tail_values)
+                )
+            else:
+                marginals.append(m.scaled(s_scale))
+        o_scale = join_size / other._total if other._total > 0 else 0.0
+        for i in other_keep:
+            marginals.append(other._build()[i].scaled(o_scale))
+        return self._from_marginals(out_dims, marginals, join_size)
+
+    def select_range(self, dim: str, lo: int, hi: int) -> "EndBiasedHistogram":
+        di = self.dim_index(dim)
+        d = self.dimensions[di]
+        m = self._build()[di]
+        kept_singletons = {
+            v: mass for v, mass in m.singletons.items() if lo <= v <= hi
+        }
+        in_range = max(0, min(hi, d.hi) - max(lo, d.lo) + 1)
+        named_in_range = len(kept_singletons)
+        named_total = len(
+            [v for v in m.singletons if d.lo <= v <= d.hi]
+        )
+        tail_in_range = max(0, in_range - named_in_range)
+        tail_frac = tail_in_range / m.tail_values if m.tail_values > 0 else 0.0
+        new_dim_marginal = _Marginal(
+            kept_singletons, m.tail_mass * tail_frac, tail_in_range
+        )
+        frac = (
+            new_dim_marginal.total() / m.total() if m.total() > 0 else 0.0
+        )
+        marginals = []
+        for i, marginal in enumerate(self._build()):
+            if i == di:
+                marginals.append(new_dim_marginal)
+            else:
+                marginals.append(marginal.scaled(frac))
+        return self._from_marginals(
+            self.dimensions, marginals, self._total * frac
+        )
+
+    def group_counts(self, dim: str) -> dict[int, float]:
+        di = self.dim_index(dim)
+        d = self.dimensions[di]
+        m = self._build()[di]
+        out = {v: mass for v, mass in m.singletons.items() if mass > 0}
+        if m.tail_values > 0 and m.tail_mass > 0:
+            share = m.tail_mass / m.tail_values
+            for v in range(d.lo, d.hi + 1):
+                if v not in m.singletons:
+                    out[v] = out.get(v, 0.0) + share
+        return out
+
+    def scale(self, factor: float) -> "EndBiasedHistogram":
+        return self._from_marginals(
+            self.dimensions,
+            [m.scaled(factor) for m in self._build()],
+            self._total * factor,
+        )
+
+    def storage_size(self) -> int:
+        if self._marginals is None:
+            return min(
+                sum(len(c) for c in self._counts),
+                (self.k + 1) * len(self.dimensions),
+            )
+        return sum(len(m.singletons) + 1 for m in self._marginals)
+
+    def empty_like(self) -> "EndBiasedHistogram":
+        return EndBiasedHistogram(self.dimensions, self.k)
+
+
+class EndBiasedFactory(SynopsisFactory):
+    """Factory for :class:`EndBiasedHistogram`."""
+
+    def __init__(self, k: int = 12) -> None:
+        self.k = k
+
+    def create(self, dimensions: Sequence[Dimension]) -> EndBiasedHistogram:
+        return EndBiasedHistogram(dimensions, self.k)
+
+    @property
+    def name(self) -> str:
+        return f"end_biased(k={self.k})"

@@ -1,0 +1,326 @@
+"""MHIST multidimensional histograms with MAXDIFF bucket splits.
+
+Paper Section 5.2.2: *"We also implemented an MHIST multidimensional
+histogram using the MAXDIFF heuristic to perform bucket splits.  Our
+implementation gave more accurate query results at a given data structure
+size, but its performance on join queries was not sufficiently fast ...
+When the bucket boundaries of MHISTs are not aligned, computing their join
+can produce a quadratic number of new buckets."*
+
+This module reproduces both the data structure and the pathology:
+
+* :class:`MHist` builds buckets by repeatedly splitting the bucket/dimension
+  with the largest difference between adjacent marginal frequencies
+  (MAXDIFF, after Poosala & Ioannidis), and its :meth:`~MHist.equijoin`
+  intersects *every* pair of buckets whose join ranges overlap — arbitrary
+  boundaries rarely coincide, so joined synopses accumulate ~quadratically
+  many buckets.  This is the "slow synopsis" of Figure 6.
+* The ``grid`` parameter implements the Future Work mitigation (§8.1): *"a
+  constrained variant of MHists that picks bucket boundaries from a small
+  finite set of options."*  With boundaries snapped to a grid, join-result
+  boxes coincide and coalesce, keeping bucket counts bounded.
+
+An MHist is *point-backed* while it is being filled (raw value counts are
+buffered; buckets are built lazily on first read) and *bucket-backed* once
+it results from a relational operation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.synopses.base import (
+    Dimension,
+    Synopsis,
+    SynopsisError,
+    SynopsisFactory,
+    require_same_dimensions,
+)
+
+Box = tuple[tuple[int, int], ...]  # inclusive (lo, hi) per dimension
+
+
+@dataclass
+class _Bucket:
+    """One histogram bucket: a box, its mass, and (build-time) its points."""
+
+    box: Box
+    count: float
+    points: dict[tuple, float] | None = None  # value-tuple -> weight
+
+    def n_values(self, dim_idx: int) -> int:
+        lo, hi = self.box[dim_idx]
+        return hi - lo + 1
+
+
+class MHist(Synopsis):
+    """MHIST-2 style multidimensional histogram (MAXDIFF splits)."""
+
+    def __init__(
+        self,
+        dimensions: Sequence[Dimension],
+        max_buckets: int = 50,
+        grid: int | None = None,
+    ) -> None:
+        if max_buckets < 1:
+            raise SynopsisError(f"max_buckets must be >= 1, got {max_buckets}")
+        if grid is not None and grid < 1:
+            raise SynopsisError(f"grid must be >= 1, got {grid}")
+        self.dimensions = tuple(dimensions)
+        self.max_buckets = max_buckets
+        self.grid = grid
+        self._points: dict[tuple, float] = defaultdict(float)
+        self._buckets: list[_Bucket] | None = None  # built lazily
+
+    # ------------------------------------------------------------------
+    # Build (MAXDIFF)
+    # ------------------------------------------------------------------
+    def _ensure_built(self) -> list[_Bucket]:
+        if self._buckets is None:
+            self._buckets = self._build(dict(self._points))
+        return self._buckets
+
+    def _build(self, points: dict[tuple, float]) -> list[_Bucket]:
+        root_box: Box = tuple((d.lo, d.hi) for d in self.dimensions)
+        root = _Bucket(root_box, sum(points.values()), dict(points))
+        buckets = [root]
+        while len(buckets) < self.max_buckets:
+            best = self._best_split(buckets)
+            if best is None:
+                break
+            bucket_idx, dim_idx, boundary = best
+            left, right = self._split(buckets[bucket_idx], dim_idx, boundary)
+            buckets[bucket_idx] = left
+            buckets.append(right)
+        for b in buckets:
+            b.points = None  # uniformity assumption takes over after the build
+        return [b for b in buckets if b.count > 0]
+
+    def _best_split(
+        self, buckets: list[_Bucket]
+    ) -> tuple[int, int, int] | None:
+        """The (bucket, dimension, boundary) with the largest MAXDIFF score.
+
+        The boundary is the largest value kept in the *left* half.  With a
+        ``grid`` constraint, only boundaries at grid positions
+        (``lo - 1 + k*grid`` relative to the dimension origin) are eligible.
+        """
+        best: tuple[float, int, int, int] | None = None
+        for bi, bucket in enumerate(buckets):
+            if bucket.points is None or len(bucket.points) < 2:
+                continue
+            for di in range(len(self.dimensions)):
+                marginal: dict[int, float] = defaultdict(float)
+                for values, w in bucket.points.items():
+                    marginal[int(values[di])] += w
+                if len(marginal) < 2:
+                    continue
+                ordered = sorted(marginal)
+                for v1, v2 in zip(ordered, ordered[1:]):
+                    boundary = self._allowed_boundary(di, v1, v2)
+                    if boundary is None:
+                        continue
+                    diff = abs(marginal[v2] - marginal[v1])
+                    if best is None or diff > best[0]:
+                        best = (diff, bi, di, boundary)
+        if best is None:
+            return None
+        return best[1], best[2], best[3]
+
+    def _allowed_boundary(self, dim_idx: int, v1: int, v2: int) -> int | None:
+        """A legal split boundary in ``[v1, v2 - 1]``, honouring the grid."""
+        if self.grid is None:
+            return v1
+        d = self.dimensions[dim_idx]
+        # Grid boundaries sit at d.lo - 1 + k*grid; find the largest one
+        # in [v1, v2 - 1].
+        k = (v2 - 1 - (d.lo - 1)) // self.grid
+        g = d.lo - 1 + k * self.grid
+        if v1 <= g <= v2 - 1:
+            return g
+        return None
+
+    @staticmethod
+    def _split(bucket: _Bucket, dim_idx: int, boundary: int) -> tuple[_Bucket, _Bucket]:
+        lo, hi = bucket.box[dim_idx]
+        left_box = bucket.box[:dim_idx] + ((lo, boundary),) + bucket.box[dim_idx + 1 :]
+        right_box = (
+            bucket.box[:dim_idx] + ((boundary + 1, hi),) + bucket.box[dim_idx + 1 :]
+        )
+        left_pts: dict[tuple, float] = {}
+        right_pts: dict[tuple, float] = {}
+        assert bucket.points is not None
+        for values, w in bucket.points.items():
+            (left_pts if values[dim_idx] <= boundary else right_pts)[values] = w
+        return (
+            _Bucket(left_box, sum(left_pts.values()), left_pts),
+            _Bucket(right_box, sum(right_pts.values()), right_pts),
+        )
+
+    # ------------------------------------------------------------------
+    # Synopsis interface
+    # ------------------------------------------------------------------
+    def insert(self, values: Sequence[float], weight: float = 1.0) -> None:
+        self._check_value(values)
+        key = tuple(int(v) for v in values)
+        if self._buckets is None:
+            self._points[key] += weight
+        else:
+            # Post-build streaming insert: credit the containing bucket.
+            for b in self._buckets:
+                if all(lo <= v <= hi for v, (lo, hi) in zip(key, b.box)):
+                    b.count += weight
+                    return
+            # No bucket covers it (possible after selections): open a
+            # singleton bucket.
+            self._buckets.append(
+                _Bucket(tuple((v, v) for v in key), weight, None)
+            )
+
+    def total(self) -> float:
+        if self._buckets is None:
+            return sum(self._points.values())
+        return sum(b.count for b in self._buckets)
+
+    def project(self, dims: Sequence[str]) -> "MHist":
+        keep = [self.dim_index(d) for d in dims]
+        out = MHist([self.dimensions[i] for i in keep], self.max_buckets, self.grid)
+        out._buckets = []
+        acc: dict[Box, float] = defaultdict(float)
+        for b in self._ensure_built():
+            acc[tuple(b.box[i] for i in keep)] += b.count
+        out._buckets = [_Bucket(box, c, None) for box, c in acc.items() if c > 0]
+        return out
+
+    def union_all(self, other: Synopsis) -> "MHist":
+        if not isinstance(other, MHist):
+            raise SynopsisError(f"cannot union MHist with {type(other).__name__}")
+        require_same_dimensions(self, other)
+        out = MHist(self.dimensions, self.max_buckets, self.grid)
+        if self._buckets is None and other._buckets is None:
+            # Both point-backed: merge raw points; build stays lazy.
+            merged = defaultdict(float, self._points)
+            for k, w in other._points.items():
+                merged[k] += w
+            out._points = merged
+            return out
+        acc: dict[Box, float] = defaultdict(float)
+        for b in list(self._ensure_built()) + list(other._ensure_built()):
+            acc[b.box] += b.count
+        out._buckets = [_Bucket(box, c, None) for box, c in acc.items() if c > 0]
+        return out
+
+    def equijoin(self, other: Synopsis, self_dim: str, other_dim: str) -> "MHist":
+        """Bucket-pairwise join — the quadratic-blowup operation.
+
+        Every pair of buckets whose join ranges overlap produces an output
+        bucket.  Expected matches for a pair, under per-bucket uniformity::
+
+            count_a * count_b * overlap / (n_a * n_b)
+
+        where ``overlap`` is the number of shared join values and ``n_a``,
+        ``n_b`` the join-range widths of each bucket.  Output boxes with
+        identical coordinates coalesce; unaligned boundaries make coalescing
+        rare (quadratic growth), grid-aligned boundaries make it common.
+        """
+        if not isinstance(other, MHist):
+            raise SynopsisError(f"cannot join MHist with {type(other).__name__}")
+        si = self.dim_index(self_dim)
+        oi = other.dim_index(other_dim)
+        out_dims = list(self.dimensions)
+        other_keep = [i for i in range(len(other.dimensions)) if i != oi]
+        taken = {d.name.lower() for d in out_dims}
+        for i in other_keep:
+            d = other.dimensions[i]
+            name = d.name
+            while name.lower() in taken:
+                name += "_r"
+            taken.add(name.lower())
+            out_dims.append(d.renamed(name))
+        out = MHist(out_dims, self.max_buckets, self.grid)
+        acc: dict[Box, float] = defaultdict(float)
+        for a in self._ensure_built():
+            a_lo, a_hi = a.box[si]
+            n_a = a_hi - a_lo + 1
+            for b in other._ensure_built():
+                b_lo, b_hi = b.box[oi]
+                o_lo, o_hi = max(a_lo, b_lo), min(a_hi, b_hi)
+                if o_lo > o_hi:
+                    continue
+                overlap = o_hi - o_lo + 1
+                n_b = b_hi - b_lo + 1
+                mass = a.count * b.count * overlap / (n_a * n_b)
+                if mass <= 0:
+                    continue
+                box = (
+                    a.box[:si]
+                    + ((o_lo, o_hi),)
+                    + a.box[si + 1 :]
+                    + tuple(b.box[i] for i in other_keep)
+                )
+                acc[box] += mass
+        out._buckets = [_Bucket(box, c, None) for box, c in acc.items()]
+        return out
+
+    def select_range(self, dim: str, lo: int, hi: int) -> "MHist":
+        di = self.dim_index(dim)
+        out = MHist(self.dimensions, self.max_buckets, self.grid)
+        out._buckets = []
+        for b in self._ensure_built():
+            b_lo, b_hi = b.box[di]
+            o_lo, o_hi = max(lo, b_lo), min(hi, b_hi)
+            if o_lo > o_hi:
+                continue
+            frac = (o_hi - o_lo + 1) / (b_hi - b_lo + 1)
+            box = b.box[:di] + ((o_lo, o_hi),) + b.box[di + 1 :]
+            out._buckets.append(_Bucket(box, b.count * frac, None))
+        return out
+
+    def group_counts(self, dim: str) -> dict[int, float]:
+        di = self.dim_index(dim)
+        out: dict[int, float] = defaultdict(float)
+        for b in self._ensure_built():
+            lo, hi = b.box[di]
+            share = b.count / (hi - lo + 1)
+            for v in range(lo, hi + 1):
+                out[v] += share
+        return dict(out)
+
+    def scale(self, factor: float) -> "MHist":
+        out = MHist(self.dimensions, self.max_buckets, self.grid)
+        out._buckets = [
+            _Bucket(b.box, b.count * factor, None) for b in self._ensure_built()
+        ]
+        return out
+
+    def storage_size(self) -> int:
+        if self._buckets is None:
+            # Point-backed: report what a build would be bounded by.
+            return min(len(self._points), self.max_buckets)
+        return len(self._buckets)
+
+    def empty_like(self) -> "MHist":
+        return MHist(self.dimensions, self.max_buckets, self.grid)
+
+    # ------------------------------------------------------------------
+    def bucket_items(self) -> list[tuple[Box, float]]:
+        """(box, mass) pairs — for visualization and tests."""
+        return [(b.box, b.count) for b in self._ensure_built()]
+
+
+class MHistFactory(SynopsisFactory):
+    """Factory for :class:`MHist`; ``grid`` enables the aligned variant."""
+
+    def __init__(self, max_buckets: int = 50, grid: int | None = None) -> None:
+        self.max_buckets = max_buckets
+        self.grid = grid
+
+    def create(self, dimensions: Sequence[Dimension]) -> MHist:
+        return MHist(dimensions, self.max_buckets, self.grid)
+
+    @property
+    def name(self) -> str:
+        suffix = f", grid={self.grid}" if self.grid else ""
+        return f"mhist(b={self.max_buckets}{suffix})"

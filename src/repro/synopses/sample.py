@@ -1,0 +1,239 @@
+"""Reservoir-sample synopses.
+
+The related-work alternative the paper contrasts with histograms (Olken &
+Rotem; Chaudhuri et al. on sampling over joins): summarize a bag by a
+uniform sample plus the true population size, and estimate relational
+results by operating on the (weighted) sample.
+
+Two regimes share one class:
+
+* *reservoir mode* — while tuples stream in, classic reservoir sampling
+  keeps at most ``capacity`` rows; each sampled row represents
+  ``n_seen / |sample|`` real rows.
+* *weighted mode* — results of project/union/join carry explicit per-row
+  weights (estimated real-row counts).  When a weighted result outgrows
+  ``capacity``, it is resampled down with weight-proportional systematic
+  resampling.
+
+Join estimation over samples is noisy (sample-of-join ≠ join-of-samples —
+the Chaudhuri/Motwani/Narasayya observation), which is exactly why it makes
+an interesting ablation against the paper's histograms.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.synopses.base import (
+    Dimension,
+    Synopsis,
+    SynopsisError,
+    SynopsisFactory,
+    require_same_dimensions,
+)
+
+
+class ReservoirSampleSynopsis(Synopsis):
+    """A bounded uniform sample with population-count scaling."""
+
+    def __init__(
+        self,
+        dimensions: Sequence[Dimension],
+        capacity: int = 100,
+        seed: int = 0,
+    ) -> None:
+        if capacity < 1:
+            raise SynopsisError(f"capacity must be >= 1, got {capacity}")
+        self.dimensions = tuple(dimensions)
+        self.capacity = capacity
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._rows: list[tuple] = []
+        self._weights: list[float] | None = None  # None => reservoir mode
+        self._n_seen = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_reservoir(self) -> bool:
+        return self._weights is None
+
+    def _row_weight(self, i: int) -> float:
+        if self._weights is not None:
+            return self._weights[i]
+        return self._n_seen / len(self._rows) if self._rows else 0.0
+
+    def _weighted_rows(self) -> list[tuple[tuple, float]]:
+        return [(r, self._row_weight(i)) for i, r in enumerate(self._rows)]
+
+    def _from_weighted(
+        self, dimensions: Sequence[Dimension], pairs: list[tuple[tuple, float]]
+    ) -> "ReservoirSampleSynopsis":
+        out = ReservoirSampleSynopsis(dimensions, self.capacity, self.seed)
+        pairs = [(r, w) for r, w in pairs if w > 0]
+        if len(pairs) > self.capacity:
+            pairs = _systematic_resample(pairs, self.capacity, self._rng)
+        out._rows = [r for r, _ in pairs]
+        out._weights = [w for _, w in pairs]
+        out._n_seen = 0
+        return out
+
+    # ------------------------------------------------------------------
+    # Synopsis interface
+    # ------------------------------------------------------------------
+    def insert(self, values: Sequence[float], weight: float = 1.0) -> None:
+        self._check_value(values)
+        row = tuple(values)
+        if self._weights is not None:
+            # Weighted mode accepts inserts as weighted rows.
+            self._rows.append(row)
+            self._weights.append(weight)
+            if len(self._rows) > self.capacity:
+                pairs = _systematic_resample(
+                    list(zip(self._rows, self._weights)), self.capacity, self._rng
+                )
+                self._rows = [r for r, _ in pairs]
+                self._weights = [w for _, w in pairs]
+            return
+        if weight != 1.0:
+            raise SynopsisError("reservoir mode only accepts unit-weight inserts")
+        self._n_seen += 1
+        if len(self._rows) < self.capacity:
+            self._rows.append(row)
+        else:
+            j = self._rng.randrange(self._n_seen)
+            if j < self.capacity:
+                self._rows[j] = row
+
+    def total(self) -> float:
+        if self._weights is not None:
+            return sum(self._weights)
+        return float(self._n_seen)
+
+    def project(self, dims: Sequence[str]) -> "ReservoirSampleSynopsis":
+        keep = [self.dim_index(d) for d in dims]
+        new_dims = [self.dimensions[i] for i in keep]
+        pairs = [
+            (tuple(r[i] for i in keep), w) for r, w in self._weighted_rows()
+        ]
+        return self._from_weighted(new_dims, pairs)
+
+    def union_all(self, other: Synopsis) -> "ReservoirSampleSynopsis":
+        if not isinstance(other, ReservoirSampleSynopsis):
+            raise SynopsisError(
+                f"cannot union ReservoirSampleSynopsis with {type(other).__name__}"
+            )
+        require_same_dimensions(self, other)
+        return self._from_weighted(
+            self.dimensions, self._weighted_rows() + other._weighted_rows()
+        )
+
+    def equijoin(
+        self, other: Synopsis, self_dim: str, other_dim: str
+    ) -> "ReservoirSampleSynopsis":
+        """Join of samples, scaled: pair weight = w_a · w_b / 1.
+
+        Each weighted sample row stands for ``w`` identical real rows; a
+        matching pair therefore stands for ``w_a * w_b`` joined real-row
+        pairs *if both sampled rows were real duplicates* — the standard
+        (high-variance) join-of-samples estimator.
+        """
+        if not isinstance(other, ReservoirSampleSynopsis):
+            raise SynopsisError(
+                f"cannot join ReservoirSampleSynopsis with {type(other).__name__}"
+            )
+        si = self.dim_index(self_dim)
+        oi = other.dim_index(other_dim)
+        out_dims = list(self.dimensions)
+        other_keep = [i for i in range(len(other.dimensions)) if i != oi]
+        taken = {d.name.lower() for d in out_dims}
+        for i in other_keep:
+            d = other.dimensions[i]
+            name = d.name
+            while name.lower() in taken:
+                name += "_r"
+            taken.add(name.lower())
+            out_dims.append(d.renamed(name))
+        by_key: dict[float, list[tuple[tuple, float]]] = {}
+        for r, w in other._weighted_rows():
+            by_key.setdefault(r[oi], []).append((r, w))
+        pairs: list[tuple[tuple, float]] = []
+        for r, w in self._weighted_rows():
+            for orow, ow in by_key.get(r[si], ()):  # hash match on join value
+                joined = r + tuple(orow[i] for i in other_keep)
+                pairs.append((joined, w * ow))
+        return self._from_weighted(out_dims, pairs)
+
+    def select_range(self, dim: str, lo: int, hi: int) -> "ReservoirSampleSynopsis":
+        di = self.dim_index(dim)
+        pairs = [
+            (r, w) for r, w in self._weighted_rows() if lo <= r[di] <= hi
+        ]
+        return self._from_weighted(self.dimensions, pairs)
+
+    def group_counts(self, dim: str) -> dict[int, float]:
+        di = self.dim_index(dim)
+        out: dict[int, float] = {}
+        for r, w in self._weighted_rows():
+            v = int(r[di])
+            out[v] = out.get(v, 0.0) + w
+        return out
+
+    def scale(self, factor: float) -> "ReservoirSampleSynopsis":
+        return self._from_weighted(
+            self.dimensions, [(r, w * factor) for r, w in self._weighted_rows()]
+        )
+
+    def storage_size(self) -> int:
+        return len(self._rows)
+
+    def empty_like(self) -> "ReservoirSampleSynopsis":
+        return ReservoirSampleSynopsis(self.dimensions, self.capacity, self.seed)
+
+
+def _systematic_resample(
+    pairs: list[tuple[tuple, float]], k: int, rng: random.Random
+) -> list[tuple[tuple, float]]:
+    """Weight-proportional systematic resampling down to ``k`` rows.
+
+    Preserves total weight exactly (each survivor carries total/k) and gives
+    every input row inclusion probability proportional to its weight.
+    """
+    total = sum(w for _, w in pairs)
+    if total <= 0:
+        return []
+    step = total / k
+    offset = rng.random() * step
+    out: list[tuple[tuple, float]] = []
+    cum = 0.0
+    i = 0
+    for _ in range(k):
+        target = offset + len(out) * step
+        while i < len(pairs) and cum + pairs[i][1] <= target:
+            cum += pairs[i][1]
+            i += 1
+        if i >= len(pairs):
+            break
+        out.append((pairs[i][0], step))
+    return out
+
+
+class ReservoirSampleFactory(SynopsisFactory):
+    """Factory for :class:`ReservoirSampleSynopsis`."""
+
+    def __init__(self, capacity: int = 100, seed: int = 0) -> None:
+        self.capacity = capacity
+        self.seed = seed
+        self._counter = 0
+
+    def create(self, dimensions: Sequence[Dimension]) -> ReservoirSampleSynopsis:
+        # Vary the seed per created synopsis so windows are independent but
+        # the whole run stays deterministic.
+        self._counter += 1
+        return ReservoirSampleSynopsis(
+            dimensions, self.capacity, seed=self.seed * 1_000_003 + self._counter
+        )
+
+    @property
+    def name(self) -> str:
+        return f"reservoir(k={self.capacity})"

@@ -1,0 +1,17 @@
+"""Detail-in-context visualization (paper Figure 3 / Section 8.1)."""
+
+from repro.viz.ascii_backend import render_ascii
+from repro.viz.chart_backend import render_series_svg
+from repro.viz.scene import PointMark, RectMark, Scene, SceneError, build_scene
+from repro.viz.svg_backend import render_svg
+
+__all__ = [
+    "Scene",
+    "PointMark",
+    "RectMark",
+    "SceneError",
+    "build_scene",
+    "render_ascii",
+    "render_svg",
+    "render_series_svg",
+]

@@ -1,0 +1,119 @@
+"""SVG line charts for experiment series (Figures 8/9 as vector graphics).
+
+Renders a :class:`repro.quality.report.Series` — per-method mean curves with
+±1σ error bars, in the visual idiom of the paper's figures: x = data rate,
+y = RMS error, one polyline + marker shape per method, legend top-left.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.quality.report import Series
+
+COLORS = ["#1f4e9c", "#c22f2f", "#2d8a4e", "#8a5d2d", "#6d2d8a", "#2d7f8a"]
+MARGIN = 56
+
+
+def render_series_svg(
+    series: Series, width: int = 560, height: int = 400
+) -> str:
+    """Render a series as a standalone SVG document string."""
+    if not series.rows:
+        raise ValueError("series has no data points")
+    xs = [x for x, _ in series.rows]
+    y_top = max(
+        s[m].mean + s[m].std for _, s in series.rows for m in series.methods
+    )
+    y_top = y_top or 1.0
+    x0, x1 = min(xs), max(xs)
+    span = (x1 - x0) or 1.0
+    plot_w, plot_h = width - 2 * MARGIN, height - 2 * MARGIN
+
+    def sx(x: float) -> float:
+        return MARGIN + (x - x0) / span * plot_w
+
+    def sy(y: float) -> float:
+        return MARGIN + plot_h - min(y, y_top) / y_top * plot_h
+
+    out = io.StringIO()
+    out.write(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="sans-serif">\n'
+    )
+    out.write(
+        f'  <rect x="{MARGIN}" y="{MARGIN}" width="{plot_w}" '
+        f'height="{plot_h}" fill="white" stroke="#444"/>\n'
+    )
+    # Gridlines + y labels.
+    for i in range(5):
+        y_val = y_top * i / 4
+        y_pix = sy(y_val)
+        out.write(
+            f'  <line x1="{MARGIN}" y1="{y_pix:.1f}" x2="{MARGIN + plot_w}" '
+            f'y2="{y_pix:.1f}" stroke="#ddd"/>\n'
+        )
+        out.write(
+            f'  <text x="{MARGIN - 6}" y="{y_pix + 4:.1f}" font-size="11" '
+            f'text-anchor="end">{y_val:.0f}</text>\n'
+        )
+    # X ticks at each swept value.
+    for x in xs:
+        out.write(
+            f'  <text x="{sx(x):.1f}" y="{MARGIN + plot_h + 16}" '
+            f'font-size="11" text-anchor="middle">{x:g}</text>\n'
+        )
+
+    for mi, method in enumerate(series.methods):
+        color = COLORS[mi % len(COLORS)]
+        points = []
+        for x, summaries in series.rows:
+            s = summaries[method]
+            px, py = sx(x), sy(s.mean)
+            points.append(f"{px:.1f},{py:.1f}")
+            # ±1σ error bar.
+            y_lo, y_hi = sy(max(0.0, s.mean - s.std)), sy(s.mean + s.std)
+            out.write(
+                f'  <line x1="{px:.1f}" y1="{y_lo:.1f}" x2="{px:.1f}" '
+                f'y2="{y_hi:.1f}" stroke="{color}" stroke-width="1"/>\n'
+            )
+            out.write(
+                f'  <circle cx="{px:.1f}" cy="{py:.1f}" r="3" '
+                f'fill="{color}"/>\n'
+            )
+        out.write(
+            f'  <polyline points="{" ".join(points)}" fill="none" '
+            f'stroke="{color}" stroke-width="1.5"/>\n'
+        )
+        # Legend entry.
+        ly = MARGIN + 14 + 16 * mi
+        out.write(
+            f'  <line x1="{MARGIN + 10}" y1="{ly}" x2="{MARGIN + 34}" '
+            f'y2="{ly}" stroke="{color}" stroke-width="2"/>\n'
+        )
+        out.write(
+            f'  <text x="{MARGIN + 40}" y="{ly + 4}" font-size="12">'
+            f"{_escape(method)}</text>\n"
+        )
+
+    out.write(
+        f'  <text x="{width / 2:.0f}" y="22" font-size="14" '
+        f'font-weight="bold" text-anchor="middle">'
+        f"{_escape(series.title)}</text>\n"
+    )
+    out.write(
+        f'  <text x="{width / 2:.0f}" y="{height - 8}" font-size="12" '
+        f'text-anchor="middle">{_escape(series.x_label)}</text>\n'
+    )
+    out.write(
+        f'  <text x="16" y="{height / 2:.0f}" font-size="12" '
+        f'text-anchor="middle" transform="rotate(-90 16 {height / 2:.0f})">'
+        "RMS error</text>\n"
+    )
+    out.write("</svg>\n")
+    return out.getvalue()
+
+
+def _escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")

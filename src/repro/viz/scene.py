@@ -1,0 +1,134 @@
+"""Detail-in-context scenes: exact results as points, lost results as boxes.
+
+Paper Figure 3 shows the TelegraphCQ web interface rendering *"query results
+as blue points and the system's estimate of lost result tuples as rectangles
+in varying shades of red"* — an instance of the detail-in-context
+visualization problem (Section 8.1).  A :class:`Scene` is the
+backend-independent form of that picture; the ASCII and SVG backends render
+it.
+
+Scenes are built straight from pipeline outputs: the window's exact result
+rows become points, the shadow synopsis's buckets become intensity-weighted
+rectangles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.multiset import Multiset
+from repro.engine.types import Schema
+from repro.synopses.base import Synopsis
+
+
+@dataclass(frozen=True)
+class PointMark:
+    """One exact result tuple (blue point in the paper's UI)."""
+
+    x: float
+    y: float
+    weight: int = 1
+
+
+@dataclass(frozen=True)
+class RectMark:
+    """One synopsis bucket (red rectangle); intensity in [0, 1]."""
+
+    x0: float
+    x1: float
+    y0: float
+    y1: float
+    intensity: float
+
+
+@dataclass
+class Scene:
+    """A 2-D detail-in-context picture."""
+
+    title: str
+    x_label: str
+    y_label: str
+    x_domain: tuple[float, float]
+    y_domain: tuple[float, float]
+    points: list[PointMark] = field(default_factory=list)
+    rects: list[RectMark] = field(default_factory=list)
+
+    @property
+    def max_rect_mass(self) -> float:
+        return max((r.intensity for r in self.rects), default=0.0)
+
+
+class SceneError(ValueError):
+    """Raised when inputs cannot be turned into a scene."""
+
+
+def _bucket_items(synopsis: Synopsis):
+    items = getattr(synopsis, "bucket_items", None)
+    if items is None:
+        raise SceneError(
+            f"{type(synopsis).__name__} does not expose bucket geometry; "
+            "use a histogram synopsis for visualization"
+        )
+    return items()
+
+
+def build_scene(
+    exact_rows: Multiset,
+    schema: Schema,
+    lost: Synopsis | None,
+    x_column: str,
+    y_column: str,
+    title: str = "query results + estimated losses",
+) -> Scene:
+    """Assemble a scene from a window's exact rows and its loss synopsis.
+
+    ``x_column``/``y_column`` name the two result attributes to plot; they
+    must be columns of ``schema`` and (when ``lost`` is given) dimensions of
+    the synopsis.  Rectangle intensity is each bucket's share of the largest
+    bucket mass — "varying shades of red."
+    """
+    xp = schema.position(x_column)
+    yp = schema.position(y_column)
+    points = [
+        PointMark(x=row[xp], y=row[yp], weight=mult)
+        for row, mult in exact_rows.items()
+    ]
+
+    rects: list[RectMark] = []
+    x_dom: tuple[float, float] | None = None
+    y_dom: tuple[float, float] | None = None
+    if lost is not None and lost.total() > 0:
+        xi = lost.dim_index(x_column)
+        yi = lost.dim_index(y_column)
+        dx, dy = lost.dimensions[xi], lost.dimensions[yi]
+        x_dom, y_dom = (dx.lo, dx.hi), (dy.lo, dy.hi)
+        flat = lost.project([dx.name, dy.name])
+        items = _bucket_items(flat)
+        max_mass = max((m for _, m in items), default=0.0)
+        for box, mass in items:
+            if mass <= 0:
+                continue
+            (x0, x1), (y0, y1) = box[0], box[1]
+            rects.append(
+                RectMark(
+                    x0=x0,
+                    x1=x1 + 1,  # inclusive value range -> half-open extent
+                    y0=y0,
+                    y1=y1 + 1,
+                    intensity=mass / max_mass if max_mass else 0.0,
+                )
+            )
+    if x_dom is None:
+        xs = [p.x for p in points] or [0.0, 1.0]
+        ys = [p.y for p in points] or [0.0, 1.0]
+        x_dom = (min(xs), max(xs) + 1)
+        y_dom = (min(ys), max(ys) + 1)
+    return Scene(
+        title=title,
+        x_label=x_column,
+        y_label=y_column,
+        x_domain=x_dom,
+        y_domain=y_dom,
+        points=points,
+        rects=rects,
+    )

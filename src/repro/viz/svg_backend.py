@@ -1,0 +1,80 @@
+"""SVG rendering of detail-in-context scenes.
+
+Produces a standalone SVG document matching Figure 3's visual encoding:
+blue circles for exact result tuples, red rectangles with opacity
+proportional to estimated lost-result mass.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.viz.scene import Scene
+
+POINT_COLOR = "#1f4e9c"  # blue
+RECT_COLOR = "#c22f2f"  # red
+MARGIN = 40
+
+
+def render_svg(scene: Scene, width: int = 480, height: int = 360) -> str:
+    """Render a scene as an SVG document string."""
+    x0, x1 = scene.x_domain
+    y0, y1 = scene.y_domain
+    if x1 <= x0 or y1 <= y0:
+        raise ValueError("degenerate scene domain")
+    plot_w = width - 2 * MARGIN
+    plot_h = height - 2 * MARGIN
+
+    def sx(x: float) -> float:
+        return MARGIN + (x - x0) / (x1 - x0) * plot_w
+
+    def sy(y: float) -> float:
+        return MARGIN + plot_h - (y - y0) / (y1 - y0) * plot_h
+
+    out = io.StringIO()
+    out.write(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">\n'
+    )
+    out.write(f'  <title>{_escape(scene.title)}</title>\n')
+    out.write(
+        f'  <rect x="{MARGIN}" y="{MARGIN}" width="{plot_w}" height="{plot_h}" '
+        'fill="white" stroke="#444"/>\n'
+    )
+    for rect in scene.rects:
+        rx, ry = sx(rect.x0), sy(rect.y1)
+        rw = sx(rect.x1) - sx(rect.x0)
+        rh = sy(rect.y0) - sy(rect.y1)
+        opacity = 0.15 + 0.75 * rect.intensity
+        out.write(
+            f'  <rect x="{rx:.2f}" y="{ry:.2f}" width="{rw:.2f}" '
+            f'height="{rh:.2f}" fill="{RECT_COLOR}" '
+            f'fill-opacity="{opacity:.3f}" stroke="none"/>\n'
+        )
+    for p in scene.points:
+        r = 2.0 + min(3.0, 0.5 * (p.weight - 1))
+        out.write(
+            f'  <circle cx="{sx(p.x):.2f}" cy="{sy(p.y):.2f}" r="{r:.2f}" '
+            f'fill="{POINT_COLOR}"/>\n'
+        )
+    out.write(
+        f'  <text x="{width / 2:.0f}" y="{height - 8}" text-anchor="middle" '
+        f'font-size="12">{_escape(scene.x_label)}</text>\n'
+    )
+    out.write(
+        f'  <text x="14" y="{height / 2:.0f}" text-anchor="middle" '
+        f'font-size="12" transform="rotate(-90 14 {height / 2:.0f})">'
+        f"{_escape(scene.y_label)}</text>\n"
+    )
+    out.write(
+        f'  <text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+        f'font-size="13" font-weight="bold">{_escape(scene.title)}</text>\n'
+    )
+    out.write("</svg>\n")
+    return out.getvalue()
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

@@ -1,0 +1,140 @@
+"""Unit tests for the Multiset bag-relation type."""
+
+import pytest
+
+from repro.algebra import Multiset
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = Multiset()
+        assert len(m) == 0
+        assert not m
+        assert m.support() == set()
+
+    def test_from_iterable_counts_duplicates(self):
+        m = Multiset([(1,), (2,), (1,)])
+        assert len(m) == 3
+        assert m.multiplicity((1,)) == 2
+        assert m.multiplicity((2,)) == 1
+
+    def test_from_counts(self):
+        m = Multiset.from_counts({(1,): 3, (2,): 0})
+        assert m.multiplicity((1,)) == 3
+        assert (2,) not in m  # zero entries elided
+
+    def test_from_counts_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative multiplicity"):
+            Multiset.from_counts({(1,): -1})
+
+    def test_copy_is_independent(self):
+        a = Multiset([(1,)])
+        b = a.copy()
+        b.add((2,))
+        assert (2,) not in a
+        assert (2,) in b
+
+
+class TestMutation:
+    def test_add_multiple(self):
+        m = Multiset()
+        m.add((1,), 5)
+        assert m.multiplicity((1,)) == 5
+
+    def test_add_zero_is_noop(self):
+        m = Multiset()
+        m.add((1,), 0)
+        assert (1,) not in m
+
+    def test_add_negative_rejected(self):
+        m = Multiset()
+        with pytest.raises(ValueError):
+            m.add((1,), -2)
+
+    def test_discard_partial(self):
+        m = Multiset([(1,), (1,), (1,)])
+        removed = m.discard((1,), 2)
+        assert removed == 2
+        assert m.multiplicity((1,)) == 1
+
+    def test_discard_more_than_present(self):
+        m = Multiset([(1,)])
+        removed = m.discard((1,), 5)
+        assert removed == 1
+        assert (1,) not in m
+
+    def test_discard_absent(self):
+        m = Multiset()
+        assert m.discard((9,)) == 0
+
+
+class TestBagAlgebra:
+    def test_union_adds_multiplicities(self):
+        a = Multiset([(1,), (1,)])
+        b = Multiset([(1,), (2,)])
+        c = a + b
+        assert c.multiplicity((1,)) == 3
+        assert c.multiplicity((2,)) == 1
+
+    def test_difference_is_monus(self):
+        a = Multiset([(1,), (1,), (2,)])
+        b = Multiset([(1,), (1,), (1,), (3,)])
+        c = a - b
+        assert c.multiplicity((1,)) == 0
+        assert c.multiplicity((2,)) == 1
+        assert (3,) not in c  # never negative
+
+    def test_intersection_takes_min(self):
+        a = Multiset([(1,)] * 3 + [(2,)])
+        b = Multiset([(1,)] * 2 + [(3,)])
+        c = a & b
+        assert c.multiplicity((1,)) == 2
+        assert (2,) not in c and (3,) not in c
+
+    def test_union_difference_inverse_when_disjoint_excess(self):
+        a = Multiset([(1,), (2,)])
+        b = Multiset([(3,)])
+        assert (a + b) - b == a
+
+    def test_operands_unchanged(self):
+        a = Multiset([(1,)])
+        b = Multiset([(1,)])
+        _ = a + b
+        _ = a - b
+        _ = a & b
+        assert len(a) == 1 and len(b) == 1
+
+
+class TestInspection:
+    def test_iteration_yields_each_copy(self):
+        m = Multiset([(1,), (1,), (2,)])
+        assert sorted(m) == [(1,), (1,), (2,)]
+
+    def test_items_pairs(self):
+        m = Multiset([(1,), (1,)])
+        assert dict(m.items()) == {(1,): 2}
+
+    def test_counts_is_a_copy(self):
+        m = Multiset([(1,)])
+        c = m.counts()
+        c[(1,)] = 99
+        assert m.multiplicity((1,)) == 1
+
+    def test_equality_canonical(self):
+        a = Multiset([(1,), (2,)])
+        b = Multiset([(2,), (1,)])
+        assert a == b
+
+    def test_equality_respects_multiplicity(self):
+        assert Multiset([(1,)]) != Multiset([(1,), (1,)])
+
+    def test_eq_other_type(self):
+        assert Multiset() != 42
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Multiset())
+
+    def test_repr_mentions_sizes(self):
+        m = Multiset([(1,), (1,)])
+        assert "2" in repr(m) and "1" in repr(m)

@@ -1,0 +1,213 @@
+"""Unit tests for plain and differential relational operators."""
+
+import pytest
+
+from repro.algebra import (
+    DifferentialRelation,
+    Multiset,
+    cross,
+    difference,
+    differential_cross,
+    differential_difference,
+    differential_difference_paper,
+    differential_equijoin,
+    differential_project,
+    differential_select,
+    differential_union_all,
+    equijoin,
+    project,
+    select,
+    theta_join,
+    union_all,
+)
+
+
+class TestPlainOperators:
+    def test_select_keeps_multiplicity(self):
+        rel = Multiset([(1,), (1,), (2,)])
+        out = select(rel, lambda r: r[0] == 1)
+        assert out == Multiset([(1,), (1,)])
+
+    def test_project_bag_semantics(self):
+        rel = Multiset([(1, 10), (2, 10)])
+        out = project(rel, [1])
+        assert out.multiplicity((10,)) == 2  # duplicates kept
+
+    def test_project_reorders_columns(self):
+        rel = Multiset([(1, 2)])
+        assert project(rel, [1, 0]) == Multiset([(2, 1)])
+
+    def test_cross_multiplies_multiplicities(self):
+        a = Multiset([(1,), (1,)])
+        b = Multiset([(9,)] * 3)
+        out = cross(a, b)
+        assert out.multiplicity((1, 9)) == 6
+        assert len(out) == 6
+
+    def test_cross_with_empty(self):
+        assert len(cross(Multiset([(1,)]), Multiset())) == 0
+
+    def test_theta_join(self):
+        a = Multiset([(1,), (5,)])
+        b = Multiset([(3,)])
+        out = theta_join(a, b, lambda r: r[0] < r[1])
+        assert out == Multiset([(1, 3)])
+
+    def test_equijoin_matches_keys(self):
+        a = Multiset([(1, "x"), (2, "y")])
+        b = Multiset([(1, "z"), (1, "w")])
+        out = equijoin(a, b, [0], [0])
+        assert len(out) == 2
+        assert out.multiplicity((1, "x", 1, "z")) == 1
+
+    def test_equijoin_multi_key(self):
+        a = Multiset([(1, 2)])
+        b = Multiset([(1, 2), (1, 3)])
+        out = equijoin(a, b, [0, 1], [0, 1])
+        assert len(out) == 1
+
+    def test_equijoin_key_length_mismatch(self):
+        with pytest.raises(ValueError):
+            equijoin(Multiset(), Multiset(), [0], [0, 1])
+
+    def test_union_all(self):
+        assert union_all(Multiset([(1,)]), Multiset([(1,)])) == Multiset(
+            [(1,), (1,)]
+        )
+
+    def test_difference(self):
+        assert difference(Multiset([(1,), (1,)]), Multiset([(1,)])) == Multiset(
+            [(1,)]
+        )
+
+
+def _triple(kept_rows, dropped_rows):
+    return DifferentialRelation.from_kept_and_dropped(
+        Multiset(kept_rows), Multiset(dropped_rows)
+    )
+
+
+class TestDifferentialOperators:
+    """Each F̂ must keep the invariant: noisy == F(exact) + added - dropped,
+    and exact() of the output must equal F applied to exact inputs."""
+
+    def test_select_distributes(self):
+        t = _triple([(1,), (2,)], [(1,), (3,)])
+        out = differential_select(t, lambda r: r[0] != 2)
+        assert out.noisy == Multiset([(1,)])
+        assert out.dropped == Multiset([(1,), (3,)])
+        assert out.exact() == select(t.exact(), lambda r: r[0] != 2)
+
+    def test_project_distributes(self):
+        t = _triple([(1, 5)], [(2, 5)])
+        out = differential_project(t, [1])
+        assert out.exact() == project(t.exact(), [1])
+        assert out.noisy == Multiset([(5,)])
+
+    def test_cross_exactness(self):
+        s = _triple([(1,)], [(2,)])
+        t = _triple([(10,)], [(20,)])
+        out = differential_cross(s, t)
+        assert out.noisy == cross(s.noisy, t.noisy)
+        assert out.exact() == cross(s.exact(), t.exact())
+        assert out.is_well_formed()
+
+    def test_cross_dropped_decomposition(self):
+        # dropped = S-xT- + S-xK_T + K_SxT- (paper eq. 8)
+        s = _triple([(1,)], [(2,)])
+        t = _triple([(10,)], [(20,)])
+        out = differential_cross(s, t)
+        expected = (
+            cross(s.dropped, t.dropped)
+            + cross(s.dropped, t.noisy)
+            + cross(s.noisy, t.dropped)
+        )
+        assert out.dropped == expected
+
+    def test_equijoin_exactness(self):
+        s = _triple([(1, "a"), (2, "b")], [(1, "c")])
+        t = _triple([(1, "x")], [(2, "y"), (1, "z")])
+        out = differential_equijoin(s, t, [0], [0])
+        assert out.noisy == equijoin(s.noisy, t.noisy, [0], [0])
+        assert out.exact() == equijoin(s.exact(), t.exact(), [0], [0])
+        assert out.is_well_formed()
+
+    def test_union_all_distributes(self):
+        s = _triple([(1,)], [(2,)])
+        t = _triple([(3,)], [(4,)])
+        out = differential_union_all(s, t)
+        assert out.noisy == Multiset([(1,), (3,)])
+        assert out.dropped == Multiset([(2,), (4,)])
+        assert out.exact() == union_all(s.exact(), t.exact())
+
+    def test_spj_inputs_never_produce_added(self):
+        # Load shedding only removes base tuples; sigma/pi/x/join keep
+        # added empty (footnote 1 in the paper).
+        s = _triple([(1,)], [(2,)])
+        t = _triple([(1,)], [(2,)])
+        for out in (
+            differential_select(s, lambda r: True),
+            differential_project(s, [0]),
+            differential_cross(s, t),
+            differential_equijoin(s, t, [0], [0]),
+        ):
+            assert len(out.added) == 0
+
+
+class TestDifferentialDifference:
+    def test_sound_version_invariant(self):
+        s = _triple([(1,), (2,)], [(3,)])
+        t = _triple([(2,)], [(1,)])
+        out = differential_difference(s, t)
+        assert out.noisy == s.noisy - t.noisy
+        assert out.exact() == s.exact() - t.exact()
+
+    def test_difference_can_add_results(self):
+        # Dropping from T's noisy side makes S - T grow: R+ is non-empty.
+        s = _triple([(1,)], [])
+        t = _triple([(1,)], [])  # noisy contains x...
+        t2 = DifferentialRelation(
+            noisy=Multiset([(1,)]), added=Multiset(), dropped=Multiset()
+        )
+        # t's exact == {x}; now drop x from t's noisy channel:
+        t3 = DifferentialRelation(
+            noisy=Multiset(), added=Multiset(), dropped=Multiset([(1,)])
+        )
+        out = differential_difference(s, t3)
+        # Noisy answer has x (t lost its copy), exact answer is empty.
+        assert out.noisy == Multiset([(1,)])
+        assert out.exact() == Multiset()
+        assert out.added == Multiset([(1,)])
+
+    def test_paper_formula_agrees_on_set_semantics(self):
+        # Set-style triples: duplicate-free channels, S- disjoint from
+        # S_noisy, S+ a subset of S_noisy.
+        s = DifferentialRelation(
+            noisy=Multiset([(1,), (2,)]),
+            added=Multiset([(2,)]),
+            dropped=Multiset([(3,)]),
+        )
+        t = DifferentialRelation(
+            noisy=Multiset([(2,), (4,)]),
+            added=Multiset([(4,)]),
+            dropped=Multiset([(5,)]),
+        )
+        paper = differential_difference_paper(s, t)
+        sound = differential_difference(s, t)
+        assert paper.noisy == sound.noisy
+        assert paper.exact() == sound.exact()
+
+    def test_paper_formula_multiset_counterexample(self):
+        """Documented erratum: eq. 9 is unsound when a dropped tuple
+        duplicates a surviving noisy tuple (monus non-linearity)."""
+        s = DifferentialRelation(
+            noisy=Multiset([(1,)]), added=Multiset(), dropped=Multiset([(1,)])
+        )
+        t = DifferentialRelation(
+            noisy=Multiset([(1,)]), added=Multiset(), dropped=Multiset()
+        )
+        paper = differential_difference_paper(s, t)
+        # Exact S - T = {x,x} - {x} = {x}; noisy = {} -> R- must hold x.
+        assert paper.exact() != s.exact() - t.exact()  # the paper formula fails
+        sound = differential_difference(s, t)
+        assert sound.exact() == s.exact() - t.exact()  # ours does not

@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) for the algebraic foundation.
+
+These check the laws the Data Triage rewrite leans on: bag-algebra
+identities of Multiset, and preservation of the differential invariant
+``F(exact) == F̂(triple).exact()`` under every operator, for arbitrary
+drop/keep splits.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    DifferentialRelation,
+    Multiset,
+    cross,
+    difference,
+    differential_cross,
+    differential_difference,
+    differential_equijoin,
+    differential_project,
+    differential_select,
+    equijoin,
+    project,
+    select,
+)
+
+rows = st.tuples(st.integers(0, 5), st.integers(0, 5))
+bags = st.lists(rows, max_size=25).map(Multiset)
+
+
+def split(bag: Multiset, mask: list[bool]) -> tuple[Multiset, Multiset]:
+    kept, dropped = Multiset(), Multiset()
+    for i, row in enumerate(bag):
+        (kept if mask[i % max(len(mask), 1)] else dropped).add(row)
+    return kept, dropped
+
+
+splits = st.tuples(bags, st.lists(st.booleans(), min_size=1, max_size=8))
+
+
+def make_triple(bag_and_mask) -> tuple[Multiset, DifferentialRelation]:
+    bag, mask = bag_and_mask
+    kept, dropped = split(bag, mask)
+    return bag, DifferentialRelation.from_kept_and_dropped(kept, dropped)
+
+
+class TestMultisetLaws:
+    @given(bags, bags)
+    def test_union_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(bags, bags, bags)
+    def test_union_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(bags, bags)
+    def test_monus_never_negative(self, a, b):
+        c = a - b
+        for row in c.support():
+            assert c.multiplicity(row) >= 0
+
+    @given(bags, bags)
+    def test_union_then_monus_recovers(self, a, b):
+        assert (a + b) - b == a
+
+    @given(bags, bags)
+    def test_monus_union_inequality(self, a, b):
+        # (a - b) + b >= a pointwise (equality iff b <= a pointwise).
+        c = (a - b) + b
+        for row in a.support():
+            assert c.multiplicity(row) >= a.multiplicity(row)
+
+    @given(bags, bags)
+    def test_intersection_bounded(self, a, b):
+        c = a & b
+        for row in c.support():
+            assert c.multiplicity(row) <= min(
+                a.multiplicity(row), b.multiplicity(row)
+            )
+
+    @given(bags)
+    def test_cardinality_is_sum_of_multiplicities(self, a):
+        assert len(a) == sum(n for _, n in a.items())
+
+
+class TestDifferentialInvariants:
+    """F(exact) == F̂(triple).exact() and noisy-channel faithfulness."""
+
+    @given(splits)
+    def test_select(self, s):
+        bag, triple = make_triple(s)
+        pred = lambda r: r[0] % 2 == 0
+        out = differential_select(triple, pred)
+        assert out.exact() == select(bag, pred)
+        assert out.noisy == select(triple.noisy, pred)
+
+    @given(splits)
+    def test_project(self, s):
+        bag, triple = make_triple(s)
+        out = differential_project(triple, [1])
+        assert out.exact() == project(bag, [1])
+
+    @settings(max_examples=40)
+    @given(splits, splits)
+    def test_cross(self, s1, s2):
+        bag1, t1 = make_triple(s1)
+        bag2, t2 = make_triple(s2)
+        out = differential_cross(t1, t2)
+        assert out.exact() == cross(bag1, bag2)
+        assert out.noisy == cross(t1.noisy, t2.noisy)
+        assert out.is_well_formed()
+
+    @settings(max_examples=40)
+    @given(splits, splits)
+    def test_equijoin(self, s1, s2):
+        bag1, t1 = make_triple(s1)
+        bag2, t2 = make_triple(s2)
+        out = differential_equijoin(t1, t2, [0], [0])
+        assert out.exact() == equijoin(bag1, bag2, [0], [0])
+        assert out.noisy == equijoin(t1.noisy, t2.noisy, [0], [0])
+
+    @settings(max_examples=40)
+    @given(splits, splits)
+    def test_difference_sound_for_all_multisets(self, s1, s2):
+        bag1, t1 = make_triple(s1)
+        bag2, t2 = make_triple(s2)
+        out = differential_difference(t1, t2)
+        assert out.exact() == difference(bag1, bag2)
+        assert out.noisy == difference(t1.noisy, t2.noisy)
+
+    @settings(max_examples=40)
+    @given(splits, splits)
+    def test_composition_preserves_invariant(self, s1, s2):
+        """A two-operator plan: sigma after join, as the rewrite composes them."""
+        bag1, t1 = make_triple(s1)
+        bag2, t2 = make_triple(s2)
+        pred = lambda r: r[1] <= 3
+        out = differential_select(
+            differential_equijoin(t1, t2, [0], [0]), pred
+        )
+        expected = select(equijoin(bag1, bag2, [0], [0]), pred)
+        assert out.exact() == expected

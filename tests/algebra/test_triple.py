@@ -1,0 +1,73 @@
+"""Tests for the (noisy, added, dropped) differential relation triple."""
+
+from repro.algebra import DifferentialRelation, Multiset
+
+
+def test_from_exact_has_empty_deltas():
+    exact = Multiset([(1,), (2,)])
+    t = DifferentialRelation.from_exact(exact)
+    assert t.noisy == exact
+    assert not t.added and not t.dropped
+    assert t.is_exact()
+
+
+def test_from_exact_copies_input():
+    exact = Multiset([(1,)])
+    t = DifferentialRelation.from_exact(exact)
+    exact.add((2,))
+    assert (2,) not in t.noisy
+
+
+def test_from_kept_and_dropped():
+    kept = Multiset([(1,)])
+    dropped = Multiset([(2,), (2,)])
+    t = DifferentialRelation.from_kept_and_dropped(kept, dropped)
+    assert t.noisy == kept
+    assert t.dropped == dropped
+    assert not t.added
+    assert not t.is_exact()
+
+
+def test_exact_reconstruction_equation_2():
+    # exact = noisy - added + dropped
+    t = DifferentialRelation(
+        noisy=Multiset([(1,), (3,)]),
+        added=Multiset([(3,)]),
+        dropped=Multiset([(2,)]),
+    )
+    assert t.exact() == Multiset([(1,), (2,)])
+
+
+def test_check_invariant_equation_1():
+    t = DifferentialRelation(
+        noisy=Multiset([(1,), (3,)]),
+        added=Multiset([(3,)]),
+        dropped=Multiset([(2,)]),
+    )
+    assert t.check_invariant(Multiset([(1,), (2,)]))
+    assert not t.check_invariant(Multiset([(1,), (1,)]))
+
+
+def test_is_well_formed_true_for_drop_only_triple():
+    t = DifferentialRelation.from_kept_and_dropped(
+        Multiset([(1,)]), Multiset([(2,)])
+    )
+    assert t.is_well_formed()
+
+
+def test_is_well_formed_detects_phantom_added():
+    # `added` claims a tuple that noisy does not contain: monus cannot
+    # reproduce noisy from the reconstructed exact relation.
+    t = DifferentialRelation(
+        noisy=Multiset([(1,)]),
+        added=Multiset([(9,)]),
+        dropped=Multiset(),
+    )
+    assert not t.is_well_formed()
+
+
+def test_repr_counts():
+    t = DifferentialRelation.from_kept_and_dropped(
+        Multiset([(1,)]), Multiset([(2,), (3,)])
+    )
+    assert "noisy=1" in repr(t) and "dropped=2" in repr(t)

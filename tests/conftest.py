@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.catalog import Catalog
+from repro.engine.types import ColumnType, Schema
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+@pytest.fixture
+def paper_catalog() -> Catalog:
+    """The R(a) / S(b, c) / T(d) catalog of the paper's experiments."""
+    cat = Catalog()
+    cat.create_stream("R", Schema.of(("a", ColumnType.INTEGER)))
+    cat.create_stream(
+        "S", Schema.of(("b", ColumnType.INTEGER), ("c", ColumnType.INTEGER))
+    )
+    cat.create_stream("T", Schema.of(("d", ColumnType.INTEGER)))
+    return cat
+
+
+PAPER_QUERY = (
+    "SELECT a, COUNT(*) AS count FROM R, S, T "
+    "WHERE R.a = S.b AND S.c = T.d GROUP BY a;"
+)
+
+
+@pytest.fixture
+def paper_query_text() -> str:
+    return PAPER_QUERY

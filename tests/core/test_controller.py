@@ -1,0 +1,74 @@
+"""Tests for the load controller."""
+
+import pytest
+
+from repro.core import LoadController
+from repro.core.triage_queue import QueueStats
+
+
+def stats(offered, dropped):
+    s = QueueStats()
+    s.offered = offered
+    s.dropped = dropped
+    return s
+
+
+class TestObservation:
+    def test_rate_estimate_converges(self):
+        c = LoadController(alpha=0.5)
+        total = 0
+        for _ in range(20):
+            total += 100
+            c.observe(1.0, stats(total, 0))
+        assert c.estimate.arrival_rate == pytest.approx(100.0, rel=0.01)
+        assert not c.estimate.shedding
+
+    def test_drop_fraction_tracked(self):
+        c = LoadController(alpha=1.0)
+        c.observe(1.0, stats(100, 40))
+        assert c.estimate.drop_fraction == pytest.approx(0.4)
+        assert c.estimate.shedding
+
+    def test_deltas_not_cumulative(self):
+        c = LoadController(alpha=1.0)
+        c.observe(1.0, stats(100, 10))
+        c.observe(1.0, stats(150, 10))  # 50 new offers, 0 new drops
+        assert c.estimate.arrival_rate == pytest.approx(50.0)
+        assert c.estimate.drop_fraction == pytest.approx(0.0)
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ValueError):
+            LoadController().observe(0.0, stats(1, 0))
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            LoadController(alpha=0.0)
+        with pytest.raises(ValueError):
+            LoadController(alpha=1.5)
+
+
+class TestRecommendation:
+    def test_staleness_bounds_capacity(self):
+        c = LoadController(alpha=1.0, max_staleness=2.0)
+        c.observe(1.0, stats(10_000, 0))  # huge arrival rate
+        # service_time 10ms -> at most 200 tuples drain in 2s.
+        assert c.recommended_capacity(service_time=0.01) == 200
+
+    def test_arrival_bounds_capacity_when_low(self):
+        c = LoadController(alpha=1.0, max_staleness=2.0, min_capacity=16)
+        c.observe(1.0, stats(30, 0))  # 30 tuples/sec
+        # 2s of arrivals = 60 < staleness cap.
+        assert c.recommended_capacity(service_time=0.001) == 60
+
+    def test_min_capacity_floor(self):
+        c = LoadController(alpha=1.0, min_capacity=16)
+        c.observe(1.0, stats(1, 0))
+        assert c.recommended_capacity(service_time=0.001) >= 16
+
+    def test_invalid_service_time(self):
+        with pytest.raises(ValueError):
+            LoadController().recommended_capacity(0.0)
+
+    def test_invalid_staleness(self):
+        with pytest.raises(ValueError):
+            LoadController(max_staleness=0.0)

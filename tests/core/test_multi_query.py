@@ -1,0 +1,132 @@
+"""Tests for shared triage across multiple continuous queries."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    PipelineConfig,
+    ShedStrategy,
+    SharedTriageRuntime,
+)
+from repro.engine import WindowSpec
+from repro.quality import run_rms
+from repro.rewrite import RewriteError
+from repro.sources import SteadyArrival, generate_stream, paper_row_generators
+
+Q_THREE_WAY = (
+    "SELECT a, COUNT(*) AS n FROM R, S, T "
+    "WHERE R.a = S.b AND S.c = T.d GROUP BY a;"
+)
+Q_TWO_WAY = (
+    "SELECT c, COUNT(*) AS n FROM S, T WHERE S.c = T.d GROUP BY c;"
+)
+Q_SINGLE = "SELECT d, COUNT(*) AS n FROM T GROUP BY d;"
+
+
+def build_streams(rate_per_stream, n, seed=7):
+    rng = random.Random(seed)
+    gens = paper_row_generators()
+    return {
+        name: generate_stream(
+            n, SteadyArrival(rate_per_stream), gens[name], None, rng
+        )
+        for name in ("R", "S", "T")
+    }
+
+
+def make_runtime(paper_catalog, queries, service_time=1 / 300.0, capacity=30):
+    config = PipelineConfig(
+        strategy=ShedStrategy.DATA_TRIAGE,
+        window=WindowSpec(width=1.0),
+        queue_capacity=capacity,
+        service_time=service_time,
+        seed=2,
+    )
+    return SharedTriageRuntime(paper_catalog, queries, config)
+
+
+class TestConstruction:
+    def test_union_dimensions(self, paper_catalog):
+        rt = make_runtime(
+            paper_catalog, {"q1": Q_THREE_WAY, "q2": Q_TWO_WAY, "q3": Q_SINGLE}
+        )
+        assert rt.streams_used == ["R", "S", "T"]
+        assert {d.name for d in rt._dims["S"]} == {"S.b", "S.c"}
+        assert {d.name for d in rt._dims["T"]} == {"T.d"}
+
+    def test_aliased_stream_rejected(self, paper_catalog):
+        with pytest.raises(RewriteError, match="aliases"):
+            make_runtime(
+                paper_catalog,
+                {"bad": "SELECT x.a, COUNT(*) AS n FROM R x GROUP BY x.a"},
+            )
+
+    def test_requires_data_triage_strategy(self, paper_catalog):
+        config = PipelineConfig(
+            strategy=ShedStrategy.DROP_ONLY, window=WindowSpec(width=1.0)
+        )
+        with pytest.raises(ValueError, match="Data Triage"):
+            SharedTriageRuntime(paper_catalog, {"q": Q_SINGLE}, config)
+
+
+class TestSharedRun:
+    def test_underload_all_queries_exact(self, paper_catalog):
+        rt = make_runtime(paper_catalog, {"q1": Q_THREE_WAY, "q2": Q_TWO_WAY})
+        streams = build_streams(rate_per_stream=20, n=60)
+        result = rt.run(streams)
+        assert result.total_dropped == 0
+        for qid, run in result.per_query.items():
+            assert run_rms(run) == pytest.approx(0.0), qid
+
+    def test_overload_every_query_compensated(self, paper_catalog):
+        # 3 queries x 3 streams: engine work is per (tuple, query), so this
+        # overloads quickly.
+        rt = make_runtime(
+            paper_catalog,
+            {"q1": Q_THREE_WAY, "q2": Q_TWO_WAY, "q3": Q_SINGLE},
+            service_time=1 / 300.0,
+        )
+        streams = build_streams(rate_per_stream=250, n=400)
+        result = rt.run(streams)
+        assert result.total_dropped > 0
+        for qid, run in result.per_query.items():
+            # Merged totals track ideal totals despite heavy shedding.
+            for w in run.windows:
+                ideal_total = sum(v["n"] or 0 for v in w.ideal.values())
+                merged_total = sum(v["n"] or 0 for v in w.merged.values())
+                if ideal_total > 20:
+                    assert merged_total == pytest.approx(
+                        ideal_total, rel=0.4
+                    ), qid
+
+    def test_sharing_ratio_reflects_query_count(self, paper_catalog):
+        rt = make_runtime(
+            paper_catalog,
+            {"q1": Q_THREE_WAY, "q2": Q_TWO_WAY, "q3": Q_SINGLE},
+        )
+        streams = build_streams(rate_per_stream=250, n=300)
+        result = rt.run(streams)
+        # q1 uses R,S,T; q2 uses S,T; q3 uses T: per-query copies would
+        # store strictly more synopsis cells than the shared set.
+        assert result.shared_synopsis_cells > 0
+        assert result.sharing_ratio > 1.0
+
+    def test_single_query_matches_sharing_ratio_one_ish(self, paper_catalog):
+        rt = make_runtime(paper_catalog, {"q1": Q_THREE_WAY})
+        streams = build_streams(rate_per_stream=250, n=300)
+        result = rt.run(streams)
+        assert result.sharing_ratio == pytest.approx(1.0)
+
+    def test_missing_stream_rejected(self, paper_catalog):
+        rt = make_runtime(paper_catalog, {"q1": Q_THREE_WAY})
+        with pytest.raises(ValueError, match="no arrivals"):
+            rt.run({"R": []})
+
+    def test_queue_stats_shared_across_queries(self, paper_catalog):
+        rt = make_runtime(paper_catalog, {"q1": Q_THREE_WAY, "q2": Q_TWO_WAY})
+        streams = build_streams(rate_per_stream=250, n=300)
+        result = rt.run(streams)
+        s1 = result.per_query["q1"].queue_stats["S"]
+        s2 = result.per_query["q2"].queue_stats["S"]
+        assert s1 is s2  # literally the same queue

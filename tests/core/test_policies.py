@@ -1,0 +1,136 @@
+"""Tests for triage-queue drop policies."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    DROP_INCOMING,
+    POLICIES,
+    FrequencyBiasedPolicy,
+    HeadDropPolicy,
+    PolicyContext,
+    RandomDropPolicy,
+    SynergisticPolicy,
+    TailDropPolicy,
+)
+from repro.engine import StreamTuple
+from repro.synopses import Dimension, SparseCubicHistogram
+
+
+def ctx(seed=0, synopsis=None, dims=()):
+    return PolicyContext(rng=random.Random(seed), synopsis=synopsis, dim_positions=dims)
+
+
+BUFFER = [StreamTuple(float(i), (i,)) for i in range(5)]
+INCOMING = StreamTuple(9.0, (99,))
+
+
+class TestBasicPolicies:
+    def test_tail_drop_always_incoming(self):
+        p = TailDropPolicy()
+        for seed in range(5):
+            assert p.select_victim(BUFFER, INCOMING, ctx(seed)) == DROP_INCOMING
+
+    def test_head_drop_always_oldest(self):
+        p = HeadDropPolicy()
+        assert p.select_victim(BUFFER, INCOMING, ctx()) == 0
+
+    def test_random_covers_all_positions(self):
+        p = RandomDropPolicy()
+        seen = set()
+        for seed in range(200):
+            seen.add(p.select_victim(BUFFER, INCOMING, ctx(seed)))
+        # Every buffer slot and the incoming tuple get selected eventually.
+        assert seen == {DROP_INCOMING, 0, 1, 2, 3, 4}
+
+    def test_random_uniform_ish(self):
+        p = RandomDropPolicy()
+        rng_ctx = ctx(7)
+        counts = {}
+        for _ in range(6000):
+            v = p.select_victim(BUFFER, INCOMING, rng_ctx)
+            counts[v] = counts.get(v, 0) + 1
+        # 6 candidates, ~1000 each.
+        assert all(700 < c < 1300 for c in counts.values())
+
+    def test_deterministic_under_seed(self):
+        p = RandomDropPolicy()
+        a = [p.select_victim(BUFFER, INCOMING, ctx(3)) for _ in range(10)]
+        b = [p.select_victim(BUFFER, INCOMING, ctx(3)) for _ in range(10)]
+        assert a == b
+
+
+class TestFrequencyBiased:
+    def test_drops_from_most_common_key(self):
+        buffer = [
+            StreamTuple(0.0, (7,)),
+            StreamTuple(1.0, (7,)),
+            StreamTuple(2.0, (7,)),
+            StreamTuple(3.0, (1,)),
+        ]
+        incoming = StreamTuple(4.0, (2,))
+        p = FrequencyBiasedPolicy()
+        for seed in range(20):
+            v = p.select_victim(buffer, incoming, ctx(seed))
+            assert v in (0, 1, 2)  # always one of the (7,) tuples
+
+    def test_incoming_can_be_victim_when_most_common(self):
+        buffer = [StreamTuple(0.0, (1,)), StreamTuple(1.0, (2,))]
+        incoming = StreamTuple(2.0, (1,))
+        p = FrequencyBiasedPolicy()
+        victims = {p.select_victim(buffer, incoming, ctx(s)) for s in range(50)}
+        assert victims <= {DROP_INCOMING, 0}
+
+    def test_key_position(self):
+        buffer = [StreamTuple(0.0, (9, 5)), StreamTuple(1.0, (8, 5))]
+        incoming = StreamTuple(2.0, (7, 1))
+        p = FrequencyBiasedPolicy(key_position=1)
+        assert p.select_victim(buffer, incoming, ctx()) in (0, 1)
+
+
+class TestSynergistic:
+    def make_synopsis(self, values):
+        syn = SparseCubicHistogram([Dimension("a", 1, 100)], bucket_width=1)
+        for v in values:
+            syn.insert((v,))
+        return syn
+
+    def test_prefers_already_covered_tuples(self):
+        # Synopsis already holds value 3: tuples with value 3 are free to drop.
+        syn = self.make_synopsis([3])
+        buffer = [StreamTuple(0.0, (3,)), StreamTuple(1.0, (50,))]
+        incoming = StreamTuple(2.0, (60,))
+        p = SynergisticPolicy()
+        for seed in range(20):
+            assert p.select_victim(
+                buffer, incoming, ctx(seed, syn, (0,))
+            ) == 0
+
+    def test_incoming_covered(self):
+        syn = self.make_synopsis([60])
+        buffer = [StreamTuple(0.0, (1,)), StreamTuple(1.0, (2,))]
+        incoming = StreamTuple(2.0, (60,))
+        p = SynergisticPolicy()
+        for seed in range(20):
+            assert (
+                p.select_victim(buffer, incoming, ctx(seed, syn, (0,)))
+                == DROP_INCOMING
+            )
+
+    def test_falls_back_to_random_without_synopsis(self):
+        p = SynergisticPolicy()
+        seen = {p.select_victim(BUFFER, INCOMING, ctx(s)) for s in range(100)}
+        assert len(seen) > 2
+
+    def test_falls_back_when_nothing_covered(self):
+        syn = self.make_synopsis([])
+        p = SynergisticPolicy()
+        v = p.select_victim(BUFFER, INCOMING, ctx(1, syn, (0,)))
+        assert v == DROP_INCOMING or 0 <= v < len(BUFFER)
+
+
+def test_policy_registry():
+    assert set(POLICIES) == {"random", "tail", "head", "biased", "synergistic"}
+    for cls in POLICIES.values():
+        assert hasattr(cls(), "select_victim")

@@ -1,0 +1,117 @@
+"""Tests for the catalog and the object-relational UDF/UDT registry."""
+
+import pytest
+
+from repro.engine import (
+    Catalog,
+    CatalogError,
+    ColumnType,
+    Schema,
+    UDFError,
+    UDFRegistry,
+)
+from repro.engine.catalog import SYNOPSIS_STREAM_SCHEMA
+
+
+class TestCatalog:
+    def test_create_and_lookup_stream(self):
+        cat = Catalog()
+        cat.create_stream("R", Schema.of(("a", ColumnType.INTEGER)))
+        assert cat.has_stream("r")  # case-insensitive
+        assert cat.stream("R").schema.names == ("a",)
+
+    def test_duplicate_stream_rejected(self):
+        cat = Catalog()
+        cat.create_stream("R", Schema.of(("a", ColumnType.INTEGER)))
+        with pytest.raises(CatalogError, match="already exists"):
+            cat.create_stream("r", Schema.of(("b", ColumnType.INTEGER)))
+
+    def test_replace_stream(self):
+        cat = Catalog()
+        cat.create_stream("R", Schema.of(("a", ColumnType.INTEGER)))
+        cat.create_stream("R", Schema.of(("b", ColumnType.INTEGER)), replace=True)
+        assert cat.stream("R").schema.names == ("b",)
+
+    def test_drop_stream(self):
+        cat = Catalog()
+        cat.create_stream("R", Schema.of(("a", ColumnType.INTEGER)))
+        cat.drop_stream("R")
+        assert not cat.has_stream("R")
+        with pytest.raises(CatalogError):
+            cat.drop_stream("R")
+
+    def test_unknown_stream(self):
+        with pytest.raises(CatalogError, match="no stream"):
+            Catalog().stream("ghost")
+
+    def test_views(self):
+        cat = Catalog()
+        cat.create_view("v", "definition")
+        assert cat.has_view("V")
+        assert cat.view("v") == "definition"
+        with pytest.raises(CatalogError):
+            cat.create_view("v", "other")
+
+    def test_create_triage_streams(self):
+        """The paper's DDL expansion: four auxiliary streams per user stream."""
+        cat = Catalog()
+        cat.create_stream("R", Schema.of(("a", ColumnType.INTEGER)))
+        aux = cat.create_triage_streams("R")
+        assert set(aux) == {"kept", "dropped", "kept_syn", "dropped_syn"}
+        assert cat.stream("R_kept").schema == cat.stream("R").schema
+        assert cat.stream("R_dropped_syn").schema == SYNOPSIS_STREAM_SCHEMA
+        assert cat.stream("R_kept").is_auxiliary
+        assert cat.stream("R_kept").source_stream == "R"
+        assert [d.name for d in cat.user_streams()] == ["R"]
+
+    def test_synopsis_stream_schema_shape(self):
+        # Matches the paper: CREATE STREAM R_dropped_syn(syn Synopsis,
+        # earliest Timestamp, latest Timestamp)
+        assert SYNOPSIS_STREAM_SCHEMA.names == ("syn", "earliest", "latest")
+        assert SYNOPSIS_STREAM_SCHEMA.column("syn").type is ColumnType.SYNOPSIS
+
+
+class TestUDFRegistry:
+    def test_register_and_call(self):
+        reg = UDFRegistry()
+        reg.register_function("inc", lambda x: x + 1, ("INT",), "INT")
+        assert reg.function("INC")(1) == 2
+        assert reg.has_function("inc")
+        assert "inc" in reg
+        assert reg["inc"](2) == 3
+
+    def test_duplicate_function(self):
+        reg = UDFRegistry()
+        reg.register_function("f", lambda: 1)
+        with pytest.raises(UDFError):
+            reg.register_function("F", lambda: 2)
+        reg.register_function("f", lambda: 3, replace=True)
+        assert reg.function("f")() == 3
+
+    def test_unknown_function(self):
+        with pytest.raises(UDFError):
+            UDFRegistry().function("nope")
+
+    def test_signature_and_ddl(self):
+        reg = UDFRegistry()
+        reg.register_function("equijoin", lambda *a: None,
+                              ("Synopsis", "CSTRING", "Synopsis", "CSTRING"),
+                              "Synopsis")
+        sig = reg.signature("equijoin")
+        assert sig.return_type == "Synopsis"
+        ddl = reg.ddl()
+        assert any("CREATE FUNCTION equijoin" in s for s in ddl)
+
+    def test_types(self):
+        reg = UDFRegistry()
+
+        class Fake:
+            pass
+
+        reg.register_type("Synopsis", Fake)
+        assert reg.type("synopsis") is Fake
+        assert reg.has_type("SYNOPSIS")
+        with pytest.raises(UDFError):
+            reg.register_type("Synopsis", Fake)
+        with pytest.raises(UDFError):
+            reg.type("other")

@@ -1,0 +1,146 @@
+"""Tests for the expression tree: evaluation, binding, null semantics."""
+
+import pytest
+
+from repro.engine import (
+    BinaryOp,
+    ColumnRef,
+    ColumnType,
+    ExpressionError,
+    FunctionCall,
+    Literal,
+    Schema,
+    UnaryOp,
+    conjoin,
+    conjuncts,
+)
+from repro.engine.expressions import is_equijoin_conjunct
+
+SCHEMA = Schema.of(("a", ColumnType.INTEGER), ("b", ColumnType.INTEGER))
+
+
+def ev(expr, row, schema=SCHEMA, functions=None):
+    return expr.bind(schema, functions)(row)
+
+
+class TestColumnRef:
+    def test_bare_name(self):
+        assert ev(ColumnRef("b"), (1, 2)) == 2
+
+    def test_qualified_name_resolves_in_qualified_schema(self):
+        schema = Schema.of(("R.a", ColumnType.INTEGER), ("S.b", ColumnType.INTEGER))
+        assert ev(ColumnRef("a", table="R"), (7, 8), schema) == 7
+
+    def test_bare_name_suffix_match(self):
+        schema = Schema.of(("R.a", ColumnType.INTEGER), ("S.b", ColumnType.INTEGER))
+        assert ev(ColumnRef("b"), (7, 8), schema) == 8
+
+    def test_ambiguous_suffix_raises(self):
+        schema = Schema.of(("R.a", ColumnType.INTEGER), ("S.a", ColumnType.INTEGER))
+        with pytest.raises(ExpressionError, match="ambiguous"):
+            ColumnRef("a").bind(schema)
+
+    def test_unresolvable_raises(self):
+        with pytest.raises(ExpressionError, match="cannot resolve"):
+            ColumnRef("zz").bind(SCHEMA)
+
+    def test_columns_reports_qualified(self):
+        assert ColumnRef("a", table="R").columns() == {"r.a"}
+
+
+class TestLiteralsAndOps:
+    def test_literal(self):
+        assert ev(Literal(42), (0, 0)) == 42
+
+    @pytest.mark.parametrize(
+        "op,l,r,expected",
+        [
+            ("=", 1, 1, True),
+            ("=", 1, 2, False),
+            ("!=", 1, 2, True),
+            ("<>", 1, 2, True),
+            ("<", 1, 2, True),
+            ("<=", 2, 2, True),
+            (">", 3, 2, True),
+            (">=", 1, 2, False),
+            ("+", 2, 3, 5),
+            ("-", 2, 3, -1),
+            ("*", 2, 3, 6),
+            ("/", 6, 3, 2.0),
+            ("%", 7, 3, 1),
+        ],
+    )
+    def test_binary_ops(self, op, l, r, expected):
+        assert ev(BinaryOp(op, Literal(l), Literal(r)), ()) == expected
+
+    def test_unknown_operator(self):
+        with pytest.raises(ExpressionError):
+            BinaryOp("^", Literal(1), Literal(2)).bind(SCHEMA)
+
+    def test_null_propagates_through_comparison(self):
+        assert ev(BinaryOp("=", Literal(None), Literal(1)), ()) is None
+
+    def test_and_or_three_valued(self):
+        assert ev(BinaryOp("AND", Literal(False), Literal(None)), ()) is False
+        assert ev(BinaryOp("AND", Literal(True), Literal(None)), ()) is None
+        assert ev(BinaryOp("OR", Literal(True), Literal(None)), ()) is True
+        assert ev(BinaryOp("OR", Literal(False), Literal(None)), ()) is None
+
+    def test_not(self):
+        assert ev(UnaryOp("NOT", Literal(True)), ()) is False
+        assert ev(UnaryOp("NOT", Literal(None)), ()) is None
+
+    def test_unary_minus(self):
+        assert ev(UnaryOp("-", Literal(5)), ()) == -5
+
+    def test_str_rendering(self):
+        expr = BinaryOp("=", ColumnRef("a", "R"), Literal(1))
+        assert str(expr) == "(R.a = 1)"
+        assert str(Literal("o'x")) == "'o''x'"
+
+
+class TestFunctionCall:
+    def test_calls_registered_function(self):
+        fns = {"double": lambda x: x * 2}
+        expr = FunctionCall("double", (ColumnRef("a"),))
+        assert ev(expr, (4, 0), functions=fns) == 8
+
+    def test_unknown_function(self):
+        with pytest.raises(ExpressionError, match="unknown function"):
+            FunctionCall("nope", ()).bind(SCHEMA, {})
+
+    def test_nested_calls(self):
+        fns = {"inc": lambda x: x + 1}
+        expr = FunctionCall("inc", (FunctionCall("inc", (Literal(0),)),))
+        assert ev(expr, (), functions=fns) == 2
+
+    def test_columns_collects_args(self):
+        expr = FunctionCall("f", (ColumnRef("a"), ColumnRef("b")))
+        assert expr.columns() == {"a", "b"}
+
+
+class TestConjunctHelpers:
+    def test_conjuncts_flattens(self):
+        e = BinaryOp(
+            "AND",
+            BinaryOp("AND", Literal(1), Literal(2)),
+            Literal(3),
+        )
+        assert [c.value for c in conjuncts(e)] == [1, 2, 3]
+
+    def test_conjuncts_none(self):
+        assert conjuncts(None) == []
+
+    def test_conjoin_roundtrip(self):
+        parts = [Literal(1), Literal(2), Literal(3)]
+        assert conjuncts(conjoin(parts)) == parts
+
+    def test_conjoin_empty(self):
+        assert conjoin([]) is None
+
+    def test_is_equijoin_conjunct(self):
+        good = BinaryOp("=", ColumnRef("a", "R"), ColumnRef("b", "S"))
+        pair = is_equijoin_conjunct(good)
+        assert pair is not None and pair[0].name == "a"
+        assert is_equijoin_conjunct(BinaryOp("<", ColumnRef("a"), ColumnRef("b"))) is None
+        assert is_equijoin_conjunct(BinaryOp("=", ColumnRef("a"), Literal(1))) is None

@@ -1,0 +1,137 @@
+"""Tests for column types, schemas, and stream tuples."""
+
+import pytest
+
+from repro.engine import (
+    Column,
+    ColumnType,
+    Schema,
+    SchemaError,
+    StreamTuple,
+    parse_type_name,
+)
+
+
+class TestColumnType:
+    @pytest.mark.parametrize(
+        "ctype,good,bad",
+        [
+            (ColumnType.INTEGER, 5, 5.5),
+            (ColumnType.INTEGER, -3, True),  # bools are not integers here
+            (ColumnType.FLOAT, 5.5, "x"),
+            (ColumnType.FLOAT, 5, True),
+            (ColumnType.TEXT, "hi", 5),
+            (ColumnType.BOOLEAN, True, 1),
+            (ColumnType.TIMESTAMP, 12.5, "now"),
+        ],
+    )
+    def test_validate(self, ctype, good, bad):
+        assert ctype.validate(good)
+        assert not ctype.validate(bad)
+
+    def test_null_always_valid(self):
+        for t in ColumnType:
+            assert t.validate(None)
+
+    def test_synopsis_accepts_objects(self):
+        assert ColumnType.SYNOPSIS.validate(object())
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("integer", ColumnType.INTEGER),
+            ("INT", ColumnType.INTEGER),
+            ("Float", ColumnType.FLOAT),
+            ("cstring", ColumnType.TEXT),
+            ("Synopsis", ColumnType.SYNOPSIS),
+            ("timestamp", ColumnType.TIMESTAMP),
+        ],
+    )
+    def test_parse_type_name(self, name, expected):
+        assert parse_type_name(name) is expected
+
+    def test_parse_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown column type"):
+            parse_type_name("blob")
+
+
+class TestSchema:
+    def test_of_shorthand(self):
+        s = Schema.of(("a", ColumnType.INTEGER), ("b", ColumnType.TEXT))
+        assert s.names == ("a", "b")
+        assert len(s) == 2
+
+    def test_position_case_insensitive(self):
+        s = Schema.of(("Alpha", ColumnType.INTEGER))
+        assert s.position("ALPHA") == 0
+        assert "alpha" in s
+
+    def test_position_unknown_raises(self):
+        s = Schema.of(("a", ColumnType.INTEGER))
+        with pytest.raises(SchemaError, match="no column"):
+            s.position("z")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema.of(("a", ColumnType.INTEGER), ("A", ColumnType.TEXT))
+
+    def test_project(self):
+        s = Schema.of(("a", ColumnType.INTEGER), ("b", ColumnType.TEXT))
+        p = s.project(["b"])
+        assert p.names == ("b",)
+        assert p.column("b").type is ColumnType.TEXT
+
+    def test_project_reorders(self):
+        s = Schema.of(("a", ColumnType.INTEGER), ("b", ColumnType.TEXT))
+        assert s.project(["b", "a"]).names == ("b", "a")
+
+    def test_concat_with_prefixes(self):
+        a = Schema.of(("x", ColumnType.INTEGER))
+        b = Schema.of(("x", ColumnType.INTEGER))
+        c = a.concat(b, prefix_left="L.", prefix_right="R.")
+        assert c.names == ("L.x", "R.x")
+
+    def test_concat_collision_without_prefix(self):
+        a = Schema.of(("x", ColumnType.INTEGER))
+        with pytest.raises(SchemaError):
+            a.concat(a)
+
+    def test_validate_row_ok(self):
+        s = Schema.of(("a", ColumnType.INTEGER), ("b", ColumnType.TEXT))
+        s.validate_row((1, "x"))
+        s.validate_row((None, None))
+
+    def test_validate_row_arity(self):
+        s = Schema.of(("a", ColumnType.INTEGER))
+        with pytest.raises(SchemaError, match="arity"):
+            s.validate_row((1, 2))
+
+    def test_validate_row_type(self):
+        s = Schema.of(("a", ColumnType.INTEGER))
+        with pytest.raises(SchemaError, match="invalid"):
+            s.validate_row(("nope",))
+
+    def test_equality_and_hash(self):
+        a = Schema.of(("a", ColumnType.INTEGER))
+        b = Schema.of(("a", ColumnType.INTEGER))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Schema.of(("a", ColumnType.TEXT))
+
+    def test_iteration(self):
+        s = Schema.of(("a", ColumnType.INTEGER))
+        cols = list(s)
+        assert cols == [Column("a", ColumnType.INTEGER)]
+
+
+class TestStreamTuple:
+    def test_ordering_by_timestamp(self):
+        early = StreamTuple(1.0, (5,))
+        late = StreamTuple(2.0, (1,))
+        assert early < late
+        assert sorted([late, early])[0] is early
+
+    def test_frozen(self):
+        t = StreamTuple(1.0, (1,))
+        with pytest.raises(AttributeError):
+            t.timestamp = 2.0

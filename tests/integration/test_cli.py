@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestCli:
+    def test_fig6_small(self):
+        code, text = run_cli(["fig6", "--rows", "150"])
+        assert code == 0
+        assert "original query" in text
+        assert "fast/original ratio" in text
+
+    def test_fig8_small(self):
+        code, text = run_cli(["fig8", "--rates", "200,1500", "--runs", "2"])
+        assert code == 0
+        assert "Figure 8" in text
+        assert "legend:" in text  # ascii chart present
+        assert "data_triage_mean" in text  # csv present
+
+    def test_fig9_small(self):
+        code, text = run_cli(["fig9", "--peaks", "2000", "--runs", "2"])
+        assert code == 0
+        assert "Figure 9" in text
+
+    def test_explain(self):
+        code, text = run_cli(
+            ["explain", "SELECT a, COUNT(*) AS n FROM R, S, T "
+             "WHERE R.a = S.b AND S.c = T.d GROUP BY a"]
+        )
+        assert code == 0
+        assert "ENGINE PLAN" in text
+        assert "Data Triage rewrite" in text
+
+    def test_explain_non_spj(self):
+        code, text = run_cli(["explain", "SELECT * FROM R, S, T WHERE R.a = S.b"])
+        assert code == 0
+        assert "rewrite not applicable" in text
+
+    def test_rewrite(self):
+        code, text = run_cli(
+            ["rewrite", "SELECT * FROM R, S, T WHERE R.a = S.b AND S.c = T.d"]
+        )
+        assert code == 0
+        assert "CREATE VIEW Q_dropped_syn" in text
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_fig8_svg_output(self, tmp_path):
+        svg_path = tmp_path / "fig8.svg"
+        code, text = run_cli(
+            ["fig8", "--rates", "200,1500", "--runs", "1", "--svg", str(svg_path)]
+        )
+        assert code == 0
+        assert "SVG chart written" in text
+        assert svg_path.read_text().startswith("<svg")

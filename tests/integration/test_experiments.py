@@ -1,0 +1,90 @@
+"""Integration tests for the experiment harness module."""
+
+import pytest
+
+from repro.core import ShedStrategy
+from repro.experiments import (
+    PAPER_QUERY,
+    ExperimentParams,
+    fast_synopsis_factory,
+    figure8_series,
+    figure9_series,
+    microbench_original,
+    microbench_rewritten,
+    microbench_setup,
+    paper_catalog,
+    run_constant_rate,
+    slow_synopsis_factory,
+)
+from repro.sql import Binder, parse_statement
+
+
+class TestHarnessBasics:
+    def test_paper_catalog_streams(self):
+        cat = paper_catalog()
+        assert cat.stream("S").schema.names == ("b", "c")
+
+    def test_paper_query_binds(self):
+        bound = Binder(paper_catalog()).bind(parse_statement(PAPER_QUERY))
+        assert len(bound.join_predicates) == 2
+
+    def test_params_derived_values(self):
+        p = ExperimentParams(tuples_per_window=10, n_windows=4, engine_capacity=100)
+        assert p.tuples_per_stream == 40
+        assert p.service_time == pytest.approx(0.01)
+
+    def test_run_constant_rate_returns_result(self):
+        p = ExperimentParams(tuples_per_window=50, n_windows=3)
+        run = run_constant_rate(ShedStrategy.DATA_TRIAGE, 300, p, seed=0)
+        assert run.total_arrived == 3 * p.tuples_per_stream
+        assert len(run.windows) >= 3
+
+
+class TestSeriesBuilders:
+    def test_figure8_series_structure(self):
+        p = ExperimentParams(tuples_per_window=40, n_windows=3)
+        series = figure8_series([300, 1500], n_runs=2, params=p)
+        assert len(series.rows) == 2
+        for _, summaries in series.rows:
+            assert set(summaries) == {"data_triage", "drop_only", "summarize_only"}
+            assert all(s.n_runs == 2 for s in summaries.values())
+        # Renderable.
+        assert "Figure 8" in series.to_text()
+        assert series.to_csv().count("\n") == 3
+
+    def test_figure9_series_structure(self):
+        p = ExperimentParams(tuples_per_window=40, n_windows=3)
+        series = figure9_series([2000], n_runs=2, params=p)
+        assert len(series.rows) == 1
+        assert "bursty" in series.title
+
+
+class TestMicrobench:
+    def test_setup_builds_split_tables(self):
+        setup = microbench_setup(rows_per_table=200)
+        for name in ("R", "S", "T"):
+            assert len(setup.tables[name]) == 200
+            assert len(setup.kept[name]) == 100
+            assert len(setup.dropped[name]) == 100
+
+    def test_original_query_runs(self):
+        setup = microbench_setup(rows_per_table=200)
+        groups = microbench_original(setup)
+        assert groups > 0
+
+    def test_rewritten_fast_estimates_dropped_results(self):
+        from repro.rewrite import evaluate_expansion
+
+        setup = microbench_setup(rows_per_table=400)
+        est = microbench_rewritten(setup, fast_synopsis_factory())
+        true_lost = len(evaluate_expansion(setup.plan, setup.kept, setup.dropped))
+        assert est == pytest.approx(true_lost, rel=0.35)
+
+    def test_slow_factory_is_mhist(self):
+        from repro.synopses import MHist
+
+        syn = slow_synopsis_factory().create(
+            [__import__("repro.synopses", fromlist=["Dimension"]).Dimension("a", 1, 100)]
+        )
+        assert isinstance(syn, MHist)
+        assert syn.grid is None  # unaligned: the quadratic regime

@@ -1,0 +1,110 @@
+"""Integration tests: the paper's experimental hypotheses (Section 6.1).
+
+Small-scale versions of Figures 8 and 9 that assert the *shape* claims:
+
+1. Under constant low load, Data Triage ≈ drop-only (both exact).
+2. Under constant high load, Data Triage ≈ summarize-only (and never
+   meaningfully worse).
+3. Under bursty load with shifted burst data, Data Triage beats both.
+4. Drop-only crosses above summarize-only as rate grows.
+"""
+
+import pytest
+
+from repro.core import ShedStrategy
+from repro.experiments import (
+    ExperimentParams,
+    run_bursty_rate,
+    run_constant_rate,
+)
+from repro.quality import ErrorSummary, run_rms
+
+PARAMS = ExperimentParams(
+    tuples_per_window=100,
+    n_windows=5,
+    engine_capacity=500.0,
+    queue_capacity=40,
+)
+
+N_RUNS = 3
+
+
+def summarize(strategy, rate, bursty=False):
+    values = []
+    for seed in range(N_RUNS):
+        run = (
+            run_bursty_rate(strategy, rate, PARAMS, seed)
+            if bursty
+            else run_constant_rate(strategy, rate, PARAMS, seed)
+        )
+        values.append(run_rms(run))
+    return ErrorSummary.from_values(values)
+
+
+class TestConstantRate:
+    def test_low_load_triage_and_drop_exact(self):
+        for strategy in (ShedStrategy.DATA_TRIAGE, ShedStrategy.DROP_ONLY):
+            s = summarize(strategy, rate=200)
+            assert s.mean == pytest.approx(0.0, abs=1e-9)
+
+    def test_low_load_summarize_only_pays_approximation(self):
+        s = summarize(ShedStrategy.SUMMARIZE_ONLY, rate=200)
+        assert s.mean > 1.0
+
+    def test_high_load_drop_only_worst(self):
+        rate = 2400  # ~80% shedding
+        drop = summarize(ShedStrategy.DROP_ONLY, rate)
+        summ = summarize(ShedStrategy.SUMMARIZE_ONLY, rate)
+        triage = summarize(ShedStrategy.DATA_TRIAGE, rate)
+        assert drop.mean > summ.mean  # the Figure 8 crossover happened
+        assert triage.mean < drop.mean
+
+    def test_triage_never_exceeds_summarize_only_meaningfully(self):
+        for rate in (200, 800, 2400):
+            triage = summarize(ShedStrategy.DATA_TRIAGE, rate)
+            summ = summarize(ShedStrategy.SUMMARIZE_ONLY, rate)
+            assert triage.mean <= summ.mean * 1.15
+
+    def test_triage_error_monotone_ish_in_rate(self):
+        errors = [summarize(ShedStrategy.DATA_TRIAGE, r).mean for r in (200, 1000, 2800)]
+        assert errors[0] <= errors[1] <= errors[2] * 1.05
+
+    def test_drop_only_error_grows_with_rate(self):
+        errors = [summarize(ShedStrategy.DROP_ONLY, r).mean for r in (200, 1000, 2800)]
+        assert errors[0] < errors[1] < errors[2]
+
+
+class TestBurstyRate:
+    def test_triage_dominates_both_at_high_peak(self):
+        peak = 4000
+        triage = summarize(ShedStrategy.DATA_TRIAGE, peak, bursty=True)
+        drop = summarize(ShedStrategy.DROP_ONLY, peak, bursty=True)
+        summ = summarize(ShedStrategy.SUMMARIZE_ONLY, peak, bursty=True)
+        assert triage.mean < drop.mean
+        assert triage.mean <= summ.mean * 1.1
+
+    def test_low_peak_no_shedding(self):
+        s = summarize(ShedStrategy.DATA_TRIAGE, 900, bursty=True)
+        assert s.mean == pytest.approx(0.0, abs=1e-9)
+
+    def test_burst_data_is_what_drop_only_loses(self):
+        """The qualitative claim of the intro: with drop-only, the burst's
+        (mean-shifted) groups are under-reported far more than with triage."""
+        peak = 4000
+        seed = 2
+        drop = run_bursty_rate(ShedStrategy.DROP_ONLY, peak, PARAMS, seed)
+        triage = run_bursty_rate(ShedStrategy.DATA_TRIAGE, peak, PARAMS, seed)
+
+        def burst_region_deficit(run):
+            """Ideal minus reported counts for groups in the shifted region."""
+            deficit = ideal_total = 0.0
+            for w in run.windows:
+                for key, vals in (w.ideal or {}).items():
+                    if key[0] >= 65:  # burst Gaussians center at 75
+                        ideal = vals.get("count") or 0.0
+                        got = (w.merged.get(key) or {}).get("count") or 0.0
+                        deficit += max(0.0, ideal - got)
+                        ideal_total += ideal
+            return deficit / ideal_total if ideal_total else 0.0
+
+        assert burst_region_deficit(triage) < burst_region_deficit(drop)

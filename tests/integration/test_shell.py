@@ -1,0 +1,114 @@
+"""Tests for the interactive shell."""
+
+import pytest
+
+from repro.shell import Shell
+
+
+@pytest.fixture
+def shell():
+    sh = Shell(seed=1)
+    sh.feed("CREATE STREAM R (a integer);")
+    sh.feed("CREATE STREAM S (b integer, c integer);")
+    return sh
+
+
+class TestMetaCommands:
+    def test_help(self, shell):
+        assert "CREATE STREAM" in shell.feed("\\help")
+
+    def test_streams_listing(self, shell):
+        out = shell.feed("\\streams")
+        assert "R (a integer)" in out
+        assert "0 tuples buffered" in out
+
+    def test_gen(self, shell):
+        out = shell.feed("\\gen R 50")
+        assert "generated 50 gaussian tuples" in out
+        assert "50 tuples buffered" in shell.feed("\\streams")
+
+    def test_gen_zipf(self, shell):
+        assert "zipf" in shell.feed("\\gen R 10 zipf")
+
+    def test_gen_unknown_family(self, shell):
+        assert "unknown value family" in shell.feed("\\gen R 10 cauchy")
+
+    def test_clear(self, shell):
+        shell.feed("\\gen R 5")
+        assert "cleared" in shell.feed("\\clear R")
+        assert "0 tuples buffered" in shell.feed("\\streams")
+
+    def test_save_and_load(self, shell, tmp_path):
+        shell.feed("\\gen R 7")
+        path = tmp_path / "r.trace"
+        assert "saved 7" in shell.feed(f"\\save R {path}")
+        shell.feed("\\clear R")
+        assert "loaded 7" in shell.feed(f"\\load R {path}")
+
+    def test_quit_raises_eof(self, shell):
+        with pytest.raises(EOFError):
+            shell.feed("\\quit")
+
+    def test_unknown_command(self, shell):
+        assert "unknown command" in shell.feed("\\frobnicate")
+
+    def test_explain(self, shell):
+        out = shell.feed("\\explain SELECT a, COUNT(*) AS n FROM R GROUP BY a")
+        assert "HashAggregate" in out
+        assert "Data Triage rewrite" in out
+
+    def test_rewrite(self, shell):
+        out = shell.feed("\\rewrite SELECT * FROM R, S WHERE R.a = S.b")
+        assert "CREATE VIEW Q_dropped_syn" in out
+
+
+class TestSql:
+    def test_multiline_accumulation(self, shell):
+        assert shell.feed("SELECT a") is None
+        assert shell.wants_more
+        out = shell.feed("FROM R;")
+        assert "(0 rows)" in out
+
+    def test_select_over_generated_data(self, shell):
+        shell.feed("\\gen R 100")
+        out = shell.feed("SELECT COUNT(*) AS n FROM R;")
+        assert "100" in out
+
+    def test_join_query(self, shell):
+        shell.feed("\\gen R 50")
+        shell.feed("\\gen S 50")
+        out = shell.feed(
+            "SELECT a, COUNT(*) AS n FROM R, S WHERE R.a = S.b GROUP BY a;"
+        )
+        assert "a | n" in out
+
+    def test_order_and_limit_respected(self, shell):
+        shell.feed("\\gen R 30")
+        out = shell.feed("SELECT a FROM R ORDER BY a DESC LIMIT 3;")
+        assert "(3 rows)" in out
+        values = [
+            int(line) for line in out.splitlines() if line.strip().isdigit()
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_windowed_query(self, shell):
+        shell.feed("\\gen R 100")  # 0.01s apart: 1 second spans 100 tuples
+        out = shell.feed(
+            "SELECT a, COUNT(*) AS n FROM R GROUP BY a WINDOW R ['0.5'];"
+        )
+        assert "-- window 0" in out
+        assert "-- window 1" in out
+
+    def test_create_view_and_query_it(self, shell):
+        shell.feed("\\gen R 10")
+        shell.feed("CREATE VIEW small AS SELECT a FROM R WHERE a < 50;")
+        out = shell.feed("SELECT COUNT(*) AS n FROM small;")
+        assert "n" in out
+
+    def test_error_reported_not_raised(self, shell):
+        out = shell.feed("SELECT nope FROM R;")
+        assert out.startswith("error:")
+
+    def test_parse_error_reported(self, shell):
+        out = shell.feed("SELEKT * FROM R;")
+        assert out.startswith("error:")

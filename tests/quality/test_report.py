@@ -1,0 +1,66 @@
+"""Tests for experiment series containers and rendering."""
+
+import pytest
+
+from repro.quality import ErrorSummary, Series
+
+
+def summary(mean, std=0.0):
+    # Build via from_values to keep invariants; two values give mean/std.
+    return ErrorSummary(mean=mean, std=std, n_runs=3, values=(mean,) * 3)
+
+
+@pytest.fixture
+def series():
+    s = Series(
+        title="Figure X",
+        x_label="rate",
+        methods=["data_triage", "drop_only", "summarize_only"],
+    )
+    s.add_point(
+        100,
+        {
+            "data_triage": summary(1.0),
+            "drop_only": summary(0.5),
+            "summarize_only": summary(20.0),
+        },
+    )
+    s.add_point(
+        800,
+        {
+            "data_triage": summary(15.0),
+            "drop_only": summary(30.0),
+            "summarize_only": summary(20.0),
+        },
+    )
+    return s
+
+
+class TestSeries:
+    def test_missing_method_rejected(self, series):
+        with pytest.raises(ValueError, match="missing methods"):
+            series.add_point(1600, {"data_triage": summary(1.0)})
+
+    def test_to_text_contains_rows_and_header(self, series):
+        text = series.to_text()
+        assert "Figure X" in text
+        assert "rate" in text
+        assert "100" in text and "800" in text
+        assert "20.0 ± 0.0" in text
+
+    def test_to_csv(self, series):
+        csv = series.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("rate,data_triage_mean,data_triage_std")
+        assert len(lines) == 3
+
+    def test_method_curve(self, series):
+        curve = series.method_curve("drop_only")
+        assert curve == [(100, 0.5), (800, 30.0)]
+
+    def test_crossover_found(self, series):
+        # drop_only crosses above summarize_only by x=800.
+        assert series.crossover("drop_only", "summarize_only") == 800
+
+    def test_crossover_absent(self, series):
+        assert series.crossover("data_triage", "summarize_only") is None

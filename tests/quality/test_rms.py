@@ -1,0 +1,101 @@
+"""Tests for RMS-error scoring."""
+
+import pytest
+
+from repro.quality import ErrorSummary, group_errors, rms, window_rms
+
+
+class TestRms:
+    def test_empty(self):
+        assert rms([]) == 0.0
+
+    def test_known_value(self):
+        assert rms([3.0, 4.0]) == pytest.approx((12.5) ** 0.5)
+
+    def test_sign_insensitive(self):
+        assert rms([-5.0]) == pytest.approx(5.0)
+
+
+class TestGroupErrors:
+    def test_matched_groups(self):
+        ideal = {(1,): {"n": 10.0}, (2,): {"n": 5.0}}
+        actual = {(1,): {"n": 8.0}, (2,): {"n": 6.0}}
+        errs = sorted(group_errors(ideal, actual, "n"))
+        assert errs == [-2.0, 1.0]
+
+    def test_missing_group_counts_fully(self):
+        ideal = {(1,): {"n": 10.0}}
+        assert group_errors(ideal, {}, "n") == [-10.0]
+
+    def test_spurious_group_counts_fully(self):
+        actual = {(9,): {"n": 3.0}}
+        assert group_errors({}, actual, "n") == [3.0]
+
+    def test_none_treated_as_zero(self):
+        ideal = {(1,): {"n": None}}
+        actual = {(1,): {"n": 2.0}}
+        assert group_errors(ideal, actual, "n") == [2.0]
+
+    def test_window_rms(self):
+        ideal = {(1,): {"n": 10.0}}
+        actual = {(1,): {"n": 7.0}}
+        assert window_rms(ideal, actual, "n") == pytest.approx(3.0)
+
+
+class TestOtherMetrics:
+    from repro.quality import mean_absolute_error, total_relative_error
+
+    def test_mae(self):
+        from repro.quality import mean_absolute_error
+
+        ideal = {(1,): {"n": 10.0}, (2,): {"n": 5.0}}
+        actual = {(1,): {"n": 7.0}, (2,): {"n": 6.0}}
+        assert mean_absolute_error(ideal, actual, "n") == pytest.approx(2.0)
+
+    def test_mae_empty(self):
+        from repro.quality import mean_absolute_error
+
+        assert mean_absolute_error({}, {}, "n") == 0.0
+
+    def test_total_relative_error(self):
+        from repro.quality import total_relative_error
+
+        ideal = {(1,): {"n": 10.0}, (2,): {"n": 10.0}}
+        actual = {(1,): {"n": 5.0}}  # reported half the mass
+        assert total_relative_error(ideal, actual, "n") == pytest.approx(0.75)
+
+    def test_total_relative_error_conserving_estimator(self):
+        from repro.quality import total_relative_error
+
+        # Misplaced but mass-conserving estimate: zero total error.
+        ideal = {(1,): {"n": 10.0}}
+        actual = {(2,): {"n": 10.0}}
+        assert total_relative_error(ideal, actual, "n") == 0.0
+
+    def test_total_relative_error_zero_ideal(self):
+        from repro.quality import total_relative_error
+
+        assert total_relative_error({}, {(1,): {"n": 5.0}}, "n") == 0.0
+
+
+class TestErrorSummary:
+    def test_mean_std(self):
+        s = ErrorSummary.from_values([1.0, 3.0])
+        assert s.mean == 2.0
+        assert s.std == pytest.approx(1.0)
+        assert s.n_runs == 2
+
+    def test_single_run(self):
+        s = ErrorSummary.from_values([5.0])
+        assert s.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorSummary.from_values([])
+
+    def test_dominates(self):
+        low = ErrorSummary.from_values([1.0, 1.1, 0.9] * 3)
+        high = ErrorSummary.from_values([10.0, 11.0, 9.0] * 3)
+        assert low.dominates(high)
+        assert not high.dominates(low)
+        assert not low.dominates(low)

@@ -1,0 +1,132 @@
+"""Tests for SELECT DISTINCT under Data Triage (Future Work §8.1)."""
+
+import math
+import random
+
+import pytest
+
+from repro.algebra import Multiset
+from repro.rewrite import (
+    SPJPlan,
+    distinct_view,
+    estimate_distinct_count,
+    evaluate_distinct,
+    evaluate_exact,
+)
+from repro.sql import Binder, parse_statement, render_statement
+from repro.synopses import CountMinSynopsis, Dimension, SparseCubicHistogram
+
+QUERY = "SELECT * FROM R, S WHERE R.a = S.b;"
+
+
+@pytest.fixture
+def plan(paper_catalog):
+    return SPJPlan.from_bound(Binder(paper_catalog).bind(parse_statement(QUERY)))
+
+
+def split(full, rng, keep_p=0.5):
+    kept, dropped = {}, {}
+    for name, rel in full.items():
+        k, d = Multiset(), Multiset()
+        for row in rel:
+            (k if rng.random() < keep_p else d).add(row)
+        kept[name], dropped[name] = k, d
+    return kept, dropped
+
+
+class TestDeferredDistinct:
+    def test_matches_distinct_of_exact_query(self, plan, rng):
+        full = {
+            "R": Multiset((rng.randint(1, 6),) for _ in range(50)),
+            "S": Multiset(
+                (rng.randint(1, 6), rng.randint(1, 6)) for _ in range(50)
+            ),
+        }
+        kept, dropped = split(full, rng)
+        deferred = evaluate_distinct(plan, kept, dropped)
+        exact_distinct = Multiset.from_counts(
+            {row: 1 for row in evaluate_exact(plan, full).support()}
+        )
+        assert deferred == exact_distinct
+
+    def test_no_double_counting_across_arms(self, plan):
+        # The same result tuple arises from both kept and dropped inputs;
+        # deferred distinct reports it once.
+        kept = {"R": Multiset([(1,)]), "S": Multiset([(1, 9)])}
+        dropped = {"R": Multiset([(1,)]), "S": Multiset()}
+        out = evaluate_distinct(plan, kept, dropped)
+        assert out == Multiset([(1, 1, 9)])
+
+    def test_view_sql_structure(self, plan):
+        sql = render_statement(distinct_view(plan))
+        assert "SELECT DISTINCT *" in sql
+        assert "UNION ALL" in sql
+        assert "R_dropped" in sql and "R_kept" in sql
+        # Round-trips through the parser.
+        parse_statement(sql)
+
+    def test_view_rejects_aggregates(self, paper_catalog):
+        plan = SPJPlan.from_bound(
+            Binder(paper_catalog).bind(
+                parse_statement(
+                    "SELECT a, COUNT(*) AS n FROM R, S WHERE R.a = S.b GROUP BY a"
+                )
+            )
+        )
+        with pytest.raises(ValueError, match="non-aggregate"):
+            distinct_view(plan)
+
+
+class TestDistinctEstimation:
+    def test_exact_at_cell_resolution(self):
+        syn = SparseCubicHistogram([Dimension("a", 1, 100)], bucket_width=1)
+        for v in (1, 1, 1, 5, 9):
+            syn.insert((v,))
+        # Width-1 buckets: occupancy formula must find exactly 3 cells.
+        assert estimate_distinct_count(syn) == pytest.approx(3.0)
+
+    def test_occupancy_formula_per_bucket(self):
+        syn = SparseCubicHistogram([Dimension("a", 1, 100)], bucket_width=10)
+        for _ in range(7):
+            syn.insert((3,))
+        expected = 10 * (1 - (1 - 0.1) ** 7)
+        assert estimate_distinct_count(syn) == pytest.approx(expected)
+
+    def test_bounded_by_mass_and_cells(self, rng):
+        syn = SparseCubicHistogram(
+            [Dimension("a", 1, 100), Dimension("b", 1, 100)], bucket_width=5
+        )
+        n = 300
+        for _ in range(n):
+            syn.insert((rng.randint(1, 100), rng.randint(1, 100)))
+        est = estimate_distinct_count(syn)
+        assert 0 < est <= n
+
+    def test_statistically_close_on_uniform_data(self, rng):
+        syn = SparseCubicHistogram([Dimension("a", 1, 100)], bucket_width=10)
+        values = [rng.randint(1, 100) for _ in range(150)]
+        for v in values:
+            syn.insert((v,))
+        est = estimate_distinct_count(syn)
+        true_distinct = len(set(values))
+        assert est == pytest.approx(true_distinct, rel=0.15)
+
+    def test_none_is_zero(self):
+        assert estimate_distinct_count(None) == 0.0
+
+    def test_works_over_mhist_buckets(self, rng):
+        from repro.synopses import MHist
+
+        syn = MHist([Dimension("a", 1, 100)], max_buckets=10)
+        values = [rng.randint(1, 100) for _ in range(120)]
+        for v in values:
+            syn.insert((v,))
+        est = estimate_distinct_count(syn)
+        assert 0 < est <= 120
+        assert est == pytest.approx(len(set(values)), rel=0.35)
+
+    def test_geometry_required(self):
+        syn = CountMinSynopsis([Dimension("a", 1, 100)])
+        syn.insert((1,))
+        with pytest.raises(TypeError, match="geometry"):
+            estimate_distinct_count(syn)

@@ -1,0 +1,98 @@
+"""Tests for SPJ linearization and the recurrence expansion."""
+
+import pytest
+
+from repro.rewrite import (
+    Channel,
+    RewriteError,
+    SPJPlan,
+    added_terms,
+    dropped_terms,
+    join_count,
+)
+from repro.sql import Binder, parse_statement
+
+
+def plan_for(catalog, sql):
+    return SPJPlan.from_bound(Binder(catalog).bind(parse_statement(sql)))
+
+
+class TestSPJPlan:
+    def test_chain_follows_join_graph(self, paper_catalog):
+        p = plan_for(
+            paper_catalog,
+            "SELECT * FROM R, S, T WHERE R.a = S.b AND S.c = T.d",
+        )
+        assert p.names == ["R", "S", "T"]
+        assert p.chain[0].join_with_prefix == ()
+        assert len(p.chain[1].join_with_prefix) == 1
+        assert str(p.chain[2].join_with_prefix[0]) == "S.c = T.d"
+
+    def test_chain_reorders_to_stay_connected(self, paper_catalog):
+        # FROM order T, R, S but the joins only connect R-S and S-T:
+        # after T the next placeable relation is S.
+        p = plan_for(
+            paper_catalog,
+            "SELECT * FROM T, R, S WHERE R.a = S.b AND S.c = T.d",
+        )
+        assert p.names == ["T", "S", "R"]
+
+    def test_disconnected_graph_rejected(self, paper_catalog):
+        with pytest.raises(RewriteError, match="disconnected"):
+            plan_for(paper_catalog, "SELECT * FROM R, S, T WHERE R.a = S.b")
+
+    def test_residual_predicates_rejected(self, paper_catalog):
+        with pytest.raises(RewriteError, match="select-project-join"):
+            plan_for(paper_catalog, "SELECT * FROM R, S WHERE R.a < S.b")
+
+    def test_subquery_source_rejected(self, paper_catalog):
+        with pytest.raises(RewriteError, match="base stream"):
+            plan_for(paper_catalog, "SELECT * FROM (SELECT a FROM R) x")
+
+    def test_single_relation_plan(self, paper_catalog):
+        p = plan_for(paper_catalog, "SELECT a FROM R WHERE a > 3")
+        assert p.names == ["R"]
+        assert len(p.local_predicates["R"]) == 1
+
+    def test_alias_chain(self, paper_catalog):
+        p = plan_for(
+            paper_catalog,
+            "SELECT * FROM R one, S two WHERE one.a = two.b",
+        )
+        assert p.names == ["one", "two"]
+        assert p.chain[0].stream_name == "R"
+
+
+class TestExpansion:
+    def test_dropped_terms_structure(self):
+        terms = dropped_terms(3)
+        assert len(terms) == 3
+        assert terms[0].channels == (Channel.DROPPED, Channel.ALL, Channel.ALL)
+        assert terms[1].channels == (Channel.KEPT, Channel.DROPPED, Channel.ALL)
+        assert terms[2].channels == (Channel.KEPT, Channel.KEPT, Channel.DROPPED)
+
+    def test_each_term_has_one_pivot(self):
+        for n in (1, 2, 5):
+            for i, term in enumerate(dropped_terms(n)):
+                assert term.pivot == i
+
+    def test_added_terms_structure(self):
+        terms = added_terms(2)
+        assert terms[0].channels == (Channel.ADDED, Channel.NOISY)
+        assert terms[1].channels == (Channel.KEPT, Channel.ADDED)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            dropped_terms(0)
+        with pytest.raises(ValueError):
+            added_terms(0)
+        with pytest.raises(ValueError):
+            join_count(0)
+
+    def test_join_count_formula(self):
+        # The paper: Q- and Q+ computable with 3n - 1 joins.
+        assert join_count(3) == 8
+        assert join_count(10) == 29
+
+    def test_term_str(self):
+        assert str(dropped_terms(2)[0]) == "dropped ⋈ all"

@@ -1,0 +1,197 @@
+"""Tests for arrival processes (steady and Markov-bursty)."""
+
+import pytest
+
+from repro.sources import (
+    GaussianValues,
+    MarkovBurstArrival,
+    ParetoBurstArrival,
+    RowGenerator,
+    SteadyArrival,
+    generate_stream,
+)
+
+
+class TestSteady:
+    def test_exact_rate_without_jitter(self, rng):
+        arr = SteadyArrival(rate=10.0)
+        schedule = arr.schedule(100, rng)
+        assert schedule[-1].timestamp == pytest.approx(10.0)
+        gaps = [
+            b.timestamp - a.timestamp for a, b in zip(schedule, schedule[1:])
+        ]
+        assert all(g == pytest.approx(0.1) for g in gaps)
+
+    def test_no_burst_flags(self, rng):
+        arr = SteadyArrival(rate=10.0)
+        assert not any(a.is_burst for a in arr.schedule(50, rng))
+
+    def test_jitter_preserves_mean_rate(self, rng):
+        arr = SteadyArrival(rate=10.0, jitter=0.5)
+        schedule = arr.schedule(5000, rng)
+        assert schedule[-1].timestamp == pytest.approx(500.0, rel=0.05)
+
+    def test_monotone_timestamps(self, rng):
+        arr = SteadyArrival(rate=5.0, jitter=0.9)
+        ts = [a.timestamp for a in arr.schedule(200, rng)]
+        assert ts == sorted(ts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SteadyArrival(rate=0)
+        with pytest.raises(ValueError):
+            SteadyArrival(rate=1, jitter=1.0)
+
+    def test_peak_rate(self):
+        assert SteadyArrival(rate=7.0).peak_rate == 7.0
+
+
+class TestMarkovBurst:
+    def make(self, **kw):
+        defaults = dict(
+            base_rate=10.0,
+            burst_speedup=100.0,
+            burst_fraction=0.6,
+            expected_burst_length=200.0,
+        )
+        defaults.update(kw)
+        return MarkovBurstArrival(**defaults)
+
+    def test_paper_parameters(self, rng):
+        """60% of tuples in bursts, expected burst length 200, 100x speed."""
+        arr = self.make()
+        schedule = arr.schedule(60_000, rng)
+        burst_frac = sum(a.is_burst for a in schedule) / len(schedule)
+        assert burst_frac == pytest.approx(0.6, abs=0.05)
+
+    def test_expected_burst_length(self, rng):
+        arr = self.make()
+        schedule = arr.schedule(120_000, rng)
+        lengths, current = [], 0
+        for a in schedule:
+            if a.is_burst:
+                current += 1
+            elif current:
+                lengths.append(current)
+                current = 0
+        mean_len = sum(lengths) / len(lengths)
+        assert mean_len == pytest.approx(200.0, rel=0.15)
+
+    def test_burst_gaps_100x_shorter(self, rng):
+        arr = self.make()
+        schedule = arr.schedule(20_000, rng)
+        burst_gaps, normal_gaps = [], []
+        for a, b in zip(schedule, schedule[1:]):
+            gap = b.timestamp - a.timestamp
+            (burst_gaps if b.is_burst else normal_gaps).append(gap)
+        assert min(normal_gaps) / max(burst_gaps) == pytest.approx(100.0, rel=0.01)
+
+    def test_rates(self):
+        arr = self.make()
+        assert arr.peak_rate == 1000.0
+        # mean gap = 0.6/1000 + 0.4/10 = 0.0406 -> ~24.6 tuples/sec
+        assert arr.mean_rate == pytest.approx(1 / 0.0406, rel=1e-6)
+
+    def test_stationary_probabilities(self):
+        arr = self.make()
+        p_in, p_out = arr.entry_probability, arr.exit_probability
+        assert p_in / (p_in + p_out) == pytest.approx(0.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(base_rate=0)
+        with pytest.raises(ValueError):
+            self.make(burst_speedup=0.5)
+        with pytest.raises(ValueError):
+            self.make(burst_fraction=1.0)
+        with pytest.raises(ValueError):
+            self.make(expected_burst_length=0.5)
+
+
+class TestParetoBurst:
+    def make(self, **kw):
+        defaults = dict(base_rate=10.0, burst_speedup=50.0, alpha=1.5)
+        defaults.update(kw)
+        return ParetoBurstArrival(**defaults)
+
+    def test_alternating_periods(self, rng):
+        arr = self.make()
+        schedule = arr.schedule(5000, rng)
+        # Periods alternate: count the transitions.
+        transitions = sum(
+            a.is_burst != b.is_burst for a, b in zip(schedule, schedule[1:])
+        )
+        assert transitions > 10
+
+    def test_heavy_tail_produces_long_bursts(self, rng):
+        arr = self.make(min_burst_length=10)
+        schedule = arr.schedule(60_000, rng)
+        lengths, current = [], 0
+        for a in schedule:
+            if a.is_burst:
+                current += 1
+            elif current:
+                lengths.append(current)
+                current = 0
+        # Pareto: the max burst dwarfs the median (infinite variance regime).
+        lengths.sort()
+        assert lengths[-1] > lengths[len(lengths) // 2] * 5
+
+    def test_burst_rate_ratio(self, rng):
+        arr = self.make()
+        schedule = arr.schedule(10_000, rng)
+        burst_gaps, idle_gaps = [], []
+        for a, b in zip(schedule, schedule[1:]):
+            (burst_gaps if b.is_burst else idle_gaps).append(
+                b.timestamp - a.timestamp
+            )
+        assert min(idle_gaps) / max(burst_gaps) == pytest.approx(50.0, rel=0.01)
+
+    def test_mean_period_lengths(self):
+        arr = self.make(alpha=2.0, min_burst_length=10, min_idle_length=30)
+        burst, idle = arr.mean_period_lengths
+        assert burst == pytest.approx(20.0)
+        assert idle == pytest.approx(60.0)
+
+    def test_peak_rate(self):
+        assert self.make().peak_rate == 500.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(alpha=1.0)
+        with pytest.raises(ValueError):
+            self.make(base_rate=0)
+        with pytest.raises(ValueError):
+            self.make(min_burst_length=0)
+
+    def test_deterministic_under_seed(self):
+        import random as _random
+
+        arr = self.make()
+        a = arr.schedule(500, _random.Random(9))
+        b = arr.schedule(500, _random.Random(9))
+        assert a == b
+
+
+class TestGenerateStream:
+    def test_burst_tuples_from_shifted_distribution(self, rng):
+        normal = RowGenerator([GaussianValues(mean=20, std=2)])
+        burst = RowGenerator([GaussianValues(mean=80, std=2)])
+        arr = MarkovBurstArrival(base_rate=10, burst_fraction=0.5,
+                                 expected_burst_length=50)
+        tuples = generate_stream(5000, arr, normal, burst, rng)
+        lows = [t for t in tuples if t.row[0] < 50]
+        highs = [t for t in tuples if t.row[0] >= 50]
+        assert len(lows) > 1000 and len(highs) > 1000
+
+    def test_without_burst_generator(self, rng):
+        normal = RowGenerator([GaussianValues(mean=20, std=2)])
+        arr = MarkovBurstArrival(base_rate=10)
+        tuples = generate_stream(1000, arr, normal, None, rng)
+        assert all(t.row[0] < 50 for t in tuples)
+
+    def test_timestamps_sorted_and_rows_match_arity(self, rng):
+        normal = RowGenerator([GaussianValues(), GaussianValues()])
+        tuples = generate_stream(100, SteadyArrival(5.0), normal, None, rng)
+        assert [t.timestamp for t in tuples] == sorted(t.timestamp for t in tuples)
+        assert all(len(t.row) == 2 for t in tuples)

@@ -1,0 +1,80 @@
+"""Tests for value/row generators."""
+
+import random
+
+import pytest
+
+from repro.sources import (
+    GaussianValues,
+    RowGenerator,
+    UniformValues,
+    ZipfValues,
+    paper_row_generators,
+)
+
+
+class TestGaussian:
+    def test_values_in_domain(self, rng):
+        g = GaussianValues(mean=50, std=15, lo=1, hi=100)
+        values = [g.draw(rng) for _ in range(2000)]
+        assert all(1 <= v <= 100 for v in values)
+        assert all(isinstance(v, int) for v in values)
+
+    def test_mean_roughly_right(self, rng):
+        g = GaussianValues(mean=30, std=5)
+        values = [g.draw(rng) for _ in range(5000)]
+        assert sum(values) / len(values) == pytest.approx(30, abs=1.0)
+
+    def test_shifted(self, rng):
+        g = GaussianValues(mean=50, std=5)
+        s = g.shifted(25)
+        assert s.mean == 75
+        values = [s.draw(rng) for _ in range(3000)]
+        assert sum(values) / len(values) == pytest.approx(75, abs=1.5)
+
+    def test_clamping_at_edges(self, rng):
+        g = GaussianValues(mean=0, std=5, lo=1, hi=100)
+        values = [g.draw(rng) for _ in range(200)]
+        assert min(values) == 1  # heavy clamping at the low edge
+
+
+class TestUniformAndZipf:
+    def test_uniform_covers_domain(self, rng):
+        g = UniformValues(1, 10)
+        values = {g.draw(rng) for _ in range(2000)}
+        assert values == set(range(1, 11))
+
+    def test_zipf_is_skewed(self, rng):
+        g = ZipfValues(s=1.5, lo=1, hi=50)
+        from collections import Counter
+
+        counts = Counter(g.draw(rng) for _ in range(5000))
+        assert counts[1] > counts.get(25, 0) * 3  # rank 1 dominates
+
+    def test_zipf_in_domain(self, rng):
+        g = ZipfValues(lo=5, hi=10)
+        assert all(5 <= g.draw(rng) <= 10 for _ in range(500))
+
+
+class TestRowGenerator:
+    def test_arity(self, rng):
+        g = RowGenerator([UniformValues(1, 5), UniformValues(6, 9)])
+        row = g.draw(rng)
+        assert len(row) == 2
+        assert 1 <= row[0] <= 5 and 6 <= row[1] <= 9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RowGenerator([])
+
+    def test_shifted_only_affects_gaussians(self, rng):
+        g = RowGenerator([GaussianValues(mean=20, std=1), UniformValues(1, 5)])
+        s = g.shifted(30)
+        assert s.columns[0].mean == 50
+        assert isinstance(s.columns[1], UniformValues)
+
+    def test_paper_generators_shape(self):
+        gens = paper_row_generators()
+        assert set(gens) == {"R", "S", "T"}
+        assert len(gens["S"].columns) == 2
+        assert len(gens["R"].columns) == 1

@@ -1,0 +1,59 @@
+"""Tests for the network link model."""
+
+import pytest
+
+from repro.engine import StreamTuple
+from repro.sources.network import NetworkLink
+
+
+def stream(timestamps):
+    return [StreamTuple(float(t), (i,)) for i, t in enumerate(timestamps)]
+
+
+class TestNetworkLink:
+    def test_latency_only(self):
+        link = NetworkLink(latency=0.5)
+        out = link.transmit(stream([0.0, 1.0]))
+        assert [t.timestamp for t in out] == [0.5, 1.5]
+        assert [t.row for t in out] == [(0,), (1,)]
+
+    def test_bandwidth_spaces_arrivals(self):
+        # 10 tuples offered simultaneously over a 10 tuple/sec link.
+        link = NetworkLink(bandwidth=10.0)
+        out = link.transmit(stream([0.0] * 10))
+        gaps = [b.timestamp - a.timestamp for a, b in zip(out, out[1:])]
+        assert all(g == pytest.approx(0.1) for g in gaps)
+        assert out[-1].timestamp == pytest.approx(1.0)
+
+    def test_no_queueing_below_bandwidth(self):
+        link = NetworkLink(bandwidth=100.0, latency=0.2)
+        out = link.transmit(stream([0.0, 1.0, 2.0]))
+        assert [t.timestamp for t in out] == pytest.approx([0.21, 1.21, 2.21])
+
+    def test_fifo_order_preserved_under_jitter(self):
+        link = NetworkLink(latency=0.1, jitter=0.5, seed=3)
+        out = link.transmit(stream([i * 0.01 for i in range(100)]))
+        ts = [t.timestamp for t in out]
+        assert ts == sorted(ts)
+        assert [t.row for t in out] == [(i,) for i in range(100)]
+
+    def test_queueing_delay_measurement(self):
+        link = NetworkLink(bandwidth=1.0)
+        tuples = stream([0.0, 0.0, 0.0])
+        # Third tuple waits 2 transmission slots.
+        assert link.queueing_delay(tuples) == pytest.approx(2.0)
+        assert link.queueing_delay(stream([0.0, 5.0])) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkLink(latency=-1)
+        with pytest.raises(ValueError):
+            NetworkLink(jitter=-0.1)
+        with pytest.raises(ValueError):
+            NetworkLink(bandwidth=0)
+
+    def test_unbounded_bandwidth(self):
+        link = NetworkLink()
+        assert link.transmission_time == 0.0
+        out = link.transmit(stream([1.0]))
+        assert out[0].timestamp == 1.0

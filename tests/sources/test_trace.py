@@ -1,0 +1,73 @@
+"""Tests for trace record/replay."""
+
+import io
+
+import pytest
+
+from repro.engine import StreamTuple
+from repro.sources import (
+    TraceError,
+    dump_trace,
+    load_trace,
+    load_trace_file,
+    rescale_trace,
+    save_trace_file,
+)
+
+TUPLES = [
+    StreamTuple(0.5, (1, 2)),
+    StreamTuple(1.25, (3, 4)),
+    StreamTuple(2.0, (5, 6)),
+]
+
+
+class TestRoundTrip:
+    def test_memory_roundtrip(self):
+        buf = io.StringIO()
+        n = dump_trace(TUPLES, buf)
+        assert n == 3
+        buf.seek(0)
+        assert load_trace(buf) == TUPLES
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "r.trace"
+        save_trace_file(TUPLES, path)
+        assert load_trace_file(path) == TUPLES
+
+    def test_string_values(self):
+        buf = io.StringIO()
+        dump_trace([StreamTuple(0.1, ("hello", 2))], buf)
+        buf.seek(0)
+        (out,) = load_trace(buf)
+        assert out.row == ("hello", 2)
+
+    def test_float_values(self):
+        buf = io.StringIO()
+        dump_trace([StreamTuple(0.1, (2.5,))], buf)
+        buf.seek(0)
+        assert load_trace(buf)[0].row == (2.5,)
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\n0.5\t1,2\n"
+        out = load_trace(io.StringIO(text))
+        assert out == [StreamTuple(0.5, (1, 2))]
+
+    def test_malformed_line(self):
+        with pytest.raises(TraceError, match="malformed"):
+            load_trace(io.StringIO("not a trace line\n"))
+
+
+class TestRescale:
+    def test_compresses_timeline(self):
+        fast = rescale_trace(TUPLES, 2.0)
+        assert fast[0].timestamp == pytest.approx(0.25)
+        assert fast[-1].timestamp == pytest.approx(1.0)
+        assert [t.row for t in fast] == [t.row for t in TUPLES]
+
+    def test_slows_timeline(self):
+        slow = rescale_trace(TUPLES, 0.5)
+        assert slow[-1].timestamp == pytest.approx(4.0)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            rescale_trace(TUPLES, 0)

@@ -1,0 +1,114 @@
+"""Tests for HAVING / ORDER BY / LIMIT across parser, binder, executor."""
+
+import pytest
+
+from repro.algebra import Multiset
+from repro.engine import QueryExecutor
+from repro.sql import Binder, BindError, ParseError, parse_statement, render_statement
+
+
+@pytest.fixture
+def execute(paper_catalog):
+    def _run(sql, inputs):
+        bound = Binder(paper_catalog).bind(parse_statement(sql))
+        return QueryExecutor(paper_catalog).execute(bound, inputs)
+
+    return _run
+
+
+INPUTS = {
+    "s": Multiset(
+        [(1, 10), (1, 20), (2, 30), (2, 40), (2, 50), (3, None), (3, 60)]
+    )
+}
+
+
+class TestParsing:
+    def test_full_clause_order(self):
+        q = parse_statement(
+            "SELECT b, COUNT(*) AS n FROM S GROUP BY b "
+            "HAVING n > 1 ORDER BY n DESC, b LIMIT 5"
+        )
+        assert q.having is not None
+        assert [(o.ascending) for o in q.order_by] == [False, True]
+        assert q.limit == 5
+
+    def test_asc_keyword(self):
+        q = parse_statement("SELECT b FROM S ORDER BY b ASC")
+        assert q.order_by[0].ascending
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT b FROM S LIMIT 2.5")
+
+    def test_render_roundtrip(self):
+        sql = (
+            "SELECT b, COUNT(*) AS n FROM S GROUP BY b "
+            "HAVING (n > 1) ORDER BY n DESC LIMIT 3;"
+        )
+        first = render_statement(parse_statement(sql))
+        assert "HAVING" in first and "ORDER BY" in first and "LIMIT 3" in first
+        assert render_statement(parse_statement(first)) == first
+
+
+class TestBinding:
+    def test_having_without_aggregate_rejected(self, paper_catalog):
+        with pytest.raises(BindError, match="HAVING"):
+            Binder(paper_catalog).bind(
+                parse_statement("SELECT b FROM S HAVING b > 1")
+            )
+
+
+class TestExecution:
+    def test_having_filters_groups(self, execute):
+        res = execute(
+            "SELECT b, COUNT(*) AS n FROM S GROUP BY b HAVING n > 2", INPUTS
+        )
+        assert res.rows == Multiset([(2, 3)])
+
+    def test_having_references_group_key(self, execute):
+        res = execute(
+            "SELECT b, COUNT(*) AS n FROM S GROUP BY b HAVING b >= 2", INPUTS
+        )
+        assert res.rows == Multiset([(2, 3), (3, 2)])
+
+    def test_order_by_asc(self, execute):
+        res = execute("SELECT c FROM S ORDER BY c", INPUTS)
+        values = [r[0] for r in res.ordered_rows]
+        assert values == [10, 20, 30, 40, 50, 60, None]  # NULLs last
+
+    def test_order_by_desc(self, execute):
+        res = execute("SELECT c FROM S ORDER BY c DESC", INPUTS)
+        values = [r[0] for r in res.ordered_rows]
+        assert values == [60, 50, 40, 30, 20, 10, None]
+
+    def test_multi_key_order(self, execute):
+        res = execute("SELECT b, c FROM S ORDER BY b DESC, c ASC", INPUTS)
+        assert res.ordered_rows[0][0] == 3
+        twos = [r for r in res.ordered_rows if r[0] == 2]
+        assert [r[1] for r in twos] == [30, 40, 50]
+
+    def test_limit(self, execute):
+        res = execute("SELECT c FROM S ORDER BY c LIMIT 2", INPUTS)
+        assert res.ordered_rows == [(10,), (20,)]
+        assert len(res.rows) == 2
+
+    def test_limit_zero(self, execute):
+        res = execute("SELECT c FROM S LIMIT 0", INPUTS)
+        assert res.ordered_rows == []
+        assert len(res.rows) == 0
+
+    def test_limit_without_order(self, execute):
+        res = execute("SELECT c FROM S LIMIT 3", INPUTS)
+        assert len(res.ordered_rows) == 3
+
+    def test_top_k_aggregate(self, execute):
+        res = execute(
+            "SELECT b, COUNT(*) AS n FROM S GROUP BY b ORDER BY n DESC LIMIT 1",
+            INPUTS,
+        )
+        assert res.ordered_rows == [(2, 3)]
+
+    def test_no_order_no_limit_has_no_ordered_rows(self, execute):
+        res = execute("SELECT c FROM S", INPUTS)
+        assert res.ordered_rows is None

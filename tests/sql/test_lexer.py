@@ -1,0 +1,58 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql import LexError, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestTokenize:
+    def test_keywords_uppercased(self):
+        assert kinds("select from")[0] == ("KEYWORD", "SELECT")
+
+    def test_identifiers_keep_case(self):
+        assert kinds("R_kept")[0] == ("IDENT", "R_kept")
+
+    def test_count_is_ident_not_keyword(self):
+        assert kinds("count")[0] == ("IDENT", "count")
+
+    def test_numbers(self):
+        assert kinds("42 3.14") == [("NUMBER", "42"), ("NUMBER", "3.14")]
+
+    def test_number_then_dot_ident(self):
+        # "1.x" should not swallow the dot into the number.
+        out = kinds("1.x")
+        assert out[0] == ("NUMBER", "1")
+        assert out[1] == ("SYMBOL", ".")
+
+    def test_strings_with_escape(self):
+        out = kinds("'it''s'")
+        assert out == [("STRING", "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_multichar_symbols(self):
+        out = kinds("<= >= <> !=")
+        assert [v for _, v in out] == ["<=", ">=", "<>", "!="]
+
+    def test_comments_skipped(self):
+        out = kinds("a -- comment here\n b")
+        assert [v for _, v in out] == ["a", "b"]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_eof_token_present(self):
+        toks = tokenize("a")
+        assert toks[-1].kind == "EOF"
+
+    def test_positions(self):
+        toks = tokenize("ab cd")
+        assert toks[0].position == 0
+        assert toks[1].position == 3

@@ -1,0 +1,194 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.engine.expressions import BinaryOp, ColumnRef, FunctionCall, Literal, UnaryOp
+from repro.sql import (
+    CreateStreamStmt,
+    CreateViewStmt,
+    ParseError,
+    SelectStmt,
+    Star,
+    SubquerySource,
+    TableRef,
+    UnionAllStmt,
+    parse_query,
+    parse_script,
+    parse_statement,
+)
+
+
+class TestSelect:
+    def test_select_star(self):
+        q = parse_statement("SELECT * FROM R")
+        assert isinstance(q, SelectStmt)
+        assert isinstance(q.items[0].expr, Star)
+        assert q.from_sources == [TableRef("R")]
+
+    def test_select_columns_with_alias(self):
+        q = parse_statement("SELECT a, b AS beta, c gamma FROM R")
+        assert q.items[0].alias is None
+        assert q.items[1].alias == "beta"
+        assert q.items[2].alias == "gamma"
+
+    def test_qualified_columns(self):
+        q = parse_statement("SELECT R.a FROM R")
+        expr = q.items[0].expr
+        assert isinstance(expr, ColumnRef) and expr.table == "R" and expr.name == "a"
+
+    def test_where_precedence(self):
+        q = parse_statement("SELECT * FROM R WHERE a = 1 OR b = 2 AND c = 3")
+        # AND binds tighter than OR.
+        assert isinstance(q.where, BinaryOp) and q.where.op == "OR"
+        assert q.where.right.op == "AND"
+
+    def test_not_and_unary_minus(self):
+        q = parse_statement("SELECT * FROM R WHERE NOT a = -1")
+        assert isinstance(q.where, UnaryOp) and q.where.op == "NOT"
+
+    def test_arithmetic_precedence(self):
+        q = parse_statement("SELECT a + b * 2 FROM R")
+        expr = q.items[0].expr
+        assert expr.op == "+" and expr.right.op == "*"
+
+    def test_parenthesized_expression(self):
+        q = parse_statement("SELECT (a + b) * 2 FROM R")
+        assert q.items[0].expr.op == "*"
+
+    def test_group_by(self):
+        q = parse_statement("SELECT a, COUNT(*) FROM R GROUP BY a")
+        assert len(q.group_by) == 1
+        assert isinstance(q.group_by[0], ColumnRef)
+
+    def test_count_star(self):
+        q = parse_statement("SELECT COUNT(*) FROM R")
+        call = q.items[0].expr
+        assert isinstance(call, FunctionCall)
+        assert isinstance(call.args[0], Literal) and call.args[0].value == "*"
+
+    def test_function_with_args(self):
+        q = parse_statement("SELECT equijoin(x, 'R.a', y, 'S.b') FROM R")
+        call = q.items[0].expr
+        assert call.name == "equijoin" and len(call.args) == 4
+        assert call.args[1].value == "R.a"
+
+    def test_table_aliases(self):
+        q = parse_statement("SELECT * FROM R_kept R, S_kept AS S")
+        assert q.from_sources[0] == TableRef("R_kept", "R")
+        assert q.from_sources[1] == TableRef("S_kept", "S")
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM R").distinct
+
+    def test_literals(self):
+        q = parse_statement("SELECT 1, 2.5, 'x', NULL, TRUE, FALSE FROM R")
+        values = [i.expr.value for i in q.items]
+        assert values == [1, 2.5, "x", None, True, False]
+
+
+class TestWindowClause:
+    def test_window_inline(self):
+        q = parse_statement("SELECT * FROM R WINDOW R ['1 second']")
+        assert q.windows[0].table == "R"
+        assert q.windows[0].interval == "1 second"
+
+    def test_window_after_semicolon_figure7_style(self):
+        q = parse_statement(
+            "SELECT a, COUNT(*) as count FROM R,S,T "
+            "WHERE R.a = S.b AND S.c = T.d GROUP BY a; "
+            "WINDOW R['1 second'], S['1 second'], T['1 second'];"
+        )
+        assert [w.table for w in q.windows] == ["R", "S", "T"]
+
+    def test_window_requires_interval_string(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM R WINDOW R [42]")
+
+
+class TestUnionAndSubqueries:
+    def test_union_all(self):
+        q = parse_query("(SELECT * FROM A) UNION ALL (SELECT * FROM B)")
+        assert isinstance(q, UnionAllStmt)
+        assert len(q.queries) == 2
+
+    def test_union_all_three_arms(self):
+        q = parse_query(
+            "(SELECT * FROM A) UNION ALL (SELECT * FROM B) UNION ALL (SELECT * FROM C)"
+        )
+        assert len(q.queries) == 3
+
+    def test_union_without_parens(self):
+        q = parse_query("SELECT * FROM A UNION ALL SELECT * FROM B")
+        assert isinstance(q, UnionAllStmt)
+
+    def test_subquery_in_from(self):
+        q = parse_statement("SELECT * FROM (SELECT a FROM R) sub")
+        src = q.from_sources[0]
+        assert isinstance(src, SubquerySource) and src.alias == "sub"
+
+    def test_figure4_nested_shape(self):
+        """The nested dropped-view SQL of paper Figure 4 parses."""
+        q = parse_query(
+            """
+            (SELECT * FROM R_dropped, S_all, T_all WHERE a=b and c=d)
+            UNION ALL
+            (SELECT * FROM R_kept,
+              ((SELECT * FROM S_dropped, T_all WHERE c=d)
+               UNION ALL
+               (SELECT * FROM S_kept, T_dropped WHERE c=d)) inner_q
+             WHERE a=b)
+            """
+        )
+        assert isinstance(q, UnionAllStmt)
+        second = q.queries[1]
+        assert isinstance(second.from_sources[1], SubquerySource)
+
+
+class TestDDL:
+    def test_create_stream(self):
+        s = parse_statement("CREATE STREAM R (a INTEGER, b float)")
+        assert isinstance(s, CreateStreamStmt)
+        assert [(c.name, c.type_name) for c in s.columns] == [
+            ("a", "INTEGER"),
+            ("b", "float"),
+        ]
+
+    def test_create_view(self):
+        s = parse_statement("CREATE VIEW v AS SELECT * FROM R")
+        assert isinstance(s, CreateViewStmt) and s.name == "v"
+
+    def test_create_requires_kind(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE TABLE t (a int)")
+
+
+class TestScripts:
+    def test_multiple_statements(self):
+        stmts = parse_script(
+            "CREATE STREAM R (a integer); SELECT * FROM R; SELECT a FROM R;"
+        )
+        assert len(stmts) == 3
+
+    def test_trailing_statement_rejected_in_single_parse(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM R; SELECT * FROM S")
+
+    def test_empty_statements_skipped(self):
+        assert parse_script(";;;") == []
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT",
+            "SELECT * FROM",
+            "SELECT * FROM R WHERE",
+            "SELECT * FROM R GROUP a",
+            "SELECT f( FROM R",
+            "FROM R SELECT *",
+        ],
+    )
+    def test_malformed(self, sql):
+        with pytest.raises(ParseError):
+            parse_statement(sql)

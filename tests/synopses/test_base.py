@@ -1,0 +1,88 @@
+"""Tests for the Synopsis base interface and Dimension."""
+
+import pytest
+
+from repro.synopses import Dimension, SparseCubicHistogram, SynopsisError
+
+
+class TestDimension:
+    def test_n_values(self):
+        assert Dimension("a", 1, 100).n_values == 100
+        assert Dimension("a", 5, 5).n_values == 1
+
+    def test_contains(self):
+        d = Dimension("a", 1, 10)
+        assert d.contains(1) and d.contains(10)
+        assert not d.contains(0) and not d.contains(11)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SynopsisError):
+            Dimension("a", 5, 4)
+
+    def test_renamed(self):
+        d = Dimension("a", 1, 10).renamed("b")
+        assert d.name == "b" and (d.lo, d.hi) == (1, 10)
+
+
+class TestDimResolution:
+    def make(self, *names):
+        return SparseCubicHistogram([Dimension(n, 1, 10) for n in names])
+
+    def test_exact_match(self):
+        s = self.make("a", "b")
+        assert s.dim_index("b") == 1
+
+    def test_case_insensitive(self):
+        s = self.make("Alpha")
+        assert s.dim_index("ALPHA") == 0
+
+    def test_qualified_lookup_finds_bare_dim(self):
+        s = self.make("a")
+        assert s.dim_index("R.a") == 0
+
+    def test_bare_lookup_finds_qualified_dim(self):
+        s = self.make("R.a", "S.b")
+        assert s.dim_index("b") == 1
+
+    def test_ambiguous_suffix(self):
+        s = self.make("R.a", "S.a")
+        with pytest.raises(SynopsisError, match="ambiguous"):
+            s.dim_index("a")
+
+    def test_missing(self):
+        s = self.make("a")
+        with pytest.raises(SynopsisError, match="no dimension"):
+            s.dim_index("zz")
+
+    def test_dimension_accessor(self):
+        s = self.make("a")
+        assert s.dimension("a").n_values == 10
+
+
+class TestValueChecking:
+    def test_arity_checked(self):
+        s = SparseCubicHistogram([Dimension("a", 1, 10)])
+        with pytest.raises(SynopsisError, match="arity"):
+            s.insert((1, 2))
+
+    def test_domain_checked(self):
+        s = SparseCubicHistogram([Dimension("a", 1, 10)])
+        with pytest.raises(SynopsisError, match="outside domain"):
+            s.insert((11,))
+
+    def test_estimate_point(self):
+        s = SparseCubicHistogram([Dimension("a", 1, 10)], bucket_width=1)
+        s.insert((3,))
+        s.insert((3,))
+        assert s.estimate_point(a=3) == pytest.approx(2.0)
+        assert s.estimate_point(a=4) == pytest.approx(0.0)
+
+    def test_is_empty(self):
+        s = SparseCubicHistogram([Dimension("a", 1, 10)])
+        assert s.is_empty()
+        s.insert((1,))
+        assert not s.is_empty()
+
+    def test_repr(self):
+        s = SparseCubicHistogram([Dimension("a", 1, 10)])
+        assert "SparseCubicHistogram" in repr(s)

@@ -1,0 +1,168 @@
+"""Tests for the Count-Min sketch and wavelet synopses."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.synopses import (
+    CountMinFactory,
+    CountMinSynopsis,
+    Dimension,
+    SynopsisError,
+    WaveletFactory,
+    WaveletSynopsis,
+)
+from repro.synopses.wavelet import _haar_forward, _haar_inverse
+
+A = Dimension("a", 1, 100)
+BC = [Dimension("b", 1, 100), Dimension("c", 1, 100)]
+
+
+class TestCountMin:
+    def test_total_exact(self):
+        s = CountMinSynopsis([A])
+        for _ in range(50):
+            s.insert((3,))
+        assert s.total() == pytest.approx(50.0)
+
+    def test_group_counts_normalized_to_total(self):
+        rng = random.Random(1)
+        s = CountMinSynopsis([A], width=32)  # narrow: lots of collisions
+        for _ in range(500):
+            s.insert((rng.randint(1, 100),))
+        gc = s.group_counts("a")
+        assert sum(gc.values()) == pytest.approx(500.0)
+
+    def test_point_estimate_upper_bound(self):
+        s = CountMinSynopsis([A], width=128)
+        for _ in range(10):
+            s.insert((42,))
+        # CM never underestimates a key's count.
+        assert s._marginal(0)[42] >= 10.0
+
+    def test_union_requires_same_parameters(self):
+        a = CountMinSynopsis([A], seed=1)
+        b = CountMinSynopsis([A], seed=2)
+        with pytest.raises(SynopsisError, match="not mergeable"):
+            a.union_all(b)
+
+    def test_union_adds(self):
+        a = CountMinSynopsis([A])
+        b = CountMinSynopsis([A])
+        a.insert((1,))
+        b.insert((1,))
+        assert a.union_all(b).total() == pytest.approx(2.0)
+
+    def test_equijoin_independence_estimate(self):
+        # Perfectly correlated single-value data: independence is harmless.
+        r = CountMinSynopsis([A], width=256)
+        s = CountMinSynopsis([Dimension("b", 1, 100)], width=256)
+        for _ in range(20):
+            r.insert((7,))
+        for _ in range(30):
+            s.insert((7,))
+        j = r.equijoin(s, "a", "b")
+        assert j.total() == pytest.approx(600.0, rel=0.05)
+        assert j.dim_names == ("a",)
+
+    def test_select_range_scales_other_dims(self):
+        s = CountMinSynopsis(BC, width=256)
+        for v in range(1, 21):
+            s.insert((v, v))
+        sel = s.select_range("b", 1, 10)
+        assert sel.total() == pytest.approx(10.0, rel=0.2)
+
+    def test_project_and_scale(self):
+        s = CountMinSynopsis(BC)
+        s.insert((1, 2))
+        assert s.project(["c"]).dim_names == ("c",)
+        assert s.scale(3.0).total() == pytest.approx(3.0)
+
+    def test_factory(self):
+        f = CountMinFactory(depth=3, width=16)
+        syn = f.create([A])
+        assert syn.depth == 3 and syn.width == 16
+        assert "cms" in f.name
+
+    def test_invalid_params(self):
+        with pytest.raises(SynopsisError):
+            CountMinSynopsis([A], depth=0)
+
+
+class TestHaarTransform:
+    def test_roundtrip_1d(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=64)
+        assert np.allclose(_haar_inverse(_haar_forward(a)), a)
+
+    def test_roundtrip_2d(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(16, 32))
+        assert np.allclose(_haar_inverse(_haar_forward(a)), a)
+
+    def test_orthonormal_energy_preserved(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=32)
+        c = _haar_forward(a)
+        assert np.sum(a * a) == pytest.approx(np.sum(c * c))
+
+
+class TestWavelet:
+    def test_total_preserved_for_smooth_data(self):
+        s = WaveletSynopsis([A], budget=16)
+        for v in range(1, 101):
+            s.insert((v,))  # flat distribution compresses perfectly
+        assert s.total() == pytest.approx(100.0, rel=0.01)
+
+    def test_budget_limits_detail(self):
+        sharp = WaveletSynopsis([A], budget=2)
+        for _ in range(100):
+            sharp.insert((37,))
+        gc = sharp.group_counts("a")
+        # Two coefficients cannot represent a 100-high spike: the retained
+        # detail terms reconstruct it attenuated (negative side lobes are
+        # clipped by group_counts).
+        assert gc.get(37, 0.0) < 99.0
+
+    def test_full_budget_is_lossless(self):
+        s = WaveletSynopsis([A], budget=128)
+        for v in (1, 50, 100):
+            s.insert((v,))
+        gc = s.group_counts("a")
+        assert gc[1] == pytest.approx(1.0)
+        assert gc[50] == pytest.approx(1.0)
+        assert gc[100] == pytest.approx(1.0)
+
+    def test_join_exact_at_full_budget(self):
+        r = WaveletSynopsis([A], budget=128)
+        s = WaveletSynopsis(BC, budget=200_000)
+        for v in [(3,), (3,), (5,)]:
+            r.insert(v)
+        for v in [(3, 10), (5, 20), (5, 30)]:
+            s.insert(v)
+        j = r.equijoin(s, "a", "b")
+        assert j.total() == pytest.approx(4.0, rel=0.01)
+        assert j.dim_names == ("a", "c")
+
+    def test_select_range(self):
+        s = WaveletSynopsis([A], budget=128)
+        for v in (5, 50):
+            s.insert((v,))
+        assert s.select_range("a", 1, 10).total() == pytest.approx(1.0, abs=0.05)
+
+    def test_union_and_scale(self):
+        a = WaveletSynopsis([A], budget=128)
+        b = WaveletSynopsis([A], budget=128)
+        a.insert((1,))
+        b.insert((2,))
+        assert a.union_all(b).total() == pytest.approx(2.0, rel=0.01)
+        assert a.scale(2.0).total() == pytest.approx(2.0, rel=0.01)
+
+    def test_storage_size_is_budget(self):
+        assert WaveletSynopsis([A], budget=9).storage_size() == 9
+
+    def test_factory(self):
+        f = WaveletFactory(budget=12)
+        assert f.create([A]).budget == 12
+        assert "wavelet" in f.name

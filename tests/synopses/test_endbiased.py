@@ -1,0 +1,131 @@
+"""Tests for the end-biased histogram."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.synopses import Dimension, EndBiasedFactory, EndBiasedHistogram, SynopsisError
+from repro.sources import ZipfValues
+
+A = Dimension("a", 1, 100)
+BC = [Dimension("b", 1, 100), Dimension("c", 1, 100)]
+
+
+def zipf_rows(rng, n=500, s=1.3):
+    g = ZipfValues(s=s, lo=1, hi=100)
+    return [(g.draw(rng),) for _ in range(n)]
+
+
+class TestBasics:
+    def test_total_exact(self):
+        h = EndBiasedHistogram([A], k=4)
+        for v in (1, 1, 2, 3):
+            h.insert((v,))
+        assert h.total() == pytest.approx(4.0)
+
+    def test_heavy_hitters_exact(self, rng):
+        rows = zipf_rows(rng)
+        h = EndBiasedHistogram([A], k=8)
+        h.insert_many(rows)
+        counts = Counter(v for (v,) in rows)
+        gc = h.group_counts("a")
+        for v, _ in counts.most_common(8):
+            assert gc[v] == pytest.approx(counts[v])
+
+    def test_tail_uniform(self):
+        h = EndBiasedHistogram([A], k=1)
+        # 10 copies of value 1 (the singleton), 9 scattered tail values.
+        for _ in range(10):
+            h.insert((1,))
+        for v in range(2, 11):
+            h.insert((v,))
+        gc = h.group_counts("a")
+        assert gc[1] == pytest.approx(10.0)
+        # Tail mass 9 spread over the 99 non-singleton values.
+        assert gc[50] == pytest.approx(9 / 99)
+
+    def test_group_counts_sum_to_total(self, rng):
+        h = EndBiasedHistogram([A], k=6)
+        h.insert_many(zipf_rows(rng))
+        assert sum(h.group_counts("a").values()) == pytest.approx(h.total())
+
+    def test_post_build_insert(self):
+        h = EndBiasedHistogram([A], k=2)
+        h.insert((1,))
+        h.group_counts("a")  # build
+        h.insert((1,))
+        h.insert((50,))  # not a singleton: lands in the tail
+        assert h.total() == pytest.approx(3.0)
+        assert h.group_counts("a")[1] == pytest.approx(2.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(SynopsisError):
+            EndBiasedHistogram([A], k=0)
+
+    def test_storage_bounded(self, rng):
+        h = EndBiasedHistogram(BC, k=5)
+        h.insert_many([(rng.randint(1, 100), rng.randint(1, 100)) for _ in range(300)])
+        h.group_counts("b")
+        assert h.storage_size() <= (5 + 1) * 2
+
+
+class TestOperations:
+    def test_union_preserves_total_and_hitters(self, rng):
+        a = EndBiasedHistogram([A], k=4)
+        b = EndBiasedHistogram([A], k=4)
+        for _ in range(50):
+            a.insert((7,))
+            b.insert((7,))
+        for _ in range(10):
+            b.insert((9,))
+        u = a.union_all(b)
+        assert u.total() == pytest.approx(110.0)
+        assert u.group_counts("a")[7] == pytest.approx(100.0)
+
+    def test_join_exact_on_skewed_data(self, rng):
+        """On Zipf data, heavy hitters dominate the join; the estimate
+        should land very close even with few singletons."""
+        rows_a = zipf_rows(rng, n=400, s=1.5)
+        rows_b = zipf_rows(rng, n=400, s=1.5)
+        ca = Counter(v for (v,) in rows_a)
+        cb = Counter(v for (v,) in rows_b)
+        exact = sum(ca[v] * cb[v] for v in ca)
+        a = EndBiasedHistogram([A], k=10)
+        b = EndBiasedHistogram([Dimension("b", 1, 100)], k=10)
+        a.insert_many(rows_a)
+        b.insert_many(rows_b)
+        est = a.equijoin(b, "a", "b").total()
+        assert est == pytest.approx(exact, rel=0.1)
+
+    def test_join_keeps_dim_names(self):
+        a = EndBiasedHistogram([A], k=4)
+        b = EndBiasedHistogram(BC, k=4)
+        a.insert((1,))
+        b.insert((1, 2))
+        j = a.equijoin(b, "a", "b")
+        assert j.dim_names == ("a", "c")
+
+    def test_select_range_singletons_and_tail(self):
+        h = EndBiasedHistogram([A], k=1)
+        for _ in range(10):
+            h.insert((5,))
+        for v in range(50, 60):
+            h.insert((v,))
+        sel = h.select_range("a", 1, 10)
+        # The singleton (5) is kept exactly; the tail barely overlaps.
+        assert sel.group_counts("a")[5] == pytest.approx(10.0)
+        assert sel.total() == pytest.approx(10 + 10 * (9 / 99), rel=0.01)
+
+    def test_project_and_scale(self, rng):
+        h = EndBiasedHistogram(BC, k=4)
+        h.insert_many(
+            [(rng.randint(1, 100), rng.randint(1, 100)) for _ in range(100)]
+        )
+        assert h.project(["c"]).total() == pytest.approx(h.total())
+        assert h.scale(0.5).total() == pytest.approx(h.total() * 0.5)
+
+    def test_factory(self):
+        f = EndBiasedFactory(k=7)
+        assert f.create([A]).k == 7
+        assert "end_biased" in f.name

@@ -1,0 +1,136 @@
+"""Tests for the dense grid histogram, including parity with the sparse one."""
+
+import random
+
+import pytest
+
+from repro.synopses import (
+    DenseGridFactory,
+    DenseGridHistogram,
+    Dimension,
+    SparseCubicHistogram,
+    SynopsisError,
+)
+
+A = Dimension("a", 1, 100)
+BC = [Dimension("b", 1, 100), Dimension("c", 1, 100)]
+
+
+class TestBasics:
+    def test_insert_and_total(self):
+        s = DenseGridHistogram([A], bin_width=5)
+        s.insert((1,))
+        s.insert((100,), weight=2)
+        assert s.total() == pytest.approx(3.0)
+
+    def test_insert_many_vectorized(self):
+        s = DenseGridHistogram(BC, bin_width=5)
+        s.insert_many([(1, 2), (3, 4), (99, 100)])
+        assert s.total() == pytest.approx(3.0)
+
+    def test_insert_many_domain_check(self):
+        s = DenseGridHistogram([A], bin_width=5)
+        with pytest.raises(SynopsisError):
+            s.insert_many([(101,)])
+
+    def test_insert_many_arity_check(self):
+        s = DenseGridHistogram([A], bin_width=5)
+        with pytest.raises(SynopsisError):
+            s.insert_many([(1, 2)])
+
+    def test_storage_is_dense(self):
+        s = DenseGridHistogram([A], bin_width=5)
+        assert s.storage_size() == 20  # grid allocated regardless of data
+
+    def test_factory(self):
+        f = DenseGridFactory(bin_width=2)
+        assert f.create([A]).bin_width == 2
+        assert "dense_grid" in f.name
+
+
+class TestParityWithSparse:
+    """Dense and sparse histograms implement the same estimator; given the
+    same bucket width they must produce identical numbers."""
+
+    @pytest.fixture
+    def data(self):
+        rng = random.Random(9)
+        r = [(rng.randint(1, 100),) for _ in range(300)]
+        s = [(rng.randint(1, 100), rng.randint(1, 100)) for _ in range(300)]
+        return r, s
+
+    def _pair(self, dims, rows, width=5):
+        dense = DenseGridHistogram(dims, bin_width=width)
+        sparse = SparseCubicHistogram(dims, bucket_width=width)
+        for row in rows:
+            dense.insert(row)
+            sparse.insert(row)
+        return dense, sparse
+
+    def test_group_counts_match(self, data):
+        r, _ = data
+        dense, sparse = self._pair([A], r)
+        dg, sg = dense.group_counts("a"), sparse.group_counts("a")
+        for v in range(1, 101):
+            assert dg.get(v, 0.0) == pytest.approx(sg.get(v, 0.0))
+
+    def test_join_totals_match(self, data):
+        r, s = data
+        dr, sr = self._pair([A], r)
+        ds, ss = self._pair(BC, s)
+        dj = dr.equijoin(ds, "a", "b")
+        sj = sr.equijoin(ss, "a", "b")
+        assert dj.total() == pytest.approx(sj.total())
+        dg, sg = dj.group_counts("c"), sj.group_counts("c")
+        for v in range(1, 101):
+            assert dg.get(v, 0.0) == pytest.approx(sg.get(v, 0.0))
+
+    def test_select_range_matches(self, data):
+        r, _ = data
+        dense, sparse = self._pair([A], r)
+        assert dense.select_range("a", 13, 57).total() == pytest.approx(
+            sparse.select_range("a", 13, 57).total()
+        )
+
+    def test_project_matches(self, data):
+        _, s = data
+        dense, sparse = self._pair(BC, s)
+        assert dense.project(["c"]).total() == pytest.approx(
+            sparse.project(["c"]).total()
+        )
+        assert dense.project(["c", "b"]).dim_names == ("c", "b")
+
+
+class TestOperations:
+    def test_union(self):
+        a = DenseGridHistogram([A], bin_width=5)
+        b = DenseGridHistogram([A], bin_width=5)
+        a.insert((1,))
+        b.insert((1,))
+        assert a.union_all(b).total() == pytest.approx(2.0)
+
+    def test_union_mismatch(self):
+        a = DenseGridHistogram([A], bin_width=5)
+        b = DenseGridHistogram([A], bin_width=4)
+        with pytest.raises(SynopsisError):
+            a.union_all(b)
+
+    def test_join_misaligned_rejected(self):
+        a = DenseGridHistogram([Dimension("a", 0, 99)], bin_width=5)
+        b = DenseGridHistogram([Dimension("b", 1, 100)], bin_width=5)
+        with pytest.raises(SynopsisError, match="misaligned"):
+            a.equijoin(b, "a", "b")
+
+    def test_scale_and_empty_like(self):
+        s = DenseGridHistogram([A], bin_width=5)
+        s.insert((1,))
+        assert s.scale(4.0).total() == pytest.approx(4.0)
+        assert s.empty_like().total() == 0.0
+
+    def test_join_keeps_dimension_names(self):
+        a = DenseGridHistogram([A], bin_width=5)
+        b = DenseGridHistogram(BC, bin_width=5)
+        a.insert((10,))
+        b.insert((10, 60))
+        j = a.equijoin(b, "a", "b")
+        assert j.dim_names == ("a", "c")

@@ -1,0 +1,167 @@
+"""Tests for the MHIST (MAXDIFF) histogram, including the join blowup."""
+
+import random
+
+import pytest
+
+from repro.synopses import Dimension, MHist, MHistFactory, SynopsisError
+
+A = Dimension("a", 1, 100)
+B = Dimension("b", 1, 100)
+
+
+def filled(dim_lists, rows, **kwargs):
+    m = MHist(dim_lists, **kwargs)
+    m.insert_many(rows)
+    return m
+
+
+class TestBuild:
+    def test_total_exact_before_and_after_build(self):
+        m = filled([A], [(v % 50 + 1,) for v in range(200)], max_buckets=10)
+        assert m.total() == pytest.approx(200.0)
+        m.group_counts("a")  # forces build
+        assert m.total() == pytest.approx(200.0)
+
+    def test_bucket_budget_respected(self):
+        rng = random.Random(0)
+        m = filled([A], [(rng.randint(1, 100),) for _ in range(500)], max_buckets=12)
+        m.group_counts("a")
+        assert m.storage_size() <= 12
+
+    def test_maxdiff_splits_at_frequency_cliff(self):
+        # Two flat regions with a cliff between 50 and 51: the first split
+        # should separate them, making per-region estimates exact.
+        rows = [(v,) for v in range(1, 51) for _ in range(10)]
+        rows += [(v,) for v in range(51, 101)]
+        m = filled([A], rows, max_buckets=2)
+        gc = m.group_counts("a")
+        assert gc[25] == pytest.approx(10.0)
+        assert gc[75] == pytest.approx(1.0)
+
+    def test_single_value_cannot_split(self):
+        m = filled([A], [(5,)] * 100, max_buckets=8)
+        m.group_counts("a")
+        assert m.storage_size() == 1
+
+    def test_post_build_insert_credits_bucket(self):
+        m = filled([A], [(5,)] * 10, max_buckets=4)
+        m.group_counts("a")  # build
+        m.insert((5,))
+        assert m.total() == pytest.approx(11.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(SynopsisError):
+            MHist([A], max_buckets=0)
+        with pytest.raises(SynopsisError):
+            MHist([A], grid=0)
+
+
+class TestOperations:
+    def test_project_preserves_total(self):
+        rng = random.Random(1)
+        m = filled(
+            [A, B],
+            [(rng.randint(1, 100), rng.randint(1, 100)) for _ in range(300)],
+            max_buckets=20,
+        )
+        p = m.project(["b"])
+        assert p.total() == pytest.approx(m.total())
+        assert p.dim_names == ("b",)
+
+    def test_union_point_backed_stays_lazy(self):
+        a = filled([A], [(1,)] * 5)
+        b = filled([A], [(2,)] * 5)
+        u = a.union_all(b)
+        assert u.total() == pytest.approx(10.0)
+
+    def test_union_bucket_backed(self):
+        a = filled([A], [(1,)] * 5)
+        a.group_counts("a")
+        b = filled([A], [(2,)] * 5)
+        u = a.union_all(b)
+        assert u.total() == pytest.approx(10.0)
+
+    def test_select_range_fractional(self):
+        m = filled([A], [(v,) for v in range(1, 11)], max_buckets=1)
+        # One bucket over 1..100? No: root box is the domain, all points in
+        # 1..10; with 1 bucket the box is 1..100 and mass spreads over it.
+        sel = m.select_range("a", 1, 50)
+        assert sel.total() == pytest.approx(10 * 50 / 100)
+
+    def test_group_counts_sum(self):
+        rng = random.Random(2)
+        m = filled([A], [(rng.randint(1, 100),) for _ in range(100)], max_buckets=10)
+        assert sum(m.group_counts("a").values()) == pytest.approx(100.0)
+
+    def test_scale(self):
+        m = filled([A], [(1,)] * 4)
+        assert m.scale(0.5).total() == pytest.approx(2.0)
+
+
+class TestJoinBlowup:
+    """The paper's Section 5.2.2 pathology and its Future-Work fix."""
+
+    def _chain(self, grid):
+        """The paper's 3-way chain: R(a) ⋈ S(b, c) ⋈ T(d)."""
+        rng = random.Random(3)
+        r = filled(
+            [A], [(rng.randint(1, 100),) for _ in range(400)],
+            max_buckets=40, grid=grid,
+        )
+        s = filled(
+            [B, Dimension("c", 1, 100)],
+            [(rng.randint(1, 100), rng.randint(1, 100)) for _ in range(400)],
+            max_buckets=40, grid=grid,
+        )
+        t = filled(
+            [Dimension("d", 1, 100)],
+            [(rng.randint(1, 100),) for _ in range(400)],
+            max_buckets=40, grid=grid,
+        )
+        j1 = r.equijoin(s, "a", "b")
+        return j1.equijoin(t, "c", "d")
+
+    def test_unaligned_chain_join_blows_up(self):
+        """Unaligned boundaries: chained joins compound near-quadratically."""
+        j2 = self._chain(grid=None)
+        # 40-bucket inputs end with thousands of output buckets.
+        assert j2.storage_size() > 40 * 20
+
+    def test_aligned_chain_join_coalesces(self):
+        """Grid-constrained boundaries (Future Work §8.1) stay bounded."""
+        unaligned = self._chain(grid=None).storage_size()
+        aligned = self._chain(grid=10).storage_size()
+        assert aligned <= 100  # one bucket per 10x10 grid cell over (a, c)
+        assert aligned * 10 < unaligned
+
+    def test_join_estimate_reasonable(self):
+        rng = random.Random(4)
+        rows_r = [(rng.randint(1, 20),) for _ in range(300)]
+        rows_s = [(rng.randint(1, 20),) for _ in range(300)]
+        from collections import Counter
+
+        cr, cs = Counter(r[0] for r in rows_r), Counter(r[0] for r in rows_s)
+        exact = sum(cr[v] * cs[v] for v in range(1, 21))
+        r = filled([Dimension("a", 1, 20)], rows_r, max_buckets=20)
+        s = filled([Dimension("b", 1, 20)], rows_s, max_buckets=20)
+        est = r.equijoin(s, "a", "b").total()
+        assert est == pytest.approx(exact, rel=0.15)
+
+    def test_grid_constrains_boundaries(self):
+        rng = random.Random(5)
+        m = filled(
+            [A], [(rng.randint(1, 100),) for _ in range(500)],
+            max_buckets=10, grid=10,
+        )
+        for box, _ in m.bucket_items():
+            lo, hi = box[0]
+            assert (lo - 1) % 10 == 0 or lo == 1
+            assert hi % 10 == 0 or hi == 100
+
+
+def test_factory():
+    f = MHistFactory(max_buckets=30, grid=5)
+    m = f.create([A])
+    assert m.max_buckets == 30 and m.grid == 5
+    assert "grid=5" in f.name

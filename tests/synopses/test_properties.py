@@ -1,0 +1,100 @@
+"""Property-based tests (hypothesis) for synopsis estimator invariants."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synopses import Dimension, SparseCubicHistogram
+
+values = st.integers(1, 30)
+rows_1d = st.lists(values.map(lambda v: (v,)), max_size=60)
+rows_2d = st.lists(st.tuples(values, values), max_size=60)
+widths = st.sampled_from([1, 2, 3, 5, 10])
+
+
+def hist(dims, rows, width):
+    syn = SparseCubicHistogram(dims, bucket_width=width)
+    syn.insert_many(rows)
+    return syn
+
+
+D = Dimension("a", 1, 30)
+D2 = [Dimension("b", 1, 30), Dimension("c", 1, 30)]
+
+
+class TestSparseHistogramProperties:
+    @given(rows_1d, widths)
+    def test_total_is_exact(self, rows, width):
+        assert hist([D], rows, width).total() == pytest.approx(len(rows))
+
+    @given(rows_1d, widths, st.integers(1, 30))
+    def test_select_range_partition_additivity(self, rows, width, mid):
+        """σ[lo..mid] + σ[mid+1..hi] carries exactly σ[lo..hi]'s mass."""
+        syn = hist([D], rows, width)
+        left = syn.select_range("a", 1, mid).total()
+        right = syn.select_range("a", mid + 1, 30).total() if mid < 30 else 0.0
+        assert left + right == pytest.approx(syn.total())
+
+    @given(rows_1d, rows_2d, widths)
+    def test_join_total_never_negative_and_bounded(self, r_rows, s_rows, width):
+        r = hist([D], r_rows, width)
+        s = hist(D2, s_rows, width)
+        j = r.equijoin(s, "a", "b")
+        assert j.total() >= -1e-9
+        # Upper bound: every pair could match at most once per value cell.
+        assert j.total() <= len(r_rows) * len(s_rows) + 1e-9
+
+    @given(rows_1d, rows_2d)
+    def test_width1_join_is_exact(self, r_rows, s_rows):
+        r = hist([D], r_rows, 1)
+        s = hist(D2, s_rows, 1)
+        cr = Counter(v for (v,) in r_rows)
+        cs = Counter(b for b, _ in s_rows)
+        exact = sum(cr[v] * cs[v] for v in cr)
+        assert r.equijoin(s, "a", "b").total() == pytest.approx(exact)
+
+    @given(rows_2d, widths)
+    def test_projection_commutes_with_group_counts(self, rows, width):
+        syn = hist(D2, rows, width)
+        direct = syn.group_counts("c")
+        via_project = syn.project(["c"]).group_counts("c")
+        for v in set(direct) | set(via_project):
+            assert direct.get(v, 0.0) == pytest.approx(via_project.get(v, 0.0))
+
+    @given(rows_1d, rows_1d, widths)
+    def test_union_then_query_equals_query_then_sum(self, rows_a, rows_b, width):
+        a = hist([D], rows_a, width)
+        b = hist([D], rows_b, width)
+        u = a.union_all(b)
+        ga, gb, gu = a.group_counts("a"), b.group_counts("a"), u.group_counts("a")
+        for v in set(gu) | set(ga) | set(gb):
+            assert gu.get(v, 0.0) == pytest.approx(
+                ga.get(v, 0.0) + gb.get(v, 0.0)
+            )
+
+    @settings(max_examples=30)
+    @given(rows_1d, rows_2d, widths)
+    def test_join_distributes_over_union(self, r_rows, s_rows, width):
+        """(r1 + r2) ⋈ s == r1 ⋈ s + r2 ⋈ s (histogram joins are bilinear)."""
+        half = len(r_rows) // 2
+        r1 = hist([D], r_rows[:half], width)
+        r2 = hist([D], r_rows[half:], width)
+        s = hist(D2, s_rows, width)
+        joined_union = r1.union_all(r2).equijoin(s, "a", "b")
+        union_joined = r1.equijoin(s, "a", "b").union_all(
+            r2.equijoin(s, "a", "b")
+        )
+        gu = joined_union.group_counts("a")
+        gj = union_joined.group_counts("a")
+        for v in set(gu) | set(gj):
+            assert gu.get(v, 0.0) == pytest.approx(gj.get(v, 0.0))
+
+    @given(rows_1d, widths, st.floats(0.1, 10.0))
+    def test_scale_commutes_with_group_counts(self, rows, width, factor):
+        syn = hist([D], rows, width)
+        scaled = syn.scale(factor)
+        g, gs = syn.group_counts("a"), scaled.group_counts("a")
+        for v in set(g) | set(gs):
+            assert gs.get(v, 0.0) == pytest.approx(g.get(v, 0.0) * factor)

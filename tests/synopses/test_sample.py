@@ -1,0 +1,136 @@
+"""Tests for the reservoir-sample synopsis."""
+
+import random
+
+import pytest
+
+from repro.synopses import (
+    Dimension,
+    ReservoirSampleFactory,
+    ReservoirSampleSynopsis,
+    SynopsisError,
+)
+
+A = Dimension("a", 1, 100)
+BC = [Dimension("b", 1, 100), Dimension("c", 1, 100)]
+
+
+class TestReservoirMode:
+    def test_below_capacity_keeps_everything(self):
+        s = ReservoirSampleSynopsis([A], capacity=10)
+        for v in range(1, 6):
+            s.insert((v,))
+        assert s.storage_size() == 5
+        assert s.total() == pytest.approx(5.0)
+        assert s.group_counts("a") == {v: 1.0 for v in range(1, 6)}
+
+    def test_total_tracks_population_not_sample(self):
+        s = ReservoirSampleSynopsis([A], capacity=10, seed=1)
+        for _ in range(1000):
+            s.insert((50,))
+        assert s.storage_size() == 10
+        assert s.total() == pytest.approx(1000.0)
+        assert s.group_counts("a")[50] == pytest.approx(1000.0)
+
+    def test_reservoir_unbiased(self):
+        # Insert 1..100 uniformly many times; sampled mean ~ population mean.
+        rng = random.Random(0)
+        estimates = []
+        for seed in range(30):
+            s = ReservoirSampleSynopsis([A], capacity=50, seed=seed)
+            for _ in range(2000):
+                s.insert((rng.randint(1, 100),))
+            gc = s.group_counts("a")
+            mean = sum(v * m for v, m in gc.items()) / sum(gc.values())
+            estimates.append(mean)
+        avg = sum(estimates) / len(estimates)
+        assert avg == pytest.approx(50.5, abs=3.0)
+
+    def test_weighted_insert_rejected_in_reservoir_mode(self):
+        s = ReservoirSampleSynopsis([A], capacity=10)
+        with pytest.raises(SynopsisError, match="unit-weight"):
+            s.insert((1,), weight=2.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SynopsisError):
+            ReservoirSampleSynopsis([A], capacity=0)
+
+
+class TestWeightedMode:
+    def test_project(self):
+        s = ReservoirSampleSynopsis(BC, capacity=100)
+        s.insert((1, 2))
+        s.insert((1, 3))
+        p = s.project(["b"])
+        assert p.total() == pytest.approx(2.0)
+        assert p.group_counts("b") == {1: 2.0}
+
+    def test_union_preserves_total(self):
+        a = ReservoirSampleSynopsis([A], capacity=100, seed=0)
+        b = ReservoirSampleSynopsis([A], capacity=100, seed=1)
+        for _ in range(500):
+            a.insert((10,))
+            b.insert((20,))
+        u = a.union_all(b)
+        assert u.total() == pytest.approx(1000.0)
+
+    def test_resampling_preserves_total(self):
+        a = ReservoirSampleSynopsis([A], capacity=20, seed=3)
+        b = ReservoirSampleSynopsis([A], capacity=20, seed=4)
+        for v in range(1, 101):
+            a.insert((v,))
+            b.insert((101 - v,))
+        u = a.union_all(b)
+        assert u.storage_size() <= 20
+        assert u.total() == pytest.approx(200.0)
+
+    def test_equijoin_exact_on_full_samples(self):
+        # Below capacity the "sample" is the full bag: join is exact.
+        r = ReservoirSampleSynopsis([A], capacity=100)
+        s = ReservoirSampleSynopsis(BC, capacity=100)
+        for v in [(3,), (3,), (5,)]:
+            r.insert(v)
+        for v in [(3, 10), (5, 20), (5, 30)]:
+            s.insert(v)
+        j = r.equijoin(s, "a", "b")
+        assert j.total() == pytest.approx(4.0)
+        assert j.dim_names == ("a", "c")
+
+    def test_equijoin_scales_by_sampling_rates(self):
+        # 1000 identical rows each side, sampled at 10 rows: the join
+        # estimate must still be ~1000*1000.
+        r = ReservoirSampleSynopsis([A], capacity=10, seed=5)
+        s = ReservoirSampleSynopsis([Dimension("b", 1, 100)], capacity=10, seed=6)
+        for _ in range(1000):
+            r.insert((7,))
+            s.insert((7,))
+        j = r.equijoin(s, "a", "b")
+        assert j.total() == pytest.approx(1_000_000.0)
+
+    def test_select_range(self):
+        s = ReservoirSampleSynopsis([A], capacity=100)
+        for v in (1, 2, 50, 99):
+            s.insert((v,))
+        assert s.select_range("a", 1, 10).total() == pytest.approx(2.0)
+
+    def test_scale(self):
+        s = ReservoirSampleSynopsis([A], capacity=100)
+        s.insert((1,))
+        assert s.scale(5.0).total() == pytest.approx(5.0)
+
+    def test_join_name_collision(self):
+        r = ReservoirSampleSynopsis([Dimension("x", 1, 10)], capacity=10)
+        s = ReservoirSampleSynopsis(
+            [Dimension("k", 1, 10), Dimension("x", 1, 10)], capacity=10
+        )
+        r.insert((1,))
+        s.insert((1, 2))
+        assert r.equijoin(s, "x", "k").dim_names == ("x", "x_r")
+
+
+def test_factory_varies_seeds():
+    f = ReservoirSampleFactory(capacity=5, seed=1)
+    a = f.create([A])
+    b = f.create([A])
+    assert a.seed != b.seed  # windows sample independently
+    assert "reservoir" in f.name

@@ -1,0 +1,194 @@
+"""Tests for the sparse cubic-bucket histogram (the paper's fast synopsis)."""
+
+import pytest
+
+from repro.synopses import (
+    Dimension,
+    SparseCubicHistogram,
+    SparseHistogramFactory,
+    SynopsisError,
+)
+
+A = Dimension("a", 1, 100)
+BC = [Dimension("b", 1, 100), Dimension("c", 1, 100)]
+
+
+class TestBasics:
+    def test_insert_and_total(self):
+        s = SparseCubicHistogram([A], bucket_width=5)
+        s.insert((1,))
+        s.insert((99,), weight=2.0)
+        assert s.total() == pytest.approx(3.0)
+
+    def test_storage_is_sparse(self):
+        s = SparseCubicHistogram([A], bucket_width=5)
+        for _ in range(100):
+            s.insert((7,))
+        assert s.storage_size() == 1  # all mass in one bucket
+
+    def test_invalid_width(self):
+        with pytest.raises(SynopsisError):
+            SparseCubicHistogram([A], bucket_width=0)
+
+    def test_scale(self):
+        s = SparseCubicHistogram([A])
+        s.insert((1,))
+        assert s.scale(3.0).total() == pytest.approx(3.0)
+        assert s.total() == pytest.approx(1.0)  # original untouched
+
+    def test_empty_like(self):
+        s = SparseCubicHistogram([A], bucket_width=7)
+        s.insert((1,))
+        e = s.empty_like()
+        assert e.total() == 0 and e.bucket_width == 7
+
+
+class TestProjectAndUnion:
+    def test_project_preserves_total(self):
+        s = SparseCubicHistogram(BC, bucket_width=5)
+        for v in range(1, 50):
+            s.insert((v, 101 - v))
+        p = s.project(["b"])
+        assert p.total() == pytest.approx(s.total())
+        assert p.dim_names == ("b",)
+
+    def test_union_adds(self):
+        a = SparseCubicHistogram([A], bucket_width=5)
+        b = SparseCubicHistogram([A], bucket_width=5)
+        a.insert((1,))
+        b.insert((1,))
+        b.insert((50,))
+        u = a.union_all(b)
+        assert u.total() == pytest.approx(3.0)
+
+    def test_union_width_mismatch(self):
+        a = SparseCubicHistogram([A], bucket_width=5)
+        b = SparseCubicHistogram([A], bucket_width=10)
+        with pytest.raises(SynopsisError, match="width mismatch"):
+            a.union_all(b)
+
+    def test_union_dim_mismatch(self):
+        a = SparseCubicHistogram([A], bucket_width=5)
+        b = SparseCubicHistogram([Dimension("z", 1, 100)], bucket_width=5)
+        with pytest.raises(SynopsisError):
+            a.union_all(b)
+
+
+class TestEquijoin:
+    def test_width1_join_is_exact(self):
+        """At bucket width 1 the histogram join equals the true join size."""
+        r = SparseCubicHistogram([A], bucket_width=1)
+        s = SparseCubicHistogram(BC, bucket_width=1)
+        for v in [(3,), (3,), (5,)]:
+            r.insert(v)
+        for v in [(3, 10), (5, 20), (5, 30)]:
+            s.insert(v)
+        j = r.equijoin(s, "a", "b")
+        # exact: a=3 matches twice against one S row -> 2; a=5: 1 x 2 -> 2
+        assert j.total() == pytest.approx(4.0)
+        assert j.dim_names == ("a", "c")
+
+    def test_uniformity_assumption_within_bucket(self):
+        # One bucket of width 5, masses 10 and 15 -> 10*15/5 = 30 expected.
+        r = SparseCubicHistogram([A], bucket_width=5)
+        s = SparseCubicHistogram([Dimension("b", 1, 100)], bucket_width=5)
+        for _ in range(10):
+            r.insert((2,))
+        for _ in range(15):
+            s.insert((3,))
+        j = r.equijoin(s, "a", "b")
+        assert j.total() == pytest.approx(30.0)
+
+    def test_join_keeps_join_dimension(self):
+        r = SparseCubicHistogram([A], bucket_width=5)
+        s = SparseCubicHistogram(BC, bucket_width=5)
+        r.insert((10,))
+        s.insert((10, 50))
+        j = r.equijoin(s, "a", "b")
+        assert "a" in j.dim_names and "c" in j.dim_names
+        assert "b" not in j.dim_names
+
+    def test_join_name_collision_renamed(self):
+        r = SparseCubicHistogram([Dimension("x", 1, 100), Dimension("y", 1, 100)])
+        s = SparseCubicHistogram([Dimension("k", 1, 100), Dimension("x", 1, 100)])
+        j = r.equijoin(s, "x", "k")
+        assert j.dim_names == ("x", "y", "x_r")
+
+    def test_join_misaligned_origin_rejected(self):
+        r = SparseCubicHistogram([Dimension("a", 0, 99)], bucket_width=5)
+        s = SparseCubicHistogram([Dimension("b", 1, 100)], bucket_width=5)
+        with pytest.raises(SynopsisError, match="misaligned"):
+            r.equijoin(s, "a", "b")
+
+    def test_join_width_mismatch_rejected(self):
+        r = SparseCubicHistogram([A], bucket_width=5)
+        s = SparseCubicHistogram([Dimension("b", 1, 100)], bucket_width=4)
+        with pytest.raises(SynopsisError):
+            r.equijoin(s, "a", "b")
+
+    def test_disjoint_buckets_empty_join(self):
+        r = SparseCubicHistogram([A], bucket_width=5)
+        s = SparseCubicHistogram([Dimension("b", 1, 100)], bucket_width=5)
+        r.insert((1,))
+        s.insert((99,))
+        assert r.equijoin(s, "a", "b").total() == 0
+
+
+class TestSelectionAndGroups:
+    def test_group_counts_sum_to_total(self):
+        s = SparseCubicHistogram(BC, bucket_width=5)
+        for v in range(1, 30):
+            s.insert((v, v))
+        gc = s.group_counts("b")
+        assert sum(gc.values()) == pytest.approx(s.total())
+
+    def test_group_counts_spread_uniformly(self):
+        s = SparseCubicHistogram([A], bucket_width=5)
+        for _ in range(10):
+            s.insert((3,))
+        gc = s.group_counts("a")
+        # bucket covers values 1..5, each gets 2.0
+        assert gc[1] == pytest.approx(2.0)
+        assert gc[5] == pytest.approx(2.0)
+        assert 6 not in gc
+
+    def test_select_range_full_bucket(self):
+        s = SparseCubicHistogram([A], bucket_width=5)
+        s.insert((3,), weight=10)
+        assert s.select_range("a", 1, 5).total() == pytest.approx(10.0)
+
+    def test_select_range_partial_bucket_fraction(self):
+        s = SparseCubicHistogram([A], bucket_width=5)
+        s.insert((3,), weight=10)
+        # keep values 1..2 of the 1..5 bucket: 2/5 of the mass
+        assert s.select_range("a", 1, 2).total() == pytest.approx(4.0)
+
+    def test_select_range_disjoint(self):
+        s = SparseCubicHistogram([A], bucket_width=5)
+        s.insert((3,))
+        assert s.select_range("a", 50, 60).total() == 0
+
+    def test_edge_bucket_shorter_than_width(self):
+        # Domain 1..7 with width 5: second bucket covers 6..7 (2 values).
+        d = Dimension("a", 1, 7)
+        s = SparseCubicHistogram([d], bucket_width=5)
+        s.insert((7,), weight=4)
+        gc = s.group_counts("a")
+        assert gc[6] == pytest.approx(2.0)
+        assert gc[7] == pytest.approx(2.0)
+
+    def test_bucket_items_geometry(self):
+        s = SparseCubicHistogram(BC, bucket_width=10)
+        s.insert((15, 95))
+        ((box, mass),) = s.bucket_items()
+        assert box == ((11, 20), (91, 100))
+        assert mass == pytest.approx(1.0)
+
+
+def test_factory():
+    f = SparseHistogramFactory(bucket_width=4)
+    s = f.create([A])
+    assert isinstance(s, SparseCubicHistogram) and s.bucket_width == 4
+    assert "sparse_hist" in f.name
+    with pytest.raises(SynopsisError):
+        SparseHistogramFactory(bucket_width=0)

@@ -1,0 +1,204 @@
+"""Tests for the detail-in-context visualization layer."""
+
+import pytest
+
+from repro.algebra import Multiset
+from repro.engine import Column, ColumnType, Schema
+from repro.synopses import CountMinSynopsis, Dimension, SparseCubicHistogram
+from repro.viz import (
+    PointMark,
+    RectMark,
+    Scene,
+    SceneError,
+    build_scene,
+    render_ascii,
+    render_svg,
+)
+
+SCHEMA = Schema(
+    [Column("R.a", ColumnType.INTEGER), Column("S.c", ColumnType.INTEGER)]
+)
+
+
+def make_lost(rows, width=10):
+    syn = SparseCubicHistogram(
+        [Dimension("R.a", 1, 100), Dimension("S.c", 1, 100)], bucket_width=width
+    )
+    syn.insert_many(rows)
+    return syn
+
+
+class TestBuildScene:
+    def test_points_from_exact_rows(self):
+        rows = Multiset([(10, 20), (10, 20), (30, 40)])
+        scene = build_scene(rows, SCHEMA, None, "R.a", "S.c")
+        weights = {(p.x, p.y): p.weight for p in scene.points}
+        assert weights == {(10, 20): 2, (30, 40): 1}
+
+    def test_rects_from_synopsis_buckets(self):
+        lost = make_lost([(5, 5), (95, 95), (95, 95)])
+        scene = build_scene(Multiset(), SCHEMA, lost, "R.a", "S.c")
+        assert len(scene.rects) == 2
+        big = max(scene.rects, key=lambda r: r.intensity)
+        assert big.intensity == pytest.approx(1.0)
+        small = min(scene.rects, key=lambda r: r.intensity)
+        assert small.intensity == pytest.approx(0.5)
+
+    def test_domain_from_synopsis(self):
+        lost = make_lost([(5, 5)])
+        scene = build_scene(Multiset(), SCHEMA, lost, "R.a", "S.c")
+        assert scene.x_domain == (1, 100)
+        assert scene.y_domain == (1, 100)
+
+    def test_domain_from_points_when_no_synopsis(self):
+        rows = Multiset([(10, 20), (30, 40)])
+        scene = build_scene(rows, SCHEMA, None, "R.a", "S.c")
+        assert scene.x_domain == (10, 31)
+
+    def test_3d_synopsis_projected(self):
+        syn = SparseCubicHistogram(
+            [
+                Dimension("R.a", 1, 100),
+                Dimension("S.c", 1, 100),
+                Dimension("T.d", 1, 100),
+            ],
+            bucket_width=10,
+        )
+        syn.insert((5, 5, 5))
+        scene = build_scene(Multiset(), SCHEMA, syn, "R.a", "S.c")
+        assert len(scene.rects) == 1
+
+    def test_synopsis_without_geometry_rejected(self):
+        syn = CountMinSynopsis(
+            [Dimension("R.a", 1, 100), Dimension("S.c", 1, 100)]
+        )
+        syn.insert((1, 1))
+        with pytest.raises(SceneError, match="geometry"):
+            build_scene(Multiset(), SCHEMA, syn, "R.a", "S.c")
+
+
+class TestAsciiBackend:
+    def scene(self):
+        return Scene(
+            title="t",
+            x_label="x",
+            y_label="y",
+            x_domain=(0, 10),
+            y_domain=(0, 10),
+            points=[PointMark(5, 5)],
+            rects=[RectMark(0, 5, 0, 5, 1.0)],
+        )
+
+    def test_render_contains_marks(self):
+        out = render_ascii(self.scene(), width=20, height=10)
+        assert "o" in out
+        assert "@" in out  # full-intensity shading
+        assert "t" in out.splitlines()[0]
+
+    def test_grid_dimensions(self):
+        out = render_ascii(self.scene(), width=20, height=10)
+        body = [l for l in out.splitlines() if l.startswith("|")]
+        assert len(body) == 10
+        assert all(len(l) == 22 for l in body)
+
+    def test_too_small_canvas(self):
+        with pytest.raises(ValueError):
+            render_ascii(self.scene(), width=2, height=2)
+
+    def test_degenerate_domain(self):
+        s = self.scene()
+        s.x_domain = (5, 5)
+        with pytest.raises(ValueError):
+            render_ascii(s)
+
+
+class TestSeriesChart:
+    def make_series(self):
+        from repro.quality import ErrorSummary, Series
+
+        s = Series(title="Figure <8>", x_label="rate", methods=["a", "b"])
+        s.add_point(
+            100,
+            {
+                "a": ErrorSummary.from_values([1.0, 2.0]),
+                "b": ErrorSummary.from_values([10.0, 12.0]),
+            },
+        )
+        s.add_point(
+            200,
+            {
+                "a": ErrorSummary.from_values([3.0, 4.0]),
+                "b": ErrorSummary.from_values([11.0, 13.0]),
+            },
+        )
+        return s
+
+    def test_render_series_svg(self):
+        from repro.viz import render_series_svg
+
+        svg = render_series_svg(self.make_series())
+        assert svg.startswith("<svg")
+        assert svg.count("<polyline") == 2  # one per method
+        assert svg.count("<circle") == 4  # one marker per point
+        assert "Figure &lt;8&gt;" in svg  # escaped title
+        assert "rate" in svg
+
+    def test_error_bars_drawn(self):
+        from repro.viz import render_series_svg
+
+        svg = render_series_svg(self.make_series())
+        # 4 error bars + 2 legend lines + 5 gridlines.
+        assert svg.count("<line") == 11
+
+    def test_empty_series_rejected(self):
+        from repro.quality import Series
+        from repro.viz import render_series_svg
+
+        with pytest.raises(ValueError, match="no data"):
+            render_series_svg(Series(title="x", x_label="x", methods=["m"]))
+
+    def test_all_zero_series_renders(self):
+        from repro.quality import ErrorSummary, Series
+        from repro.viz import render_series_svg
+
+        s = Series(title="flat", x_label="rate", methods=["m"])
+        s.add_point(1, {"m": ErrorSummary.from_values([0.0, 0.0])})
+        s.add_point(2, {"m": ErrorSummary.from_values([0.0])})
+        svg = render_series_svg(s)
+        assert "<polyline" in svg  # degenerate y-domain handled
+
+    def test_ascii_chart_all_zero(self):
+        from repro.quality import ErrorSummary, Series
+
+        s = Series(title="flat", x_label="rate", methods=["m"])
+        s.add_point(5, {"m": ErrorSummary.from_values([0.0])})
+        text = s.to_ascii_chart()
+        assert "legend:" in text
+
+
+class TestSvgBackend:
+    def test_valid_svg_with_marks(self):
+        scene = Scene(
+            title="demo <scene>",
+            x_label="x",
+            y_label="y",
+            x_domain=(0, 10),
+            y_domain=(0, 10),
+            points=[PointMark(5, 5)],
+            rects=[RectMark(1, 3, 1, 3, 0.5)],
+        )
+        svg = render_svg(scene)
+        assert svg.startswith("<svg")
+        assert svg.count("<circle") == 1
+        assert svg.count("<rect") == 2  # plot frame + one mark
+        assert "&lt;scene&gt;" in svg  # escaping
+
+    def test_opacity_scales_with_intensity(self):
+        scene = Scene(
+            title="t", x_label="x", y_label="y",
+            x_domain=(0, 10), y_domain=(0, 10),
+            rects=[RectMark(0, 1, 0, 1, 0.0), RectMark(2, 3, 2, 3, 1.0)],
+        )
+        svg = render_svg(scene)
+        assert 'fill-opacity="0.150"' in svg
+        assert 'fill-opacity="0.900"' in svg
