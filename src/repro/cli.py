@@ -7,14 +7,19 @@
     python -m repro.cli fig9 [--peaks 600,1200,...] [--runs N]
     python -m repro.cli explain "SELECT ..."        # engine + rewrite plans
     python -m repro.cli rewrite "SELECT ..."        # Figures 4/5 SQL
+    python -m repro.cli serve [--port 7077] [...]   # live triage service
 
 All load experiments print the figure's data table, a terminal chart, and a
-CSV block.  ``explain``/``rewrite`` operate on the paper's R/S/T catalog.
+CSV block.  ``explain``/``rewrite`` operate on the paper's R/S/T catalog,
+and so does ``serve`` unless ``--query`` names different streams.  With the
+package installed, the same interface is available as the ``repro``
+console script (``repro serve``, ``repro fig8``, ...).
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 import time
 
@@ -66,6 +71,56 @@ def build_parser() -> argparse.ArgumentParser:
 
     rew = sub.add_parser("rewrite", help="emit the Figures 4/5 SQL for a query")
     rew.add_argument("query")
+
+    serve = sub.add_parser(
+        "serve", help="run the streaming ingest/subscribe triage service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7077)
+    serve.add_argument(
+        "--query",
+        default=None,
+        help="continuous aggregate query to serve (default: the paper's Figure 7 query)",
+    )
+    serve.add_argument(
+        "--window", type=float, default=1.0, help="window width, seconds"
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=200, help="triage queue capacity"
+    )
+    serve.add_argument(
+        "--engine-capacity",
+        type=float,
+        default=500.0,
+        help="engine throughput, tuples/second",
+    )
+    serve.add_argument(
+        "--grace",
+        type=float,
+        default=0.0,
+        help="extra seconds to wait before closing a window",
+    )
+    serve.add_argument("--max-sessions", type=int, default=64)
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        help="per-session publish cap, rows/second (default: uncapped)",
+    )
+    serve.add_argument(
+        "--adaptive",
+        type=float,
+        default=None,
+        metavar="STALENESS",
+        help="enable adaptive queue sizing targeting this staleness budget (s)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for this many seconds, then shut down gracefully "
+        "(default: until interrupted)",
+    )
 
     return parser
 
@@ -129,6 +184,52 @@ def cmd_rewrite(args, out) -> int:
     return 0
 
 
+def cmd_serve(args, out) -> int:
+    from repro.core.strategies import PipelineConfig
+    from repro.engine.window import WindowSpec
+    from repro.experiments import PAPER_QUERY
+    from repro.service import ServiceConfig, TriageServer
+
+    config = PipelineConfig(
+        window=WindowSpec(width=args.window),
+        queue_capacity=args.queue_capacity,
+        service_time=1.0 / args.engine_capacity,
+        adaptive_staleness=args.adaptive,
+        compute_ideal=False,
+    )
+    service = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        grace=args.grace,
+        max_sessions=args.max_sessions,
+        rate_limit=args.rate_limit,
+    )
+    server = TriageServer(paper_catalog(), args.query or PAPER_QUERY, config, service)
+
+    async def run() -> None:
+        await server.start()
+        out.write(
+            f"triage service listening on {args.host}:{server.port} "
+            f"(window {args.window:g}s, queue {args.queue_capacity}, "
+            f"engine {args.engine_capacity:g} tuples/s)\n"
+        )
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                while True:  # until KeyboardInterrupt
+                    await asyncio.sleep(3600)
+        finally:
+            await server.shutdown()
+            out.write("triage service stopped\n")
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
@@ -144,6 +245,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return cmd_explain(args, out)
     if args.command == "rewrite":
         return cmd_rewrite(args, out)
+    if args.command == "serve":
+        return cmd_serve(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

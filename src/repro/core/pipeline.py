@@ -182,6 +182,98 @@ class DataTriagePipeline:
         return dims, positions
 
     # ------------------------------------------------------------------
+    # Public hooks for external runners (network service, gateways)
+    # ------------------------------------------------------------------
+    @property
+    def sources(self) -> list[str]:
+        """Chain source names, in join order."""
+        return [link.source_name for link in self.plan.chain]
+
+    def source_dimensions(self, source: str) -> tuple[list[Dimension], list[int]]:
+        """The synopsis dimensions of ``source`` and their row positions.
+
+        External feeders (e.g. :mod:`repro.service.server`) use this to
+        build their own triage queues and kept-tuple synopses that stay
+        consistent with the compiled shadow plan.
+        """
+        return list(self._dims[source]), list(self._dim_positions[source])
+
+    def build_queue(
+        self,
+        source: str,
+        *,
+        capacity: int | None = None,
+        policy=None,
+        summarize: bool | None = None,
+        seed: int | None = None,
+        observer=None,
+        thread_safe: bool = False,
+    ) -> TriageQueue:
+        """A :class:`TriageQueue` for ``source``, configured like the
+        pipeline's own (dimensions, window, synopsis factory), for callers
+        that drive arrival/drain themselves instead of using :meth:`run`.
+        """
+        cfg = self.config
+        index = self.sources.index(source)
+        return TriageQueue(
+            name=source,
+            dimensions=self._dims[source],
+            dim_positions=self._dim_positions[source],
+            capacity=cfg.queue_capacity if capacity is None else capacity,
+            policy=policy if policy is not None else cfg.policy,
+            synopsis_factory=cfg.synopsis_factory,
+            window=cfg.window,
+            summarize=(
+                cfg.strategy.summarizes_drops if summarize is None else summarize
+            ),
+            seed=(cfg.seed if seed is None else seed) * 7919 + index,
+            observer=observer,
+            thread_safe=thread_safe,
+        )
+
+    def make_kept_synopsis(self, source: str) -> Synopsis:
+        """A fresh kept-tuple synopsis for one (source, window) cell."""
+        return self.config.synopsis_factory.create(self._dims[source])
+
+    def insert_into_synopsis(self, source: str, syn: Synopsis, row: tuple) -> None:
+        """Fold ``row``'s referenced columns into ``syn``."""
+        syn.insert([row[p] for p in self._dim_positions[source]])
+
+    def evaluate_window(
+        self,
+        window_id: int,
+        kept_rows: dict[str, Multiset],
+        kept_synopses: "dict[str, Synopsis | None] | None",
+        dropped_synopses: "dict[str, Synopsis | None] | None",
+        dropped_counts: dict[str, int],
+        arrived: dict[str, int],
+    ) -> WindowOutcome:
+        """Single-window convenience wrapper around :meth:`evaluate_windows`.
+
+        All arguments are per-source maps for *this* window only — the shape
+        an incremental feeder naturally holds when a window closes.
+        """
+        sources = self.sources
+        return self.evaluate_windows(
+            window_ids=[window_id],
+            kept_rows={s: {window_id: kept_rows.get(s, Multiset())} for s in sources},
+            kept_synopses=(
+                None
+                if kept_synopses is None
+                else {s: {window_id: kept_synopses.get(s)} for s in sources}
+            ),
+            dropped_synopses=(
+                None
+                if dropped_synopses is None
+                else {s: {window_id: dropped_synopses.get(s)} for s in sources}
+            ),
+            dropped_counts={
+                s: {window_id: dropped_counts.get(s, 0)} for s in sources
+            },
+            arrived={s: {window_id: arrived.get(s, 0)} for s in sources},
+        )[0]
+
+    # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
     def run(self, streams: dict[str, list[StreamTuple]]) -> RunResult:

@@ -11,18 +11,44 @@ Dropped tuples are folded into a per-window synopsis (windows are assigned
 by arrival timestamp, so a burst that straddles a boundary is attributed
 correctly).  With ``summarize=False`` the same queue implements the
 drop-only baseline — the single-codebase comparison of Section 5.2.1.
+
+Concurrency contract
+--------------------
+
+A ``TriageQueue`` is **single-owner by default**: the virtual-clock
+pipeline, the gateway, and the benchmarks all mutate a queue from exactly
+one thread, so no synchronization is paid.  The network service
+(:mod:`repro.service.server`) shares queues between connection readers and
+the window ticker; although asyncio keeps those on one thread, publisher
+code may legitimately call :meth:`offer` from worker threads (e.g. via
+``loop.run_in_executor``).  Constructing the queue with ``thread_safe=True``
+wraps every state-mutating entry point (``offer``/``poll``/
+``release_window``/``drain``/capacity resize) in an ``RLock`` so concurrent
+publishers cannot corrupt the buffer or the per-window synopses.  Reads of
+``stats`` remain unlocked — counters are monotonic ints and may be a step
+stale, which every consumer here tolerates.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.policies import DROP_INCOMING, DropPolicy, PolicyContext
 from repro.engine.types import StreamTuple
 from repro.engine.window import WindowSpec
 from repro.synopses.base import Dimension, Synopsis, SynopsisFactory
+
+#: Observer callback signature: ``observer(queue_name, event, value)``.
+#: Events emitted: ``"offer"`` (every arrival), ``"drop"`` (a victim was
+#: shed), ``"summarize"`` (the victim was folded into a synopsis),
+#: ``"poll"`` (the engine consumed a tuple).  Used by the service's metrics
+#: layer; ``None`` costs nothing.
+QueueObserver = Callable[[str, str, float], None]
 
 
 @dataclass
@@ -70,11 +96,16 @@ class TriageQueue:
         *,
         summarize: bool = True,
         seed: int = 0,
+        observer: QueueObserver | None = None,
+        thread_safe: bool = False,
     ) -> None:
         """``dimensions[i]`` describes row position ``dim_positions[i]``.
 
         ``summarize=False`` turns the queue into the drop-only baseline:
-        victims are counted but not synopsized.
+        victims are counted but not synopsized.  ``observer`` receives
+        ``(queue_name, event, value)`` callbacks on the enqueue/drop/
+        summarize/poll paths; ``thread_safe=True`` serializes mutations
+        behind an RLock (see the module docstring's concurrency contract).
         """
         if capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity}")
@@ -88,6 +119,8 @@ class TriageQueue:
         self.synopsis_factory = synopsis_factory
         self.window = window
         self.summarize = summarize
+        self.observer = observer
+        self._lock = threading.RLock() if thread_safe else nullcontext()
         self._rng = random.Random(seed)
         self._buffer: deque[StreamTuple] = deque()
         self._window_synopses: dict[int, Synopsis] = {}
@@ -110,39 +143,50 @@ class TriageQueue:
     # ------------------------------------------------------------------
     def offer(self, tup: StreamTuple) -> None:
         """A tuple arrives from the source; shed a victim if full."""
-        self.stats.offered += 1
-        if len(self._buffer) < self.capacity:
-            self._buffer.append(tup)
-            self.stats.high_watermark = max(
-                self.stats.high_watermark, len(self._buffer)
+        with self._lock:
+            self.stats.offered += 1
+            self._notify("offer")
+            if len(self._buffer) < self.capacity:
+                self._buffer.append(tup)
+                self.stats.high_watermark = max(
+                    self.stats.high_watermark, len(self._buffer)
+                )
+                return
+            self.stats.overflows += 1
+            wid = self.window.primary_window(tup.timestamp)
+            context = PolicyContext(
+                rng=self._rng,
+                synopsis=self._window_synopses.get(wid),
+                dim_positions=self.dim_positions,
             )
-            return
-        self.stats.overflows += 1
-        wid = self.window.primary_window(tup.timestamp)
-        context = PolicyContext(
-            rng=self._rng,
-            synopsis=self._window_synopses.get(wid),
-            dim_positions=self.dim_positions,
-        )
-        victim_idx = self.policy.select_victim(self._buffer, tup, context)
-        if victim_idx == DROP_INCOMING:
-            victim = tup
-        else:
-            victim = self._buffer[victim_idx]
-            del self._buffer[victim_idx]
-            self._buffer.append(tup)
-        self._shed(victim)
+            victim_idx = self.policy.select_victim(self._buffer, tup, context)
+            if victim_idx == DROP_INCOMING:
+                victim = tup
+            else:
+                victim = self._buffer[victim_idx]
+                del self._buffer[victim_idx]
+                self._buffer.append(tup)
+            self._shed(victim)
 
     def poll(self) -> StreamTuple | None:
         """The engine pulls the next tuple (FIFO order)."""
-        if not self._buffer:
-            return None
-        self.stats.polled += 1
-        return self._buffer.popleft()
+        with self._lock:
+            if not self._buffer:
+                return None
+            self.stats.polled += 1
+            self._notify("poll")
+            return self._buffer.popleft()
+
+    def _notify(self, event: str, value: float = 1.0) -> None:
+        if self.observer is not None:
+            self.observer(self.name, event, value)
 
     # ------------------------------------------------------------------
     def _shed(self, victim: StreamTuple) -> None:
         self.stats.dropped += 1
+        self._notify("drop")
+        if self.summarize:
+            self._notify("summarize")
         # A victim is charged to every window containing it — one window
         # for tumbling specs, several when windows overlap (hopping).
         for wid in self.window.window_ids(victim.timestamp):
@@ -180,14 +224,16 @@ class TriageQueue:
 
     def release_window(self, window_id: int) -> WindowSynopsis:
         """Emit and forget a window's synopsis (the end-of-window hand-off)."""
-        out = self.window_synopsis(window_id)
-        self._window_synopses.pop(window_id, None)
-        self._window_counts.pop(window_id, None)
-        self._window_bounds.pop(window_id, None)
-        return out
+        with self._lock:
+            out = self.window_synopsis(window_id)
+            self._window_synopses.pop(window_id, None)
+            self._window_counts.pop(window_id, None)
+            self._window_bounds.pop(window_id, None)
+            return out
 
     def drain(self) -> list[StreamTuple]:
         """Remove and return everything still buffered (end of run)."""
-        out = list(self._buffer)
-        self._buffer.clear()
-        return out
+        with self._lock:
+            out = list(self._buffer)
+            self._buffer.clear()
+            return out

@@ -1,0 +1,197 @@
+"""Asyncio client library for the triage service.
+
+Thin, typed access to the wire protocol of :mod:`repro.service.protocol`:
+
+.. code-block:: python
+
+    client = await TriageClient.connect("127.0.0.1", 7077)
+    await client.declare("R")
+    await client.subscribe()
+    ack = await client.publish("R", [[4], [7], [4]])
+    async for result in client.results():
+        print(result["window"], result["groups"])
+
+A background reader task demultiplexes the socket: request/reply frames
+(OK/STATS/ERROR) resolve the oldest pending request — the protocol is
+strictly in-order per connection — while asynchronous RESULT frames land in
+a bounded local queue consumed by :meth:`results`.  An ERROR reply raises
+:class:`ServiceError` with the server's machine-readable ``code``.
+
+The examples, the shell's ``\\publish`` command, and the test suite are all
+built on this class.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from collections import deque
+
+from repro.service import protocol
+from repro.service.protocol import ProtocolError, read_frame, write_frame
+
+__all__ = ["ServiceError", "TriageClient"]
+
+
+class ServiceError(Exception):
+    """The server answered with an ERROR frame."""
+
+    def __init__(self, code: str, message: str, *, fatal: bool = False) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.fatal = fatal
+
+    @classmethod
+    def from_frame(cls, frame: dict) -> "ServiceError":
+        return cls(
+            frame.get("code", "error"),
+            frame.get("message", ""),
+            fatal=bool(frame.get("fatal")),
+        )
+
+
+class TriageClient:
+    """One connection to a :class:`~repro.service.server.TriageServer`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: deque[asyncio.Future] = deque()
+        self._results: asyncio.Queue[dict | None] = asyncio.Queue(maxsize=1024)
+        self._reader_task: asyncio.Task | None = None
+        self._closed = False
+        #: The server's WELCOME frame: streams, schemas, window spec.
+        self.info: dict = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, *, client_name: str = ""
+    ) -> "TriageClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=protocol.MAX_FRAME_BYTES + 2
+        )
+        self = cls(reader, writer)
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+        self.info = await self._request(
+            {
+                "type": "HELLO",
+                "version": protocol.PROTOCOL_VERSION,
+                "client": client_name,
+            }
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        error: Exception | None = None
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    break
+                ftype = frame["type"]
+                if ftype == "RESULT":
+                    await self._results.put(frame)
+                elif ftype == "BYE":
+                    break  # server is shutting down gracefully
+                elif self._pending:
+                    self._pending.popleft().set_result(frame)
+                elif ftype == "ERROR":
+                    error = ServiceError.from_frame(frame)
+                    if frame.get("fatal"):
+                        break
+                # else: unsolicited non-RESULT frame with nothing pending —
+                # tolerated for forward compatibility.
+        except (ProtocolError, ConnectionError, asyncio.CancelledError) as exc:
+            if not isinstance(exc, asyncio.CancelledError):
+                error = exc
+        finally:
+            self._closed = True
+            failure = error or ConnectionError("connection closed")
+            while self._pending:
+                fut = self._pending.popleft()
+                if not fut.done():
+                    fut.set_exception(failure)
+            with contextlib.suppress(asyncio.QueueFull):
+                self._results.put_nowait(None)  # wake the results iterator
+            self._writer.close()
+
+    async def _request(self, frame: dict) -> dict:
+        if self._closed:
+            raise ConnectionError("client is closed")
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending.append(fut)
+        await write_frame(self._writer, frame)
+        reply = await fut
+        if reply["type"] == "ERROR":
+            raise ServiceError.from_frame(reply)
+        return reply
+
+    # ------------------------------------------------------------------
+    # Protocol verbs
+    # ------------------------------------------------------------------
+    async def declare(self, stream: str) -> dict:
+        """Bind ``stream`` for publishing; returns its column list."""
+        return await self._request({"type": "DECLARE", "stream": stream})
+
+    async def subscribe(self) -> None:
+        """Start receiving per-window RESULT frames (see :meth:`results`)."""
+        await self._request({"type": "SUBSCRIBE"})
+
+    async def publish(
+        self,
+        stream: str,
+        rows: list,
+        *,
+        timestamps: list[float] | None = None,
+    ) -> dict:
+        """Send one batch; returns the server's OK ack (accepted counts,
+        current queue depth and cumulative drops — application-level
+        backpressure signals)."""
+        frame: dict = {
+            "type": "PUBLISH",
+            "stream": stream,
+            "rows": [list(r) for r in rows],
+        }
+        if timestamps is not None:
+            frame["timestamps"] = list(timestamps)
+        return await self._request(frame)
+
+    async def stats(self, format: str = "json") -> dict:
+        """A telemetry snapshot: ``metrics``+``summary`` or ``prometheus``."""
+        return await self._request({"type": "STATS", "format": format})
+
+    async def results(self):
+        """Async-iterate RESULT frames until the connection ends."""
+        while True:
+            frame = await self._results.get()
+            if frame is None:
+                return
+            yield frame
+
+    async def next_result(self, timeout: float | None = None) -> dict | None:
+        """One RESULT frame (or None once the connection ended)."""
+        if timeout is None:
+            return await self._results.get()
+        return await asyncio.wait_for(self._results.get(), timeout)
+
+    async def close(self) -> None:
+        """Polite goodbye; always leaves the connection closed."""
+        if not self._closed:
+            try:
+                await asyncio.wait_for(self._request({"type": "BYE"}), timeout=2.0)
+            except (ServiceError, ConnectionError, asyncio.TimeoutError):
+                pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        self._writer.close()

@@ -1,0 +1,281 @@
+"""The wire protocol: versioned newline-delimited JSON frames.
+
+Every message is one UTF-8 JSON object on one line (``\\n``-terminated),
+with a ``type`` field selecting the frame kind.  The protocol is versioned
+by the HELLO/WELCOME handshake; a server refuses clients speaking a newer
+major version than its own.
+
+Client → server frames::
+
+    HELLO     {type, version, client?}          open handshake
+    DECLARE   {type, stream}                    bind a stream for publishing
+    SUBSCRIBE {type}                            receive per-window RESULTs
+    PUBLISH   {type, stream, rows, timestamps?} a batch of tuples
+    STATS     {type, format?}                   request a telemetry snapshot
+    BYE       {type}                            graceful goodbye
+
+Server → client frames::
+
+    WELCOME   {type, version, session, now, streams, window}
+    OK        {type, seq?, ...}                 positive ack (DECLARE/PUBLISH/BYE)
+    RESULT    {type, window, start, end, groups, arrived, kept, dropped, ...}
+    STATS     {type, metrics | prometheus}
+    ERROR     {type, code, message, fatal}
+
+Hard limits guard the server against hostile or buggy peers: frames above
+:data:`MAX_FRAME_BYTES` are rejected before parsing (and kill the
+connection, since framing is lost), batches above :data:`MAX_BATCH_ROWS`
+are refused, and every frame is validated field-by-field before it touches
+server state — a malformed frame produces a structured ERROR, never a
+traceback.
+
+This module is deliberately transport-agnostic: it encodes/decodes and
+validates ``dict`` frames; the asyncio reader/writer helpers at the bottom
+are the only I/O-aware pieces, shared by server and client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "MAX_BATCH_ROWS",
+    "ProtocolError",
+    "encode_frame",
+    "decode_frame",
+    "validate_frame",
+    "read_frame",
+    "write_frame",
+    "CLIENT_FRAMES",
+    "SERVER_FRAMES",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one encoded frame, newline included (1 MiB).
+MAX_FRAME_BYTES = 1 << 20
+
+#: Upper bound on rows per PUBLISH batch.
+MAX_BATCH_ROWS = 10_000
+
+CLIENT_FRAMES = ("HELLO", "DECLARE", "SUBSCRIBE", "PUBLISH", "STATS", "BYE")
+SERVER_FRAMES = ("WELCOME", "OK", "RESULT", "STATS", "ERROR")
+
+#: Scalar JSON types allowed inside a published row.
+_ROW_SCALARS = (int, float, str, bool, type(None))
+
+
+class ProtocolError(Exception):
+    """A frame violated the protocol.
+
+    ``code`` is a stable machine-readable identifier (it becomes the ERROR
+    frame's ``code`` field); ``fatal`` marks violations after which the
+    byte stream can no longer be trusted (the connection must close).
+    """
+
+    def __init__(self, code: str, message: str, *, fatal: bool = False) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.fatal = fatal
+
+    def to_frame(self) -> dict:
+        return {
+            "type": "ERROR",
+            "code": self.code,
+            "message": self.message,
+            "fatal": self.fatal,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Encoding / decoding
+# ---------------------------------------------------------------------------
+def encode_frame(frame: dict) -> bytes:
+    """Serialize a frame to one NDJSON line (validates size, not schema)."""
+    try:
+        data = json.dumps(
+            frame, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8") + b"\n"
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError("unencodable", f"frame not JSON-encodable: {exc}") from exc
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame-too-large",
+            f"encoded frame is {len(data)} bytes (max {MAX_FRAME_BYTES})",
+        )
+    return data
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse and validate one received NDJSON line into a frame dict."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame-too-large",
+            f"received frame of {len(line)} bytes (max {MAX_FRAME_BYTES})",
+            fatal=True,
+        )
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("bad-json", f"undecodable frame: {exc}") from exc
+    validate_frame(obj)
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+def _require(frame: dict, field: str, types, *, optional: bool = False) -> Any:
+    if field not in frame:
+        if optional:
+            return None
+        raise ProtocolError(
+            "bad-frame", f"{frame.get('type', '?')} frame missing field {field!r}"
+        )
+    value = frame[field]
+    allowed = types if isinstance(types, tuple) else (types,)
+    # bool is an int subclass; only accept it where bool is listed explicitly.
+    bad_bool = isinstance(value, bool) and bool not in allowed
+    if bad_bool or not isinstance(value, types):
+        raise ProtocolError(
+            "bad-field",
+            f"{frame.get('type', '?')}.{field} has wrong type "
+            f"{type(value).__name__}",
+        )
+    return value
+
+
+def validate_frame(obj: Any) -> None:
+    """Schema-check one decoded frame; raises :class:`ProtocolError`."""
+    if not isinstance(obj, dict):
+        raise ProtocolError("bad-frame", "frame must be a JSON object")
+    ftype = obj.get("type")
+    if not isinstance(ftype, str):
+        raise ProtocolError("bad-frame", "frame missing string 'type' field")
+    validator = _VALIDATORS.get(ftype)
+    if validator is None:
+        raise ProtocolError("unknown-type", f"unknown frame type {ftype!r}")
+    validator(obj)
+
+
+def _validate_hello(f: dict) -> None:
+    version = _require(f, "version", int)
+    if version < 1:
+        raise ProtocolError("bad-field", f"nonsensical protocol version {version}")
+    _require(f, "client", str, optional=True)
+
+
+def _validate_declare(f: dict) -> None:
+    _require(f, "stream", str)
+
+
+def _validate_subscribe(f: dict) -> None:
+    pass
+
+
+def _validate_publish(f: dict) -> None:
+    _require(f, "stream", str)
+    rows = _require(f, "rows", list)
+    if len(rows) > MAX_BATCH_ROWS:
+        raise ProtocolError(
+            "batch-too-large",
+            f"PUBLISH batch of {len(rows)} rows (max {MAX_BATCH_ROWS})",
+        )
+    for row in rows:
+        if not isinstance(row, list):
+            raise ProtocolError("bad-field", "PUBLISH rows must be arrays")
+        for v in row:
+            if not isinstance(v, _ROW_SCALARS):
+                raise ProtocolError(
+                    "bad-field",
+                    f"row value {v!r} is not a JSON scalar",
+                )
+    timestamps = _require(f, "timestamps", list, optional=True)
+    if timestamps is not None:
+        if len(timestamps) != len(rows):
+            raise ProtocolError(
+                "bad-field", "timestamps length must match rows length"
+            )
+        for t in timestamps:
+            if isinstance(t, bool) or not isinstance(t, (int, float)):
+                raise ProtocolError("bad-field", "timestamps must be numbers")
+
+
+def _validate_stats_request_or_reply(f: dict) -> None:
+    fmt = _require(f, "format", str, optional=True)
+    if fmt is not None and fmt not in ("json", "prometheus"):
+        raise ProtocolError("bad-field", f"unknown STATS format {fmt!r}")
+
+
+def _validate_bye(f: dict) -> None:
+    pass
+
+
+def _validate_welcome(f: dict) -> None:
+    _require(f, "version", int)
+
+
+def _validate_ok(f: dict) -> None:
+    pass
+
+
+def _validate_result(f: dict) -> None:
+    _require(f, "window", int)
+    _require(f, "groups", list)
+
+
+def _validate_error(f: dict) -> None:
+    _require(f, "code", str)
+    _require(f, "message", str)
+
+
+_VALIDATORS = {
+    "HELLO": _validate_hello,
+    "DECLARE": _validate_declare,
+    "SUBSCRIBE": _validate_subscribe,
+    "PUBLISH": _validate_publish,
+    "STATS": _validate_stats_request_or_reply,
+    "BYE": _validate_bye,
+    "WELCOME": _validate_welcome,
+    "OK": _validate_ok,
+    "RESULT": _validate_result,
+    "ERROR": _validate_error,
+}
+
+
+# ---------------------------------------------------------------------------
+# Asyncio stream helpers (the only I/O-aware part)
+# ---------------------------------------------------------------------------
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read and decode one frame; ``None`` at clean EOF.
+
+    Raises :class:`ProtocolError` for malformed input.  Oversized frames
+    surface as a *fatal* ``frame-too-large`` error because the newline that
+    delimits the next frame was never found.
+    """
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            "truncated", "connection closed mid-frame", fatal=True
+        ) from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError(
+            "frame-too-large",
+            f"frame exceeds {MAX_FRAME_BYTES} bytes",
+            fatal=True,
+        ) from exc
+    return decode_frame(line)
+
+
+async def write_frame(writer: asyncio.StreamWriter, frame: dict) -> None:
+    """Encode, send, and flush one frame."""
+    writer.write(encode_frame(frame))
+    await writer.drain()

@@ -1,0 +1,712 @@
+"""The asyncio streaming service: triage at the network edge.
+
+Paper Figure 1 places triage queues *between the data sources and the
+query processor*; this module is that boundary as a long-running TCP
+server.  Each connection's PUBLISH batches feed per-stream
+:class:`~repro.core.triage_queue.TriageQueue` instances, so a burst that
+outruns the engine sheds into per-window synopses instead of growing an
+unbounded socket buffer.  A window ticker emulates the engine (a fixed
+``service_time`` per tuple, exactly like the virtual-clock pipeline),
+closes windows as the clock passes them, evaluates the exact + shadow
+plans via :meth:`DataTriagePipeline.evaluate_window`, and fans the merged
+composite result out to every subscriber.
+
+Design notes
+------------
+
+* **Bounded everywhere.**  Inbound frames are size-limited, publish
+  batches are row-limited and rate-capped per session, the triage queues
+  are the *only* tuple buffering (capacity-bounded, overflow synopsized),
+  and each subscriber has a bounded outbound queue whose overflow evicts
+  the subscriber.  No path buffers without bound.
+* **Virtual or wall clock.**  By default window time is
+  ``loop.time() - t0`` (seconds since server start) and tuples without
+  explicit timestamps are stamped on arrival.  Tests and deterministic
+  deployments inject ``ServiceConfig.clock`` and drive :meth:`tick`
+  directly (``tick_interval=None`` disables the background ticker).
+* **Windows close in order.**  A window is closed once the clock passes
+  its end (plus ``grace``) *and* every queue's head has moved past it, so
+  backlogged-but-kept tuples still land in their window; the close
+  latency this imposes is bounded by ``capacity * service_time`` — the
+  staleness bound the paper's queue sizing argues for — and is recorded
+  in the ``window_latency_seconds`` histogram.  Rows arriving for an
+  already-closed window are counted late and discarded.
+* **Serving requires an aggregate query** (GROUP BY + aggregates): that is
+  what composite merge produces per window.  Raw-mode queries are a
+  compile-time error here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.algebra.multiset import Multiset
+from repro.core.controller import LoadController
+from repro.core.pipeline import DataTriagePipeline
+from repro.core.strategies import PipelineConfig
+from repro.core.triage_queue import TriageQueue
+from repro.engine.catalog import Catalog
+from repro.engine.types import SchemaError, StreamTuple
+from repro.service import protocol
+from repro.service.metrics import MetricsRegistry
+from repro.service.protocol import ProtocolError, read_frame
+from repro.service.session import AdmissionError, Session, SessionRegistry
+from repro.sql.ast import SelectStmt
+from repro.sql.binder import BoundQuery
+from repro.synopses.base import Synopsis
+
+__all__ = ["ServiceConfig", "TriageServer"]
+
+#: Queue-depth histogram buckets (tuples, not seconds).
+DEPTH_BUCKETS = (0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000)
+
+
+@dataclass
+class ServiceConfig:
+    """Network-side knobs (engine-side knobs live in PipelineConfig)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: let the OS pick (the bound port is `server.port`)
+    #: Background tick period in *real* seconds; None disables the ticker
+    #: (tests then call :meth:`TriageServer.tick` themselves).
+    tick_interval: float | None = 0.05
+    #: Extra window-clock seconds to wait before closing a window.
+    grace: float = 0.0
+    max_sessions: int = 64
+    #: Per-session publish cap, rows/second (None = uncapped).
+    rate_limit: float | None = None
+    rate_burst: float | None = None  # default: one second's worth of tokens
+    #: Outbound frames buffered per session before it is evicted as slow.
+    send_queue_frames: int = 64
+    #: Window clock override: a zero-arg callable returning seconds.
+    clock: Callable[[], float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.tick_interval is not None and self.tick_interval <= 0:
+            raise ValueError("tick_interval must be positive or None")
+        if self.grace < 0:
+            raise ValueError("grace must be >= 0")
+
+
+class TriageServer:
+    """One continuous query served over TCP with edge triage."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        query: "str | SelectStmt | BoundQuery",
+        config: PipelineConfig | None = None,
+        service: ServiceConfig | None = None,
+        *,
+        metrics: MetricsRegistry | None = None,
+        domains: dict[str, tuple[int, int]] | None = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.service = service or ServiceConfig()
+        self.pipeline = DataTriagePipeline(catalog, query, self.config, domains)
+        if self.pipeline.merge_spec is None:
+            raise ValueError(
+                "the service serves grouped aggregate queries; "
+                "raw-mode (non-aggregate) queries have no per-window merge"
+            )
+        self.metrics = metrics or MetricsRegistry()
+        self._build_instruments()
+
+        self._sources = self.pipeline.sources
+        self._source_by_lower = {s.lower(): s for s in self._sources}
+        self.queues: dict[str, TriageQueue] = {
+            s: self.pipeline.build_queue(
+                s, observer=self._queue_event, thread_safe=True
+            )
+            for s in self._sources
+        }
+        for s, q in self.queues.items():
+            self._g_capacity.set(q.capacity, stream=s)
+
+        summarizes = self.config.strategy.summarizes_drops
+        self._build_kept_syn = summarizes
+        self._kept_rows: dict[str, dict[int, Multiset]] = {
+            s: {} for s in self._sources
+        }
+        self._kept_syn: dict[str, dict[int, Synopsis]] = {
+            s: {} for s in self._sources
+        }
+        self._arrived: dict[str, dict[int, int]] = {s: {} for s in self._sources}
+        self._known_windows: set[int] = set()
+        self._last_closed_wid: int | None = None
+
+        self.registry = SessionRegistry(
+            max_sessions=self.service.max_sessions,
+            rate_limit=self.service.rate_limit,
+            burst=self.service.rate_burst
+            if self.service.rate_burst is not None
+            else (self.service.rate_limit or 1.0),
+            send_queue_frames=self.service.send_queue_frames,
+        )
+        self._controllers: dict[str, LoadController] | None = None
+        if self.config.adaptive_staleness is not None:
+            self._controllers = {
+                s: LoadController(
+                    alpha=0.5,
+                    max_staleness=self.config.adaptive_staleness,
+                    observer=self._controller_observer(s),
+                )
+                for s in self._sources
+            }
+
+        self._server: asyncio.base_events.Server | None = None
+        self._ticker_task: asyncio.Task | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._t0: float | None = None
+        self._last_tick = 0.0
+        self._budget_carry = 0.0
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _build_instruments(self) -> None:
+        m = self.metrics
+        self._c_offered = m.counter(
+            "triage_offered_total", "Tuples offered to triage queues", ("stream",)
+        )
+        self._c_drops = m.counter(
+            "triage_drops_total", "Tuples shed by triage queues", ("stream",)
+        )
+        self._c_summarized = m.counter(
+            "triage_summarized_total",
+            "Shed tuples folded into window synopses",
+            ("stream",),
+        )
+        self._c_polled = m.counter(
+            "triage_polled_total", "Tuples consumed by the engine", ("stream",)
+        )
+        self._g_depth = m.gauge(
+            "triage_queue_depth_now", "Current triage queue depth", ("stream",)
+        )
+        self._g_capacity = m.gauge(
+            "triage_queue_capacity", "Current triage queue capacity", ("stream",)
+        )
+        self._h_depth = m.histogram(
+            "triage_queue_depth",
+            "Queue depth sampled at every engine tick",
+            ("stream",),
+            buckets=DEPTH_BUCKETS,
+        )
+        self._h_window_latency = m.histogram(
+            "window_latency_seconds",
+            "Window close → result emission delay (window-clock seconds)",
+        )
+        self._g_sessions = m.gauge("service_sessions", "Live sessions")
+        self._c_sessions = m.counter("service_sessions_total", "Sessions admitted")
+        self._c_rejects = m.counter(
+            "service_admission_rejects_total",
+            "Connections/batches refused by admission control",
+            ("reason",),
+        )
+        self._c_frames = m.counter(
+            "service_frames_total", "Frames received by type", ("type",)
+        )
+        self._c_proto_errors = m.counter(
+            "service_protocol_errors_total", "Protocol violations", ("code",)
+        )
+        self._c_rows = m.counter(
+            "service_published_rows_total", "Rows accepted from publishers", ("stream",)
+        )
+        self._c_late = m.counter(
+            "service_late_rows_total",
+            "Rows discarded because their window already closed",
+            ("stream",),
+        )
+        self._c_evictions = m.counter(
+            "service_slow_consumer_evictions_total", "Subscribers evicted as slow"
+        )
+        self._c_results = m.counter(
+            "service_results_total", "RESULT frames fanned out"
+        )
+        self._c_windows = m.counter(
+            "service_windows_closed_total", "Windows closed and evaluated"
+        )
+        self._g_ctrl: dict[str, object] = {
+            name: m.gauge(f"controller_{name}", f"Load controller {name}", ("stream",))
+            for name in ("arrival_rate", "drop_fraction", "recommended_capacity")
+        }
+
+    def _queue_event(self, stream: str, event: str, value: float) -> None:
+        if event == "offer":
+            self._c_offered.inc(value, stream=stream)
+        elif event == "drop":
+            self._c_drops.inc(value, stream=stream)
+        elif event == "summarize":
+            self._c_summarized.inc(value, stream=stream)
+        elif event == "poll":
+            self._c_polled.inc(value, stream=stream)
+
+    def _controller_observer(self, stream: str):
+        def observe(name: str, value: float) -> None:
+            gauge = self._g_ctrl.get(name)
+            if gauge is not None:
+                gauge.set(value, stream=stream)
+
+        return observe
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    def now(self) -> float:
+        """Current window-clock time (seconds)."""
+        if self.service.clock is not None:
+            return self.service.clock()
+        assert self._t0 is not None, "server not started"
+        return asyncio.get_running_loop().time() - self._t0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self.service.host,
+            self.service.port,
+            limit=protocol.MAX_FRAME_BYTES + 2,
+        )
+        self._t0 = asyncio.get_running_loop().time()
+        self._last_tick = self.now()
+        if self.service.tick_interval is not None:
+            self._ticker_task = asyncio.get_running_loop().create_task(
+                self._ticker()
+            )
+
+    async def _ticker(self) -> None:
+        assert self.service.tick_interval is not None
+        while True:
+            await asyncio.sleep(self.service.tick_interval)
+            await self.tick()
+
+    async def shutdown(self) -> None:
+        """Graceful shutdown: drain queues, flush final windows, say BYE."""
+        if self._closing:
+            return
+        self._closing = True
+        if self._ticker_task is not None:
+            self._ticker_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._ticker_task
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        # Final drain: the engine "catches up" on everything still queued,
+        # then every open window is evaluated and flushed to subscribers.
+        now = self.now()
+        self._drain_engine(budget=None)
+        await self._close_windows(now, force=True)
+        await self.registry.close_all(farewell={"type": "BYE"})
+        self._g_sessions.set(0)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._handle_connection(reader, writer)
+        )
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session: Session | None = None
+        try:
+            session = await self._handshake(reader, writer)
+            if session is None:
+                return
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except ProtocolError as exc:
+                    self._c_proto_errors.inc(code=exc.code)
+                    with contextlib.suppress(ConnectionError):
+                        await session.send_now(exc.to_frame())
+                    if exc.fatal:
+                        return
+                    continue
+                if frame is None:
+                    return
+                self._c_frames.inc(type=frame["type"])
+                if not await self._dispatch(session, frame):
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if session is None:
+                writer.close()
+            elif not self._closing:
+                # During shutdown the session stays registered so the final
+                # window flush and BYE (registry.close_all) still reach it.
+                self.registry.remove(session)
+                self._g_sessions.set(len(self.registry.sessions))
+                await session.close(flush=True)
+
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Session | None:
+        """HELLO → WELCOME, or a refusal.  Returns None if refused."""
+
+        def refuse(code: str, message: str) -> bytes:
+            return protocol.encode_frame(
+                ProtocolError(code, message, fatal=True).to_frame()
+            )
+
+        try:
+            frame = await read_frame(reader)
+        except ProtocolError as exc:
+            self._c_proto_errors.inc(code=exc.code)
+            writer.write(protocol.encode_frame(exc.to_frame()))
+            await writer.drain()
+            return None
+        if frame is None:
+            return None
+        if frame["type"] != "HELLO":
+            self._c_proto_errors.inc(code="hello-required")
+            writer.write(refuse("hello-required", "first frame must be HELLO"))
+            await writer.drain()
+            return None
+        if frame["version"] > protocol.PROTOCOL_VERSION:
+            self._c_proto_errors.inc(code="version-mismatch")
+            writer.write(
+                refuse(
+                    "version-mismatch",
+                    f"server speaks protocol {protocol.PROTOCOL_VERSION}, "
+                    f"client asked for {frame['version']}",
+                )
+            )
+            await writer.drain()
+            return None
+        try:
+            session = self.registry.admit(writer, frame.get("client") or "")
+        except AdmissionError as exc:
+            self._c_rejects.inc(reason=exc.code)
+            writer.write(refuse(exc.code, exc.message))
+            await writer.drain()
+            return None
+        self._c_sessions.inc()
+        self._g_sessions.set(len(self.registry.sessions))
+        streams = {}
+        for s in self._sources:
+            schema = self.pipeline.bound.source(s).schema
+            streams[s] = [[c.name, c.type.value] for c in schema.columns]
+        await session.send_now(
+            {
+                "type": "WELCOME",
+                "version": protocol.PROTOCOL_VERSION,
+                "session": session.id,
+                # The server's window clock, so publishers can rebase
+                # replayed timestamps instead of landing in closed windows.
+                "now": self.now(),
+                "streams": streams,
+                "window": {
+                    "width": self.config.window.width,
+                    "slide": self.config.window.hop,
+                },
+            }
+        )
+        return session
+
+    # ------------------------------------------------------------------
+    # Frame dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, session: Session, frame: dict) -> bool:
+        """Handle one frame; False ends the connection."""
+        ftype = frame["type"]
+        if ftype == "DECLARE":
+            return await self._handle_declare(session, frame)
+        if ftype == "SUBSCRIBE":
+            session.subscribed = True
+            await session.send_now({"type": "OK", "subscribed": True})
+            return True
+        if ftype == "PUBLISH":
+            return await self._handle_publish(session, frame)
+        if ftype == "STATS":
+            return await self._handle_stats(session, frame)
+        if ftype == "BYE":
+            await session.send_now({"type": "OK", "bye": True})
+            return False
+        # A client sent a server-side frame type: legal JSON, wrong role.
+        self._c_proto_errors.inc(code="unexpected-type")
+        await session.send_now(
+            ProtocolError(
+                "unexpected-type", f"clients do not send {ftype} frames"
+            ).to_frame()
+        )
+        return True
+
+    def _resolve_stream(self, name: str) -> str | None:
+        return self._source_by_lower.get(name.lower())
+
+    async def _handle_declare(self, session: Session, frame: dict) -> bool:
+        source = self._resolve_stream(frame["stream"])
+        if source is None:
+            await session.send_now(
+                ProtocolError(
+                    "unknown-stream",
+                    f"stream {frame['stream']!r} is not part of the served "
+                    f"query (streams: {', '.join(self._sources)})",
+                ).to_frame()
+            )
+            return True
+        session.declared.add(source)
+        schema = self.pipeline.bound.source(source).schema
+        await session.send_now(
+            {
+                "type": "OK",
+                "stream": source,
+                "columns": [[c.name, c.type.value] for c in schema.columns],
+            }
+        )
+        return True
+
+    async def _handle_publish(self, session: Session, frame: dict) -> bool:
+        source = self._resolve_stream(frame["stream"])
+        if source is None or source not in session.declared:
+            code = "unknown-stream" if source is None else "undeclared-stream"
+            await session.send_now(
+                ProtocolError(
+                    code,
+                    f"declare stream {frame['stream']!r} before publishing to it",
+                ).to_frame()
+            )
+            return True
+        rows = frame["rows"]
+        now = self.now()
+        if not session.bucket.try_consume(len(rows), now):
+            self._c_rejects.inc(reason="rate-limited")
+            await session.send_now(
+                ProtocolError(
+                    "rate-limited",
+                    f"batch of {len(rows)} rows exceeds this session's "
+                    f"rate allowance; retry later",
+                ).to_frame()
+            )
+            return True
+        timestamps = frame.get("timestamps")
+        schema = self.pipeline.bound.source(source).schema
+        queue = self.queues[source]
+        accepted = 0
+        late = 0
+        for i, row in enumerate(rows):
+            tup_row = tuple(row)
+            try:
+                schema.validate_row(tup_row)
+            except SchemaError as exc:
+                await session.send_now(
+                    ProtocolError("bad-row", f"row {i}: {exc}").to_frame()
+                )
+                return True
+            ts = float(timestamps[i]) if timestamps is not None else now
+            wids = list(self.config.window.window_ids(ts))
+            if self._last_closed_wid is not None and (
+                not wids or wids[0] <= self._last_closed_wid
+            ):
+                late += 1
+                self._c_late.inc(stream=source)
+                continue
+            for wid in wids:
+                self._arrived[source][wid] = self._arrived[source].get(wid, 0) + 1
+                self._known_windows.add(wid)
+            queue.offer(StreamTuple(ts, tup_row))
+            accepted += 1
+        session.published_rows += accepted
+        self._c_rows.inc(accepted, stream=source)
+        self._g_depth.set(len(queue), stream=source)
+        await session.send_now(
+            {
+                "type": "OK",
+                "stream": source,
+                "accepted": accepted,
+                "late": late,
+                "queue_depth": len(queue),
+                "queue_dropped_total": queue.stats.dropped,
+            }
+        )
+        return True
+
+    async def _handle_stats(self, session: Session, frame: dict) -> bool:
+        fmt = frame.get("format") or "json"
+        if fmt == "prometheus":
+            reply = {"type": "STATS", "prometheus": self.metrics.render_prometheus()}
+        else:
+            reply = {
+                "type": "STATS",
+                "metrics": self.metrics.to_dict(),
+                "summary": self._summary(),
+            }
+        await session.send_now(reply)
+        return True
+
+    def _summary(self) -> dict:
+        offered = sum(q.stats.offered for q in self.queues.values())
+        dropped = sum(q.stats.dropped for q in self.queues.values())
+        return {
+            "offered": offered,
+            "dropped": dropped,
+            "drop_fraction": dropped / offered if offered else 0.0,
+            "sessions": len(self.registry.sessions),
+            "windows_closed": int(self._c_windows.value()),
+            "queue_depths": {s: len(q) for s, q in self.queues.items()},
+        }
+
+    # ------------------------------------------------------------------
+    # Engine emulation + window closing
+    # ------------------------------------------------------------------
+    async def tick(self, now: float | None = None) -> list[dict]:
+        """One engine step: drain within budget, close due windows.
+
+        Returns the RESULT frames emitted this tick (tests use this).
+        """
+        now = self.now() if now is None else now
+        elapsed = max(0.0, now - self._last_tick)
+        self._last_tick = now
+        budget = self._budget_carry + elapsed / self.config.service_time
+        whole = int(budget)
+        self._budget_carry = budget - whole
+        self._drain_engine(budget=whole)
+
+        for s, q in self.queues.items():
+            depth = len(q)
+            self._g_depth.set(depth, stream=s)
+            self._h_depth.observe(depth, stream=s)
+
+        if self._controllers is not None and elapsed > 0:
+            for s, controller in self._controllers.items():
+                controller.observe(interval_seconds=elapsed, stats=self.queues[s].stats)
+                capacity = controller.recommended_capacity(self.config.service_time)
+                self.queues[s].capacity = capacity
+                self._g_capacity.set(capacity, stream=s)
+
+        return await self._close_windows(now)
+
+    def _drain_engine(self, budget: int | None) -> None:
+        """Poll up to ``budget`` tuples (None = everything), oldest first."""
+        polled = 0
+        while budget is None or polled < budget:
+            best_source, best_ts = None, None
+            for s, q in self.queues.items():
+                ts = q.peek_timestamp()
+                if ts is not None and (best_ts is None or ts < best_ts):
+                    best_source, best_ts = s, ts
+            if best_source is None:
+                return
+            tup = self.queues[best_source].poll()
+            if tup is None:  # pragma: no cover - racing publisher thread
+                continue
+            polled += 1
+            for wid in self.config.window.window_ids(tup.timestamp):
+                if (
+                    self._last_closed_wid is not None
+                    and wid <= self._last_closed_wid
+                ):
+                    # Out-of-order backlog for a window already reported:
+                    # too late to contribute; don't leak per-window state.
+                    continue
+                bag = self._kept_rows[best_source].setdefault(wid, Multiset())
+                bag.add(tup.row)
+                if self._build_kept_syn:
+                    syn = self._kept_syn[best_source].get(wid)
+                    if syn is None:
+                        syn = self._kept_syn[best_source][wid] = (
+                            self.pipeline.make_kept_synopsis(best_source)
+                        )
+                    self.pipeline.insert_into_synopsis(best_source, syn, tup.row)
+
+    async def _close_windows(self, now: float, *, force: bool = False) -> list[dict]:
+        """Evaluate + broadcast every window that is due (all, if forced)."""
+        emitted: list[dict] = []
+        for wid in sorted(self._known_windows):
+            _, end = self.config.window.bounds(wid)
+            if not force:
+                if end + self.service.grace > now:
+                    break  # windows are ordered; later ones are not due either
+                if any(
+                    q.peek_timestamp() is not None and q.peek_timestamp() < end
+                    for q in self.queues.values()
+                ):
+                    break  # engine still owes this window kept tuples
+            emitted.append(self._evaluate_and_frame(wid, now))
+            self._known_windows.discard(wid)
+            self._last_closed_wid = (
+                wid
+                if self._last_closed_wid is None
+                else max(self._last_closed_wid, wid)
+            )
+        for frame in emitted:
+            self._c_results.inc(len(self.registry.subscribers()))
+            evicted = await self.registry.broadcast(frame)
+            if evicted:
+                self._c_evictions.inc(len(evicted))
+                self._g_sessions.set(len(self.registry.sessions))
+        return emitted
+
+    def _evaluate_and_frame(self, wid: int, now: float) -> dict:
+        use_shadow = self._build_kept_syn
+        kept_rows = {
+            s: self._kept_rows[s].pop(wid, Multiset()) for s in self._sources
+        }
+        kept_syn = {s: self._kept_syn[s].pop(wid, None) for s in self._sources}
+        released = {s: self.queues[s].release_window(wid) for s in self._sources}
+        outcome = self.pipeline.evaluate_window(
+            wid,
+            kept_rows=kept_rows,
+            kept_synopses=kept_syn if use_shadow else None,
+            dropped_synopses=(
+                {s: released[s].synopsis for s in self._sources}
+                if use_shadow
+                else None
+            ),
+            dropped_counts={s: released[s].dropped_count for s in self._sources},
+            arrived={s: self._arrived[s].pop(wid, 0) for s in self._sources},
+        )
+        start, end = self.config.window.bounds(wid)
+        latency = max(0.0, now - end)
+        self._h_window_latency.observe(latency)
+        self._c_windows.inc()
+
+        spec = self.pipeline.merge_spec
+        groups = []
+        for key in sorted(outcome.merged, key=lambda k: tuple(map(str, k))):
+            groups.append(
+                {
+                    "key": list(key),
+                    "aggs": outcome.merged[key],
+                    "exact": outcome.exact.get(key),
+                    "estimated": outcome.estimated.get(key),
+                }
+            )
+        arrived_total = sum(outcome.arrived.values())
+        dropped_total = sum(outcome.dropped.values())
+        return {
+            "type": "RESULT",
+            "window": wid,
+            "start": start,
+            "end": end,
+            "group_names": list(spec.group_names),
+            "groups": groups,
+            "arrived": outcome.arrived,
+            "kept": outcome.kept,
+            "dropped": outcome.dropped,
+            "drop_fraction": (
+                dropped_total / arrived_total if arrived_total else 0.0
+            ),
+            "latency": latency,
+        }

@@ -20,8 +20,13 @@ Meta commands start with a backslash:
     \clear R               empty R's buffer
     \explain SELECT ...    engine plan + Data Triage rewrite plan
     \rewrite SELECT ...    the Figures 4/5 SQL for the query
+    \publish HOST:PORT R   push R's buffer to a running triage service
     \help                  this text
     \quit                  exit
+
+``\publish`` speaks the service wire protocol (see ``repro serve`` and
+docs/service.md): it declares the stream, ships the buffer in batches, and
+reports how much the service's triage queue absorbed versus shed.
 """
 
 from __future__ import annotations
@@ -122,7 +127,67 @@ class Shell:
         if cmd == "rewrite":
             bound = Binder(self.catalog).bind(parse_statement(arg))
             return rewrite_to_sql(SPJPlan.from_bound(bound))
+        if cmd == "publish":
+            return self._publish(arg)
         return f"unknown command \\{cmd} (try \\help)"
+
+    def _publish(self, arg: str) -> str:
+        parts = arg.split()
+        if len(parts) != 2 or ":" not in parts[0]:
+            return "usage: \\publish HOST:PORT STREAM"
+        target, name = parts
+        host, _, port_text = target.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            return f"bad port {port_text!r} (usage: \\publish HOST:PORT STREAM)"
+        stream = self.catalog.stream(name)
+        buffer = self.buffers.get(stream.name.lower(), [])
+        if not buffer:
+            return f"{stream.name} has no buffered tuples (try \\gen first)"
+
+        import asyncio
+
+        from repro.service.client import ServiceError, TriageClient
+
+        async def push() -> str:
+            client = await TriageClient.connect(host, port, client_name="shell")
+            try:
+                await client.declare(stream.name)
+                # Rebase buffer timestamps onto the server's window clock
+                # (WELCOME carries it): a replayed trace starts at ~0, and
+                # sending that verbatim to a long-running server would land
+                # every tuple in windows that already closed.
+                shift = float(client.info.get("now", 0.0)) - buffer[0].timestamp
+                accepted = late = 0
+                depth = dropped = 0
+                batch = 500
+                for i in range(0, len(buffer), batch):
+                    chunk = buffer[i : i + batch]
+                    ack = await client.publish(
+                        stream.name,
+                        [list(t.row) for t in chunk],
+                        timestamps=[t.timestamp + shift for t in chunk],
+                    )
+                    accepted += ack["accepted"]
+                    late += ack["late"]
+                    depth = ack["queue_depth"]
+                    dropped = ack["queue_dropped_total"]
+                message = (
+                    f"published {accepted}/{len(buffer)} tuples from "
+                    f"{stream.name} to {host}:{port} "
+                    f"(queue depth {depth}, shed so far {dropped})"
+                )
+                if late:
+                    message += f"; {late} arrived too late for their window"
+                return message
+            finally:
+                await client.close()
+
+        try:
+            return asyncio.run(push())
+        except (ConnectionError, OSError, ServiceError) as exc:
+            return f"publish failed: {exc}"
 
     def _gen(self, arg: str) -> str:
         parts = arg.split()

@@ -55,6 +55,18 @@ class TestExamples:
         assert "recommended capacity" in text
         assert "max backlog delay" in text
 
+    def test_live_service(self):
+        text = run_example("live_service.py")
+        assert "service listening on" in text
+        # The steady windows shed nothing; the burst window sheds and the
+        # merged composite carries more mass than the exact part alone.
+        lines = [l for l in text.splitlines() if "arrived=" in l]
+        assert len(lines) == 3
+        assert "shed=0" in lines[0] and "shed=0" in lines[2]
+        assert "shed=2750" in lines[1]
+        assert "drop ratio" in text
+        assert 'triage_drops_total{stream="R"} 2750' in text
+
     def test_shared_dashboard(self):
         text = run_example("shared_dashboard.py")
         assert "shared triage over" in text

@@ -112,3 +112,74 @@ class TestSql:
     def test_parse_error_reported(self, shell):
         out = shell.feed("SELEKT * FROM R;")
         assert out.startswith("error:")
+
+
+class TestPublish:
+    """``\\publish`` against a live service (run in a sidecar thread)."""
+
+    def test_publish_rebases_onto_server_clock(self, shell):
+        """Regression: a long-running server has closed windows far past a
+        replayed buffer's 0-based timestamps; the shell must rebase them
+        onto the server's clock (from WELCOME) instead of publishing rows
+        that are all discarded as late."""
+        import asyncio
+        import threading
+
+        from repro.core.strategies import PipelineConfig
+        from repro.engine.window import WindowSpec
+        from repro.experiments import paper_catalog
+        from repro.service import ServiceConfig, TriageClient, TriageServer
+
+        clock = {"t": 50.0}
+        started = threading.Event()
+        holder = {}
+
+        def run_server():
+            async def main():
+                config = PipelineConfig(
+                    window=WindowSpec(width=1.0),
+                    queue_capacity=1000,
+                    service_time=0.001,
+                    compute_ideal=False,
+                )
+                service = ServiceConfig(
+                    tick_interval=None, clock=lambda: clock["t"]
+                )
+                server = TriageServer(
+                    paper_catalog(),
+                    "SELECT a, COUNT(*) AS n FROM R GROUP BY a;",
+                    config,
+                    service,
+                )
+                await server.start()
+                # Age the server: close window 50 so anything stamped near
+                # zero would be late.
+                seeder = await TriageClient.connect("127.0.0.1", server.port)
+                await seeder.declare("R")
+                await seeder.publish("R", [[1]], timestamps=[50.2])
+                clock["t"] = 51.5
+                await server.tick()
+                await seeder.close()
+                assert server._last_closed_wid == 50
+
+                stop = asyncio.Event()
+                holder["port"] = server.port
+                holder["stop"] = stop
+                holder["loop"] = asyncio.get_running_loop()
+                started.set()
+                await stop.wait()
+                await server.shutdown()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=run_server)
+        thread.start()
+        try:
+            assert started.wait(10)
+            shell.feed("\\gen R 50")  # buffer timestamps start near 0
+            out = shell.feed(f"\\publish 127.0.0.1:{holder['port']} R")
+            assert "published 50/50 tuples from R" in out
+            assert "too late" not in out
+        finally:
+            holder["loop"].call_soon_threadsafe(holder["stop"].set)
+            thread.join(10)

@@ -1,0 +1,185 @@
+"""Wire-protocol tests: round trips, limits, and malformed-frame handling."""
+
+import json
+import random
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_BATCH_ROWS,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    validate_frame,
+)
+
+VALID_FRAMES = [
+    {"type": "HELLO", "version": PROTOCOL_VERSION, "client": "test"},
+    {"type": "HELLO", "version": 1},
+    {"type": "DECLARE", "stream": "R"},
+    {"type": "SUBSCRIBE"},
+    {"type": "PUBLISH", "stream": "R", "rows": [[1], [2], [3]]},
+    {
+        "type": "PUBLISH",
+        "stream": "S",
+        "rows": [[1, 2], [3, None]],
+        "timestamps": [0.5, 0.75],
+    },
+    {"type": "STATS"},
+    {"type": "STATS", "format": "prometheus"},
+    {"type": "BYE"},
+    {"type": "WELCOME", "version": 1, "streams": {"R": [["a", "integer"]]}},
+    {"type": "OK", "accepted": 10},
+    {
+        "type": "RESULT",
+        "window": 3,
+        "start": 3.0,
+        "end": 4.0,
+        "groups": [{"key": [1], "aggs": {"count": 5.0}}],
+    },
+    {"type": "ERROR", "code": "bad-frame", "message": "nope", "fatal": False},
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("frame", VALID_FRAMES, ids=lambda f: f["type"])
+    def test_encode_decode_identity(self, frame):
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_encoded_frames_are_single_lines(self):
+        for frame in VALID_FRAMES:
+            data = encode_frame(frame)
+            assert data.endswith(b"\n")
+            assert data.count(b"\n") == 1
+
+
+class TestLimits:
+    def test_oversized_frame_rejected_on_encode(self):
+        frame = {"type": "PUBLISH", "stream": "R", "rows": [["x" * MAX_FRAME_BYTES]]}
+        with pytest.raises(ProtocolError) as exc:
+            encode_frame(frame)
+        assert exc.value.code == "frame-too-large"
+
+    def test_oversized_frame_rejected_on_decode_before_parsing(self):
+        line = b"x" * (MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame(line)
+        assert exc.value.code == "frame-too-large"
+        assert exc.value.fatal  # framing is lost; connection must close
+
+    def test_batch_row_limit(self):
+        frame = {"type": "PUBLISH", "stream": "R", "rows": [[1]] * (MAX_BATCH_ROWS + 1)}
+        with pytest.raises(ProtocolError) as exc:
+            validate_frame(frame)
+        assert exc.value.code == "batch-too-large"
+
+    def test_nan_not_encodable(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"type": "OK", "value": float("nan")})
+
+
+class TestMalformed:
+    @pytest.mark.parametrize(
+        "line,code",
+        [
+            (b"not json at all\n", "bad-json"),
+            (b"\xff\xfe\n", "bad-json"),
+            (b"[1, 2, 3]\n", "bad-frame"),
+            (b'"just a string"\n', "bad-frame"),
+            (b"{}\n", "bad-frame"),
+            (b'{"type": 42}\n', "bad-frame"),
+            (b'{"type": "NOPE"}\n', "unknown-type"),
+        ],
+    )
+    def test_decode_errors(self, line, code):
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame(line)
+        assert exc.value.code == code
+
+    @pytest.mark.parametrize(
+        "frame,code",
+        [
+            ({"type": "HELLO"}, "bad-frame"),  # missing version
+            ({"type": "HELLO", "version": "one"}, "bad-field"),
+            ({"type": "HELLO", "version": True}, "bad-field"),  # bool is not int
+            ({"type": "HELLO", "version": 0}, "bad-field"),
+            ({"type": "DECLARE"}, "bad-frame"),
+            ({"type": "DECLARE", "stream": 7}, "bad-field"),
+            ({"type": "PUBLISH", "stream": "R"}, "bad-frame"),  # missing rows
+            ({"type": "PUBLISH", "stream": "R", "rows": "nope"}, "bad-field"),
+            ({"type": "PUBLISH", "stream": "R", "rows": [1, 2]}, "bad-field"),
+            (
+                {"type": "PUBLISH", "stream": "R", "rows": [[{"a": 1}]]},
+                "bad-field",
+            ),
+            (
+                {"type": "PUBLISH", "stream": "R", "rows": [[1]], "timestamps": [1, 2]},
+                "bad-field",
+            ),
+            (
+                {
+                    "type": "PUBLISH",
+                    "stream": "R",
+                    "rows": [[1]],
+                    "timestamps": ["soon"],
+                },
+                "bad-field",
+            ),
+            ({"type": "STATS", "format": "xml"}, "bad-field"),
+            ({"type": "RESULT", "window": 1}, "bad-frame"),
+            ({"type": "ERROR", "code": "x"}, "bad-frame"),
+        ],
+    )
+    def test_validation_errors(self, frame, code):
+        with pytest.raises(ProtocolError) as exc:
+            validate_frame(frame)
+        assert exc.value.code == code
+
+    def test_error_frame_round_trips_through_to_frame(self):
+        exc = ProtocolError("bad-field", "details here", fatal=True)
+        frame = exc.to_frame()
+        validate_frame(frame)
+        assert frame["code"] == "bad-field" and frame["fatal"] is True
+
+
+class TestFuzz:
+    """Arbitrary corruption must surface as ProtocolError, never anything else."""
+
+    def test_mutated_valid_frames(self):
+        rng = random.Random(1234)
+        corpus = [encode_frame(f) for f in VALID_FRAMES]
+        for _ in range(2000):
+            data = bytearray(rng.choice(corpus))
+            for _ in range(rng.randint(1, 6)):
+                op = rng.randrange(3)
+                if op == 0 and data:  # flip a byte
+                    data[rng.randrange(len(data))] = rng.randrange(256)
+                elif op == 1 and data:  # delete a slice
+                    i = rng.randrange(len(data))
+                    del data[i : i + rng.randint(1, 4)]
+                else:  # insert junk
+                    i = rng.randrange(len(data) + 1)
+                    data[i:i] = bytes(rng.randrange(256) for _ in range(3))
+            try:
+                frame = decode_frame(bytes(data))
+            except ProtocolError:
+                continue
+            assert isinstance(frame, dict) and isinstance(frame["type"], str)
+
+    def test_random_json_objects(self):
+        rng = random.Random(99)
+        scalars = [None, True, False, 0, 1, -7, 3.5, "x", "HELLO", [], {}]
+        for _ in range(500):
+            obj = {
+                rng.choice(["type", "stream", "rows", "version", "junk"]): rng.choice(
+                    scalars
+                )
+                for _ in range(rng.randint(0, 4))
+            }
+            line = (json.dumps(obj) + "\n").encode()
+            try:
+                decode_frame(line)
+            except ProtocolError:
+                pass

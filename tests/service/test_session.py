@@ -1,0 +1,121 @@
+"""Session-layer tests: token buckets, admission, slow-consumer eviction."""
+
+import asyncio
+
+import pytest
+
+from repro.service.session import AdmissionError, SessionRegistry, TokenBucket
+
+
+class TestTokenBucket:
+    def test_unlimited_when_rate_none(self):
+        bucket = TokenBucket(rate=None, burst=1.0)
+        assert bucket.try_consume(10_000, now=0.0)
+
+    def test_burst_then_refusal(self):
+        bucket = TokenBucket(rate=10.0, burst=20.0)
+        assert bucket.try_consume(20, now=0.0)
+        assert not bucket.try_consume(1, now=0.0)
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(rate=10.0, burst=20.0)
+        assert bucket.try_consume(20, now=0.0)
+        assert not bucket.try_consume(5, now=0.0)
+        assert bucket.try_consume(5, now=0.5)  # 0.5s * 10/s = 5 tokens back
+        assert not bucket.try_consume(1, now=0.5)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=10.0)
+        assert bucket.try_consume(10, now=0.0)
+        assert bucket.try_consume(10, now=1000.0)
+        assert not bucket.try_consume(11, now=1000.0)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class _FakeWriter:
+    """A StreamWriter stand-in whose drain can be made to hang forever."""
+
+    def __init__(self, stall: bool = False):
+        self.stall = stall
+        self.data = b""
+        self.closed = False
+
+    def write(self, data: bytes) -> None:
+        self.data += data
+
+    async def drain(self) -> None:
+        if self.stall:
+            await asyncio.Event().wait()  # never set: consumer never reads
+
+    def close(self) -> None:
+        self.closed = True
+
+    def get_extra_info(self, name):
+        return ("fake", 0)
+
+
+class TestRegistry:
+    def test_admission_limit(self):
+        async def scenario():
+            registry = SessionRegistry(max_sessions=2)
+            registry.admit(_FakeWriter())
+            registry.admit(_FakeWriter())
+            with pytest.raises(AdmissionError) as exc:
+                registry.admit(_FakeWriter())
+            assert exc.value.code == "too-many-sessions"
+            await registry.close_all()
+
+        asyncio.run(scenario())
+
+    def test_remove_frees_a_slot(self):
+        async def scenario():
+            registry = SessionRegistry(max_sessions=1)
+            first = registry.admit(_FakeWriter())
+            registry.remove(first)
+            await first.close()
+            second = registry.admit(_FakeWriter())  # no AdmissionError
+            await registry.close_all()
+            assert second.id != first.id
+
+        asyncio.run(scenario())
+
+    def test_broadcast_reaches_only_subscribers(self):
+        async def scenario():
+            registry = SessionRegistry(max_sessions=4)
+            sub = registry.admit(_FakeWriter())
+            sub.subscribed = True
+            other = registry.admit(_FakeWriter())
+            evicted = await registry.broadcast({"type": "OK", "n": 1})
+            assert evicted == []
+            await asyncio.sleep(0)  # let sender tasks run
+            await registry.close_all()
+            assert b'"n":1' in sub.writer.data
+            assert other.writer.data == b""
+
+        asyncio.run(scenario())
+
+    def test_slow_consumer_evicted(self):
+        async def scenario():
+            registry = SessionRegistry(max_sessions=4, send_queue_frames=2)
+            slow = registry.admit(_FakeWriter(stall=True))
+            slow.subscribed = True
+            healthy = registry.admit(_FakeWriter())
+            healthy.subscribed = True
+            evicted = []
+            # Queue depth 2 + one frame stuck in the stalled sender: the
+            # fourth broadcast must evict the slow session.
+            for i in range(6):
+                evicted += await registry.broadcast({"type": "OK", "n": i})
+                await asyncio.sleep(0)
+            assert evicted == [slow]
+            assert registry.evictions == 1
+            assert slow.writer.closed
+            assert healthy.id in registry.sessions
+            await registry.close_all()
+
+        asyncio.run(scenario())

@@ -15,6 +15,7 @@ SUBPACKAGES = [
     "repro.synopses",
     "repro.core",
     "repro.sources",
+    "repro.service",
     "repro.quality",
     "repro.viz",
     "repro.experiments",
