@@ -33,13 +33,19 @@ class Multiset:
     * equality, iteration with multiplicity, and cardinality.
     """
 
-    __slots__ = ("_counts",)
+    __slots__ = ("_counts", "_total")
 
     def __init__(self, rows: Iterable[Row] = ()) -> None:
         counts: Counter[Row] = Counter()
+        total = 0
         for row in rows:
             counts[row] += 1
+            total += 1
         self._counts = counts
+        # Cardinality is maintained incrementally: __len__ runs once per
+        # source per window in evaluate_windows, so summing the Counter
+        # there is a hot-path cost.
+        self._total = total
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -57,11 +63,13 @@ class Multiset:
                 raise ValueError(f"negative multiplicity {n} for row {row!r}")
             if n:
                 out._counts[row] = n
+                out._total += n
         return out
 
     def copy(self) -> "Multiset":
         out = Multiset()
         out._counts = Counter(self._counts)
+        out._total = self._total
         return out
 
     # ------------------------------------------------------------------
@@ -73,6 +81,7 @@ class Multiset:
             raise ValueError(f"cannot add a negative count ({count})")
         if count:
             self._counts[row] += count
+            self._total += count
 
     def discard(self, row: Row, count: int = 1) -> int:
         """Remove up to ``count`` copies of ``row``; return how many were removed."""
@@ -84,6 +93,7 @@ class Multiset:
             self._counts.pop(row, None)
         else:
             self._counts[row] = have - removed
+        self._total -= removed
         return removed
 
     # ------------------------------------------------------------------
@@ -94,6 +104,7 @@ class Multiset:
         out = self.copy()
         for row, n in other._counts.items():
             out._counts[row] += n
+        out._total = self._total + other._total
         return out
 
     def __sub__(self, other: "Multiset") -> "Multiset":
@@ -103,6 +114,7 @@ class Multiset:
             m = n - other._counts.get(row, 0)
             if m > 0:
                 out._counts[row] = m
+                out._total += m
         return out
 
     def __and__(self, other: "Multiset") -> "Multiset":
@@ -115,6 +127,7 @@ class Multiset:
             m = min(n, large._counts.get(row, 0))
             if m > 0:
                 out._counts[row] = m
+                out._total += m
         return out
 
     # ------------------------------------------------------------------
@@ -133,8 +146,8 @@ class Multiset:
         return dict(self._counts)
 
     def __len__(self) -> int:
-        """Total cardinality (sum of multiplicities)."""
-        return sum(self._counts.values())
+        """Total cardinality (maintained incrementally, O(1))."""
+        return self._total
 
     def __bool__(self) -> bool:
         return bool(self._counts)

@@ -7,6 +7,7 @@
     python -m repro.cli fig9 [--peaks 600,1200,...] [--runs N]
     python -m repro.cli explain "SELECT ..."        # engine + rewrite plans
     python -m repro.cli rewrite "SELECT ..."        # Figures 4/5 SQL
+    python -m repro.cli bench [--quick]             # perf regression suites
     python -m repro.cli serve [--port 7077] [...]   # live triage service
 
 All load experiments print the figure's data table, a terminal chart, and a
@@ -71,6 +72,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     rew = sub.add_parser("rewrite", help="emit the Figures 4/5 SQL for a query")
     rew.add_argument("query")
+
+    bench = sub.add_parser(
+        "bench", help="run the perf regression suites, write BENCH_pipeline.json"
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: smaller inputs and fewer reps, same schema",
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_pipeline.json",
+        help="result path (default: BENCH_pipeline.json in the CWD)",
+    )
+    bench.add_argument(
+        "--suite",
+        action="append",
+        dest="suites",
+        metavar="NAME",
+        help="run only this suite (repeatable; default: all)",
+    )
 
     serve = sub.add_parser(
         "serve", help="run the streaming ingest/subscribe triage service"
@@ -184,6 +206,16 @@ def cmd_rewrite(args, out) -> int:
     return 0
 
 
+def cmd_bench(args, out) -> int:
+    from repro.perf.bench import render_text, run_bench_suites, write_results
+
+    doc = run_bench_suites(quick=args.quick, suites=args.suites)
+    path = write_results(doc, args.out)
+    out.write(render_text(doc) + "\n")
+    out.write(f"results written to {path}\n")
+    return 0
+
+
 def cmd_serve(args, out) -> int:
     from repro.core.strategies import PipelineConfig
     from repro.engine.window import WindowSpec
@@ -245,6 +277,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return cmd_explain(args, out)
     if args.command == "rewrite":
         return cmd_rewrite(args, out)
+    if args.command == "bench":
+        return cmd_bench(args, out)
     if args.command == "serve":
         return cmd_serve(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

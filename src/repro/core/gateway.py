@@ -228,11 +228,11 @@ def run_gateway_experiment(
     window_ids: set[int] = set()
     for s in sources:
         for t in streams[s]:
-            for wid in window.window_ids(t.timestamp):
+            for wid in window.ids(t.timestamp):
                 arrived[s][wid] = arrived[s].get(wid, 0) + 1
                 window_ids.add(wid)
         for d in outputs[s].delivered:
-            for wid in window.window_ids(d.source_time):
+            for wid in window.ids(d.source_time):
                 kept_rows[s].setdefault(wid, Multiset()).add(d.row)
                 if summarize:
                     syn = kept_syn[s].get(wid)

@@ -127,17 +127,14 @@ class SharedTriageRuntime:
             )
 
         events = DataTriagePipeline._merge_events(streams, self.streams_used)
-        window_ids = sorted(
-            {
-                wid
-                for ts, _, _, _ in events
-                for wid in cfg.window.window_ids(ts)
-            }
-        )
+        wid_set: set[int] = set()
         arrived: dict[str, dict[int, int]] = {s: {} for s in self.streams_used}
         for ts, _, stream, _ in events:
-            for wid in cfg.window.window_ids(ts):
+            wids = cfg.window.ids(ts)
+            wid_set.update(wids)
+            for wid in wids:
                 arrived[stream][wid] = arrived[stream].get(wid, 0) + 1
+        window_ids = sorted(wid_set)
 
         kept_rows: dict[str, dict[int, Multiset]] = {
             s: {} for s in self.streams_used
@@ -160,8 +157,11 @@ class SharedTriageRuntime:
                     return t
                 tup = queues[best].poll()
                 t = start + cfg.service_time * self._queries_on(best)
-                for wid in cfg.window.window_ids(tup.timestamp):
-                    kept_rows[best].setdefault(wid, Multiset()).add(tup.row)
+                for wid in cfg.window.ids(tup.timestamp):
+                    bag = kept_rows[best].get(wid)
+                    if bag is None:
+                        bag = kept_rows[best][wid] = Multiset()
+                    bag.add(tup.row)
                     syn = kept_syn[best].get(wid)
                     if syn is None:
                         syn = kept_syn[best][wid] = cfg.synopsis_factory.create(

@@ -28,6 +28,7 @@ Event model (discrete-event simulation):
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 
@@ -127,7 +128,8 @@ class DataTriagePipeline:
         self.merge_spec = (
             MergeSpec.from_plan(self.plan) if query.is_aggregate else None
         )
-        self.executor = QueryExecutor(catalog)
+        self.executor = QueryExecutor(catalog, compiled=config.compiled_plans)
+        self._parallel = None  # lazy ParallelWindowEvaluator
         self._domains = {k.lower(): v for k, v in (domains or {}).items()}
         self._dims: dict[str, list[Dimension]] = {}
         self._dim_positions: dict[str, list[int]] = {}
@@ -288,17 +290,16 @@ class DataTriagePipeline:
             raise ValueError(f"no arrivals supplied for sources {missing}")
 
         events = self._merge_events(streams, sources)
-        window_ids = sorted(
-            {
-                wid
-                for ts, _, _, _ in events
-                for wid in cfg.window.window_ids(ts)
-            }
-        )
+        ids = cfg.window.ids
+        wid_set: set[int] = set()
         arrived = _nested_counter(sources)
         for ts, _, source, _ in events:
-            for wid in cfg.window.window_ids(ts):
-                arrived[source][wid] = arrived[source].get(wid, 0) + 1
+            wids = ids(ts)
+            wid_set.update(wids)
+            per_window = arrived[source]
+            for wid in wids:
+                per_window[wid] = per_window.get(wid, 0) + 1
+        window_ids = sorted(wid_set)
 
         if cfg.strategy is ShedStrategy.SUMMARIZE_ONLY:
             return self._run_summarize_only(events, window_ids, arrived, sources)
@@ -318,7 +319,7 @@ class DataTriagePipeline:
         cfg = self.config
         full_syn: dict[str, dict[int, Synopsis]] = {s: {} for s in sources}
         for ts, _, source, tup in events:
-            for wid in cfg.window.window_ids(ts):
+            for wid in cfg.window.ids(ts):
                 syn = full_syn[source].get(wid)
                 if syn is None:
                     syn = full_syn[source][wid] = cfg.synopsis_factory.create(
@@ -381,38 +382,70 @@ class DataTriagePipeline:
         completion: dict[int, float] = {}  # window -> last kept-tuple finish
 
         engine_free = 0.0
+        ids = cfg.window.ids
+        service_time = cfg.service_time
+
+        # The engine always consumes the globally-oldest queued tuple.  A
+        # linear peek over every source per tuple is O(#sources) on the
+        # hottest loop in the simulator; instead keep a heap of queue heads.
+        # Entries are (head timestamp, source index) — the index tie-break
+        # reproduces the linear scan's first-source-wins order.  A drop
+        # policy may evict a queue's *head* during offer(), so entries are
+        # validated lazily against ``heads`` (the current head per source)
+        # rather than removed eagerly.
+        qlist = [queues[s] for s in sources]
+        heads: list[float | None] = [None] * len(sources)
+        heap: list[tuple[float, int]] = []
+
+        def sync_head(idx: int) -> None:
+            """Re-register source ``idx`` after its head may have changed."""
+            ts = qlist[idx].peek_timestamp()
+            if ts != heads[idx]:
+                heads[idx] = ts
+                if ts is not None:
+                    heapq.heappush(heap, (ts, idx))
 
         def drain(until: float) -> float:
             t = engine_free
             while True:
-                best_source, best_ts = None, math.inf
-                for source in sources:
-                    ts = queues[source].peek_timestamp()
-                    if ts is not None and ts < best_ts:
-                        best_source, best_ts = source, ts
-                if best_source is None:
+                while heap and heads[heap[0][1]] != heap[0][0]:
+                    heapq.heappop(heap)  # stale: head evicted or consumed
+                if not heap:
                     return max(t, until) if math.isfinite(until) else t
+                best_ts, idx = heap[0]
                 start = max(t, best_ts)
                 if start >= until:
                     return t
-                tup = queues[best_source].poll()
-                t = start + cfg.service_time
-                for wid in cfg.window.window_ids(tup.timestamp):
-                    completion[wid] = max(completion.get(wid, 0.0), t)
-                    bag = kept_rows[best_source].setdefault(wid, Multiset())
+                heapq.heappop(heap)
+                source = sources[idx]
+                tup = qlist[idx].poll()
+                # Unconditional re-push: the next head may carry the *same*
+                # timestamp, which sync_head's change test would miss.
+                nts = qlist[idx].peek_timestamp()
+                heads[idx] = nts
+                if nts is not None:
+                    heapq.heappush(heap, (nts, idx))
+                t = start + service_time
+                for wid in ids(tup.timestamp):
+                    # Engine time only moves forward, so t is already the
+                    # max completion seen for this window.
+                    completion[wid] = t
+                    bag = kept_rows[source].get(wid)
+                    if bag is None:
+                        bag = kept_rows[source][wid] = Multiset()
                     bag.add(tup.row)
                     if build_kept_syn:
-                        syn = kept_syn[best_source].get(wid)
+                        syn = kept_syn[source].get(wid)
                         if syn is None:
-                            syn = kept_syn[best_source][wid] = (
+                            syn = kept_syn[source][wid] = (
                                 cfg.synopsis_factory.create(
-                                    self._dims[best_source]
+                                    self._dims[source]
                                 )
                             )
                         syn.insert(
                             [
                                 tup.row[p]
-                                for p in self._dim_positions[best_source]
+                                for p in self._dim_positions[source]
                             ]
                         )
 
@@ -431,6 +464,7 @@ class DataTriagePipeline:
             control_dt = min(cfg.adaptive_staleness / 4, 50 * cfg.service_time)
             next_control = control_dt
 
+        source_index = {s: i for i, s in enumerate(sources)}
         for ts, _, source, tup in events:
             engine_free = drain(until=ts)
             if controllers is not None and ts >= next_control:
@@ -445,6 +479,7 @@ class DataTriagePipeline:
                         cfg.service_time
                     )
             queues[source].offer(tup)
+            sync_head(source_index[source])
         engine_free = drain(until=math.inf)
 
         dropped_syn: dict[str, dict[int, Synopsis | None]] = {s: {} for s in sources}
@@ -505,15 +540,68 @@ class DataTriagePipeline:
         (when provided — pass ``None`` for drop-only semantics), and merge.
         External shedding layers (e.g. the distributed gateway of
         :mod:`repro.core.gateway`) reuse this after doing their own triage.
+
+        Windows are independent, so with ``config.parallel_windows = N``
+        the batch is chunked across a process pool; outcomes come back in
+        ``window_ids`` order either way, and any pool failure falls back to
+        the serial path, so the knob never changes the result.
         """
+        workers = self.config.parallel_windows
+        if workers is not None and workers > 1 and len(window_ids) > 1:
+            try:
+                if self._parallel is None:
+                    from repro.perf.parallel import ParallelWindowEvaluator
+
+                    self._parallel = ParallelWindowEvaluator(self, workers)
+                return self._parallel.evaluate(
+                    window_ids=window_ids,
+                    kept_rows=kept_rows,
+                    kept_synopses=kept_synopses,
+                    dropped_synopses=dropped_synopses,
+                    dropped_counts=dropped_counts,
+                    arrived=arrived,
+                    ideal_inputs=ideal_inputs,
+                )
+            except Exception:
+                self.close()  # a broken pool would fail every later call
+        return self._evaluate_windows_serial(
+            window_ids,
+            kept_rows,
+            kept_synopses,
+            dropped_synopses,
+            dropped_counts,
+            arrived,
+            ideal_inputs,
+        )
+
+    def close(self) -> None:
+        """Release the parallel-evaluation pool, if one was started."""
+        if self._parallel is not None:
+            self._parallel.shutdown()
+            self._parallel = None
+
+    def _evaluate_windows_serial(
+        self,
+        window_ids: list[int],
+        kept_rows: dict[str, dict[int, Multiset]],
+        kept_synopses: dict[str, dict[int, Synopsis]] | None,
+        dropped_synopses: dict[str, dict[int, "Synopsis | None"]] | None,
+        dropped_counts: dict[str, dict[int, int]],
+        arrived: dict[str, dict[int, int]],
+        ideal_inputs=None,
+    ) -> list[WindowOutcome]:
         sources = [link.source_name for link in self.plan.chain]
+        stream_of = {
+            s: self.bound.source(s).stream_name.lower() for s in sources
+        }
+        # Read-only stand-in for absent windows: scans only iterate their
+        # input bag, so one shared empty Multiset is safe and avoids a
+        # throwaway Counter per (source, window).
+        empty = Multiset()
         windows: list[WindowOutcome] = []
         for wid in window_ids:
             exact_inputs = {
-                self.bound.source(s).stream_name.lower(): kept_rows[s].get(
-                    wid, Multiset()
-                )
-                for s in sources
+                stream_of[s]: kept_rows[s].get(wid, empty) for s in sources
             }
             result = self.executor.execute(self.bound, exact_inputs)
 
@@ -550,7 +638,7 @@ class DataTriagePipeline:
                     ideal=ideal,
                     arrived={s: arrived[s].get(wid, 0) for s in sources},
                     kept={
-                        s: len(kept_rows[s].get(wid, Multiset())) for s in sources
+                        s: len(kept_rows[s].get(wid, empty)) for s in sources
                     },
                     dropped={
                         s: dropped_counts[s].get(wid, 0) for s in sources
@@ -566,16 +654,22 @@ class DataTriagePipeline:
     # ------------------------------------------------------------------
     def _ideal_inputs(self, events, sources):
         per_window: dict[str, dict[int, Multiset]] = {s: {} for s in sources}
+        ids = self.config.window.ids
         for ts, _, source, tup in events:
-            for wid in self.config.window.window_ids(ts):
-                per_window[source].setdefault(wid, Multiset()).add(tup.row)
+            bags = per_window[source]
+            for wid in ids(ts):
+                bag = bags.get(wid)
+                if bag is None:
+                    bag = bags[wid] = Multiset()
+                bag.add(tup.row)
         return per_window
 
     def _ideal_for(self, ideal_inputs, wid: int) -> "Groups | None":
         if self.merge_spec is None:
             return None  # raw mode has no grouped ideal
+        empty = Multiset()
         inputs = {
-            self.bound.source(s).stream_name.lower(): bags.get(wid, Multiset())
+            self.bound.source(s).stream_name.lower(): bags.get(wid, empty)
             for s, bags in ideal_inputs.items()
         }
         result = self.executor.execute(self.bound, inputs)

@@ -63,6 +63,15 @@ class PipelineConfig:
     #: seconds of backlog staleness; ``queue_capacity`` becomes the initial
     #: size.  None (default) keeps the paper's fixed-capacity behaviour.
     adaptive_staleness: float | None = None
+    #: Use code-generated query plans (:mod:`repro.perf.compile`) for
+    #: window evaluation; queries the compiler cannot express fall back to
+    #: the interpreted executor automatically.
+    compiled_plans: bool = True
+    #: Evaluate closed windows on a process pool of this many workers
+    #: (windows are independent, so evaluation is embarrassingly parallel).
+    #: None (default) evaluates serially; results are ordered by window id
+    #: either way, so the knob never changes a RunResult.
+    parallel_windows: int | None = None
 
     def __post_init__(self) -> None:
         if self.service_time <= 0:
@@ -72,6 +81,10 @@ class PipelineConfig:
         if self.adaptive_staleness is not None and self.adaptive_staleness <= 0:
             raise ValueError(
                 f"adaptive_staleness must be positive: {self.adaptive_staleness}"
+            )
+        if self.parallel_windows is not None and self.parallel_windows < 1:
+            raise ValueError(
+                f"parallel_windows must be >= 1: {self.parallel_windows}"
             )
 
     @property

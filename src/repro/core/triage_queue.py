@@ -189,7 +189,7 @@ class TriageQueue:
             self._notify("summarize")
         # A victim is charged to every window containing it — one window
         # for tumbling specs, several when windows overlap (hopping).
-        for wid in self.window.window_ids(victim.timestamp):
+        for wid in self.window.ids(victim.timestamp):
             self._window_counts[wid] = self._window_counts.get(wid, 0) + 1
             lo, hi = self._window_bounds.get(
                 wid, (victim.timestamp, victim.timestamp)

@@ -38,6 +38,81 @@ class ExecutionError(RuntimeError):
     """Raised when a query cannot be planned or executed."""
 
 
+@dataclass(frozen=True)
+class JoinStep:
+    """One step of the greedy left-deep join schedule.
+
+    ``keys_left``/``keys_right`` are qualified column names; empty key lists
+    mean a cross product (disconnected query graph).  The schedule depends
+    only on the bound query — not on window contents — so the interpreted
+    executor and the compiled planner (:mod:`repro.perf.compile`) share it
+    and are guaranteed to build identical join trees.
+    """
+
+    source: str
+    keys_left: tuple[str, ...] = ()
+    keys_right: tuple[str, ...] = ()
+
+    @property
+    def is_cross(self) -> bool:
+        return not self.keys_left
+
+
+def join_schedule(bound) -> list[JoinStep]:
+    """Greedy left-deep join order for ``bound`` (paper's textbook heuristic).
+
+    Always attaches a source that shares an equijoin predicate with what has
+    been joined so far, gathering every available key at once (multi-key
+    joins), and falls back to a FROM-order cross product only when the query
+    graph is genuinely disconnected.
+    """
+    order = [src.name for src in bound.sources]
+    joined_names = {order[0]}
+    remaining = set(order[1:])
+    pending = list(bound.join_predicates)
+    steps: list[JoinStep] = []
+    while remaining:
+        chosen = None
+        for pred in pending:
+            if pred.left_source in joined_names and pred.right_source in remaining:
+                chosen = pred.right_source
+                break
+            if pred.right_source in joined_names and pred.left_source in remaining:
+                chosen = pred.left_source
+                break
+        if chosen is None:
+            nxt = next(n for n in order if n in remaining)
+            steps.append(JoinStep(source=nxt))
+            remaining.discard(nxt)
+            joined_names.add(nxt)
+            continue
+        new_name = chosen
+        # Gather every pending predicate between the joined set ∪ {new}
+        # so multi-key joins use all keys at once.
+        keys_left, keys_right, used = [], [], []
+        for p in pending:
+            cand = None
+            if p.left_source in joined_names and p.right_source == new_name:
+                cand = p
+            elif p.right_source in joined_names and p.left_source == new_name:
+                cand = p.reversed()
+            if cand is not None:
+                keys_left.append(f"{cand.left_source}.{cand.left_column}")
+                keys_right.append(f"{cand.right_source}.{cand.right_column}")
+                used.append(p)
+        pending = [p for p in pending if p not in used]
+        steps.append(
+            JoinStep(
+                source=new_name,
+                keys_left=tuple(keys_left),
+                keys_right=tuple(keys_right),
+            )
+        )
+        remaining.discard(new_name)
+        joined_names.add(new_name)
+    return steps
+
+
 @dataclass
 class QueryResult:
     """A window's result: the output bag plus its schema.
@@ -53,11 +128,70 @@ class QueryResult:
 
 
 class QueryExecutor:
-    """Executes bound queries over per-window input bags."""
+    """Executes bound queries over per-window input bags.
 
-    def __init__(self, catalog: Catalog) -> None:
+    Two execution modes share one planner:
+
+    * **compiled** (default) — on first execution of a bound query, the
+      physical plan is built *once* and its expressions are code-generated
+      into flat Python closures (:mod:`repro.perf.compile`).  Subsequent
+      windows re-bind only the leaf scans to the new input bags, skipping
+      per-window plan construction and per-row ``Evaluator`` dispatch.
+      Compiled plans are cached per executor, keyed on (query identity,
+      source-schema fingerprint).
+    * **interpreted** — the original per-window plan instantiation.  It is
+      the reference semantics; any query the compiler cannot handle falls
+      back here transparently (and the failure is remembered, so the
+      compile is not retried every window).
+    """
+
+    #: Compiled-plan cache entries kept per executor before eviction.
+    PLAN_CACHE_SIZE = 64
+
+    def __init__(self, catalog: Catalog, *, compiled: bool = True) -> None:
         self.catalog = catalog
+        self.compiled = compiled
         self._functions = catalog.functions
+        # key -> (bound, CompiledQuery | None); the bound reference keeps
+        # id(bound) stable for the lifetime of the entry, None marks a
+        # query that failed to compile (permanent interpreted fallback).
+        self._plan_cache: dict[tuple, tuple[object, object | None]] = {}
+
+    # ------------------------------------------------------------------
+    # Compiled mode
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _plan_key(bound) -> tuple:
+        """Cache key: query identity + a fingerprint of its source schemas."""
+        from repro.sql.binder import BoundUnion
+
+        if isinstance(bound, BoundUnion):
+            return (id(bound), tuple(QueryExecutor._plan_key(q)[1] for q in bound.queries))
+        fingerprint = tuple(
+            (src.name.lower(),)
+            + tuple((c.name.lower(), c.type.value) for c in src.schema.columns)
+            for src in bound.sources
+        )
+        return (id(bound), fingerprint)
+
+    def _compiled_plan(self, bound):
+        """The cached compiled plan for ``bound`` (None: interpreted fallback)."""
+        key = self._plan_key(bound)
+        entry = self._plan_cache.get(key)
+        if entry is not None:
+            return entry[1]
+        try:
+            from repro.perf.compile import compile_query
+
+            plan = compile_query(bound, self._functions)
+        except Exception:
+            # Anything the compiler cannot express runs interpreted; a
+            # genuinely invalid query will raise its real error there.
+            plan = None
+        if len(self._plan_cache) >= self.PLAN_CACHE_SIZE:
+            self._plan_cache.clear()
+        self._plan_cache[key] = (bound, plan)
+        return plan
 
     # ------------------------------------------------------------------
     def execute(self, bound, inputs: dict[str, Multiset]) -> QueryResult:
@@ -66,10 +200,20 @@ class QueryExecutor:
         ``inputs`` maps *stream names* (not aliases) to the window's rows.
         Streams missing from ``inputs`` are treated as empty.
         """
+        if self.compiled:
+            plan = self._compiled_plan(bound)
+            if plan is not None:
+                return plan.execute(inputs)
+        return self.execute_interpreted(bound, inputs)
+
+    def execute_interpreted(
+        self, bound, inputs: dict[str, Multiset]
+    ) -> QueryResult:
+        """The reference per-window interpreted path (always available)."""
         from repro.sql.binder import BoundQuery, BoundUnion
 
         if isinstance(bound, BoundUnion):
-            results = [self.execute(q, inputs) for q in bound.queries]
+            results = [self.execute_interpreted(q, inputs) for q in bound.queries]
             rows = Multiset()
             for r in results:
                 rows = rows + r.rows
@@ -129,7 +273,7 @@ class QueryExecutor:
     def _plan_source(self, src, inputs: dict[str, Multiset]) -> PhysicalOperator:
         """Scan a base stream (qualifying its columns) or execute a subquery."""
         if src.subquery is not None:
-            result = self.execute(src.subquery, inputs)
+            result = self.execute_interpreted(src.subquery, inputs)
             # A derived table's output columns are bare names in SQL: strip
             # the inner qualifiers (when unambiguous) before re-qualifying
             # with this source's alias.
@@ -141,51 +285,23 @@ class QueryExecutor:
         return Scan(rows, _qualify(src.schema, src.name))
 
     def _join_sources(self, bound, per_source: dict[str, PhysicalOperator]):
-        """Greedy left-deep join tree construction."""
-        remaining = dict(per_source)
+        """Left-deep join tree following the shared greedy schedule."""
         order = [src.name for src in bound.sources]
-        first = order[0]
-        current = remaining.pop(first)
-        joined_names = {first}
-        pending = list(bound.join_predicates)
-        while remaining:
-            # Find a predicate connecting the joined set to a new source.
-            chosen = None
-            for pred in pending:
-                if pred.left_source in joined_names and pred.right_source in remaining:
-                    chosen = (pred, pred.right_source)
-                    break
-                if pred.right_source in joined_names and pred.left_source in remaining:
-                    chosen = (pred.reversed(), pred.left_source)
-                    break
-            if chosen is None:
-                # Disconnected query graph: take the next source in FROM
-                # order and cross-join it.
-                nxt = next(n for n in order if n in remaining)
+        current = per_source[order[0]]
+        joined_names = {order[0]}
+        for step in join_schedule(bound):
+            if step.is_cross:
                 current = NestedLoopJoin(
-                    current, remaining.pop(nxt), None, self._functions
+                    current, per_source[step.source], None, self._functions
                 )
-                joined_names.add(nxt)
-                continue
-            pred, new_name = chosen
-            # Gather every pending predicate between the joined set ∪ {new}
-            # so multi-key joins use all keys at once.
-            keys_left, keys_right, used = [], [], []
-            for p in pending:
-                cand = None
-                if p.left_source in joined_names and p.right_source == new_name:
-                    cand = p
-                elif p.right_source in joined_names and p.left_source == new_name:
-                    cand = p.reversed()
-                if cand is not None:
-                    keys_left.append(f"{cand.left_source}.{cand.left_column}")
-                    keys_right.append(f"{cand.right_source}.{cand.right_column}")
-                    used.append(p)
-            pending = [p for p in pending if p not in used]
-            current = HashJoin(
-                current, remaining.pop(new_name), keys_left, keys_right
-            )
-            joined_names.add(new_name)
+            else:
+                current = HashJoin(
+                    current,
+                    per_source[step.source],
+                    list(step.keys_left),
+                    list(step.keys_right),
+                )
+            joined_names.add(step.source)
         return current, joined_names
 
 

@@ -24,6 +24,41 @@ class ExpressionError(ValueError):
     """Raised for unresolvable columns, unknown operators/functions, etc."""
 
 
+def resolve_column(ref: "ColumnRef", schema: Schema) -> int:
+    """Resolve a column reference to its row position in ``schema``.
+
+    Tries the fully-qualified name first (join output schemas use
+    "table.column" names), then the bare column name, then a unique
+    ".column" suffix match — the latter lets an unqualified reference like
+    ``a`` resolve inside a join output whose columns are all qualified
+    (``R.a``, ``S.b``, ...), as SQL name resolution does.  Shared by
+    :meth:`ColumnRef.bind` and the code-generating plan compiler
+    (:mod:`repro.perf.compile`), so both resolve names identically.
+    """
+    for candidate in ((ref.qualified,) if ref.table else ()) + (ref.name,):
+        try:
+            return schema.position(candidate)
+        except SchemaError:
+            continue
+    if ref.table is None:
+        suffix = "." + ref.name.lower()
+        matches = [
+            i
+            for i, c in enumerate(schema.columns)
+            if c.name.lower().endswith(suffix)
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            raise ExpressionError(
+                f"ambiguous column {ref.name!r}: matches "
+                f"{[schema.columns[i].name for i in matches]}"
+            )
+    raise ExpressionError(
+        f"cannot resolve column {ref.qualified!r} against {schema!r}"
+    )
+
+
 class Expression:
     """Base class for all expression nodes."""
 
@@ -53,34 +88,7 @@ class ColumnRef(Expression):
         return f"{self.table}.{self.name}" if self.table else self.name
 
     def bind(self, schema: Schema, functions=None) -> Evaluator:
-        # Try the fully-qualified name first (join output schemas use
-        # "table.column" names), then the bare column name, then a unique
-        # ".column" suffix match — the latter lets an unqualified reference
-        # like ``a`` resolve inside a join output whose columns are all
-        # qualified (``R.a``, ``S.b``, ...), as SQL name resolution does.
-        for candidate in ((self.qualified,) if self.table else ()) + (self.name,):
-            try:
-                pos = schema.position(candidate)
-            except SchemaError:
-                continue
-            return operator.itemgetter(pos)
-        if self.table is None:
-            suffix = "." + self.name.lower()
-            matches = [
-                i
-                for i, c in enumerate(schema.columns)
-                if c.name.lower().endswith(suffix)
-            ]
-            if len(matches) == 1:
-                return operator.itemgetter(matches[0])
-            if len(matches) > 1:
-                raise ExpressionError(
-                    f"ambiguous column {self.name!r}: matches "
-                    f"{[schema.columns[i].name for i in matches]}"
-                )
-        raise ExpressionError(
-            f"cannot resolve column {self.qualified!r} against {schema!r}"
-        )
+        return operator.itemgetter(resolve_column(self, schema))
 
     def columns(self) -> set[str]:
         return {self.qualified.lower()}

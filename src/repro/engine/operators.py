@@ -135,9 +135,16 @@ class HashJoin(PhysicalOperator):
             key = tuple(row[p] for p in rpos)
             if None not in key:
                 table[key].append(row)
+        if not table:
+            # Empty build side: no probe row can match, so skip building
+            # a key tuple per probe row.
+            return
         lpos = self._lpos
         for lrow in self.left:
             key = tuple(lrow[p] for p in lpos)
+            if None in key:
+                # NULL never equals anything; mirrors the build-side check.
+                continue
             for rrow in table.get(key, ()):
                 yield lrow + rrow
 

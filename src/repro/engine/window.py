@@ -29,11 +29,26 @@ class WindowSpec:
     width: float
     slide: float | None = None
 
+    #: Memoized ``ids()`` entries kept before the cache is reset.
+    IDS_CACHE_SIZE = 65536
+
     def __post_init__(self) -> None:
         if self.width <= 0:
             raise ValueError(f"window width must be positive, got {self.width}")
         if self.slide is not None and self.slide <= 0:
             raise ValueError(f"window slide must be positive, got {self.slide}")
+        # Frozen dataclass: the memo dict must be installed via object.
+        object.__setattr__(self, "_ids_cache", {})
+
+    def __getstate__(self):
+        # Don't ship the memo to pickles (process-pool workers rebuild it).
+        state = dict(self.__dict__)
+        state["_ids_cache"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_ids_cache", {})
 
     @property
     def hop(self) -> float:
@@ -50,6 +65,23 @@ class WindowSpec:
         for i in range(max(first, 0) if timestamp >= 0 else first, last + 1):
             if i * self.hop <= timestamp < i * self.hop + self.width:
                 yield i
+
+    def ids(self, timestamp: float) -> tuple[int, ...]:
+        """Memoized :meth:`window_ids` as a tuple.
+
+        The pipeline event loops ask for a tuple's windows 3–4 times on its
+        way through triage (offer, shed, drain, completion accounting); the
+        answer depends only on ``timestamp``, so the hot paths use this
+        cached form.  Delegates to ``window_ids`` for the arithmetic so the
+        two can never disagree.
+        """
+        cache = self._ids_cache
+        out = cache.get(timestamp)
+        if out is None:
+            if len(cache) >= self.IDS_CACHE_SIZE:
+                cache.clear()
+            out = cache[timestamp] = tuple(self.window_ids(timestamp))
+        return out
 
     def primary_window(self, timestamp: float) -> int:
         """The most recent window containing ``timestamp`` (tumbling: *the* window)."""

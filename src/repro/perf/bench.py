@@ -1,0 +1,255 @@
+"""The ``repro bench`` regression harness.
+
+Four curated suites cover the hot paths this repo's performance story rests
+on; each is timed over several repetitions with fixed seeds so the numbers
+are comparable run-to-run and PR-to-PR:
+
+* ``pipeline_fig9_bursty`` — the Figure 9 workload end to end: pre-generated
+  bursty streams through ``DataTriagePipeline.run`` (triage queues, heap
+  drain, synopsis build, window evaluation).  Reported in tuples/second.
+* ``executor_micro`` — the Figure 6 "original query" microbenchmark: one
+  3-way join + aggregate execution over static tables, through the compiled
+  query plan.  Reported in executions/second.
+* ``synopsis_join`` — the Figure 6 "rewritten query" path: build sparse
+  cubic histograms from the substream tables and evaluate the shadow plan
+  (synopsis equijoins + Q-).  Reported in evaluations/second.
+* ``service_ingest`` — the network publish hot path:
+  :meth:`TriageServer.ingest_rows` over pre-built row batches (schema
+  validation, window accounting, triage offer).  Reported in rows/second.
+
+Results are written as ``BENCH_pipeline.json`` with the stable schema
+``repro-bench/v1``: one object per suite holding ``ops_per_sec``,
+``p50_ms``, ``p95_ms``, ``reps``, ``units_per_rep``, and ``unit``, plus the
+git revision the numbers belong to.  ``quick=True`` shrinks reps and input
+sizes for CI smoke runs; the schema is identical, only the noise floor
+differs.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import statistics
+import subprocess
+import time
+from pathlib import Path
+
+#: Stable identifier for the output format; bump only on breaking changes.
+BENCH_SCHEMA = "repro-bench/v1"
+
+#: Repo root when running from a checkout (bench.py -> perf -> repro -> src -> root).
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def git_revision() -> str:
+    """The checkout's HEAD revision, or "unknown" outside a git repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip()
+    except Exception:  # noqa: BLE001 - bench must run anywhere
+        return "unknown"
+
+
+def _time_suite(fn, reps: int, units_per_rep: int, unit: str) -> dict:
+    """Run ``fn`` ``reps`` times; report median-based throughput + latency."""
+    durations = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        durations.append(time.perf_counter() - t0)
+    durations.sort()
+    p50 = statistics.median(durations)
+    p95 = durations[min(len(durations) - 1, round(0.95 * (len(durations) - 1)))]
+    return {
+        "ops_per_sec": round(units_per_rep / p50, 2) if p50 > 0 else None,
+        "p50_ms": round(p50 * 1e3, 3),
+        "p95_ms": round(p95 * 1e3, 3),
+        "reps": reps,
+        "units_per_rep": units_per_rep,
+        "unit": unit,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Suites
+# ---------------------------------------------------------------------------
+def bench_pipeline(quick: bool) -> dict:
+    """Figure 9 bursty workload through ``DataTriagePipeline.run``."""
+    from repro.core.strategies import PipelineConfig, ShedStrategy
+    from repro.core.pipeline import DataTriagePipeline
+    from repro.engine.window import WindowSpec
+    from repro.experiments import (
+        STREAM_NAMES,
+        ExperimentParams,
+        PAPER_QUERY,
+        paper_catalog,
+    )
+    from repro.sources.arrival import MarkovBurstArrival, generate_stream
+    from repro.sources.generators import paper_row_generators
+
+    params = ExperimentParams()
+    peak_rate = 2000.0
+    arrival = MarkovBurstArrival(
+        base_rate=peak_rate / 100.0 / len(STREAM_NAMES),
+        burst_speedup=100.0,
+        burst_fraction=0.6,
+        expected_burst_length=200.0,
+    )
+    window = WindowSpec(width=params.tuples_per_window / arrival.mean_rate)
+    rng = random.Random(0)
+    gens = paper_row_generators()
+    burst_gens = {n: g.shifted(params.burst_mean_shift) for n, g in gens.items()}
+    streams = {
+        name: generate_stream(
+            params.tuples_per_stream, arrival, gens[name], burst_gens[name], rng
+        )
+        for name in STREAM_NAMES
+    }
+    config = PipelineConfig(
+        strategy=ShedStrategy.DATA_TRIAGE,
+        window=window,
+        queue_capacity=params.queue_capacity,
+        policy=params.policy,
+        synopsis_factory=params.synopsis_factory,
+        service_time=params.service_time,
+        seed=0,
+    )
+    pipeline = DataTriagePipeline(paper_catalog(), PAPER_QUERY, config)
+    pipeline.run(streams)  # warm the plan cache + window-id cache
+    tuples = len(STREAM_NAMES) * params.tuples_per_stream
+    return _time_suite(
+        lambda: pipeline.run(streams),
+        reps=5 if quick else 15,
+        units_per_rep=tuples,
+        unit="tuples",
+    )
+
+
+def bench_executor(quick: bool) -> dict:
+    """Figure 6 original query: 3-way join + aggregate over static tables."""
+    from repro.experiments import microbench_original, microbench_setup
+
+    setup = microbench_setup(rows_per_table=300 if quick else 1000, seed=7)
+    microbench_original(setup)  # warm the plan cache
+    return _time_suite(
+        lambda: microbench_original(setup),
+        reps=3 if quick else 9,
+        units_per_rep=1,
+        unit="executions",
+    )
+
+
+def bench_synopsis(quick: bool) -> dict:
+    """Figure 6 rewritten query: histogram build + shadow-plan evaluation."""
+    from repro.experiments import (
+        fast_synopsis_factory,
+        microbench_rewritten,
+        microbench_setup,
+    )
+
+    setup = microbench_setup(rows_per_table=300 if quick else 1000, seed=7)
+    factory = fast_synopsis_factory()
+    return _time_suite(
+        lambda: microbench_rewritten(setup, factory),
+        reps=9 if quick else 21,
+        units_per_rep=1,
+        unit="evaluations",
+    )
+
+
+def bench_service_ingest(quick: bool) -> dict:
+    """Publish hot path: ``TriageServer.ingest_rows`` over pre-built batches."""
+    from repro.core.strategies import PipelineConfig
+    from repro.engine.window import WindowSpec
+    from repro.experiments import PAPER_QUERY, STREAM_NAMES, paper_catalog
+    from repro.service import ServiceConfig, TriageServer
+    from repro.sources.generators import paper_row_generators
+
+    rows_per_stream = 500 if quick else 2000
+    batch = 500
+    rng = random.Random(13)
+    gens = paper_row_generators()
+    rows = {
+        name: [gens[name].draw(rng) for _ in range(rows_per_stream)]
+        for name in STREAM_NAMES
+    }
+    timestamps = [i * 0.01 for i in range(rows_per_stream)]
+    config = PipelineConfig(
+        window=WindowSpec(width=1.0),
+        queue_capacity=200,
+        compute_ideal=False,
+    )
+    service = ServiceConfig(tick_interval=None, clock=lambda: 0.0)
+    catalog = paper_catalog()
+
+    def one_rep() -> None:
+        # A fresh server per rep keeps queue/window state identical across
+        # reps; its construction cost (~1ms) is noise against the ingest.
+        server = TriageServer(catalog, PAPER_QUERY, config, service)
+        for name in STREAM_NAMES:
+            for lo in range(0, rows_per_stream, batch):
+                server.ingest_rows(
+                    name,
+                    rows[name][lo : lo + batch],
+                    timestamps=timestamps[lo : lo + batch],
+                    now=0.0,
+                )
+
+    return _time_suite(
+        one_rep,
+        reps=5 if quick else 11,
+        units_per_rep=len(STREAM_NAMES) * rows_per_stream,
+        unit="rows",
+    )
+
+
+SUITES = {
+    "pipeline_fig9_bursty": bench_pipeline,
+    "executor_micro": bench_executor,
+    "synopsis_join": bench_synopsis,
+    "service_ingest": bench_service_ingest,
+}
+
+
+def run_bench_suites(quick: bool = False, suites: list[str] | None = None) -> dict:
+    """Run the curated suites; return the ``repro-bench/v1`` result document."""
+    names = list(SUITES) if suites is None else list(suites)
+    unknown = [n for n in names if n not in SUITES]
+    if unknown:
+        raise ValueError(f"unknown bench suites: {unknown}; have {list(SUITES)}")
+    results = {name: SUITES[name](quick) for name in names}
+    return {
+        "schema": BENCH_SCHEMA,
+        "git_rev": git_revision(),
+        "quick": quick,
+        "suites": results,
+    }
+
+
+def render_text(doc: dict) -> str:
+    """A fixed-width table of the result document, for terminals and CI logs."""
+    lines = [
+        f"bench schema {doc['schema']}  rev {doc['git_rev'][:12]}"
+        f"{'  (quick)' if doc['quick'] else ''}",
+        f"{'suite':24s} {'ops/sec':>12s} {'p50 ms':>10s} {'p95 ms':>10s} unit",
+    ]
+    for name, r in doc["suites"].items():
+        lines.append(
+            f"{name:24s} {r['ops_per_sec']:>12,.2f} {r['p50_ms']:>10.2f} "
+            f"{r['p95_ms']:>10.2f} {r['unit']}"
+        )
+    return "\n".join(lines)
+
+
+def write_results(doc: dict, path: str | Path) -> Path:
+    """Write the result document as pretty-printed JSON (trailing newline)."""
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return path

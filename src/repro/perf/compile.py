@@ -1,0 +1,650 @@
+"""Code-generated query plans: the engine hot path without interpretation.
+
+The interpreted executor (:mod:`repro.engine.executor`) pays two per-window
+costs the paper's overhead budget (Section 6, Figure 6) cannot ignore: the
+physical plan tree is re-instantiated for every window, and every expression
+evaluates through a tree of nested ``Evaluator`` closures — one Python call
+per operator node per row.
+
+This module removes both.  :func:`compile_query` lowers a bound query into
+
+* **flat row closures** — each expression tree becomes one generated Python
+  function (SSA-style statements, common subexpressions shared), so a
+  predicate or projection is a single call per row regardless of depth; and
+* **a reusable operator tree** — compiled nodes hold positions and closures
+  only; per window they are *re-bound* to the new input bags via
+  ``iterate(inputs)`` instead of being rebuilt.
+
+Semantics are the interpreted path's, verbatim: SQL three-valued logic with
+both operands always evaluated (no short-circuit, so error behaviour
+matches), identical join order (the shared
+:func:`repro.engine.executor.join_schedule`), identical schema derivation,
+and identical NULL handling in joins and aggregates.  The equivalence test
+suite (``tests/engine/test_compiled_equivalence.py``) holds the two paths
+result-identical over the paper workloads and a randomized SPJ corpus.
+
+Any construct this compiler cannot express raises :class:`CompileError`;
+:class:`~repro.engine.executor.QueryExecutor` then falls back to the
+interpreted path permanently for that query.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from typing import Any
+
+from repro.algebra.multiset import Multiset
+from repro.engine.catalog import Catalog  # noqa: F401 - re-exported context
+from repro.engine.executor import (
+    QueryResult,
+    _dequalify,
+    _order_rows,
+    _qualify,
+    join_schedule,
+)
+from repro.engine.operators import _infer_type
+from repro.engine.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+    conjoin,
+    resolve_column,
+)
+from repro.engine.types import Column, ColumnType, Schema
+
+
+class CompileError(RuntimeError):
+    """Raised when a query shape cannot be lowered to generated code."""
+
+
+# ---------------------------------------------------------------------------
+# Expression lowering
+# ---------------------------------------------------------------------------
+_PY_OPS = {
+    "=": "==",
+    "!=": "!=",
+    "<>": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "%": "%",
+}
+
+#: Literal types safe to inline as source text (repr round-trips exactly).
+_INLINE_LITERALS = (bool, int, str, type(None))
+
+
+class _Emitter:
+    """Lowers expression trees into SSA-style Python statements.
+
+    Nodes are emitted post-order into numbered temporaries; structurally
+    equal subtrees (expressions are frozen dataclasses, hence hashable)
+    share one temporary, so ``R.a = S.b AND R.a > 5`` loads ``R.a`` once.
+    """
+
+    def __init__(self, schema: Schema, functions) -> None:
+        self.schema = schema
+        self.functions = functions or {}
+        self.lines: list[str] = []
+        self.env: dict[str, Any] = {}
+        self._n = 0
+        self._cse: dict[Expression, str] = {}
+        self._lit: dict[str, Any] = {}  # inline-literal atom -> its value
+
+    def _fresh(self) -> str:
+        self._n += 1
+        return f"_t{self._n}"
+
+    def _const(self, value: Any) -> str:
+        name = f"_c{len(self.env)}"
+        self.env[name] = value
+        return name
+
+    def emit(self, expr: Expression) -> str:
+        """Return an atom (temp name or inline source) holding ``expr``."""
+        atom = self._cse.get(expr)
+        if atom is None:
+            atom = self._lower(expr)
+            self._cse[expr] = atom
+        return atom
+
+    def _lower(self, expr: Expression) -> str:
+        if isinstance(expr, ColumnRef):
+            return f"row[{resolve_column(expr, self.schema)}]"
+        if isinstance(expr, Literal):
+            if type(expr.value) in _INLINE_LITERALS:
+                atom = repr(expr.value)
+                self._lit.setdefault(atom, expr.value)
+                return atom
+            return self._const(expr.value)
+        if isinstance(expr, BinaryOp):
+            return self._lower_binary(expr)
+        if isinstance(expr, UnaryOp):
+            a = self.emit(expr.operand)
+            t = self._fresh()
+            op = expr.op.upper()
+            if op == "NOT":
+                body = f"not ({a})"
+            elif expr.op == "-":
+                body = f"-({a})"
+            else:
+                raise CompileError(f"unknown unary operator {expr.op!r}")
+            nt = self._null_test(a)
+            if nt == "False":
+                self.lines.append(f"{t} = {body}")
+            elif nt == "True":
+                self.lines.append(f"{t} = None")
+            else:
+                self.lines.append(f"{t} = None if {nt} else {body}")
+            return t
+        if isinstance(expr, FunctionCall):
+            try:
+                fn = self.functions[expr.name.lower()]
+            except KeyError:
+                raise CompileError(f"unknown function {expr.name!r}") from None
+            args = [self.emit(a) for a in expr.args]
+            fvar = self._const(fn)
+            t = self._fresh()
+            self.lines.append(f"{t} = {fvar}({', '.join(args)})")
+            return t
+        raise CompileError(f"cannot compile {type(expr).__name__} nodes")
+
+    def _null_test(self, *atoms: str) -> str:
+        """Source for "any operand is NULL"; folds statically-known atoms.
+
+        Returns ``"True"``/``"False"`` when decidable at compile time so no
+        ``<literal> is None`` comparison ever reaches the generated code.
+        """
+        parts = []
+        for x in atoms:
+            if x in self._lit:
+                if self._lit[x] is None:
+                    return "True"
+                continue  # a non-None literal can never be NULL
+            parts.append(f"{x} is None")
+        return " or ".join(parts) if parts else "False"
+
+    def _is_test(self, atom: str, const: bool) -> str:
+        """Source for ``atom is True/False``; folds literal atoms."""
+        if atom in self._lit:
+            return "True" if self._lit[atom] is const else "False"
+        return f"{atom} is {const}"
+
+    def _lower_binary(self, expr: BinaryOp) -> str:
+        op = expr.op.upper() if expr.op.isalpha() else expr.op
+        # Post-order: both operands are materialized before the combiner,
+        # exactly like the interpreted evaluator (no short-circuit — a
+        # raising right operand raises here too).
+        a = self.emit(expr.left)
+        b = self.emit(expr.right)
+        t = self._fresh()
+        nt = self._null_test(a, b)
+        if op in ("AND", "OR"):
+            const = False if op == "AND" else True
+            word = "and" if op == "AND" else "or"
+            absorb = " or ".join(
+                p for p in (self._is_test(a, const), self._is_test(b, const))
+                if p != "False"
+            ) or "False"
+            if absorb == "True":
+                self.lines.append(f"{t} = {const}")
+            elif nt == "True":
+                self.lines.append(f"{t} = {const} if {absorb} else None")
+            else:
+                inner = (
+                    f"bool({a}) {word} bool({b})"
+                    if nt == "False"
+                    else f"None if {nt} else bool({a}) {word} bool({b})"
+                )
+                if absorb == "False":
+                    self.lines.append(f"{t} = {inner}")
+                else:
+                    self.lines.append(f"{t} = {const} if {absorb} else ({inner})")
+        else:
+            try:
+                py = _PY_OPS[expr.op]
+            except KeyError:
+                raise CompileError(
+                    f"unknown binary operator {expr.op!r}"
+                ) from None
+            if nt == "False":
+                self.lines.append(f"{t} = {a} {py} {b}")
+            elif nt == "True":
+                self.lines.append(f"{t} = None")
+            else:
+                self.lines.append(f"{t} = None if {nt} else {a} {py} {b}")
+        return t
+
+
+def _finish(em: _Emitter, return_expr: str, name: str) -> Callable:
+    body = "\n    ".join(em.lines) if em.lines else "pass"
+    src = f"def {name}(row):\n    {body}\n    return {return_expr}\n"
+    namespace = dict(em.env)
+    exec(compile(src, f"<repro.perf.compile:{name}>", "exec"), namespace)
+    fn = namespace[name]
+    fn.__repro_source__ = src  # introspection / EXPLAIN / debugging
+    return fn
+
+
+def compile_scalar(
+    expr: Expression, schema: Schema, functions=None
+) -> Callable[[tuple], Any]:
+    """Compile one expression into a flat ``row -> value`` closure."""
+    em = _Emitter(schema, functions)
+    return _finish(em, em.emit(expr), "_compiled_scalar")
+
+
+def compile_tuple(
+    exprs: list[Expression], schema: Schema, functions=None
+) -> Callable[[tuple], tuple]:
+    """Compile expressions into one ``row -> (v0, v1, ...)`` closure."""
+    em = _Emitter(schema, functions)
+    atoms = [em.emit(e) for e in exprs]
+    return _finish(em, "(" + "".join(a + ", " for a in atoms) + ")", "_compiled_tuple")
+
+
+# ---------------------------------------------------------------------------
+# Compiled operator tree
+# ---------------------------------------------------------------------------
+class CompiledNode:
+    """A plan node bound to schemas and closures, re-bindable to inputs.
+
+    Unlike :class:`~repro.engine.operators.PhysicalOperator` (which holds a
+    window's rows), a compiled node is content-free: ``iterate(inputs)``
+    binds it to one window's input bags, so the tree is built once per query
+    and reused for every window.
+    """
+
+    __slots__ = ("schema",)
+
+    schema: Schema
+
+    def iterate(self, inputs: dict[str, Multiset]) -> Iterator[tuple]:
+        raise NotImplementedError
+
+
+class _CScan(CompiledNode):
+    __slots__ = ("key_lower", "key")
+
+    def __init__(self, stream_name: str, schema: Schema) -> None:
+        self.key_lower = stream_name.lower()
+        self.key = stream_name
+        self.schema = schema
+
+    def iterate(self, inputs):
+        rows = inputs.get(self.key_lower)
+        if rows is None:
+            rows = inputs.get(self.key)
+        return iter(rows) if rows is not None else iter(())
+
+
+class _CSubquery(CompiledNode):
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: "CompiledQuery | CompiledUnion", schema: Schema) -> None:
+        self.inner = inner
+        self.schema = schema
+
+    def iterate(self, inputs):
+        return iter(self.inner.execute(inputs).rows)
+
+
+class _CFilter(CompiledNode):
+    __slots__ = ("child", "pred")
+
+    def __init__(self, child: CompiledNode, pred: Callable) -> None:
+        self.child = child
+        self.pred = pred
+        self.schema = child.schema
+
+    def iterate(self, inputs):
+        pred = self.pred
+        for row in self.child.iterate(inputs):
+            if pred(row) is True:
+                yield row
+
+
+class _CProject(CompiledNode):
+    __slots__ = ("child", "row_fn")
+
+    def __init__(self, child: CompiledNode, row_fn: Callable, schema: Schema) -> None:
+        self.child = child
+        self.row_fn = row_fn
+        self.schema = schema
+
+    def iterate(self, inputs):
+        row_fn = self.row_fn
+        for row in self.child.iterate(inputs):
+            yield row_fn(row)
+
+
+class _CHashJoin(CompiledNode):
+    """Hash equijoin with empty-build short-circuit and NULL-probe skip.
+
+    Single-key joins (the paper query's shape) use scalar keys to avoid a
+    tuple allocation per row on both the build and probe sides.
+    """
+
+    __slots__ = ("left", "right", "lpos", "rpos")
+
+    def __init__(
+        self,
+        left: CompiledNode,
+        right: CompiledNode,
+        lpos: list[int],
+        rpos: list[int],
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.lpos = tuple(lpos)
+        self.rpos = tuple(rpos)
+        self.schema = left.schema.concat(right.schema)
+
+    def iterate(self, inputs):
+        if len(self.rpos) == 1:
+            yield from self._iterate_single(inputs)
+            return
+        table: dict[tuple, list[tuple]] = {}
+        rpos = self.rpos
+        setdefault = table.setdefault
+        for row in self.right.iterate(inputs):
+            key = tuple(row[p] for p in rpos)
+            if None not in key:
+                setdefault(key, []).append(row)
+        if not table:
+            return
+        lpos = self.lpos
+        get = table.get
+        for lrow in self.left.iterate(inputs):
+            key = tuple(lrow[p] for p in lpos)
+            if None in key:
+                continue
+            matches = get(key)
+            if matches is not None:
+                for rrow in matches:
+                    yield lrow + rrow
+
+    def _iterate_single(self, inputs):
+        rp = self.rpos[0]
+        table: dict[Any, list[tuple]] = {}
+        setdefault = table.setdefault
+        for row in self.right.iterate(inputs):
+            key = row[rp]
+            if key is not None:
+                setdefault(key, []).append(row)
+        if not table:
+            return
+        lp = self.lpos[0]
+        get = table.get
+        for lrow in self.left.iterate(inputs):
+            key = lrow[lp]
+            if key is None:
+                continue
+            matches = get(key)
+            if matches is not None:
+                for rrow in matches:
+                    yield lrow + rrow
+
+
+class _CNestedLoop(CompiledNode):
+    __slots__ = ("left", "right", "pred")
+
+    def __init__(
+        self,
+        left: CompiledNode,
+        right: CompiledNode,
+        pred: Callable | None,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.pred = pred
+        self.schema = left.schema.concat(right.schema)
+
+    def iterate(self, inputs):
+        right_rows = list(self.right.iterate(inputs))
+        pred = self.pred
+        for lrow in self.left.iterate(inputs):
+            for rrow in right_rows:
+                row = lrow + rrow
+                if pred is None or pred(row) is True:
+                    yield row
+
+
+class _CAggregate(CompiledNode):
+    """GROUP BY + aggregates via one compiled key/argument closure.
+
+    The running-state layout and finalization mirror
+    :class:`~repro.engine.operators.HashAggregate` exactly (totals start at
+    ``0.0`` so SUM of integers stays float; NULL arguments are skipped by
+    everything except ``COUNT(*)``; empty input yields no groups).
+    """
+
+    __slots__ = ("child", "row_fn", "n_keys", "agg_slots", "functions_")
+
+    def __init__(
+        self,
+        child: CompiledNode,
+        group_by: list[tuple[str, Expression]],
+        aggregates,
+        functions,
+    ) -> None:
+        self.child = child
+        exprs = [e for _, e in group_by]
+        slots: list[int | None] = []  # value index per aggregate; None = COUNT(*)
+        for spec in aggregates:
+            if spec.argument is None:
+                slots.append(None)
+            else:
+                slots.append(len(exprs))
+                exprs.append(spec.argument)
+        self.row_fn = compile_tuple(exprs, child.schema, functions)
+        self.n_keys = len(group_by)
+        self.agg_slots = tuple(slots)
+        self.functions_ = [spec.function.lower() for spec in aggregates]
+        cols = [
+            Column(name, _infer_type(expr, child.schema)) for name, expr in group_by
+        ]
+        for spec in aggregates:
+            t = (
+                ColumnType.INTEGER
+                if spec.function.lower() == "count"
+                else ColumnType.FLOAT
+            )
+            cols.append(Column(spec.output_name, t))
+        self.schema = Schema(cols)
+
+    def iterate(self, inputs):
+        row_fn = self.row_fn
+        nk = self.n_keys
+        slots = self.agg_slots
+        n = len(slots)
+        if all(slot is None for slot in slots):
+            # Pure COUNT(*) (the paper query's shape): the per-row work
+            # collapses to one dict bump — no slot scan, no key slicing.
+            counts: dict[tuple, int] = {}
+            cget = counts.get
+            for row in self.child.iterate(inputs):
+                key = row_fn(row)
+                counts[key] = cget(key, 0) + 1
+            for key, count in counts.items():
+                yield key + (count,) * n
+            return
+        # state: [count, nonnull[], total[], min[], max[]]
+        groups: dict[tuple, list] = {}
+        get = groups.get
+        for row in self.child.iterate(inputs):
+            vals = row_fn(row)
+            key = vals[:nk]
+            state = get(key)
+            if state is None:
+                state = groups[key] = [0, [0] * n, [0.0] * n, [None] * n, [None] * n]
+            state[0] += 1
+            nonnull, total, minimum, maximum = state[1], state[2], state[3], state[4]
+            for i, slot in enumerate(slots):
+                if slot is None:
+                    continue
+                v = vals[slot]
+                if v is None:
+                    continue
+                nonnull[i] += 1
+                total[i] += v
+                if minimum[i] is None or v < minimum[i]:
+                    minimum[i] = v
+                if maximum[i] is None or v > maximum[i]:
+                    maximum[i] = v
+        fns = self.functions_
+        for key, state in groups.items():
+            out = list(key)
+            count, nonnull, total, minimum, maximum = state
+            for i, fn in enumerate(fns):
+                if fn == "count":
+                    out.append(count if slots[i] is None else nonnull[i])
+                elif fn == "sum":
+                    out.append(total[i] if nonnull[i] else None)
+                elif fn == "avg":
+                    out.append(total[i] / nonnull[i] if nonnull[i] else None)
+                elif fn == "min":
+                    out.append(minimum[i])
+                else:  # max
+                    out.append(maximum[i])
+            yield tuple(out)
+
+
+class _CDistinct(CompiledNode):
+    __slots__ = ("child",)
+
+    def __init__(self, child: CompiledNode) -> None:
+        self.child = child
+        self.schema = child.schema
+
+    def iterate(self, inputs):
+        seen: set[tuple] = set()
+        add = seen.add
+        for row in self.child.iterate(inputs):
+            if row not in seen:
+                add(row)
+                yield row
+
+
+# ---------------------------------------------------------------------------
+# Query-level wrappers
+# ---------------------------------------------------------------------------
+class CompiledQuery:
+    """A compiled single SELECT block: build once, execute per window."""
+
+    __slots__ = ("root", "bound", "schema", "_functions")
+
+    def __init__(self, root: CompiledNode, bound, functions) -> None:
+        self.root = root
+        self.bound = bound
+        self.schema = root.schema
+        self._functions = functions
+
+    def execute(self, inputs: dict[str, Multiset]) -> QueryResult:
+        bound = self.bound
+        if not bound.order_by and bound.limit is None:
+            return QueryResult(
+                rows=Multiset(self.root.iterate(inputs)), schema=self.schema
+            )
+        rows = list(self.root.iterate(inputs))
+        if bound.order_by:
+            rows = _order_rows(rows, self.schema, bound.order_by, self._functions)
+        if bound.limit is not None:
+            rows = rows[: bound.limit]
+        return QueryResult(rows=Multiset(rows), schema=self.schema, ordered_rows=rows)
+
+
+class CompiledUnion:
+    """A compiled UNION ALL chain (bag union of member results)."""
+
+    __slots__ = ("queries", "schema")
+
+    def __init__(self, queries: list["CompiledQuery | CompiledUnion"]) -> None:
+        self.queries = queries
+        self.schema = queries[0].schema
+
+    def execute(self, inputs: dict[str, Multiset]) -> QueryResult:
+        results = [q.execute(inputs) for q in self.queries]
+        rows = Multiset()
+        for r in results:
+            rows = rows + r.rows
+        return QueryResult(rows=rows, schema=results[0].schema)
+
+
+# ---------------------------------------------------------------------------
+# Planning (mirrors QueryExecutor._plan, sharing its schedule + helpers)
+# ---------------------------------------------------------------------------
+def compile_query(bound, functions) -> "CompiledQuery | CompiledUnion":
+    """Lower a bound query (or UNION ALL chain) into a compiled plan."""
+    from repro.sql.binder import BoundQuery, BoundUnion
+
+    if isinstance(bound, BoundUnion):
+        return CompiledUnion([compile_query(q, functions) for q in bound.queries])
+    if not isinstance(bound, BoundQuery):
+        raise CompileError(f"cannot compile {type(bound).__name__}")
+    return CompiledQuery(_compile_select(bound, functions), bound, functions)
+
+
+def _compile_source(src, functions) -> CompiledNode:
+    if src.subquery is not None:
+        inner = compile_query(src.subquery, functions)
+        schema = _qualify(_dequalify(inner.schema), src.name)
+        return _CSubquery(inner, schema)
+    return _CScan(src.stream_name, _qualify(src.schema, src.name))
+
+
+def _compile_select(bound, functions) -> CompiledNode:
+    per_source: dict[str, CompiledNode] = {
+        src.name: _compile_source(src, functions) for src in bound.sources
+    }
+    for name, preds in bound.local_predicates.items():
+        pred = conjoin(preds)
+        if pred is not None:
+            node = per_source[name]
+            per_source[name] = _CFilter(
+                node, compile_scalar(pred, node.schema, functions)
+            )
+
+    order = [src.name for src in bound.sources]
+    current = per_source[order[0]]
+    for step in join_schedule(bound):
+        right = per_source[step.source]
+        if step.is_cross:
+            current = _CNestedLoop(current, right, None)
+        else:
+            lpos = [current.schema.position(k) for k in step.keys_left]
+            rpos = [right.schema.position(k) for k in step.keys_right]
+            current = _CHashJoin(current, right, lpos, rpos)
+
+    residual = conjoin(bound.residual_predicates)
+    if residual is not None:
+        current = _CFilter(
+            current, compile_scalar(residual, current.schema, functions)
+        )
+
+    if bound.is_aggregate:
+        current = _CAggregate(current, bound.group_by, bound.aggregates, functions)
+        if bound.having is not None:
+            current = _CFilter(
+                current, compile_scalar(bound.having, current.schema, functions)
+            )
+    elif not bound.select_star:
+        outputs = bound.outputs
+        row_fn = compile_tuple([e for _, e in outputs], current.schema, functions)
+        types = [_infer_type(expr, current.schema) for _, expr in outputs]
+        schema = Schema(
+            [Column(name, t) for (name, _), t in zip(outputs, types)]
+        )
+        current = _CProject(current, row_fn, schema)
+
+    if bound.distinct:
+        current = _CDistinct(current)
+    return current

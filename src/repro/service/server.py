@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import heapq
 from dataclasses import dataclass
 from typing import Callable
 
@@ -500,33 +501,14 @@ class TriageServer:
                 ).to_frame()
             )
             return True
-        timestamps = frame.get("timestamps")
-        schema = self.pipeline.bound.source(source).schema
         queue = self.queues[source]
-        accepted = 0
-        late = 0
-        for i, row in enumerate(rows):
-            tup_row = tuple(row)
-            try:
-                schema.validate_row(tup_row)
-            except SchemaError as exc:
-                await session.send_now(
-                    ProtocolError("bad-row", f"row {i}: {exc}").to_frame()
-                )
-                return True
-            ts = float(timestamps[i]) if timestamps is not None else now
-            wids = list(self.config.window.window_ids(ts))
-            if self._last_closed_wid is not None and (
-                not wids or wids[0] <= self._last_closed_wid
-            ):
-                late += 1
-                self._c_late.inc(stream=source)
-                continue
-            for wid in wids:
-                self._arrived[source][wid] = self._arrived[source].get(wid, 0) + 1
-                self._known_windows.add(wid)
-            queue.offer(StreamTuple(ts, tup_row))
-            accepted += 1
+        try:
+            accepted, late = self.ingest_rows(
+                source, rows, timestamps=frame.get("timestamps"), now=now
+            )
+        except SchemaError as exc:
+            await session.send_now(ProtocolError("bad-row", str(exc)).to_frame())
+            return True
         session.published_rows += accepted
         self._c_rows.inc(accepted, stream=source)
         self._g_depth.set(len(queue), stream=source)
@@ -541,6 +523,48 @@ class TriageServer:
             }
         )
         return True
+
+    def ingest_rows(
+        self,
+        source: str,
+        rows,
+        timestamps=None,
+        now: float | None = None,
+    ) -> tuple[int, int]:
+        """Validate, window-account, and enqueue a batch for ``source``.
+
+        Returns ``(accepted, late)``.  Raises :class:`SchemaError` (prefixed
+        with the row index) on the first invalid row.  This is the publish
+        hot path, shared by the PUBLISH handler and the bench harness's
+        service-ingest suite.
+        """
+        now = self.now() if now is None else now
+        schema = self.pipeline.bound.source(source).schema
+        queue = self.queues[source]
+        ids = self.config.window.ids
+        arrived = self._arrived[source]
+        accepted = 0
+        late = 0
+        for i, row in enumerate(rows):
+            tup_row = tuple(row)
+            try:
+                schema.validate_row(tup_row)
+            except SchemaError as exc:
+                raise SchemaError(f"row {i}: {exc}") from None
+            ts = float(timestamps[i]) if timestamps is not None else now
+            wids = ids(ts)
+            if self._last_closed_wid is not None and (
+                not wids or wids[0] <= self._last_closed_wid
+            ):
+                late += 1
+                self._c_late.inc(stream=source)
+                continue
+            for wid in wids:
+                arrived[wid] = arrived.get(wid, 0) + 1
+                self._known_windows.add(wid)
+            queue.offer(StreamTuple(ts, tup_row))
+            accepted += 1
+        return accepted, late
 
     async def _handle_stats(self, session: Session, frame: dict) -> bool:
         fmt = frame.get("format") or "json"
@@ -598,21 +622,39 @@ class TriageServer:
         return await self._close_windows(now)
 
     def _drain_engine(self, budget: int | None) -> None:
-        """Poll up to ``budget`` tuples (None = everything), oldest first."""
+        """Poll up to ``budget`` tuples (None = everything), oldest first.
+
+        Queue heads are tracked in a heap instead of a linear peek over
+        every source per tuple.  Heads can shift underneath us (a racing
+        publisher thread may trigger a head eviction), so entries are
+        revalidated against the live head on pop; rows offered to a queue
+        *after* its heap entry was consumed are picked up next tick.
+        """
         polled = 0
-        while budget is None or polled < budget:
-            best_source, best_ts = None, None
-            for s, q in self.queues.items():
-                ts = q.peek_timestamp()
-                if ts is not None and (best_ts is None or ts < best_ts):
-                    best_source, best_ts = s, ts
-            if best_source is None:
-                return
-            tup = self.queues[best_source].poll()
+        names = list(self.queues)
+        heap = []
+        for idx, s in enumerate(names):
+            ts = self.queues[s].peek_timestamp()
+            if ts is not None:
+                heap.append((ts, idx))
+        heapq.heapify(heap)
+        while (budget is None or polled < budget) and heap:
+            ts, idx = heapq.heappop(heap)
+            best_source = names[idx]
+            q = self.queues[best_source]
+            cur = q.peek_timestamp()
+            if cur != ts:
+                if cur is not None:  # pragma: no cover - racing publisher
+                    heapq.heappush(heap, (cur, idx))
+                continue
+            tup = q.poll()
             if tup is None:  # pragma: no cover - racing publisher thread
                 continue
+            nts = q.peek_timestamp()
+            if nts is not None:
+                heapq.heappush(heap, (nts, idx))
             polled += 1
-            for wid in self.config.window.window_ids(tup.timestamp):
+            for wid in self.config.window.ids(tup.timestamp):
                 if (
                     self._last_closed_wid is not None
                     and wid <= self._last_closed_wid
@@ -631,8 +673,13 @@ class TriageServer:
                     self.pipeline.insert_into_synopsis(best_source, syn, tup.row)
 
     async def _close_windows(self, now: float, *, force: bool = False) -> list[dict]:
-        """Evaluate + broadcast every window that is due (all, if forced)."""
-        emitted: list[dict] = []
+        """Evaluate + broadcast every window that is due (all, if forced).
+
+        Due windows are collected first and evaluated as one batch through
+        :meth:`DataTriagePipeline.evaluate_windows`, so a backlog of closes
+        (e.g. after a stall) benefits from parallel window evaluation.
+        """
+        due: list[int] = []
         for wid in sorted(self._known_windows):
             _, end = self.config.window.bounds(wid)
             if not force:
@@ -643,7 +690,11 @@ class TriageServer:
                     for q in self.queues.values()
                 ):
                     break  # engine still owes this window kept tuples
-            emitted.append(self._evaluate_and_frame(wid, now))
+            due.append(wid)
+        if not due:
+            return []
+        emitted = self._evaluate_windows_frames(due, now)
+        for wid in due:
             self._known_windows.discard(wid)
             self._last_closed_wid = (
                 wid
@@ -659,24 +710,48 @@ class TriageServer:
         return emitted
 
     def _evaluate_and_frame(self, wid: int, now: float) -> dict:
+        return self._evaluate_windows_frames([wid], now)[0]
+
+    def _evaluate_windows_frames(self, wids: list[int], now: float) -> list[dict]:
+        """Evaluate a batch of closing windows and frame each RESULT."""
         use_shadow = self._build_kept_syn
+        sources = self._sources
         kept_rows = {
-            s: self._kept_rows[s].pop(wid, Multiset()) for s in self._sources
+            s: {w: self._kept_rows[s].pop(w, Multiset()) for w in wids}
+            for s in sources
         }
-        kept_syn = {s: self._kept_syn[s].pop(wid, None) for s in self._sources}
-        released = {s: self.queues[s].release_window(wid) for s in self._sources}
-        outcome = self.pipeline.evaluate_window(
-            wid,
+        kept_syn = {
+            s: {w: self._kept_syn[s].pop(w, None) for w in wids} for s in sources
+        }
+        released = {
+            s: {w: self.queues[s].release_window(w) for w in wids}
+            for s in sources
+        }
+        outcomes = self.pipeline.evaluate_windows(
+            window_ids=list(wids),
             kept_rows=kept_rows,
             kept_synopses=kept_syn if use_shadow else None,
             dropped_synopses=(
-                {s: released[s].synopsis for s in self._sources}
+                {
+                    s: {w: released[s][w].synopsis for w in wids}
+                    for s in sources
+                }
                 if use_shadow
                 else None
             ),
-            dropped_counts={s: released[s].dropped_count for s in self._sources},
-            arrived={s: self._arrived[s].pop(wid, 0) for s in self._sources},
+            dropped_counts={
+                s: {w: released[s][w].dropped_count for w in wids}
+                for s in sources
+            },
+            arrived={
+                s: {w: self._arrived[s].pop(w, 0) for w in wids}
+                for s in sources
+            },
         )
+        return [self._frame_outcome(o, now) for o in outcomes]
+
+    def _frame_outcome(self, outcome, now: float) -> dict:
+        wid = outcome.window_id
         start, end = self.config.window.bounds(wid)
         latency = max(0.0, now - end)
         self._h_window_latency.observe(latency)

@@ -65,9 +65,24 @@ class SparseCubicHistogram(Synopsis):
     # Synopsis interface
     # ------------------------------------------------------------------
     def insert(self, values: Sequence[float], weight: float = 1.0) -> None:
-        self._check_value(values)
-        coords = tuple(self._coord(i, v) for i, v in enumerate(values))
-        self._buckets[coords] = self._buckets.get(coords, 0.0) + weight
+        # One fused pass validates and grids each value: insert runs once
+        # per kept *and* per dropped tuple, so the generic _check_value +
+        # per-dim _coord call chain is too slow here.
+        dims = self.dimensions
+        if len(values) != len(dims):
+            raise SynopsisError(
+                f"tuple arity {len(values)} != {len(dims)} dimensions"
+            )
+        width = self.bucket_width
+        coords = []
+        for v, d in zip(values, dims):
+            if not d.lo <= v <= d.hi:
+                raise SynopsisError(
+                    f"value {v!r} outside domain [{d.lo}, {d.hi}] of {d.name}"
+                )
+            coords.append(int((v - d.lo) // width))
+        key = tuple(coords)
+        self._buckets[key] = self._buckets.get(key, 0.0) + weight
 
     def total(self) -> float:
         return sum(self._buckets.values())

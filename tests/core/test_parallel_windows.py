@@ -1,0 +1,131 @@
+"""``parallel_windows = N`` must change wall-clock cost, never results."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.core.pipeline import DataTriagePipeline
+from repro.core.strategies import PipelineConfig, ShedStrategy
+from repro.engine import WindowSpec
+from repro.experiments import (
+    PAPER_QUERY,
+    STREAM_NAMES,
+    ExperimentParams,
+    paper_catalog,
+)
+from repro.sources.arrival import MarkovBurstArrival, generate_stream
+from repro.sources.generators import paper_row_generators
+
+
+def bursty_fixture(params: ExperimentParams):
+    arrival = MarkovBurstArrival(
+        base_rate=1800.0 / 100.0 / len(STREAM_NAMES),
+        burst_speedup=100.0,
+        burst_fraction=0.6,
+        expected_burst_length=200.0,
+    )
+    window = WindowSpec(width=params.tuples_per_window / arrival.mean_rate)
+    rng = random.Random(11)
+    gens = paper_row_generators()
+    burst_gens = {n: g.shifted(params.burst_mean_shift) for n, g in gens.items()}
+    streams = {
+        name: generate_stream(
+            params.tuples_per_stream, arrival, gens[name], burst_gens[name], rng
+        )
+        for name in STREAM_NAMES
+    }
+    return streams, window
+
+
+def base_config(window, params: ExperimentParams) -> PipelineConfig:
+    return PipelineConfig(
+        strategy=ShedStrategy.DATA_TRIAGE,
+        window=window,
+        queue_capacity=params.queue_capacity,
+        policy=params.policy,
+        synopsis_factory=params.synopsis_factory,
+        service_time=params.service_time,
+        seed=11,
+    )
+
+
+def assert_runs_identical(a, b):
+    assert a.total_arrived == b.total_arrived
+    assert a.total_kept == b.total_kept
+    assert a.total_dropped == b.total_dropped
+    assert [w.window_id for w in a.windows] == [w.window_id for w in b.windows]
+    for wa, wb in zip(a.windows, b.windows):
+        assert wa.merged == wb.merged
+        assert wa.exact == wb.exact
+        assert wa.estimated == wb.estimated
+        assert wa.ideal == wb.ideal
+        assert wa.arrived == wb.arrived
+        assert wa.kept == wb.kept
+        assert wa.dropped == wb.dropped
+
+
+class TestParallelWindows:
+    def test_identical_to_serial(self):
+        params = ExperimentParams(tuples_per_window=40, n_windows=6)
+        streams, window = bursty_fixture(params)
+        config = base_config(window, params)
+
+        serial = DataTriagePipeline(paper_catalog(), PAPER_QUERY, config).run(
+            streams
+        )
+        parallel_pipe = DataTriagePipeline(
+            paper_catalog(),
+            PAPER_QUERY,
+            replace(config, parallel_windows=2),
+        )
+        try:
+            parallel = parallel_pipe.run(streams)
+        finally:
+            parallel_pipe.close()
+        assert_runs_identical(serial, parallel)
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        from repro.perf.parallel import ParallelWindowEvaluator
+
+        params = ExperimentParams(tuples_per_window=30, n_windows=4)
+        streams, window = bursty_fixture(params)
+        config = base_config(window, params)
+
+        serial = DataTriagePipeline(paper_catalog(), PAPER_QUERY, config).run(
+            streams
+        )
+
+        def boom(self, **kwargs):
+            raise RuntimeError("pool died")
+
+        monkeypatch.setattr(ParallelWindowEvaluator, "evaluate", boom)
+        pipe = DataTriagePipeline(
+            paper_catalog(), PAPER_QUERY, replace(config, parallel_windows=3)
+        )
+        try:
+            fallback = pipe.run(streams)
+        finally:
+            pipe.close()
+        assert_runs_identical(serial, fallback)
+
+    def test_single_window_batch_stays_serial(self):
+        params = ExperimentParams(tuples_per_window=30, n_windows=1)
+        streams, window = bursty_fixture(params)
+        pipe = DataTriagePipeline(
+            paper_catalog(),
+            PAPER_QUERY,
+            replace(base_config(window, params), parallel_windows=4),
+        )
+        try:
+            pipe.run(streams)
+            # One window per batch never pays pool startup.
+            assert pipe._parallel is None
+        finally:
+            pipe.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(parallel_windows=0)

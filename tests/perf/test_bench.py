@@ -1,0 +1,95 @@
+"""The bench harness: stable schema, sane math, real suites runnable."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.perf import bench
+
+REQUIRED_SUITE_FIELDS = {
+    "ops_per_sec",
+    "p50_ms",
+    "p95_ms",
+    "reps",
+    "units_per_rep",
+    "unit",
+}
+
+
+class TestTimeSuite:
+    def test_fields_and_math(self):
+        r = bench._time_suite(lambda: None, reps=5, units_per_rep=100, unit="ops")
+        assert set(r) == REQUIRED_SUITE_FIELDS
+        assert r["reps"] == 5
+        assert r["units_per_rep"] == 100
+        assert r["unit"] == "ops"
+        assert r["p50_ms"] <= r["p95_ms"]
+        assert r["ops_per_sec"] is None or r["ops_per_sec"] > 0
+
+
+class TestRunBenchSuites:
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench suites"):
+            bench.run_bench_suites(suites=["no-such-suite"])
+
+    def test_document_schema(self, monkeypatch, tmp_path):
+        monkeypatch.setitem(
+            bench.SUITES,
+            "fake",
+            lambda quick: bench._time_suite(lambda: None, 3, 10, "ops"),
+        )
+        doc = bench.run_bench_suites(quick=True, suites=["fake"])
+        assert doc["schema"] == bench.BENCH_SCHEMA == "repro-bench/v1"
+        assert doc["quick"] is True
+        assert isinstance(doc["git_rev"], str) and doc["git_rev"]
+        assert set(doc["suites"]) == {"fake"}
+        assert set(doc["suites"]["fake"]) == REQUIRED_SUITE_FIELDS
+
+        path = bench.write_results(doc, tmp_path / "BENCH_pipeline.json")
+        assert json.loads(path.read_text()) == doc
+        text = bench.render_text(doc)
+        assert "repro-bench/v1" in text
+        assert "fake" in text
+
+    def test_real_suite_quick(self):
+        # The cheapest real suite end to end, to keep the harness honest.
+        doc = bench.run_bench_suites(quick=True, suites=["synopsis_join"])
+        r = doc["suites"]["synopsis_join"]
+        assert set(r) == REQUIRED_SUITE_FIELDS
+        assert r["ops_per_sec"] > 0
+        assert r["unit"] == "evaluations"
+
+
+class TestLazyExports:
+    def test_perf_package_reexports(self):
+        import repro.perf as perf
+
+        assert perf.BENCH_SCHEMA == "repro-bench/v1"
+        assert perf.run_bench_suites is bench.run_bench_suites
+        with pytest.raises(AttributeError):
+            perf.does_not_exist
+
+
+class TestCli:
+    def test_bench_quick_writes_results(self, monkeypatch, tmp_path):
+        from repro import cli
+
+        monkeypatch.setitem(
+            bench.SUITES,
+            "fake",
+            lambda quick: bench._time_suite(lambda: None, 3, 10, "ops"),
+        )
+        out_path = tmp_path / "BENCH_pipeline.json"
+        out = io.StringIO()
+        rc = cli.main(
+            ["bench", "--quick", "--suite", "fake", "--out", str(out_path)],
+            out=out,
+        )
+        assert rc == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro-bench/v1"
+        assert set(doc["suites"]) == {"fake"}
+        assert "results written to" in out.getvalue()
