@@ -8,6 +8,7 @@
     python -m repro.cli explain "SELECT ..."        # engine + rewrite plans
     python -m repro.cli rewrite "SELECT ..."        # Figures 4/5 SQL
     python -m repro.cli bench [--quick]             # perf regression suites
+    python -m repro.cli trace [--out trace.json]    # traced Figure 9 run
     python -m repro.cli serve [--port 7077] [...]   # live triage service
 
 All load experiments print the figure's data table, a terminal chart, and a
@@ -92,6 +93,46 @@ def build_parser() -> argparse.ArgumentParser:
         dest="suites",
         metavar="NAME",
         help="run only this suite (repeatable; default: all)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run an instrumented Figure 9 pipeline; write a Chrome trace",
+    )
+    trace.add_argument(
+        "--peak", type=float, default=2000.0, help="peak arrival rate, tuples/s"
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--quick", action="store_true", help="smaller workload (2 windows)"
+    )
+    trace.add_argument(
+        "--out",
+        default="trace.json",
+        help="trace output path (default: trace.json)",
+    )
+    trace.add_argument(
+        "--format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="chrome (Perfetto-loadable JSON, default) or jsonl",
+    )
+    trace.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="also write a Prometheus text snapshot of the run's metrics",
+    )
+    trace.add_argument(
+        "--capacity",
+        type=int,
+        default=262144,
+        help="trace ring-buffer capacity, events (oldest evicted beyond it)",
+    )
+    trace.add_argument(
+        "--no-tuple-events",
+        action="store_true",
+        help="spans only; skip per-tuple lifecycle instants",
     )
 
     serve = sub.add_parser(
@@ -216,6 +257,52 @@ def cmd_bench(args, out) -> int:
     return 0
 
 
+def cmd_trace(args, out) -> int:
+    from repro.core.strategies import ShedStrategy
+    from repro.obs import Observability, build_window_reports, summarize_reports
+    from repro.obs.trace import validate_chrome_trace
+    from repro.experiments import bursty_pipeline
+
+    params = ExperimentParams(n_windows=2 if args.quick else 8)
+    obs = Observability(
+        trace=True,
+        trace_capacity=args.capacity,
+        tuple_events=not args.no_tuple_events,
+    )
+    pipeline, streams = bursty_pipeline(
+        ShedStrategy.DATA_TRIAGE, args.peak, params, args.seed, obs=obs
+    )
+    result = pipeline.run(streams)
+
+    tracer = obs.tracer
+    if args.format == "chrome":
+        validate_chrome_trace(tracer.to_chrome())
+    tracer.write(args.out, fmt=args.format)
+    reports = build_window_reports(
+        result, pipeline.config.window, phase_seconds=obs.phase_seconds
+    )
+    summary = summarize_reports(reports)
+    out.write(
+        f"traced Figure 9 run: peak {args.peak:g} tuples/s, "
+        f"{summary['windows']} windows, "
+        f"drop fraction {result.drop_fraction:.1%}\n"
+    )
+    if "mean_rms_error" in summary:
+        out.write(
+            f"mean RMS error {summary['mean_rms_error']:.3f} "
+            f"(worst window {summary['worst_error_window']})\n"
+        )
+    out.write(
+        f"{len(tracer)} events retained ({tracer.emitted} emitted, "
+        f"{tracer.dropped} evicted) -> {args.out} [{args.format}]\n"
+    )
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fp:
+            fp.write(obs.registry.render_prometheus())
+        out.write(f"metrics snapshot -> {args.metrics_out}\n")
+    return 0
+
+
 def cmd_serve(args, out) -> int:
     from repro.core.strategies import PipelineConfig
     from repro.engine.window import WindowSpec
@@ -279,6 +366,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return cmd_rewrite(args, out)
     if args.command == "bench":
         return cmd_bench(args, out)
+    if args.command == "trace":
+        return cmd_trace(args, out)
     if args.command == "serve":
         return cmd_serve(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

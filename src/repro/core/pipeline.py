@@ -30,7 +30,9 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.algebra.multiset import Multiset
 from repro.core.controller import LoadController
@@ -46,12 +48,16 @@ from repro.core.triage_queue import TriageQueue
 from repro.engine.catalog import Catalog
 from repro.engine.executor import QueryExecutor
 from repro.engine.types import StreamTuple
+from repro.obs.metrics import record_hook_error
 from repro.rewrite.plan import RewriteError, SPJPlan
 from repro.rewrite.shadow import ShadowPlan
 from repro.sql.ast import SelectStmt
 from repro.sql.binder import Binder, BoundQuery
 from repro.sql.parser import parse_statement
 from repro.synopses.base import Dimension, Synopsis
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
 
 
 @dataclass
@@ -105,12 +111,24 @@ class DataTriagePipeline:
         query: str | SelectStmt | BoundQuery,
         config: PipelineConfig,
         domains: dict[str, tuple[int, int]] | None = None,
+        *,
+        obs: "Observability | None" = None,
     ) -> None:
         """``domains`` maps qualified columns (``'R.a'``) to value bounds;
         unlisted columns default to the paper's 1..100.
+
+        ``obs`` attaches an observability bundle (:class:`repro.obs.Observability`):
+        runs then record queue/engine metrics into its registry, spans and
+        tuple-lifecycle events into its tracer, and per-window phase timings
+        into its ``phase_seconds`` store.  ``None`` (default) keeps every
+        hot path uninstrumented.
         """
         self.catalog = catalog
         self.config = config
+        self.obs = obs
+        #: ``hook(outcome)`` callbacks run once per evaluated
+        #: :class:`WindowOutcome` — see :meth:`add_window_hook`.
+        self.window_hooks: list = []
         if isinstance(query, str):
             stmt = parse_statement(query)
             query = Binder(catalog).bind(stmt)
@@ -232,6 +250,71 @@ class DataTriagePipeline:
             observer=observer,
             thread_safe=thread_safe,
         )
+
+    def add_window_hook(self, hook) -> None:
+        """Register ``hook(outcome)``, called once per evaluated window.
+
+        Hooks run after :meth:`evaluate_windows` produces its outcomes (on
+        the serial *and* the parallel path), in registration order.  They
+        are best-effort observers: an exception is swallowed and counted as
+        ``obs_hook_errors_total{site="window_hook"}``, never aborting a run.
+        """
+        self.window_hooks.append(hook)
+
+    def _dispatch_window_hooks(self, outcomes: list[WindowOutcome]) -> None:
+        if not self.window_hooks:
+            return
+        registry = self.obs.registry if self.obs is not None else None
+        for outcome in outcomes:
+            for hook in self.window_hooks:
+                try:
+                    hook(outcome)
+                except Exception:
+                    record_hook_error("window_hook", registry)
+
+    def _queue_metrics_observer(self):
+        """A queue observer writing the triage metric catalog to ``obs``."""
+        reg = self.obs.registry
+        offered = reg.counter(
+            "triage_offered_total", "Tuples offered to triage queues", ("stream",)
+        )
+        polled = reg.counter(
+            "triage_polled_total", "Tuples consumed by the engine", ("stream",)
+        )
+        drops = reg.counter(
+            "triage_drops_total", "Tuples shed by the drop policy", ("stream",)
+        )
+        summarized = reg.counter(
+            "triage_summarized_total",
+            "Shed tuples folded into window synopses",
+            ("stream",),
+        )
+        shed_bytes = reg.counter(
+            "triage_shed_bytes_total",
+            "Approximate in-memory bytes of shed rows",
+            ("stream",),
+        )
+        decisions = reg.counter(
+            "triage_policy_decisions_total",
+            "Drop-policy victim decisions",
+            ("stream", "decision"),
+        )
+
+        def observe(name: str, event: str, value: float) -> None:
+            if event == "offer":
+                offered.inc(value, stream=name)
+            elif event == "poll":
+                polled.inc(value, stream=name)
+            elif event == "drop":
+                drops.inc(value, stream=name)
+            elif event == "summarize":
+                summarized.inc(value, stream=name)
+            elif event == "shed_bytes":
+                shed_bytes.inc(value, stream=name)
+            elif event in ("drop_incoming", "evict_buffered"):
+                decisions.inc(value, stream=name, decision=event)
+
+        return observe
 
     def make_kept_synopsis(self, source: str) -> Synopsis:
         """A fresh kept-tuple synopsis for one (source, window) cell."""
@@ -362,6 +445,15 @@ class DataTriagePipeline:
     # ------------------------------------------------------------------
     def _run_queued(self, events, window_ids, arrived, sources) -> RunResult:
         cfg = self.config
+        # Observability: `obs is None` is THE fast path — every
+        # instrumentation site below is behind that check (or the cheaper
+        # booleans derived here), so an unobserved run pays one branch per
+        # arrival and nothing per polled tuple.
+        obs = self.obs
+        tracer = obs.tracer if obs is not None else None
+        trace_on = tracer is not None and tracer.enabled
+        tuple_on = trace_on and tracer.tuple_events
+        observer = self._queue_metrics_observer() if obs is not None else None
         queues: dict[str, TriageQueue] = {}
         for i, source in enumerate(sources):
             queues[source] = TriageQueue(
@@ -374,6 +466,7 @@ class DataTriagePipeline:
                 window=cfg.window,
                 summarize=cfg.strategy.summarizes_drops,
                 seed=cfg.seed * 7919 + i,
+                observer=observer,
             )
 
         kept_rows: dict[str, dict[int, Multiset]] = {s: {} for s in sources}
@@ -419,6 +512,8 @@ class DataTriagePipeline:
                 heapq.heappop(heap)
                 source = sources[idx]
                 tup = qlist[idx].poll()
+                if tuple_on:
+                    tracer.tuple_event("poll", source, tup.timestamp)
                 # Unconditional re-push: the next head may carry the *same*
                 # timestamp, which sync_head's change test would miss.
                 nts = qlist[idx].peek_timestamp()
@@ -464,23 +559,84 @@ class DataTriagePipeline:
             control_dt = min(cfg.adaptive_staleness / 4, 50 * cfg.service_time)
             next_control = control_dt
 
+        g_capacity = g_rate = g_frac = h_depth = None
+        if obs is not None:
+            reg = obs.registry
+            g_capacity = reg.gauge(
+                "triage_queue_capacity", "Current queue capacity", ("stream",)
+            )
+            h_depth = reg.histogram(
+                "triage_queue_depth", "Depth sampled at each arrival", ("stream",)
+            )
+            if controllers is not None:
+                g_rate = reg.gauge(
+                    "controller_arrival_rate", "EWMA arrivals/second", ("stream",)
+                )
+                g_frac = reg.gauge(
+                    "controller_drop_fraction", "EWMA drop fraction", ("stream",)
+                )
+            for s in sources:
+                g_capacity.set(queues[s].capacity, stream=s)
+        drain_seconds = 0.0
+
         source_index = {s: i for i, s in enumerate(sources)}
         for ts, _, source, tup in events:
-            engine_free = drain(until=ts)
+            if obs is None:
+                engine_free = drain(until=ts)
+            else:
+                t0 = tracer.now()
+                polled_before = (
+                    sum(q.stats.polled for q in qlist) if trace_on else 0
+                )
+                engine_free = drain(until=ts)
+                drain_seconds += tracer.now() - t0
+                if trace_on:
+                    n = sum(q.stats.polled for q in qlist) - polled_before
+                    if n:
+                        tracer.complete("drain", t0, polled=n, until=ts)
             if controllers is not None and ts >= next_control:
                 elapsed = control_dt
                 while next_control <= ts:
                     next_control += control_dt
                 for s in sources:
-                    controllers[s].observe(
+                    est = controllers[s].observe(
                         interval_seconds=elapsed, stats=queues[s].stats
                     )
                     queues[s].capacity = controllers[s].recommended_capacity(
                         cfg.service_time
                     )
-            queues[source].offer(tup)
+                    if obs is not None:
+                        g_capacity.set(queues[s].capacity, stream=s)
+                        g_rate.set(est.arrival_rate, stream=s)
+                        g_frac.set(est.drop_fraction, stream=s)
+            q = queues[source]
+            if obs is None:
+                q.offer(tup)
+            else:
+                if tuple_on:
+                    tracer.tuple_event("ingest", source, ts)
+                dropped_before = q.stats.dropped
+                q.offer(tup)
+                if tuple_on:
+                    tracer.tuple_event(
+                        "shed" if q.stats.dropped > dropped_before else "enqueue",
+                        source,
+                        ts,
+                    )
+                h_depth.observe(len(q), stream=source)
             sync_head(source_index[source])
-        engine_free = drain(until=math.inf)
+        if obs is None:
+            engine_free = drain(until=math.inf)
+        else:
+            t0 = tracer.now()
+            polled_before = sum(q.stats.polled for q in qlist) if trace_on else 0
+            engine_free = drain(until=math.inf)
+            drain_seconds += tracer.now() - t0
+            if trace_on:
+                n = sum(q.stats.polled for q in qlist) - polled_before
+                if n:
+                    tracer.complete("drain", t0, polled=n, final=True)
+            obs.record_run_phase("drain", drain_seconds)
 
         dropped_syn: dict[str, dict[int, Synopsis | None]] = {s: {} for s in sources}
         dropped_counts: dict[str, dict[int, int]] = {s: {} for s in sources}
@@ -546,6 +702,7 @@ class DataTriagePipeline:
         ``window_ids`` order either way, and any pool failure falls back to
         the serial path, so the knob never changes the result.
         """
+        outcomes: list[WindowOutcome] | None = None
         workers = self.config.parallel_windows
         if workers is not None and workers > 1 and len(window_ids) > 1:
             try:
@@ -553,7 +710,7 @@ class DataTriagePipeline:
                     from repro.perf.parallel import ParallelWindowEvaluator
 
                     self._parallel = ParallelWindowEvaluator(self, workers)
-                return self._parallel.evaluate(
+                outcomes = self._parallel.evaluate(
                     window_ids=window_ids,
                     kept_rows=kept_rows,
                     kept_synopses=kept_synopses,
@@ -564,15 +721,18 @@ class DataTriagePipeline:
                 )
             except Exception:
                 self.close()  # a broken pool would fail every later call
-        return self._evaluate_windows_serial(
-            window_ids,
-            kept_rows,
-            kept_synopses,
-            dropped_synopses,
-            dropped_counts,
-            arrived,
-            ideal_inputs,
-        )
+        if outcomes is None:
+            outcomes = self._evaluate_windows_serial(
+                window_ids,
+                kept_rows,
+                kept_synopses,
+                dropped_synopses,
+                dropped_counts,
+                arrived,
+                ideal_inputs,
+            )
+        self._dispatch_window_hooks(outcomes)
+        return outcomes
 
     def close(self) -> None:
         """Release the parallel-evaluation pool, if one was started."""
@@ -598,12 +758,24 @@ class DataTriagePipeline:
         # input bag, so one shared empty Multiset is safe and avoids a
         # throwaway Counter per (source, window).
         empty = Multiset()
+        # Per-window phase accounting (exact/shadow/merge) lands in
+        # ``obs.phase_seconds`` and the tracer; the parallel path rebuilds
+        # pipelines without obs in its workers, so phases are recorded on
+        # this serial path only.
+        obs = self.obs
+        tracer = obs.tracer if obs is not None else None
+        trace_on = tracer is not None and tracer.enabled
+        clock = time.perf_counter
         windows: list[WindowOutcome] = []
         for wid in window_ids:
+            if trace_on:
+                tracer.instant("window_close", cat="window", window=wid)
             exact_inputs = {
                 stream_of[s]: kept_rows[s].get(wid, empty) for s in sources
             }
+            t0 = clock()
             result = self.executor.execute(self.bound, exact_inputs)
+            t1 = clock()
 
             result_syn: Synopsis | None = None
             if dropped_synopses is not None:
@@ -612,6 +784,7 @@ class DataTriagePipeline:
                     {s: kept_synopses[s].get(wid) for s in sources},
                     {s: dropped_synopses[s].get(wid) for s in sources},
                 )
+            t2 = clock()
 
             raw_rows = None
             exact: Groups = {}
@@ -627,8 +800,22 @@ class DataTriagePipeline:
                     merged = merge_groups(exact, estimated, self.merge_spec)
                 else:
                     merged = exact
+            t3 = clock()
 
             ideal = self._ideal_for(ideal_inputs, wid) if ideal_inputs else None
+            if obs is not None:
+                obs.record_phase(wid, "exact", t1 - t0)
+                obs.record_phase(wid, "shadow", t2 - t1)
+                obs.record_phase(wid, "merge", t3 - t2)
+                if ideal_inputs:
+                    obs.record_phase(wid, "ideal", clock() - t3)
+                if trace_on:
+                    tracer.complete("exact", t0, t1, cat="window", window=wid)
+                    tracer.complete("shadow", t1, t2, cat="window", window=wid)
+                    tracer.complete("merge", t2, t3, cat="window", window=wid)
+                    tracer.instant(
+                        "emit", cat="window", window=wid, rows=len(result.rows)
+                    )
             windows.append(
                 WindowOutcome(
                     window_id=wid,

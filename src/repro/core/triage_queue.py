@@ -32,6 +32,7 @@ stale, which every consumer here tolerates.
 from __future__ import annotations
 
 import random
+import sys
 import threading
 from collections import deque
 from contextlib import nullcontext
@@ -41,13 +42,18 @@ from typing import Callable
 from repro.core.policies import DROP_INCOMING, DropPolicy, PolicyContext
 from repro.engine.types import StreamTuple
 from repro.engine.window import WindowSpec
+from repro.obs.metrics import record_hook_error
 from repro.synopses.base import Dimension, Synopsis, SynopsisFactory
 
 #: Observer callback signature: ``observer(queue_name, event, value)``.
 #: Events emitted: ``"offer"`` (every arrival), ``"drop"`` (a victim was
 #: shed), ``"summarize"`` (the victim was folded into a synopsis),
-#: ``"poll"`` (the engine consumed a tuple).  Used by the service's metrics
-#: layer; ``None`` costs nothing.
+#: ``"poll"`` (the engine consumed a tuple), ``"shed_bytes"`` (approximate
+#: in-memory size of a shed row), and the drop-policy's victim decision —
+#: ``"drop_incoming"`` or ``"evict_buffered"``.  Consumers must ignore
+#: events they do not know; an observer that raises is counted
+#: (``obs_hook_errors_total{site="queue_observer"}``) and never aborts the
+#: queue.  ``None`` costs nothing.
 QueueObserver = Callable[[str, str, float], None]
 
 
@@ -162,10 +168,12 @@ class TriageQueue:
             victim_idx = self.policy.select_victim(self._buffer, tup, context)
             if victim_idx == DROP_INCOMING:
                 victim = tup
+                self._notify("drop_incoming")
             else:
                 victim = self._buffer[victim_idx]
                 del self._buffer[victim_idx]
                 self._buffer.append(tup)
+                self._notify("evict_buffered")
             self._shed(victim)
 
     def poll(self) -> StreamTuple | None:
@@ -179,12 +187,17 @@ class TriageQueue:
 
     def _notify(self, event: str, value: float = 1.0) -> None:
         if self.observer is not None:
-            self.observer(self.name, event, value)
+            try:
+                self.observer(self.name, event, value)
+            except Exception:
+                record_hook_error("queue_observer")
 
     # ------------------------------------------------------------------
     def _shed(self, victim: StreamTuple) -> None:
         self.stats.dropped += 1
         self._notify("drop")
+        if self.observer is not None:
+            self._notify("shed_bytes", float(sys.getsizeof(victim.row)))
         if self.summarize:
             self._notify("summarize")
         # A victim is charged to every window containing it — one window

@@ -22,6 +22,16 @@ def explain(bound) -> str:
     return out.getvalue()
 
 
+def explain_analyze(executor, bound, inputs) -> str:
+    """EXPLAIN ANALYZE: run ``bound`` over ``inputs`` and report per-operator
+    rows, invocations, and wall time for the plan that actually executed
+    (compiled when the executor runs compiled plans, interpreted otherwise).
+    """
+    from repro.obs.profile import profile_execution, render_profile
+
+    return render_profile(profile_execution(executor, bound, inputs))
+
+
 def _w(out: io.StringIO, indent: int, text: str) -> None:
     out.write("  " * indent + text + "\n")
 

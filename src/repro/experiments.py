@@ -113,16 +113,15 @@ def run_constant_rate(
     return _run(strategy, window, params, seed, streams, query)
 
 
-def run_bursty_rate(
-    strategy: ShedStrategy,
+def bursty_workload(
     peak_rate: float,
     params: ExperimentParams,
     seed: int,
     burst_speedup: float = 100.0,
     burst_fraction: float = 0.6,
     expected_burst_length: float = 200.0,
-) -> RunResult:
-    """One Figure 9 run: two-state Markov bursts peaking at ``peak_rate``.
+):
+    """The Figure 9 workload: ``(window, streams)`` for a bursty run.
 
     Burst tuples draw from Gaussians with shifted means (Section 6.2.2); the
     window width is scaled by the process's *mean* rate so the expected
@@ -147,13 +146,59 @@ def run_bursty_rate(
         )
         for name in STREAM_NAMES
     }
-    return _run(strategy, window, params, seed, streams)
+    return window, streams
 
 
-def _run(
-    strategy, window, params: ExperimentParams, seed, streams, query=PAPER_QUERY
+def bursty_pipeline(
+    strategy: ShedStrategy,
+    peak_rate: float,
+    params: ExperimentParams,
+    seed: int,
+    *,
+    obs=None,
+    query: str = PAPER_QUERY,
+    burst_speedup: float = 100.0,
+    burst_fraction: float = 0.6,
+    expected_burst_length: float = 200.0,
+):
+    """A ready-to-run Figure 9 pipeline: ``(pipeline, streams)``.
+
+    The bench harness and ``repro trace`` share this so instrumented runs
+    (``obs``) drive byte-identical workloads to the plain ones.
+    """
+    window, streams = bursty_workload(
+        peak_rate, params, seed, burst_speedup, burst_fraction, expected_burst_length
+    )
+    pipeline = DataTriagePipeline(
+        paper_catalog(), query, _config(strategy, window, params, seed), obs=obs
+    )
+    return pipeline, streams
+
+
+def run_bursty_rate(
+    strategy: ShedStrategy,
+    peak_rate: float,
+    params: ExperimentParams,
+    seed: int,
+    burst_speedup: float = 100.0,
+    burst_fraction: float = 0.6,
+    expected_burst_length: float = 200.0,
 ) -> RunResult:
-    config = PipelineConfig(
+    """One Figure 9 run: two-state Markov bursts peaking at ``peak_rate``."""
+    pipeline, streams = bursty_pipeline(
+        strategy,
+        peak_rate,
+        params,
+        seed,
+        burst_speedup=burst_speedup,
+        burst_fraction=burst_fraction,
+        expected_burst_length=expected_burst_length,
+    )
+    return pipeline.run(streams)
+
+
+def _config(strategy, window, params: ExperimentParams, seed) -> PipelineConfig:
+    return PipelineConfig(
         strategy=strategy,
         window=window,
         queue_capacity=params.queue_capacity,
@@ -162,7 +207,14 @@ def _run(
         service_time=params.service_time,
         seed=seed,
     )
-    pipeline = DataTriagePipeline(paper_catalog(), query, config)
+
+
+def _run(
+    strategy, window, params: ExperimentParams, seed, streams, query=PAPER_QUERY
+) -> RunResult:
+    pipeline = DataTriagePipeline(
+        paper_catalog(), query, _config(strategy, window, params, seed)
+    )
     return pipeline.run(streams)
 
 

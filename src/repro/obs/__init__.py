@@ -1,0 +1,151 @@
+"""repro.obs — the shared observability layer.
+
+One package gathers the four concerns every other layer reports through:
+
+* :mod:`repro.obs.metrics` — the dependency-free metrics registry
+  (counters/gauges/histograms with Prometheus text export);
+* :mod:`repro.obs.trace` — span + tuple-lifecycle tracing into a bounded
+  ring buffer, exportable as Chrome-trace JSON (Perfetto) or JSON lines;
+* :mod:`repro.obs.profile` — per-operator EXPLAIN ANALYZE for both
+  executor modes (loaded lazily);
+* :mod:`repro.obs.report` — per-window accuracy/latency accounting
+  (loaded lazily: it pulls in :mod:`repro.quality`, which imports the
+  core pipeline — eager import here would be circular, since the pipeline
+  itself imports this package's metrics).
+
+:class:`Observability` is the handle instrumented layers accept: it bundles
+a registry, a tracer, and the per-window phase-timing store that
+:func:`repro.obs.report.build_window_reports` later joins with accuracy.
+Constructed with defaults it is *passive* — a fresh registry and the shared
+:data:`NULL_TRACER`, so instrumented code pays only `is None` /
+``tracer.enabled`` checks.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (  # noqa: F401 - re-exported package surface
+    DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    record_hook_error,
+)
+from repro.obs.trace import (  # noqa: F401 - re-exported package surface
+    NULL_TRACER,
+    NullTracer,
+    TraceError,
+    Tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Observability",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "global_registry",
+    "record_hook_error",
+    # trace
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceError",
+    "validate_chrome_trace",
+    # lazy: profile / report
+    "OperatorProfile",
+    "ProfileReport",
+    "profile_execution",
+    "render_profile",
+    "WindowReport",
+    "build_window_reports",
+    "summarize_reports",
+]
+
+#: Names resolved on first attribute access (PEP 562), keeping this package
+#: importable from the core pipeline without a circular import through
+#: ``repro.quality`` → ``repro.core.pipeline``.
+_LAZY = {
+    "OperatorProfile": "repro.obs.profile",
+    "ProfileReport": "repro.obs.profile",
+    "profile_execution": "repro.obs.profile",
+    "render_profile": "repro.obs.profile",
+    "WindowReport": "repro.obs.report",
+    "build_window_reports": "repro.obs.report",
+    "summarize_reports": "repro.obs.report",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
+
+class Observability:
+    """The bundle an instrumented run records into.
+
+    ``registry`` collects metrics, ``tracer`` collects spans and
+    tuple-lifecycle events, and :attr:`phase_seconds` accumulates the
+    per-window evaluation-phase timings that :class:`WindowReport` joins
+    with accuracy.  Pass ``trace=True`` to record spans (the default keeps
+    the shared no-op :data:`NULL_TRACER`, so metrics-only instrumentation
+    stays cheap).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        *,
+        trace: bool = False,
+        trace_capacity: int = 65536,
+        tuple_events: bool = True,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        if tracer is None:
+            tracer = (
+                Tracer(trace_capacity, tuple_events=tuple_events)
+                if trace
+                else NULL_TRACER
+            )
+        self.tracer = tracer
+        #: window id → {phase: seconds}; run-level phases (queue drain) use
+        #: :attr:`run_phase_seconds` instead, since they span windows.
+        self.phase_seconds: dict[int, dict[str, float]] = {}
+        self.run_phase_seconds: dict[str, float] = {}
+        self._phase_hist = self.registry.histogram(
+            "pipeline_phase_seconds",
+            "Wall time per pipeline phase (drain/exact/shadow/merge)",
+            ("phase",),
+            buckets=LATENCY_BUCKETS,
+        )
+
+    def record_phase(self, window_id: int, phase: str, seconds: float) -> None:
+        """Charge ``seconds`` of ``phase`` work to ``window_id``."""
+        per = self.phase_seconds.setdefault(window_id, {})
+        per[phase] = per.get(phase, 0.0) + seconds
+        self._phase_hist.observe(seconds, phase=phase)
+
+    def record_run_phase(self, phase: str, seconds: float) -> None:
+        """Charge ``seconds`` of run-level (cross-window) ``phase`` work."""
+        self.run_phase_seconds[phase] = (
+            self.run_phase_seconds.get(phase, 0.0) + seconds
+        )
+        self._phase_hist.observe(seconds, phase=phase)
+
+    def reset(self) -> None:
+        """Clear per-run state (trace buffer and phase stores); metrics
+        are cumulative and keep counting across runs."""
+        self.tracer.clear()
+        self.phase_seconds.clear()
+        self.run_phase_seconds.clear()

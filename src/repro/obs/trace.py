@@ -1,0 +1,343 @@
+"""Low-overhead tracing: spans and tuple-lifecycle events in a ring buffer.
+
+The paper's argument is a visibility argument — Data Triage trades *which*
+tuples get exact treatment for bounded latency — and defending it requires
+seeing where time and tuples go: queue wait, shed-to-synopsis, shadow-plan
+cost, merge.  :class:`Tracer` records that story as
+
+* **spans** — named durations (``drain``, ``exact``, ``shadow``,
+  ``merge``, ``run``) with arbitrary JSON-safe args;
+* **instants** — point events, most importantly tuple-lifecycle stages
+  (``ingest`` → ``enqueue`` → ``shed``/``summarize`` → ``poll`` →
+  ``window_close`` → ``emit``);
+* **counters** — sampled numeric series (queue depth over time).
+
+Events land in a bounded ring buffer (old events are discarded, with a
+dropped-event count kept), so tracing a long run costs O(capacity) memory
+no matter the workload.  Two exports:
+
+* :meth:`Tracer.to_chrome` — the Chrome trace-event JSON format
+  (``{"traceEvents": [...]}``), loadable in Perfetto / ``chrome://tracing``;
+* :meth:`Tracer.to_jsonl` — one JSON object per line, for ad-hoc grepping.
+
+**No-op fast path.**  Hot loops must pay nothing when tracing is off:
+:data:`NULL_TRACER` is a shared :class:`NullTracer` whose ``enabled`` is
+False and whose ``span`` returns a reusable null context manager.
+Instrumentation sites branch on the ``enabled``/``tuple_events`` booleans
+before building event args.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import nullcontext
+
+__all__ = [
+    "TraceError",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "validate_chrome_trace",
+]
+
+#: Chrome trace-event phase codes used here.
+_PH_COMPLETE = "X"
+_PH_INSTANT = "i"
+_PH_COUNTER = "C"
+
+
+class TraceError(ValueError):
+    """Raised when a trace document fails schema validation."""
+
+
+class _Span:
+    """Context manager recording one complete ("X") event on exit."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_tid", "_args", "_t0")
+
+    def __init__(self, tracer, name, cat, tid, args):
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._tid = tid
+        self._args = args
+
+    def __enter__(self):
+        self._t0 = self._tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        t1 = self._tracer._clock()
+        self._tracer._record(
+            {
+                "name": self._name,
+                "cat": self._cat,
+                "ph": _PH_COMPLETE,
+                "ts": self._tracer._us(self._t0),
+                "dur": max(0.0, (t1 - self._t0) * 1e6),
+                "tid": self._tid,
+            },
+            self._args,
+        )
+        return False
+
+
+class Tracer:
+    """Span/instant/counter recorder over a bounded ring buffer."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        *,
+        tuple_events: bool = True,
+        clock=time.perf_counter,
+        pid: int = 1,
+    ) -> None:
+        """``capacity`` bounds retained events (oldest evicted first);
+        ``tuple_events=False`` keeps spans but silences the per-tuple
+        lifecycle instants, which dominate event volume on big runs.
+        """
+        if capacity < 1:
+            raise ValueError(f"tracer capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self.tuple_events = tuple_events
+        self.pid = pid
+        self._clock = clock
+        self._t0 = clock()
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self.emitted = 0  # total events ever recorded (≥ len(events))
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _us(self, t: float) -> float:
+        """Clock reading → microseconds since tracer start."""
+        return (t - self._t0) * 1e6
+
+    def _record(self, event: dict, args: dict | None) -> None:
+        event["pid"] = self.pid
+        if args:
+            event["args"] = args
+        self._events.append(event)
+        self.emitted += 1
+
+    def span(self, name: str, cat: str = "pipeline", tid: int = 0, **args):
+        """A context manager timing one named duration."""
+        return _Span(self, name, cat, tid, args)
+
+    def now(self) -> float:
+        """A raw clock reading, for pairing with :meth:`complete`."""
+        return self._clock()
+
+    def complete(
+        self,
+        name: str,
+        start: float,
+        end: float | None = None,
+        cat: str = "pipeline",
+        tid: int = 0,
+        **args,
+    ) -> None:
+        """Record a complete event from a :meth:`now` reading taken earlier.
+
+        The manual counterpart of :meth:`span`, for hot paths that only
+        decide *after* the work whether the duration is worth an event
+        (e.g. a queue drain that polled nothing).  ``end`` defaults to the
+        current clock reading.
+        """
+        if end is None:
+            end = self._clock()
+        self._record(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": _PH_COMPLETE,
+                "ts": self._us(start),
+                "dur": max(0.0, (end - start) * 1e6),
+                "tid": tid,
+            },
+            args,
+        )
+
+    def instant(self, name: str, cat: str = "event", tid: int = 0, **args) -> None:
+        """Record a point event at the current clock reading."""
+        self._record(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": _PH_INSTANT,
+                "ts": self._us(self._clock()),
+                "s": "t",  # thread-scoped instant
+                "tid": tid,
+            },
+            args,
+        )
+
+    def tuple_event(self, stage: str, source: str, timestamp: float, **args) -> None:
+        """One tuple-lifecycle stage (``ingest``/``enqueue``/``shed``/...).
+
+        ``timestamp`` is the tuple's *stream* (virtual-clock) timestamp; the
+        event itself is stamped on the tracer's wall clock so Perfetto lays
+        lifecycle events out alongside the spans that caused them.
+        """
+        if not self.tuple_events:
+            return
+        args["source"] = source
+        args["t"] = timestamp
+        self._record(
+            {
+                "name": stage,
+                "cat": "tuple",
+                "ph": _PH_INSTANT,
+                "ts": self._us(self._clock()),
+                "s": "t",
+                "tid": 0,
+            },
+            args,
+        )
+
+    def counter(self, name: str, value: float, tid: int = 0, **labels) -> None:
+        """Record one sample of a numeric series (rendered as a track)."""
+        labels[name] = value
+        self._record(
+            {
+                "name": name,
+                "cat": "counter",
+                "ph": _PH_COUNTER,
+                "ts": self._us(self._clock()),
+                "tid": tid,
+            },
+            labels,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection & export
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer since construction."""
+        return self.emitted - len(self._events)
+
+    def events(self) -> list[dict]:
+        """The retained events, oldest first (copies the ring buffer)."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.emitted = 0
+
+    def to_chrome(self) -> dict:
+        """The Chrome trace-event document (Perfetto-loadable)."""
+        return {
+            "traceEvents": self.events(),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.obs.trace",
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+            },
+        }
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, oldest first (trailing newline)."""
+        return "".join(json.dumps(e) + "\n" for e in self._events)
+
+    def write(self, path, fmt: str = "chrome") -> None:
+        """Write the trace to ``path`` as ``chrome`` JSON or ``jsonl``."""
+        if fmt == "chrome":
+            text = json.dumps(self.to_chrome(), indent=1) + "\n"
+        elif fmt == "jsonl":
+            text = self.to_jsonl()
+        else:
+            raise ValueError(f"unknown trace format {fmt!r} (chrome|jsonl)")
+        with open(path, "w", encoding="utf-8") as fp:
+            fp.write(text)
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every recording entry point is a no-op.
+
+    Shared as :data:`NULL_TRACER`; hot paths check ``tracer.enabled`` (a
+    class attribute, so the check is one LOAD_ATTR) and skip instrumentation
+    entirely, so a pipeline without observability pays nothing beyond that.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+        self.tuple_events = False
+        self._null_cm = nullcontext()
+
+    def span(self, name, cat="pipeline", tid=0, **args):
+        return self._null_cm
+
+    def complete(self, name, start, end=None, cat="pipeline", tid=0, **args):
+        return None
+
+    def instant(self, name, cat="event", tid=0, **args):
+        return None
+
+    def tuple_event(self, stage, source, timestamp, **args):
+        return None
+
+    def counter(self, name, value, tid=0, **labels):
+        return None
+
+
+#: Process-wide disabled tracer; the default for every instrumented layer.
+NULL_TRACER = NullTracer()
+
+
+# ---------------------------------------------------------------------------
+# Validation (used by tests and the CI obs-smoke step)
+# ---------------------------------------------------------------------------
+_VALID_PHASES = {_PH_COMPLETE, _PH_INSTANT, _PH_COUNTER, "B", "E", "M"}
+
+
+def validate_chrome_trace(doc: dict) -> list[dict]:
+    """Check ``doc`` against the Chrome trace-event schema subset we emit.
+
+    Returns the event list on success; raises :class:`TraceError` naming the
+    first offending event otherwise.  Checked invariants: top-level
+    ``traceEvents`` array; every event has string ``name``/``cat``, a known
+    ``ph``, numeric non-negative ``ts``, integer ``pid``/``tid``; complete
+    events carry a numeric non-negative ``dur``; args (when present) are
+    JSON-serializable objects.
+    """
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        raise TraceError("trace document must have a traceEvents array")
+    events = doc["traceEvents"]
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            raise TraceError(f"{where}: not an object")
+        for key in ("name", "cat"):
+            if not isinstance(e.get(key), str) or not e[key]:
+                raise TraceError(f"{where}: missing/empty {key!r}")
+        if e.get("ph") not in _VALID_PHASES:
+            raise TraceError(f"{where}: unknown phase {e.get('ph')!r}")
+        if not isinstance(e.get("ts"), (int, float)) or e["ts"] < 0:
+            raise TraceError(f"{where}: bad ts {e.get('ts')!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(e.get(key), int):
+                raise TraceError(f"{where}: bad {key} {e.get(key)!r}")
+        if e["ph"] == _PH_COMPLETE and (
+            not isinstance(e.get("dur"), (int, float)) or e["dur"] < 0
+        ):
+            raise TraceError(f"{where}: complete event needs dur >= 0")
+        if "args" in e:
+            if not isinstance(e["args"], dict):
+                raise TraceError(f"{where}: args must be an object")
+            try:
+                json.dumps(e["args"])
+            except (TypeError, ValueError) as exc:
+                raise TraceError(f"{where}: args not JSON-safe: {exc}") from None
+    return events

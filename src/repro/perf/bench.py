@@ -1,12 +1,15 @@
 """The ``repro bench`` regression harness.
 
-Four curated suites cover the hot paths this repo's performance story rests
+Five curated suites cover the hot paths this repo's performance story rests
 on; each is timed over several repetitions with fixed seeds so the numbers
 are comparable run-to-run and PR-to-PR:
 
 * ``pipeline_fig9_bursty`` — the Figure 9 workload end to end: pre-generated
   bursty streams through ``DataTriagePipeline.run`` (triage queues, heap
   drain, synopsis build, window evaluation).  Reported in tuples/second.
+* ``pipeline_fig9_traced`` — the identical workload with observability
+  attached (metrics + tracing + tuple-lifecycle events); the delta against
+  ``pipeline_fig9_bursty`` is the instrumentation overhead.
 * ``executor_micro`` — the Figure 6 "original query" microbenchmark: one
   3-way join + aggregate execution over static tables, through the compiled
   query plan.  Reported in executions/second.
@@ -82,50 +85,49 @@ def _time_suite(fn, reps: int, units_per_rep: int, unit: str) -> dict:
 # ---------------------------------------------------------------------------
 def bench_pipeline(quick: bool) -> dict:
     """Figure 9 bursty workload through ``DataTriagePipeline.run``."""
-    from repro.core.strategies import PipelineConfig, ShedStrategy
-    from repro.core.pipeline import DataTriagePipeline
-    from repro.engine.window import WindowSpec
-    from repro.experiments import (
-        STREAM_NAMES,
-        ExperimentParams,
-        PAPER_QUERY,
-        paper_catalog,
-    )
-    from repro.sources.arrival import MarkovBurstArrival, generate_stream
-    from repro.sources.generators import paper_row_generators
+    from repro.core.strategies import ShedStrategy
+    from repro.experiments import STREAM_NAMES, ExperimentParams, bursty_pipeline
 
     params = ExperimentParams()
-    peak_rate = 2000.0
-    arrival = MarkovBurstArrival(
-        base_rate=peak_rate / 100.0 / len(STREAM_NAMES),
-        burst_speedup=100.0,
-        burst_fraction=0.6,
-        expected_burst_length=200.0,
+    pipeline, streams = bursty_pipeline(
+        ShedStrategy.DATA_TRIAGE, 2000.0, params, 0
     )
-    window = WindowSpec(width=params.tuples_per_window / arrival.mean_rate)
-    rng = random.Random(0)
-    gens = paper_row_generators()
-    burst_gens = {n: g.shifted(params.burst_mean_shift) for n, g in gens.items()}
-    streams = {
-        name: generate_stream(
-            params.tuples_per_stream, arrival, gens[name], burst_gens[name], rng
-        )
-        for name in STREAM_NAMES
-    }
-    config = PipelineConfig(
-        strategy=ShedStrategy.DATA_TRIAGE,
-        window=window,
-        queue_capacity=params.queue_capacity,
-        policy=params.policy,
-        synopsis_factory=params.synopsis_factory,
-        service_time=params.service_time,
-        seed=0,
-    )
-    pipeline = DataTriagePipeline(paper_catalog(), PAPER_QUERY, config)
     pipeline.run(streams)  # warm the plan cache + window-id cache
     tuples = len(STREAM_NAMES) * params.tuples_per_stream
     return _time_suite(
         lambda: pipeline.run(streams),
+        reps=5 if quick else 15,
+        units_per_rep=tuples,
+        unit="tuples",
+    )
+
+
+def bench_pipeline_traced(quick: bool) -> dict:
+    """The same Figure 9 workload with full observability attached.
+
+    Byte-identical streams and config to ``pipeline_fig9_bursty`` (both go
+    through :func:`repro.experiments.bursty_pipeline` with the same seed),
+    so the gap between the two suites *is* the cost of tracing + metrics —
+    the observability overhead budget tracked in ``BENCH_pipeline.json``.
+    """
+    from repro.core.strategies import ShedStrategy
+    from repro.experiments import STREAM_NAMES, ExperimentParams, bursty_pipeline
+    from repro.obs import Observability
+
+    params = ExperimentParams()
+    obs = Observability(trace=True, trace_capacity=65536)
+    pipeline, streams = bursty_pipeline(
+        ShedStrategy.DATA_TRIAGE, 2000.0, params, 0, obs=obs
+    )
+    pipeline.run(streams)  # warm the plan cache + window-id cache
+
+    def one_rep() -> None:
+        obs.reset()  # fresh trace buffer + phase store, as a real run has
+        pipeline.run(streams)
+
+    tuples = len(STREAM_NAMES) * params.tuples_per_stream
+    return _time_suite(
+        one_rep,
         reps=5 if quick else 15,
         units_per_rep=tuples,
         unit="tuples",
@@ -212,6 +214,7 @@ def bench_service_ingest(quick: bool) -> dict:
 
 SUITES = {
     "pipeline_fig9_bursty": bench_pipeline,
+    "pipeline_fig9_traced": bench_pipeline_traced,
     "executor_micro": bench_executor,
     "synopsis_join": bench_synopsis,
     "service_ingest": bench_service_ingest,

@@ -1,30 +1,23 @@
-"""A dependency-free metrics registry with Prometheus text export.
+"""Back-compat re-export: the metrics registry moved to :mod:`repro.obs.metrics`.
 
-The service needs to report its own health — queue depths, drop ratios,
-window latencies, admission decisions — without pulling in a client
-library.  This module implements the three instrument kinds the rest of the
-package uses (counters, gauges, histograms), each optionally labelled, plus
-two exports:
-
-* :meth:`MetricsRegistry.render_prometheus` — the Prometheus text
-  exposition format (``# HELP`` / ``# TYPE`` / samples, histograms with
-  cumulative ``_bucket{le=...}`` series and ``_sum``/``_count``);
-* :meth:`MetricsRegistry.to_dict` — a JSON-safe snapshot, shipped to
-  clients in the wire protocol's STATS reply.
-
-Instruments are get-or-create by name, so instrumentation points can be
-written without threading registry setup through every constructor.  All
-mutation is guarded by one registry-wide lock: instrument updates are tiny
-compared to the network work around them, and a single lock keeps
-cross-instrument snapshots consistent.
-
-The metric catalog the server emits is documented in ``docs/service.md``.
+The registry began life here as service-only telemetry; once the core
+pipeline and the executors grew instrumentation of their own it was promoted
+to the shared observability layer (``repro.obs``).  Existing imports keep
+working — this module re-exports the full public surface.
 """
 
 from __future__ import annotations
 
-import threading
-from bisect import bisect_left
+from repro.obs.metrics import (  # noqa: F401 - re-exported for back-compat
+    DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    record_hook_error,
+)
 
 __all__ = [
     "Counter",
@@ -32,267 +25,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "global_registry",
+    "record_hook_error",
 ]
-
-#: Default histogram buckets: latency-ish spread, seconds or tuples alike.
-DEFAULT_BUCKETS = (
-    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
-    25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
-)
-
-
-def _format_value(v: float) -> str:
-    """Render ints without a trailing ``.0`` (Prometheus accepts both)."""
-    if isinstance(v, bool):
-        return "1" if v else "0"
-    if float(v).is_integer():
-        return str(int(v))
-    return repr(float(v))
-
-
-def _label_suffix(label_names: tuple[str, ...], label_values: tuple) -> str:
-    if not label_names:
-        return ""
-    pairs = ",".join(
-        f'{name}="{_escape(str(value))}"'
-        for name, value in zip(label_names, label_values)
-    )
-    return "{" + pairs + "}"
-
-
-def _escape(text: str) -> str:
-    return text.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
-
-
-class _Instrument:
-    """Shared labelling machinery; subclasses define the sample shape."""
-
-    kind = "untyped"
-
-    def __init__(
-        self, name: str, help: str, label_names: tuple[str, ...], lock: threading.Lock
-    ) -> None:
-        self.name = name
-        self.help = help
-        self.label_names = label_names
-        self._lock = lock
-
-    def _key(self, labels: dict) -> tuple:
-        if set(labels) != set(self.label_names):
-            raise ValueError(
-                f"metric {self.name!r} expects labels {self.label_names}, "
-                f"got {tuple(sorted(labels))}"
-            )
-        return tuple(labels[n] for n in self.label_names)
-
-
-class Counter(_Instrument):
-    """A monotonically increasing count."""
-
-    kind = "counter"
-
-    def __init__(self, name, help, label_names, lock):
-        super().__init__(name, help, label_names, lock)
-        self._values: dict[tuple, float] = {}
-
-    def inc(self, amount: float = 1.0, **labels) -> None:
-        if amount < 0:
-            raise ValueError("counters only go up")
-        key = self._key(labels)
-        with self._lock:
-            self._values[key] = self._values.get(key, 0.0) + amount
-
-    def value(self, **labels) -> float:
-        with self._lock:
-            return self._values.get(self._key(labels), 0.0)
-
-    def total(self) -> float:
-        """Sum across all label combinations."""
-        with self._lock:
-            return sum(self._values.values())
-
-    def _samples(self):
-        for key, v in sorted(self._values.items()):
-            yield self.name + _label_suffix(self.label_names, key), v
-
-    def _snapshot(self):
-        return {
-            "||".join(map(str, k)) if k else "": v
-            for k, v in self._values.items()
-        }
-
-
-class Gauge(_Instrument):
-    """A value that can go up and down."""
-
-    kind = "gauge"
-
-    def __init__(self, name, help, label_names, lock):
-        super().__init__(name, help, label_names, lock)
-        self._values: dict[tuple, float] = {}
-
-    def set(self, value: float, **labels) -> None:
-        with self._lock:
-            self._values[self._key(labels)] = float(value)
-
-    def inc(self, amount: float = 1.0, **labels) -> None:
-        key = self._key(labels)
-        with self._lock:
-            self._values[key] = self._values.get(key, 0.0) + amount
-
-    def dec(self, amount: float = 1.0, **labels) -> None:
-        self.inc(-amount, **labels)
-
-    def value(self, **labels) -> float:
-        with self._lock:
-            return self._values.get(self._key(labels), 0.0)
-
-    _samples = Counter._samples
-    _snapshot = Counter._snapshot
-
-
-class Histogram(_Instrument):
-    """Cumulative-bucket histogram (Prometheus semantics).
-
-    ``observe(v)`` adds ``v`` to the distribution; the export carries the
-    per-bucket cumulative counts plus the running sum and count, which is
-    enough to recover means and approximate quantiles downstream.
-    """
-
-    kind = "histogram"
-
-    def __init__(self, name, help, label_names, lock, buckets=DEFAULT_BUCKETS):
-        super().__init__(name, help, label_names, lock)
-        bounds = tuple(sorted(float(b) for b in buckets))
-        if not bounds:
-            raise ValueError("histogram needs at least one bucket bound")
-        self.bounds = bounds
-        self._counts: dict[tuple, list[int]] = {}  # per-bound, non-cumulative
-        self._sum: dict[tuple, float] = {}
-        self._count: dict[tuple, int] = {}
-
-    def observe(self, value: float, **labels) -> None:
-        key = self._key(labels)
-        with self._lock:
-            counts = self._counts.get(key)
-            if counts is None:
-                counts = self._counts[key] = [0] * (len(self.bounds) + 1)
-            counts[bisect_left(self.bounds, value)] += 1
-            self._sum[key] = self._sum.get(key, 0.0) + value
-            self._count[key] = self._count.get(key, 0) + 1
-
-    def count(self, **labels) -> int:
-        with self._lock:
-            return self._count.get(self._key(labels), 0)
-
-    def sum(self, **labels) -> float:
-        with self._lock:
-            return self._sum.get(self._key(labels), 0.0)
-
-    def _samples(self):
-        for key in sorted(self._counts):
-            cumulative = 0
-            for bound, n in zip(self.bounds, self._counts[key]):
-                cumulative += n
-                labels = self.label_names + ("le",)
-                values = key + (_format_value(bound),)
-                yield self.name + "_bucket" + _label_suffix(labels, values), cumulative
-            cumulative += self._counts[key][-1]
-            yield (
-                self.name + "_bucket"
-                + _label_suffix(self.label_names + ("le",), key + ("+Inf",)),
-                cumulative,
-            )
-            suffix = _label_suffix(self.label_names, key)
-            yield self.name + "_sum" + suffix, self._sum[key]
-            yield self.name + "_count" + suffix, self._count[key]
-
-    def _snapshot(self):
-        out = {}
-        for key in self._counts:
-            label = "||".join(map(str, key)) if key else ""
-            out[label] = {
-                "count": self._count[key],
-                "sum": self._sum[key],
-                "buckets": dict(
-                    zip(map(_format_value, self.bounds), self._counts[key])
-                ),
-                "overflow": self._counts[key][-1],
-            }
-        return out
-
-
-class MetricsRegistry:
-    """Name → instrument map with get-or-create accessors and exports."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._instruments: dict[str, _Instrument] = {}
-
-    # ------------------------------------------------------------------
-    def _get_or_create(self, cls, name, help, label_names, **kwargs):
-        with self._lock:
-            existing = self._instruments.get(name)
-            if existing is not None:
-                if not isinstance(existing, cls) or existing.label_names != tuple(
-                    label_names
-                ):
-                    raise ValueError(
-                        f"metric {name!r} already registered as "
-                        f"{existing.kind} with labels {existing.label_names}"
-                    )
-                return existing
-            inst = cls(name, help, tuple(label_names), self._lock, **kwargs)
-            self._instruments[name] = inst
-            return inst
-
-    def counter(self, name: str, help: str = "", labels: tuple = ()) -> Counter:
-        return self._get_or_create(Counter, name, help, labels)
-
-    def gauge(self, name: str, help: str = "", labels: tuple = ()) -> Gauge:
-        return self._get_or_create(Gauge, name, help, labels)
-
-    def histogram(
-        self,
-        name: str,
-        help: str = "",
-        labels: tuple = (),
-        buckets=DEFAULT_BUCKETS,
-    ) -> Histogram:
-        return self._get_or_create(
-            Histogram, name, help, labels, buckets=buckets
-        )
-
-    def get(self, name: str) -> _Instrument | None:
-        with self._lock:
-            return self._instruments.get(name)
-
-    # ------------------------------------------------------------------
-    def render_prometheus(self) -> str:
-        """The Prometheus text exposition format, all instruments."""
-        lines: list[str] = []
-        # Hold the registry-wide lock for the full render: instruments share
-        # this lock for updates, so the export is a consistent snapshot.
-        with self._lock:
-            instruments = sorted(self._instruments.values(), key=lambda i: i.name)
-            for inst in instruments:
-                if inst.help:
-                    lines.append(f"# HELP {inst.name} {_escape(inst.help)}")
-                lines.append(f"# TYPE {inst.name} {inst.kind}")
-                for sample_name, value in inst._samples():
-                    lines.append(f"{sample_name} {_format_value(value)}")
-        return "\n".join(lines) + "\n"
-
-    def to_dict(self) -> dict:
-        """JSON-safe snapshot: ``{name: {kind, help, values}}``."""
-        with self._lock:
-            instruments = sorted(self._instruments.values(), key=lambda i: i.name)
-            return {
-                inst.name: {
-                    "kind": inst.kind,
-                    "help": inst.help,
-                    "labels": list(inst.label_names),
-                    "values": inst._snapshot(),
-                }
-                for inst in instruments
-            }

@@ -41,6 +41,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import heapq
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
@@ -51,8 +52,9 @@ from repro.core.strategies import PipelineConfig
 from repro.core.triage_queue import TriageQueue
 from repro.engine.catalog import Catalog
 from repro.engine.types import SchemaError, StreamTuple
+from repro.obs.report import WindowReport, summarize_reports
 from repro.service import protocol
-from repro.service.metrics import MetricsRegistry
+from repro.service.metrics import LATENCY_BUCKETS, MetricsRegistry
 from repro.service.protocol import ProtocolError, read_frame
 from repro.service.session import AdmissionError, Session, SessionRegistry
 from repro.sql.ast import SelectStmt
@@ -104,17 +106,32 @@ class TriageServer:
         *,
         metrics: MetricsRegistry | None = None,
         domains: dict[str, tuple[int, int]] | None = None,
+        obs=None,
     ) -> None:
+        """``obs`` (a :class:`repro.obs.Observability`) attaches tracing and
+        per-window phase timing to window evaluation; when ``metrics`` is not
+        given, the server then shares ``obs.registry`` so one STATS snapshot
+        carries both layers.
+        """
         self.config = config or PipelineConfig()
         self.service = service or ServiceConfig()
-        self.pipeline = DataTriagePipeline(catalog, query, self.config, domains)
+        self.obs = obs
+        self.pipeline = DataTriagePipeline(
+            catalog, query, self.config, domains, obs=obs
+        )
         if self.pipeline.merge_spec is None:
             raise ValueError(
                 "the service serves grouped aggregate queries; "
                 "raw-mode (non-aggregate) queries have no per-window merge"
             )
-        self.metrics = metrics or MetricsRegistry()
+        if metrics is not None:
+            self.metrics = metrics
+        else:
+            self.metrics = obs.registry if obs is not None else MetricsRegistry()
         self._build_instruments()
+        #: Rolling per-window accuracy/latency reports (newest last),
+        #: exported in the STATS reply.
+        self._window_reports: deque[WindowReport] = deque(maxlen=128)
 
         self._sources = self.pipeline.sources
         self._source_by_lower = {s.lower(): s for s in self._sources}
@@ -200,6 +217,17 @@ class TriageServer:
         self._h_window_latency = m.histogram(
             "window_latency_seconds",
             "Window close → result emission delay (window-clock seconds)",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._c_shed_bytes = m.counter(
+            "triage_shed_bytes_total",
+            "Approximate in-memory bytes of shed rows",
+            ("stream",),
+        )
+        self._c_decisions = m.counter(
+            "triage_policy_decisions_total",
+            "Drop-policy victim decisions",
+            ("stream", "decision"),
         )
         self._g_sessions = m.gauge("service_sessions", "Live sessions")
         self._c_sessions = m.counter("service_sessions_total", "Sessions admitted")
@@ -245,6 +273,10 @@ class TriageServer:
             self._c_summarized.inc(value, stream=stream)
         elif event == "poll":
             self._c_polled.inc(value, stream=stream)
+        elif event == "shed_bytes":
+            self._c_shed_bytes.inc(value, stream=stream)
+        elif event in ("drop_incoming", "evict_buffered"):
+            self._c_decisions.inc(value, stream=stream, decision=event)
 
     def _controller_observer(self, stream: str):
         def observe(name: str, value: float) -> None:
@@ -575,6 +607,7 @@ class TriageServer:
                 "type": "STATS",
                 "metrics": self.metrics.to_dict(),
                 "summary": self._summary(),
+                "window_reports": [r.to_dict() for r in self._window_reports],
             }
         await session.send_now(reply)
         return True
@@ -589,6 +622,7 @@ class TriageServer:
             "sessions": len(self.registry.sessions),
             "windows_closed": int(self._c_windows.value()),
             "queue_depths": {s: len(q) for s, q in self.queues.items()},
+            "windows": summarize_reports(list(self._window_reports)),
         }
 
     # ------------------------------------------------------------------
@@ -770,6 +804,23 @@ class TriageServer:
             )
         arrived_total = sum(outcome.arrived.values())
         dropped_total = sum(outcome.dropped.values())
+        self._window_reports.append(
+            WindowReport(
+                window_id=wid,
+                start=start,
+                end=end,
+                arrived=arrived_total,
+                kept=sum(outcome.kept.values()),
+                dropped=dropped_total,
+                result_latency=latency,
+                rms_error=None,  # the live service has no ideal reference
+                phase_seconds=(
+                    self.obs.phase_seconds.pop(wid, {})
+                    if self.obs is not None
+                    else {}
+                ),
+            )
+        )
         return {
             "type": "RESULT",
             "window": wid,

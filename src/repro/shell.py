@@ -19,6 +19,8 @@ Meta commands start with a backslash:
     \save R path.trace     write R's buffer to a trace file
     \clear R               empty R's buffer
     \explain SELECT ...    engine plan + Data Triage rewrite plan
+    \profile SELECT ...    EXPLAIN ANALYZE: run over the buffers, show
+                           per-operator rows/loops/time
     \rewrite SELECT ...    the Figures 4/5 SQL for the query
     \publish HOST:PORT R   push R's buffer to a running triage service
     \help                  this text
@@ -124,6 +126,8 @@ class Shell:
             return f"cleared {stream.name}"
         if cmd == "explain":
             return self._explain(arg)
+        if cmd == "profile":
+            return self._profile(arg)
         if cmd == "rewrite":
             bound = Binder(self.catalog).bind(parse_statement(arg))
             return rewrite_to_sql(SPJPlan.from_bound(bound))
@@ -213,6 +217,21 @@ class Shell:
             t += 0.01
             buf.append(StreamTuple(t, gen.draw(self._rng)))
         return f"generated {count} {family} tuples into {stream.name}"
+
+    def _profile(self, sql: str) -> str:
+        if not sql.strip():
+            return "usage: \\profile SELECT ..."
+        from repro.engine.explain import explain_analyze
+
+        try:
+            bound = Binder(self.catalog).bind(parse_statement(sql))
+            inputs = {
+                name: Multiset(t.row for t in tuples)
+                for name, tuples in self.buffers.items()
+            }
+            return explain_analyze(self.executor, bound, inputs).rstrip()
+        except Exception as exc:  # noqa: BLE001 - surfaced to the user
+            return f"error: {exc}"
 
     def _explain(self, sql: str) -> str:
         bound = Binder(self.catalog).bind(parse_statement(sql))

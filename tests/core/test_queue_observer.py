@@ -1,0 +1,161 @@
+"""Queue observer events: exactly-once accounting, including the heap-drain
+path with head evictions (which force lazy heap revalidation in the
+pipeline's virtual-clock runner)."""
+
+from collections import Counter
+
+from repro.core import HeadDropPolicy, TriageQueue
+from repro.core.policies import RandomDropPolicy, TailDropPolicy
+from repro.core.strategies import ShedStrategy
+from repro.engine import StreamTuple, WindowSpec
+from repro.experiments import ExperimentParams, bursty_pipeline
+from repro.obs import Observability
+from repro.obs.metrics import global_registry
+from repro.synopses import Dimension, SparseHistogramFactory
+
+
+def make_queue(capacity=3, policy=None, observer=None, summarize=True):
+    return TriageQueue(
+        name="R",
+        dimensions=[Dimension("R.a", 1, 100)],
+        dim_positions=[0],
+        capacity=capacity,
+        policy=policy or TailDropPolicy(),
+        synopsis_factory=SparseHistogramFactory(bucket_width=1),
+        window=WindowSpec(width=1.0),
+        summarize=summarize,
+        seed=1,
+        observer=observer,
+    )
+
+
+def t(ts, v):
+    return StreamTuple(ts, (v,))
+
+
+class TestUnitEvents:
+    def test_exactly_once_per_tuple(self):
+        events = Counter()
+        q = make_queue(capacity=2, observer=lambda n, e, v: events.update([e]))
+        for i in range(5):
+            q.offer(t(0.1 * i, i + 1))
+        while q.poll() is not None:
+            pass
+        assert events["offer"] == 5
+        assert events["drop"] == 3
+        assert events["summarize"] == 3
+        assert events["shed_bytes"] == 3
+        assert events["poll"] == 2
+        assert events["offer"] == events["poll"] + events["drop"]
+
+    def test_policy_decision_events(self):
+        events = Counter()
+        q = make_queue(
+            capacity=1,
+            policy=HeadDropPolicy(),
+            observer=lambda n, e, v: events.update([e]),
+        )
+        q.offer(t(0.0, 1))
+        q.offer(t(0.1, 2))  # head (1) evicted, incoming buffered
+        assert events["evict_buffered"] == 1
+        tail_events = Counter()
+        q2 = make_queue(
+            capacity=1,
+            policy=TailDropPolicy(),
+            observer=lambda n, e, v: tail_events.update([e]),
+        )
+        q2.offer(t(0.0, 1))
+        q2.offer(t(0.1, 2))  # TailDrop sheds the incoming tuple
+        assert tail_events["drop_incoming"] == 1
+
+    def test_shed_bytes_carries_row_size(self):
+        sizes = []
+
+        def observer(name, event, value):
+            if event == "shed_bytes":
+                sizes.append(value)
+
+        q = make_queue(capacity=1, observer=observer)
+        q.offer(t(0.0, 1))
+        q.offer(t(0.1, 2))
+        assert len(sizes) == 1 and sizes[0] > 0
+
+    def test_no_summarize_event_when_summarize_off(self):
+        events = Counter()
+        q = make_queue(
+            capacity=1, summarize=False, observer=lambda n, e, v: events.update([e])
+        )
+        q.offer(t(0.0, 1))
+        q.offer(t(0.1, 2))
+        assert events["drop"] == 1
+        assert events["summarize"] == 0
+
+    def test_raising_observer_is_counted_not_fatal(self):
+        def bad_observer(name, event, value):
+            raise RuntimeError("observer bug")
+
+        counter = global_registry().counter(
+            "obs_hook_errors_total",
+            "Exceptions raised by user-supplied observers/hooks (swallowed)",
+            ("site",),
+        )
+        before = counter.value(site="queue_observer")
+        q = make_queue(capacity=1, observer=bad_observer)
+        q.offer(t(0.0, 1))
+        q.offer(t(0.1, 2))
+        assert q.poll() is not None  # queue still functions
+        assert q.stats.offered == 2 and q.stats.dropped == 1
+        assert counter.value(site="queue_observer") > before
+
+
+class TestHeapDrainPath:
+    """The pipeline's heap-driven drain revalidates queue heads lazily after
+    drop-policy evictions; observer events must still fire exactly once per
+    tuple."""
+
+    def run_with_policy(self, policy):
+        obs = Observability()
+        params = ExperimentParams(tuples_per_window=60, n_windows=3, policy=policy)
+        pipeline, streams = bursty_pipeline(
+            ShedStrategy.DATA_TRIAGE, 4500.0, params, 0, obs=obs
+        )
+        return obs, pipeline.run(streams)
+
+    def test_head_evictions_keep_exactly_once_accounting(self):
+        # HeadDropPolicy evicts buffered heads, invalidating heap entries
+        # the drain loop already holds — the adversarial case for the
+        # lazy-revalidation logic.
+        obs, result = self.run_with_policy(HeadDropPolicy())
+        assert result.total_dropped > 0, "peak rate should force evictions"
+        reg = obs.registry
+        offered = reg.get("triage_offered_total").total()
+        polled = reg.get("triage_polled_total").total()
+        dropped = reg.get("triage_drops_total").total()
+        assert offered == result.total_arrived
+        assert polled == result.total_kept
+        assert dropped == result.total_dropped
+        assert offered == polled + dropped
+        decisions = reg.get("triage_policy_decisions_total")
+        assert decisions.value(stream="R", decision="evict_buffered") > 0
+        assert decisions.total() == dropped
+
+    def test_random_policy_accounting_matches(self):
+        obs, result = self.run_with_policy(RandomDropPolicy())
+        reg = obs.registry
+        assert reg.get("triage_offered_total").total() == result.total_arrived
+        assert (
+            reg.get("triage_polled_total").total()
+            + reg.get("triage_drops_total").total()
+            == result.total_arrived
+        )
+
+    def test_results_identical_with_and_without_observer(self):
+        params = ExperimentParams(
+            tuples_per_window=60, n_windows=3, policy=HeadDropPolicy()
+        )
+        p1, s1 = bursty_pipeline(ShedStrategy.DATA_TRIAGE, 4500.0, params, 0)
+        plain = p1.run(s1)
+        obs, instrumented = self.run_with_policy(HeadDropPolicy())
+        assert instrumented.total_dropped == plain.total_dropped
+        for a, b in zip(instrumented.windows, plain.windows):
+            assert a.merged == b.merged

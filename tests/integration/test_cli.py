@@ -69,3 +69,40 @@ class TestCli:
         assert code == 0
         assert "SVG chart written" in text
         assert svg_path.read_text().startswith("<svg")
+
+    def test_trace_writes_valid_chrome_trace(self, tmp_path):
+        import json
+
+        from repro.obs.trace import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        prom_path = tmp_path / "metrics.prom"
+        code, text = run_cli(
+            ["trace", "--quick", "--peak", "4500", "--out", str(trace_path),
+             "--metrics-out", str(prom_path)]
+        )
+        assert code == 0
+        assert "traced Figure 9 run" in text
+        assert "mean RMS error" in text
+        events = validate_chrome_trace(json.loads(trace_path.read_text()))
+        names = {e["name"] for e in events}
+        assert {"drain", "exact", "shadow", "merge", "window_close", "emit"} <= names
+        assert {"ingest", "enqueue", "shed", "poll"} <= names  # 4500 sheds
+        prom = prom_path.read_text()
+        assert "pipeline_phase_seconds_bucket" in prom
+        assert "triage_drops_total" in prom
+
+    def test_trace_jsonl_format(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        code, text = run_cli(
+            ["trace", "--quick", "--format", "jsonl", "--out", str(path),
+             "--no-tuple-events"]
+        )
+        assert code == 0
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines, "jsonl trace should have events"
+        assert all("ph" in e for e in lines)
+        # Lifecycle instants silenced: spans/instants only.
+        assert not any(e.get("cat") == "tuple" for e in lines)

@@ -61,6 +61,27 @@ class TestMetaCommands:
         out = shell.feed("\\rewrite SELECT * FROM R, S WHERE R.a = S.b")
         assert "CREATE VIEW Q_dropped_syn" in out
 
+    def test_profile(self, shell):
+        shell.feed("\\gen R 30")
+        out = shell.feed("\\profile SELECT a, COUNT(*) AS n FROM R GROUP BY a")
+        assert "EXPLAIN ANALYZE" in out
+        assert "HashAggregate" in out
+        assert "loops=1" in out
+        assert "Execution:" in out
+
+    def test_profile_scan_rows_match_buffer(self, shell):
+        shell.feed("\\gen R 25")
+        out = shell.feed("\\profile SELECT a FROM R")
+        assert "rows=25" in out
+        assert "25 row(s)" in out
+
+    def test_profile_usage_and_errors(self, shell):
+        assert "usage" in shell.feed("\\profile")
+        assert "error:" in shell.feed("\\profile SELECT nope FROM R")
+
+    def test_help_mentions_profile(self, shell):
+        assert "\\profile" in shell.feed("\\help")
+
 
 class TestSql:
     def test_multiline_accumulation(self, shell):

@@ -1,0 +1,72 @@
+"""The metrics registry's new home + per-instrument bucket overrides."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    global_registry,
+    record_hook_error,
+)
+
+
+def test_histogram_default_buckets():
+    reg = MetricsRegistry()
+    h = reg.histogram("h_default")
+    assert h.bounds == tuple(sorted(DEFAULT_BUCKETS))
+
+
+def test_histogram_bucket_override():
+    reg = MetricsRegistry()
+    h = reg.histogram("phase_seconds", buckets=LATENCY_BUCKETS)
+    assert h.bounds == tuple(sorted(LATENCY_BUCKETS))
+    h.observe(0.0002)
+    assert h.count() == 1
+    # 50µs low-end resolution: 0.0002 lands below the 0.25ms bound.
+    snap = h._snapshot()[""]
+    assert snap["buckets"]["0.00025"] == 1
+
+
+def test_histogram_none_accepts_existing_spread():
+    reg = MetricsRegistry()
+    created = reg.histogram("h", buckets=LATENCY_BUCKETS)
+    # None expresses no preference; the existing spread is returned as-is.
+    assert reg.histogram("h") is created
+
+
+def test_histogram_conflicting_override_raises():
+    reg = MetricsRegistry()
+    reg.histogram("h", buckets=LATENCY_BUCKETS)
+    with pytest.raises(ValueError, match="conflicting"):
+        reg.histogram("h", buckets=DEFAULT_BUCKETS)
+    # Same explicit buckets again is fine (idempotent registration).
+    reg.histogram("h", buckets=LATENCY_BUCKETS)
+
+
+def test_service_shim_reexports_same_objects():
+    import repro.obs.metrics as obs_metrics
+    import repro.service.metrics as service_metrics
+
+    assert service_metrics.MetricsRegistry is obs_metrics.MetricsRegistry
+    assert service_metrics.LATENCY_BUCKETS is obs_metrics.LATENCY_BUCKETS
+    assert service_metrics.global_registry is obs_metrics.global_registry
+
+
+def test_record_hook_error_counts_site():
+    reg = MetricsRegistry()
+    record_hook_error("window_hook", reg)
+    record_hook_error("window_hook", reg)
+    c = reg.get("obs_hook_errors_total")
+    assert c.value(site="window_hook") == 2
+
+
+def test_record_hook_error_falls_back_to_global():
+    c = global_registry().counter(
+        "obs_hook_errors_total",
+        "Exceptions raised by user-supplied observers/hooks (swallowed)",
+        ("site",),
+    )
+    before = c.value(site="test_site")
+    record_hook_error("test_site")
+    assert c.value(site="test_site") == before + 1

@@ -1,0 +1,83 @@
+"""WindowReport construction from a finished run + the run-level rollup."""
+
+import pytest
+
+from repro.core.strategies import ShedStrategy
+from repro.experiments import ExperimentParams, bursty_pipeline
+from repro.obs import Observability
+from repro.obs.report import WindowReport, build_window_reports, summarize_reports
+
+PARAMS = ExperimentParams(tuples_per_window=60, n_windows=3)
+SHED_PEAK = 4500.0  # far above engine_capacity so shedding actually happens
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    obs = Observability(trace=True)
+    pipeline, streams = bursty_pipeline(
+        ShedStrategy.DATA_TRIAGE, SHED_PEAK, PARAMS, 0, obs=obs
+    )
+    result = pipeline.run(streams)
+    return obs, pipeline, result
+
+
+def test_reports_cover_every_window(traced_run):
+    obs, pipeline, result = traced_run
+    reports = build_window_reports(
+        result, pipeline.config.window, phase_seconds=obs.phase_seconds
+    )
+    assert [r.window_id for r in reports] == [w.window_id for w in result.windows]
+    for r, w in zip(reports, result.windows):
+        assert r.arrived == sum(w.arrived.values())
+        assert r.kept == sum(w.kept.values())
+        assert r.dropped == sum(w.dropped.values())
+        assert r.arrived == r.kept + r.dropped
+        assert r.end > r.start
+    assert sum(r.dropped for r in reports) == result.total_dropped
+    assert any(r.dropped > 0 for r in reports), "peak rate should force shedding"
+
+
+def test_reports_carry_rms_and_phases(traced_run):
+    obs, pipeline, result = traced_run
+    reports = build_window_reports(
+        result, pipeline.config.window, phase_seconds=obs.phase_seconds
+    )
+    # compute_ideal defaults on, so every window has an RMS number...
+    assert all(r.rms_error is not None and r.rms_error >= 0.0 for r in reports)
+    # ...and the instrumented run recorded per-phase evaluation seconds.
+    for r in reports:
+        assert {"exact", "shadow", "merge"} <= set(r.phase_seconds)
+        assert all(v >= 0.0 for v in r.phase_seconds.values())
+
+
+def test_drop_fraction_and_dict_shape():
+    r = WindowReport(
+        window_id=2, start=2.0, end=3.0, arrived=100, kept=75, dropped=25,
+        result_latency=0.5, rms_error=1.25, phase_seconds={"exact": 0.01},
+    )
+    assert r.drop_fraction == 0.25
+    d = r.to_dict()
+    assert d["drop_fraction"] == 0.25
+    assert d["phase_seconds"] == {"exact": 0.01}
+    empty = WindowReport(0, 0.0, 1.0, 0, 0, 0, None, None)
+    assert empty.drop_fraction == 0.0
+
+
+def test_summarize_reports_rollup(traced_run):
+    obs, pipeline, result = traced_run
+    reports = build_window_reports(
+        result, pipeline.config.window, phase_seconds=obs.phase_seconds
+    )
+    summary = summarize_reports(reports)
+    assert summary["windows"] == len(reports)
+    assert summary["arrived"] == result.total_arrived
+    assert summary["dropped"] == result.total_dropped
+    assert summary["max_rms_error"] >= summary["mean_rms_error"] >= 0.0
+    worst = summary["worst_error_window"]
+    assert worst in {r.window_id for r in reports}
+    worst_report = next(r for r in reports if r.window_id == worst)
+    assert worst_report.rms_error == summary["max_rms_error"]
+
+
+def test_summarize_empty():
+    assert summarize_reports([]) == {"windows": 0}

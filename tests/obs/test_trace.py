@@ -1,0 +1,173 @@
+"""Tracer ring buffer, event shapes, exports, validation, no-op path."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    TraceError,
+    Tracer,
+    validate_chrome_trace,
+)
+
+
+class FakeClock:
+    """A controllable clock so span durations are exact."""
+
+    def __init__(self):
+        self.t = 100.0
+
+    def advance(self, dt):
+        self.t += dt
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(capacity=16, clock=clock)
+
+
+def test_span_records_complete_event(tracer, clock):
+    with tracer.span("exact", cat="window", window=3):
+        clock.advance(0.002)
+    (e,) = tracer.events()
+    assert e["ph"] == "X"
+    assert e["name"] == "exact"
+    assert e["cat"] == "window"
+    assert e["ts"] == 0.0  # span opened at tracer start
+    assert e["dur"] == pytest.approx(2000.0)  # 2ms in µs
+    assert e["args"] == {"window": 3}
+
+
+def test_complete_pairs_with_now(tracer, clock):
+    t0 = tracer.now()
+    clock.advance(0.5)
+    t1 = tracer.now()
+    clock.advance(1.0)  # work after t1 must not leak into the span
+    tracer.complete("drain", t0, t1, polled=7)
+    (e,) = tracer.events()
+    assert e["dur"] == pytest.approx(500_000.0)
+    assert e["args"]["polled"] == 7
+
+
+def test_complete_defaults_end_to_current_clock(tracer, clock):
+    t0 = tracer.now()
+    clock.advance(0.25)
+    tracer.complete("drain", t0)
+    assert tracer.events()[0]["dur"] == pytest.approx(250_000.0)
+
+
+def test_instant_and_counter_shapes(tracer):
+    tracer.instant("window_close", cat="window", window=1)
+    tracer.counter("queue_depth", 42.0, stream="R")
+    close, depth = tracer.events()
+    assert close["ph"] == "i" and close["s"] == "t"
+    assert depth["ph"] == "C"
+    assert depth["args"] == {"stream": "R", "queue_depth": 42.0}
+
+
+def test_tuple_event_stamps_wall_clock_and_stream_time(tracer, clock):
+    clock.advance(3.0)
+    tracer.tuple_event("shed", "R", 17.5)
+    (e,) = tracer.events()
+    assert e["cat"] == "tuple"
+    assert e["ts"] == pytest.approx(3e6)  # wall clock, µs since start
+    assert e["args"] == {"source": "R", "t": 17.5}
+
+
+def test_tuple_events_flag_silences_lifecycle_only(clock):
+    tracer = Tracer(capacity=16, tuple_events=False, clock=clock)
+    tracer.tuple_event("ingest", "R", 0.0)
+    tracer.instant("window_close")
+    assert [e["name"] for e in tracer.events()] == ["window_close"]
+
+
+def test_ring_buffer_evicts_oldest_and_counts_dropped(tracer):
+    for i in range(20):
+        tracer.instant(f"e{i}")
+    assert len(tracer) == 16
+    assert tracer.emitted == 20
+    assert tracer.dropped == 4
+    assert tracer.events()[0]["name"] == "e4"  # oldest four evicted
+
+
+def test_clear_resets_buffer_and_counts(tracer):
+    tracer.instant("x")
+    tracer.clear()
+    assert len(tracer) == 0 and tracer.emitted == 0 and tracer.dropped == 0
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_to_chrome_validates_and_roundtrips(tracer, clock):
+    with tracer.span("merge"):
+        clock.advance(0.001)
+    tracer.tuple_event("enqueue", "S", 1.0)
+    doc = tracer.to_chrome()
+    events = validate_chrome_trace(doc)
+    assert len(events) == 2
+    assert doc["otherData"]["generator"] == "repro.obs.trace"
+    # The document must survive a JSON round trip unchanged.
+    assert json.loads(json.dumps(doc)) == doc
+
+
+def test_to_jsonl_one_object_per_line(tracer):
+    tracer.instant("a")
+    tracer.instant("b")
+    lines = tracer.to_jsonl().splitlines()
+    assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+
+def test_write_both_formats(tracer, tmp_path):
+    tracer.instant("a")
+    chrome = tmp_path / "trace.json"
+    jsonl = tmp_path / "trace.jsonl"
+    tracer.write(chrome, fmt="chrome")
+    tracer.write(jsonl, fmt="jsonl")
+    validate_chrome_trace(json.loads(chrome.read_text()))
+    assert json.loads(jsonl.read_text().splitlines()[0])["name"] == "a"
+    with pytest.raises(ValueError):
+        tracer.write(tmp_path / "t", fmt="xml")
+
+
+def test_null_tracer_is_inert():
+    assert NULL_TRACER.enabled is False
+    assert isinstance(NULL_TRACER, NullTracer)
+    with NULL_TRACER.span("anything"):
+        pass
+    NULL_TRACER.complete("drain", NULL_TRACER.now())
+    NULL_TRACER.instant("x")
+    NULL_TRACER.tuple_event("ingest", "R", 0.0)
+    NULL_TRACER.counter("depth", 1.0)
+    assert len(NULL_TRACER) == 0 and NULL_TRACER.emitted == 0
+
+
+@pytest.mark.parametrize(
+    "doc",
+    [
+        {},
+        {"traceEvents": {}},
+        {"traceEvents": ["nope"]},
+        {"traceEvents": [{"name": "", "cat": "c", "ph": "i", "ts": 0, "pid": 1, "tid": 0}]},
+        {"traceEvents": [{"name": "n", "cat": "c", "ph": "Z", "ts": 0, "pid": 1, "tid": 0}]},
+        {"traceEvents": [{"name": "n", "cat": "c", "ph": "i", "ts": -1, "pid": 1, "tid": 0}]},
+        {"traceEvents": [{"name": "n", "cat": "c", "ph": "i", "ts": 0, "pid": "1", "tid": 0}]},
+        {"traceEvents": [{"name": "n", "cat": "c", "ph": "X", "ts": 0, "pid": 1, "tid": 0}]},
+        {"traceEvents": [{"name": "n", "cat": "c", "ph": "i", "ts": 0, "pid": 1, "tid": 0, "args": [1]}]},
+    ],
+)
+def test_validate_rejects_malformed(doc):
+    with pytest.raises(TraceError):
+        validate_chrome_trace(doc)

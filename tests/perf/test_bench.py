@@ -62,6 +62,11 @@ class TestRunBenchSuites:
         assert r["ops_per_sec"] > 0
         assert r["unit"] == "evaluations"
 
+    def test_traced_suite_registered_alongside_plain(self):
+        # The overhead comparison needs both suites under their stable names.
+        assert "pipeline_fig9_bursty" in bench.SUITES
+        assert "pipeline_fig9_traced" in bench.SUITES
+
 
 class TestLazyExports:
     def test_perf_package_reexports(self):
