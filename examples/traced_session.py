@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Distributed tracing + live telemetry end to end, in one process pair.
+
+A tuple's life now starts in a client and ends in a RESULT fan-out; this
+example shows the whole journey being recorded and stitched back together:
+
+1. the server runs with a tracer labeled ``server``; the client attaches
+   its own tracer labeled ``client``;
+2. every PUBLISH mints a ``{trace_id, parent}`` context that rides the
+   frame; the server continues the trace through ingest → triage queue →
+   window close → RESULT, and the RESULT frame echoes the context back;
+3. the client also opts into the TELEMETRY push: metric deltas, window
+   reports, and SLO burn-rate alerts arrive while a burst overloads the
+   queue — watch the ``shed_ratio``/``window_staleness`` alerts fire;
+4. both sides export JSONL traces, and ``merge_jsonl_traces`` (the
+   library behind ``repro trace --merge``) aligns their clocks into one
+   Perfetto-loadable document with the client's trace_ids present on both
+   process tracks.
+
+Window time is an injected clock so the run is deterministic; the sockets,
+framing, tracing, and telemetry are the real thing.
+
+Run:  python examples/traced_session.py
+Then: load traced_session.json in https://ui.perfetto.dev
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.core.strategies import PipelineConfig
+from repro.engine.window import WindowSpec
+from repro.experiments import PAPER_QUERY, paper_catalog
+from repro.obs import Observability
+from repro.obs.trace import Tracer, merge_jsonl_traces
+from repro.service import ServiceConfig, TriageClient, TriageServer
+
+STEADY_R, BURST_R = 150, 3000
+PER_WINDOW_S = PER_WINDOW_T = 200
+
+
+def spread(window: int, n: int) -> list[float]:
+    """n timestamps evenly through window ``w`` of width 1."""
+    return [window + i / n for i in range(n)]
+
+
+async def main() -> None:
+    clock = {"t": 0.0}
+    config = PipelineConfig(
+        window=WindowSpec(width=1.0),
+        queue_capacity=250,
+        service_time=0.001,
+        compute_ideal=False,
+    )
+    service = ServiceConfig(
+        tick_interval=None, clock=lambda: clock["t"], telemetry_interval=1.0
+    )
+    server_obs = Observability(trace=True, label="server")
+    server = TriageServer(
+        paper_catalog(), PAPER_QUERY, config, service, obs=server_obs
+    )
+    await server.start()
+    print(f"service listening on 127.0.0.1:{server.port}")
+
+    client_tracer = Tracer(label="client")
+    client = await TriageClient.connect(
+        "127.0.0.1", server.port, client_name="traced-demo", tracer=client_tracer
+    )
+    for stream in ("R", "S", "T"):
+        await client.declare(stream)
+    await client.subscribe(telemetry=True, telemetry_interval=1.0)
+
+    async def tick_to(t: float) -> None:
+        clock["t"] = t
+        await server.tick()
+
+    # Three windows: steady, 20x burst on R (the queue sheds), steady.
+    for w, r_rate in enumerate((STEADY_R, BURST_R, STEADY_R)):
+        for stream, rate in (("R", r_rate), ("S", PER_WINDOW_S), ("T", PER_WINDOW_T)):
+            ts = spread(w, rate)
+            # R(a) and T(d) are single-column; S(b, c) carries two.
+            if stream == "S":
+                rows = [[1 + i % 10, 5] for i in range(rate)]
+            else:
+                rows = [[1 + i % 10] for i in range(rate)]
+            ack = await client.publish(stream, rows, timestamps=ts)
+            if ack["queue_dropped_total"]:
+                print(
+                    f"window {w}: {stream} queue shed "
+                    f"{ack['queue_dropped_total']} tuples so far"
+                )
+        await tick_to(w + 1.2)
+
+    await tick_to(5.0)  # flush the last window + a telemetry interval
+
+    seen = 0
+    while (result := await client.next_result(timeout=1.0)) is not None:
+        traces = result.get("traces") or []
+        print(
+            f"RESULT window {result['window']}: {len(result['groups'])} groups, "
+            f"shed {result['drop_fraction']:.0%}, "
+            f"{len(traces)} trace contexts echoed"
+        )
+        seen += 1
+        if seen == 3:
+            break
+
+    telemetry = await client.next_telemetry(timeout=1.0)
+    if telemetry is not None:
+        print(
+            f"TELEMETRY #{telemetry['seq']}: "
+            f"{len(telemetry.get('metrics') or {})} metric deltas, "
+            f"{len(telemetry.get('reports') or ())} window reports, "
+            f"firing alerts: {telemetry.get('firing') or 'none'}"
+        )
+
+    await client.close()
+    await server.shutdown()
+
+    client_tracer.write("traced_client.jsonl", fmt="jsonl")
+    server_obs.tracer.write("traced_server.jsonl", fmt="jsonl")
+    doc = merge_jsonl_traces(["traced_client.jsonl", "traced_server.jsonl"])
+    with open("traced_session.json", "w", encoding="utf-8") as fp:
+        json.dump(doc, fp, indent=1)
+    ids = {
+        e["args"]["trace_id"]
+        for e in doc["traceEvents"]
+        if isinstance(e.get("args"), dict) and "trace_id" in e["args"]
+    }
+    pids = {
+        e["pid"]
+        for e in doc["traceEvents"]
+        if isinstance(e.get("args"), dict) and "trace_id" in e["args"]
+    }
+    print(
+        f"merged trace: {len(doc['traceEvents'])} events, "
+        f"{len(ids)} trace ids across {len(pids)} process tracks "
+        "-> traced_session.json (load it in ui.perfetto.dev)"
+    )
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

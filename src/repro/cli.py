@@ -9,7 +9,9 @@
     python -m repro.cli rewrite "SELECT ..."        # Figures 4/5 SQL
     python -m repro.cli bench [--quick]             # perf regression suites
     python -m repro.cli trace [--out trace.json]    # traced Figure 9 run
+    python -m repro.cli trace --merge a.jsonl b.jsonl  # stitch process traces
     python -m repro.cli serve [--port 7077] [...]   # live triage service
+    python -m repro.cli top [--once]                # live service dashboard
 
 All load experiments print the figure's data table, a terminal chart, and a
 CSV block.  ``explain``/``rewrite`` operate on the paper's R/S/T catalog,
@@ -134,6 +136,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="spans only; skip per-tuple lifecycle instants",
     )
+    trace.add_argument(
+        "--merge",
+        nargs="+",
+        metavar="JSONL",
+        default=None,
+        help="instead of running: stitch per-process JSONL exports "
+        "(e.g. client.jsonl server.jsonl) into one clock-aligned "
+        "Chrome trace at --out",
+    )
+    trace.add_argument(
+        "--labels",
+        default=None,
+        help="comma-separated process-track names for --merge inputs",
+    )
 
     serve = sub.add_parser(
         "serve", help="run the streaming ingest/subscribe triage service"
@@ -183,6 +199,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="serve for this many seconds, then shut down gracefully "
         "(default: until interrupted)",
+    )
+    serve.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=1.0,
+        help="seconds between TELEMETRY pushes and SLO evaluations "
+        "(0 disables)",
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record a server-side trace and write it (JSONL) on shutdown; "
+        "merge with a client export via `repro trace --merge`",
+    )
+
+    top = sub.add_parser(
+        "top", help="live ANSI dashboard over a running triage service"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7077)
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one STATS snapshot and exit (no screen clearing)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="requested telemetry push interval, seconds",
+    )
+    top.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after N telemetry frames (default: run until the feed ends)",
+    )
+    top.add_argument(
+        "--no-color", action="store_true", help="plain text, no ANSI colors"
     )
 
     return parser
@@ -263,6 +320,9 @@ def cmd_trace(args, out) -> int:
     from repro.obs.trace import validate_chrome_trace
     from repro.experiments import bursty_pipeline
 
+    if args.merge is not None:
+        return cmd_trace_merge(args, out)
+
     params = ExperimentParams(n_windows=2 if args.quick else 8)
     obs = Observability(
         trace=True,
@@ -303,6 +363,51 @@ def cmd_trace(args, out) -> int:
     return 0
 
 
+def cmd_trace_merge(args, out) -> int:
+    """``repro trace --merge a.jsonl b.jsonl``: one clock-aligned document."""
+    import json
+
+    from repro.obs.trace import merge_jsonl_traces
+
+    labels = (
+        [x.strip() for x in args.labels.split(",")] if args.labels else None
+    )
+    doc = merge_jsonl_traces(args.merge, labels=labels)
+    with open(args.out, "w", encoding="utf-8") as fp:
+        json.dump(doc, fp, indent=1)
+        fp.write("\n")
+    offsets = doc["otherData"]["clock_offsets_us"]
+    out.write(
+        f"merged {len(args.merge)} traces "
+        f"({len(doc['traceEvents'])} events) -> {args.out}\n"
+    )
+    for label, offset in offsets.items():
+        out.write(f"  {label}: clock offset {offset / 1e3:+.3f} ms\n")
+    return 0
+
+
+def cmd_top(args, out) -> int:
+    from repro.obs.top import run_top
+
+    try:
+        return asyncio.run(
+            run_top(
+                args.host,
+                args.port,
+                once=args.once,
+                color=not args.no_color,
+                interval=args.interval,
+                max_frames=args.frames,
+                out=out,
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+    except ConnectionError as exc:
+        out.write(f"cannot reach {args.host}:{args.port}: {exc}\n")
+        return 1
+
+
 def cmd_serve(args, out) -> int:
     from repro.core.strategies import PipelineConfig
     from repro.engine.window import WindowSpec
@@ -322,8 +427,16 @@ def cmd_serve(args, out) -> int:
         grace=args.grace,
         max_sessions=args.max_sessions,
         rate_limit=args.rate_limit,
+        telemetry_interval=args.telemetry_interval or None,
     )
-    server = TriageServer(paper_catalog(), args.query or PAPER_QUERY, config, service)
+    obs = None
+    if args.trace_out:
+        from repro.obs import Observability
+
+        obs = Observability(trace=True, label="server")
+    server = TriageServer(
+        paper_catalog(), args.query or PAPER_QUERY, config, service, obs=obs
+    )
 
     async def run() -> None:
         await server.start()
@@ -340,6 +453,9 @@ def cmd_serve(args, out) -> int:
                     await asyncio.sleep(3600)
         finally:
             await server.shutdown()
+            if obs is not None and args.trace_out:
+                obs.tracer.write(args.trace_out, fmt="jsonl")
+                out.write(f"server trace -> {args.trace_out}\n")
             out.write("triage service stopped\n")
 
     try:
@@ -370,6 +486,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return cmd_trace(args, out)
     if args.command == "serve":
         return cmd_serve(args, out)
+    if args.command == "top":
+        return cmd_top(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -688,6 +688,7 @@ class DataTriagePipeline:
         dropped_counts: dict[str, dict[int, int]],
         arrived: dict[str, dict[int, int]],
         ideal_inputs=None,
+        trace_ids: dict[int, list[str]] | None = None,
     ) -> list[WindowOutcome]:
         """Turn per-window kept rows + synopses into composite answers.
 
@@ -696,6 +697,13 @@ class DataTriagePipeline:
         (when provided — pass ``None`` for drop-only semantics), and merge.
         External shedding layers (e.g. the distributed gateway of
         :mod:`repro.core.gateway`) reuse this after doing their own triage.
+
+        ``trace_ids`` maps a window id to the distributed-trace ids of the
+        PUBLISH batches that landed in it; the window's ``window_close`` and
+        ``emit`` events are tagged with them (plus flow steps), which is
+        what lets a merged client+server trace connect one publish to the
+        window that answered it.  Like all tracing it is decoration only —
+        recorded on the serial path, never on outcomes.
 
         Windows are independent, so with ``config.parallel_windows = N``
         the batch is chunked across a process pool; outcomes come back in
@@ -730,6 +738,7 @@ class DataTriagePipeline:
                 dropped_counts,
                 arrived,
                 ideal_inputs,
+                trace_ids,
             )
         self._dispatch_window_hooks(outcomes)
         return outcomes
@@ -749,6 +758,7 @@ class DataTriagePipeline:
         dropped_counts: dict[str, dict[int, int]],
         arrived: dict[str, dict[int, int]],
         ideal_inputs=None,
+        trace_ids: dict[int, list[str]] | None = None,
     ) -> list[WindowOutcome]:
         sources = [link.source_name for link in self.plan.chain]
         stream_of = {
@@ -768,8 +778,21 @@ class DataTriagePipeline:
         clock = time.perf_counter
         windows: list[WindowOutcome] = []
         for wid in window_ids:
+            wid_traces = trace_ids.get(wid) if trace_ids else None
             if trace_on:
-                tracer.instant("window_close", cat="window", window=wid)
+                if wid_traces:
+                    tracer.instant(
+                        "window_close",
+                        cat="window",
+                        window=wid,
+                        trace_ids=wid_traces,
+                    )
+                    for tid in wid_traces:
+                        tracer.flow(
+                            "window_close", tid, phase="t", window=wid
+                        )
+                else:
+                    tracer.instant("window_close", cat="window", window=wid)
             exact_inputs = {
                 stream_of[s]: kept_rows[s].get(wid, empty) for s in sources
             }
@@ -813,9 +836,18 @@ class DataTriagePipeline:
                     tracer.complete("exact", t0, t1, cat="window", window=wid)
                     tracer.complete("shadow", t1, t2, cat="window", window=wid)
                     tracer.complete("merge", t2, t3, cat="window", window=wid)
-                    tracer.instant(
-                        "emit", cat="window", window=wid, rows=len(result.rows)
-                    )
+                    if wid_traces:
+                        tracer.instant(
+                            "emit",
+                            cat="window",
+                            window=wid,
+                            rows=len(result.rows),
+                            trace_ids=wid_traces,
+                        )
+                    else:
+                        tracer.instant(
+                            "emit", cat="window", window=wid, rows=len(result.rows)
+                        )
             windows.append(
                 WindowOutcome(
                     window_id=wid,

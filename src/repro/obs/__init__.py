@@ -25,8 +25,10 @@ from __future__ import annotations
 
 from repro.obs.metrics import (  # noqa: F401 - re-exported package surface
     DEFAULT_BUCKETS,
+    DEFAULT_MAX_SERIES,
     LATENCY_BUCKETS,
     Counter,
+    DeltaSnapshotter,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -38,6 +40,9 @@ from repro.obs.trace import (  # noqa: F401 - re-exported package surface
     NullTracer,
     TraceError,
     Tracer,
+    merge_jsonl_traces,
+    new_span_id,
+    new_trace_id,
     validate_chrome_trace,
 )
 
@@ -48,7 +53,9 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "DeltaSnapshotter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_MAX_SERIES",
     "LATENCY_BUCKETS",
     "global_registry",
     "record_hook_error",
@@ -57,8 +64,11 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "TraceError",
+    "new_trace_id",
+    "new_span_id",
+    "merge_jsonl_traces",
     "validate_chrome_trace",
-    # lazy: profile / report
+    # lazy: profile / report / slo / top
     "OperatorProfile",
     "ProfileReport",
     "profile_execution",
@@ -66,6 +76,12 @@ __all__ = [
     "WindowReport",
     "build_window_reports",
     "summarize_reports",
+    "SLO",
+    "Alert",
+    "SLOEngine",
+    "default_service_slos",
+    "Dashboard",
+    "sparkline",
 ]
 
 #: Names resolved on first attribute access (PEP 562), keeping this package
@@ -79,6 +95,12 @@ _LAZY = {
     "WindowReport": "repro.obs.report",
     "build_window_reports": "repro.obs.report",
     "summarize_reports": "repro.obs.report",
+    "SLO": "repro.obs.slo",
+    "Alert": "repro.obs.slo",
+    "SLOEngine": "repro.obs.slo",
+    "default_service_slos": "repro.obs.slo",
+    "Dashboard": "repro.obs.top",
+    "sparkline": "repro.obs.top",
 }
 
 
@@ -110,15 +132,25 @@ class Observability:
         trace: bool = False,
         trace_capacity: int = 65536,
         tuple_events: bool = True,
+        label: str = "repro",
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         if tracer is None:
             tracer = (
-                Tracer(trace_capacity, tuple_events=tuple_events)
+                Tracer(trace_capacity, tuple_events=tuple_events, label=label)
                 if trace
                 else NULL_TRACER
             )
         self.tracer = tracer
+        if self.tracer.enabled:
+            # Ring-buffer overflow must be visible, not silent: every event
+            # evicted by a full trace buffer counts here.
+            self.tracer.bind_drop_counter(
+                self.registry.counter(
+                    "trace_events_dropped_total",
+                    "Trace events evicted by the ring buffer",
+                )
+            )
         #: window id → {phase: seconds}; run-level phases (queue drain) use
         #: :attr:`run_phase_seconds` instead, since they span windows.
         self.phase_seconds: dict[int, dict[str, float]] = {}

@@ -24,6 +24,19 @@ Histograms take per-instrument bucket overrides: sub-second timings use
 conflicting re-registration of the same name with different bounds is a
 :class:`ValueError` rather than a silent share of the first caller's spread.
 
+Two protections for long-running deployments:
+
+* **Label-cardinality cap** — each instrument holds at most
+  ``max_series`` label combinations (registry-wide knob, default
+  :data:`DEFAULT_MAX_SERIES`); an update that would mint series number
+  cap+1 is dropped and counted under ``obs_series_dropped_total{metric=}``
+  instead of growing the registry without bound (a per-session or
+  per-source label on a busy server would otherwise do exactly that).
+* **Delta snapshots** — :class:`DeltaSnapshotter` diffs successive sample
+  sets, so the service's TELEMETRY push ships per-interval increments for
+  counters/histograms (gauges stay absolute) rather than ever-growing
+  totals.
+
 The metric catalog is documented in ``docs/observability.md``.
 """
 
@@ -37,11 +50,16 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "DeltaSnapshotter",
     "DEFAULT_BUCKETS",
     "LATENCY_BUCKETS",
+    "DEFAULT_MAX_SERIES",
     "global_registry",
     "record_hook_error",
 ]
+
+#: Default per-instrument cap on label combinations (series).
+DEFAULT_MAX_SERIES = 256
 
 #: Default histogram buckets: a wide spread for counts and coarse timings.
 DEFAULT_BUCKETS = (
@@ -71,14 +89,20 @@ def _label_suffix(label_names: tuple[str, ...], label_values: tuple) -> str:
     if not label_names:
         return ""
     pairs = ",".join(
-        f'{name}="{_escape(str(value))}"'
+        f'{name}="{_escape_label(str(value))}"'
         for name, value in zip(label_names, label_values)
     )
     return "{" + pairs + "}"
 
 
-def _escape(text: str) -> str:
+def _escape_label(text: str) -> str:
+    """Label-value escaping per the exposition format: ``\\``, ``"``, LF."""
     return text.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _escape_help(text: str) -> str:
+    """HELP-text escaping: only ``\\`` and LF — quotes stay literal there."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
 
 
 class _Instrument:
@@ -87,12 +111,21 @@ class _Instrument:
     kind = "untyped"
 
     def __init__(
-        self, name: str, help: str, label_names: tuple[str, ...], lock: threading.Lock
+        self,
+        name: str,
+        help: str,
+        label_names: tuple[str, ...],
+        lock: threading.Lock,
+        *,
+        max_series: int | None = None,
+        on_drop=None,
     ) -> None:
         self.name = name
         self.help = help
         self.label_names = label_names
         self._lock = lock
+        self.max_series = max_series
+        self._on_drop = on_drop
 
     def _key(self, labels: dict) -> tuple:
         if set(labels) != set(self.label_names):
@@ -102,14 +135,24 @@ class _Instrument:
             )
         return tuple(labels[n] for n in self.label_names)
 
+    def _series_full(self, store: dict) -> bool:
+        """True when minting one more series would exceed the cap."""
+        return self.max_series is not None and len(store) >= self.max_series
+
+    def _dropped_series(self) -> None:
+        """Count one refused sample (called OUTSIDE the instrument lock —
+        the registry's drop counter shares it)."""
+        if self._on_drop is not None:
+            self._on_drop(self.name)
+
 
 class Counter(_Instrument):
     """A monotonically increasing count."""
 
     kind = "counter"
 
-    def __init__(self, name, help, label_names, lock):
-        super().__init__(name, help, label_names, lock)
+    def __init__(self, name, help, label_names, lock, **guards):
+        super().__init__(name, help, label_names, lock, **guards)
         self._values: dict[tuple, float] = {}
 
     def inc(self, amount: float = 1.0, **labels) -> None:
@@ -117,7 +160,16 @@ class Counter(_Instrument):
             raise ValueError("counters only go up")
         key = self._key(labels)
         with self._lock:
-            self._values[key] = self._values.get(key, 0.0) + amount
+            if key in self._values:
+                self._values[key] += amount
+                dropped = False
+            elif self._series_full(self._values):
+                dropped = True
+            else:
+                self._values[key] = amount
+                dropped = False
+        if dropped:
+            self._dropped_series()
 
     def value(self, **labels) -> float:
         with self._lock:
@@ -144,18 +196,34 @@ class Gauge(_Instrument):
 
     kind = "gauge"
 
-    def __init__(self, name, help, label_names, lock):
-        super().__init__(name, help, label_names, lock)
+    def __init__(self, name, help, label_names, lock, **guards):
+        super().__init__(name, help, label_names, lock, **guards)
         self._values: dict[tuple, float] = {}
 
     def set(self, value: float, **labels) -> None:
+        key = self._key(labels)
         with self._lock:
-            self._values[self._key(labels)] = float(value)
+            if key in self._values or not self._series_full(self._values):
+                self._values[key] = float(value)
+                dropped = False
+            else:
+                dropped = True
+        if dropped:
+            self._dropped_series()
 
     def inc(self, amount: float = 1.0, **labels) -> None:
         key = self._key(labels)
         with self._lock:
-            self._values[key] = self._values.get(key, 0.0) + amount
+            if key in self._values:
+                self._values[key] += amount
+                dropped = False
+            elif self._series_full(self._values):
+                dropped = True
+            else:
+                self._values[key] = amount
+                dropped = False
+        if dropped:
+            self._dropped_series()
 
     def dec(self, amount: float = 1.0, **labels) -> None:
         self.inc(-amount, **labels)
@@ -178,8 +246,10 @@ class Histogram(_Instrument):
 
     kind = "histogram"
 
-    def __init__(self, name, help, label_names, lock, buckets=DEFAULT_BUCKETS):
-        super().__init__(name, help, label_names, lock)
+    def __init__(
+        self, name, help, label_names, lock, buckets=DEFAULT_BUCKETS, **guards
+    ):
+        super().__init__(name, help, label_names, lock, **guards)
         bounds = tuple(sorted(float(b) for b in buckets))
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
@@ -193,10 +263,18 @@ class Histogram(_Instrument):
         with self._lock:
             counts = self._counts.get(key)
             if counts is None:
-                counts = self._counts[key] = [0] * (len(self.bounds) + 1)
-            counts[bisect_left(self.bounds, value)] += 1
-            self._sum[key] = self._sum.get(key, 0.0) + value
-            self._count[key] = self._count.get(key, 0) + 1
+                if self._series_full(self._counts):
+                    dropped = True
+                    counts = None
+                else:
+                    counts = self._counts[key] = [0] * (len(self.bounds) + 1)
+            if counts is not None:
+                dropped = False
+                counts[bisect_left(self.bounds, value)] += 1
+                self._sum[key] = self._sum.get(key, 0.0) + value
+                self._count[key] = self._count.get(key, 0) + 1
+        if dropped:
+            self._dropped_series()
 
     def count(self, **labels) -> int:
         with self._lock:
@@ -240,14 +318,22 @@ class Histogram(_Instrument):
 
 
 class MetricsRegistry:
-    """Name → instrument map with get-or-create accessors and exports."""
+    """Name → instrument map with get-or-create accessors and exports.
 
-    def __init__(self) -> None:
+    ``max_series`` caps the label combinations any one instrument may hold
+    (None lifts the cap); refused samples are counted under
+    ``obs_series_dropped_total{metric=}`` so the drop is visible.
+    """
+
+    def __init__(self, *, max_series: int | None = DEFAULT_MAX_SERIES) -> None:
+        if max_series is not None and max_series < 1:
+            raise ValueError(f"max_series must be >= 1 or None: {max_series}")
         self._lock = threading.Lock()
         self._instruments: dict[str, _Instrument] = {}
+        self.max_series = max_series
 
     # ------------------------------------------------------------------
-    def _get_or_create(self, cls, name, help, label_names, **kwargs):
+    def _get_or_create(self, cls, name, help, label_names, *, guard=True, **kwargs):
         with self._lock:
             existing = self._instruments.get(name)
             if existing is not None:
@@ -259,9 +345,28 @@ class MetricsRegistry:
                         f"{existing.kind} with labels {existing.label_names}"
                     )
                 return existing
-            inst = cls(name, help, tuple(label_names), self._lock, **kwargs)
+            inst = cls(
+                name,
+                help,
+                tuple(label_names),
+                self._lock,
+                max_series=self.max_series if guard else None,
+                on_drop=self._count_series_drop if guard else None,
+                **kwargs,
+            )
             self._instruments[name] = inst
             return inst
+
+    def _count_series_drop(self, metric: str) -> None:
+        """One sample refused by the cardinality cap (guard=False: the drop
+        counter itself must never recurse into the guard)."""
+        self._get_or_create(
+            Counter,
+            "obs_series_dropped_total",
+            "Samples dropped by the per-instrument label-cardinality cap",
+            ("metric",),
+            guard=False,
+        ).inc(metric=metric)
 
     def counter(self, name: str, help: str = "", labels: tuple = ()) -> Counter:
         return self._get_or_create(Counter, name, help, labels)
@@ -307,7 +412,13 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def render_prometheus(self) -> str:
-        """The Prometheus text exposition format, all instruments."""
+        """The Prometheus text exposition format, all instruments.
+
+        Every instrument gets its ``# HELP`` (when help text exists) and
+        ``# TYPE`` comment lines; HELP text escapes backslash and line-feed,
+        label values additionally escape double quotes — the two different
+        escaping rules of the exposition format.
+        """
         lines: list[str] = []
         # Hold the registry-wide lock for the full render: instruments share
         # this lock for updates, so the export is a consistent snapshot.
@@ -315,11 +426,25 @@ class MetricsRegistry:
             instruments = sorted(self._instruments.values(), key=lambda i: i.name)
             for inst in instruments:
                 if inst.help:
-                    lines.append(f"# HELP {inst.name} {_escape(inst.help)}")
+                    lines.append(f"# HELP {inst.name} {_escape_help(inst.help)}")
                 lines.append(f"# TYPE {inst.name} {inst.kind}")
                 for sample_name, value in inst._samples():
                     lines.append(f"{sample_name} {_format_value(value)}")
         return "\n".join(lines) + "\n"
+
+    def sample_values(self) -> list[tuple[str, str, float]]:
+        """Flat ``(kind, sample_name, value)`` triples, one consistent pass.
+
+        Sample names carry the full label suffix (Prometheus style), so the
+        list is diffable across snapshots — :class:`DeltaSnapshotter` is the
+        intended consumer.
+        """
+        out: list[tuple[str, str, float]] = []
+        with self._lock:
+            for inst in sorted(self._instruments.values(), key=lambda i: i.name):
+                for sample_name, value in inst._samples():
+                    out.append((inst.kind, sample_name, value))
+        return out
 
     def to_dict(self) -> dict:
         """JSON-safe snapshot: ``{name: {kind, help, values}}``."""
@@ -334,6 +459,37 @@ class MetricsRegistry:
                 }
                 for inst in instruments
             }
+
+
+class DeltaSnapshotter:
+    """Per-interval metric increments, for streaming telemetry.
+
+    Each :meth:`delta` call diffs the registry's current samples against the
+    previous call: counter and histogram samples become increments (zero
+    increments are elided, so a quiet interval ships almost nothing), gauges
+    are passed through as absolute values.  A sample seen for the first time
+    reports its full value — correct for counters that started after the
+    previous snapshot.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._prev: dict[str, float] = {}
+
+    def delta(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        prev = self._prev
+        cur: dict[str, float] = {}
+        for kind, sample_name, value in self.registry.sample_values():
+            cur[sample_name] = value
+            if kind == "gauge":
+                out[sample_name] = value
+            else:
+                inc = value - prev.get(sample_name, 0.0)
+                if inc:
+                    out[sample_name] = inc
+        self._prev = cur
+        return out
 
 
 # ---------------------------------------------------------------------------

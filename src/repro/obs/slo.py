@@ -1,0 +1,313 @@
+"""Service-level objectives with multi-window burn-rate alerting.
+
+The paper's delay constraint and RMS-error curves (Figures 8-9) are
+service-level objectives in all but name: "99% of windows answer within X
+seconds", "at most 10% of windows exceed the error budget".  This module
+states such targets declaratively and continuously scores a running system
+against them, Google-SRE style:
+
+* an :class:`SLO` names one measurement, a *threshold* that classifies each
+  observation good or bad, and an *objective* — the fraction of
+  observations that must be good;
+* a :class:`SLOEngine` ingests observations (one per closed window, fed by
+  the service) and evaluates **multi-window burn rates**: the error-budget
+  consumption rate over a *fast* window (default 5x budget burn to fire)
+  AND a *slow* window (default 1x).  Requiring both makes alerts respond
+  within a couple of evaluation windows to real overload while one
+  stray bad window inside a long quiet stretch stays silent;
+* evaluation exports Prometheus gauges (``slo_burn_rate``,
+  ``slo_error_budget_remaining``, ``slo_alert_firing``) and returns
+  :class:`Alert` transition events that the service pushes to TELEMETRY
+  subscribers.
+
+Burn rate is the standard normalization: with error budget ``1 -
+objective``, ``burn = bad_fraction / budget``.  A burn rate held at 1.0
+spends exactly the budget over the objective's compliance period; 5.0
+exhausts it five times as fast.
+
+All time is injected (the service's window clock), so tests and
+deterministic deployments drive evaluation explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["SLO", "Alert", "SLOEngine", "default_service_slos"]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One objective: ``value <= threshold`` is good; be good
+    ``objective`` of the time."""
+
+    name: str
+    #: An observation strictly above this is a bad event.
+    threshold: float
+    #: Required good fraction (error budget = 1 - objective).
+    objective: float = 0.9
+    #: Burn-rate evaluation windows, seconds of service clock.
+    fast_window: float = 30.0
+    slow_window: float = 120.0
+    #: Burn-rate thresholds; the alert fires only when BOTH are exceeded.
+    fast_burn: float = 5.0
+    slow_burn: float = 1.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+        if self.fast_window <= 0 or self.slow_window <= 0:
+            raise ValueError("burn-rate windows must be positive")
+        if self.fast_window > self.slow_window:
+            raise ValueError(
+                f"fast window ({self.fast_window}) must not exceed the "
+                f"slow window ({self.slow_window})"
+            )
+        if self.fast_burn <= 0 or self.slow_burn <= 0:
+            raise ValueError("burn thresholds must be positive")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the tolerable bad-event fraction."""
+        return 1.0 - self.objective
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One SLO state transition (``firing`` or ``resolved``)."""
+
+    slo: str
+    state: str  # "firing" | "resolved"
+    at: float
+    burn_fast: float
+    burn_slow: float
+    budget_remaining: float
+    description: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "slo": self.slo,
+            "state": self.state,
+            "at": self.at,
+            "burn_fast": self.burn_fast,
+            "burn_slow": self.burn_slow,
+            "budget_remaining": self.budget_remaining,
+            "description": self.description,
+        }
+
+
+@dataclass
+class _Tracked:
+    slo: SLO
+    #: (timestamp, bad) observations, oldest first, pruned to slow_window.
+    events: deque = field(default_factory=deque)
+    firing_since: float | None = None
+    burn_fast: float = 0.0
+    burn_slow: float = 0.0
+    budget_remaining: float = 1.0
+
+
+def _burn(events, horizon: float, now: float, budget: float) -> float:
+    """Budget burn rate over ``(now - horizon, now]`` (0.0 with no events)."""
+    total = bad = 0
+    for t, is_bad in reversed(events):
+        if t <= now - horizon:
+            break
+        total += 1
+        bad += is_bad
+    if total == 0:
+        return 0.0
+    return (bad / total) / budget
+
+
+class SLOEngine:
+    """Evaluate a set of SLOs against observed measurements.
+
+    ``registry`` (optional) receives the gauge/counter exports; without one
+    the engine still tracks state and returns alerts.  ``max_events`` bounds
+    per-SLO memory — windows close at a bounded rate, so the default holds
+    far more history than any sane burn window needs.
+    """
+
+    def __init__(
+        self,
+        slos,
+        registry: MetricsRegistry | None = None,
+        *,
+        max_events: int = 4096,
+    ) -> None:
+        self._tracked: dict[str, _Tracked] = {}
+        for slo in slos:
+            if slo.name in self._tracked:
+                raise ValueError(f"duplicate SLO name {slo.name!r}")
+            self._tracked[slo.name] = _Tracked(
+                slo, deque(maxlen=max_events)
+            )
+        self.registry = registry
+        self._g_burn = self._g_budget = self._g_firing = self._c_alerts = None
+        if registry is not None:
+            self._g_burn = registry.gauge(
+                "slo_burn_rate",
+                "Error-budget burn rate per SLO and evaluation window",
+                ("slo", "window"),
+            )
+            self._g_budget = registry.gauge(
+                "slo_error_budget_remaining",
+                "Fraction of the error budget left over the slow window",
+                ("slo",),
+            )
+            self._g_firing = registry.gauge(
+                "slo_alert_firing", "1 while the SLO's alert is firing", ("slo",)
+            )
+            self._c_alerts = registry.counter(
+                "slo_alerts_total", "Alert firings per SLO", ("slo",)
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def slos(self) -> list[SLO]:
+        return [t.slo for t in self._tracked.values()]
+
+    def observe(self, name: str, value: float, now: float) -> None:
+        """Record one measurement for SLO ``name`` at service time ``now``.
+
+        Unknown names are ignored (a feeder may emit more measurements than
+        this engine tracks — e.g. ``rms_error`` when no error SLO is set).
+        """
+        tracked = self._tracked.get(name)
+        if tracked is None:
+            return
+        tracked.events.append((now, 1 if value > tracked.slo.threshold else 0))
+        self._prune(tracked, now)
+
+    @staticmethod
+    def _prune(tracked: _Tracked, now: float) -> None:
+        horizon = now - tracked.slo.slow_window
+        events = tracked.events
+        while events and events[0][0] <= horizon:
+            events.popleft()
+
+    # ------------------------------------------------------------------
+    def evaluate(self, now: float) -> list[Alert]:
+        """Score every SLO at ``now``; returns state *transitions* only.
+
+        The currently-firing set stays available as :attr:`firing` — the
+        telemetry payload ships both, so a subscriber that joined late
+        still sees active alerts.
+        """
+        alerts: list[Alert] = []
+        for tracked in self._tracked.values():
+            slo = tracked.slo
+            self._prune(tracked, now)
+            events = tracked.events
+            fast = _burn(events, slo.fast_window, now, slo.budget)
+            slow = _burn(events, slo.slow_window, now, slo.budget)
+            tracked.burn_fast = fast
+            tracked.burn_slow = slow
+            tracked.budget_remaining = max(0.0, 1.0 - slow)
+            should_fire = fast >= slo.fast_burn and slow >= slo.slow_burn
+            transition: str | None = None
+            if should_fire and tracked.firing_since is None:
+                tracked.firing_since = now
+                transition = "firing"
+                if self._c_alerts is not None:
+                    self._c_alerts.inc(slo=slo.name)
+            elif not should_fire and tracked.firing_since is not None:
+                tracked.firing_since = None
+                transition = "resolved"
+            if self._g_burn is not None:
+                self._g_burn.set(fast, slo=slo.name, window="fast")
+                self._g_burn.set(slow, slo=slo.name, window="slow")
+                self._g_budget.set(tracked.budget_remaining, slo=slo.name)
+                self._g_firing.set(
+                    1.0 if tracked.firing_since is not None else 0.0,
+                    slo=slo.name,
+                )
+            if transition is not None:
+                alerts.append(
+                    Alert(
+                        slo=slo.name,
+                        state=transition,
+                        at=now,
+                        burn_fast=fast,
+                        burn_slow=slow,
+                        budget_remaining=tracked.budget_remaining,
+                        description=slo.description,
+                    )
+                )
+        return alerts
+
+    @property
+    def firing(self) -> list[str]:
+        """Names of SLOs whose alert is currently firing (sorted)."""
+        return sorted(
+            name
+            for name, t in self._tracked.items()
+            if t.firing_since is not None
+        )
+
+    def status(self) -> dict:
+        """JSON-safe snapshot: per-SLO burn rates, budget, firing state."""
+        return {
+            name: {
+                "threshold": t.slo.threshold,
+                "objective": t.slo.objective,
+                "burn_fast": t.burn_fast,
+                "burn_slow": t.burn_slow,
+                "budget_remaining": t.budget_remaining,
+                "firing": t.firing_since is not None,
+                "firing_since": t.firing_since,
+            }
+            for name, t in sorted(self._tracked.items())
+        }
+
+
+def default_service_slos(window_width: float) -> list[SLO]:
+    """The triage service's stock objectives, scaled to the window width.
+
+    * ``window_staleness`` — a window's result must land within one extra
+      window width of its close (the queue-sizing bound the paper argues
+      for); 90% compliance, so a sustained overload fires within a couple
+      of windows while an isolated stall does not.
+    * ``result_latency_p99`` — the tight tail target: results within a
+      quarter window width, 99% of windows.
+    * ``shed_ratio`` — shedding more than half a window's arrivals is a
+      bad window; 90% compliance (the error-budget side of Figure 9's
+      accuracy curve).
+    """
+    width = float(window_width)
+    if width <= 0:
+        raise ValueError(f"window width must be positive: {window_width}")
+    fast, slow = 4 * width, 16 * width
+    return [
+        SLO(
+            "window_staleness",
+            threshold=width,
+            objective=0.9,
+            fast_window=fast,
+            slow_window=slow,
+            description="window close -> result emission delay",
+        ),
+        SLO(
+            "result_latency_p99",
+            threshold=0.25 * width,
+            objective=0.99,
+            fast_window=fast,
+            slow_window=slow,
+            description="tail latency of per-window results",
+        ),
+        SLO(
+            "shed_ratio",
+            threshold=0.5,
+            objective=0.9,
+            fast_window=fast,
+            slow_window=slow,
+            description="fraction of a window's arrivals shed to synopses",
+        ),
+    ]

@@ -1,0 +1,265 @@
+"""``repro top`` — a dependency-free ANSI terminal dashboard.
+
+Renders the triage service's live TELEMETRY feed (see docs/service.md) as a
+small ``top``-style screen: queue depths and shed ratio per source, latency
+and RMS-error sparklines over recent windows, and any firing SLO alerts.
+Everything is plain ``str`` rendering over ANSI escape codes — no curses, no
+third-party packages — so it works anywhere the client does and its output
+can be captured verbatim in tests and CI (``repro top --once``).
+
+The module splits cleanly in two:
+
+* :class:`Dashboard` is pure state + rendering.  Feed it TELEMETRY payload
+  dicts (or one STATS response via :meth:`feed_stats`) and ask for
+  :meth:`render`; nothing here touches a socket or the terminal.
+* :func:`run_top` owns the asyncio client loop and the screen, and is what
+  ``repro top`` calls.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+__all__ = ["Dashboard", "sparkline", "run_top"]
+
+#: Eight-level block characters, lowest to highest.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+_CLEAR = "\x1b[2J\x1b[H"
+_BOLD = "\x1b[1m"
+_RED = "\x1b[31m"
+_GREEN = "\x1b[32m"
+_YELLOW = "\x1b[33m"
+_DIM = "\x1b[2m"
+_RESET = "\x1b[0m"
+
+
+def sparkline(values, width: int = 32) -> str:
+    """Render the last ``width`` values as a unicode sparkline.
+
+    Scaling is min→max over the rendered slice; a flat series renders as
+    all-low rather than all-high so "nothing happening" looks calm.
+    """
+    tail = [float(v) for v in list(values)[-width:]]
+    if not tail:
+        return ""
+    lo, hi = min(tail), max(tail)
+    span = hi - lo
+    if span <= 0:
+        return SPARK_CHARS[0] * len(tail)
+    top = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[min(top, int((v - lo) / span * top))] for v in tail
+    )
+
+
+def _fmt_num(value: float) -> str:
+    if value != value:  # NaN
+        return "-"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2f}"
+    return f"{value:.4f}"
+
+
+class Dashboard:
+    """Accumulate telemetry payloads and render them as a text screen.
+
+    ``history`` bounds the per-series sparkline memory.  ``color=False``
+    strips every ANSI attribute (kept for ``--once`` captures piped to
+    files); the clear-screen prefix is controlled separately by the caller.
+    """
+
+    def __init__(self, *, history: int = 64, color: bool = True) -> None:
+        self.history = history
+        self.color = color
+        self.frames = 0
+        self.now: float | None = None
+        self.interval: float | None = None
+        self.summary: dict = {}
+        self.firing: list[str] = []
+        self.slo: dict = {}
+        self.latency = deque(maxlen=history)
+        self.error = deque(maxlen=history)
+        self.shed = deque(maxlen=history)
+        self.depth = deque(maxlen=history)
+        self.alerts_log = deque(maxlen=8)
+        self.counters: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def feed(self, payload: dict) -> None:
+        """Ingest one TELEMETRY frame payload (already decoded)."""
+        self.frames += 1
+        self.now = payload.get("now", self.now)
+        self.interval = payload.get("interval", self.interval)
+        if "summary" in payload:
+            self.summary = payload["summary"] or {}
+            depth = self.summary.get("queue_depth")
+            if depth is not None:
+                self.depth.append(float(depth))
+        for report in payload.get("reports", ()):
+            self._feed_report(report)
+        for name, value in (payload.get("metrics") or {}).items():
+            self.counters[name] = self.counters.get(name, 0.0) + float(value)
+        slo = payload.get("slo")
+        if slo is not None:
+            self.slo = slo
+        if "firing" in payload:
+            self.firing = list(payload.get("firing") or ())
+        for alert in payload.get("alerts", ()):
+            self.alerts_log.append(alert)
+
+    def feed_stats(self, stats: dict) -> None:
+        """Ingest one STATS response (the ``--once`` path, no telemetry)."""
+        self.frames += 1
+        self.summary = stats.get("summary") or {}
+        depth = self.summary.get("queue_depth")
+        if depth is not None:
+            self.depth.append(float(depth))
+        for report in stats.get("window_reports", ()):
+            self._feed_report(report)
+        slo = self.summary.get("slo")
+        if slo is not None:
+            self.slo = slo
+            self.firing = [
+                name for name, st in sorted(slo.items()) if st.get("firing")
+            ]
+
+    def _feed_report(self, report: dict) -> None:
+        latency = report.get("result_latency")
+        if latency is not None:
+            self.latency.append(float(latency))
+        error = report.get("rms_error")
+        if error is not None:
+            self.error.append(float(error))
+        arrived = report.get("arrived") or 0
+        dropped = report.get("dropped") or 0
+        self.shed.append(dropped / arrived if arrived else 0.0)
+
+    # ------------------------------------------------------------------
+    def _c(self, code: str, text: str) -> str:
+        if not self.color:
+            return text
+        return f"{code}{text}{_RESET}"
+
+    def render(self, width: int = 78) -> str:
+        """One full screen as a newline-joined string (no clear codes)."""
+        lines: list[str] = []
+        title = "repro top"
+        clock = f"t={_fmt_num(self.now)}s" if self.now is not None else "t=-"
+        lines.append(
+            self._c(_BOLD, title)
+            + f"  {clock}  frames={self.frames}"
+            + (f"  every {self.interval:g}s" if self.interval else "")
+        )
+        lines.append("─" * width)
+
+        s = self.summary
+        if s:
+            lines.append(
+                "queue "
+                + self._c(_BOLD, f"{s.get('queue_depth', 0)}")
+                + f"/{s.get('queue_capacity', '-')}"
+                + f"  sessions={s.get('sessions', '-')}"
+                + f"  windows={s.get('windows_closed', '-')}"
+                + f"  arrived={s.get('tuples_arrived', '-')}"
+                + f"  shed={s.get('tuples_shed', '-')}"
+            )
+        else:
+            lines.append(self._c(_DIM, "waiting for telemetry…"))
+        lines.append("")
+
+        def row(label: str, series, fmt=_fmt_num) -> str:
+            spark = sparkline(series, width=40)
+            last = fmt(series[-1]) if series else "-"
+            return f"{label:<10} {spark:<40} {last:>10}"
+
+        lines.append(row("depth", self.depth))
+        lines.append(row("latency s", self.latency))
+        lines.append(row("shed %", self.shed, lambda v: f"{v * 100:.1f}"))
+        if self.error:
+            lines.append(row("rms err", self.error))
+        lines.append("")
+
+        if self.firing:
+            names = ", ".join(self.firing)
+            lines.append(self._c(_BOLD + _RED, f"ALERTS FIRING: {names}"))
+        else:
+            lines.append(self._c(_GREEN, "no alerts firing"))
+        for name, st in sorted(self.slo.items()):
+            mark = self._c(_RED, "●") if st.get("firing") else self._c(_GREEN, "●")
+            lines.append(
+                f" {mark} {name:<20}"
+                f" burn fast={_fmt_num(st.get('burn_fast', 0.0)):>8}"
+                f" slow={_fmt_num(st.get('burn_slow', 0.0)):>8}"
+                f" budget={_fmt_num(st.get('budget_remaining', 1.0)):>7}"
+            )
+        for alert in list(self.alerts_log)[-4:]:
+            state = alert.get("state", "?")
+            code = _RED if state == "firing" else _YELLOW
+            lines.append(
+                self._c(
+                    code,
+                    f"   [{_fmt_num(alert.get('at', 0.0))}s]"
+                    f" {alert.get('slo', '?')} {state}",
+                )
+            )
+        lines.append("")
+        return "\n".join(lines)
+
+
+async def run_top(
+    host: str,
+    port: int,
+    *,
+    once: bool = False,
+    color: bool = True,
+    interval: float = 1.0,
+    max_frames: int | None = None,
+    out=None,
+) -> int:
+    """Connect to a triage server and drive a :class:`Dashboard`.
+
+    ``once`` fetches a single STATS snapshot, prints one frame without
+    clearing the screen, and exits — the CI-friendly mode.  Otherwise the
+    client subscribes with ``telemetry=True`` and repaints on every
+    TELEMETRY frame until the feed ends (or ``max_frames`` is reached).
+    """
+    import sys
+
+    from repro.service.client import TriageClient
+
+    write = (out or sys.stdout).write
+    dash = Dashboard(color=color)
+    client = await TriageClient.connect(host, port, client_name="repro-top")
+    try:
+        if once:
+            stats = await client.stats()
+            dash.feed_stats(stats)
+            write(dash.render() + "\n")
+            return 0
+        await client.subscribe(telemetry=True, telemetry_interval=interval)
+        async for payload in client.telemetry():
+            dash.feed(payload)
+            write(_CLEAR + dash.render() + "\n")
+            if max_frames is not None and dash.frames >= max_frames:
+                break
+        return 0
+    finally:
+        await client.close()
+
+
+def render_payloads(payloads, *, color: bool = False) -> str:
+    """Offline helper: render a final frame from recorded telemetry JSON.
+
+    Accepts an iterable of payload dicts or JSON strings; used by tests and
+    by ``repro top --replay``.
+    """
+    dash = Dashboard(color=color)
+    for payload in payloads:
+        if isinstance(payload, str):
+            payload = json.loads(payload)
+        dash.feed(payload)
+    return dash.render()

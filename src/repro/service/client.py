@@ -13,9 +13,23 @@ Thin, typed access to the wire protocol of :mod:`repro.service.protocol`:
 
 A background reader task demultiplexes the socket: request/reply frames
 (OK/STATS/ERROR) resolve the oldest pending request — the protocol is
-strictly in-order per connection — while asynchronous RESULT frames land in
-a bounded local queue consumed by :meth:`results`.  An ERROR reply raises
-:class:`ServiceError` with the server's machine-readable ``code``.
+strictly in-order per connection — while asynchronous RESULT and TELEMETRY
+frames land in bounded local queues consumed by :meth:`results` and
+:meth:`telemetry`.  An ERROR reply raises :class:`ServiceError` with the
+server's machine-readable ``code``.
+
+Incoming frames are direction-checked (``read_frame(..., sender="server")``),
+so a peer sending a client-side or unknown frame type is rejected with the
+same ``unexpected-type`` / ``unknown-type`` codes the server uses; non-fatal
+violations are recorded in :attr:`TriageClient.protocol_errors` and the
+connection keeps going, mirroring the server's leniency.
+
+Distributed tracing: construct the client with a
+:class:`~repro.obs.trace.Tracer` and every :meth:`publish` mints a
+``{trace_id, parent}`` context, attaches it to the PUBLISH frame, records
+the client-side span plus a flow *start*, and finishes the flow when the
+matching RESULT (which echoes the context) arrives — one arrow per batch
+across the merged client+server trace.
 
 The examples, the shell's ``\\publish`` command, and the test suite are all
 built on this class.
@@ -27,6 +41,7 @@ import asyncio
 import contextlib
 from collections import deque
 
+from repro.obs.trace import new_span_id, new_trace_id
 from repro.service import protocol
 from repro.service.protocol import ProtocolError, read_frame, write_frame
 
@@ -55,26 +70,36 @@ class TriageClient:
     """One connection to a :class:`~repro.service.server.TriageServer`."""
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        tracer=None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._pending: deque[asyncio.Future] = deque()
         self._results: asyncio.Queue[dict | None] = asyncio.Queue(maxsize=1024)
+        self._telemetry: asyncio.Queue[dict | None] = asyncio.Queue(maxsize=256)
         self._reader_task: asyncio.Task | None = None
         self._closed = False
+        #: A :class:`repro.obs.trace.Tracer`; when enabled, publishes carry
+        #: trace contexts (see module docstring).
+        self.tracer = tracer
+        #: Non-fatal protocol violations seen from the server, newest last.
+        self.protocol_errors: deque[tuple[str, str]] = deque(maxlen=16)
         #: The server's WELCOME frame: streams, schemas, window spec.
         self.info: dict = {}
 
     # ------------------------------------------------------------------
     @classmethod
     async def connect(
-        cls, host: str, port: int, *, client_name: str = ""
+        cls, host: str, port: int, *, client_name: str = "", tracer=None
     ) -> "TriageClient":
         reader, writer = await asyncio.open_connection(
             host, port, limit=protocol.MAX_FRAME_BYTES + 2
         )
-        self = cls(reader, writer)
+        self = cls(reader, writer, tracer=tracer)
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_loop()
         )
@@ -92,12 +117,25 @@ class TriageClient:
         error: Exception | None = None
         try:
             while True:
-                frame = await read_frame(self._reader)
+                try:
+                    frame = await read_frame(self._reader, sender="server")
+                except ProtocolError as exc:
+                    if exc.fatal:
+                        error = exc
+                        break
+                    # Framing survived (the line decoded); note the
+                    # violation and keep reading — the same leniency the
+                    # server extends to misbehaving clients.
+                    self.protocol_errors.append((exc.code, exc.message))
+                    continue
                 if frame is None:
                     break
                 ftype = frame["type"]
                 if ftype == "RESULT":
+                    self._finish_flows(frame)
                     await self._results.put(frame)
+                elif ftype == "TELEMETRY":
+                    self._offer_telemetry(frame)
                 elif ftype == "BYE":
                     break  # server is shutting down gracefully
                 elif self._pending:
@@ -120,7 +158,42 @@ class TriageClient:
                     fut.set_exception(failure)
             with contextlib.suppress(asyncio.QueueFull):
                 self._results.put_nowait(None)  # wake the results iterator
+            with contextlib.suppress(asyncio.QueueFull):
+                self._telemetry.put_nowait(None)
             self._writer.close()
+
+    def _finish_flows(self, frame: dict) -> None:
+        """Close the trace flows a RESULT frame echoes back."""
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        for ctx in frame.get("traces") or ():
+            trace_id = ctx.get("trace_id")
+            if trace_id:
+                tracer.instant(
+                    "result",
+                    cat="client",
+                    trace_id=trace_id,
+                    window=frame.get("window"),
+                )
+                tracer.flow(
+                    "result", trace_id, phase="f", window=frame.get("window")
+                )
+
+    def _offer_telemetry(self, frame: dict) -> None:
+        """Queue a TELEMETRY frame, dropping the oldest when full.
+
+        Telemetry is a sampled feed: a stalled consumer should see the
+        freshest frames on resume, not a backlog (and must not slow the
+        reader loop, which also carries request replies).
+        """
+        while True:
+            try:
+                self._telemetry.put_nowait(frame)
+                return
+            except asyncio.QueueFull:
+                with contextlib.suppress(asyncio.QueueEmpty):
+                    self._telemetry.get_nowait()
 
     async def _request(self, frame: dict) -> dict:
         if self._closed:
@@ -140,9 +213,24 @@ class TriageClient:
         """Bind ``stream`` for publishing; returns its column list."""
         return await self._request({"type": "DECLARE", "stream": stream})
 
-    async def subscribe(self) -> None:
-        """Start receiving per-window RESULT frames (see :meth:`results`)."""
-        await self._request({"type": "SUBSCRIBE"})
+    async def subscribe(
+        self,
+        *,
+        telemetry: bool = False,
+        telemetry_interval: float | None = None,
+    ) -> None:
+        """Start receiving per-window RESULT frames (see :meth:`results`).
+
+        ``telemetry=True`` additionally opts into the server's TELEMETRY
+        push (see :meth:`telemetry`); ``telemetry_interval`` asks the server
+        to push at least that often (it may only tighten its cadence).
+        """
+        frame: dict = {"type": "SUBSCRIBE"}
+        if telemetry:
+            frame["telemetry"] = True
+            if telemetry_interval is not None:
+                frame["telemetry_interval"] = telemetry_interval
+        await self._request(frame)
 
     async def publish(
         self,
@@ -153,7 +241,11 @@ class TriageClient:
     ) -> dict:
         """Send one batch; returns the server's OK ack (accepted counts,
         current queue depth and cumulative drops — application-level
-        backpressure signals)."""
+        backpressure signals).
+
+        With a tracer attached (and enabled), the batch carries a fresh
+        ``{trace_id, parent}`` context; the server continues that trace
+        through ingest → queue → window close → RESULT."""
         frame: dict = {
             "type": "PUBLISH",
             "stream": stream,
@@ -161,7 +253,21 @@ class TriageClient:
         }
         if timestamps is not None:
             frame["timestamps"] = list(timestamps)
-        return await self._request(frame)
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return await self._request(frame)
+        trace_id = new_trace_id()
+        parent = new_span_id()
+        frame["trace"] = {"trace_id": trace_id, "parent": parent}
+        tracer.set_context(trace_id, parent)
+        try:
+            with tracer.span(
+                "publish", cat="client", stream=stream, rows=len(rows)
+            ):
+                tracer.flow("publish", trace_id, phase="s", stream=stream)
+                return await self._request(frame)
+        finally:
+            tracer.clear_context()
 
     async def stats(self, format: str = "json") -> dict:
         """A telemetry snapshot: ``metrics``+``summary`` or ``prometheus``."""
@@ -180,6 +286,24 @@ class TriageClient:
         if timeout is None:
             return await self._results.get()
         return await asyncio.wait_for(self._results.get(), timeout)
+
+    async def telemetry(self):
+        """Async-iterate TELEMETRY frames until the connection ends.
+
+        Requires :meth:`subscribe` with ``telemetry=True``.  The local
+        buffer keeps only the freshest frames (oldest dropped), so a slow
+        iterator resumes on current data."""
+        while True:
+            frame = await self._telemetry.get()
+            if frame is None:
+                return
+            yield frame
+
+    async def next_telemetry(self, timeout: float | None = None) -> dict | None:
+        """One TELEMETRY frame (or None once the connection ended)."""
+        if timeout is None:
+            return await self._telemetry.get()
+        return await asyncio.wait_for(self._telemetry.get(), timeout)
 
     async def close(self) -> None:
         """Polite goodbye; always leaves the connection closed."""

@@ -9,8 +9,13 @@ Client → server frames::
 
     HELLO     {type, version, client?}          open handshake
     DECLARE   {type, stream}                    bind a stream for publishing
-    SUBSCRIBE {type}                            receive per-window RESULTs
-    PUBLISH   {type, stream, rows, timestamps?} a batch of tuples
+    SUBSCRIBE {type, telemetry?, telemetry_interval?}
+                                                receive per-window RESULTs,
+                                                optionally + TELEMETRY push
+    PUBLISH   {type, stream, rows, timestamps?, trace?}
+                                                a batch of tuples; ``trace``
+                                                carries {trace_id, parent}
+                                                distributed-trace context
     STATS     {type, format?}                   request a telemetry snapshot
     BYE       {type}                            graceful goodbye
 
@@ -18,9 +23,21 @@ Server → client frames::
 
     WELCOME   {type, version, session, now, streams, window}
     OK        {type, seq?, ...}                 positive ack (DECLARE/PUBLISH/BYE)
-    RESULT    {type, window, start, end, groups, arrived, kept, dropped, ...}
+    RESULT    {type, window, start, end, groups, arrived, kept, dropped,
+               traces?, ...}                    ``traces`` echoes the contexts
+                                                of PUBLISHes in the window
     STATS     {type, metrics | prometheus}
+    TELEMETRY {type, seq, now, interval, metrics, reports, alerts, firing,
+               slo, summary}                    periodic push (opt-in); the
+                                                ``alerts`` list carries SLO
+                                                ALERT transition payloads
     ERROR     {type, code, message, fatal}
+
+Frames are additionally checked against the *direction* they travel:
+:func:`validate_frame`, :func:`decode_frame` and :func:`read_frame` accept
+``sender=\"client\"`` / ``sender=\"server\"``, and a structurally valid frame
+arriving from the wrong role (e.g. a client sending RESULT) is rejected with
+the single stable code ``unexpected-type`` on both sides of the wire.
 
 Hard limits guard the server against hostile or buggy peers: frames above
 :data:`MAX_FRAME_BYTES` are rejected before parsing (and kill the
@@ -63,7 +80,7 @@ MAX_FRAME_BYTES = 1 << 20
 MAX_BATCH_ROWS = 10_000
 
 CLIENT_FRAMES = ("HELLO", "DECLARE", "SUBSCRIBE", "PUBLISH", "STATS", "BYE")
-SERVER_FRAMES = ("WELCOME", "OK", "RESULT", "STATS", "ERROR")
+SERVER_FRAMES = ("WELCOME", "OK", "RESULT", "STATS", "TELEMETRY", "ERROR")
 
 #: Scalar JSON types allowed inside a published row.
 _ROW_SCALARS = (int, float, str, bool, type(None))
@@ -111,8 +128,12 @@ def encode_frame(frame: dict) -> bytes:
     return data
 
 
-def decode_frame(line: bytes) -> dict:
-    """Parse and validate one received NDJSON line into a frame dict."""
+def decode_frame(line: bytes, *, sender: str | None = None) -> dict:
+    """Parse and validate one received NDJSON line into a frame dict.
+
+    ``sender`` ("client" or "server") additionally enforces that the frame
+    type is one the sending role is allowed to emit.
+    """
     if len(line) > MAX_FRAME_BYTES:
         raise ProtocolError(
             "frame-too-large",
@@ -123,7 +144,7 @@ def decode_frame(line: bytes) -> dict:
         obj = json.loads(line.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError("bad-json", f"undecodable frame: {exc}") from exc
-    validate_frame(obj)
+    validate_frame(obj, sender=sender)
     return obj
 
 
@@ -150,8 +171,14 @@ def _require(frame: dict, field: str, types, *, optional: bool = False) -> Any:
     return value
 
 
-def validate_frame(obj: Any) -> None:
-    """Schema-check one decoded frame; raises :class:`ProtocolError`."""
+def validate_frame(obj: Any, *, sender: str | None = None) -> None:
+    """Schema-check one decoded frame; raises :class:`ProtocolError`.
+
+    With ``sender`` set, a frame whose type exists but belongs to the other
+    role is rejected with code ``unexpected-type`` — the same code on both
+    ends of the wire, so a misdirected frame is distinguishable from a
+    ``unknown-type`` frame that no role defines.
+    """
     if not isinstance(obj, dict):
         raise ProtocolError("bad-frame", "frame must be a JSON object")
     ftype = obj.get("type")
@@ -160,6 +187,13 @@ def validate_frame(obj: Any) -> None:
     validator = _VALIDATORS.get(ftype)
     if validator is None:
         raise ProtocolError("unknown-type", f"unknown frame type {ftype!r}")
+    if sender is not None:
+        allowed = CLIENT_FRAMES if sender == "client" else SERVER_FRAMES
+        if ftype not in allowed:
+            raise ProtocolError(
+                "unexpected-type",
+                f"{sender}s do not send {ftype} frames",
+            )
     validator(obj)
 
 
@@ -175,7 +209,25 @@ def _validate_declare(f: dict) -> None:
 
 
 def _validate_subscribe(f: dict) -> None:
-    pass
+    _require(f, "telemetry", bool, optional=True)
+    interval = _require(f, "telemetry_interval", (int, float), optional=True)
+    if interval is not None and interval <= 0:
+        raise ProtocolError(
+            "bad-field", f"telemetry_interval must be positive, got {interval}"
+        )
+
+
+def _validate_trace_context(ctx: Any, owner: str) -> None:
+    """A trace context is {trace_id, parent} of non-empty hex-ish strings."""
+    if not isinstance(ctx, dict):
+        raise ProtocolError("bad-field", f"{owner} trace context must be an object")
+    for key in ("trace_id", "parent"):
+        value = ctx.get(key)
+        if not isinstance(value, str) or not value:
+            raise ProtocolError(
+                "bad-field",
+                f"{owner} trace context needs non-empty string {key!r}",
+            )
 
 
 def _validate_publish(f: dict) -> None:
@@ -204,6 +256,9 @@ def _validate_publish(f: dict) -> None:
         for t in timestamps:
             if isinstance(t, bool) or not isinstance(t, (int, float)):
                 raise ProtocolError("bad-field", "timestamps must be numbers")
+    trace = _require(f, "trace", dict, optional=True)
+    if trace is not None:
+        _validate_trace_context(trace, "PUBLISH")
 
 
 def _validate_stats_request_or_reply(f: dict) -> None:
@@ -227,6 +282,40 @@ def _validate_ok(f: dict) -> None:
 def _validate_result(f: dict) -> None:
     _require(f, "window", int)
     _require(f, "groups", list)
+    traces = _require(f, "traces", list, optional=True)
+    if traces is not None:
+        for ctx in traces:
+            _validate_trace_context(ctx, "RESULT")
+
+
+def _validate_telemetry(f: dict) -> None:
+    _require(f, "seq", int)
+    now = _require(f, "now", (int, float))
+    if isinstance(now, bool):
+        raise ProtocolError("bad-field", "TELEMETRY.now must be a number")
+    _require(f, "metrics", dict, optional=True)
+    _require(f, "reports", list, optional=True)
+    _require(f, "firing", list, optional=True)
+    _require(f, "slo", dict, optional=True)
+    _require(f, "summary", dict, optional=True)
+    alerts = _require(f, "alerts", list, optional=True)
+    if alerts is not None:
+        for alert in alerts:
+            if not isinstance(alert, dict):
+                raise ProtocolError(
+                    "bad-field", "TELEMETRY alerts must be objects"
+                )
+            for key in ("slo", "state"):
+                if not isinstance(alert.get(key), str):
+                    raise ProtocolError(
+                        "bad-field",
+                        f"ALERT payload needs string {key!r}",
+                    )
+            if alert["state"] not in ("firing", "resolved"):
+                raise ProtocolError(
+                    "bad-field",
+                    f"ALERT state {alert['state']!r} is not firing|resolved",
+                )
 
 
 def _validate_error(f: dict) -> None:
@@ -244,6 +333,7 @@ _VALIDATORS = {
     "WELCOME": _validate_welcome,
     "OK": _validate_ok,
     "RESULT": _validate_result,
+    "TELEMETRY": _validate_telemetry,
     "ERROR": _validate_error,
 }
 
@@ -251,12 +341,15 @@ _VALIDATORS = {
 # ---------------------------------------------------------------------------
 # Asyncio stream helpers (the only I/O-aware part)
 # ---------------------------------------------------------------------------
-async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+async def read_frame(
+    reader: asyncio.StreamReader, *, sender: str | None = None
+) -> dict | None:
     """Read and decode one frame; ``None`` at clean EOF.
 
     Raises :class:`ProtocolError` for malformed input.  Oversized frames
     surface as a *fatal* ``frame-too-large`` error because the newline that
-    delimits the next frame was never found.
+    delimits the next frame was never found.  ``sender`` names the peer's
+    role and enables direction checking (see :func:`validate_frame`).
     """
     try:
         line = await reader.readuntil(b"\n")
@@ -272,7 +365,7 @@ async def read_frame(reader: asyncio.StreamReader) -> dict | None:
             f"frame exceeds {MAX_FRAME_BYTES} bytes",
             fatal=True,
         ) from exc
-    return decode_frame(line)
+    return decode_frame(line, sender=sender)
 
 
 async def write_frame(writer: asyncio.StreamWriter, frame: dict) -> None:

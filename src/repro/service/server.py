@@ -52,7 +52,9 @@ from repro.core.strategies import PipelineConfig
 from repro.core.triage_queue import TriageQueue
 from repro.engine.catalog import Catalog
 from repro.engine.types import SchemaError, StreamTuple
+from repro.obs.metrics import DeltaSnapshotter
 from repro.obs.report import WindowReport, summarize_reports
+from repro.obs.slo import SLOEngine, default_service_slos
 from repro.service import protocol
 from repro.service.metrics import LATENCY_BUCKETS, MetricsRegistry
 from repro.service.protocol import ProtocolError, read_frame
@@ -65,6 +67,9 @@ __all__ = ["ServiceConfig", "TriageServer"]
 
 #: Queue-depth histogram buckets (tuples, not seconds).
 DEPTH_BUCKETS = (0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000)
+
+#: Trace contexts remembered (and echoed on RESULT) per open window.
+MAX_WINDOW_TRACES = 64
 
 
 @dataclass
@@ -86,12 +91,20 @@ class ServiceConfig:
     send_queue_frames: int = 64
     #: Window clock override: a zero-arg callable returning seconds.
     clock: Callable[[], float] | None = None
+    #: Window-clock seconds between TELEMETRY pushes (and SLO evaluations).
+    #: A SUBSCRIBE may request a shorter interval; None disables telemetry.
+    telemetry_interval: float | None = 1.0
+    #: SLO objectives to score; None means :func:`default_service_slos`
+    #: scaled to the served query's window width.
+    slos: list | None = None
 
     def __post_init__(self) -> None:
         if self.tick_interval is not None and self.tick_interval <= 0:
             raise ValueError("tick_interval must be positive or None")
         if self.grace < 0:
             raise ValueError("grace must be >= 0")
+        if self.telemetry_interval is not None and self.telemetry_interval <= 0:
+            raise ValueError("telemetry_interval must be positive or None")
 
 
 class TriageServer:
@@ -132,6 +145,24 @@ class TriageServer:
         #: Rolling per-window accuracy/latency reports (newest last),
         #: exported in the STATS reply.
         self._window_reports: deque[WindowReport] = deque(maxlen=128)
+
+        # SLO scoring: every closed window feeds measurements; evaluation
+        # happens on the telemetry cadence (see tick()).
+        self.slo = SLOEngine(
+            self.service.slos
+            if self.service.slos is not None
+            else default_service_slos(self.config.window.width),
+            self.metrics,
+        )
+        self._snapshotter = DeltaSnapshotter(self.metrics)
+        self._telemetry_seq = 0
+        self._last_telemetry: float | None = None
+        self._telemetry_interval = self.service.telemetry_interval
+        #: Window reports accumulated since the last TELEMETRY push.
+        self._pending_reports: list[dict] = []
+        #: Distributed-trace contexts attributed to still-open windows,
+        #: echoed on the window's RESULT frame (bounded per window).
+        self._window_traces: dict[int, list[dict]] = {}
 
         self._sources = self.pipeline.sources
         self._source_by_lower = {s.lower(): s for s in self._sources}
@@ -259,6 +290,14 @@ class TriageServer:
         self._c_windows = m.counter(
             "service_windows_closed_total", "Windows closed and evaluated"
         )
+        self._c_telemetry = m.counter(
+            "service_telemetry_frames_total", "TELEMETRY frames fanned out"
+        )
+        self._c_traced = m.counter(
+            "service_traced_batches_total",
+            "PUBLISH batches that carried a trace context",
+            ("stream",),
+        )
         self._g_ctrl: dict[str, object] = {
             name: m.gauge(f"controller_{name}", f"Load controller {name}", ("stream",))
             for name in ("arrival_rate", "drop_fraction", "recommended_capacity")
@@ -367,7 +406,7 @@ class TriageServer:
                 return
             while True:
                 try:
-                    frame = await read_frame(reader)
+                    frame = await read_frame(reader, sender="client")
                 except ProtocolError as exc:
                     self._c_proto_errors.inc(code=exc.code)
                     with contextlib.suppress(ConnectionError):
@@ -403,7 +442,7 @@ class TriageServer:
             )
 
         try:
-            frame = await read_frame(reader)
+            frame = await read_frame(reader, sender="client")
         except ProtocolError as exc:
             self._c_proto_errors.inc(code=exc.code)
             writer.write(protocol.encode_frame(exc.to_frame()))
@@ -467,7 +506,19 @@ class TriageServer:
             return await self._handle_declare(session, frame)
         if ftype == "SUBSCRIBE":
             session.subscribed = True
-            await session.send_now({"type": "OK", "subscribed": True})
+            reply = {"type": "OK", "subscribed": True}
+            if frame.get("telemetry"):
+                session.telemetry = True
+                requested = frame.get("telemetry_interval")
+                if requested is not None and self._telemetry_interval is not None:
+                    # The push cadence is server-wide; a subscriber may only
+                    # tighten it (the frequent reader sets the pace).
+                    self._telemetry_interval = min(
+                        self._telemetry_interval, float(requested)
+                    )
+                reply["telemetry"] = True
+                reply["telemetry_interval"] = self._telemetry_interval
+            await session.send_now(reply)
             return True
         if ftype == "PUBLISH":
             return await self._handle_publish(session, frame)
@@ -536,7 +587,11 @@ class TriageServer:
         queue = self.queues[source]
         try:
             accepted, late = self.ingest_rows(
-                source, rows, timestamps=frame.get("timestamps"), now=now
+                source,
+                rows,
+                timestamps=frame.get("timestamps"),
+                now=now,
+                trace=frame.get("trace"),
             )
         except SchemaError as exc:
             await session.send_now(ProtocolError("bad-row", str(exc)).to_frame())
@@ -562,6 +617,7 @@ class TriageServer:
         rows,
         timestamps=None,
         now: float | None = None,
+        trace: dict | None = None,
     ) -> tuple[int, int]:
         """Validate, window-account, and enqueue a batch for ``source``.
 
@@ -569,6 +625,13 @@ class TriageServer:
         with the row index) on the first invalid row.  This is the publish
         hot path, shared by the PUBLISH handler and the bench harness's
         service-ingest suite.
+
+        ``trace`` is a ``{trace_id, parent}`` context from a traced PUBLISH:
+        the batch's queue/window events inherit it (the tracer context is
+        installed for the duration of the ingest), the windows it lands in
+        remember it for the RESULT echo, and a flow *step* is recorded so
+        Perfetto draws the client→server arrow.  Untraced batches
+        (``trace=None``, the common case) skip all of it.
         """
         now = self.now() if now is None else now
         schema = self.pipeline.bound.source(source).schema
@@ -577,25 +640,55 @@ class TriageServer:
         arrived = self._arrived[source]
         accepted = 0
         late = 0
-        for i, row in enumerate(rows):
-            tup_row = tuple(row)
-            try:
-                schema.validate_row(tup_row)
-            except SchemaError as exc:
-                raise SchemaError(f"row {i}: {exc}") from None
-            ts = float(timestamps[i]) if timestamps is not None else now
-            wids = ids(ts)
-            if self._last_closed_wid is not None and (
-                not wids or wids[0] <= self._last_closed_wid
-            ):
-                late += 1
-                self._c_late.inc(stream=source)
-                continue
-            for wid in wids:
-                arrived[wid] = arrived.get(wid, 0) + 1
-                self._known_windows.add(wid)
-            queue.offer(StreamTuple(ts, tup_row))
-            accepted += 1
+        tracer = None
+        traced_wids: set[int] | None = None
+        if trace is not None:
+            self._c_traced.inc(stream=source)
+            traced_wids = set()
+            if self.obs is not None and self.obs.tracer.enabled:
+                tracer = self.obs.tracer
+                tracer.set_context(trace["trace_id"], trace.get("parent"))
+                tracer.flow(
+                    "publish", trace["trace_id"], phase="t", source=source
+                )
+                span_cm = tracer.span("ingest", cat="service", source=source,
+                                      rows=len(rows))
+                span_cm.__enter__()
+        try:
+            for i, row in enumerate(rows):
+                tup_row = tuple(row)
+                try:
+                    schema.validate_row(tup_row)
+                except SchemaError as exc:
+                    raise SchemaError(f"row {i}: {exc}") from None
+                ts = float(timestamps[i]) if timestamps is not None else now
+                wids = ids(ts)
+                if self._last_closed_wid is not None and (
+                    not wids or wids[0] <= self._last_closed_wid
+                ):
+                    late += 1
+                    self._c_late.inc(stream=source)
+                    continue
+                for wid in wids:
+                    arrived[wid] = arrived.get(wid, 0) + 1
+                    self._known_windows.add(wid)
+                    if traced_wids is not None:
+                        traced_wids.add(wid)
+                queue.offer(StreamTuple(ts, tup_row))
+                accepted += 1
+        finally:
+            if tracer is not None:
+                span_cm.__exit__(None, None, None)
+                tracer.clear_context()
+        if traced_wids:
+            ctx = {
+                "trace_id": trace["trace_id"],
+                "parent": trace.get("parent") or trace["trace_id"],
+            }
+            for wid in traced_wids:
+                contexts = self._window_traces.setdefault(wid, [])
+                if len(contexts) < MAX_WINDOW_TRACES and ctx not in contexts:
+                    contexts.append(ctx)
         return accepted, late
 
     async def _handle_stats(self, session: Session, frame: dict) -> bool:
@@ -615,15 +708,18 @@ class TriageServer:
     def _summary(self) -> dict:
         offered = sum(q.stats.offered for q in self.queues.values())
         dropped = sum(q.stats.dropped for q in self.queues.values())
-        return {
-            "offered": offered,
-            "dropped": dropped,
-            "drop_fraction": dropped / offered if offered else 0.0,
-            "sessions": len(self.registry.sessions),
-            "windows_closed": int(self._c_windows.value()),
-            "queue_depths": {s: len(q) for s, q in self.queues.items()},
-            "windows": summarize_reports(list(self._window_reports)),
-        }
+        summary = self._telemetry_summary()
+        summary.update(
+            {
+                "offered": offered,
+                "dropped": dropped,
+                "drop_fraction": dropped / offered if offered else 0.0,
+                "queue_depths": {s: len(q) for s, q in self.queues.items()},
+                "windows": summarize_reports(list(self._window_reports)),
+                "slo": self.slo.status(),
+            }
+        )
+        return summary
 
     # ------------------------------------------------------------------
     # Engine emulation + window closing
@@ -653,7 +749,65 @@ class TriageServer:
                 self.queues[s].capacity = capacity
                 self._g_capacity.set(capacity, stream=s)
 
-        return await self._close_windows(now)
+        emitted = await self._close_windows(now)
+        await self._maybe_push_telemetry(now)
+        return emitted
+
+    async def _maybe_push_telemetry(self, now: float) -> None:
+        """Evaluate SLOs and push one TELEMETRY frame if the interval is up.
+
+        SLO evaluation runs on this cadence even with nobody listening, so
+        the ``slo_*`` gauges and the STATS ``slo`` summary stay current; the
+        frame itself is only built and fanned out when at least one session
+        opted in.  Slow telemetry consumers are evicted exactly like slow
+        RESULT subscribers.
+        """
+        interval = self._telemetry_interval
+        if interval is None:
+            return
+        if (
+            self._last_telemetry is not None
+            and now - self._last_telemetry < interval
+        ):
+            return
+        self._last_telemetry = now
+        alerts = self.slo.evaluate(now)
+        subscribers = self.registry.telemetry_subscribers()
+        if not subscribers:
+            self._pending_reports.clear()
+            return
+        self._telemetry_seq += 1
+        frame = {
+            "type": "TELEMETRY",
+            "seq": self._telemetry_seq,
+            "now": now,
+            "interval": interval,
+            "metrics": self._snapshotter.delta(),
+            "reports": self._pending_reports,
+            "alerts": [a.to_dict() for a in alerts],
+            "firing": self.slo.firing,
+            "slo": self.slo.status(),
+            "summary": self._telemetry_summary(),
+        }
+        self._pending_reports = []
+        self._c_telemetry.inc(len(subscribers))
+        evicted = await self.registry.broadcast(frame, group="telemetry")
+        if evicted:
+            self._c_evictions.inc(len(evicted))
+            self._g_sessions.set(len(self.registry.sessions))
+
+    def _telemetry_summary(self) -> dict:
+        """The compact rollup a dashboard needs every interval."""
+        offered = sum(q.stats.offered for q in self.queues.values())
+        dropped = sum(q.stats.dropped for q in self.queues.values())
+        return {
+            "queue_depth": sum(len(q) for q in self.queues.values()),
+            "queue_capacity": sum(q.capacity for q in self.queues.values()),
+            "sessions": len(self.registry.sessions),
+            "windows_closed": int(self._c_windows.value()),
+            "tuples_arrived": offered,
+            "tuples_shed": dropped,
+        }
 
     def _drain_engine(self, budget: int | None) -> None:
         """Poll up to ``budget`` tuples (None = everything), oldest first.
@@ -761,7 +915,19 @@ class TriageServer:
             s: {w: self.queues[s].release_window(w) for w in wids}
             for s in sources
         }
+        trace_ids = None
+        if (
+            self._window_traces
+            and self.obs is not None
+            and self.obs.tracer.enabled
+        ):
+            trace_ids = {
+                w: [c["trace_id"] for c in self._window_traces[w]]
+                for w in wids
+                if w in self._window_traces
+            } or None
         outcomes = self.pipeline.evaluate_windows(
+            trace_ids=trace_ids,
             window_ids=list(wids),
             kept_rows=kept_rows,
             kept_synopses=kept_syn if use_shadow else None,
@@ -804,24 +970,30 @@ class TriageServer:
             )
         arrived_total = sum(outcome.arrived.values())
         dropped_total = sum(outcome.dropped.values())
-        self._window_reports.append(
-            WindowReport(
-                window_id=wid,
-                start=start,
-                end=end,
-                arrived=arrived_total,
-                kept=sum(outcome.kept.values()),
-                dropped=dropped_total,
-                result_latency=latency,
-                rms_error=None,  # the live service has no ideal reference
-                phase_seconds=(
-                    self.obs.phase_seconds.pop(wid, {})
-                    if self.obs is not None
-                    else {}
-                ),
-            )
+        shed_ratio = dropped_total / arrived_total if arrived_total else 0.0
+        report = WindowReport(
+            window_id=wid,
+            start=start,
+            end=end,
+            arrived=arrived_total,
+            kept=sum(outcome.kept.values()),
+            dropped=dropped_total,
+            result_latency=latency,
+            rms_error=None,  # the live service has no ideal reference
+            phase_seconds=(
+                self.obs.phase_seconds.pop(wid, {})
+                if self.obs is not None
+                else {}
+            ),
         )
-        return {
+        self._window_reports.append(report)
+        if self._telemetry_interval is not None:
+            self._pending_reports.append(report.to_dict())
+            del self._pending_reports[:-256]  # bound a subscriber-less gap
+        self.slo.observe("window_staleness", latency, now)
+        self.slo.observe("result_latency_p99", latency, now)
+        self.slo.observe("shed_ratio", shed_ratio, now)
+        frame = {
             "type": "RESULT",
             "window": wid,
             "start": start,
@@ -831,8 +1003,15 @@ class TriageServer:
             "arrived": outcome.arrived,
             "kept": outcome.kept,
             "dropped": outcome.dropped,
-            "drop_fraction": (
-                dropped_total / arrived_total if arrived_total else 0.0
-            ),
+            "drop_fraction": shed_ratio,
             "latency": latency,
         }
+        traces = self._window_traces.pop(wid, None)
+        if traces:
+            frame["traces"] = traces
+            if self.obs is not None and self.obs.tracer.enabled:
+                for ctx in traces:
+                    self.obs.tracer.flow(
+                        "result", ctx["trace_id"], phase="t", window=wid
+                    )
+        return frame

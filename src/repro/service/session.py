@@ -93,9 +93,11 @@ class Session:
         self.client_name = client_name
         self.declared: set[str] = set()
         self.subscribed = False
+        self.telemetry = False
         self.bucket = TokenBucket(rate_limit, burst)
         self.published_rows = 0
         self.results_sent = 0
+        self.telemetry_sent = 0
         self.closing = False
         self._out: asyncio.Queue[dict | None] = asyncio.Queue(
             maxsize=send_queue_frames
@@ -215,20 +217,33 @@ class SessionRegistry:
     def subscribers(self) -> list[Session]:
         return [s for s in self.sessions.values() if s.subscribed]
 
+    def telemetry_subscribers(self) -> list[Session]:
+        return [s for s in self.sessions.values() if s.telemetry]
+
     # ------------------------------------------------------------------
-    async def broadcast(self, frame: dict) -> list[Session]:
+    async def broadcast(self, frame: dict, *, group: str = "results") -> list[Session]:
         """Fan a frame out to every subscriber; returns evicted sessions.
 
-        A subscriber whose outbound queue is full is a slow consumer: it is
-        evicted immediately (closed without flushing) so the window ticker
-        never blocks on one peer's socket.
+        ``group`` selects the audience: ``"results"`` (RESULT fan-out, the
+        default) or ``"telemetry"`` (TELEMETRY push to sessions that opted
+        in via SUBSCRIBE).  Either way a subscriber whose outbound queue is
+        full is a slow consumer: it is evicted immediately (closed without
+        flushing) so the window ticker never blocks on one peer's socket.
         """
+        if group not in ("results", "telemetry"):
+            raise ValueError(f"unknown broadcast group {group!r}")
         evicted: list[Session] = []
         for session in list(self.sessions.values()):
-            if not session.subscribed:
+            if group == "telemetry":
+                if not session.telemetry:
+                    continue
+            elif not session.subscribed:
                 continue
             if session.try_enqueue(frame):
-                session.results_sent += 1
+                if group == "telemetry":
+                    session.telemetry_sent += 1
+                else:
+                    session.results_sent += 1
             else:
                 evicted.append(session)
         for session in evicted:

@@ -23,6 +23,8 @@ Meta commands start with a backslash:
                            per-operator rows/loops/time
     \rewrite SELECT ...    the Figures 4/5 SQL for the query
     \publish HOST:PORT R   push R's buffer to a running triage service
+    \top HOST:PORT         one dashboard snapshot of a running service
+                           (queue depth, shed ratio, SLO burn rates)
     \help                  this text
     \quit                  exit
 
@@ -133,7 +135,38 @@ class Shell:
             return rewrite_to_sql(SPJPlan.from_bound(bound))
         if cmd == "publish":
             return self._publish(arg)
+        if cmd == "top":
+            return self._top(arg)
         return f"unknown command \\{cmd} (try \\help)"
+
+    def _top(self, arg: str) -> str:
+        target = arg.strip()
+        if not target or ":" not in target:
+            return "usage: \\top HOST:PORT"
+        host, _, port_text = target.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            return f"bad port {port_text!r} (usage: \\top HOST:PORT)"
+
+        import asyncio
+
+        from repro.obs.top import Dashboard
+        from repro.service.client import ServiceError, TriageClient
+
+        async def snapshot() -> str:
+            client = await TriageClient.connect(host, port, client_name="shell")
+            try:
+                dash = Dashboard(color=False)
+                dash.feed_stats(await client.stats())
+                return dash.render().rstrip()
+            finally:
+                await client.close()
+
+        try:
+            return asyncio.run(snapshot())
+        except (ConnectionError, OSError, ServiceError) as exc:
+            return f"top failed: {exc}"
 
     def _publish(self, arg: str) -> str:
         parts = arg.split()

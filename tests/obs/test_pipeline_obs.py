@@ -73,7 +73,11 @@ def test_window_instants_and_tuple_lifecycle(traced):
 def test_chrome_export_is_valid(traced):
     obs, _, _ = traced
     events = validate_chrome_trace(obs.tracer.to_chrome())
-    assert len(events) == len(obs.tracer)
+    # The export leads with metadata (process_name + trace_epoch, the
+    # cross-process clock anchor) ahead of the recorded events.
+    meta = [e for e in events if e["ph"] == "M"]
+    assert [e["name"] for e in meta] == ["process_name", "trace_epoch"]
+    assert len(events) - len(meta) == len(obs.tracer)
 
 
 def test_queue_metrics_match_run_accounting(traced):

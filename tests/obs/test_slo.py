@@ -1,0 +1,217 @@
+"""SLO burn-rate math, alert transitions, gauges, and stock objectives."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLO, Alert, SLOEngine, default_service_slos
+
+# A 90% objective: budget 0.1, so burn = 10x the bad fraction.  The fast
+# window covers the last 4s, the slow window the last 16s.
+LATENCY = SLO(
+    "latency",
+    threshold=1.0,
+    objective=0.9,
+    fast_window=4.0,
+    slow_window=16.0,
+)
+
+
+def feed(engine, values, t0=1.0, dt=1.0, name="latency"):
+    """Observe one value per second starting at ``t0``; returns last t."""
+    t = t0
+    for v in values:
+        engine.observe(name, v, t)
+        t += dt
+    return t - dt
+
+
+class TestSLOValidation:
+    def test_budget_is_one_minus_objective(self):
+        assert SLO("x", 1.0, objective=0.99).budget == pytest.approx(0.01)
+
+    @pytest.mark.parametrize("objective", [0.0, 1.0, -0.5, 1.5])
+    def test_objective_must_be_a_proper_fraction(self, objective):
+        with pytest.raises(ValueError):
+            SLO("x", 1.0, objective=objective)
+
+    def test_windows_must_be_positive_and_ordered(self):
+        with pytest.raises(ValueError):
+            SLO("x", 1.0, fast_window=0.0)
+        with pytest.raises(ValueError):
+            SLO("x", 1.0, fast_window=30.0, slow_window=10.0)
+
+    def test_burn_thresholds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SLO("x", 1.0, fast_burn=0.0)
+
+    def test_duplicate_names_refused(self):
+        with pytest.raises(ValueError):
+            SLOEngine([LATENCY, LATENCY])
+
+
+class TestBurnRates:
+    def test_no_observations_is_zero_burn(self):
+        engine = SLOEngine([LATENCY])
+        assert engine.evaluate(10.0) == []
+        status = engine.status()["latency"]
+        assert status["burn_fast"] == 0.0
+        assert status["burn_slow"] == 0.0
+        assert status["budget_remaining"] == 1.0
+
+    def test_healthy_series_never_fires(self):
+        engine = SLOEngine([LATENCY])
+        t = feed(engine, [0.5] * 20)
+        assert engine.evaluate(t) == []
+        assert engine.firing == []
+        assert engine.status()["latency"]["burn_fast"] == 0.0
+
+    def test_all_bad_burn_is_inverse_budget(self):
+        engine = SLOEngine([LATENCY])
+        t = feed(engine, [5.0] * 4)
+        engine.evaluate(t)
+        status = engine.status()["latency"]
+        # Every observation bad: burn = 1.0 / budget = 10.
+        assert status["burn_fast"] == pytest.approx(10.0)
+        assert status["burn_slow"] == pytest.approx(10.0)
+        assert status["budget_remaining"] == 0.0
+
+    def test_threshold_is_exclusive(self):
+        engine = SLOEngine([LATENCY])
+        t = feed(engine, [1.0] * 4)  # exactly at threshold: good
+        engine.evaluate(t)
+        assert engine.status()["latency"]["burn_fast"] == 0.0
+
+    def test_fast_window_sees_only_recent_events(self):
+        engine = SLOEngine([LATENCY])
+        # 12 good then 4 bad, one per second: the fast window (4s) holds
+        # only the bad tail, the slow window mixes 4 bad into 16.
+        t = feed(engine, [0.0] * 12 + [5.0] * 4)
+        engine.evaluate(t)
+        status = engine.status()["latency"]
+        assert status["burn_fast"] == pytest.approx(10.0)
+        assert status["burn_slow"] == pytest.approx((4 / 16) / 0.1)
+
+    def test_events_beyond_slow_window_are_pruned(self):
+        engine = SLOEngine([LATENCY])
+        feed(engine, [5.0] * 4)  # bad burst at t=1..4
+        engine.evaluate(100.0)  # far in the future: burst aged out
+        status = engine.status()["latency"]
+        assert status["burn_slow"] == 0.0
+        assert status["budget_remaining"] == 1.0
+
+    def test_unknown_measurement_names_ignored(self):
+        engine = SLOEngine([LATENCY])
+        engine.observe("rms_error", 1e9, 1.0)  # no SLO tracks this
+        assert engine.evaluate(1.0) == []
+
+
+class TestAlertTransitions:
+    def overload(self, engine, t0=1.0):
+        """Sustained overload: every window blows the threshold."""
+        return feed(engine, [5.0] * 8, t0=t0)
+
+    def test_sustained_overload_fires_within_two_evaluations(self):
+        engine = SLOEngine([LATENCY])
+        # Overload begins at t=1; windows close once a second and the
+        # engine evaluates on the same cadence.
+        engine.observe("latency", 5.0, 1.0)
+        first = engine.evaluate(1.0)
+        engine.observe("latency", 5.0, 2.0)
+        second = engine.evaluate(2.0)
+        fired = first + second
+        assert [a.state for a in fired] == ["firing"]
+        assert fired[0].slo == "latency"
+        assert fired[0].burn_fast >= LATENCY.fast_burn
+        assert fired[0].burn_slow >= LATENCY.slow_burn
+        assert engine.firing == ["latency"]
+
+    def test_firing_is_a_transition_not_a_level(self):
+        engine = SLOEngine([LATENCY])
+        t = self.overload(engine)
+        assert len(engine.evaluate(t)) == 1
+        # Still overloaded: no repeat alert while the state holds.
+        engine.observe("latency", 5.0, t + 1)
+        assert engine.evaluate(t + 1) == []
+        assert engine.firing == ["latency"]
+
+    def test_recovery_emits_resolved(self):
+        engine = SLOEngine([LATENCY])
+        t = self.overload(engine)
+        engine.evaluate(t)
+        # Healthy again; once the bad burst ages past the slow window the
+        # burn drops below both thresholds and the alert resolves.
+        t2 = feed(engine, [0.1] * 20, t0=t + 1.0)
+        alerts = engine.evaluate(t2)
+        assert [a.state for a in alerts] == ["resolved"]
+        assert engine.firing == []
+        assert engine.status()["latency"]["firing_since"] is None
+
+    def test_single_bad_window_in_quiet_stretch_stays_silent(self):
+        engine = SLOEngine([LATENCY])
+        values = [0.1] * 10 + [5.0] + [0.1] * 5
+        t = feed(engine, values)
+        fired = []
+        for i in range(len(values)):
+            fired += engine.evaluate(1.0 + i)
+        assert fired == []
+
+    def test_alert_to_dict_round_trips_fields(self):
+        alert = Alert(
+            slo="latency",
+            state="firing",
+            at=3.0,
+            burn_fast=10.0,
+            burn_slow=2.0,
+            budget_remaining=0.0,
+            description="d",
+        )
+        d = alert.to_dict()
+        assert d["slo"] == "latency" and d["state"] == "firing"
+        assert d["at"] == 3.0 and d["budget_remaining"] == 0.0
+
+
+class TestMetricsExport:
+    def test_gauges_and_counter_track_state(self):
+        registry = MetricsRegistry()
+        engine = SLOEngine([LATENCY], registry)
+        t = feed(engine, [5.0] * 4)
+        engine.evaluate(t)
+        burn = registry.get("slo_burn_rate")
+        assert burn.value(slo="latency", window="fast") == pytest.approx(10.0)
+        assert burn.value(slo="latency", window="slow") == pytest.approx(10.0)
+        budget = registry.get("slo_error_budget_remaining")
+        assert budget.value(slo="latency") == 0.0
+        firing = registry.get("slo_alert_firing")
+        assert firing.value(slo="latency") == 1.0
+        assert registry.get("slo_alerts_total").value(slo="latency") == 1
+        # Recovery clears the firing gauge but not the counter.
+        t2 = feed(engine, [0.1] * 20, t0=t + 1.0)
+        engine.evaluate(t2)
+        assert firing.value(slo="latency") == 0.0
+        assert registry.get("slo_alerts_total").value(slo="latency") == 1
+
+    def test_engine_works_without_registry(self):
+        engine = SLOEngine([LATENCY])
+        t = feed(engine, [5.0] * 4)
+        assert len(engine.evaluate(t)) == 1
+
+
+class TestDefaultServiceSLOs:
+    def test_scaled_to_window_width(self):
+        slos = {s.name: s for s in default_service_slos(2.0)}
+        assert set(slos) == {
+            "window_staleness",
+            "result_latency_p99",
+            "shed_ratio",
+        }
+        staleness = slos["window_staleness"]
+        assert staleness.threshold == 2.0
+        assert staleness.fast_window == 8.0
+        assert staleness.slow_window == 32.0
+        assert slos["result_latency_p99"].threshold == 0.5
+        assert slos["result_latency_p99"].objective == 0.99
+        assert slos["shed_ratio"].threshold == 0.5
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            default_service_slos(0.0)

@@ -1,0 +1,165 @@
+"""Dashboard rendering: sparklines, telemetry/stats ingestion, ANSI control."""
+
+import json
+
+from repro.obs.top import SPARK_CHARS, Dashboard, render_payloads, sparkline
+
+
+def telemetry_payload(seq=1, now=2.0, **overrides):
+    payload = {
+        "type": "TELEMETRY",
+        "seq": seq,
+        "now": now,
+        "interval": 1.0,
+        "metrics": {'triage_drops_total{stream="R"}': 5.0},
+        "reports": [
+            {
+                "window": 0,
+                "result_latency": 0.5,
+                "rms_error": 0.25,
+                "arrived": 100,
+                "dropped": 40,
+            }
+        ],
+        "alerts": [],
+        "firing": [],
+        "slo": {
+            "shed_ratio": {
+                "burn_fast": 0.0,
+                "burn_slow": 0.0,
+                "budget_remaining": 1.0,
+                "firing": False,
+            }
+        },
+        "summary": {
+            "queue_depth": 3,
+            "queue_capacity": 10,
+            "sessions": 1,
+            "windows_closed": 1,
+            "tuples_arrived": 100,
+            "tuples_shed": 40,
+        },
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_renders_low(self):
+        assert sparkline([5.0, 5.0, 5.0]) == SPARK_CHARS[0] * 3
+
+    def test_min_and_max_hit_the_extremes(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == SPARK_CHARS[0]
+        assert line[-1] == SPARK_CHARS[-1]
+        assert len(line) == 4
+
+    def test_only_the_last_width_values_render(self):
+        assert len(sparkline(range(100), width=10)) == 10
+
+    def test_monotone_series_is_nondecreasing(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        ranks = [SPARK_CHARS.index(c) for c in line]
+        assert ranks == sorted(ranks)
+
+
+class TestDashboardFeed:
+    def test_telemetry_payload_populates_state(self):
+        dash = Dashboard(color=False)
+        dash.feed(telemetry_payload())
+        assert dash.frames == 1
+        assert dash.now == 2.0
+        assert dash.summary["queue_depth"] == 3
+        assert list(dash.depth) == [3.0]
+        assert list(dash.latency) == [0.5]
+        assert list(dash.error) == [0.25]
+        assert list(dash.shed) == [0.4]
+        assert dash.firing == []
+        assert "shed_ratio" in dash.slo
+
+    def test_metric_deltas_accumulate(self):
+        dash = Dashboard(color=False)
+        dash.feed(telemetry_payload(seq=1))
+        dash.feed(telemetry_payload(seq=2))
+        assert dash.counters['triage_drops_total{stream="R"}'] == 10.0
+
+    def test_alerts_append_to_log_and_firing_set(self):
+        dash = Dashboard(color=False)
+        alert = {"slo": "shed_ratio", "state": "firing", "at": 2.0}
+        dash.feed(
+            telemetry_payload(alerts=[alert], firing=["shed_ratio"])
+        )
+        assert list(dash.alerts_log) == [alert]
+        assert dash.firing == ["shed_ratio"]
+        # A later frame with no firing alerts clears the set.
+        dash.feed(telemetry_payload(seq=2))
+        assert dash.firing == []
+
+    def test_history_is_bounded(self):
+        dash = Dashboard(history=4, color=False)
+        for seq in range(10):
+            dash.feed(telemetry_payload(seq=seq))
+        assert len(dash.latency) == 4
+        assert len(dash.depth) == 4
+
+    def test_feed_stats_uses_summary_and_reports(self):
+        dash = Dashboard(color=False)
+        dash.feed_stats(
+            {
+                "summary": {
+                    "queue_depth": 7,
+                    "queue_capacity": 10,
+                    "slo": {
+                        "window_staleness": {"firing": True},
+                        "shed_ratio": {"firing": False},
+                    },
+                },
+                "window_reports": [
+                    {"result_latency": 1.5, "arrived": 10, "dropped": 0}
+                ],
+            }
+        )
+        assert list(dash.depth) == [7.0]
+        assert list(dash.latency) == [1.5]
+        assert dash.firing == ["window_staleness"]
+
+
+class TestRender:
+    def test_render_without_color_has_no_escape_codes(self):
+        dash = Dashboard(color=False)
+        dash.feed(telemetry_payload())
+        screen = dash.render()
+        assert "\x1b" not in screen
+        assert "repro top" in screen
+        assert "queue 3/10" in screen
+        assert "no alerts firing" in screen
+        assert "shed_ratio" in screen
+
+    def test_render_with_color_uses_and_resets_ansi(self):
+        dash = Dashboard(color=True)
+        dash.feed(telemetry_payload(firing=["shed_ratio"]))
+        screen = dash.render()
+        assert "\x1b[" in screen
+        # Every opened attribute run is closed before the line ends.
+        for line in screen.splitlines():
+            if "\x1b[" in line:
+                assert line.rstrip().endswith("\x1b[0m") or "\x1b[0m" in line
+
+    def test_firing_alert_is_called_out(self):
+        dash = Dashboard(color=False)
+        dash.feed(telemetry_payload(firing=["shed_ratio"]))
+        assert "ALERTS FIRING: shed_ratio" in dash.render()
+
+    def test_empty_dashboard_renders_placeholder(self):
+        screen = Dashboard(color=False).render()
+        assert "waiting for telemetry" in screen
+
+    def test_render_payloads_accepts_json_strings(self):
+        screen = render_payloads(
+            [json.dumps(telemetry_payload()), telemetry_payload(seq=2)]
+        )
+        assert "\x1b" not in screen
+        assert "frames=2" in screen

@@ -9,6 +9,9 @@ from repro.obs.trace import (
     NullTracer,
     TraceError,
     Tracer,
+    merge_jsonl_traces,
+    new_span_id,
+    new_trace_id,
     validate_chrome_trace,
 )
 
@@ -117,7 +120,13 @@ def test_to_chrome_validates_and_roundtrips(tracer, clock):
     tracer.tuple_event("enqueue", "S", 1.0)
     doc = tracer.to_chrome()
     events = validate_chrome_trace(doc)
-    assert len(events) == 2
+    # Two metadata events (process_name + trace_epoch) lead the export.
+    assert [e["name"] for e in events] == [
+        "process_name",
+        "trace_epoch",
+        "merge",
+        "enqueue",
+    ]
     assert doc["otherData"]["generator"] == "repro.obs.trace"
     # The document must survive a JSON round trip unchanged.
     assert json.loads(json.dumps(doc)) == doc
@@ -127,7 +136,12 @@ def test_to_jsonl_one_object_per_line(tracer):
     tracer.instant("a")
     tracer.instant("b")
     lines = tracer.to_jsonl().splitlines()
-    assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+    assert [json.loads(line)["name"] for line in lines] == [
+        "process_name",
+        "trace_epoch",
+        "a",
+        "b",
+    ]
 
 
 def test_write_both_formats(tracer, tmp_path):
@@ -137,7 +151,8 @@ def test_write_both_formats(tracer, tmp_path):
     tracer.write(chrome, fmt="chrome")
     tracer.write(jsonl, fmt="jsonl")
     validate_chrome_trace(json.loads(chrome.read_text()))
-    assert json.loads(jsonl.read_text().splitlines()[0])["name"] == "a"
+    names = [json.loads(line)["name"] for line in jsonl.read_text().splitlines()]
+    assert "a" in names
     with pytest.raises(ValueError):
         tracer.write(tmp_path / "t", fmt="xml")
 
@@ -152,6 +167,142 @@ def test_null_tracer_is_inert():
     NULL_TRACER.tuple_event("ingest", "R", 0.0)
     NULL_TRACER.counter("depth", 1.0)
     assert len(NULL_TRACER) == 0 and NULL_TRACER.emitted == 0
+
+
+class TestTraceContext:
+    def test_context_rides_every_event_until_cleared(self, tracer, clock):
+        tracer.set_context("abc123", "p1")
+        tracer.instant("ingest")
+        with tracer.span("window"):
+            clock.advance(0.001)
+        tracer.clear_context()
+        tracer.instant("after")
+        ingest, window, after = tracer.events()
+        assert ingest["args"]["trace_id"] == "abc123"
+        assert ingest["args"]["parent"] == "p1"
+        assert window["args"]["trace_id"] == "abc123"
+        assert "trace_id" not in after.get("args", {})
+
+    def test_latest_context_wins(self, tracer):
+        tracer.set_context("first")
+        tracer.set_context("second")
+        tracer.instant("x")
+        (e,) = tracer.events()
+        assert e["args"]["trace_id"] == "second"
+        assert "parent" not in e["args"]
+
+    def test_flow_event_shape(self, tracer):
+        tracer.flow("publish", "abc123", phase="s", stream="R")
+        tracer.flow("publish", "abc123", phase="t")
+        tracer.flow("publish", "abc123", phase="f")
+        start, step, end = tracer.events()
+        assert [e["ph"] for e in (start, step, end)] == ["s", "t", "f"]
+        assert all(e["id"] == "abc123" for e in (start, step, end))
+        assert end["bp"] == "e"  # bind to the enclosing slice
+        assert start["args"]["stream"] == "R"
+
+    def test_flow_phase_must_be_valid(self, tracer):
+        with pytest.raises(ValueError):
+            tracer.flow("x", "id", phase="q")
+
+    def test_id_generators_are_hex_and_distinct(self):
+        tid, sid = new_trace_id(), new_span_id()
+        assert len(tid) == 16 and len(sid) == 8
+        int(tid, 16), int(sid, 16)  # both parse as hex
+        assert new_trace_id() != tid
+
+    def test_bound_drop_counter_counts_evictions(self, clock):
+        class Spy:
+            calls = 0
+
+            def inc(self, amount=1.0, **labels):
+                Spy.calls += 1
+
+        tracer = Tracer(capacity=4, clock=clock)
+        tracer.bind_drop_counter(Spy())
+        for i in range(7):
+            tracer.instant(f"e{i}")
+        assert tracer.dropped == 3
+        assert Spy.calls == 3
+
+
+class TestMergeJsonl:
+    def write_pair(self, tmp_path, skew=0.5):
+        """Two tracers, wall clocks ``skew`` seconds apart, one flow."""
+        trace_id = "feedbeefcafe0123"
+        client = Tracer(clock=lambda: 0.0, label="client", epoch=100.0)
+        client.set_context(trace_id, "span01")
+        client.instant("publish", cat="client")
+        client.flow("publish", trace_id, phase="s")
+        server_clock = {"t": 0.0}
+        server = Tracer(
+            clock=lambda: server_clock["t"], label="server", epoch=100.0 + skew
+        )
+        server.set_context(trace_id, "span01")
+        server_clock["t"] = 0.25
+        server.instant("ingest", cat="service")
+        server.flow("publish", trace_id, phase="f")
+        a, b = tmp_path / "client.jsonl", tmp_path / "server.jsonl"
+        client.write(a, fmt="jsonl")
+        server.write(b, fmt="jsonl")
+        return trace_id, [a, b]
+
+    def test_merge_validates_and_assigns_process_tracks(self, tmp_path):
+        trace_id, paths = self.write_pair(tmp_path)
+        doc = merge_jsonl_traces(paths)
+        events = validate_chrome_trace(doc)
+        named = [e for e in events if e["ph"] == "M" and e["name"] == "process_name"]
+        assert {e["args"]["name"] for e in named} == {"client", "server"}
+        assert {e["pid"] for e in named} == {1, 2}
+
+    def test_trace_id_spans_both_processes(self, tmp_path):
+        trace_id, paths = self.write_pair(tmp_path)
+        doc = merge_jsonl_traces(paths)
+        carriers = [
+            e
+            for e in doc["traceEvents"]
+            if isinstance(e.get("args"), dict)
+            and e["args"].get("trace_id") == trace_id
+        ]
+        assert {e["pid"] for e in carriers} == {1, 2}
+        flows = [e for e in doc["traceEvents"] if e["ph"] in ("s", "t", "f")]
+        assert {e["id"] for e in flows} == {trace_id}
+        assert {e["pid"] for e in flows} == {1, 2}
+
+    def test_clock_offsets_align_timelines(self, tmp_path):
+        _, paths = self.write_pair(tmp_path, skew=0.5)
+        doc = merge_jsonl_traces(paths)
+        offsets = doc["otherData"]["clock_offsets_us"]
+        assert offsets["client"] == 0.0
+        assert offsets["server"] == pytest.approx(500_000.0)
+        ingest = next(
+            e for e in doc["traceEvents"] if e["name"] == "ingest"
+        )
+        # Server's own clock read 0.25s; its epoch is 0.5s after the
+        # client's, so the merged timeline places it at 0.75s.
+        assert ingest["ts"] == pytest.approx(750_000.0)
+
+    def test_labels_override_recorded_names(self, tmp_path):
+        _, paths = self.write_pair(tmp_path)
+        doc = merge_jsonl_traces(paths, labels=["a", "b"])
+        named = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert {e["args"]["name"] for e in named} == {"a", "b"}
+
+    def test_merged_events_sorted_by_timestamp(self, tmp_path):
+        _, paths = self.write_pair(tmp_path)
+        doc = merge_jsonl_traces(paths)
+        ts = [e["ts"] for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert ts == sorted(ts)
+
+    def test_merge_rejects_garbage_file(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(TraceError):
+            merge_jsonl_traces([bad])
 
 
 @pytest.mark.parametrize(

@@ -20,7 +20,14 @@ VALID_FRAMES = [
     {"type": "HELLO", "version": 1},
     {"type": "DECLARE", "stream": "R"},
     {"type": "SUBSCRIBE"},
+    {"type": "SUBSCRIBE", "telemetry": True, "telemetry_interval": 0.5},
     {"type": "PUBLISH", "stream": "R", "rows": [[1], [2], [3]]},
+    {
+        "type": "PUBLISH",
+        "stream": "R",
+        "rows": [[1]],
+        "trace": {"trace_id": "feedbeefcafe0123", "parent": "ab12cd34"},
+    },
     {
         "type": "PUBLISH",
         "stream": "S",
@@ -39,6 +46,25 @@ VALID_FRAMES = [
         "end": 4.0,
         "groups": [{"key": [1], "aggs": {"count": 5.0}}],
     },
+    {
+        "type": "RESULT",
+        "window": 0,
+        "groups": [],
+        "traces": [{"trace_id": "feedbeefcafe0123", "parent": "ab12cd34"}],
+    },
+    {
+        "type": "TELEMETRY",
+        "seq": 1,
+        "now": 2.5,
+        "interval": 1.0,
+        "metrics": {'triage_drops_total{stream="R"}': 5.0},
+        "reports": [{"window": 0, "result_latency": 0.5}],
+        "alerts": [{"slo": "shed_ratio", "state": "firing", "at": 2.5}],
+        "firing": ["shed_ratio"],
+        "slo": {"shed_ratio": {"burn_fast": 10.0}},
+        "summary": {"queue_depth": 3},
+    },
+    {"type": "TELEMETRY", "seq": 0, "now": 0},
     {"type": "ERROR", "code": "bad-frame", "message": "nope", "fatal": False},
 ]
 
@@ -130,6 +156,53 @@ class TestMalformed:
             ({"type": "STATS", "format": "xml"}, "bad-field"),
             ({"type": "RESULT", "window": 1}, "bad-frame"),
             ({"type": "ERROR", "code": "x"}, "bad-frame"),
+            ({"type": "SUBSCRIBE", "telemetry": "yes"}, "bad-field"),
+            ({"type": "SUBSCRIBE", "telemetry_interval": 0}, "bad-field"),
+            ({"type": "SUBSCRIBE", "telemetry_interval": -1.0}, "bad-field"),
+            ({"type": "SUBSCRIBE", "telemetry_interval": "1s"}, "bad-field"),
+            (
+                {"type": "PUBLISH", "stream": "R", "rows": [[1]], "trace": "x"},
+                "bad-field",
+            ),
+            (
+                {
+                    "type": "PUBLISH",
+                    "stream": "R",
+                    "rows": [[1]],
+                    "trace": {"trace_id": "abc"},  # parent missing
+                },
+                "bad-field",
+            ),
+            (
+                {
+                    "type": "PUBLISH",
+                    "stream": "R",
+                    "rows": [[1]],
+                    "trace": {"trace_id": "", "parent": "p"},
+                },
+                "bad-field",
+            ),
+            (
+                {"type": "RESULT", "window": 0, "groups": [], "traces": [{}]},
+                "bad-field",
+            ),
+            ({"type": "TELEMETRY", "now": 0.0}, "bad-frame"),  # seq missing
+            ({"type": "TELEMETRY", "seq": 1}, "bad-frame"),  # now missing
+            ({"type": "TELEMETRY", "seq": 1, "now": True}, "bad-field"),
+            ({"type": "TELEMETRY", "seq": 1, "now": 0, "metrics": []}, "bad-field"),
+            (
+                {"type": "TELEMETRY", "seq": 1, "now": 0, "alerts": ["x"]},
+                "bad-field",
+            ),
+            (
+                {
+                    "type": "TELEMETRY",
+                    "seq": 1,
+                    "now": 0,
+                    "alerts": [{"slo": "x", "state": "exploded"}],
+                },
+                "bad-field",
+            ),
         ],
     )
     def test_validation_errors(self, frame, code):
@@ -142,6 +215,53 @@ class TestMalformed:
         frame = exc.to_frame()
         validate_frame(frame)
         assert frame["code"] == "bad-field" and frame["fatal"] is True
+
+
+class TestSenderRoles:
+    """Direction checking: each role may only emit its own frame types,
+    and both roles reject a misdirected frame with the SAME error code."""
+
+    CLIENT_ONLY = {"type": "PUBLISH", "stream": "R", "rows": [[1]]}
+    SERVER_ONLY = {"type": "TELEMETRY", "seq": 1, "now": 0.0}
+
+    def test_roles_accept_their_own_frames(self):
+        validate_frame(self.CLIENT_ONLY, sender="client")
+        validate_frame(self.SERVER_ONLY, sender="server")
+
+    @pytest.mark.parametrize(
+        "frame,sender",
+        [
+            (SERVER_ONLY, "client"),
+            ({"type": "RESULT", "window": 0, "groups": []}, "client"),
+            ({"type": "WELCOME", "version": 1}, "client"),
+            (CLIENT_ONLY, "server"),
+            ({"type": "SUBSCRIBE"}, "server"),
+            ({"type": "HELLO", "version": 1}, "server"),
+        ],
+    )
+    def test_misdirected_frames_rejected_symmetrically(self, frame, sender):
+        with pytest.raises(ProtocolError) as exc:
+            validate_frame(frame, sender=sender)
+        assert exc.value.code == "unexpected-type"
+
+    @pytest.mark.parametrize("sender", ["client", "server"])
+    def test_unknown_type_is_distinct_from_misdirection(self, sender):
+        with pytest.raises(ProtocolError) as exc:
+            validate_frame({"type": "GOSSIP"}, sender=sender)
+        assert exc.value.code == "unknown-type"
+
+    def test_stats_is_bidirectional(self):
+        # STATS is both the request and the reply; every other type is
+        # owned by exactly one role.
+        validate_frame({"type": "STATS"}, sender="client")
+        validate_frame({"type": "STATS"}, sender="server")
+
+    def test_decode_frame_enforces_sender(self):
+        line = encode_frame(self.SERVER_ONLY)
+        with pytest.raises(ProtocolError) as exc:
+            decode_frame(line, sender="client")
+        assert exc.value.code == "unexpected-type"
+        assert decode_frame(line, sender="server") == self.SERVER_ONLY
 
 
 class TestFuzz:

@@ -1,0 +1,412 @@
+"""Live telemetry push, SLO alerting, eviction, and trace propagation.
+
+Same discipline as test_server.py: every test owns a server on a manual
+clock, advances time itself, and calls ``server.tick()`` explicitly.
+"""
+
+import asyncio
+import contextlib
+
+import pytest
+
+from repro.core.strategies import PipelineConfig
+from repro.engine.window import WindowSpec
+from repro.experiments import paper_catalog
+from repro.obs import Observability
+from repro.obs.trace import Tracer, merge_jsonl_traces, validate_chrome_trace
+from repro.service import ServiceConfig, TriageClient, TriageServer
+from repro.service.session import SessionRegistry
+
+QUERY_R_ONLY = "SELECT a, COUNT(*) AS n FROM R GROUP BY a;"
+
+
+class ManualClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@contextlib.asynccontextmanager
+async def serve(
+    query=QUERY_R_ONLY,
+    *,
+    queue_capacity=100,
+    service_time=0.01,
+    window=1.0,
+    obs=None,
+    **service_kwargs,
+):
+    clock = ManualClock()
+    config = PipelineConfig(
+        window=WindowSpec(width=window),
+        queue_capacity=queue_capacity,
+        service_time=service_time,
+        compute_ideal=False,
+    )
+    service = ServiceConfig(tick_interval=None, clock=clock, **service_kwargs)
+    server = TriageServer(paper_catalog(), query, config, service, obs=obs)
+    await server.start()
+    server.clock = clock  # test-side handle
+    try:
+        yield server
+    finally:
+        await server.shutdown()
+
+
+async def connect(server, name="test", tracer=None) -> TriageClient:
+    return await TriageClient.connect(
+        "127.0.0.1", server.port, client_name=name, tracer=tracer
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def metric_sum(metrics: dict, name: str) -> float:
+    """Sum every sample of ``name`` in a TELEMETRY metrics delta."""
+    return sum(v for k, v in metrics.items() if k.split("{")[0] == name)
+
+
+async def publish_window(client, window, n, value=1):
+    ts = [window + i / n for i in range(n)]
+    return await client.publish(
+        "R", [[value + (i % 3)] for i in range(n)], timestamps=ts
+    )
+
+
+# ---------------------------------------------------------------------------
+class TestTelemetryPush:
+    def test_subscriber_receives_metrics_reports_and_summary(self):
+        async def scenario():
+            async with serve() as server:
+                client = await connect(server)
+                await client.declare("R")
+                await client.subscribe(telemetry=True)
+                await publish_window(client, 0, 20)
+                server.clock.t = 2.0
+                await server.tick()
+                frame = await client.next_telemetry(timeout=2)
+                assert frame["seq"] == 1
+                assert frame["now"] == 2.0
+                assert frame["summary"]["tuples_arrived"] == 20
+                assert frame["summary"]["sessions"] == 1
+                # The window closed this tick; its report rides along.
+                (report,) = frame["reports"]
+                assert report["window_id"] == 0
+                assert report["arrived"] == 20
+                assert metric_sum(frame["metrics"], "triage_offered_total") == 20
+                assert "window_staleness" in frame["slo"]
+                # RESULT fan-out is unaffected by the telemetry opt-in.
+                result = await client.next_result(timeout=2)
+                assert result["window"] == 0
+                await client.close()
+
+        run(scenario())
+
+    def test_second_frame_carries_only_deltas(self):
+        async def scenario():
+            async with serve() as server:
+                client = await connect(server)
+                await client.declare("R")
+                await client.subscribe(telemetry=True)
+                await publish_window(client, 0, 20)
+                server.clock.t = 2.0
+                await server.tick()
+                first = await client.next_telemetry(timeout=2)
+                assert metric_sum(first["metrics"], "triage_offered_total") == 20
+                await publish_window(client, 2, 5)
+                server.clock.t = 4.0
+                await server.tick()
+                second = await client.next_telemetry(timeout=2)
+                assert second["seq"] == 2
+                # Counters arrive as increments, not absolutes.
+                assert metric_sum(second["metrics"], "triage_offered_total") == 5
+                # The summary stays cumulative.
+                assert second["summary"]["tuples_arrived"] == 25
+                await client.close()
+
+        run(scenario())
+
+    def test_no_frames_without_opt_in(self):
+        async def scenario():
+            async with serve() as server:
+                client = await connect(server)
+                await client.declare("R")
+                await client.subscribe()  # results only
+                await publish_window(client, 0, 10)
+                server.clock.t = 2.0
+                await server.tick()
+                assert await client.next_result(timeout=2) is not None
+                with pytest.raises(asyncio.TimeoutError):
+                    await client.next_telemetry(timeout=0.2)
+                sent = server.metrics.get("service_telemetry_frames_total")
+                assert sent.value() == 0
+                await client.close()
+
+        run(scenario())
+
+    def test_subscriber_can_only_tighten_the_cadence(self):
+        async def scenario():
+            async with serve(telemetry_interval=5.0) as server:
+                client = await connect(server)
+                await client.subscribe(telemetry=True, telemetry_interval=0.5)
+                assert server._telemetry_interval == 0.5
+                slower = await connect(server, name="slower")
+                await slower.subscribe(telemetry=True, telemetry_interval=9.0)
+                assert server._telemetry_interval == 0.5  # unchanged
+                await client.close()
+                await slower.close()
+
+        run(scenario())
+
+    def test_slo_gauges_stay_fresh_without_subscribers(self):
+        async def scenario():
+            async with serve(queue_capacity=10) as server:
+                client = await connect(server)
+                await client.declare("R")
+                await publish_window(client, 0, 300)  # forces shedding
+                server.clock.t = 2.0
+                await server.tick()
+                burn = server.metrics.get("slo_burn_rate")
+                assert burn.value(slo="shed_ratio", window="fast") > 0
+                assert server._telemetry_seq == 0  # nothing was pushed
+                await client.close()
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+class TestSLOAlerts:
+    def test_overload_fires_alert_within_two_windows(self):
+        async def scenario():
+            async with serve(queue_capacity=10, service_time=0.01) as server:
+                client = await connect(server)
+                await client.declare("R")
+                await client.subscribe(telemetry=True)
+                # A 3x-capacity burst: most of the window is shed, so the
+                # shed_ratio SLO (threshold 0.5) burns its budget at ~10x.
+                await publish_window(client, 0, 300)
+                server.clock.t = 2.0
+                await server.tick()
+                frame = await client.next_telemetry(timeout=2)
+                assert "shed_ratio" in frame["firing"]
+                fired = [
+                    a
+                    for a in frame["alerts"]
+                    if a["slo"] == "shed_ratio" and a["state"] == "firing"
+                ]
+                assert len(fired) == 1
+                assert fired[0]["burn_fast"] >= 5.0
+                assert frame["slo"]["shed_ratio"]["firing"] is True
+                await client.close()
+
+        run(scenario())
+
+    def test_healthy_run_fires_nothing(self):
+        async def scenario():
+            async with serve(queue_capacity=100) as server:
+                client = await connect(server)
+                await client.declare("R")
+                await client.subscribe(telemetry=True)
+                await publish_window(client, 0, 20)
+                server.clock.t = 1.0  # window closes with zero staleness
+                await server.tick()
+                frame = await client.next_telemetry(timeout=2)
+                assert frame["firing"] == []
+                assert frame["alerts"] == []
+                await client.close()
+
+        run(scenario())
+
+    def test_alert_resolves_once_overload_clears(self):
+        async def scenario():
+            async with serve(queue_capacity=10, service_time=0.01) as server:
+                client = await connect(server)
+                await client.declare("R")
+                await client.subscribe(telemetry=True)
+                await publish_window(client, 0, 300)
+                server.clock.t = 2.0
+                await server.tick()
+                first = await client.next_telemetry(timeout=2)
+                assert "shed_ratio" in first["firing"]
+                # Healthy windows push the bad one out of the fast window.
+                states = []
+                for w in range(2, 6):
+                    await publish_window(client, w, 20)
+                    server.clock.t = w + 1.0
+                    await server.tick()
+                    frame = await client.next_telemetry(timeout=2)
+                    states += [
+                        a["state"]
+                        for a in frame["alerts"]
+                        if a["slo"] == "shed_ratio"
+                    ]
+                    if "shed_ratio" not in frame["firing"]:
+                        break
+                assert states == ["resolved"]
+                await client.close()
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+class BlockedWriter:
+    """A transport whose drain never completes: the slowest consumer."""
+
+    def __init__(self):
+        self.closed = False
+
+    def write(self, data):
+        pass
+
+    async def drain(self):
+        await asyncio.Event().wait()
+
+    def close(self):
+        self.closed = True
+
+    def get_extra_info(self, name):
+        return ("127.0.0.1", 0)
+
+
+class TestSlowTelemetryConsumer:
+    def test_full_queue_evicts_telemetry_subscriber(self):
+        async def scenario():
+            registry = SessionRegistry(send_queue_frames=1)
+            session = registry.admit(BlockedWriter())
+            session.telemetry = True
+            frame = {"type": "TELEMETRY", "seq": 1, "now": 0.0}
+            assert await registry.broadcast(frame, group="telemetry") == []
+            await asyncio.sleep(0)  # sender dequeues #1, blocks in drain
+            assert await registry.broadcast(frame, group="telemetry") == []
+            evicted = await registry.broadcast(frame, group="telemetry")
+            assert evicted == [session]
+            assert registry.evictions == 1
+            assert session.id not in registry.sessions
+            assert session.telemetry_sent == 2  # the frames that fit
+
+        run(scenario())
+
+    def test_groups_are_disjoint_audiences(self):
+        async def scenario():
+            registry = SessionRegistry(send_queue_frames=4)
+            watcher = registry.admit(BlockedWriter())
+            watcher.telemetry = True
+            subscriber = registry.admit(BlockedWriter())
+            subscriber.subscribed = True
+            await registry.broadcast(
+                {"type": "TELEMETRY", "seq": 1, "now": 0.0}, group="telemetry"
+            )
+            await registry.broadcast({"type": "RESULT", "window": 0, "groups": []})
+            assert watcher.telemetry_sent == 1 and watcher.results_sent == 0
+            assert subscriber.results_sent == 1 and subscriber.telemetry_sent == 0
+            for s in (watcher, subscriber):
+                await s.close(flush=False)
+
+        run(scenario())
+
+    def test_unknown_group_refused(self):
+        async def scenario():
+            registry = SessionRegistry()
+            with pytest.raises(ValueError):
+                await registry.broadcast({}, group="everyone")
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+class TestTracePropagation:
+    def test_traced_publish_round_trips_and_merges(self, tmp_path):
+        async def scenario():
+            server_obs = Observability(trace=True, label="server")
+            async with serve(obs=server_obs) as server:
+                tracer = Tracer(label="client")
+                client = await connect(server, tracer=tracer)
+                await client.declare("R")
+                await client.subscribe()
+                await publish_window(client, 0, 10)
+                traced = server.metrics.get("service_traced_batches_total")
+                assert traced.value(stream="R") == 1
+                server.clock.t = 2.0
+                await server.tick()
+                result = await client.next_result(timeout=2)
+                (ctx,) = result["traces"]
+                # The echoed context is the one the client minted.
+                flows = [e for e in tracer.events() if e["ph"] == "s"]
+                assert [e["id"] for e in flows] == [ctx["trace_id"]]
+                # The client closed the flow when the RESULT arrived.
+                ends = [e for e in tracer.events() if e["ph"] == "f"]
+                assert [e["id"] for e in ends] == [ctx["trace_id"]]
+                # The server's own events carry the same trace id.
+                server_carriers = [
+                    e
+                    for e in server_obs.tracer.events()
+                    if e.get("args", {}).get("trace_id") == ctx["trace_id"]
+                ]
+                assert server_carriers, "server trace lost the context"
+                await client.close()
+
+            client_path = tmp_path / "client.jsonl"
+            server_path = tmp_path / "server.jsonl"
+            tracer.write(client_path, fmt="jsonl")
+            server_obs.tracer.write(server_path, fmt="jsonl")
+            doc = merge_jsonl_traces([client_path, server_path])
+            validate_chrome_trace(doc)
+            trace_id = next(
+                e["id"] for e in doc["traceEvents"] if e["ph"] == "s"
+            )
+            pids = {
+                e["pid"]
+                for e in doc["traceEvents"]
+                if (
+                    isinstance(e.get("args"), dict)
+                    and e["args"].get("trace_id") == trace_id
+                )
+                or e.get("id") == trace_id
+            }
+            assert pids == {1, 2}, "one trace id must span both processes"
+
+        run(scenario())
+
+    def test_untraced_publish_stays_zero_cost(self):
+        async def scenario():
+            async with serve() as server:
+                client = await connect(server)  # no tracer
+                await client.declare("R")
+                await client.subscribe()
+                await publish_window(client, 0, 10)
+                assert not server._window_traces
+                server.clock.t = 2.0
+                await server.tick()
+                result = await client.next_result(timeout=2)
+                assert "traces" not in result
+                traced = server.metrics.get("service_traced_batches_total")
+                assert traced.total() == 0
+                await client.close()
+
+        run(scenario())
+
+    def test_context_echo_needs_no_server_tracer(self):
+        async def scenario():
+            # Server without observability: it cannot record spans, but the
+            # RESULT still echoes the client's contexts so the client-side
+            # trace closes its flows.
+            async with serve() as server:
+                tracer = Tracer(label="client")
+                client = await connect(server, tracer=tracer)
+                await client.declare("R")
+                await client.subscribe()
+                await publish_window(client, 0, 10)
+                server.clock.t = 2.0
+                await server.tick()
+                result = await client.next_result(timeout=2)
+                (ctx,) = result["traces"]
+                assert ctx["trace_id"]
+                ends = [e for e in tracer.events() if e["ph"] == "f"]
+                assert [e["id"] for e in ends] == [ctx["trace_id"]]
+                await client.close()
+
+        run(scenario())
