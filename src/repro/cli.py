@@ -96,6 +96,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="run only this suite (repeatable; default: all)",
     )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="regression gate: compare against this committed result file "
+        "and exit non-zero if any shared suite regressed too far",
+    )
+    bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="ops/sec drop (percent) tolerated by --compare (default: 10)",
+    )
+    bench.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="also write a Prometheus snapshot of the per-shard gauges from "
+        "a small sharded ingest/close cycle",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -192,6 +213,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="STALENESS",
         help="enable adaptive queue sizing targeting this staleness budget (s)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="triage worker processes; streams are hash-partitioned across "
+        "them and partial windows merged at close (default: 1, in-process)",
     )
     serve.add_argument(
         "--duration",
@@ -305,12 +334,37 @@ def cmd_rewrite(args, out) -> int:
 
 
 def cmd_bench(args, out) -> int:
-    from repro.perf.bench import render_text, run_bench_suites, write_results
+    import json
+
+    from repro.perf.bench import (
+        compare_results,
+        render_text,
+        run_bench_suites,
+        shard_metrics_snapshot,
+        write_results,
+    )
 
     doc = run_bench_suites(quick=args.quick, suites=args.suites)
     path = write_results(doc, args.out)
     out.write(render_text(doc) + "\n")
     out.write(f"results written to {path}\n")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fp:
+            fp.write(shard_metrics_snapshot())
+        out.write(f"per-shard metrics snapshot -> {args.metrics_out}\n")
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as fp:
+            baseline = json.load(fp)
+        violations = compare_results(doc, baseline, args.max_regression)
+        if violations:
+            out.write("bench regression gate FAILED:\n")
+            for violation in violations:
+                out.write(f"  {violation}\n")
+            return 1
+        out.write(
+            f"bench regression gate passed "
+            f"(threshold {args.max_regression:g}%)\n"
+        )
     return 0
 
 
@@ -428,6 +482,7 @@ def cmd_serve(args, out) -> int:
         max_sessions=args.max_sessions,
         rate_limit=args.rate_limit,
         telemetry_interval=args.telemetry_interval or None,
+        shards=args.shards,
     )
     obs = None
     if args.trace_out:
@@ -440,10 +495,11 @@ def cmd_serve(args, out) -> int:
 
     async def run() -> None:
         await server.start()
+        shard_note = f", {args.shards} shards" if args.shards > 1 else ""
         out.write(
             f"triage service listening on {args.host}:{server.port} "
             f"(window {args.window:g}s, queue {args.queue_capacity}, "
-            f"engine {args.engine_capacity:g} tuples/s)\n"
+            f"engine {args.engine_capacity:g} tuples/s{shard_note})\n"
         )
         try:
             if args.duration is not None:

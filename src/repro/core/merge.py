@@ -15,7 +15,8 @@ and :func:`merge_groups` combines them aggregate-by-aggregate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.algebra.multiset import Multiset
 from repro.engine.expressions import ColumnRef
@@ -195,4 +196,74 @@ def merge_groups(exact: Groups, estimated: Groups, spec: MergeSpec) -> Groups:
                         (ev or 0.0) * ec + (sv or 0.0) * sc
                     ) / total
         out[key] = merged
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Partial window inputs (sharded evaluation)
+# ---------------------------------------------------------------------------
+@dataclass
+class WindowPartials:
+    """Per-window evaluation inputs, in evaluate_windows' nested shape.
+
+    One shard's contribution to a batch of closing windows: kept-tuple bags,
+    kept/dropped synopses, and arrival/drop counts, all keyed
+    ``{source: {window_id: value}}``.  A sharded data plane collects one of
+    these per worker and folds them with :func:`merge_partials`; the merged
+    object feeds :meth:`DataTriagePipeline.evaluate_windows` unchanged, which
+    is what keeps sharded results byte-identical to the serial server's.
+    """
+
+    window_ids: list[int] = field(default_factory=list)
+    kept_rows: dict = field(default_factory=dict)
+    kept_synopses: dict | None = None
+    dropped_synopses: dict | None = None
+    dropped_counts: dict = field(default_factory=dict)
+    arrived: dict = field(default_factory=dict)
+
+
+def _merge_nested(dst: dict, src: dict, combine) -> None:
+    for source, per_window in src.items():
+        mine = dst.setdefault(source, {})
+        for wid, value in per_window.items():
+            have = mine.get(wid)
+            mine[wid] = value if have is None else combine(have, value)
+
+
+def _union_syn(a: Synopsis | None, b: Synopsis | None):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a.union_all(b)
+
+
+def merge_partials(parts: Sequence[WindowPartials]) -> WindowPartials:
+    """Fold shard partials into one evaluation input set.
+
+    Kept rows merge by bag union, synopses by ``union_all`` (the mergeability
+    the paper's synopsis interface guarantees), counts by addition.  Sources
+    are hash-partitioned to shards so in practice each (source, window) cell
+    comes from exactly one shard, but the fold is written for the general
+    overlap case — the associative/commutative merge makes the result
+    independent of shard count and arrival order.
+    """
+    out = WindowPartials()
+    wids: set[int] = set()
+    for part in parts:
+        wids.update(part.window_ids)
+        _merge_nested(out.kept_rows, part.kept_rows, lambda a, b: a + b)
+        if part.kept_synopses is not None:
+            if out.kept_synopses is None:
+                out.kept_synopses = {}
+            _merge_nested(out.kept_synopses, part.kept_synopses, _union_syn)
+        if part.dropped_synopses is not None:
+            if out.dropped_synopses is None:
+                out.dropped_synopses = {}
+            _merge_nested(
+                out.dropped_synopses, part.dropped_synopses, _union_syn
+            )
+        _merge_nested(out.dropped_counts, part.dropped_counts, lambda a, b: a + b)
+        _merge_nested(out.arrived, part.arrived, lambda a, b: a + b)
+    out.window_ids = sorted(wids)
     return out

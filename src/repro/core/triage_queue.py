@@ -176,6 +176,73 @@ class TriageQueue:
                 self._notify("evict_buffered")
             self._shed(victim)
 
+    def offer_bulk(self, tuples) -> int:
+        """Offer a whole batch under one lock acquisition; returns drops.
+
+        Semantically identical to calling :meth:`offer` once per tuple —
+        the same drop decisions (same RNG draw sequence), the same synopsis
+        contents, the same :class:`QueueStats` totals — but observer events
+        are emitted once per *event type* with aggregated values instead of
+        once per tuple.  On the network publish path that aggregation is
+        most of the win: a shed-heavy 500-row batch otherwise costs ~2000
+        observer dispatches (offer + drop + shed_bytes + summarize per
+        victim) before a single tuple reaches the engine.
+        """
+        n = len(tuples)
+        if n == 0:
+            return 0
+        with self._lock:
+            stats = self.stats
+            stats.offered += n
+            buffer = self._buffer
+            observing = self.observer is not None
+            dropped = 0
+            drop_incoming = 0
+            shed_bytes = 0.0
+            for tup in tuples:
+                if len(buffer) < self.capacity:
+                    buffer.append(tup)
+                    continue
+                stats.overflows += 1
+                wid = self.window.primary_window(tup.timestamp)
+                context = PolicyContext(
+                    rng=self._rng,
+                    synopsis=self._window_synopses.get(wid),
+                    dim_positions=self.dim_positions,
+                )
+                victim_idx = self.policy.select_victim(buffer, tup, context)
+                if victim_idx == DROP_INCOMING:
+                    victim = tup
+                    drop_incoming += 1
+                else:
+                    victim = buffer[victim_idx]
+                    del buffer[victim_idx]
+                    buffer.append(tup)
+                dropped += 1
+                stats.dropped += 1
+                if observing:
+                    shed_bytes += float(sys.getsizeof(victim.row))
+                self._shed_record(victim)
+            # ``high_watermark >= len(buffer)`` holds at every quiescent
+            # point (only offers grow the buffer, and they maintain it), so
+            # one max at the end equals the per-append updates of offer().
+            if len(buffer) > stats.high_watermark:
+                stats.high_watermark = len(buffer)
+            if observing:
+                self._notify("offer", float(n))
+                if dropped:
+                    self._notify("drop", float(dropped))
+                    self._notify("shed_bytes", shed_bytes)
+                    if self.summarize:
+                        self._notify("summarize", float(dropped))
+                    if drop_incoming:
+                        self._notify("drop_incoming", float(drop_incoming))
+                    if dropped > drop_incoming:
+                        self._notify(
+                            "evict_buffered", float(dropped - drop_incoming)
+                        )
+            return dropped
+
     def poll(self) -> StreamTuple | None:
         """The engine pulls the next tuple (FIFO order)."""
         with self._lock:
@@ -200,6 +267,10 @@ class TriageQueue:
             self._notify("shed_bytes", float(sys.getsizeof(victim.row)))
         if self.summarize:
             self._notify("summarize")
+        self._shed_record(victim)
+
+    def _shed_record(self, victim: StreamTuple) -> None:
+        """Window accounting + synopsis insert for one victim (no events)."""
         # A victim is charged to every window containing it — one window
         # for tumbling specs, several when windows overlap (hopping).
         for wid in self.window.ids(victim.timestamp):

@@ -165,6 +165,42 @@ class Schema:
                     f"value {value!r} invalid for column {col.name} ({col.type.value})"
                 )
 
+    def validate_columns(self, cols) -> None:
+        """Validate a columnar batch (one value list per schema column).
+
+        The column-at-a-time layout of the service's ``cols`` PUBLISH
+        encoding: per column, one exact-type scan covers the common
+        homogeneous case, falling back to a per-value check only when the
+        scan sees anything unusual (NULLs, int-valued floats) so the error
+        still names the offending row.  Errors match :meth:`validate_row`'s
+        ``row i:``-style shape for a stable wire error message.
+        """
+        if len(cols) != len(self._columns):
+            raise SchemaError(
+                f"column count {len(cols)} != schema arity {len(self._columns)}"
+            )
+        nrows = len(cols[0]) if cols else 0
+        for col, values in zip(self._columns, cols):
+            if len(values) != nrows:
+                raise SchemaError(
+                    f"column {col.name} has {len(values)} values, "
+                    f"expected {nrows} (ragged columnar batch)"
+                )
+            t = col.type
+            if t is ColumnType.INTEGER and all(
+                type(v) is int for v in values
+            ):
+                continue
+            if t is ColumnType.TEXT and all(type(v) is str for v in values):
+                continue
+            validate = t.validate
+            for i, v in enumerate(values):
+                if not validate(v):
+                    raise SchemaError(
+                        f"row {i}: value {v!r} invalid for column "
+                        f"{col.name} ({t.value})"
+                    )
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Schema):
             return NotImplemented

@@ -56,6 +56,7 @@ __all__ = [
     "DEFAULT_MAX_SERIES",
     "global_registry",
     "record_hook_error",
+    "shard_instruments",
 ]
 
 #: Default per-instrument cap on label combinations (series).
@@ -521,3 +522,32 @@ def record_hook_error(site: str, registry: MetricsRegistry | None = None) -> Non
         "Exceptions raised by user-supplied observers/hooks (swallowed)",
         ("site",),
     ).inc(site=site)
+
+
+def shard_instruments(registry: MetricsRegistry) -> dict:
+    """The sharded data plane's instrument trio, labelled per shard.
+
+    ``shard_queue_depth{shard=,stream=}`` (gauge, refreshed every tick
+    snapshot), ``shard_windows_merged_total{shard=}`` (one increment per
+    window partial a shard ships at close), and ``shard_merge_seconds``
+    (histogram of coordinator-side partial-merge latency).  Created through
+    the normal registry path so they ride the same STATS/TELEMETRY
+    snapshots — and ``repro top`` — as every other metric.
+    """
+    return {
+        "depth": registry.gauge(
+            "shard_queue_depth",
+            "Triage queue depth per shard worker",
+            ("shard", "stream"),
+        ),
+        "merged": registry.counter(
+            "shard_windows_merged_total",
+            "Window partials shipped and merged, per shard",
+            ("shard",),
+        ),
+        "merge_seconds": registry.histogram(
+            "shard_merge_seconds",
+            "Coordinator time merging shard partials at window close",
+            buckets=LATENCY_BUCKETS,
+        ),
+    }

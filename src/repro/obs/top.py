@@ -167,6 +167,12 @@ class Dashboard:
                 + f"  arrived={s.get('tuples_arrived', '-')}"
                 + f"  shed={s.get('tuples_shed', '-')}"
             )
+            shards = s.get("shards")
+            if shards:
+                parts = "  ".join(
+                    f"#{i}={shards[i]}" for i in sorted(shards, key=int)
+                )
+                lines.append("shards " + self._c(_DIM, parts))
         else:
             lines.append(self._c(_DIM, "waiting for telemetry…"))
         lines.append("")

@@ -19,6 +19,16 @@ are comparable run-to-run and PR-to-PR:
 * ``service_ingest`` — the network publish hot path:
   :meth:`TriageServer.ingest_rows` over pre-built row batches (schema
   validation, window accounting, triage offer).  Reported in rows/second.
+* ``service_ingest_shards2`` / ``service_ingest_shards4`` — the same batches
+  through a :class:`~repro.service.shard.ShardedDataPlane` with 2 / 4 worker
+  processes, pipelined (``submit_ingest`` + ``flush_ingest``), so the number
+  includes the pickle/pipe cost the sharded server pays per batch.
+* ``synopsis_union`` — ``SparseCubicHistogram.union_all`` over populated
+  histograms: the per-window synopsis merge the sharded close path leans on.
+
+``compare_results`` gates a fresh document against a committed baseline
+(``repro bench --compare BENCH_pipeline.json --max-regression 10``): any
+shared suite whose ``ops_per_sec`` fell more than the threshold fails CI.
 
 Results are written as ``BENCH_pipeline.json`` with the stable schema
 ``repro-bench/v1``: one object per suite holding ``ops_per_sec``,
@@ -212,12 +222,101 @@ def bench_service_ingest(quick: bool) -> dict:
     )
 
 
+def bench_service_ingest_sharded(quick: bool, shards: int) -> dict:
+    """The service_ingest batches through an N-shard worker data plane.
+
+    The plane (worker processes + pipes) is built once outside the timed
+    region — it is server-lifetime state — and ``reset`` between reps;
+    each rep pipelines every batch (``submit_ingest``) before one
+    ``flush_ingest`` barrier, which is exactly how the sharded PUBLISH
+    path amortizes pipe round trips.
+    """
+    from repro.core.pipeline import DataTriagePipeline
+    from repro.core.strategies import PipelineConfig
+    from repro.engine.window import WindowSpec
+    from repro.experiments import PAPER_QUERY, STREAM_NAMES, paper_catalog
+    from repro.service.shard import ShardedDataPlane
+
+    rows_per_stream = 500 if quick else 2000
+    batch = 500
+    rng = random.Random(13)
+    from repro.sources.generators import paper_row_generators
+
+    gens = paper_row_generators()
+    rows = {
+        name: [gens[name].draw(rng) for _ in range(rows_per_stream)]
+        for name in STREAM_NAMES
+    }
+    timestamps = [i * 0.01 for i in range(rows_per_stream)]
+    config = PipelineConfig(
+        window=WindowSpec(width=1.0),
+        queue_capacity=200,
+        compute_ideal=False,
+    )
+    pipeline = DataTriagePipeline(paper_catalog(), PAPER_QUERY, config)
+    plane = ShardedDataPlane(pipeline, shards)
+
+    def one_rep() -> None:
+        plane.reset()
+        for name in STREAM_NAMES:
+            for lo in range(0, rows_per_stream, batch):
+                plane.submit_ingest(
+                    name,
+                    rows[name][lo : lo + batch],
+                    timestamps[lo : lo + batch],
+                    0.0,
+                )
+        plane.flush_ingest()
+
+    try:
+        one_rep()  # warm the workers (first batch pays import/unpickle)
+        return _time_suite(
+            one_rep,
+            reps=5 if quick else 11,
+            units_per_rep=len(STREAM_NAMES) * rows_per_stream,
+            unit="rows",
+        )
+    finally:
+        plane.close()
+
+
+def bench_synopsis_union(quick: bool) -> dict:
+    """``SparseCubicHistogram.union_all`` over pre-populated histograms.
+
+    This is the merge the sharded window close performs per (source,
+    window) synopsis pair; sized to a heavily-shed window (every bucket
+    populated on one side, half on the other).
+    """
+    from repro.synopses.base import Dimension
+    from repro.synopses.sparse_hist import SparseCubicHistogram
+
+    dims = [Dimension("a", 0, 100), Dimension("b", 0, 100)]
+    n_inserts = 2_000 if quick else 10_000
+    rng = random.Random(29)
+    left = SparseCubicHistogram(dims, bucket_width=5)
+    right = SparseCubicHistogram(dims, bucket_width=5)
+    for _ in range(n_inserts):
+        left.insert((rng.randint(0, 100), rng.randint(0, 100)))
+        if rng.random() < 0.5:
+            right.insert((rng.randint(0, 100), rng.randint(0, 100)))
+    unions_per_rep = 100
+    return _time_suite(
+        lambda: [left.union_all(right) for _ in range(unions_per_rep)],
+        reps=9 if quick else 21,
+        units_per_rep=unions_per_rep,
+        unit="unions",
+    )
+
+
 SUITES = {
     "pipeline_fig9_bursty": bench_pipeline,
     "pipeline_fig9_traced": bench_pipeline_traced,
     "executor_micro": bench_executor,
     "synopsis_join": bench_synopsis,
+    "synopsis_union": bench_synopsis_union,
     "service_ingest": bench_service_ingest,
+    "service_ingest_shards2": lambda quick: bench_service_ingest_sharded(quick, 2),
+    "service_ingest_shards4": lambda quick: bench_service_ingest_sharded(quick, 4),
 }
 
 
@@ -234,6 +333,76 @@ def run_bench_suites(quick: bool = False, suites: list[str] | None = None) -> di
         "quick": quick,
         "suites": results,
     }
+
+
+def shard_metrics_snapshot(shards: int = 2) -> str:
+    """Run a small sharded ingest→drain→close cycle with instruments attached
+    and render the registry as Prometheus text.
+
+    This is the per-shard metrics artifact CI uploads next to the bench
+    numbers: it proves ``shard_queue_depth`` / ``shard_windows_merged_total``
+    / ``shard_merge_seconds`` flow through the registry on a real sharded
+    close, without needing a long-lived server in the workflow.
+    """
+    from repro.core.pipeline import DataTriagePipeline
+    from repro.core.strategies import PipelineConfig
+    from repro.engine.window import WindowSpec
+    from repro.experiments import PAPER_QUERY, STREAM_NAMES, paper_catalog
+    from repro.service.metrics import MetricsRegistry
+    from repro.service.shard import ShardedDataPlane
+    from repro.sources.generators import paper_row_generators
+
+    registry = MetricsRegistry()
+    config = PipelineConfig(
+        window=WindowSpec(width=1.0), queue_capacity=50, compute_ideal=False
+    )
+    pipeline = DataTriagePipeline(paper_catalog(), PAPER_QUERY, config)
+    plane = ShardedDataPlane(pipeline, shards, metrics=registry)
+    try:
+        rng = random.Random(5)
+        gens = paper_row_generators()
+        stamps = [i * 0.005 for i in range(200)]
+        for name in STREAM_NAMES:
+            batch = [gens[name].draw(rng) for _ in range(200)]
+            plane.ingest(name, batch, stamps, 0.0)
+        plane.advance(10.0)
+        due = plane.due_windows(10.0)
+        if due:
+            plane.collect(due)
+            plane.mark_closed(due)
+        return registry.render_prometheus()
+    finally:
+        plane.close()
+
+
+def compare_results(
+    doc: dict, baseline: dict, max_regression_pct: float
+) -> list[str]:
+    """Regressions of ``doc`` vs ``baseline`` beyond the threshold.
+
+    Compares ``ops_per_sec`` for every suite present in both documents
+    (suites only one side ran are skipped — a ``--suite`` subset or a
+    baseline predating a new suite is not a failure).  Returns
+    human-readable violation lines; empty means the gate passes.
+    """
+    violations: list[str] = []
+    base_suites = baseline.get("suites", {})
+    for name, result in doc.get("suites", {}).items():
+        base = base_suites.get(name)
+        if base is None:
+            continue
+        old = base.get("ops_per_sec")
+        new = result.get("ops_per_sec")
+        if not old or not new:
+            continue
+        drop_pct = (old - new) / old * 100.0
+        if drop_pct > max_regression_pct:
+            violations.append(
+                f"{name}: {new:,.2f} {result.get('unit', 'ops')}/s is "
+                f"{drop_pct:.1f}% below baseline {old:,.2f} "
+                f"(threshold {max_regression_pct:g}%)"
+            )
+    return violations
 
 
 def render_text(doc: dict) -> str:

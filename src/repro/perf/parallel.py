@@ -32,12 +32,44 @@ from dataclasses import replace
 _WORKER_PIPELINE = None
 
 
-def _init_worker(payload: bytes) -> None:
-    global _WORKER_PIPELINE
+def fork_context():
+    """The ``fork`` multiprocessing context, or the platform default.
+
+    Forked workers inherit loaded modules instead of re-importing the
+    world; shared by the window-evaluation pool here and the shard workers
+    of :mod:`repro.service.shard`.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def pipeline_payload(pipeline) -> bytes:
+    """Pickle the recipe a worker needs to rebuild ``pipeline``.
+
+    The payload is (catalog, bound query, config, domains) — config with
+    ``parallel_windows`` stripped, because a worker that fans out again
+    forks uncontrollably.  Observability never crosses the process
+    boundary: workers run uninstrumented and ship results back.
+    """
+    config = replace(pipeline.config, parallel_windows=None)
+    return pickle.dumps(
+        (pipeline.catalog, pipeline.bound, config, pipeline._domains)
+    )
+
+
+def build_pipeline_from_payload(payload: bytes):
+    """Worker side of :func:`pipeline_payload`."""
     from repro.core.pipeline import DataTriagePipeline
 
     catalog, bound, config, domains = pickle.loads(payload)
-    _WORKER_PIPELINE = DataTriagePipeline(catalog, bound, config, domains)
+    return DataTriagePipeline(catalog, bound, config, domains)
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_PIPELINE
+    _WORKER_PIPELINE = build_pipeline_from_payload(payload)
 
 
 def _eval_chunk(kwargs: dict):
@@ -65,21 +97,12 @@ class ParallelWindowEvaluator:
         if workers < 2:
             raise ValueError(f"parallel evaluation needs >= 2 workers: {workers}")
         self.workers = workers
-        # Workers must evaluate serially — a pool inside a pool forks
-        # uncontrollably — and need no ideal-reference machinery of their
-        # own beyond what each batch ships.
-        config = replace(pipeline.config, parallel_windows=None)
-        self._payload = pickle.dumps(
-            (pipeline.catalog, pipeline.bound, config, pipeline._domains)
-        )
+        self._payload = pipeline_payload(pipeline)
         self._pool: ProcessPoolExecutor | None = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            try:
-                ctx = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platforms
-                ctx = multiprocessing.get_context()
+            ctx = fork_context()
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=ctx,

@@ -15,11 +15,14 @@ Modules:
 * :mod:`repro.service.protocol` — the versioned NDJSON wire protocol;
 * :mod:`repro.service.metrics` — counters/gauges/histograms + exports;
 * :mod:`repro.service.session` — admission control, rate caps, eviction;
+* :mod:`repro.service.dataplane` — the in-process triage data plane;
+* :mod:`repro.service.shard` — the multi-process sharded data plane;
 * :mod:`repro.service.server` — the asyncio TCP server + window ticker;
 * :mod:`repro.service.client` — the asyncio client library.
 """
 
 from repro.service.client import ServiceError, TriageClient
+from repro.service.dataplane import StreamDataPlane
 from repro.service.metrics import (
     Counter,
     Gauge,
@@ -37,10 +40,15 @@ from repro.service.protocol import (
 )
 from repro.service.server import ServiceConfig, TriageServer
 from repro.service.session import AdmissionError, SessionRegistry, TokenBucket
+from repro.service.shard import ShardedDataPlane, ShardError, shard_of
 
 __all__ = [
     "TriageServer",
     "ServiceConfig",
+    "StreamDataPlane",
+    "ShardedDataPlane",
+    "ShardError",
+    "shard_of",
     "TriageClient",
     "ServiceError",
     "MetricsRegistry",

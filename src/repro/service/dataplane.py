@@ -1,0 +1,341 @@
+"""The per-process triage data plane: queues, windows, engine emulation.
+
+This is the state a :class:`~repro.service.server.TriageServer` used to hold
+inline — per-stream :class:`~repro.core.triage_queue.TriageQueue` instances,
+per-(source, window) kept bags and synopses, arrival counts, the
+budgeted heap drain that emulates the engine, and the window-close
+bookkeeping — factored out so it can run either in the server process
+(``shards=1``, the serial fallback) or once per shard worker process
+(:mod:`repro.service.shard`), each worker owning a disjoint subset of the
+stream sources.
+
+The split point is exactly the paper's: everything *before* window
+evaluation is per-stream and independent (triage, shedding, synopsis
+build), so it shards cleanly by source; evaluation wants all sources of a
+window together, so the plane stops at :meth:`collect` — a
+:class:`~repro.core.merge.WindowPartials` of kept bags + synopses + counts
+that the coordinator merges (:func:`repro.core.merge.merge_partials`) and
+feeds to :meth:`DataTriagePipeline.evaluate_windows`.
+
+Determinism contract: queue seeds come from
+:meth:`DataTriagePipeline.build_queue`, which derives them from each
+source's *global* chain position — a worker that owns only stream ``S``
+still seeds ``S``'s queue identically to the serial server.  Since drop
+decisions depend only on a queue's own offer/poll interleaving and its own
+RNG, a window's kept/dropped partition is byte-identical at any shard
+count (given the same drain schedule), which is what the shard
+determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.algebra.multiset import Multiset
+from repro.core.merge import WindowPartials
+from repro.core.triage_queue import TriageQueue
+from repro.engine.types import SchemaError, StreamTuple
+from repro.synopses.base import Synopsis
+
+__all__ = ["StreamDataPlane"]
+
+
+class StreamDataPlane:
+    """Triage queues + window accounting for a set of stream sources."""
+
+    def __init__(
+        self,
+        pipeline,
+        *,
+        sources: list[str] | None = None,
+        observer=None,
+        thread_safe: bool = False,
+    ) -> None:
+        """``sources=None`` owns every source of the pipeline's query;
+        a shard worker passes its assigned subset.  ``observer`` and
+        ``thread_safe`` are forwarded to the queues (the in-server plane
+        wires its metrics observer and shares queues across publisher
+        threads; shard workers are single-threaded and unobserved — their
+        stats travel back in tick snapshots instead).
+        """
+        self.pipeline = pipeline
+        self.config = pipeline.config
+        self.sources: list[str] = (
+            list(pipeline.sources) if sources is None else list(sources)
+        )
+        self._observer = observer
+        self._thread_safe = thread_safe
+        self._schemas = {
+            s: pipeline.bound.source(s).schema for s in self.sources
+        }
+        self.build_kept_syn: bool = self.config.strategy.summarizes_drops
+        self.queues: dict[str, TriageQueue] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Fresh queues and window state (bench reps, worker reuse)."""
+        self.queues.clear()
+        self.queues.update(
+            {
+                s: self.pipeline.build_queue(
+                    s, observer=self._observer, thread_safe=self._thread_safe
+                )
+                for s in self.sources
+            }
+        )
+        self._kept_rows: dict[str, dict[int, Multiset]] = {
+            s: {} for s in self.sources
+        }
+        self._kept_syn: dict[str, dict[int, Synopsis]] = {
+            s: {} for s in self.sources
+        }
+        self.arrived: dict[str, dict[int, int]] = {s: {} for s in self.sources}
+        self.known_windows: set[int] = set()
+        self.last_closed_wid: int | None = None
+        self._budget_carry = 0.0
+
+    # ------------------------------------------------------------------
+    # Ingest (the publish hot path)
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        source: str,
+        rows,
+        timestamps=None,
+        now: float = 0.0,
+        validate: bool = True,
+    ) -> tuple[int, int, int, int]:
+        """Validate, window-account, and enqueue one batch.
+
+        Returns ``(accepted, late, queue_depth, queue_dropped_total)`` —
+        the ack quad the PUBLISH handler reports as backpressure signals.
+        Raises :class:`SchemaError` (prefixed with the row index) if any
+        row is invalid; validation runs before anything is enqueued, so a
+        bad batch is rejected atomically.  ``validate=False`` skips the
+        per-row check for batches already validated column-wise (the
+        ``cols`` wire encoding).
+        """
+        queue = self.queues[source]
+        validate_row = self._schemas[source].validate_row if validate else None
+        ids = self.config.window.ids
+        arrived = self.arrived[source]
+        known = self.known_windows
+        last_closed = self.last_closed_wid
+        batch: list[StreamTuple] = []
+        late = 0
+        if timestamps is None:
+            wids = ids(now)
+            if last_closed is not None and (
+                not wids or wids[0] <= last_closed
+            ):
+                late = len(rows)
+            else:
+                for i, row in enumerate(rows):
+                    tup_row = tuple(row)
+                    if validate_row is not None:
+                        try:
+                            validate_row(tup_row)
+                        except SchemaError as exc:
+                            raise SchemaError(f"row {i}: {exc}") from None
+                    batch.append(StreamTuple(now, tup_row))
+                n = len(batch)
+                for wid in wids:
+                    arrived[wid] = arrived.get(wid, 0) + n
+                    known.add(wid)
+        else:
+            for i, row in enumerate(rows):
+                tup_row = tuple(row)
+                if validate_row is not None:
+                    try:
+                        validate_row(tup_row)
+                    except SchemaError as exc:
+                        raise SchemaError(f"row {i}: {exc}") from None
+                ts = float(timestamps[i])
+                wids = ids(ts)
+                if last_closed is not None and (
+                    not wids or wids[0] <= last_closed
+                ):
+                    late += 1
+                    continue
+                for wid in wids:
+                    arrived[wid] = arrived.get(wid, 0) + 1
+                    known.add(wid)
+                batch.append(StreamTuple(ts, tup_row))
+        queue.offer_bulk(batch)
+        return len(batch), late, len(queue), queue.stats.dropped
+
+    # ------------------------------------------------------------------
+    # Engine emulation
+    # ------------------------------------------------------------------
+    def advance(self, elapsed: float) -> int:
+        """One engine step: drain within ``elapsed``'s tuple budget.
+
+        The budget is ``elapsed / service_time`` plus the fractional carry
+        from the previous step — the same fixed-cost engine model as the
+        virtual-clock pipeline.  Returns the whole-tuple budget spent
+        (each shard of a sharded plane runs its own engine, so N shards
+        model N cores' worth of drain capacity).
+        """
+        budget = self._budget_carry + elapsed / self.config.service_time
+        whole = int(budget)
+        self._budget_carry = budget - whole
+        self.drain(whole)
+        return whole
+
+    def drain(self, budget: int | None) -> None:
+        """Poll up to ``budget`` tuples (None = everything), oldest first.
+
+        Queue heads are tracked in a heap instead of a linear peek over
+        every source per tuple.  Heads can shift underneath us (a racing
+        publisher thread may trigger a head eviction), so entries are
+        revalidated against the live head on pop; rows offered to a queue
+        *after* its heap entry was consumed are picked up next tick.
+        """
+        polled = 0
+        queues = self.queues
+        names = list(queues)
+        heap = []
+        for idx, s in enumerate(names):
+            ts = queues[s].peek_timestamp()
+            if ts is not None:
+                heap.append((ts, idx))
+        heapq.heapify(heap)
+        window_ids = self.config.window.ids
+        last_closed = self.last_closed_wid
+        while (budget is None or polled < budget) and heap:
+            ts, idx = heapq.heappop(heap)
+            source = names[idx]
+            q = queues[source]
+            cur = q.peek_timestamp()
+            if cur != ts:
+                if cur is not None:  # pragma: no cover - racing publisher
+                    heapq.heappush(heap, (cur, idx))
+                continue
+            tup = q.poll()
+            if tup is None:  # pragma: no cover - racing publisher thread
+                continue
+            nts = q.peek_timestamp()
+            if nts is not None:
+                heapq.heappush(heap, (nts, idx))
+            polled += 1
+            kept_rows = self._kept_rows[source]
+            for wid in window_ids(tup.timestamp):
+                if last_closed is not None and wid <= last_closed:
+                    # Out-of-order backlog for a window already reported:
+                    # too late to contribute; don't leak per-window state.
+                    continue
+                bag = kept_rows.setdefault(wid, Multiset())
+                bag.add(tup.row)
+                if self.build_kept_syn:
+                    syn = self._kept_syn[source].get(wid)
+                    if syn is None:
+                        syn = self._kept_syn[source][wid] = (
+                            self.pipeline.make_kept_synopsis(source)
+                        )
+                    self.pipeline.insert_into_synopsis(source, syn, tup.row)
+
+    # ------------------------------------------------------------------
+    # Window closing
+    # ------------------------------------------------------------------
+    def due_windows(self, now: float, grace: float = 0.0) -> list[int]:
+        """Windows whose end (+grace) has passed and whose tuples drained.
+
+        A window stays open while any queue's head still precedes its end —
+        backlogged-but-kept tuples must land in their window first.  Windows
+        are ordered, so the scan stops at the first not-due window.
+        """
+        due: list[int] = []
+        heads = [
+            q.peek_timestamp()
+            for q in self.queues.values()
+            if q.peek_timestamp() is not None
+        ]
+        for wid in sorted(self.known_windows):
+            _, end = self.config.window.bounds(wid)
+            if end + grace > now:
+                break
+            if any(h < end for h in heads):
+                break
+            due.append(wid)
+        return due
+
+    def collect(self, wids: list[int]) -> WindowPartials:
+        """Pop the evaluation inputs for a batch of closing windows."""
+        use_shadow = self.build_kept_syn
+        sources = self.sources
+        released = {
+            s: {w: self.queues[s].release_window(w) for w in wids}
+            for s in sources
+        }
+        return WindowPartials(
+            window_ids=list(wids),
+            kept_rows={
+                s: {w: self._kept_rows[s].pop(w, Multiset()) for w in wids}
+                for s in sources
+            },
+            kept_synopses=(
+                {
+                    s: {w: self._kept_syn[s].pop(w, None) for w in wids}
+                    for s in sources
+                }
+                if use_shadow
+                else None
+            ),
+            dropped_synopses=(
+                {
+                    s: {w: released[s][w].synopsis for w in wids}
+                    for s in sources
+                }
+                if use_shadow
+                else None
+            ),
+            dropped_counts={
+                s: {w: released[s][w].dropped_count for w in wids}
+                for s in sources
+            },
+            arrived={
+                s: {w: self.arrived[s].pop(w, 0) for w in wids}
+                for s in sources
+            },
+        )
+
+    def mark_closed(self, wids: list[int]) -> None:
+        """Advance the closed-window watermark; later rows for it are late."""
+        for wid in wids:
+            self.known_windows.discard(wid)
+            self.last_closed_wid = (
+                wid
+                if self.last_closed_wid is None
+                else max(self.last_closed_wid, wid)
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection (metrics, summaries, coordinator snapshots)
+    # ------------------------------------------------------------------
+    def depths(self) -> dict[str, int]:
+        return {s: len(q) for s, q in self.queues.items()}
+
+    def heads(self) -> dict[str, float | None]:
+        return {s: q.peek_timestamp() for s, q in self.queues.items()}
+
+    def capacities(self) -> dict[str, int]:
+        return {s: q.capacity for s, q in self.queues.items()}
+
+    def stats_snapshot(self) -> dict[str, tuple[int, int, int, int, int]]:
+        """Monotonic per-queue counters, pipe-friendly (plain tuples)."""
+        return {
+            s: (
+                q.stats.offered,
+                q.stats.dropped,
+                q.stats.polled,
+                q.stats.overflows,
+                q.stats.high_watermark,
+            )
+            for s, q in self.queues.items()
+        }
+
+    def totals(self) -> tuple[int, int]:
+        """(offered, dropped) across all owned queues."""
+        offered = sum(q.stats.offered for q in self.queues.values())
+        dropped = sum(q.stats.dropped for q in self.queues.values())
+        return offered, dropped

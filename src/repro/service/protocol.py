@@ -12,8 +12,13 @@ Client → server frames::
     SUBSCRIBE {type, telemetry?, telemetry_interval?}
                                                 receive per-window RESULTs,
                                                 optionally + TELEMETRY push
-    PUBLISH   {type, stream, rows, timestamps?, trace?}
-                                                a batch of tuples; ``trace``
+    PUBLISH   {type, stream, rows | cols, timestamps?, trace?}
+                                                a batch of tuples; exactly one
+                                                of ``rows`` (row-major lists)
+                                                or ``cols`` (columnar: one
+                                                equal-length value array per
+                                                schema column, cheaper to
+                                                validate and pivot); ``trace``
                                                 carries {trace_id, parent}
                                                 distributed-trace context
     STATS     {type, format?}                   request a telemetry snapshot
@@ -112,8 +117,15 @@ class ProtocolError(Exception):
 # ---------------------------------------------------------------------------
 # Encoding / decoding
 # ---------------------------------------------------------------------------
-def encode_frame(frame: dict) -> bytes:
-    """Serialize a frame to one NDJSON line (validates size, not schema)."""
+def encode_frame(frame: dict | bytes) -> bytes:
+    """Serialize a frame to one NDJSON line (validates size, not schema).
+
+    ``bytes`` pass through untouched: a frame already encoded once (the
+    fan-out path encodes a RESULT/TELEMETRY frame a single time and hands
+    the same buffer to every subscriber's sender) is not re-serialized.
+    """
+    if isinstance(frame, (bytes, bytearray)):
+        return bytes(frame)
     try:
         data = json.dumps(
             frame, separators=(",", ":"), allow_nan=False
@@ -232,26 +244,58 @@ def _validate_trace_context(ctx: Any, owner: str) -> None:
 
 def _validate_publish(f: dict) -> None:
     _require(f, "stream", str)
-    rows = _require(f, "rows", list)
-    if len(rows) > MAX_BATCH_ROWS:
+    if ("rows" in f) == ("cols" in f):
         raise ProtocolError(
-            "batch-too-large",
-            f"PUBLISH batch of {len(rows)} rows (max {MAX_BATCH_ROWS})",
+            "bad-frame",
+            "PUBLISH carries exactly one of 'rows' (row-major) or "
+            "'cols' (columnar)",
         )
-    for row in rows:
-        if not isinstance(row, list):
-            raise ProtocolError("bad-field", "PUBLISH rows must be arrays")
-        for v in row:
-            if not isinstance(v, _ROW_SCALARS):
+    if "rows" in f:
+        rows = _require(f, "rows", list)
+        nrows = len(rows)
+        if nrows > MAX_BATCH_ROWS:
+            raise ProtocolError(
+                "batch-too-large",
+                f"PUBLISH batch of {nrows} rows (max {MAX_BATCH_ROWS})",
+            )
+        for row in rows:
+            if not isinstance(row, list):
+                raise ProtocolError("bad-field", "PUBLISH rows must be arrays")
+            for v in row:
+                if not isinstance(v, _ROW_SCALARS):
+                    raise ProtocolError(
+                        "bad-field",
+                        f"row value {v!r} is not a JSON scalar",
+                    )
+    else:
+        cols = _require(f, "cols", list)
+        nrows = 0
+        for col in cols:
+            if not isinstance(col, list):
+                raise ProtocolError("bad-field", "PUBLISH cols must be arrays")
+        if cols:
+            nrows = len(cols[0])
+            if any(len(col) != nrows for col in cols):
                 raise ProtocolError(
-                    "bad-field",
-                    f"row value {v!r} is not a JSON scalar",
+                    "bad-field", "PUBLISH cols must be equal-length arrays"
                 )
+        if nrows > MAX_BATCH_ROWS:
+            raise ProtocolError(
+                "batch-too-large",
+                f"PUBLISH batch of {nrows} rows (max {MAX_BATCH_ROWS})",
+            )
+        for col in cols:
+            for v in col:
+                if not isinstance(v, _ROW_SCALARS):
+                    raise ProtocolError(
+                        "bad-field",
+                        f"column value {v!r} is not a JSON scalar",
+                    )
     timestamps = _require(f, "timestamps", list, optional=True)
     if timestamps is not None:
-        if len(timestamps) != len(rows):
+        if len(timestamps) != nrows:
             raise ProtocolError(
-                "bad-field", "timestamps length must match rows length"
+                "bad-field", "timestamps length must match the batch's rows"
             )
         for t in timestamps:
             if isinstance(t, bool) or not isinstance(t, (int, float)):

@@ -40,28 +40,26 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
-import heapq
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.algebra.multiset import Multiset
 from repro.core.controller import LoadController
 from repro.core.pipeline import DataTriagePipeline
 from repro.core.strategies import PipelineConfig
 from repro.core.triage_queue import TriageQueue
 from repro.engine.catalog import Catalog
-from repro.engine.types import SchemaError, StreamTuple
+from repro.engine.types import SchemaError
 from repro.obs.metrics import DeltaSnapshotter
 from repro.obs.report import WindowReport, summarize_reports
 from repro.obs.slo import SLOEngine, default_service_slos
 from repro.service import protocol
+from repro.service.dataplane import StreamDataPlane
 from repro.service.metrics import LATENCY_BUCKETS, MetricsRegistry
 from repro.service.protocol import ProtocolError, read_frame
 from repro.service.session import AdmissionError, Session, SessionRegistry
 from repro.sql.ast import SelectStmt
 from repro.sql.binder import BoundQuery
-from repro.synopses.base import Synopsis
 
 __all__ = ["ServiceConfig", "TriageServer"]
 
@@ -97,10 +95,18 @@ class ServiceConfig:
     #: SLO objectives to score; None means :func:`default_service_slos`
     #: scaled to the served query's window width.
     slos: list | None = None
+    #: Shard worker processes for the triage data plane.  1 (the default)
+    #: keeps triage in-process (the serial fallback); N > 1 hash-partitions
+    #: the stream sources across N forked workers, each with its own
+    #: queues, drop policies, and engine drain budget (see
+    #: :mod:`repro.service.shard`).  Results are byte-identical either way.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.tick_interval is not None and self.tick_interval <= 0:
             raise ValueError("tick_interval must be positive or None")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
         if self.grace < 0:
             raise ValueError("grace must be >= 0")
         if self.telemetry_interval is not None and self.telemetry_interval <= 0:
@@ -166,26 +172,28 @@ class TriageServer:
 
         self._sources = self.pipeline.sources
         self._source_by_lower = {s.lower(): s for s in self._sources}
-        self.queues: dict[str, TriageQueue] = {
-            s: self.pipeline.build_queue(
-                s, observer=self._queue_event, thread_safe=True
+        self.sharded = self.service.shards > 1
+        if self.sharded and self.config.adaptive_staleness is not None:
+            raise ValueError(
+                "adaptive staleness control tunes in-process queue capacities "
+                "and cannot steer shard workers; use shards=1 with it"
             )
-            for s in self._sources
-        }
-        for s, q in self.queues.items():
-            self._g_capacity.set(q.capacity, stream=s)
+        if self.sharded:
+            from repro.service.shard import ShardedDataPlane
 
-        summarizes = self.config.strategy.summarizes_drops
-        self._build_kept_syn = summarizes
-        self._kept_rows: dict[str, dict[int, Multiset]] = {
-            s: {} for s in self._sources
-        }
-        self._kept_syn: dict[str, dict[int, Synopsis]] = {
-            s: {} for s in self._sources
-        }
-        self._arrived: dict[str, dict[int, int]] = {s: {} for s in self._sources}
-        self._known_windows: set[int] = set()
-        self._last_closed_wid: int | None = None
+            self.plane = ShardedDataPlane(
+                self.pipeline, self.service.shards, metrics=self.metrics
+            )
+            #: Sharded queues live inside worker processes; the in-process
+            #: map is empty and introspection goes through the plane facade.
+            self.queues: dict[str, TriageQueue] = {}
+        else:
+            self.plane = StreamDataPlane(
+                self.pipeline, observer=self._queue_event, thread_safe=True
+            )
+            self.queues = self.plane.queues
+        for s, capacity in self.plane.capacities().items():
+            self._g_capacity.set(capacity, stream=s)
 
         self.registry = SessionRegistry(
             max_sessions=self.service.max_sessions,
@@ -211,8 +219,15 @@ class TriageServer:
         self._conn_tasks: set[asyncio.Task] = set()
         self._t0: float | None = None
         self._last_tick = 0.0
-        self._budget_carry = 0.0
         self._closing = False
+
+    @property
+    def _known_windows(self) -> set[int]:
+        return self.plane.known_windows
+
+    @property
+    def _last_closed_wid(self) -> int | None:
+        return self.plane.last_closed_wid
 
     # ------------------------------------------------------------------
     # Metrics
@@ -379,10 +394,36 @@ class TriageServer:
         # Final drain: the engine "catches up" on everything still queued,
         # then every open window is evaluated and flushed to subscribers.
         now = self.now()
-        self._drain_engine(budget=None)
-        await self._close_windows(now, force=True)
+        if self.sharded:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._final_drain
+            )
+        else:
+            self.plane.drain(None)
+        try:
+            await self._close_windows(now, force=True)
+        except Exception:
+            if not self.sharded:
+                raise
+            # Dead shard workers: the final windows are lost, but the
+            # sessions still deserve their BYE and the ports their close.
         await self.registry.close_all(farewell={"type": "BYE"})
         self._g_sessions.set(0)
+        if self.sharded:
+            self.plane.close()
+
+    def _final_drain(self) -> None:
+        from repro.service.shard import ShardError
+
+        # A dead worker must not block shutdown: skip the final drain and
+        # close with whatever the coordinator last snapshotted.
+        try:
+            self.plane.drain(None)
+            # A zero-budget tick refreshes the coordinator's known-window
+            # and head snapshot so the forced close below sees everything.
+            self.plane.advance(0.0)
+        except ShardError:
+            pass
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -572,44 +613,69 @@ class TriageServer:
                 ).to_frame()
             )
             return True
-        rows = frame["rows"]
+        rows = frame.get("rows")
+        cols = frame.get("cols")
+        nrows = len(rows) if rows is not None else (len(cols[0]) if cols else 0)
         now = self.now()
-        if not session.bucket.try_consume(len(rows), now):
+        if not session.bucket.try_consume(nrows, now):
             self._c_rejects.inc(reason="rate-limited")
             await session.send_now(
                 ProtocolError(
                     "rate-limited",
-                    f"batch of {len(rows)} rows exceeds this session's "
+                    f"batch of {nrows} rows exceeds this session's "
                     f"rate allowance; retry later",
                 ).to_frame()
             )
             return True
-        queue = self.queues[source]
+        validate = True
+        if rows is None:
+            # Columnar framing: validate column-wise (one type check per
+            # homogeneous column in the common case), then pivot to row
+            # tuples; the plane skips its per-row re-validation.
+            schema = self.pipeline.bound.source(source).schema
+            try:
+                schema.validate_columns(cols)
+            except SchemaError as exc:
+                await session.send_now(
+                    ProtocolError("bad-row", str(exc)).to_frame()
+                )
+                return True
+            rows = list(zip(*cols)) if cols else []
+            validate = False
         try:
-            accepted, late = self.ingest_rows(
+            accepted, late, depth, dropped_total = await self._ingest_async(
                 source,
                 rows,
                 timestamps=frame.get("timestamps"),
                 now=now,
                 trace=frame.get("trace"),
+                validate=validate,
             )
         except SchemaError as exc:
             await session.send_now(ProtocolError("bad-row", str(exc)).to_frame())
             return True
         session.published_rows += accepted
         self._c_rows.inc(accepted, stream=source)
-        self._g_depth.set(len(queue), stream=source)
+        self._g_depth.set(depth, stream=source)
         await session.send_now(
             {
                 "type": "OK",
                 "stream": source,
                 "accepted": accepted,
                 "late": late,
-                "queue_depth": len(queue),
-                "queue_dropped_total": queue.stats.dropped,
+                "queue_depth": depth,
+                "queue_dropped_total": dropped_total,
             }
         )
         return True
+
+    async def _ingest_async(self, source: str, rows, **kwargs):
+        """Run an ingest off the event loop when it crosses a shard pipe."""
+        if self.sharded:
+            return await asyncio.get_running_loop().run_in_executor(
+                None, lambda: self.ingest_rows(source, rows, **kwargs)
+            )
+        return self.ingest_rows(source, rows, **kwargs)
 
     def ingest_rows(
         self,
@@ -618,13 +684,17 @@ class TriageServer:
         timestamps=None,
         now: float | None = None,
         trace: dict | None = None,
-    ) -> tuple[int, int]:
+        validate: bool = True,
+    ) -> tuple[int, int, int, int]:
         """Validate, window-account, and enqueue a batch for ``source``.
 
-        Returns ``(accepted, late)``.  Raises :class:`SchemaError` (prefixed
-        with the row index) on the first invalid row.  This is the publish
-        hot path, shared by the PUBLISH handler and the bench harness's
-        service-ingest suite.
+        Returns ``(accepted, late, queue_depth, queue_dropped_total)`` —
+        the ack quad PUBLISH reports as backpressure signals.  Raises
+        :class:`SchemaError` (prefixed with the row index) if any row is
+        invalid; the batch is rejected atomically.  This is the publish hot
+        path, shared by the PUBLISH handler and the bench harness's
+        service-ingest suite; the actual work happens in the data plane
+        (in-process, or one shard worker over its pipe).
 
         ``trace`` is a ``{trace_id, parent}`` context from a traced PUBLISH:
         the batch's queue/window events inherit it (the tracer context is
@@ -634,17 +704,24 @@ class TriageServer:
         (``trace=None``, the common case) skip all of it.
         """
         now = self.now() if now is None else now
-        schema = self.pipeline.bound.source(source).schema
-        queue = self.queues[source]
-        ids = self.config.window.ids
-        arrived = self._arrived[source]
-        accepted = 0
-        late = 0
         tracer = None
+        span_cm = None
         traced_wids: set[int] | None = None
         if trace is not None:
             self._c_traced.inc(stream=source)
+            # Window attribution happens coordinator-side (the plane may be
+            # in another process): the batch's timestamps name its windows.
             traced_wids = set()
+            ids = self.config.window.ids
+            last_closed = self.plane.last_closed_wid
+            stamps = (now,) if timestamps is None else timestamps
+            for ts in stamps:
+                wids = ids(float(ts))
+                if last_closed is not None and (
+                    not wids or wids[0] <= last_closed
+                ):
+                    continue
+                traced_wids.update(wids)
             if self.obs is not None and self.obs.tracer.enabled:
                 tracer = self.obs.tracer
                 tracer.set_context(trace["trace_id"], trace.get("parent"))
@@ -655,31 +732,15 @@ class TriageServer:
                                       rows=len(rows))
                 span_cm.__enter__()
         try:
-            for i, row in enumerate(rows):
-                tup_row = tuple(row)
-                try:
-                    schema.validate_row(tup_row)
-                except SchemaError as exc:
-                    raise SchemaError(f"row {i}: {exc}") from None
-                ts = float(timestamps[i]) if timestamps is not None else now
-                wids = ids(ts)
-                if self._last_closed_wid is not None and (
-                    not wids or wids[0] <= self._last_closed_wid
-                ):
-                    late += 1
-                    self._c_late.inc(stream=source)
-                    continue
-                for wid in wids:
-                    arrived[wid] = arrived.get(wid, 0) + 1
-                    self._known_windows.add(wid)
-                    if traced_wids is not None:
-                        traced_wids.add(wid)
-                queue.offer(StreamTuple(ts, tup_row))
-                accepted += 1
+            accepted, late, depth, dropped_total = self.plane.ingest(
+                source, rows, timestamps, now, validate=validate
+            )
         finally:
             if tracer is not None:
                 span_cm.__exit__(None, None, None)
                 tracer.clear_context()
+        if late:
+            self._c_late.inc(late, stream=source)
         if traced_wids:
             ctx = {
                 "trace_id": trace["trace_id"],
@@ -689,7 +750,7 @@ class TriageServer:
                 contexts = self._window_traces.setdefault(wid, [])
                 if len(contexts) < MAX_WINDOW_TRACES and ctx not in contexts:
                     contexts.append(ctx)
-        return accepted, late
+        return accepted, late, depth, dropped_total
 
     async def _handle_stats(self, session: Session, frame: dict) -> bool:
         fmt = frame.get("format") or "json"
@@ -706,15 +767,14 @@ class TriageServer:
         return True
 
     def _summary(self) -> dict:
-        offered = sum(q.stats.offered for q in self.queues.values())
-        dropped = sum(q.stats.dropped for q in self.queues.values())
+        offered, dropped = self.plane.totals()
         summary = self._telemetry_summary()
         summary.update(
             {
                 "offered": offered,
                 "dropped": dropped,
                 "drop_fraction": dropped / offered if offered else 0.0,
-                "queue_depths": {s: len(q) for s, q in self.queues.items()},
+                "queue_depths": self.plane.depths(),
                 "windows": summarize_reports(list(self._window_reports)),
                 "slo": self.slo.status(),
             }
@@ -732,13 +792,15 @@ class TriageServer:
         now = self.now() if now is None else now
         elapsed = max(0.0, now - self._last_tick)
         self._last_tick = now
-        budget = self._budget_carry + elapsed / self.config.service_time
-        whole = int(budget)
-        self._budget_carry = budget - whole
-        self._drain_engine(budget=whole)
+        if self.sharded:
+            # Shard ticks block on worker pipes; keep the loop responsive.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.plane.advance, elapsed
+            )
+        else:
+            self.plane.advance(elapsed)
 
-        for s, q in self.queues.items():
-            depth = len(q)
+        for s, depth in self.plane.depths().items():
             self._g_depth.set(depth, stream=s)
             self._h_depth.observe(depth, stream=s)
 
@@ -798,67 +860,20 @@ class TriageServer:
 
     def _telemetry_summary(self) -> dict:
         """The compact rollup a dashboard needs every interval."""
-        offered = sum(q.stats.offered for q in self.queues.values())
-        dropped = sum(q.stats.dropped for q in self.queues.values())
-        return {
-            "queue_depth": sum(len(q) for q in self.queues.values()),
-            "queue_capacity": sum(q.capacity for q in self.queues.values()),
+        offered, dropped = self.plane.totals()
+        summary = {
+            "queue_depth": sum(self.plane.depths().values()),
+            "queue_capacity": sum(self.plane.capacities().values()),
             "sessions": len(self.registry.sessions),
             "windows_closed": int(self._c_windows.value()),
             "tuples_arrived": offered,
             "tuples_shed": dropped,
         }
-
-    def _drain_engine(self, budget: int | None) -> None:
-        """Poll up to ``budget`` tuples (None = everything), oldest first.
-
-        Queue heads are tracked in a heap instead of a linear peek over
-        every source per tuple.  Heads can shift underneath us (a racing
-        publisher thread may trigger a head eviction), so entries are
-        revalidated against the live head on pop; rows offered to a queue
-        *after* its heap entry was consumed are picked up next tick.
-        """
-        polled = 0
-        names = list(self.queues)
-        heap = []
-        for idx, s in enumerate(names):
-            ts = self.queues[s].peek_timestamp()
-            if ts is not None:
-                heap.append((ts, idx))
-        heapq.heapify(heap)
-        while (budget is None or polled < budget) and heap:
-            ts, idx = heapq.heappop(heap)
-            best_source = names[idx]
-            q = self.queues[best_source]
-            cur = q.peek_timestamp()
-            if cur != ts:
-                if cur is not None:  # pragma: no cover - racing publisher
-                    heapq.heappush(heap, (cur, idx))
-                continue
-            tup = q.poll()
-            if tup is None:  # pragma: no cover - racing publisher thread
-                continue
-            nts = q.peek_timestamp()
-            if nts is not None:
-                heapq.heappush(heap, (nts, idx))
-            polled += 1
-            for wid in self.config.window.ids(tup.timestamp):
-                if (
-                    self._last_closed_wid is not None
-                    and wid <= self._last_closed_wid
-                ):
-                    # Out-of-order backlog for a window already reported:
-                    # too late to contribute; don't leak per-window state.
-                    continue
-                bag = self._kept_rows[best_source].setdefault(wid, Multiset())
-                bag.add(tup.row)
-                if self._build_kept_syn:
-                    syn = self._kept_syn[best_source].get(wid)
-                    if syn is None:
-                        syn = self._kept_syn[best_source][wid] = (
-                            self.pipeline.make_kept_synopsis(best_source)
-                        )
-                    self.pipeline.insert_into_synopsis(best_source, syn, tup.row)
+        if self.sharded:
+            summary["shards"] = {
+                str(i): d for i, d in self.plane.shard_depths().items()
+            }
+        return summary
 
     async def _close_windows(self, now: float, *, force: bool = False) -> list[dict]:
         """Evaluate + broadcast every window that is due (all, if forced).
@@ -867,28 +882,14 @@ class TriageServer:
         :meth:`DataTriagePipeline.evaluate_windows`, so a backlog of closes
         (e.g. after a stall) benefits from parallel window evaluation.
         """
-        due: list[int] = []
-        for wid in sorted(self._known_windows):
-            _, end = self.config.window.bounds(wid)
-            if not force:
-                if end + self.service.grace > now:
-                    break  # windows are ordered; later ones are not due either
-                if any(
-                    q.peek_timestamp() is not None and q.peek_timestamp() < end
-                    for q in self.queues.values()
-                ):
-                    break  # engine still owes this window kept tuples
-            due.append(wid)
+        if force:
+            due = sorted(self.plane.known_windows)
+        else:
+            due = self.plane.due_windows(now, self.service.grace)
         if not due:
             return []
-        emitted = self._evaluate_windows_frames(due, now)
-        for wid in due:
-            self._known_windows.discard(wid)
-            self._last_closed_wid = (
-                wid
-                if self._last_closed_wid is None
-                else max(self._last_closed_wid, wid)
-            )
+        emitted = await self._evaluate_windows_frames(due, now)
+        self.plane.mark_closed(due)
         for frame in emitted:
             self._c_results.inc(len(self.registry.subscribers()))
             evicted = await self.registry.broadcast(frame)
@@ -897,24 +898,22 @@ class TriageServer:
                 self._g_sessions.set(len(self.registry.sessions))
         return emitted
 
-    def _evaluate_and_frame(self, wid: int, now: float) -> dict:
-        return self._evaluate_windows_frames([wid], now)[0]
+    async def _evaluate_windows_frames(
+        self, wids: list[int], now: float
+    ) -> list[dict]:
+        """Collect, evaluate, and frame a batch of closing windows.
 
-    def _evaluate_windows_frames(self, wids: list[int], now: float) -> list[dict]:
-        """Evaluate a batch of closing windows and frame each RESULT."""
-        use_shadow = self._build_kept_syn
-        sources = self._sources
-        kept_rows = {
-            s: {w: self._kept_rows[s].pop(w, Multiset()) for w in wids}
-            for s in sources
-        }
-        kept_syn = {
-            s: {w: self._kept_syn[s].pop(w, None) for w in wids} for s in sources
-        }
-        released = {
-            s: {w: self.queues[s].release_window(w) for w in wids}
-            for s in sources
-        }
+        The plane hands back a :class:`~repro.core.merge.WindowPartials`
+        (sharded planes merge one per worker first); evaluation then runs
+        through the same :meth:`DataTriagePipeline.evaluate_windows` at any
+        shard count, which is what keeps results byte-identical.
+        """
+        if self.sharded:
+            partials = await asyncio.get_running_loop().run_in_executor(
+                None, self.plane.collect, list(wids)
+            )
+        else:
+            partials = self.plane.collect(list(wids))
         trace_ids = None
         if (
             self._window_traces
@@ -929,24 +928,11 @@ class TriageServer:
         outcomes = self.pipeline.evaluate_windows(
             trace_ids=trace_ids,
             window_ids=list(wids),
-            kept_rows=kept_rows,
-            kept_synopses=kept_syn if use_shadow else None,
-            dropped_synopses=(
-                {
-                    s: {w: released[s][w].synopsis for w in wids}
-                    for s in sources
-                }
-                if use_shadow
-                else None
-            ),
-            dropped_counts={
-                s: {w: released[s][w].dropped_count for w in wids}
-                for s in sources
-            },
-            arrived={
-                s: {w: self._arrived[s].pop(w, 0) for w in wids}
-                for s in sources
-            },
+            kept_rows=partials.kept_rows,
+            kept_synopses=partials.kept_synopses,
+            dropped_synopses=partials.dropped_synopses,
+            dropped_counts=partials.dropped_counts,
+            arrived=partials.arrived,
         )
         return [self._frame_outcome(o, now) for o in outcomes]
 

@@ -99,7 +99,10 @@ class Session:
         self.results_sent = 0
         self.telemetry_sent = 0
         self.closing = False
-        self._out: asyncio.Queue[dict | None] = asyncio.Queue(
+        #: Outbound frames: dicts (encoded at send time) or pre-encoded
+        #: bytes (broadcast fan-out encodes once per frame, not per peer);
+        #: None is the close sentinel.
+        self._out: asyncio.Queue[dict | bytes | None] = asyncio.Queue(
             maxsize=send_queue_frames
         )
         self._sender: asyncio.Task | None = None
@@ -123,14 +126,16 @@ class Session:
                 frame = await self._out.get()
                 if frame is None:  # close sentinel
                     break
-                self.writer.write(encode_frame(frame))
+                self.writer.write(
+                    frame if isinstance(frame, bytes) else encode_frame(frame)
+                )
                 await self.writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
             self.writer.close()
 
-    def try_enqueue(self, frame: dict) -> bool:
+    def try_enqueue(self, frame: dict | bytes) -> bool:
         """Queue an outbound frame; False means the consumer is too slow."""
         if self.closing:
             return True  # silently dropped; the connection is going away
@@ -232,6 +237,9 @@ class SessionRegistry:
         """
         if group not in ("results", "telemetry"):
             raise ValueError(f"unknown broadcast group {group!r}")
+        # Encode once: every subscriber's sender writes the same buffer
+        # instead of re-serializing the frame per peer.
+        payload = encode_frame(frame)
         evicted: list[Session] = []
         for session in list(self.sessions.values()):
             if group == "telemetry":
@@ -239,7 +247,7 @@ class SessionRegistry:
                     continue
             elif not session.subscribed:
                 continue
-            if session.try_enqueue(frame):
+            if session.try_enqueue(payload):
                 if group == "telemetry":
                     session.telemetry_sent += 1
                 else:
@@ -256,7 +264,8 @@ class SessionRegistry:
         """Graceful shutdown: optionally queue a farewell, then flush+close."""
         sessions = list(self.sessions.values())
         self.sessions.clear()
+        payload = encode_frame(farewell) if farewell is not None else None
         for session in sessions:
-            if farewell is not None:
-                session.try_enqueue(dict(farewell))
+            if payload is not None:
+                session.try_enqueue(payload)
             await session.close(flush=True)

@@ -1,0 +1,451 @@
+"""Sharded service data plane: N triage worker processes, one coordinator.
+
+Distributed shedding systems (eSPICE, the CEP load-shedding line of work)
+keep per-partition drop decisions local and merge only summaries centrally;
+Data Triage's per-stream queues and mergeable synopses already have exactly
+that shape, so the service shards embarrassingly: **streams are
+hash-partitioned across worker processes** (:func:`shard_of`, a stable
+CRC32 of the source name — no per-run salt, so placement is reproducible),
+each worker runs a full :class:`~repro.service.dataplane.StreamDataPlane`
+over its owned sources (its own TriageQueues, drop policies, and engine
+drain budget — N shards model N cores of engine), and at window close each
+ships a :class:`~repro.core.merge.WindowPartials` back over its pipe.  The
+coordinator folds partials with :func:`~repro.core.merge.merge_partials`
+and evaluates them through the *same*
+:meth:`DataTriagePipeline.evaluate_windows` the serial server uses — which
+is why results are byte-identical at any shard count (the shard
+determinism tests in ``tests/service/test_shard.py`` pin this).
+
+Workers are forked (:func:`repro.perf.parallel.fork_context`) and primed
+with the same pickled pipeline payload as the window-evaluation pool
+(:func:`repro.perf.parallel.pipeline_payload`); queue seeds derive from
+each source's global chain position, so a worker owning only ``S`` sheds
+exactly what the serial server would.
+
+Wire discipline: one pipe per worker, strictly one reply per command, FIFO.
+That gives RPC semantics without a framing layer, lets the coordinator
+*pipeline* commands (``submit_ingest`` + ``flush_ingest``, how the bench
+keeps workers busy without a round trip per batch), and guarantees a
+worker's ``close`` reply reflects every ingest sent before it.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import zlib
+
+from repro.core.merge import WindowPartials, merge_partials
+from repro.engine.types import SchemaError
+from repro.perf.parallel import (
+    build_pipeline_from_payload,
+    fork_context,
+    pipeline_payload,
+)
+
+__all__ = ["ShardedDataPlane", "ShardError", "shard_of"]
+
+
+def shard_of(source: str, nshards: int) -> int:
+    """Stable source→shard assignment: CRC32 of the folded name, mod N."""
+    return zlib.crc32(source.lower().encode("utf-8")) % nshards
+
+
+class ShardError(RuntimeError):
+    """A shard worker failed or answered out of protocol."""
+
+
+def _worker_main(conn, payload: bytes, owned: list[str]) -> None:
+    """Shard worker loop: commands in, exactly one reply each, FIFO."""
+    from repro.service.dataplane import StreamDataPlane
+
+    # A foreground Ctrl-C signals the whole process group; shutdown must
+    # stay coordinator-driven (the "stop" command) or workers die mid-RPC
+    # and the coordinator's graceful drain sees a broken pipe.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    pipeline = build_pipeline_from_payload(payload)
+    plane = StreamDataPlane(pipeline, sources=owned)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = msg[0]
+        try:
+            if op == "ingest":
+                _, source, rows, timestamps, now, validate = msg
+                reply = plane.ingest(
+                    source, rows, timestamps, now, validate=validate
+                )
+            elif op == "tick":
+                _, elapsed = msg
+                if elapsed > 0:
+                    plane.advance(elapsed)
+                reply = {
+                    "depths": plane.depths(),
+                    "heads": plane.heads(),
+                    "stats": plane.stats_snapshot(),
+                    "known": sorted(plane.known_windows),
+                }
+            elif op == "drain":
+                _, budget = msg
+                plane.drain(budget)
+                reply = plane.depths()
+            elif op == "close":
+                _, wids = msg
+                reply = plane.collect(list(wids))
+                plane.mark_closed(list(wids))
+            elif op == "reset":
+                plane.reset()
+                reply = True
+            elif op == "stop":
+                conn.send(("ok", True))
+                break
+            else:
+                raise ShardError(f"unknown shard command {op!r}")
+        except Exception as exc:  # noqa: BLE001 - becomes a typed reply
+            try:
+                conn.send(("err", type(exc).__name__, str(exc)))
+            except (OSError, ValueError):
+                break
+            continue
+        conn.send(("ok", reply))
+    conn.close()
+
+
+class _ShardWorker:
+    """Coordinator-side handle: process, pipe, and the pipelining lock."""
+
+    def __init__(self, index: int, sources: list[str], process, conn) -> None:
+        self.index = index
+        self.sources = sources
+        self.process = process
+        self.conn = conn
+        self.pending = 0
+        # Serializes send/recv pairing when publisher executor threads and
+        # the ticker talk to the same worker concurrently.
+        self.lock = threading.Lock()
+
+    def submit(self, msg: tuple) -> None:
+        """Send without waiting; the reply is owed (FIFO) to a later flush."""
+        with self.lock:
+            self.conn.send(msg)
+            self.pending += 1
+
+    def flush(self) -> list:
+        """Collect every owed reply, oldest first."""
+        with self.lock:
+            return self._drain()
+
+    def call(self, msg: tuple):
+        """Synchronous RPC: send, then wait; returns *this* command's reply
+        (any previously pipelined replies are drained and discarded first —
+        callers mixing submit() and call() on one worker must not need
+        those earlier acks)."""
+        with self.lock:
+            self.conn.send(msg)
+            self.pending += 1
+            return self._drain()[-1]
+
+    def _drain(self) -> list:
+        replies = []
+        while self.pending:
+            try:
+                replies.append(self.conn.recv())
+            except (EOFError, OSError) as exc:
+                self.pending = 0
+                raise ShardError(
+                    f"shard {self.index} died mid-conversation"
+                ) from exc
+            self.pending -= 1
+        return replies
+
+
+def _unwrap(reply):
+    """Turn a worker reply into a value or the typed exception it carries."""
+    status = reply[0]
+    if status == "ok":
+        return reply[1]
+    _, exc_type, message = reply
+    if exc_type == "SchemaError":
+        raise SchemaError(message)
+    raise ShardError(f"{exc_type}: {message}")
+
+
+class ShardedDataPlane:
+    """Hash-partitioned triage across worker processes, merge-at-close.
+
+    Duck-type compatible with :class:`~repro.service.dataplane.StreamDataPlane`
+    for everything :class:`~repro.service.server.TriageServer` needs —
+    ``ingest``/``advance``/``drain``/``due_windows``/``collect``/
+    ``mark_closed`` plus the introspection facade — so the server picks a
+    plane once at construction and the rest of its code is shard-blind.
+
+    Coordinator-side views (depths, heads, known windows, queue stats) are
+    refreshed from tick snapshots and may be one tick stale — the same
+    staleness tolerance the queues' unlocked stats reads already have.
+    """
+
+    def __init__(self, pipeline, shards: int, *, metrics=None) -> None:
+        if shards < 2:
+            raise ValueError(
+                "ShardedDataPlane needs >= 2 shards; use StreamDataPlane "
+                "(the serial fallback) for shards=1"
+            )
+        self.pipeline = pipeline
+        self.config = pipeline.config
+        self.nshards = shards
+        self.sources: list[str] = list(pipeline.sources)
+        self.assignment: dict[str, int] = {
+            s: shard_of(s, shards) for s in self.sources
+        }
+        self.build_kept_syn: bool = self.config.strategy.summarizes_drops
+        self.known_windows: set[int] = set()
+        self.last_closed_wid: int | None = None
+        self._depths: dict[str, int] = {s: 0 for s in self.sources}
+        self._heads: dict[str, float | None] = {s: None for s in self.sources}
+        self._stats: dict[str, tuple] = {
+            s: (0, 0, 0, 0, 0) for s in self.sources
+        }
+        self._instruments = None
+        if metrics is not None:
+            from repro.obs.metrics import shard_instruments
+
+            self._instruments = shard_instruments(metrics)
+        payload = pipeline_payload(pipeline)
+        ctx = fork_context()
+        self.workers: list[_ShardWorker] = []
+        for i in range(shards):
+            owned = [s for s in self.sources if self.assignment[s] == i]
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, payload, owned),
+                daemon=True,
+                name=f"repro-shard-{i}",
+            )
+            proc.start()
+            child_conn.close()
+            self.workers.append(_ShardWorker(i, owned, proc, parent_conn))
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def _worker_for(self, source: str) -> _ShardWorker:
+        return self.workers[self.assignment[source]]
+
+    def ingest(
+        self,
+        source: str,
+        rows,
+        timestamps=None,
+        now: float = 0.0,
+        validate: bool = True,
+    ) -> tuple[int, int, int, int]:
+        """Synchronous routed ingest; same ack quad as the serial plane."""
+        reply = self._worker_for(source).call(
+            ("ingest", source, rows, timestamps, now, validate)
+        )
+        accepted, late, depth, dropped = _unwrap(reply)
+        self._depths[source] = depth
+        return accepted, late, depth, dropped
+
+    def submit_ingest(
+        self,
+        source: str,
+        rows,
+        timestamps=None,
+        now: float = 0.0,
+        validate: bool = True,
+    ) -> None:
+        """Pipelined ingest: send and return; ack owed to :meth:`flush_ingest`.
+
+        This is the throughput path — batches stream to all shards without
+        a coordinator round trip between them, and workers validate/offer
+        concurrently with the coordinator's next send.
+        """
+        self._worker_for(source).submit(
+            ("ingest", source, rows, timestamps, now, validate)
+        )
+
+    def flush_ingest(self) -> tuple[int, int]:
+        """Barrier: wait for every pipelined ingest; summed (accepted, late)."""
+        accepted = 0
+        late = 0
+        for worker in self.workers:
+            for reply in worker.flush():
+                a, l, depth, _dropped = _unwrap(reply)
+                accepted += a
+                late += l
+        return accepted, late
+
+    # ------------------------------------------------------------------
+    # Engine emulation + window close
+    # ------------------------------------------------------------------
+    def advance(self, elapsed: float) -> None:
+        """Tick every shard concurrently; refresh the coordinator's view.
+
+        Each worker drains with the *full* ``elapsed / service_time``
+        budget: a shard is one core's worth of engine, so N shards are an
+        N-times-wider standard path (documented in docs/performance.md).
+        """
+        for worker in self.workers:
+            worker.submit(("tick", elapsed))
+        depth_gauge = (
+            self._instruments["depth"] if self._instruments else None
+        )
+        for worker in self.workers:
+            snap = _unwrap(worker.flush()[-1])
+            self._depths.update(snap["depths"])
+            self._heads.update(snap["heads"])
+            self._stats.update(snap["stats"])
+            self.known_windows.update(snap["known"])
+            if depth_gauge is not None:
+                for s, d in snap["depths"].items():
+                    depth_gauge.set(d, shard=str(worker.index), stream=s)
+
+    def drain(self, budget: int | None) -> None:
+        """Explicit drain (shutdown path); each shard gets the full budget."""
+        for worker in self.workers:
+            worker.submit(("drain", budget))
+        for worker in self.workers:
+            depths = _unwrap(worker.flush()[-1])
+            self._depths.update(depths)
+            for s in depths:
+                self._heads[s] = None if budget is None else self._heads[s]
+
+    def due_windows(self, now: float, grace: float = 0.0) -> list[int]:
+        """Serial close rule over the merged snapshot (see StreamDataPlane)."""
+        due: list[int] = []
+        heads = [h for h in self._heads.values() if h is not None]
+        for wid in sorted(self.known_windows):
+            _, end = self.config.window.bounds(wid)
+            if end + grace > now:
+                break
+            if any(h < end for h in heads):
+                break
+            due.append(wid)
+        return due
+
+    def collect(self, wids: list[int]) -> WindowPartials:
+        """Ship + merge partials for a batch of closing windows.
+
+        Workers collect concurrently (close is broadcast before any reply
+        is awaited) and mark the windows closed on their side, so a
+        worker's late-row watermark advances in the same FIFO turn — an
+        ingest racing the close is ordered by the pipe, exactly as the
+        serial plane orders it by the GIL.
+        """
+        for worker in self.workers:
+            worker.submit(("close", list(wids)))
+        parts: list[WindowPartials] = []
+        for worker in self.workers:
+            part = _unwrap(worker.flush()[-1])
+            parts.append(part)
+            if self._instruments is not None and worker.sources:
+                self._instruments["merged"].inc(
+                    len(wids), shard=str(worker.index)
+                )
+        t0 = time.perf_counter()
+        merged = merge_partials(parts)
+        if self._instruments is not None:
+            self._instruments["merge_seconds"].observe(
+                time.perf_counter() - t0
+            )
+        merged.window_ids = list(wids)
+        return merged
+
+    def mark_closed(self, wids: list[int]) -> None:
+        """Coordinator-side watermark (workers advanced theirs in collect)."""
+        for wid in wids:
+            self.known_windows.discard(wid)
+            self.last_closed_wid = (
+                wid
+                if self.last_closed_wid is None
+                else max(self.last_closed_wid, wid)
+            )
+        for s, h in self._heads.items():
+            # Collected heads were consumed by the close on the worker side.
+            if h is not None and self.last_closed_wid is not None:
+                _, end = self.config.window.bounds(self.last_closed_wid)
+                if h < end:
+                    self._heads[s] = None
+
+    # ------------------------------------------------------------------
+    # Introspection facade (StreamDataPlane parity)
+    # ------------------------------------------------------------------
+    def depths(self) -> dict[str, int]:
+        return dict(self._depths)
+
+    def heads(self) -> dict[str, float | None]:
+        return dict(self._heads)
+
+    def capacities(self) -> dict[str, int]:
+        # No adaptive controller runs in sharded mode (validated at server
+        # construction), so capacity is the configured constant everywhere.
+        return {s: self.config.queue_capacity for s in self.sources}
+
+    def stats_snapshot(self) -> dict[str, tuple]:
+        return dict(self._stats)
+
+    def totals(self) -> tuple[int, int]:
+        offered = sum(st[0] for st in self._stats.values())
+        dropped = sum(st[1] for st in self._stats.values())
+        return offered, dropped
+
+    def shard_depths(self) -> dict[int, int]:
+        """Total queued tuples per shard (the ``repro top`` shard line)."""
+        out = {w.index: 0 for w in self.workers}
+        for s, d in self._depths.items():
+            out[self.assignment[s]] += d
+        return out
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Fresh worker planes + coordinator view (bench reps)."""
+        for worker in self.workers:
+            worker.submit(("reset",))
+        for worker in self.workers:
+            _unwrap(worker.flush()[-1])
+        self.known_windows = set()
+        self.last_closed_wid = None
+        self._depths = {s: 0 for s in self.sources}
+        self._heads = {s: None for s in self.sources}
+        self._stats = {s: (0, 0, 0, 0, 0) for s in self.sources}
+
+    def close(self) -> None:
+        """Stop workers and reap processes; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers:
+            try:
+                worker.submit(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for worker in self.workers:
+            try:
+                worker.flush()
+            except (ShardError, OSError):
+                pass
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():  # pragma: no cover - hung worker
+                worker.process.terminate()
+                worker.process.join(timeout=1)
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -154,27 +154,37 @@ class SparseCubicHistogram(Synopsis):
             out_dims.append(d.renamed(name))
         out = SparseCubicHistogram(out_dims, self.bucket_width)
 
-        # Index other's buckets by join coordinate.
-        by_join: dict[int, list[tuple[Coords, float]]] = defaultdict(list)
-        for coords, mass in other._buckets.items():
-            by_join[coords[oi]].append((coords, mass))
+        # Index other's buckets by join coordinate, with the kept-dimension
+        # tail projected once per bucket: the pair loop below runs once per
+        # (self bucket, other bucket) match and must not rebuild the same
+        # coordinate tuple for every self-side partner.
+        by_join: dict[int, list[tuple[Coords, float]]] = {}
+        for ocoords, omass in other._buckets.items():
+            tail = tuple(ocoords[i] for i in other_keep)
+            by_join.setdefault(ocoords[oi], []).append((tail, omass))
 
-        acc: dict[Coords, float] = defaultdict(float)
+        # The shared value count n depends only on the join coordinate;
+        # compute it once per coordinate, not once per self bucket.
+        n_shared: dict[int, int] = {}
+        acc: dict[Coords, float] = {}
+        acc_get = acc.get
         for coords, mass in self._buckets.items():
             jc = coords[si]
             matches = by_join.get(jc)
             if not matches:
                 continue
-            # Values the join bucket covers in *both* domains.
-            s_lo, s_hi = self._bucket_range(si, jc)
-            o_lo, o_hi = other._bucket_range(oi, jc)
-            n = min(s_hi, o_hi) - max(s_lo, o_lo) + 1
+            n = n_shared.get(jc)
+            if n is None:
+                # Values the join bucket covers in *both* domains.
+                s_lo, s_hi = self._bucket_range(si, jc)
+                o_lo, o_hi = other._bucket_range(oi, jc)
+                n = n_shared[jc] = min(s_hi, o_hi) - max(s_lo, o_lo) + 1
             if n <= 0:
                 continue
-            for ocoords, omass in matches:
-                new_coords = coords + tuple(ocoords[i] for i in other_keep)
-                acc[new_coords] += mass * omass / n
-        out._buckets = dict(acc)
+            for tail, omass in matches:
+                new_coords = coords + tail
+                acc[new_coords] = acc_get(new_coords, 0.0) + mass * omass / n
+        out._buckets = acc
         return out
 
     def equijoin_multi(
@@ -214,31 +224,41 @@ class SparseCubicHistogram(Synopsis):
             out_dims.append(d.renamed(name))
         out = SparseCubicHistogram(out_dims, self.bucket_width)
 
-        by_join: dict[tuple, list[tuple[Coords, float]]] = defaultdict(list)
-        for coords, mass in other._buckets.items():
-            by_join[tuple(coords[i] for i in ois)].append((coords, mass))
+        # Same two pair-loop hoists as equijoin: tails projected once per
+        # other bucket, the denominator cached per composite join key.
+        by_join: dict[tuple, list[tuple[Coords, float]]] = {}
+        for ocoords, omass in other._buckets.items():
+            tail = tuple(ocoords[i] for i in other_keep)
+            by_join.setdefault(
+                tuple(ocoords[i] for i in ois), []
+            ).append((tail, omass))
 
-        acc: dict[Coords, float] = defaultdict(float)
+        denoms: dict[tuple, int] = {}
+        acc: dict[Coords, float] = {}
+        acc_get = acc.get
         for coords, mass in self._buckets.items():
             key = tuple(coords[i] for i in sis)
             matches = by_join.get(key)
             if not matches:
                 continue
-            denom = 1
-            for si, oi, jc in zip(sis, ois, key):
-                s_lo, s_hi = self._bucket_range(si, jc)
-                o_lo, o_hi = other._bucket_range(oi, jc)
-                n = min(s_hi, o_hi) - max(s_lo, o_lo) + 1
-                if n <= 0:
-                    denom = 0
-                    break
-                denom *= n
+            denom = denoms.get(key)
+            if denom is None:
+                denom = 1
+                for si, oi, jc in zip(sis, ois, key):
+                    s_lo, s_hi = self._bucket_range(si, jc)
+                    o_lo, o_hi = other._bucket_range(oi, jc)
+                    n = min(s_hi, o_hi) - max(s_lo, o_lo) + 1
+                    if n <= 0:
+                        denom = 0
+                        break
+                    denom *= n
+                denoms[key] = denom
             if denom <= 0:
                 continue
-            for ocoords, omass in matches:
-                new_coords = coords + tuple(ocoords[i] for i in other_keep)
-                acc[new_coords] += mass * omass / denom
-        out._buckets = dict(acc)
+            for tail, omass in matches:
+                new_coords = coords + tail
+                acc[new_coords] = acc_get(new_coords, 0.0) + mass * omass / denom
+        out._buckets = acc
         return out
 
     def select_range(self, dim: str, lo: int, hi: int) -> "SparseCubicHistogram":

@@ -67,6 +67,54 @@ class TestRunBenchSuites:
         assert "pipeline_fig9_bursty" in bench.SUITES
         assert "pipeline_fig9_traced" in bench.SUITES
 
+    def test_sharded_and_union_suites_registered(self):
+        assert "service_ingest_shards2" in bench.SUITES
+        assert "service_ingest_shards4" in bench.SUITES
+        assert "synopsis_union" in bench.SUITES
+
+    def test_synopsis_union_quick(self):
+        doc = bench.run_bench_suites(quick=True, suites=["synopsis_union"])
+        r = doc["suites"]["synopsis_union"]
+        assert r["ops_per_sec"] > 0
+        assert r["unit"] == "unions"
+
+
+def _doc(**ops):
+    return {
+        "suites": {
+            name: {"ops_per_sec": value} for name, value in ops.items()
+        }
+    }
+
+
+class TestCompareResults:
+    def test_within_threshold_passes(self):
+        violations = bench.compare_results(
+            _doc(a=95.0, b=200.0), _doc(a=100.0, b=100.0), 10.0
+        )
+        assert violations == []
+
+    def test_regression_reported(self):
+        violations = bench.compare_results(
+            _doc(a=80.0), _doc(a=100.0), 10.0
+        )
+        assert len(violations) == 1
+        assert "a" in violations[0]
+
+    def test_only_shared_suites_compared(self):
+        violations = bench.compare_results(
+            _doc(a=100.0), _doc(b=100.0), 10.0
+        )
+        assert violations == []
+
+
+class TestShardMetricsSnapshot:
+    def test_snapshot_renders_shard_gauges(self):
+        text = bench.shard_metrics_snapshot()
+        assert "shard_queue_depth" in text
+        assert "shard_windows_merged_total" in text
+        assert "shard_merge_seconds" in text
+
 
 class TestLazyExports:
     def test_perf_package_reexports(self):
@@ -98,3 +146,28 @@ class TestCli:
         assert doc["schema"] == "repro-bench/v1"
         assert set(doc["suites"]) == {"fake"}
         assert "results written to" in out.getvalue()
+
+    def test_bench_compare_gate_fails_on_regression(self, monkeypatch, tmp_path):
+        from repro import cli
+
+        monkeypatch.setitem(
+            bench.SUITES,
+            "fake",
+            lambda quick: dict(
+                bench._time_suite(lambda: None, 3, 10, "ops"),
+                ops_per_sec=50.0,
+            ),
+        )
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_doc(fake=100.0)))
+        out = io.StringIO()
+        rc = cli.main(
+            [
+                "bench", "--quick", "--suite", "fake",
+                "--out", str(tmp_path / "new.json"),
+                "--compare", str(baseline),
+            ],
+            out=out,
+        )
+        assert rc == 1
+        assert "regression gate FAILED" in out.getvalue()

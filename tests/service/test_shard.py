@@ -1,0 +1,448 @@
+"""Shard determinism and columnar-framing tests.
+
+The sharded data plane is meant to be invisible: a fixed-seed workload
+produces identical composite results — same merged groups, same
+tuples_kept/tuples_dropped — at shards {1, 2, 4}, because each worker
+owns whole sources and queue RNG seeds come from the source's global
+chain position, not the shard layout.  The ``cols`` wire encoding must
+round-trip every JSON scalar shape and be rejected in the same places
+the row encoding is.
+"""
+
+import asyncio
+import contextlib
+import random
+
+import pytest
+
+from repro.core.pipeline import DataTriagePipeline
+from repro.core.strategies import PipelineConfig
+from repro.engine.window import WindowSpec
+from repro.experiments import PAPER_QUERY, paper_catalog
+from repro.service import ServiceConfig, TriageClient, TriageServer
+from repro.service.dataplane import StreamDataPlane
+from repro.service.protocol import (
+    MAX_BATCH_ROWS,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    validate_frame,
+)
+from repro.service.shard import ShardedDataPlane, shard_of
+from repro.sources.generators import paper_row_generators
+
+STREAMS = ("R", "S", "T")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ---------------------------------------------------------------------------
+# Partitioning
+# ---------------------------------------------------------------------------
+def test_shard_of_is_stable_and_in_range():
+    for nshards in (1, 2, 3, 4, 8):
+        for source in ("R", "S", "T", "clicks", "sensor-7"):
+            first = shard_of(source, nshards)
+            assert 0 <= first < nshards
+            assert shard_of(source, nshards) == first  # no per-run salt
+    assert all(shard_of(s, 1) == 0 for s in STREAMS)
+
+
+def test_shard_of_is_case_insensitive():
+    assert shard_of("Clicks", 4) == shard_of("clicks", 4)
+
+
+# ---------------------------------------------------------------------------
+# Determinism across shard counts (plane-level, fixed seed)
+# ---------------------------------------------------------------------------
+def make_pipeline(queue_capacity=40):
+    config = PipelineConfig(
+        window=WindowSpec(width=1.0),
+        queue_capacity=queue_capacity,
+        service_time=0.002,
+        compute_ideal=False,
+    )
+    return DataTriagePipeline(paper_catalog(), PAPER_QUERY, config)
+
+
+def workload(seed=17, n_windows=3, rows_per_batch=120, batches_per_window=2):
+    """A deterministic batched schedule: per window, batches for every stream.
+
+    Batches overfill the capacity-40 queues, so in-batch shedding (the
+    deterministic part of triage) is exercised, not just pass-through.
+    """
+    rng = random.Random(seed)
+    gens = paper_row_generators()
+    schedule = []
+    for w in range(n_windows):
+        batches = []
+        for b in range(batches_per_window):
+            for source in STREAMS:
+                t0 = float(w) + b * (1.0 / batches_per_window)
+                step = 0.4 / (batches_per_window * rows_per_batch)
+                rows = [list(gens[source].draw(rng)) for _ in range(rows_per_batch)]
+                stamps = [t0 + i * step for i in range(rows_per_batch)]
+                batches.append((source, rows, stamps))
+        schedule.append(batches)
+    return schedule
+
+
+def outcome_key(outcome):
+    """Everything result-bearing about a window, for exact comparison."""
+    return (
+        outcome.window_id,
+        outcome.merged,
+        outcome.exact,
+        outcome.estimated,
+        outcome.arrived,
+        outcome.kept,
+        outcome.dropped,
+    )
+
+
+def drive(plane, pipeline, schedule):
+    """Ingest/drain/close the schedule; returns (outcome keys, totals)."""
+    outcomes = []
+    for w, batches in enumerate(schedule):
+        for source, rows, stamps in batches:
+            plane.ingest(source, rows, stamps)
+        plane.advance(1000.0)  # full drain: only shed decisions remain
+        due = plane.due_windows(float(w + 1))
+        if due:
+            partials = plane.collect(due)
+            outcomes.extend(
+                pipeline.evaluate_windows(
+                    window_ids=due,
+                    kept_rows=partials.kept_rows,
+                    kept_synopses=partials.kept_synopses,
+                    dropped_synopses=partials.dropped_synopses,
+                    dropped_counts=partials.dropped_counts,
+                    arrived=partials.arrived,
+                )
+            )
+            plane.mark_closed(due)
+    # Flush whatever the grace rule held back.
+    plane.advance(1000.0)
+    leftovers = sorted(plane.known_windows)
+    if leftovers:
+        partials = plane.collect(leftovers)
+        outcomes.extend(
+            pipeline.evaluate_windows(
+                window_ids=leftovers,
+                kept_rows=partials.kept_rows,
+                kept_synopses=partials.kept_synopses,
+                dropped_synopses=partials.dropped_synopses,
+                dropped_counts=partials.dropped_counts,
+                arrived=partials.arrived,
+            )
+        )
+        plane.mark_closed(leftovers)
+    outcomes.sort(key=lambda o: o.window_id)
+    return [outcome_key(o) for o in outcomes], plane.totals()
+
+
+def serial_reference(schedule):
+    pipeline = make_pipeline()
+    plane = StreamDataPlane(pipeline)
+    return drive(plane, pipeline, schedule)
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_sharded_plane_matches_serial(shards):
+    schedule = workload(seed=17)
+    ref_outcomes, ref_totals = serial_reference(schedule)
+    assert ref_outcomes, "reference run closed no windows"
+    kept, dropped = ref_totals
+    assert dropped > 0, "workload must force shedding to be a real test"
+
+    pipeline = make_pipeline()
+    plane = ShardedDataPlane(pipeline, shards)
+    try:
+        outcomes, totals = drive(plane, pipeline, schedule)
+    finally:
+        plane.close()
+    assert outcomes == ref_outcomes
+    assert totals == ref_totals
+
+
+def test_sharded_plane_matches_serial_bursty_seed():
+    # A second fixed seed with lopsided per-stream volume, so shards see
+    # genuinely different load (the Figure 9 shape: bursts on one stream).
+    rng = random.Random(91)
+    gens = paper_row_generators()
+    schedule = []
+    for w in range(2):
+        batches = []
+        for source, n in (("R", 300), ("S", 60), ("T", 20)):
+            rows = [list(gens[source].draw(rng)) for _ in range(n)]
+            stamps = [float(w) + i * (0.9 / n) for i in range(n)]
+            batches.append((source, rows, stamps))
+        schedule.append(batches)
+
+    ref_outcomes, ref_totals = serial_reference(schedule)
+    pipeline = make_pipeline()
+    plane = ShardedDataPlane(pipeline, 2)
+    try:
+        outcomes, totals = drive(plane, pipeline, schedule)
+    finally:
+        plane.close()
+    assert outcomes == ref_outcomes
+    assert totals == ref_totals
+
+
+def test_sharded_plane_requires_two_shards():
+    pipeline = make_pipeline()
+    with pytest.raises(ValueError):
+        ShardedDataPlane(pipeline, 1)
+
+
+def test_sharded_plane_facade_and_reset():
+    pipeline = make_pipeline(queue_capacity=50)
+    plane = ShardedDataPlane(pipeline, 2)
+    try:
+        assert plane.capacities() == {s: 50 for s in STREAMS}
+        plane.ingest("R", [[1]], [0.1])
+        plane.ingest("S", [[2, 3]], [0.1])
+        assert plane.depths()["R"] == 1
+        assert sum(plane.shard_depths().values()) == 2
+        kept, dropped = plane.totals()
+        assert (kept, dropped) == (0, 0)  # nothing drained yet
+        plane.reset()
+        assert plane.depths() == {s: 0 for s in STREAMS}
+        assert plane.known_windows == set()
+    finally:
+        plane.close()
+
+
+def test_sharded_plane_propagates_schema_errors():
+    from repro.engine.types import SchemaError
+
+    pipeline = make_pipeline()
+    plane = ShardedDataPlane(pipeline, 2)
+    try:
+        with pytest.raises(SchemaError):
+            plane.ingest("S", [["not-an-int", None]], [0.1])
+        # The worker survives a rejected batch.
+        accepted, late, depth, dropped = plane.ingest("S", [[1, 2]], [0.1])
+        assert accepted == 1 and depth == 1
+    finally:
+        plane.close()
+
+
+# ---------------------------------------------------------------------------
+# Determinism across shard counts (server-level, over TCP)
+# ---------------------------------------------------------------------------
+QUERY = PAPER_QUERY
+
+
+@contextlib.asynccontextmanager
+async def serve(shards):
+    class ManualClock:
+        def __init__(self):
+            self.t = 0.0
+
+        def __call__(self):
+            return self.t
+
+    clock = ManualClock()
+    config = PipelineConfig(
+        window=WindowSpec(width=1.0),
+        queue_capacity=30,
+        service_time=0.002,
+        compute_ideal=False,
+    )
+    service = ServiceConfig(tick_interval=None, clock=clock, shards=shards)
+    server = TriageServer(paper_catalog(), QUERY, config, service)
+    await server.start()
+    server.clock = clock
+    try:
+        yield server
+    finally:
+        await server.shutdown()
+
+
+async def _server_run(shards):
+    """Publish a fixed-seed workload; return the RESULT frames' payloads."""
+    rng = random.Random(23)
+    gens = paper_row_generators()
+    results = []
+    async with serve(shards) as server:
+        client = await TriageClient.connect("127.0.0.1", server.port)
+        await client.subscribe()
+        for source in STREAMS:
+            await client.declare(source)
+        acks = []
+        for w in range(2):
+            for source in STREAMS:
+                rows = [list(gens[source].draw(rng)) for _ in range(80)]
+                stamps = [float(w) + i * 0.01 for i in range(80)]
+                encoding = "cols" if source == "S" else "rows"
+                ack = await client.publish(
+                    source, rows, timestamps=stamps, encoding=encoding
+                )
+                acks.append((ack["accepted"], ack["late"]))
+            server.clock.t = float(w + 1)
+            await server.tick()
+        server.clock.t = 10.0
+        await server.tick()
+        for _ in range(2):
+            frame = await client.next_result(timeout=5.0)
+            assert frame is not None
+            results.append(
+                (frame["window"], frame["groups"], frame["kept"], frame["dropped"])
+            )
+        stats = await client.stats()
+        await client.close()
+    results.sort(key=lambda r: r[0])
+    return acks, results, stats["summary"]
+
+
+def test_server_results_identical_across_shard_counts():
+    acks1, results1, summary1 = run(_server_run(1))
+    acks2, results2, summary2 = run(_server_run(2))
+    assert results1 == results2
+    assert acks1 == acks2
+    assert "shards" not in summary1
+    # The sharded server reports per-shard queue depths in its summary.
+    assert set(summary2["shards"].keys()) == {"0", "1"}
+
+
+def test_sharded_server_rejects_adaptive_staleness():
+    config = PipelineConfig(
+        window=WindowSpec(width=1.0),
+        queue_capacity=10,
+        adaptive_staleness=0.5,
+        compute_ideal=False,
+    )
+    with pytest.raises(ValueError, match="adaptive staleness"):
+        TriageServer(
+            paper_catalog(),
+            QUERY,
+            config,
+            ServiceConfig(tick_interval=None, shards=2),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Columnar framing: codec round-trip fuzz
+# ---------------------------------------------------------------------------
+def _publish(cols, **extra):
+    frame = {"type": "PUBLISH", "stream": "R", "cols": cols}
+    frame.update(extra)
+    return frame
+
+
+def test_cols_round_trip_fuzz():
+    rng = random.Random(7)
+    scalars = [
+        lambda: rng.randint(-(10**9), 10**9),
+        lambda: rng.random() * 1e6,
+        lambda: rng.choice([True, False]),
+        lambda: None,
+        lambda: "".join(chr(rng.randint(32, 0x2FA0)) for _ in range(rng.randint(0, 8))),
+    ]
+    for _ in range(50):
+        ncols = rng.randint(1, 5)
+        nrows = rng.randint(0, 40)
+        cols = [
+            [rng.choice(scalars)() for _ in range(nrows)] for _ in range(ncols)
+        ]
+        frame = _publish(cols)
+        if nrows and rng.random() < 0.5:
+            frame["timestamps"] = [i * 0.5 for i in range(nrows)]
+        validate_frame(frame, sender="client")
+        assert decode_frame(encode_frame(frame), sender="client") == frame
+
+
+def test_cols_empty_batch_round_trips():
+    for cols in ([], [[]], [[], []]):
+        frame = _publish(cols)
+        validate_frame(frame, sender="client")
+        assert decode_frame(encode_frame(frame), sender="client") == frame
+
+
+def test_cols_oversized_batch_rejected():
+    frame = _publish([[0] * (MAX_BATCH_ROWS + 1)])
+    with pytest.raises(ProtocolError) as err:
+        validate_frame(frame, sender="client")
+    assert err.value.code == "batch-too-large"
+
+
+def test_cols_ragged_columns_rejected():
+    with pytest.raises(ProtocolError) as err:
+        validate_frame(_publish([[1, 2, 3], [4, 5]]), sender="client")
+    assert err.value.code == "bad-field"
+
+
+def test_cols_non_scalar_value_rejected():
+    with pytest.raises(ProtocolError) as err:
+        validate_frame(_publish([[1, [2]]]), sender="client")
+    assert err.value.code == "bad-field"
+
+
+def test_cols_and_rows_are_mutually_exclusive():
+    frame = _publish([[1]], rows=[[1]])
+    with pytest.raises(ProtocolError) as err:
+        validate_frame(frame, sender="client")
+    assert err.value.code == "bad-frame"
+    with pytest.raises(ProtocolError) as err:
+        validate_frame({"type": "PUBLISH", "stream": "R"}, sender="client")
+    assert err.value.code == "bad-frame"
+
+
+def test_cols_timestamps_length_must_match():
+    frame = _publish([[1, 2]], timestamps=[0.0])
+    with pytest.raises(ProtocolError) as err:
+        validate_frame(frame, sender="client")
+    assert err.value.code == "bad-field"
+
+
+def test_encode_frame_passes_bytes_through():
+    frame = {"type": "SUBSCRIBE"}
+    payload = encode_frame(frame)
+    assert encode_frame(payload) == payload
+    assert encode_frame(bytearray(payload)) == payload
+
+
+# ---------------------------------------------------------------------------
+# Columnar framing: server semantics
+# ---------------------------------------------------------------------------
+async def _cols_vs_rows():
+    rng = random.Random(5)
+    gens = paper_row_generators()
+    rows = [list(gens["S"].draw(rng)) for _ in range(25)]
+    async with serve(shards=1) as server:
+        client = await TriageClient.connect("127.0.0.1", server.port)
+        await client.subscribe()
+        await client.declare("S")
+        stamps0 = [0.1 + i * 0.01 for i in range(25)]
+        stamps1 = [1.1 + i * 0.01 for i in range(25)]
+        ack_rows = await client.publish("S", rows, timestamps=stamps0)
+        server.clock.t = 0.5  # drain batch one before batch two arrives
+        await server.tick()
+        cols = [list(c) for c in zip(*rows)]
+        ack_cols = await client.publish_columns("S", cols, timestamps=stamps1)
+        assert ack_cols["accepted"] == ack_rows["accepted"] == 25
+        server.clock.t = 10.0
+        await server.tick()
+        frames = {}
+        for _ in range(2):
+            frame = await client.next_result(timeout=5.0)
+            frames[frame["window"]] = frame
+        # One identical batch per window: identical groups either way.
+        assert frames[0]["groups"] == frames[1]["groups"]
+        assert frames[0]["kept"] == frames[1]["kept"]
+
+        # A bad column value is rejected atomically, like a bad row.
+        with pytest.raises(Exception) as err:
+            await client.publish_columns(
+                "S", [[1, "oops"], [2, 3]], timestamps=[5.0, 5.0]
+            )
+        assert getattr(err.value, "code", "") == "bad-row"
+        await client.close()
+
+
+def test_server_cols_publish_matches_rows():
+    run(_cols_vs_rows())
