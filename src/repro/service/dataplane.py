@@ -143,6 +143,11 @@ class StreamDataPlane:
                     arrived[wid] = arrived.get(wid, 0) + n
                     known.add(wid)
         else:
+            # Validate (and coerce timestamps for) the whole batch before
+            # any window accounting, so a mid-batch rejection leaves no
+            # inflated arrival counts or phantom known windows behind —
+            # the same atomicity the timestamps=None path has.
+            staged: list[tuple[float, tuple]] = []
             for i, row in enumerate(rows):
                 tup_row = tuple(row)
                 if validate_row is not None:
@@ -150,7 +155,8 @@ class StreamDataPlane:
                         validate_row(tup_row)
                     except SchemaError as exc:
                         raise SchemaError(f"row {i}: {exc}") from None
-                ts = float(timestamps[i])
+                staged.append((float(timestamps[i]), tup_row))
+            for ts, tup_row in staged:
                 wids = ids(ts)
                 if last_closed is not None and (
                     not wids or wids[0] <= last_closed

@@ -313,6 +313,11 @@ class TriageServer:
             "PUBLISH batches that carried a trace context",
             ("stream",),
         )
+        self._c_tick_errors = m.counter(
+            "service_tick_errors_total",
+            "Background ticks that raised (ticker keeps running)",
+            ("error",),
+        )
         self._g_ctrl: dict[str, object] = {
             name: m.gauge(f"controller_{name}", f"Load controller {name}", ("stream",))
             for name in ("arrival_rate", "drop_fraction", "recommended_capacity")
@@ -373,7 +378,15 @@ class TriageServer:
         assert self.service.tick_interval is not None
         while True:
             await asyncio.sleep(self.service.tick_interval)
-            await self.tick()
+            try:
+                await self.tick()
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - ticker must survive
+                # A failed tick (e.g. a shard worker died mid-RPC) must not
+                # kill the ticker: windows would silently stop closing for
+                # every subscriber.  Count it and try again next interval.
+                self._c_tick_errors.inc(error=type(exc).__name__)
 
     async def shutdown(self) -> None:
         """Graceful shutdown: drain queues, flush final windows, say BYE."""
@@ -629,18 +642,25 @@ class TriageServer:
             return True
         validate = True
         if rows is None:
-            # Columnar framing: validate column-wise (one type check per
-            # homogeneous column in the common case), then pivot to row
-            # tuples; the plane skips its per-row re-validation.
-            schema = self.pipeline.bound.source(source).schema
-            try:
-                schema.validate_columns(cols)
-            except SchemaError as exc:
-                await session.send_now(
-                    ProtocolError("bad-row", str(exc)).to_frame()
-                )
-                return True
-            rows = list(zip(*cols)) if cols else []
+            if cols:
+                # Columnar framing: validate column-wise (one type check
+                # per homogeneous column in the common case), then pivot to
+                # row tuples; the plane skips its per-row re-validation.
+                schema = self.pipeline.bound.source(source).schema
+                try:
+                    schema.validate_columns(cols)
+                except SchemaError as exc:
+                    await session.send_now(
+                        ProtocolError("bad-row", str(exc)).to_frame()
+                    )
+                    return True
+                rows = list(zip(*cols))
+            else:
+                # cols == [] carries no column structure to arity-check:
+                # it is the columnar spelling of an empty batch (the
+                # client's zero-row pivot produces it) and must ack
+                # accepted=0 exactly like rows == [].
+                rows = []
             validate = False
         try:
             accepted, late, depth, dropped_total = await self._ingest_async(

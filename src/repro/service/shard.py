@@ -27,6 +27,17 @@ That gives RPC semantics without a framing layer, lets the coordinator
 *pipeline* commands (``submit_ingest`` + ``flush_ingest``, how the bench
 keeps workers busy without a round trip per batch), and guarantees a
 worker's ``close`` reply reflects every ingest sent before it.
+
+Coordinator threads share workers: publisher executor threads run
+:meth:`ShardedDataPlane.ingest` (a synchronous :meth:`_ShardWorker.call`)
+while the server's ticker runs ``advance``/``collect`` (a broadcast
+``submit`` followed by a ``flush``) in another executor thread.  Reply
+routing therefore cannot assume a conversation owns the pipe: a ``call``
+that lands between another thread's submit and flush will receive that
+conversation's replies first (FIFO).  :class:`_ShardWorker` keeps those
+early replies in a per-worker backlog instead of discarding them, so the
+interleaved flush still collects every reply it is owed — no tick, close,
+or ingest ack is ever lost to a concurrent RPC.
 """
 
 from __future__ import annotations
@@ -118,14 +129,26 @@ def _worker_main(conn, payload: bytes, owned: list[str]) -> None:
 
 
 class _ShardWorker:
-    """Coordinator-side handle: process, pipe, and the pipelining lock."""
+    """Coordinator-side handle: process, pipe, and reply bookkeeping.
+
+    The pipe is FIFO with exactly one reply per command, but coordinator
+    threads interleave conversations on it: a publisher's synchronous
+    :meth:`call` can land between the ticker's :meth:`submit` and its
+    :meth:`flush`.  The lock pairs each send with its drain; the
+    ``_backlog`` keeps replies a :meth:`call` had to read past (they
+    belong to the open submit/flush conversation) so the later flush
+    still receives them — nothing is ever discarded.
+    """
 
     def __init__(self, index: int, sources: list[str], process, conn) -> None:
         self.index = index
         self.sources = sources
         self.process = process
         self.conn = conn
+        #: Sends whose replies have not been read off the pipe yet.
         self.pending = 0
+        #: Replies read past by an interleaved call(), owed to a flush().
+        self._backlog: list = []
         # Serializes send/recv pairing when publisher executor threads and
         # the ticker talk to the same worker concurrently.
         self.lock = threading.Lock()
@@ -137,19 +160,32 @@ class _ShardWorker:
             self.pending += 1
 
     def flush(self) -> list:
-        """Collect every owed reply, oldest first."""
+        """Collect every owed reply, oldest first.
+
+        Includes replies an interleaved :meth:`call` already read off the
+        pipe on this conversation's behalf (the backlog), then whatever is
+        still in flight.
+        """
         with self.lock:
-            return self._drain()
+            replies = self._backlog
+            self._backlog = []
+            replies.extend(self._drain())
+            return replies
 
     def call(self, msg: tuple):
-        """Synchronous RPC: send, then wait; returns *this* command's reply
-        (any previously pipelined replies are drained and discarded first —
-        callers mixing submit() and call() on one worker must not need
-        those earlier acks)."""
+        """Synchronous RPC: send, then wait; returns *this* command's reply.
+
+        FIFO means any replies owed to an open submit/flush conversation
+        arrive first; they are parked in the backlog for that
+        conversation's flush, never dropped.
+        """
         with self.lock:
+            owed = self.pending
             self.conn.send(msg)
             self.pending += 1
-            return self._drain()[-1]
+            replies = self._drain()
+            self._backlog.extend(replies[:owed])
+            return replies[owed]
 
     def _drain(self) -> list:
         replies = []
@@ -163,6 +199,19 @@ class _ShardWorker:
                 ) from exc
             self.pending -= 1
         return replies
+
+
+def _one_reply(worker: _ShardWorker):
+    """The reply to a one-command broadcast conversation (submit → flush).
+
+    Raises :class:`ShardError` instead of an ``IndexError`` if the worker
+    produced nothing (it died and a concurrent RPC already reaped the
+    error), so callers see the same failure either way.
+    """
+    replies = worker.flush()
+    if not replies:
+        raise ShardError(f"shard {worker.index} returned no reply")
+    return replies[-1]
 
 
 def _unwrap(reply):
@@ -268,6 +317,14 @@ class ShardedDataPlane:
         This is the throughput path — batches stream to all shards without
         a coordinator round trip between them, and workers validate/offer
         concurrently with the coordinator's next send.
+
+        Single-conversation constraint: while a submit/flush_ingest
+        conversation is open, no *other* split conversation (``advance``,
+        ``drain``, ``collect``, ``reset``) may run — replies would be
+        attributed to the wrong one.  Synchronous :meth:`ingest` calls are
+        fine (their replies are routed via the per-worker backlog).  The
+        server never pipelines (PUBLISH uses :meth:`ingest`); the bench
+        drives this path from a single thread with no ticker.
         """
         self._worker_for(source).submit(
             ("ingest", source, rows, timestamps, now, validate)
@@ -300,7 +357,7 @@ class ShardedDataPlane:
             self._instruments["depth"] if self._instruments else None
         )
         for worker in self.workers:
-            snap = _unwrap(worker.flush()[-1])
+            snap = _unwrap(_one_reply(worker))
             self._depths.update(snap["depths"])
             self._heads.update(snap["heads"])
             self._stats.update(snap["stats"])
@@ -314,7 +371,7 @@ class ShardedDataPlane:
         for worker in self.workers:
             worker.submit(("drain", budget))
         for worker in self.workers:
-            depths = _unwrap(worker.flush()[-1])
+            depths = _unwrap(_one_reply(worker))
             self._depths.update(depths)
             for s in depths:
                 self._heads[s] = None if budget is None else self._heads[s]
@@ -345,7 +402,7 @@ class ShardedDataPlane:
             worker.submit(("close", list(wids)))
         parts: list[WindowPartials] = []
         for worker in self.workers:
-            part = _unwrap(worker.flush()[-1])
+            part = _unwrap(_one_reply(worker))
             parts.append(part)
             if self._instruments is not None and worker.sources:
                 self._instruments["merged"].inc(
@@ -413,7 +470,7 @@ class ShardedDataPlane:
         for worker in self.workers:
             worker.submit(("reset",))
         for worker in self.workers:
-            _unwrap(worker.flush()[-1])
+            _unwrap(_one_reply(worker))
         self.known_windows = set()
         self.last_closed_wid = None
         self._depths = {s: 0 for s in self.sources}

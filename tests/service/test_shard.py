@@ -12,6 +12,7 @@ the row encoding is.
 import asyncio
 import contextlib
 import random
+import threading
 
 import pytest
 
@@ -231,6 +232,133 @@ def test_sharded_plane_propagates_schema_errors():
         plane.close()
 
 
+def test_ingest_mid_batch_schema_error_leaves_no_accounting_residue():
+    # Regression: with explicit timestamps, a batch whose row i validates
+    # but row i+1 does not used to leave row i's arrival counts and known
+    # windows behind even though the whole batch was rejected — skewing
+    # drop-fraction estimation and double-counting a retried batch.
+    from repro.engine.types import SchemaError
+
+    pipeline = make_pipeline()
+    plane = StreamDataPlane(pipeline)
+    with pytest.raises(SchemaError):
+        plane.ingest("S", [[1, 2], ["not-an-int", None], [5, 6]], [0.1, 0.2, 0.3])
+    assert plane.arrived["S"] == {}
+    assert plane.known_windows == set()
+    # The client fixes the batch and retries: counts reflect one send only.
+    accepted, late, _, _ = plane.ingest("S", [[1, 2], [5, 6]], [0.1, 0.2])
+    assert (accepted, late) == (2, 0)
+    assert plane.arrived["S"] == {0: 2}
+
+
+# ---------------------------------------------------------------------------
+# RPC reply routing under coordinator-thread concurrency
+# ---------------------------------------------------------------------------
+class _StubConn:
+    """Pipe double: every send immediately queues one canned FIFO reply."""
+
+    def __init__(self):
+        self.sent = []
+        self._replies = []
+
+    def send(self, msg):
+        self.sent.append(msg)
+        self._replies.append(("ok", f"reply-{len(self.sent)}-{msg[0]}"))
+
+    def recv(self):
+        return self._replies.pop(0)
+
+
+def test_shard_worker_call_does_not_steal_pipelined_replies():
+    # Regression: a publisher's synchronous call() landing between the
+    # ticker's submit() and flush() used to drain the tick/close reply off
+    # the pipe and discard it; the ticker's flush() then came back empty
+    # (IndexError on flush()[-1]) and, for close, the window's partials
+    # were lost.  Early replies must be parked for the owed flush instead.
+    from repro.service.shard import _ShardWorker
+
+    worker = _ShardWorker(0, ["R"], process=None, conn=_StubConn())
+    worker.submit(("tick", 1.0))  # reply owed to the ticker's later flush
+    reply = worker.call(("ingest", "R", [], None, 0.0, True))
+    assert reply == ("ok", "reply-2-ingest")  # call gets *its* reply
+    assert worker.flush() == [("ok", "reply-1-tick")]  # ticker still paid
+    assert worker.flush() == []  # drained clean: no pending, no backlog
+
+
+def test_shard_worker_call_parks_multiple_owed_replies_in_order():
+    from repro.service.shard import _ShardWorker
+
+    worker = _ShardWorker(0, ["R"], process=None, conn=_StubConn())
+    worker.submit(("ingest", "R", [], None, 0.0, True))
+    worker.submit(("ingest", "R", [], None, 0.0, True))
+    assert worker.call(("tick", 0.5)) == ("ok", "reply-3-tick")
+    assert worker.flush() == [
+        ("ok", "reply-1-ingest"),
+        ("ok", "reply-2-ingest"),
+    ]
+
+
+def test_sharded_plane_survives_concurrent_ingest_and_ticks():
+    # The live version of the race above: publisher threads ingest through
+    # worker pipes while the "ticker" advances the same workers.  Before
+    # the backlog fix this raised (tick replies stolen by ingest calls) or
+    # lost window partials; now every reply reaches its conversation.
+    rng = random.Random(3)
+    gens = paper_row_generators()
+    pipeline = make_pipeline(queue_capacity=10_000)  # no drops: exact totals
+    plane = ShardedDataPlane(pipeline, 2)
+    n_batches, batch_rows = 30, 10
+    accepted_counts = []
+    errors = []
+    lock = threading.Lock()
+
+    def publisher(source, rows_by_batch):
+        try:
+            for b, rows in enumerate(rows_by_batch):
+                stamps = [0.1 + b * 0.01 + i * 0.001 for i in range(len(rows))]
+                accepted, late, _, _ = plane.ingest(source, rows, stamps)
+                with lock:
+                    accepted_counts.append(accepted + late)
+        except Exception as exc:  # noqa: BLE001 - reported to the main thread
+            errors.append(exc)
+
+    threads = []
+    for source in STREAMS:
+        batches = [
+            [list(gens[source].draw(rng)) for _ in range(batch_rows)]
+            for _ in range(n_batches)
+        ]
+        threads.append(
+            threading.Thread(target=publisher, args=(source, batches))
+        )
+    try:
+        for t in threads:
+            t.start()
+        while any(t.is_alive() for t in threads):
+            plane.advance(0.001)  # the ticker's submit/flush conversation
+        for t in threads:
+            t.join()
+        assert not errors
+        expected = len(STREAMS) * n_batches * batch_rows
+        assert sum(accepted_counts) == expected
+        # The plane still closes windows cleanly after the contention.
+        plane.advance(1000.0)
+        due = plane.due_windows(1000.0)
+        assert due
+        partials = plane.collect(due)
+        plane.mark_closed(due)
+        kept = sum(
+            sum(len(bag) for bag in per_window.values())
+            for per_window in partials.kept_rows.values()
+        )
+        offered, dropped = plane.totals()
+        assert offered == expected
+        assert dropped == 0
+        assert kept == expected
+    finally:
+        plane.close()
+
+
 # ---------------------------------------------------------------------------
 # Determinism across shard counts (server-level, over TCP)
 # ---------------------------------------------------------------------------
@@ -446,3 +574,22 @@ async def _cols_vs_rows():
 
 def test_server_cols_publish_matches_rows():
     run(_cols_vs_rows())
+
+
+async def _empty_batches():
+    async with serve(shards=1) as server:
+        client = await TriageClient.connect("127.0.0.1", server.port)
+        await client.declare("S")
+        # An empty batch must ack identically under every encoding: the
+        # zero-row columnar pivot produces cols == [], which the server
+        # treats as empty rather than arity-rejecting.
+        ack_rows = await client.publish("S", [])
+        ack_cols = await client.publish("S", [], encoding="cols")
+        ack_native = await client.publish_columns("S", [])
+        for ack in (ack_rows, ack_cols, ack_native):
+            assert (ack["accepted"], ack["late"]) == (0, 0)
+        await client.close()
+
+
+def test_empty_batch_acks_identically_across_encodings():
+    run(_empty_batches())
