@@ -1,0 +1,48 @@
+"""CEP pattern-query tier: SEQ patterns with state-aware load shedding.
+
+The first non-SPJ query class in the repo.  ``PATTERN SEQ(A a, B+ b, C c)
+WITHIN n`` statements (parsed and bound by :mod:`repro.sql`) execute on an
+NFA-style :class:`~repro.cep.engine.PatternEngine`; load shedding becomes
+*state-aware* through :class:`~repro.cep.policy.PatternUtilityPolicy`,
+which protects tuples that extend active partial matches and sheds events
+with low learned match-contribution probability
+(:class:`~repro.cep.utility.UtilityModel`, eSPICE-style), while the engine
+bounds its own memory pSPICE-style by retiring low-utility runs.  See
+PAPERS.md for the eSPICE/pSPICE/hSPICE lineage.
+"""
+
+from repro.cep.engine import (
+    EngineStats,
+    PatternEngine,
+    PatternProtection,
+    canonical_match_bytes,
+    match_identity,
+)
+from repro.cep.pipeline import (
+    DEMO_PATTERN,
+    PatternConfig,
+    PatternPipeline,
+    PatternRunResult,
+    bursty_pattern_workload,
+    demo_catalog,
+    merge_streams,
+)
+from repro.cep.policy import PatternUtilityPolicy
+from repro.cep.utility import UtilityModel
+
+__all__ = [
+    "EngineStats",
+    "PatternEngine",
+    "PatternProtection",
+    "canonical_match_bytes",
+    "match_identity",
+    "DEMO_PATTERN",
+    "PatternConfig",
+    "PatternPipeline",
+    "PatternRunResult",
+    "bursty_pattern_workload",
+    "demo_catalog",
+    "merge_streams",
+    "PatternUtilityPolicy",
+    "UtilityModel",
+]

@@ -1,0 +1,398 @@
+"""NFA-style pattern-matching engine over stream tuples.
+
+A :class:`PatternEngine` executes one bound ``PATTERN SEQ(...)`` statement
+(SASE-style sequence with Kleene closure and a WITHIN time bound) against a
+stream of :class:`~repro.engine.types.StreamTuple`\\ s.  Partial matches are
+*runs*: each run remembers which steps it has bound, the environment row
+(one slot per pattern column), and the events that contributed.  Runs expire
+when the WITHIN bound can no longer be met, and the engine bounds its own
+memory pSPICE-style by retiring the lowest-utility runs when ``max_runs`` is
+exceeded (Slo et al., "pSPICE: Partial Match Shedding for Complex Event
+Processing" — see PAPERS.md).
+
+Semantics, chosen for determinism and small-code clarity:
+
+* Events are consumed one at a time in arrival order; every run inspects the
+  event in ascending run-id order, so the produced match set is a pure
+  function of the input sequence — no RNG anywhere in the engine.
+* A run advances *greedily toward progress*: if the event can move the run
+  to its next step, it does; otherwise, if the run sits in a Kleene step,
+  the event may be absorbed there.  Each run consumes an event at most once.
+* Every event that satisfies step 0 also starts a fresh run
+  (skip-till-next-match style), so overlapping matches are found.
+* A run completes — and is removed — the moment its final step binds; the
+  match row is ``(match_start, match_end, <step columns...>)`` with Kleene
+  steps contributing a count plus the last absorbed event's columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.engine.expressions import is_equijoin_conjunct
+from repro.engine.types import StreamTuple
+from repro.sql.binder import BoundPattern
+
+#: Engine observer signature: ``observer(event, value)``.  Events:
+#: ``"run_start"``, ``"run_extend"``, ``"match"``, ``"run_expire"``,
+#: ``"run_shed"`` — each with value 1.0 per occurrence.
+EngineObserver = Callable[[str, float], None]
+
+
+@dataclass
+class EngineStats:
+    """Lifecycle counters for one engine instance."""
+
+    events: int = 0
+    runs_started: int = 0
+    runs_extended: int = 0
+    matches: int = 0
+    runs_expired: int = 0
+    runs_shed: int = 0
+
+
+class _CompiledStep:
+    """A bound step with its predicates compiled against the env schema."""
+
+    __slots__ = (
+        "variable",
+        "stream",
+        "kleene",
+        "env_offset",
+        "width",
+        "predicates",
+        "key_link",
+    )
+
+    def __init__(self, bound_step, pattern: "BoundPattern") -> None:
+        self.variable = bound_step.variable
+        self.stream = bound_step.stream_name
+        self.kleene = bound_step.kleene
+        self.env_offset = bound_step.env_offset
+        self.width = len(bound_step.schema)
+        self.predicates = [
+            p.bind(pattern.env_schema) for p in bound_step.predicates
+        ]
+        self.key_link = _find_key_link(bound_step, pattern)
+
+
+class _Run:
+    """One partial match."""
+
+    __slots__ = ("rid", "step", "counts", "env", "events", "start", "progress")
+
+    def __init__(self, rid: int, n_steps: int, env_len: int, start: float) -> None:
+        self.rid = rid
+        self.step = 0  # index of the step currently being filled
+        self.counts = [0] * n_steps
+        self.env: list = [None] * env_len
+        self.events: list[tuple[str, float]] = []
+        self.start = start
+        self.progress = 0  # number of steps with at least one event bound
+
+
+class PatternProtection:
+    """Which (stream, row) pairs currently extend an active partial match.
+
+    Built from live runs: a stream is in ``any_streams`` when some run wants
+    its next event from that stream without a usable key constraint; keyed
+    entries map ``stream -> row position -> set of wanted key values``.
+    """
+
+    __slots__ = ("any_streams", "keyed")
+
+    def __init__(self) -> None:
+        self.any_streams: set[str] = set()
+        self.keyed: dict[str, dict[int, set]] = {}
+
+    def want_any(self, stream: str) -> None:
+        self.any_streams.add(stream)
+
+    def want_key(self, stream: str, position: int, value) -> None:
+        self.keyed.setdefault(stream, {}).setdefault(position, set()).add(value)
+
+    def protects(self, stream: str, row: tuple) -> bool:
+        if stream in self.any_streams:
+            return True
+        by_pos = self.keyed.get(stream)
+        if not by_pos:
+            return False
+        return any(row[pos] in values for pos, values in by_pos.items())
+
+
+class PatternEngine:
+    """Executes one bound pattern; deterministic by construction."""
+
+    def __init__(
+        self,
+        pattern: BoundPattern,
+        *,
+        max_runs: int = 1024,
+        observer: EngineObserver | None = None,
+        utility=None,
+    ) -> None:
+        if max_runs < 1:
+            raise ValueError(f"max_runs must be >= 1, got {max_runs}")
+        self.pattern = pattern
+        self.max_runs = max_runs
+        self.observer = observer
+        self.utility = utility
+        self.stats = EngineStats()
+        self._steps = [_CompiledStep(s, pattern) for s in pattern.steps]
+        self._runs: list[_Run] = []
+        self._next_rid = 0
+        self._version = 0  # bumped on any run mutation; caches key off it
+        self._protection: tuple[int, PatternProtection] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def active_runs(self) -> int:
+        return len(self._runs)
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    # ------------------------------------------------------------------
+    def consume(self, stream: str, tup: StreamTuple) -> list[StreamTuple]:
+        """Feed one event; returns the matches it completed (often empty)."""
+        self.stats.events += 1
+        if self.utility is not None:
+            self.utility.observe(stream, tup.timestamp)
+        ts = tup.timestamp
+        self._expire(ts)
+        matches: list[StreamTuple] = []
+        completed: list[_Run] = []
+        for run in self._runs:
+            if self._extend(run, stream, tup):
+                self.stats.runs_extended += 1
+                self._notify("run_extend")
+                if run.step >= len(self._steps):
+                    completed.append(run)
+        if completed:
+            done = set(id(r) for r in completed)
+            self._runs = [r for r in self._runs if id(r) not in done]
+            for run in completed:
+                matches.append(self._emit(run, ts))
+        self._start_run(stream, tup, matches)
+        if matches or completed:
+            self._version += 1
+        return matches
+
+    def run_snapshot(self) -> list[tuple[int, int, float]]:
+        """(rid, current step, start time) per active run — for debugging/UI."""
+        return [(r.rid, r.step, r.start) for r in self._runs]
+
+    # ------------------------------------------------------------------
+    def protection_index(self) -> PatternProtection:
+        """The live protection set, cached against the engine version."""
+        cached = self._protection
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        out = PatternProtection()
+        steps = self._steps
+        n = len(steps)
+        for run in self._runs:
+            targets = []
+            k = run.step
+            if k < n:
+                # Advancing out of an open Kleene group is also an extension.
+                if steps[k].kleene and run.counts[k] >= 1 and k + 1 < n:
+                    targets.append(k + 1)
+                targets.append(k)
+            for t in targets:
+                step = steps[t]
+                link = step.key_link
+                if link is None:
+                    out.want_any(step.stream)
+                    continue
+                cand_pos, env_pos = link
+                value = run.env[env_pos]
+                if value is None:
+                    out.want_any(step.stream)
+                else:
+                    out.want_key(step.stream, cand_pos, value)
+        self._protection = (self._version, out)
+        return out
+
+    # ------------------------------------------------------------------
+    def _extend(self, run: _Run, stream: str, tup: StreamTuple) -> bool:
+        steps = self._steps
+        n = len(steps)
+        k = run.step
+        if k >= n:
+            return False
+        # Progress first: leave an open Kleene group when the next step fits.
+        if steps[k].kleene and run.counts[k] >= 1 and k + 1 < n:
+            if steps[k + 1].stream == stream and self._bind(run, k + 1, tup):
+                self._after_bind(run, k + 1, tup)
+                if not steps[k + 1].kleene:
+                    run.step = k + 2
+                elif k + 1 == n - 1:
+                    run.step = n  # trailing Kleene: emit at first absorb
+                else:
+                    run.step = k + 1
+                return True
+        if steps[k].stream == stream and self._bind(run, k, tup):
+            self._after_bind(run, k, tup)
+            if not steps[k].kleene:
+                run.step = k + 1
+            elif k == n - 1:
+                # Trailing Kleene step: emit at its first absorb (earliest
+                # match); further absorbs would be ambiguous.
+                run.step = n
+            return True
+        return False
+
+    def _bind(self, run: _Run, step_idx: int, tup: StreamTuple) -> bool:
+        """Write the candidate into the env, keep it iff predicates pass."""
+        step = self._steps[step_idx]
+        off, width = step.env_offset, step.width
+        env = run.env
+        saved = env[off : off + width]
+        env[off : off + width] = tup.row
+        for pred in step.predicates:
+            if pred(env) is not True:
+                env[off : off + width] = saved
+                return False
+        return True
+
+    def _after_bind(self, run: _Run, step_idx: int, tup: StreamTuple) -> None:
+        if run.counts[step_idx] == 0:
+            run.progress += 1
+        run.counts[step_idx] += 1
+        run.events.append((self._steps[step_idx].stream, tup.timestamp))
+        self._version += 1
+
+    def _start_run(
+        self, stream: str, tup: StreamTuple, matches: list[StreamTuple]
+    ) -> None:
+        step0 = self._steps[0]
+        if step0.stream != stream:
+            return
+        run = _Run(
+            self._next_rid, len(self._steps), len(self.pattern.env_schema), tup.timestamp
+        )
+        if not self._bind(run, 0, tup):
+            return
+        self._next_rid += 1
+        self._after_bind(run, 0, tup)
+        if not step0.kleene:
+            run.step = 1
+        if run.step >= len(self._steps):  # single-step pattern
+            matches.append(self._emit(run, tup.timestamp))
+        else:
+            self._runs.append(run)
+            self.stats.runs_started += 1
+            self._notify("run_start")
+            if len(self._runs) > self.max_runs:
+                self._shed_run(tup.timestamp)
+        self._version += 1
+
+    def _emit(self, run: _Run, end_ts: float) -> StreamTuple:
+        row: list = [run.start, end_ts]
+        for k, step in enumerate(self._steps):
+            if step.kleene:
+                row.append(run.counts[k])
+            row.extend(run.env[step.env_offset : step.env_offset + step.width])
+        self.stats.matches += 1
+        self._notify("match")
+        if self.utility is not None:
+            for stream, ts in run.events:
+                self.utility.credit(stream, ts)
+        return StreamTuple(end_ts, tuple(row))
+
+    def _expire(self, now: float) -> None:
+        within = self.pattern.within
+        alive = [r for r in self._runs if now - r.start <= within]
+        expired = len(self._runs) - len(alive)
+        if expired:
+            self._runs = alive
+            self.stats.runs_expired += expired
+            self._version += 1
+            self._notify("run_expire", float(expired))
+
+    def _shed_run(self, now: float) -> None:
+        """pSPICE-style partial-match shedding: retire the worst run.
+
+        Utility = completion progress plus remaining-lifetime fraction; ties
+        break toward the oldest run id, so the choice is deterministic.
+        """
+        n = len(self._steps)
+        within = self.pattern.within
+        worst_idx = 0
+        worst_key = None
+        for i, run in enumerate(self._runs):
+            utility = run.progress / n + max(0.0, 1.0 - (now - run.start) / within)
+            key = (utility, run.rid)
+            if worst_key is None or key < worst_key:
+                worst_key = key
+                worst_idx = i
+        del self._runs[worst_idx]
+        self.stats.runs_shed += 1
+        self._version += 1
+        self._notify("run_shed")
+
+    def _notify(self, event: str, value: float = 1.0) -> None:
+        if self.observer is not None:
+            self.observer(event, value)
+
+
+def _find_key_link(bound_step, pattern: BoundPattern) -> tuple[int, int] | None:
+    """``(candidate row position, env position of the partner value)``.
+
+    The first predicate of the form ``me.col = other_var.col`` (either
+    orientation) where ``other_var`` is a different step.  Lets the
+    protection index enumerate exactly which key values on this stream would
+    extend each active run; steps without one protect their whole stream.
+    """
+    me = bound_step.variable.lower()
+    by_var = {s.variable.lower(): s for s in pattern.steps}
+    for pred in bound_step.predicates:
+        pair = is_equijoin_conjunct(pred)
+        if pair is None:
+            continue
+        left, right = pair
+        lmine = (left.table or "").lower() == me
+        rmine = (right.table or "").lower() == me
+        if lmine == rmine:
+            continue
+        cand, other = (left, right) if lmine else (right, left)
+        partner = by_var.get((other.table or "").lower())
+        if partner is None:
+            continue
+        cand_pos = bound_step.schema.position(cand.name)
+        env_pos = partner.env_offset + partner.schema.position(other.name)
+        return (cand_pos, env_pos)
+    return None
+
+
+def match_identity(pattern: BoundPattern, row: tuple) -> tuple:
+    """A shedding-robust identity for one match row.
+
+    ``(match_start, <non-Kleene step columns...>)``: the start timestamp
+    pins the run's anchoring first event, and single-step columns pin the
+    specific events bound.  Kleene groups (whose absorb count and last
+    event legitimately vary once noise events are shed) and the end
+    timestamp (a later closing event may complete the same instance) are
+    excluded, so recall measures *detection* of a pattern instance, not
+    byte equality of the emitted row.
+    """
+    out = [row[0]]
+    pos = 2
+    for step in pattern.steps:
+        width = len(step.schema)
+        if step.kleene:
+            pos += 1 + width  # skip <var>_count and the last absorbed event
+        else:
+            out.extend(row[pos : pos + width])
+            pos += width
+    return tuple(out)
+
+
+def canonical_match_bytes(matches: list[StreamTuple]) -> bytes:
+    """A byte string identifying a match sequence exactly (for determinism tests)."""
+    return "\n".join(
+        f"{m.timestamp!r}\t{m.row!r}" for m in matches
+    ).encode("utf-8")

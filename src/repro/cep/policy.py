@@ -1,0 +1,104 @@
+"""State-aware drop policy driven by live pattern-engine state.
+
+:class:`PatternUtilityPolicy` plugs into the triage queue's existing
+:class:`~repro.core.policies.DropPolicy` slot, so pattern queries reuse the
+whole shedding machinery unchanged — only victim *selection* becomes
+pattern-aware.  Two signals rank candidates:
+
+* **Protection** (hSPICE/pSPICE lineage): a tuple whose key would extend an
+  active partial match gets a large score bonus.  The engine exposes this
+  as a :class:`~repro.cep.engine.PatternProtection` index derived from
+  bind-time equality links, rebuilt only when the run set changes — victim
+  selection never walks the run list per candidate.
+* **Learned contribution probability** (eSPICE): the
+  :class:`~repro.cep.utility.UtilityModel` histogram supplies
+  P(contributes to a match | stream, phase-in-window), so among unprotected
+  tuples the ones that historically never amount to anything go first.
+
+A small occupancy term (from ``PolicyContext.window_counts``, maintained
+incrementally by the queue) breaks remaining ties toward tuples in crowded
+windows, where each individual tuple is most redundant.  The policy is
+fully deterministic: no RNG, ties resolved by lowest buffer index, and the
+incoming tuple is shed only when *strictly* worse than every buffered one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.policies import DROP_INCOMING, DropPolicy, PolicyContext
+from repro.engine.types import StreamTuple
+
+
+class PatternUtilityPolicy(DropPolicy):
+    """Shed the tuple least likely to contribute to a pattern match."""
+
+    #: Ask the queue to maintain window-occupancy counts (satellite of the
+    #: PolicyContext extension; existing policies leave this False).
+    wants_window_counts = True
+
+    def __init__(
+        self,
+        engine=None,
+        *,
+        protect_bonus: float = 100.0,
+        stream_tag: int | None = None,
+    ) -> None:
+        #: The live :class:`~repro.cep.engine.PatternEngine`; may be bound
+        #: after construction (the CLI builds the policy before the engine).
+        self.engine = engine
+        self.protect_bonus = protect_bonus
+        #: When the queue multiplexes several streams, ``stream_tag`` is the
+        #: row position holding the stream name (the CEP pipeline's merged
+        #: pattern queue tags rows at position 0).  ``None`` means the queue
+        #: is single-stream and ``PolicyContext.queue_name`` identifies it.
+        self.stream_tag = stream_tag
+
+    def bind_engine(self, engine) -> None:
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    def select_victim(
+        self,
+        buffer: Sequence[StreamTuple],
+        incoming: StreamTuple,
+        context: PolicyContext,
+    ) -> int:
+        engine = self.engine
+        if engine is None:
+            # No pattern state yet: degrade to deterministic head drop.
+            return 0
+        queue_stream = context.queue_name or ""
+        protection = engine.protection_index()
+        model = engine.utility
+        counts = context.window_counts
+        window = context.window
+        tag = self.stream_tag
+
+        def score(tup: StreamTuple) -> float:
+            if tag is None:
+                stream, row = queue_stream, tup.row
+            else:
+                stream = tup.row[tag]
+                row = tup.row[:tag] + tup.row[tag + 1 :]
+            s = (
+                model.probability(stream, tup.timestamp)
+                if model is not None
+                else 0.0
+            )
+            if protection.protects(stream, row):
+                s += self.protect_bonus
+            if counts is not None and window is not None:
+                occ = counts.get(window.primary_window(tup.timestamp), 0)
+                s += 0.01 / (1.0 + occ)
+            return s
+
+        best_idx = 0
+        best = score(buffer[0]) if buffer else float("inf")
+        for i in range(1, len(buffer)):
+            s = score(buffer[i])
+            if s < best:
+                best, best_idx = s, i
+        if score(incoming) < best:
+            return DROP_INCOMING
+        return best_idx

@@ -1,0 +1,76 @@
+"""eSPICE-style learned event utilities for pattern-aware shedding.
+
+eSPICE (Slo et al., Middleware 2019 — see PAPERS.md) learns, per event
+type and per *position inside the pattern window*, the probability that an
+event contributes to a completed match, and sheds the low-utility events
+first.  This module keeps that idea in its simplest honest form: a
+per-stream histogram over the event's phase within the WITHIN bound.  Every
+event consumed by the engine lands in a ``seen`` bucket; when a match
+completes, each contributing event also lands in a ``credited`` bucket.
+The utility of a prospective victim is then the smoothed empirical
+contribution probability of its (stream, phase) cell.
+
+The model is deliberately tiny and deterministic — plain counters, Laplace
+smoothing, no decay — because the drop-policy contract requires identical
+decisions for identical histories.
+"""
+
+from __future__ import annotations
+
+
+class UtilityModel:
+    """Per-(stream, window-phase) match-contribution probabilities."""
+
+    def __init__(self, within: float, *, bins: int = 8, smoothing: float = 1.0) -> None:
+        if within <= 0:
+            raise ValueError(f"within must be positive, got {within}")
+        if bins < 1:
+            raise ValueError(f"bins must be >= 1, got {bins}")
+        self.within = within
+        self.bins = bins
+        self.smoothing = smoothing
+        self._seen: dict[str, list[int]] = {}
+        self._credited: dict[str, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    def _bin(self, timestamp: float) -> int:
+        phase = (timestamp % self.within) / self.within
+        idx = int(phase * self.bins)
+        return self.bins - 1 if idx >= self.bins else idx
+
+    def _row(self, table: dict[str, list[int]], stream: str) -> list[int]:
+        row = table.get(stream)
+        if row is None:
+            row = table[stream] = [0] * self.bins
+        return row
+
+    # ------------------------------------------------------------------
+    def observe(self, stream: str, timestamp: float) -> None:
+        """An event of ``stream`` was consumed by the engine."""
+        self._row(self._seen, stream)[self._bin(timestamp)] += 1
+
+    def credit(self, stream: str, timestamp: float) -> None:
+        """An event of ``stream`` contributed to a completed match."""
+        self._row(self._credited, stream)[self._bin(timestamp)] += 1
+
+    def probability(self, stream: str, timestamp: float) -> float:
+        """Smoothed P(contributes to a match | stream, window phase)."""
+        b = self._bin(timestamp)
+        seen = self._seen.get(stream)
+        credited = self._credited.get(stream)
+        s = seen[b] if seen else 0
+        c = credited[b] if credited else 0
+        a = self.smoothing
+        return (c + a) / (s + 2.0 * a)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, list[float]]:
+        """Current probability table, one list of bin values per stream."""
+        out: dict[str, list[float]] = {}
+        a = self.smoothing
+        for stream, seen in self._seen.items():
+            credited = self._credited.get(stream, [0] * self.bins)
+            out[stream] = [
+                (credited[b] + a) / (seen[b] + 2.0 * a) for b in range(self.bins)
+            ]
+        return out

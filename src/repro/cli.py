@@ -39,6 +39,7 @@ from repro.experiments import (
     paper_catalog,
     slow_synopsis_factory,
 )
+from repro.core.policies import POLICY_CHOICES
 from repro.rewrite import SPJPlan, explain_rewrite, rewrite_to_sql
 from repro.sql import Binder, parse_statement
 
@@ -116,6 +117,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write a Prometheus snapshot of the per-shard gauges from "
         "a small sharded ingest/close cycle",
+    )
+    bench.add_argument(
+        "--drop-policy",
+        choices=POLICY_CHOICES,
+        default=None,
+        help="override the drop policy the queue-centric suites use "
+        "(default: each suite's own; cep_pattern always scores "
+        "pattern-utility against random)",
     )
 
     trace = sub.add_parser(
@@ -243,6 +252,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a server-side trace and write it (JSONL) on shutdown; "
         "merge with a client export via `repro trace --merge`",
     )
+    serve.add_argument(
+        "--drop-policy",
+        choices=POLICY_CHOICES,
+        default="random",
+        help="triage-queue victim selection (default: random; "
+        "pattern-utility needs --pattern to see engine state)",
+    )
+    serve.add_argument(
+        "--pattern",
+        default=None,
+        metavar="SQL",
+        help="also host a PATTERN SEQ(...) query over the served streams "
+        "(serial plane only; cep_* metrics appear in STATS)",
+    )
 
     top = sub.add_parser(
         "top", help="live ANSI dashboard over a running triage service"
@@ -344,7 +367,9 @@ def cmd_bench(args, out) -> int:
         write_results,
     )
 
-    doc = run_bench_suites(quick=args.quick, suites=args.suites)
+    doc = run_bench_suites(
+        quick=args.quick, suites=args.suites, drop_policy=args.drop_policy
+    )
     path = write_results(doc, args.out)
     out.write(render_text(doc) + "\n")
     out.write(f"results written to {path}\n")
@@ -463,6 +488,7 @@ def cmd_top(args, out) -> int:
 
 
 def cmd_serve(args, out) -> int:
+    from repro.core.policies import make_policy
     from repro.core.strategies import PipelineConfig
     from repro.engine.window import WindowSpec
     from repro.experiments import PAPER_QUERY
@@ -474,6 +500,7 @@ def cmd_serve(args, out) -> int:
         service_time=1.0 / args.engine_capacity,
         adaptive_staleness=args.adaptive,
         compute_ideal=False,
+        policy=make_policy(args.drop_policy),
     )
     service = ServiceConfig(
         host=args.host,
@@ -492,6 +519,8 @@ def cmd_serve(args, out) -> int:
     server = TriageServer(
         paper_catalog(), args.query or PAPER_QUERY, config, service, obs=obs
     )
+    if args.pattern:
+        server.attach_pattern(args.pattern)
 
     async def run() -> None:
         await server.start()
@@ -501,6 +530,11 @@ def cmd_serve(args, out) -> int:
             f"(window {args.window:g}s, queue {args.queue_capacity}, "
             f"engine {args.engine_capacity:g} tuples/s{shard_note})\n"
         )
+        if args.pattern:
+            out.write(
+                f"pattern query attached: {args.pattern} "
+                f"(policy {args.drop_policy})\n"
+            )
         try:
             if args.duration is not None:
                 await asyncio.sleep(args.duration)

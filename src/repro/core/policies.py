@@ -18,11 +18,15 @@ from __future__ import annotations
 import abc
 import random
 from collections import Counter
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.engine.types import StreamTuple
 from repro.synopses.base import Synopsis
+
+if TYPE_CHECKING:
+    from repro.engine.window import WindowSpec
 
 #: Sentinel return: shed the incoming tuple, leave the buffer untouched.
 DROP_INCOMING = -1
@@ -34,16 +38,31 @@ class PolicyContext:
 
     ``synopsis`` is the queue's current dropped-tuple synopsis for the
     active window (may be ``None`` early in a window); ``dim_positions``
-    maps synopsis dimensions to row positions.
+    maps synopsis dimensions to row positions.  ``queue_name`` identifies
+    the offering queue (the source stream, for per-stream queues).
+    ``window_counts`` maps a primary-window id to the number of currently
+    *buffered* tuples in that window — maintained incrementally by the
+    queue (never by rescanning the buffer), but only for policies that set
+    :attr:`DropPolicy.wants_window_counts`; otherwise it is ``None`` and
+    costs nothing.  ``window`` is the queue's window spec, needed to map a
+    candidate tuple's timestamp onto those counts.
     """
 
     rng: random.Random
     synopsis: Synopsis | None = None
     dim_positions: tuple[int, ...] = ()
+    queue_name: str | None = None
+    window: "WindowSpec | None" = None
+    window_counts: Mapping[int, int] | None = None
 
 
 class DropPolicy(abc.ABC):
     """Chooses which tuple to shed when the triage queue is full."""
+
+    #: Set True to have the queue maintain per-window occupancy counts and
+    #: pass them via ``PolicyContext.window_counts``.  Off by default so
+    #: the existing policies pay nothing.
+    wants_window_counts: bool = False
 
     @abc.abstractmethod
     def select_victim(
@@ -154,3 +173,37 @@ POLICIES = {
     "biased": FrequencyBiasedPolicy,
     "synergistic": SynergisticPolicy,
 }
+
+#: CLI spellings accepted by :func:`make_policy` beyond the POLICIES keys.
+POLICY_ALIASES = {
+    "frequency": "biased",
+    "pattern_utility": "pattern-utility",
+}
+
+#: Names offered by ``--drop-policy`` flags.
+POLICY_CHOICES = ("random", "head", "tail", "frequency", "synergistic", "pattern-utility")
+
+
+def make_policy(name: str) -> DropPolicy:
+    """Build a drop policy from a CLI name.
+
+    Accepts the :data:`POLICIES` keys plus the aliases in
+    :data:`POLICY_ALIASES`; ``pattern-utility`` resolves to
+    :class:`repro.cep.policy.PatternUtilityPolicy` (imported lazily so the
+    core package never depends on the CEP tier).  The returned
+    pattern-utility policy has no engine bound yet — callers wire one via
+    ``bind_engine`` once the pattern is attached; until then it degrades to
+    deterministic head drop.
+    """
+    key = name.strip().lower()
+    key = POLICY_ALIASES.get(key, key)
+    if key == "pattern-utility":
+        from repro.cep.policy import PatternUtilityPolicy
+
+        return PatternUtilityPolicy()
+    try:
+        return POLICIES[key]()
+    except KeyError:
+        raise ValueError(
+            f"unknown drop policy {name!r}; choose one of {sorted(POLICIES) + ['pattern-utility']}"
+        ) from None

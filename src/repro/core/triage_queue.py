@@ -132,6 +132,13 @@ class TriageQueue:
         self._window_synopses: dict[int, Synopsis] = {}
         self._window_counts: dict[int, int] = {}
         self._window_bounds: dict[int, tuple[float, float]] = {}
+        # Buffered-tuple counts per primary window, maintained incrementally
+        # on the offer/poll paths — but only when the policy asks for them
+        # (``DropPolicy.wants_window_counts``), so the default policies pay
+        # nothing.  Decided once here: swapping in an occupancy-hungry
+        # policy after construction is not supported.
+        self._track_occupancy = bool(getattr(policy, "wants_window_counts", False))
+        self._occupancy: dict[int, int] = {}
         self.stats = QueueStats()
 
     # ------------------------------------------------------------------
@@ -154,18 +161,16 @@ class TriageQueue:
             self._notify("offer")
             if len(self._buffer) < self.capacity:
                 self._buffer.append(tup)
+                if self._track_occupancy:
+                    self._occ_add(tup)
                 self.stats.high_watermark = max(
                     self.stats.high_watermark, len(self._buffer)
                 )
                 return
             self.stats.overflows += 1
-            wid = self.window.primary_window(tup.timestamp)
-            context = PolicyContext(
-                rng=self._rng,
-                synopsis=self._window_synopses.get(wid),
-                dim_positions=self.dim_positions,
+            victim_idx = self.policy.select_victim(
+                self._buffer, tup, self._context(tup)
             )
-            victim_idx = self.policy.select_victim(self._buffer, tup, context)
             if victim_idx == DROP_INCOMING:
                 victim = tup
                 self._notify("drop_incoming")
@@ -173,6 +178,9 @@ class TriageQueue:
                 victim = self._buffer[victim_idx]
                 del self._buffer[victim_idx]
                 self._buffer.append(tup)
+                if self._track_occupancy:
+                    self._occ_remove(victim)
+                    self._occ_add(tup)
                 self._notify("evict_buffered")
             self._shed(victim)
 
@@ -199,18 +207,17 @@ class TriageQueue:
             dropped = 0
             drop_incoming = 0
             shed_bytes = 0.0
+            track = self._track_occupancy
             for tup in tuples:
                 if len(buffer) < self.capacity:
                     buffer.append(tup)
+                    if track:
+                        self._occ_add(tup)
                     continue
                 stats.overflows += 1
-                wid = self.window.primary_window(tup.timestamp)
-                context = PolicyContext(
-                    rng=self._rng,
-                    synopsis=self._window_synopses.get(wid),
-                    dim_positions=self.dim_positions,
+                victim_idx = self.policy.select_victim(
+                    buffer, tup, self._context(tup)
                 )
-                victim_idx = self.policy.select_victim(buffer, tup, context)
                 if victim_idx == DROP_INCOMING:
                     victim = tup
                     drop_incoming += 1
@@ -218,6 +225,9 @@ class TriageQueue:
                     victim = buffer[victim_idx]
                     del buffer[victim_idx]
                     buffer.append(tup)
+                    if track:
+                        self._occ_remove(victim)
+                        self._occ_add(tup)
                 dropped += 1
                 stats.dropped += 1
                 if observing:
@@ -250,7 +260,35 @@ class TriageQueue:
                 return None
             self.stats.polled += 1
             self._notify("poll")
-            return self._buffer.popleft()
+            tup = self._buffer.popleft()
+            if self._track_occupancy:
+                self._occ_remove(tup)
+            return tup
+
+    # ------------------------------------------------------------------
+    def _context(self, tup: StreamTuple) -> PolicyContext:
+        """The victim-selection context for one overflow decision."""
+        wid = self.window.primary_window(tup.timestamp)
+        return PolicyContext(
+            rng=self._rng,
+            synopsis=self._window_synopses.get(wid),
+            dim_positions=self.dim_positions,
+            queue_name=self.name,
+            window=self.window,
+            window_counts=self._occupancy if self._track_occupancy else None,
+        )
+
+    def _occ_add(self, tup: StreamTuple) -> None:
+        wid = self.window.primary_window(tup.timestamp)
+        self._occupancy[wid] = self._occupancy.get(wid, 0) + 1
+
+    def _occ_remove(self, tup: StreamTuple) -> None:
+        wid = self.window.primary_window(tup.timestamp)
+        n = self._occupancy.get(wid, 0) - 1
+        if n <= 0:
+            self._occupancy.pop(wid, None)
+        else:
+            self._occupancy[wid] = n
 
     def _notify(self, event: str, value: float = 1.0) -> None:
         if self.observer is not None:
@@ -320,4 +358,5 @@ class TriageQueue:
         with self._lock:
             out = list(self._buffer)
             self._buffer.clear()
+            self._occupancy.clear()
             return out

@@ -93,8 +93,9 @@ def _time_suite(fn, reps: int, units_per_rep: int, unit: str) -> dict:
 # ---------------------------------------------------------------------------
 # Suites
 # ---------------------------------------------------------------------------
-def bench_pipeline(quick: bool) -> dict:
+def bench_pipeline(quick: bool, drop_policy: str | None = None) -> dict:
     """Figure 9 bursty workload through ``DataTriagePipeline.run``."""
+    from repro.core.policies import make_policy
     from repro.core.strategies import ShedStrategy
     from repro.experiments import STREAM_NAMES, ExperimentParams, bursty_pipeline
 
@@ -102,6 +103,8 @@ def bench_pipeline(quick: bool) -> dict:
     pipeline, streams = bursty_pipeline(
         ShedStrategy.DATA_TRIAGE, 2000.0, params, 0
     )
+    if drop_policy is not None:
+        pipeline.config.policy = make_policy(drop_policy)
     pipeline.run(streams)  # warm the plan cache + window-id cache
     tuples = len(STREAM_NAMES) * params.tuples_per_stream
     return _time_suite(
@@ -308,6 +311,63 @@ def bench_synopsis_union(quick: bool) -> dict:
     )
 
 
+def bench_cep_pattern(quick: bool, drop_policy: str | None = None) -> dict:
+    """SEQ(A, B+, C) matching under bursty overload: throughput *and* recall.
+
+    Beyond the usual throughput block, the result carries two extra keys the
+    regression gate (``compare_results``) ignores but CI asserts on:
+    ``recall`` and ``drop_fraction``, each a ``{policy: value}`` dict for
+    ``random`` and ``pattern-utility`` (plus ``drop_policy`` if given).  The
+    merged pattern queue makes the drop *count* identical across policies
+    (see :mod:`repro.cep.pipeline`), so the recall gap is pure victim
+    selection: the state-aware policy must beat random at the same drop
+    fraction, which is the paper-lineage claim (eSPICE/pSPICE) this suite
+    guards.
+    """
+    from repro.cep import (
+        DEMO_PATTERN,
+        PatternConfig,
+        PatternPipeline,
+        bursty_pattern_workload,
+        demo_catalog,
+    )
+    from repro.core.policies import make_policy
+
+    n_events = 2_000 if quick else 6_000
+    events = bursty_pattern_workload(n_events=n_events, seed=0)
+    catalog = demo_catalog()
+
+    def run_with(policy_name: str):
+        config = PatternConfig(policy=make_policy(policy_name))
+        return PatternPipeline(catalog, DEMO_PATTERN, config).run(events)
+
+    policies = ["random", "pattern-utility"]
+    if drop_policy is not None and drop_policy not in policies:
+        policies.append(drop_policy)
+    recall: dict[str, float] = {}
+    drop_fraction: dict[str, float] = {}
+    for name in policies:
+        res = run_with(name)
+        recall[name] = round(res.recall, 4)
+        drop_fraction[name] = round(res.drop_fraction, 4)
+
+    timed = PatternPipeline(
+        catalog,
+        DEMO_PATTERN,
+        PatternConfig(policy=make_policy("pattern-utility")),
+    )
+    timed.run(events)  # warm-up
+    doc = _time_suite(
+        lambda: timed.run(events),
+        reps=3 if quick else 7,
+        units_per_rep=n_events,
+        unit="events",
+    )
+    doc["recall"] = recall
+    doc["drop_fraction"] = drop_fraction
+    return doc
+
+
 SUITES = {
     "pipeline_fig9_bursty": bench_pipeline,
     "pipeline_fig9_traced": bench_pipeline_traced,
@@ -317,16 +377,31 @@ SUITES = {
     "service_ingest": bench_service_ingest,
     "service_ingest_shards2": lambda quick: bench_service_ingest_sharded(quick, 2),
     "service_ingest_shards4": lambda quick: bench_service_ingest_sharded(quick, 4),
+    "cep_pattern": bench_cep_pattern,
 }
 
+#: Suites that accept a ``--drop-policy`` override as a second argument.
+POLICY_AWARE_SUITES = frozenset({"pipeline_fig9_bursty", "cep_pattern"})
 
-def run_bench_suites(quick: bool = False, suites: list[str] | None = None) -> dict:
+
+def run_bench_suites(
+    quick: bool = False,
+    suites: list[str] | None = None,
+    drop_policy: str | None = None,
+) -> dict:
     """Run the curated suites; return the ``repro-bench/v1`` result document."""
     names = list(SUITES) if suites is None else list(suites)
     unknown = [n for n in names if n not in SUITES]
     if unknown:
         raise ValueError(f"unknown bench suites: {unknown}; have {list(SUITES)}")
-    results = {name: SUITES[name](quick) for name in names}
+    results = {
+        name: (
+            SUITES[name](quick, drop_policy)
+            if name in POLICY_AWARE_SUITES
+            else SUITES[name](quick)
+        )
+        for name in names
+    }
     return {
         "schema": BENCH_SCHEMA,
         "git_rev": git_revision(),

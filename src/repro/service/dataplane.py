@@ -70,6 +70,12 @@ class StreamDataPlane:
         }
         self.build_kept_syn: bool = self.config.strategy.summarizes_drops
         self.queues: dict[str, TriageQueue] = {}
+        # CEP pattern hosting (attach_pattern): the engine consumes drained
+        # tuples of its streams alongside the SPJ window accounting.
+        self._pattern_args: tuple | None = None
+        self._pattern_engine = None
+        self._pattern_sources: frozenset[str] = frozenset()
+        self._pattern_matches: list[StreamTuple] = []
         self.reset()
 
     def reset(self) -> None:
@@ -93,6 +99,64 @@ class StreamDataPlane:
         self.known_windows: set[int] = set()
         self.last_closed_wid: int | None = None
         self._budget_carry = 0.0
+        if self._pattern_args is not None:
+            self._build_pattern_engine()
+
+    # ------------------------------------------------------------------
+    # CEP pattern hosting
+    # ------------------------------------------------------------------
+    def attach_pattern(
+        self,
+        pattern,
+        *,
+        max_runs: int = 1024,
+        observer=None,
+        with_utility: bool = True,
+        utility_bins: int = 8,
+    ):
+        """Host a pattern query beside the SPJ windows; returns its engine.
+
+        ``pattern`` is a :class:`~repro.sql.binder.BoundPattern` whose
+        streams must all be sources of this plane.  Drained tuples of those
+        sources are fed — in the drain's oldest-head-first order — to a
+        :class:`~repro.cep.engine.PatternEngine`; matches accumulate until
+        :meth:`take_matches`.  At most one pattern per plane; the engine is
+        rebuilt (empty) on :meth:`reset`.
+        """
+        missing = [s for s in pattern.streams if s not in self.sources]
+        if missing:
+            raise ValueError(
+                f"pattern streams {missing} are not sources of this plane "
+                f"({self.sources})"
+            )
+        self._pattern_args = (pattern, max_runs, observer, with_utility, utility_bins)
+        return self._build_pattern_engine()
+
+    def _build_pattern_engine(self):
+        from repro.cep.engine import PatternEngine
+        from repro.cep.utility import UtilityModel
+
+        pattern, max_runs, observer, with_utility, bins = self._pattern_args
+        utility = (
+            UtilityModel(pattern.within, bins=bins) if with_utility else None
+        )
+        self._pattern_engine = PatternEngine(
+            pattern, max_runs=max_runs, observer=observer, utility=utility
+        )
+        self._pattern_sources = frozenset(pattern.streams)
+        self._pattern_matches = []
+        return self._pattern_engine
+
+    @property
+    def pattern_engine(self):
+        """The hosted pattern engine, or None."""
+        return self._pattern_engine
+
+    def take_matches(self) -> list[StreamTuple]:
+        """Pop the pattern matches emitted since the last call."""
+        out = self._pattern_matches
+        self._pattern_matches = []
+        return out
 
     # ------------------------------------------------------------------
     # Ingest (the publish hot path)
@@ -224,6 +288,13 @@ class StreamDataPlane:
             if nts is not None:
                 heapq.heappush(heap, (nts, idx))
             polled += 1
+            if (
+                self._pattern_engine is not None
+                and source in self._pattern_sources
+            ):
+                self._pattern_matches.extend(
+                    self._pattern_engine.consume(source, tup)
+                )
             kept_rows = self._kept_rows[source]
             for wid in window_ids(tup.timestamp):
                 if last_closed is not None and wid <= last_closed:

@@ -58,8 +58,9 @@ from repro.service.dataplane import StreamDataPlane
 from repro.service.metrics import LATENCY_BUCKETS, MetricsRegistry
 from repro.service.protocol import ProtocolError, read_frame
 from repro.service.session import AdmissionError, Session, SessionRegistry
-from repro.sql.ast import SelectStmt
-from repro.sql.binder import BoundQuery
+from repro.sql.ast import PatternStmt, SelectStmt
+from repro.sql.binder import Binder, BoundPattern, BoundQuery
+from repro.sql.parser import parse_statement
 
 __all__ = ["ServiceConfig", "TriageServer"]
 
@@ -214,6 +215,11 @@ class TriageServer:
                 for s in self._sources
             }
 
+        #: Hosted CEP pattern query (attach_pattern), serial plane only.
+        self.pattern: BoundPattern | None = None
+        self._cep_counters: dict[str, object] = {}
+        self._g_cep_runs = None
+
         self._server: asyncio.base_events.Server | None = None
         self._ticker_task: asyncio.Task | None = None
         self._conn_tasks: set[asyncio.Task] = set()
@@ -336,6 +342,78 @@ class TriageServer:
             self._c_shed_bytes.inc(value, stream=stream)
         elif event in ("drop_incoming", "evict_buffered"):
             self._c_decisions.inc(value, stream=stream, decision=event)
+
+    # ------------------------------------------------------------------
+    # CEP pattern hosting
+    # ------------------------------------------------------------------
+    def attach_pattern(
+        self, pattern: "str | PatternStmt | BoundPattern", *, max_runs: int = 1024
+    ):
+        """Host a ``PATTERN SEQ(...)`` query beside the served aggregate.
+
+        Every tuple the engine drain consumes from a pattern stream also
+        steps the NFA (see :meth:`StreamDataPlane.attach_pattern`); matches
+        accumulate in the plane and lifecycle events feed the ``cep_*``
+        metrics.  When the configured drop policy is pattern-aware (it has
+        a ``bind_engine`` hook, like
+        :class:`~repro.cep.policy.PatternUtilityPolicy`), the live engine
+        is bound into it so victim selection sees real partial-match state.
+        Sharded planes cannot host patterns — a sequence NFA needs one
+        totally-ordered consumer — so ``shards > 1`` is an error.
+        """
+        if self.sharded:
+            raise ValueError(
+                "pattern queries need the serial data plane (one ordered "
+                "NFA consumer); run with shards=1"
+            )
+        if isinstance(pattern, str):
+            pattern = parse_statement(pattern)
+        if isinstance(pattern, PatternStmt):
+            pattern = Binder(self.pipeline.catalog).bind_pattern(pattern)
+        if not isinstance(pattern, BoundPattern):
+            raise TypeError(f"not a pattern query: {pattern!r}")
+        self._build_cep_instruments()
+        engine = self.plane.attach_pattern(
+            pattern, max_runs=max_runs, observer=self._pattern_event
+        )
+        bind = getattr(self.config.policy, "bind_engine", None)
+        if bind is not None:
+            bind(engine)
+        self.pattern = pattern
+        return engine
+
+    def _build_cep_instruments(self) -> None:
+        m = self.metrics
+        self._cep_counters = {
+            "run_start": m.counter(
+                "cep_runs_started_total", "Pattern runs (partial matches) opened"
+            ),
+            "run_extend": m.counter(
+                "cep_runs_extended_total", "Events absorbed into partial matches"
+            ),
+            "match": m.counter(
+                "cep_matches_total", "Complete pattern matches emitted"
+            ),
+            "run_expire": m.counter(
+                "cep_runs_expired_total", "Partial matches expired at WITHIN"
+            ),
+            "run_shed": m.counter(
+                "cep_runs_shed_total",
+                "Partial matches retired by the pSPICE memory bound",
+            ),
+        }
+        self._g_cep_runs = m.gauge(
+            "cep_active_runs", "Live partial matches in the pattern engine"
+        )
+
+    def _pattern_event(self, event: str, value: float) -> None:
+        counter = self._cep_counters.get(event)
+        if counter is not None:
+            counter.inc(value)
+
+    def take_matches(self):
+        """Pop pattern matches emitted since the last call (serial plane)."""
+        return self.plane.take_matches()
 
     def _controller_observer(self, stream: str):
         def observe(name: str, value: float) -> None:
@@ -799,6 +877,18 @@ class TriageServer:
                 "slo": self.slo.status(),
             }
         )
+        if self.pattern is not None and not self.sharded:
+            engine = self.plane.pattern_engine
+            stats = engine.stats
+            summary["pattern"] = {
+                "streams": list(self.pattern.streams),
+                "within": self.pattern.within,
+                "active_runs": engine.active_runs,
+                "runs_started": stats.runs_started,
+                "runs_expired": stats.runs_expired,
+                "runs_shed": stats.runs_shed,
+                "matches": stats.matches,
+            }
         return summary
 
     # ------------------------------------------------------------------
@@ -823,6 +913,11 @@ class TriageServer:
         for s, depth in self.plane.depths().items():
             self._g_depth.set(depth, stream=s)
             self._h_depth.observe(depth, stream=s)
+
+        if self._g_cep_runs is not None and not self.sharded:
+            engine = self.plane.pattern_engine
+            if engine is not None:
+                self._g_cep_runs.set(engine.active_runs)
 
         if self._controllers is not None and elapsed > 0:
             for s, controller in self._controllers.items():

@@ -46,7 +46,13 @@ from repro.engine.types import Column, Schema, StreamTuple, parse_type_name
 from repro.rewrite import SPJPlan, explain_rewrite, rewrite_to_sql
 from repro.sources.generators import GaussianValues, RowGenerator, ZipfValues
 from repro.sources.trace import load_trace_file, save_trace_file
-from repro.sql.ast import CreateStreamStmt, CreateViewStmt, SelectStmt, UnionAllStmt
+from repro.sql.ast import (
+    CreateStreamStmt,
+    CreateViewStmt,
+    PatternStmt,
+    SelectStmt,
+    UnionAllStmt,
+)
 from repro.sql.binder import Binder
 from repro.sql.parser import parse_statement
 
@@ -290,6 +296,8 @@ class Shell:
         if isinstance(stmt, CreateViewStmt):
             self.catalog.create_view(stmt.name, stmt.query)
             return f"view {stmt.name} created"
+        if isinstance(stmt, PatternStmt):
+            return self._run_pattern(stmt)
         assert isinstance(stmt, (SelectStmt, UnionAllStmt))
         bound = Binder(self.catalog).bind(stmt)
         if isinstance(stmt, SelectStmt) and stmt.windows:
@@ -300,6 +308,24 @@ class Shell:
         }
         result = self.executor.execute(bound, inputs)
         return self._format(result)
+
+    def _run_pattern(self, stmt: PatternStmt) -> str:
+        """Run a PATTERN query over the buffered streams (no shedding)."""
+        from repro.cep import PatternEngine, merge_streams
+
+        pattern = Binder(self.catalog).bind_pattern(stmt)
+        streams = {
+            s: self.buffers.get(s.lower(), []) for s in pattern.streams
+        }
+        matches = []
+        engine = PatternEngine(pattern, max_runs=1 << 20)
+        for stream, tup in merge_streams(streams, pattern.streams):
+            matches.extend(engine.consume(stream, tup))
+        return self._format_rows(
+            [m.row for m in matches],
+            pattern.output_schema,
+            ordered=[m.row for m in matches],
+        )
 
     def _run_windowed(self, bound, stmt: SelectStmt) -> str:
         spec = next(iter(bound.windows.values()))

@@ -24,7 +24,7 @@ def dump_trace(tuples: Iterable[StreamTuple], fp: io.TextIOBase) -> int:
     """Write tuples to an open text file; returns the number written."""
     n = 0
     for t in tuples:
-        values = ",".join(repr(v) for v in t.row)
+        values = ",".join(_dump_value(v) for v in t.row)
         fp.write(f"{t.timestamp!r}\t{values}\n")
         n += 1
     return n
@@ -34,27 +34,127 @@ def load_trace(fp: io.TextIOBase) -> list[StreamTuple]:
     """Read a trace written by :func:`dump_trace`."""
     out = []
     for lineno, line in enumerate(fp, start=1):
-        line = line.strip()
-        if not line or line.startswith("#"):
+        line = line.rstrip("\n").rstrip("\r")
+        if not line.strip() or line.lstrip().startswith("#"):
             continue
         try:
             ts_text, values_text = line.split("\t", 1)
             timestamp = float(ts_text)
-            row = tuple(_parse_value(v) for v in values_text.split(","))
+            if values_text.strip() == "":
+                row: tuple = ()
+            else:
+                row = tuple(_parse_value(v) for v in _split_values(values_text))
         except (ValueError, IndexError) as exc:
             raise TraceError(f"malformed trace line {lineno}: {line!r}") from exc
         out.append(StreamTuple(timestamp, row))
     return out
 
 
+#: Bare (unquoted) literals — NULL round-trips a None column value, which
+#: ``repr`` used to write as the *string* ``None`` that load then rejected.
+_LITERALS = {"NULL": None, "TRUE": True, "FALSE": False}
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\"}
+
+
+def _dump_value(v) -> str:
+    if v is None:
+        return "NULL"
+    if v is True:
+        return "TRUE"
+    if v is False:
+        return "FALSE"
+    if isinstance(v, (int, float)):
+        return repr(v)
+    if isinstance(v, str):
+        # SQL-style '' quote doubling plus backslash escapes for the two
+        # characters that would break the line format (tab, newline).
+        escaped = (
+            v.replace("\\", "\\\\")
+            .replace("'", "''")
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        return f"'{escaped}'"
+    raise TraceError(
+        f"unsupported trace value type {type(v).__name__}: {v!r}"
+    )
+
+
+def _split_values(text: str) -> list[str]:
+    """Split on commas, except inside quoted strings.
+
+    ``'...'`` is the current format (with ``''`` doubling and backslash
+    escapes); ``"..."`` appears in legacy traces written via ``repr`` and
+    gets plain closing-quote matching.
+    """
+    parts: list[str] = []
+    buf: list[str] = []
+    quote: str | None = None
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if quote == "'":
+            if ch == "\\" and i + 1 < n:
+                buf.append(ch)
+                buf.append(text[i + 1])
+                i += 2
+                continue
+            if ch == "'" and i + 1 < n and text[i + 1] == "'":
+                buf.append("''")
+                i += 2
+                continue
+            if ch == "'":
+                quote = None
+            buf.append(ch)
+        elif quote == '"':
+            if ch == '"':
+                quote = None
+            buf.append(ch)
+        elif ch in ("'", '"'):
+            quote = ch
+            buf.append(ch)
+        elif ch == ",":
+            parts.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+        i += 1
+    if quote is not None:
+        raise ValueError("unterminated quoted string")
+    parts.append("".join(buf))
+    return parts
+
+
+def _unescape(s: str) -> str:
+    out: list[str] = []
+    i, n = 0, len(s)
+    while i < n:
+        ch = s[i]
+        if ch == "\\" and i + 1 < n:
+            out.append(_ESCAPES.get(s[i + 1], "\\" + s[i + 1]))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
 def _parse_value(text: str):
     text = text.strip()
-    if text.startswith("'") and text.endswith("'"):
-        return text[1:-1]
+    if not text:
+        raise ValueError("empty value")
+    upper = text.upper()
+    if upper in _LITERALS:
+        return _LITERALS[upper]
+    if len(text) >= 2 and text[0] == "'" and text[-1] == "'":
+        return _unescape(text[1:-1].replace("''", "'"))
+    if len(text) >= 2 and text[0] == '"' and text[-1] == '"':
+        return text[1:-1]  # legacy traces: repr() double-quoted strings
     try:
         return int(text)
     except ValueError:
-        return float(text)
+        return float(text)  # failure propagates -> malformed line
 
 
 def save_trace_file(tuples: Iterable[StreamTuple], path: str | Path) -> int:

@@ -121,6 +121,29 @@ Query = Union[SelectStmt, UnionAllStmt]
 
 
 @dataclass(frozen=True)
+class PatternStep:
+    """One step of a PATTERN SEQ list: ``B+ b`` → stream B, Kleene, var b."""
+
+    stream: str
+    variable: str
+    kleene: bool = False
+
+
+@dataclass
+class PatternStmt:
+    """``PATTERN SEQ(A a, B+ b, C c) [WHERE ...] WITHIN <seconds>``.
+
+    The CEP pattern-query form (SASE-style sequence with Kleene closure and
+    a time bound).  ``within`` is the bound in seconds; the parser accepts
+    either a bare number or a TelegraphCQ interval string (``'2 seconds'``).
+    """
+
+    steps: list[PatternStep]
+    within: float
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
 class ColumnDef:
     """A column in CREATE STREAM: name plus SQL type name."""
 
@@ -140,4 +163,4 @@ class CreateViewStmt:
     query: Query
 
 
-Statement = Union[SelectStmt, UnionAllStmt, CreateStreamStmt, CreateViewStmt]
+Statement = Union[SelectStmt, UnionAllStmt, CreateStreamStmt, CreateViewStmt, PatternStmt]

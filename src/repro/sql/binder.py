@@ -22,9 +22,10 @@ from repro.engine.expressions import (
     is_equijoin_conjunct,
 )
 from repro.engine.operators import AggregateSpec
-from repro.engine.types import Schema
+from repro.engine.types import Column, ColumnType, Schema
 from repro.engine.window import WindowSpec, parse_window_clause
 from repro.sql.ast import (
+    PatternStmt,
     Query,
     SelectStmt,
     Star,
@@ -110,6 +111,53 @@ class BoundUnion:
     queries: list["BoundQuery | BoundUnion"]
 
 
+@dataclass(frozen=True)
+class BoundPatternStep:
+    """One resolved SEQ step.
+
+    ``predicates`` are the WHERE conjuncts evaluated when *this* step
+    consumes an event (every conjunct is attached to the latest step it
+    references, so it can be checked as early as possible).  All ColumnRefs
+    inside them are rewritten to qualified ``variable.column`` form, which
+    is exactly how the pattern environment schema names its slots.
+    ``env_offset`` is where this step's columns start in the environment row.
+    """
+
+    variable: str
+    stream_name: str
+    schema: Schema
+    kleene: bool
+    predicates: tuple[Expression, ...]
+    env_offset: int
+
+
+@dataclass
+class BoundPattern:
+    """A fully-resolved PATTERN statement, ready for the CEP engine.
+
+    ``env_schema`` is the concatenation of every step's columns under
+    qualified names (``a.k``, ``b.k``, ...); a partial match is a row of
+    that schema with not-yet-bound slots NULL.  ``output_schema`` describes
+    emitted match tuples: ``match_start``, ``match_end``, then per step the
+    bound columns (Kleene steps contribute a ``<var>_count`` plus the last
+    absorbed event's columns).
+    """
+
+    steps: list[BoundPatternStep]
+    within: float
+    env_schema: Schema
+    output_schema: Schema
+
+    @property
+    def streams(self) -> tuple[str, ...]:
+        """Distinct stream names in first-reference order."""
+        out: list[str] = []
+        for s in self.steps:
+            if s.stream_name not in out:
+                out.append(s.stream_name)
+        return tuple(out)
+
+
 AGGREGATE_FUNCTIONS = frozenset(AggregateSpec.SUPPORTED)
 
 
@@ -125,7 +173,126 @@ class Binder:
             return BoundUnion([self.bind(q) for q in query.queries])
         if isinstance(query, SelectStmt):
             return self._bind_select(query)
+        if isinstance(query, PatternStmt):
+            return self.bind_pattern(query)
         raise BindError(f"cannot bind {type(query).__name__}")
+
+    # ------------------------------------------------------------------
+    def bind_pattern(self, stmt: PatternStmt) -> BoundPattern:
+        """Resolve a PATTERN statement against the catalog."""
+        if not stmt.steps:
+            raise BindError("PATTERN SEQ needs at least one step")
+        if stmt.within <= 0:
+            raise BindError(f"WITHIN bound must be positive, got {stmt.within}")
+        seen_vars: set[str] = set()
+        schemas: list[Schema] = []
+        for step in stmt.steps:
+            key = step.variable.lower()
+            if key in seen_vars:
+                raise BindError(f"duplicate pattern variable {step.variable!r}")
+            seen_vars.add(key)
+            if not self.catalog.has_stream(step.stream):
+                raise BindError(f"unknown stream {step.stream!r} in PATTERN")
+            schemas.append(self.catalog.stream(step.stream).schema)
+
+        # Environment schema: every step's columns, qualified by variable.
+        env_cols: list[Column] = []
+        offsets: list[int] = []
+        for step, schema in zip(stmt.steps, schemas):
+            offsets.append(len(env_cols))
+            env_cols.extend(
+                Column(f"{step.variable}.{c.name}", c.type) for c in schema
+            )
+        env_schema = Schema(env_cols)
+
+        # Attach each WHERE conjunct to the latest step it references, with
+        # every column reference rewritten to qualified variable.column form.
+        var_index = {s.variable.lower(): i for i, s in enumerate(stmt.steps)}
+        step_preds: list[list[Expression]] = [[] for _ in stmt.steps]
+        for conj in conjuncts(stmt.where):
+            qualified = self._qualify_pattern_expr(conj, stmt.steps, schemas)
+            latest = 0
+            for ref in _column_refs(qualified):
+                latest = max(latest, var_index[ref.table.lower()])
+            step_preds[latest].append(qualified)
+
+        bound_steps = [
+            BoundPatternStep(
+                variable=step.variable,
+                stream_name=self.catalog.stream(step.stream).name,
+                schema=schema,
+                kleene=step.kleene,
+                predicates=tuple(step_preds[i]),
+                env_offset=offsets[i],
+            )
+            for i, (step, schema) in enumerate(zip(stmt.steps, schemas))
+        ]
+
+        out_cols = [
+            Column("match_start", ColumnType.TIMESTAMP),
+            Column("match_end", ColumnType.TIMESTAMP),
+        ]
+        for step, schema in zip(stmt.steps, schemas):
+            if step.kleene:
+                out_cols.append(
+                    Column(f"{step.variable}_count", ColumnType.INTEGER)
+                )
+            out_cols.extend(
+                Column(f"{step.variable}_{c.name}", c.type) for c in schema
+            )
+        return BoundPattern(
+            steps=bound_steps,
+            within=stmt.within,
+            env_schema=env_schema,
+            output_schema=Schema(out_cols),
+        )
+
+    def _qualify_pattern_expr(self, expr, steps, schemas) -> Expression:
+        """Rewrite ColumnRefs to ``variable.column`` form, checking names."""
+        from repro.engine.expressions import BinaryOp, UnaryOp
+
+        if isinstance(expr, ColumnRef):
+            var_index = {s.variable.lower(): i for i, s in enumerate(steps)}
+            if expr.table is not None:
+                idx = var_index.get(expr.table.lower())
+                if idx is None:
+                    raise BindError(
+                        f"unknown pattern variable {expr.table!r} in predicate"
+                    )
+                if expr.name not in schemas[idx]:
+                    raise BindError(
+                        f"no column {expr.name!r} in step variable "
+                        f"{steps[idx].variable!r} ({schemas[idx]!r})"
+                    )
+                return ColumnRef(expr.name, table=steps[idx].variable)
+            hits = [i for i, sch in enumerate(schemas) if expr.name in sch]
+            if not hits:
+                raise BindError(f"cannot resolve column {expr.name!r} in PATTERN")
+            if len(hits) > 1:
+                raise BindError(
+                    f"ambiguous column {expr.name!r}: qualify it with one of "
+                    f"{[steps[i].variable for i in hits]}"
+                )
+            return ColumnRef(expr.name, table=steps[hits[0]].variable)
+        if isinstance(expr, BinaryOp):
+            return BinaryOp(
+                expr.op,
+                self._qualify_pattern_expr(expr.left, steps, schemas),
+                self._qualify_pattern_expr(expr.right, steps, schemas),
+            )
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(
+                expr.op, self._qualify_pattern_expr(expr.operand, steps, schemas)
+            )
+        if isinstance(expr, FunctionCall):
+            return FunctionCall(
+                expr.name,
+                tuple(
+                    self._qualify_pattern_expr(a, steps, schemas)
+                    for a in expr.args
+                ),
+            )
+        return expr
 
     # ------------------------------------------------------------------
     def _bind_source(self, src) -> BoundSource:

@@ -30,6 +30,9 @@ KEYWORDS = {
     "NULL",
     "TRUE",
     "FALSE",
+    "PATTERN",
+    "SEQ",
+    "WITHIN",
 }
 
 # Multi-character symbols must come first so they win the scan.

@@ -3,7 +3,11 @@
 Grammar (roughly)::
 
     script      := statement (";" statement)* [";"]
-    statement   := query | create_stream | create_view
+    statement   := query | create_stream | create_view | pattern
+    pattern     := "PATTERN" "SEQ" "(" pstep ("," pstep)* ")"
+                   (["WHERE" expr] "WITHIN" bound | "WITHIN" bound ["WHERE" expr])
+    pstep       := ident ["+"] [ident]
+    bound       := NUMBER | STRING  -- seconds, or an interval like '2 seconds'
     query       := select ( "UNION" "ALL" select )*
     select      := "SELECT" ["DISTINCT"] items "FROM" sources
                    ["WHERE" expr] ["GROUP" "BY" expr ("," expr)*]
@@ -37,6 +41,8 @@ from repro.sql.ast import (
     CreateStreamStmt,
     CreateViewStmt,
     OrderItem,
+    PatternStep,
+    PatternStmt,
     Query,
     SelectItem,
     SelectStmt,
@@ -117,6 +123,8 @@ class Parser:
     def parse_statement(self) -> Statement:
         if self._cur.is_keyword("CREATE"):
             return self._parse_create()
+        if self._cur.is_keyword("PATTERN"):
+            return self._parse_pattern()
         return self.parse_query()
 
     def parse_query(self) -> Query:
@@ -149,6 +157,60 @@ class Parser:
             self._expect_keyword("AS")
             return CreateViewStmt(name, self.parse_query())
         raise ParseError("expected STREAM or VIEW after CREATE", self._cur)
+
+    def _parse_pattern(self) -> PatternStmt:
+        """``PATTERN SEQ(A a, B+ b, C c) WHERE ... WITHIN 2``.
+
+        WHERE and WITHIN are accepted in either order; WITHIN is mandatory
+        (an unbounded sequence pattern never expires its partial matches).
+        """
+        self._expect_keyword("PATTERN")
+        self._expect_keyword("SEQ")
+        self._expect_symbol("(")
+        steps = [self._parse_pattern_step()]
+        while self._accept_symbol(","):
+            steps.append(self._parse_pattern_step())
+        self._expect_symbol(")")
+        where: Expression | None = None
+        within: float | None = None
+        while True:
+            if where is None and self._accept_keyword("WHERE"):
+                where = self._parse_expr()
+                continue
+            if within is None and self._accept_keyword("WITHIN"):
+                within = self._parse_within_bound()
+                continue
+            break
+        if within is None:
+            raise ParseError("PATTERN requires a WITHIN bound", self._cur)
+        return PatternStmt(steps=steps, within=within, where=where)
+
+    def _parse_pattern_step(self) -> PatternStep:
+        stream = self._expect_ident()
+        kleene = self._accept_symbol("+")
+        variable = stream
+        if self._cur.kind == "IDENT":
+            variable = self._advance().value
+        return PatternStep(stream=stream, variable=variable, kleene=kleene)
+
+    def _parse_within_bound(self) -> float:
+        tok = self._cur
+        if tok.kind == "NUMBER":
+            self._advance()
+            value = float(tok.value)
+        elif tok.kind == "STRING":
+            from repro.engine.window import parse_window_clause
+
+            self._advance()
+            try:
+                value = parse_window_clause(tok.value).width
+            except ValueError as exc:
+                raise ParseError(f"bad WITHIN interval: {exc}", tok) from None
+        else:
+            raise ParseError("WITHIN expects a number or interval string", tok)
+        if value <= 0:
+            raise ParseError("WITHIN bound must be positive", tok)
+        return value
 
     def _parse_coldef(self) -> ColumnDef:
         name = self._expect_ident()

@@ -1,0 +1,90 @@
+"""PATTERN SEQ(...) parsing and binding."""
+
+import pytest
+
+from repro.cep import demo_catalog
+from repro.sql.ast import PatternStmt
+from repro.sql.binder import BindError, Binder, BoundPattern
+from repro.sql.parser import ParseError, parse_statement
+
+
+def bind(text: str) -> BoundPattern:
+    return Binder(demo_catalog()).bind_pattern(parse_statement(text))
+
+
+class TestParse:
+    def test_basic_shape(self):
+        stmt = parse_statement("PATTERN SEQ(A a, B+ b, C c) WITHIN 2")
+        assert isinstance(stmt, PatternStmt)
+        assert [(s.stream, s.variable, s.kleene) for s in stmt.steps] == [
+            ("A", "a", False),
+            ("B", "b", True),
+            ("C", "c", False),
+        ]
+        assert stmt.within == 2.0
+        assert stmt.where is None
+
+    def test_variable_defaults_to_stream_name(self):
+        stmt = parse_statement("PATTERN SEQ(A, B+) WITHIN 1")
+        assert [s.variable for s in stmt.steps] == ["A", "B"]
+
+    def test_within_interval_string(self):
+        stmt = parse_statement("PATTERN SEQ(A a, C c) WITHIN '500 milliseconds'")
+        assert stmt.within == pytest.approx(0.5)
+
+    def test_within_is_mandatory(self):
+        with pytest.raises(ParseError):
+            parse_statement("PATTERN SEQ(A a, C c)")
+
+    def test_where_before_or_after_within(self):
+        one = parse_statement("PATTERN SEQ(A a, C c) WHERE a.k = c.k WITHIN 2")
+        two = parse_statement("PATTERN SEQ(A a, C c) WITHIN 2 WHERE a.k = c.k")
+        assert one.where is not None and two.where is not None
+        assert one.within == two.within == 2.0
+
+    def test_nonpositive_within_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("PATTERN SEQ(A a, C c) WITHIN 0")
+
+
+class TestBind:
+    def test_output_schema(self):
+        pattern = bind(
+            "PATTERN SEQ(A a, B+ b, C c) WHERE a.k = b.k AND b.k = c.k WITHIN 2"
+        )
+        assert list(pattern.output_schema.names) == [
+            "match_start",
+            "match_end",
+            "a_k",
+            "b_count",
+            "b_k",
+            "c_k",
+        ]
+        assert pattern.within == 2.0
+        assert pattern.streams == ("A", "B", "C")
+
+    def test_env_schema_qualified(self):
+        pattern = bind("PATTERN SEQ(A a, C c) WHERE a.k = c.k WITHIN 2")
+        assert list(pattern.env_schema.names) == ["a.k", "c.k"]
+
+    def test_predicates_attach_to_latest_step(self):
+        pattern = bind(
+            "PATTERN SEQ(A a, B+ b, C c) WHERE a.k = b.k AND b.k = c.k WITHIN 2"
+        )
+        assert [len(s.predicates) for s in pattern.steps] == [0, 1, 1]
+
+    def test_unknown_stream(self):
+        with pytest.raises(BindError):
+            bind("PATTERN SEQ(A a, Z z) WITHIN 2")
+
+    def test_unknown_variable_in_where(self):
+        with pytest.raises(BindError):
+            bind("PATTERN SEQ(A a, C c) WHERE a.k = z.k WITHIN 2")
+
+    def test_unknown_column(self):
+        with pytest.raises(BindError):
+            bind("PATTERN SEQ(A a, C c) WHERE a.nope = c.k WITHIN 2")
+
+    def test_duplicate_variable(self):
+        with pytest.raises(BindError):
+            bind("PATTERN SEQ(A x, C x) WITHIN 2")

@@ -1,0 +1,103 @@
+"""PatternUtilityPolicy victim selection against live engine state."""
+
+import random
+
+from repro.cep import PatternEngine, PatternUtilityPolicy, demo_catalog
+from repro.core.policies import DROP_INCOMING, PolicyContext
+from repro.engine.types import StreamTuple
+from repro.engine.window import WindowSpec
+from repro.sql.binder import Binder
+from repro.sql.parser import parse_statement
+
+FULL = "PATTERN SEQ(A a, B+ b, C c) WHERE a.k = b.k AND b.k = c.k WITHIN 2"
+
+
+def make_engine(events=()):
+    pattern = Binder(demo_catalog()).bind_pattern(parse_statement(FULL))
+    engine = PatternEngine(pattern)
+    for stream, ts, key in events:
+        engine.consume(stream, StreamTuple(ts, (key,)))
+    return engine
+
+
+def context(**kwargs):
+    defaults = dict(rng=random.Random(0), window=WindowSpec(width=2.0))
+    defaults.update(kwargs)
+    return PolicyContext(**defaults)
+
+
+class TestSelectVictim:
+    def test_no_engine_degrades_to_head_drop(self):
+        policy = PatternUtilityPolicy()
+        buffer = [StreamTuple(0.1, (1,)), StreamTuple(0.2, (2,))]
+        assert policy.select_victim(buffer, StreamTuple(0.3, (3,)), context()) == 0
+
+    def test_protected_tuple_survives_tagged_queue(self):
+        # Engine has an open run on key 7: among tagged rows, the B that
+        # would extend it must outrank the Bs that would not.
+        engine = make_engine([("A", 0.1, 7)])
+        policy = PatternUtilityPolicy(engine, stream_tag=0)
+        buffer = [
+            StreamTuple(0.2, ("B", 7)),
+            StreamTuple(0.3, ("B", 8)),
+        ]
+        victim = policy.select_victim(
+            buffer, StreamTuple(0.4, ("B", 9)), context(queue_name="pattern")
+        )
+        assert victim == 1  # shed an unprotected B, never the k=7 one
+
+    def test_incoming_protected_evicts_buffered(self):
+        engine = make_engine([("A", 0.1, 7)])
+        policy = PatternUtilityPolicy(engine, stream_tag=0)
+        buffer = [StreamTuple(0.2, ("B", 8))]
+        victim = policy.select_victim(
+            buffer, StreamTuple(0.3, ("B", 7)), context(queue_name="pattern")
+        )
+        assert victim == 0
+
+    def test_untagged_queue_uses_queue_name_as_stream(self):
+        engine = make_engine([("A", 0.1, 7)])
+        policy = PatternUtilityPolicy(engine)
+        buffer = [StreamTuple(0.2, (8,)), StreamTuple(0.25, (7,))]
+        victim = policy.select_victim(
+            buffer, StreamTuple(0.3, (9,)), context(queue_name="B")
+        )
+        assert victim == 0
+
+    def test_deterministic_tie_breaks_lowest_index(self):
+        engine = make_engine()
+        policy = PatternUtilityPolicy(engine, stream_tag=0)
+        buffer = [StreamTuple(0.1, ("B", 1)), StreamTuple(0.2, ("B", 2))]
+        ctx = context(queue_name="pattern")
+        incoming = StreamTuple(0.3, ("B", 3))
+        picks = {policy.select_victim(buffer, incoming, ctx) for _ in range(5)}
+        assert picks == {0}
+
+    def test_drop_incoming_only_when_strictly_worse(self):
+        # All-equal scores keep the incoming tuple (evict-buffered bias).
+        engine = make_engine()
+        policy = PatternUtilityPolicy(engine, stream_tag=0)
+        buffer = [StreamTuple(0.1, ("B", 1))]
+        victim = policy.select_victim(
+            buffer, StreamTuple(0.2, ("B", 2)), context(queue_name="pattern")
+        )
+        assert victim != DROP_INCOMING
+
+    def test_occupancy_breaks_ties_toward_crowded_windows(self):
+        engine = make_engine()
+        policy = PatternUtilityPolicy(engine, stream_tag=0)
+        window = WindowSpec(width=2.0)
+        counts = {0: 5, 1: 1}  # window [0,2) crowded, [2,4) sparse
+        buffer = [
+            StreamTuple(0.5, ("B", 1)),  # crowded window -> lower bonus
+            StreamTuple(2.5, ("B", 2)),  # sparse window  -> higher bonus
+        ]
+        victim = policy.select_victim(
+            buffer,
+            StreamTuple(2.6, ("B", 3)),
+            context(queue_name="pattern", window=window, window_counts=counts),
+        )
+        assert victim == 0
+
+    def test_wants_window_counts_flag(self):
+        assert PatternUtilityPolicy.wants_window_counts is True

@@ -1,0 +1,98 @@
+"""offer_bulk must equal an offer loop even when DROP_INCOMING fires mid-batch."""
+
+import dataclasses
+
+from repro.core.policies import DROP_INCOMING, DropPolicy
+from repro.core.triage_queue import TriageQueue
+from repro.engine.types import StreamTuple
+from repro.engine.window import WindowSpec
+from repro.synopses import Dimension, SparseHistogramFactory
+
+
+class AlternatingPolicy(DropPolicy):
+    """Deterministically alternates DROP_INCOMING with head eviction.
+
+    Stateful on purpose: the decision sequence depends only on how many
+    overflows happened, so the offer loop and offer_bulk face identical
+    decision streams and any divergence in bookkeeping shows up.
+    """
+
+    def __init__(self):
+        self.calls = 0
+
+    def select_victim(self, buffer, incoming, context):
+        self.calls += 1
+        return DROP_INCOMING if self.calls % 2 else 0
+
+
+def make_queue(observer=None):
+    return TriageQueue(
+        name="R",
+        dimensions=[Dimension("R.a", 0, 100)],
+        dim_positions=[0],
+        capacity=4,
+        policy=AlternatingPolicy(),
+        synopsis_factory=SparseHistogramFactory(bucket_width=5),
+        window=WindowSpec(width=1.0),
+        summarize=True,
+        seed=7,
+        observer=observer,
+    )
+
+
+def workload():
+    # 3 windows, 30 tuples against capacity 4: plenty of mid-batch
+    # overflows, with both decision branches taken repeatedly.
+    return [StreamTuple(i * 0.1, (i % 20, i)) for i in range(30)]
+
+
+class TestOfferBulkParity:
+    def test_stats_buffer_and_observer_match_offer_loop(self):
+        observed: dict[str, dict[str, float]] = {"loop": {}, "bulk": {}}
+        dispatches: dict[str, int] = {"loop": 0, "bulk": 0}
+
+        def observer_for(tag):
+            def observe(name, event, value):
+                assert name == "R"
+                observed[tag][event] = observed[tag].get(event, 0.0) + value
+                dispatches[tag] += 1
+
+            return observe
+
+        loop_q = make_queue(observer_for("loop"))
+        bulk_q = make_queue(observer_for("bulk"))
+
+        batch = workload()
+        for tup in batch:
+            loop_q.offer(tup)
+        dropped = bulk_q.offer_bulk(batch)
+
+        assert dataclasses.asdict(loop_q.stats) == dataclasses.asdict(
+            bulk_q.stats
+        )
+        assert dropped == loop_q.stats.dropped > 0
+        # Both decision branches actually fired mid-batch.
+        assert observed["loop"]["drop_incoming"] > 0
+        assert observed["loop"]["evict_buffered"] > 0
+        # Same aggregated event totals, via fewer bulk dispatches.
+        assert observed["loop"] == observed["bulk"]
+        assert dispatches["bulk"] < dispatches["loop"]
+        assert loop_q.drain() == bulk_q.drain()
+
+    def test_window_accounting_matches_offer_loop(self):
+        loop_q = make_queue()
+        bulk_q = make_queue()
+        batch = workload()
+        for tup in batch:
+            loop_q.offer(tup)
+        bulk_q.offer_bulk(batch)
+        assert loop_q.windows_with_drops() == bulk_q.windows_with_drops()
+        for wid in loop_q.windows_with_drops():
+            loop_w = loop_q.window_synopsis(wid)
+            bulk_w = bulk_q.window_synopsis(wid)
+            assert loop_w.dropped_count == bulk_w.dropped_count
+            assert (loop_w.earliest, loop_w.latest) == (
+                bulk_w.earliest,
+                bulk_w.latest,
+            )
+            assert loop_w.synopsis._buckets == bulk_w.synopsis._buckets

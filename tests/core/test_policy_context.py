@@ -1,0 +1,122 @@
+"""PolicyContext window-occupancy counts and make_policy resolution."""
+
+import pytest
+
+from repro.core.policies import (
+    DROP_INCOMING,
+    DropPolicy,
+    FrequencyBiasedPolicy,
+    HeadDropPolicy,
+    POLICY_CHOICES,
+    RandomDropPolicy,
+    make_policy,
+)
+from repro.core.triage_queue import TriageQueue
+from repro.engine.types import StreamTuple
+from repro.engine.window import WindowSpec
+from repro.synopses import SparseHistogramFactory
+
+
+def make_queue(policy, capacity=3):
+    return TriageQueue(
+        name="R",
+        dimensions=[],
+        dim_positions=[],
+        capacity=capacity,
+        policy=policy,
+        synopsis_factory=SparseHistogramFactory(),
+        window=WindowSpec(width=1.0),
+        summarize=False,
+        seed=1,
+    )
+
+
+class RecordingPolicy(DropPolicy):
+    """Head drop that snapshots the occupancy counts it was shown."""
+
+    wants_window_counts = True
+
+    def __init__(self):
+        self.seen = []
+
+    def select_victim(self, buffer, incoming, context):
+        assert context.window is not None
+        self.seen.append(dict(context.window_counts))
+        return 0
+
+
+class TestOccupancyCounts:
+    def test_counts_track_buffered_windows(self):
+        policy = RecordingPolicy()
+        queue = make_queue(policy, capacity=3)
+        # Windows [0,1) x2 and [1,2) x1, then overflow with a [2,3) arrival.
+        for ts in (0.1, 0.5, 1.5):
+            queue.offer(StreamTuple(ts, (1,)))
+        queue.offer(StreamTuple(2.5, (2,)))
+        assert policy.seen == [{0: 2, 1: 1}]
+
+    def test_poll_and_drop_maintain_counts(self):
+        policy = RecordingPolicy()
+        queue = make_queue(policy, capacity=2)
+        queue.offer(StreamTuple(0.1, (1,)))
+        queue.offer(StreamTuple(0.2, (2,)))
+        assert queue.poll() is not None  # removes one [0,1) tuple
+        queue.offer(StreamTuple(1.1, (3,)))
+        queue.offer(StreamTuple(1.2, (4,)))  # overflow: head (0.2) evicted
+        queue.offer(StreamTuple(1.3, (5,)))  # overflow again
+        assert policy.seen[0] == {0: 1, 1: 1}
+        assert policy.seen[1] == {1: 2}
+
+    def test_offer_bulk_keeps_counts_in_step(self):
+        policy = RecordingPolicy()
+        queue = make_queue(policy, capacity=2)
+        queue.offer_bulk(
+            [StreamTuple(0.1, (1,)), StreamTuple(0.2, (2,)), StreamTuple(1.1, (3,))]
+        )
+        assert policy.seen == [{0: 2}]
+
+    def test_drain_clears_counts(self):
+        policy = RecordingPolicy()
+        queue = make_queue(policy, capacity=2)
+        queue.offer(StreamTuple(0.1, (1,)))
+        queue.drain()
+        queue.offer(StreamTuple(0.2, (2,)))
+        queue.offer(StreamTuple(0.3, (3,)))
+        queue.offer(StreamTuple(0.4, (4,)))
+        assert policy.seen == [{0: 2}]
+
+    def test_default_policies_see_none(self):
+        class Probe(DropPolicy):
+            saw = "unset"
+
+            def select_victim(self, buffer, incoming, context):
+                Probe.saw = context.window_counts
+                return DROP_INCOMING
+
+        queue = make_queue(Probe(), capacity=1)
+        queue.offer(StreamTuple(0.1, (1,)))
+        queue.offer(StreamTuple(0.2, (2,)))
+        assert Probe.saw is None
+
+    def test_existing_policies_do_not_request_counts(self):
+        assert RandomDropPolicy.wants_window_counts is False
+        assert HeadDropPolicy.wants_window_counts is False
+
+
+class TestMakePolicy:
+    def test_all_cli_choices_resolve(self):
+        for name in POLICY_CHOICES:
+            assert isinstance(make_policy(name), DropPolicy)
+
+    def test_frequency_alias(self):
+        assert isinstance(make_policy("frequency"), FrequencyBiasedPolicy)
+
+    def test_pattern_utility_spellings(self):
+        from repro.cep import PatternUtilityPolicy
+
+        assert isinstance(make_policy("pattern-utility"), PatternUtilityPolicy)
+        assert isinstance(make_policy("pattern_utility"), PatternUtilityPolicy)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown drop policy"):
+            make_policy("nope")

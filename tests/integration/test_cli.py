@@ -61,6 +61,39 @@ class TestCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nope"])
 
+    def test_drop_policy_flag_parses(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--drop-policy", "head"]
+        )
+        assert args.drop_policy == "head"
+        args = build_parser().parse_args(
+            ["serve", "--drop-policy", "pattern-utility", "--pattern",
+             "PATTERN SEQ(R a, S b) WITHIN 2"]
+        )
+        assert args.drop_policy == "pattern-utility"
+        assert args.pattern.startswith("PATTERN")
+
+    def test_drop_policy_flag_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--drop-policy", "nope"])
+
+    def test_bench_cep_pattern_suite(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        code, text = run_cli(
+            ["bench", "--quick", "--suite", "cep_pattern",
+             "--out", str(out_path)]
+        )
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        suite = doc["suites"]["cep_pattern"]
+        recall = suite["recall"]
+        assert recall["pattern-utility"] > recall["random"]
+        assert suite["drop_fraction"]["pattern-utility"] == pytest.approx(
+            suite["drop_fraction"]["random"]
+        )
+
     def test_fig8_svg_output(self, tmp_path):
         svg_path = tmp_path / "fig8.svg"
         code, text = run_cli(

@@ -126,6 +126,28 @@ class TestSql:
         out = shell.feed("SELECT COUNT(*) AS n FROM small;")
         assert "n" in out
 
+    def test_pattern_query(self, shell):
+        from repro.engine.types import StreamTuple
+
+        shell.feed("CREATE STREAM A (k INTEGER);")
+        shell.feed("CREATE STREAM B (k INTEGER);")
+        shell.feed("CREATE STREAM C (k INTEGER);")
+        shell.buffers["a"] = [StreamTuple(0.1, (7,))]
+        shell.buffers["b"] = [StreamTuple(0.2, (7,)), StreamTuple(0.3, (7,))]
+        shell.buffers["c"] = [StreamTuple(0.4, (7,))]
+        out = shell.feed(
+            "PATTERN SEQ(A a, B+ b, C c) "
+            "WHERE a.k = b.k AND b.k = c.k WITHIN 2;"
+        )
+        assert "match_start" in out and "b_count" in out
+        assert "0.1 | 0.4 | 7 | 2 | 7 | 7" in out
+
+    def test_pattern_query_no_matches(self, shell):
+        shell.feed("CREATE STREAM A (k INTEGER);")
+        shell.feed("CREATE STREAM C (k INTEGER);")
+        out = shell.feed("PATTERN SEQ(A a, C c) WITHIN 1;")
+        assert "(0 rows)" in out
+
     def test_error_reported_not_raised(self, shell):
         out = shell.feed("SELECT nope FROM R;")
         assert out.startswith("error:")

@@ -1,0 +1,72 @@
+"""TriageServer hosting a CEP pattern query: metrics, summary, refusal."""
+
+import pytest
+
+from repro.cep import DEMO_PATTERN, PatternUtilityPolicy, bursty_pattern_workload, demo_catalog
+from repro.core.strategies import PipelineConfig
+from repro.service import ServiceConfig, TriageServer
+
+QUERY = (
+    "SELECT A.k, COUNT(*) AS n FROM A, B, C "
+    "WHERE A.k = B.k AND B.k = C.k GROUP BY A.k; "
+    "WINDOW A ['2 seconds'], B ['2 seconds'], C ['2 seconds']"
+)
+
+
+def make_server(policy=None, shards=1):
+    config = PipelineConfig(compute_ideal=False)
+    if policy is not None:
+        config.policy = policy
+    service = ServiceConfig(
+        tick_interval=None, clock=lambda: 1000.0, shards=shards
+    )
+    return TriageServer(demo_catalog(), QUERY, config, service)
+
+
+class TestAttachPattern:
+    def test_matches_and_metrics_flow(self):
+        server = make_server()
+        engine = server.attach_pattern(DEMO_PATTERN)
+        for stream, tup in bursty_pattern_workload(n_events=800, seed=0):
+            server.ingest_rows(
+                stream, [list(tup.row)], [tup.timestamp], now=tup.timestamp
+            )
+        server.plane.drain(None)
+        matches = server.take_matches()
+        assert matches
+        assert engine.stats.matches == len(matches)
+        metrics = server.metrics.to_dict()
+        assert metrics["cep_matches_total"]["values"][""] == len(matches)
+        assert metrics["cep_runs_started_total"]["values"][""] > 0
+
+    def test_summary_reports_pattern_block(self):
+        server = make_server()
+        server.attach_pattern(DEMO_PATTERN)
+        summary = server._summary()
+        assert summary["pattern"]["streams"] == ["A", "B", "C"]
+        assert summary["pattern"]["within"] == 2.0
+        assert summary["pattern"]["active_runs"] == 0
+
+    def test_binds_engine_into_pattern_aware_policy(self):
+        policy = PatternUtilityPolicy()
+        server = make_server(policy=policy)
+        engine = server.attach_pattern(DEMO_PATTERN)
+        assert policy.engine is engine
+
+    def test_take_matches_pops(self):
+        server = make_server()
+        server.attach_pattern(DEMO_PATTERN)
+        assert server.take_matches() == []
+
+    def test_sharded_plane_refuses_pattern(self):
+        server = make_server(shards=2)
+        try:
+            with pytest.raises(ValueError, match="serial"):
+                server.attach_pattern(DEMO_PATTERN)
+        finally:
+            server.plane.close()
+
+    def test_rejects_non_pattern_text(self):
+        server = make_server()
+        with pytest.raises(TypeError):
+            server.attach_pattern("SELECT A.k FROM A")

@@ -1,6 +1,7 @@
 """Tests for trace record/replay."""
 
 import io
+import random
 
 import pytest
 
@@ -55,6 +56,94 @@ class TestRoundTrip:
     def test_malformed_line(self):
         with pytest.raises(TraceError, match="malformed"):
             load_trace(io.StringIO("not a trace line\n"))
+
+    def test_null_roundtrip(self):
+        buf = io.StringIO()
+        dump_trace([StreamTuple(0.1, (None, 1, None))], buf)
+        buf.seek(0)
+        assert load_trace(buf)[0].row == (None, 1, None)
+
+    def test_bool_roundtrip(self):
+        buf = io.StringIO()
+        dump_trace([StreamTuple(0.1, (True, False))], buf)
+        buf.seek(0)
+        assert load_trace(buf)[0].row == (True, False)
+
+    def test_empty_stream_roundtrip(self):
+        buf = io.StringIO()
+        assert dump_trace([], buf) == 0
+        buf.seek(0)
+        assert load_trace(buf) == []
+
+    def test_empty_row_roundtrip(self):
+        buf = io.StringIO()
+        dump_trace([StreamTuple(0.1, ())], buf)
+        buf.seek(0)
+        assert load_trace(buf)[0].row == ()
+
+    def test_awkward_strings_roundtrip(self):
+        rows = [
+            ("",),
+            ("it's",),
+            ("a,b",),
+            ("line\nbreak", "tab\there"),
+            ("quote'comma',mix",),
+            ("back\\slash", "NULL"),  # the *string* NULL stays a string
+        ]
+        for row in rows:
+            buf = io.StringIO()
+            dump_trace([StreamTuple(0.1, row)], buf)
+            buf.seek(0)
+            assert load_trace(buf)[0].row == row
+
+    def test_legacy_double_quoted_string(self):
+        # Old traces wrote strings via repr(); one with an apostrophe came
+        # out double-quoted.  Loading must keep accepting that spelling.
+        out = load_trace(io.StringIO('0.5\t"it\'s",7\n'))
+        assert out[0].row == ("it's", 7)
+
+    def test_unterminated_quote_is_malformed(self):
+        with pytest.raises(TraceError, match="malformed"):
+            load_trace(io.StringIO("1.0\t'unterminated\n"))
+
+    def test_bare_garbage_is_malformed(self):
+        with pytest.raises(TraceError, match="malformed"):
+            load_trace(io.StringIO("1.0\tnot_a_literal\n"))
+
+    def test_unsupported_value_type(self):
+        with pytest.raises(TraceError, match="unsupported"):
+            dump_trace([StreamTuple(0.1, ((1, 2),))], io.StringIO())
+
+    def test_fuzz_roundtrip(self):
+        rng = random.Random(1234)
+        charset = "ab',\"\\\n\t\r xyzNULL0"
+
+        def value():
+            kind = rng.randrange(6)
+            if kind == 0:
+                return None
+            if kind == 1:
+                return rng.choice([True, False])
+            if kind == 2:
+                return rng.randint(-10**9, 10**9)
+            if kind == 3:
+                return rng.random() * 1e6 - 5e5
+            return "".join(
+                rng.choice(charset) for _ in range(rng.randrange(10))
+            )
+
+        for _ in range(200):
+            tuples = [
+                StreamTuple(
+                    rng.random() * 100,
+                    tuple(value() for _ in range(rng.randrange(5))),
+                )
+                for _ in range(rng.randrange(6))
+            ]
+            buf = io.StringIO()
+            dump_trace(tuples, buf)
+            buf.seek(0)
+            assert load_trace(buf) == tuples
 
 
 class TestRescale:
