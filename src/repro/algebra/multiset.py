@@ -36,16 +36,14 @@ class Multiset:
     __slots__ = ("_counts", "_total")
 
     def __init__(self, rows: Iterable[Row] = ()) -> None:
-        counts: Counter[Row] = Counter()
-        total = 0
-        for row in rows:
-            counts[row] += 1
-            total += 1
+        # Counter(iterable) counts in C; insertion order (first occurrence)
+        # matches the incremental loop it replaces.
+        counts: Counter[Row] = Counter(rows)
         self._counts = counts
         # Cardinality is maintained incrementally: __len__ runs once per
         # source per window in evaluate_windows, so summing the Counter
         # there is a hot-path cost.
-        self._total = total
+        self._total = sum(counts.values())
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -160,6 +158,23 @@ class Multiset:
         for row, n in self._counts.items():
             for _ in range(n):
                 yield row
+
+    def rows_list(self) -> list[Row]:
+        """All rows with multiplicity as one list, same order as ``__iter__``.
+
+        The batch-execution path reads whole inputs at once; building the
+        list here (extend for the duplicated rows) avoids the per-copy
+        generator resumption of ``list(self)``.
+        """
+        out: list[Row] = []
+        append = out.append
+        extend = out.extend
+        for row, n in self._counts.items():
+            if n == 1:
+                append(row)
+            else:
+                extend([row] * n)
+        return out
 
     def items(self) -> Iterator[tuple[Row, int]]:
         """Iterate ``(row, multiplicity)`` pairs (no copy)."""

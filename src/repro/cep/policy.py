@@ -37,6 +37,10 @@ class PatternUtilityPolicy(DropPolicy):
     #: PolicyContext extension; existing policies leave this False).
     wants_window_counts = True
 
+    #: Victim scoring reads engine state and window occupancy, never the
+    #: dropped-tuple synopsis — the queue may defer synopsis inserts.
+    reads_synopsis = False
+
     def __init__(
         self,
         engine=None,

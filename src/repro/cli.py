@@ -360,6 +360,7 @@ def cmd_bench(args, out) -> int:
     import json
 
     from repro.perf.bench import (
+        baseline_mismatch,
         compare_results,
         render_text,
         run_bench_suites,
@@ -378,8 +379,28 @@ def cmd_bench(args, out) -> int:
             fp.write(shard_metrics_snapshot())
         out.write(f"per-shard metrics snapshot -> {args.metrics_out}\n")
     if args.compare:
-        with open(args.compare, "r", encoding="utf-8") as fp:
-            baseline = json.load(fp)
+        # A baseline problem must be one clean line + nonzero exit, never a
+        # traceback (CI logs) or a silently vacuous gate.
+        try:
+            with open(args.compare, "r", encoding="utf-8") as fp:
+                baseline = json.load(fp)
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            out.write(
+                f"bench compare error: cannot read baseline "
+                f"{args.compare}: {reason}\n"
+            )
+            return 2
+        except json.JSONDecodeError as exc:
+            out.write(
+                f"bench compare error: baseline {args.compare} is not "
+                f"valid JSON: {exc}\n"
+            )
+            return 2
+        problem = baseline_mismatch(doc, baseline)
+        if problem is not None:
+            out.write(f"bench compare error: {problem}\n")
+            return 2
         violations = compare_results(doc, baseline, args.max_regression)
         if violations:
             out.write("bench regression gate FAILED:\n")

@@ -64,6 +64,13 @@ class DropPolicy(abc.ABC):
     #: the existing policies pay nothing.
     wants_window_counts: bool = False
 
+    #: Does this policy read ``PolicyContext.synopsis`` when choosing a
+    #: victim?  When False the queue may defer shed-tuple synopsis inserts
+    #: to the end of a batch (grouped per window, insert order preserved)
+    #: without the policy being able to observe the difference.  Defaults
+    #: True — unknown subclasses get the conservative per-victim behaviour.
+    reads_synopsis: bool = True
+
     @abc.abstractmethod
     def select_victim(
         self,
@@ -85,6 +92,8 @@ class RandomDropPolicy(DropPolicy):
     overflow time has equal survival probability.
     """
 
+    reads_synopsis = False
+
     def select_victim(self, buffer, incoming, context) -> int:
         i = context.rng.randrange(len(buffer) + 1)
         return DROP_INCOMING if i == len(buffer) else i
@@ -93,12 +102,16 @@ class RandomDropPolicy(DropPolicy):
 class TailDropPolicy(DropPolicy):
     """Classic tail drop: shed the arriving tuple (favours old data)."""
 
+    reads_synopsis = False
+
     def select_victim(self, buffer, incoming, context) -> int:
         return DROP_INCOMING
 
 
 class HeadDropPolicy(DropPolicy):
     """Head drop: shed the oldest queued tuple (favours fresh data)."""
+
+    reads_synopsis = False
 
     def select_victim(self, buffer, incoming, context) -> int:
         return 0
@@ -115,6 +128,8 @@ class FrequencyBiasedPolicy(DropPolicy):
 
     ``key_position`` selects which row field defines a tuple's key.
     """
+
+    reads_synopsis = False
 
     def __init__(self, key_position: int = 0) -> None:
         self.key_position = key_position

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.policies import DROP_INCOMING, DropPolicy, PolicyContext
+from repro.engine.columns import ColumnBatch
 from repro.engine.types import StreamTuple
 from repro.engine.window import WindowSpec
 from repro.obs.metrics import record_hook_error
@@ -139,6 +140,20 @@ class TriageQueue:
         # policy after construction is not supported.
         self._track_occupancy = bool(getattr(policy, "wants_window_counts", False))
         self._occupancy: dict[int, int] = {}
+        # One reusable context per queue: every field but ``synopsis`` is
+        # fixed for the queue's lifetime (``window_counts`` aliases the
+        # occupancy dict, which is mutated in place, never replaced), so
+        # the overflow path stops paying a dataclass construction per
+        # victim decision.  Policies must not retain the context across
+        # calls — none do; it is a per-decision view by contract.
+        self._policy_context = PolicyContext(
+            rng=self._rng,
+            synopsis=None,
+            dim_positions=self.dim_positions,
+            queue_name=name,
+            window=window,
+            window_counts=self._occupancy if self._track_occupancy else None,
+        )
         self.stats = QueueStats()
 
     # ------------------------------------------------------------------
@@ -184,55 +199,146 @@ class TriageQueue:
                 self._notify("evict_buffered")
             self._shed(victim)
 
-    def offer_bulk(self, tuples) -> int:
+    def offer_bulk(self, batch) -> int:
         """Offer a whole batch under one lock acquisition; returns drops.
+
+        ``batch`` is either a sequence of :class:`StreamTuple` or a
+        :class:`~repro.engine.columns.ColumnBatch`; column batches are
+        consumed natively — the only per-row Python objects materialized
+        are the StreamTuples the buffer actually stores.
 
         Semantically identical to calling :meth:`offer` once per tuple —
         the same drop decisions (same RNG draw sequence), the same synopsis
-        contents, the same :class:`QueueStats` totals — but observer events
-        are emitted once per *event type* with aggregated values instead of
-        once per tuple.  On the network publish path that aggregation is
-        most of the win: a shed-heavy 500-row batch otherwise costs ~2000
-        observer dispatches (offer + drop + shed_bytes + summarize per
-        victim) before a single tuple reaches the engine.
+        contents, the same :class:`QueueStats` totals — but the batch shape
+        is exploited three ways:
+
+        * **free-prefix admit** — ``offer()`` never consults the policy
+          while free space remains, so everything that fits goes in with
+          one ``extend`` and zero RNG draws or per-tuple dispatch;
+        * **grouped synopsis flush** — once the buffer is full every
+          remaining tuple sheds exactly one victim; for policies that never
+          read ``PolicyContext.synopsis`` (``reads_synopsis=False``) the
+          per-victim synopsis inserts are deferred and flushed once per
+          window via :meth:`Synopsis.insert_bulk`, preserving per-window
+          insert order (reservoir samples are order/RNG-sensitive);
+        * **aggregated observer events** — emitted once per *event type*
+          with summed values instead of once per tuple, and skipped
+          entirely (no byte-size accounting either) when no observer is
+          registered.  On the network publish path that aggregation is
+          most of the win: a shed-heavy 500-row batch otherwise costs
+          ~2000 observer dispatches before a single tuple reaches the
+          engine.
         """
-        n = len(tuples)
+        n = len(batch)
         if n == 0:
             return 0
+        columnar = isinstance(batch, ColumnBatch)
+        if not columnar and not isinstance(batch, (list, tuple)):
+            batch = list(batch)
         with self._lock:
             stats = self.stats
             stats.offered += n
             buffer = self._buffer
             observing = self.observer is not None
+            track = self._track_occupancy
             dropped = 0
             drop_incoming = 0
             shed_bytes = 0.0
-            track = self._track_occupancy
-            for tup in tuples:
-                if len(buffer) < self.capacity:
-                    buffer.append(tup)
-                    if track:
-                        self._occ_add(tup)
-                    continue
-                stats.overflows += 1
-                victim_idx = self.policy.select_victim(
-                    buffer, tup, self._context(tup)
-                )
-                if victim_idx == DROP_INCOMING:
-                    victim = tup
-                    drop_incoming += 1
+            free = self.capacity - len(buffer)
+            k = n if free >= n else (free if free > 0 else 0)
+            if k:
+                if columnar:
+                    admit = batch.stream_tuples(0, k)
                 else:
-                    victim = buffer[victim_idx]
-                    del buffer[victim_idx]
-                    buffer.append(tup)
-                    if track:
-                        self._occ_remove(victim)
-                        self._occ_add(tup)
-                dropped += 1
-                stats.dropped += 1
-                if observing:
-                    shed_bytes += float(sys.getsizeof(victim.row))
-                self._shed_record(victim)
+                    admit = batch if k == n else batch[:k]
+                buffer.extend(admit)
+                if track:
+                    occ = self._occupancy
+                    pw = self.window.primary_window
+                    for tup in admit:
+                        wid = pw(tup.timestamp)
+                        occ[wid] = occ.get(wid, 0) + 1
+            if k < n:
+                # The buffer is full for this entire tail: every arrival
+                # overflows and sheds exactly one victim.
+                tail = batch.stream_tuples(k) if columnar else (
+                    batch[k:] if k else batch
+                )
+                stats.overflows += n - k
+                window = self.window
+                ids = window.ids
+                primary = window.primary_window
+                policy = self.policy
+                select = policy.select_victim
+                needs_syn = policy.reads_synopsis
+                ctx = self._policy_context
+                if not needs_syn:
+                    ctx.synopsis = None
+                synopses = self._window_synopses
+                syn_get = synopses.get
+                counts = self._window_counts
+                counts_get = counts.get
+                bounds = self._window_bounds
+                bounds_get = bounds.get
+                summarize = self.summarize
+                dpos = self.dim_positions
+                pending: dict[int, list] | None = (
+                    {} if summarize and not needs_syn else None
+                )
+                for tup in tail:
+                    if needs_syn:
+                        ctx.synopsis = syn_get(primary(tup.timestamp))
+                    victim_idx = select(buffer, tup, ctx)
+                    if victim_idx == DROP_INCOMING:
+                        victim = tup
+                        drop_incoming += 1
+                    else:
+                        victim = buffer[victim_idx]
+                        del buffer[victim_idx]
+                        buffer.append(tup)
+                        if track:
+                            self._occ_remove(victim)
+                            self._occ_add(tup)
+                    dropped += 1
+                    if observing:
+                        shed_bytes += float(sys.getsizeof(victim.row))
+                    # Inlined _shed_record: a victim is charged to every
+                    # window containing it (one for tumbling specs).
+                    vts = victim.timestamp
+                    vrow = victim.row
+                    for wid in ids(vts):
+                        counts[wid] = counts_get(wid, 0) + 1
+                        b = bounds_get(wid)
+                        if b is None:
+                            bounds[wid] = (vts, vts)
+                        elif vts < b[0]:
+                            bounds[wid] = (vts, b[1])
+                        elif vts > b[1]:
+                            bounds[wid] = (b[0], vts)
+                        if pending is not None:
+                            rows = pending.get(wid)
+                            if rows is None:
+                                rows = pending[wid] = []
+                            rows.append(vrow)
+                        elif summarize:
+                            syn = syn_get(wid)
+                            if syn is None:
+                                syn = synopses[wid] = (
+                                    self.synopsis_factory.create(self.dimensions)
+                                )
+                            syn.insert([vrow[p] for p in dpos])
+                stats.dropped += dropped
+                if pending:
+                    # Flush in first-victim order: synopsis *creation*
+                    # order matches the eager path (factories may vary
+                    # seeds per create), and per-window insert order is
+                    # the victim order.
+                    factory = self.synopsis_factory
+                    for wid, rows in pending.items():
+                        syn = syn_get(wid)
+                        if syn is None:
+                            syn = synopses[wid] = factory.create(self.dimensions)
+                        syn.insert_bulk(rows, dpos)
             # ``high_watermark >= len(buffer)`` holds at every quiescent
             # point (only offers grow the buffer, and they maintain it), so
             # one max at the end equals the per-append updates of offer().
@@ -267,16 +373,19 @@ class TriageQueue:
 
     # ------------------------------------------------------------------
     def _context(self, tup: StreamTuple) -> PolicyContext:
-        """The victim-selection context for one overflow decision."""
-        wid = self.window.primary_window(tup.timestamp)
-        return PolicyContext(
-            rng=self._rng,
-            synopsis=self._window_synopses.get(wid),
-            dim_positions=self.dim_positions,
-            queue_name=self.name,
-            window=self.window,
-            window_counts=self._occupancy if self._track_occupancy else None,
-        )
+        """The victim-selection context for one overflow decision.
+
+        Returns the queue's shared context with ``synopsis`` refreshed for
+        the incoming tuple's primary window (skipped when the policy
+        declares it never reads it).
+        """
+        ctx = self._policy_context
+        if self.policy.reads_synopsis:
+            wid = self.window.primary_window(tup.timestamp)
+            ctx.synopsis = self._window_synopses.get(wid)
+        else:
+            ctx.synopsis = None
+        return ctx
 
     def _occ_add(self, tup: StreamTuple) -> None:
         wid = self.window.primary_window(tup.timestamp)

@@ -1,0 +1,167 @@
+"""Column-major stream batches: the interior representation of ingest.
+
+PR 5 introduced the ``cols`` PUBLISH framing but pivoted to row tuples at
+the server door, so every layer behind the socket still paid per-tuple
+Python dispatch.  :class:`ColumnBatch` is the representation that lets the
+whole ingest interior — validation, window accounting, triage offer,
+shard RPC — touch Python objects *once per column* instead of once per
+field:
+
+* **parallel value lists** — one list per schema column, equal lengths;
+* **timestamps** — either one list parallel to the rows or a single float
+  shared by the whole batch (the ``timestamps=None`` publish case);
+* **zero-copy slicing** — :meth:`slice` returns a view sharing the column
+  lists (an offset/length window, no value copies), which is how the
+  triage queue splits a batch into its admitted prefix and overflow tail;
+* **row views for compatibility** — :meth:`row`, :meth:`tuple_at`, and
+  :meth:`stream_tuples` materialize row tuples / :class:`StreamTuple`s
+  only where a consumer genuinely needs them, via C-speed ``zip`` pivots
+  rather than per-field Python loops.
+
+A batch never validates itself: callers validate column-wise through
+:meth:`Schema.validate_columns` *before* construction (the wire path) or
+trust the producer (the internal paths), mirroring how row batches flow.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from itertools import repeat
+from typing import Any
+
+from repro.engine.types import Schema, StreamTuple
+
+__all__ = ["ColumnBatch"]
+
+
+class ColumnBatch:
+    """A column-major batch of stream tuples with arrival timestamps."""
+
+    __slots__ = ("schema", "columns", "timestamps", "start", "stop")
+
+    def __init__(
+        self,
+        columns: Sequence[Sequence[Any]],
+        timestamps: Sequence[float] | float,
+        schema: Schema | None = None,
+        *,
+        start: int = 0,
+        stop: int | None = None,
+    ) -> None:
+        """``columns`` are parallel per-column value sequences; ``timestamps``
+        is either a parallel sequence or one shared arrival time.  ``start``
+        / ``stop`` bound a view onto the shared sequences (used by
+        :meth:`slice`; plain construction covers everything).
+        """
+        self.columns = tuple(columns)
+        self.timestamps = timestamps
+        self.schema = schema
+        self.start = start
+        if stop is None:
+            stop = len(self.columns[0]) if self.columns else 0
+        self.stop = stop
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Sequence[Any]],
+        timestamps: Sequence[float] | float,
+        schema: Schema | None = None,
+    ) -> "ColumnBatch":
+        """Pivot a row-major batch once (C-speed ``zip``) into columns."""
+        return cls(tuple(zip(*rows)) if rows else (), timestamps, schema)
+
+    @classmethod
+    def from_stream_tuples(
+        cls, tuples: Sequence[StreamTuple], schema: Schema | None = None
+    ) -> "ColumnBatch":
+        if not tuples:
+            return cls((), [], schema)
+        stamps = [t.timestamp for t in tuples]
+        return cls(tuple(zip(*[t.row for t in tuples])), stamps, schema)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def shared_timestamp(self) -> bool:
+        """True when every row carries the same arrival time."""
+        return not isinstance(self.timestamps, (list, tuple))
+
+    def timestamp_at(self, i: int) -> float:
+        ts = self.timestamps
+        return ts if self.shared_timestamp else ts[self.start + i]
+
+    def row(self, i: int) -> tuple:
+        """Materialize one row view (a plain tuple, engine row shape)."""
+        j = self.start + i
+        return tuple(col[j] for col in self.columns)
+
+    def tuple_at(self, i: int) -> StreamTuple:
+        return StreamTuple(self.timestamp_at(i), self.row(i))
+
+    # ------------------------------------------------------------------
+    def slice(self, lo: int, hi: int | None = None) -> "ColumnBatch":
+        """A zero-copy view of rows ``[lo, hi)`` (shares the column lists)."""
+        n = len(self)
+        hi = n if hi is None else min(hi, n)
+        return ColumnBatch(
+            self.columns,
+            self.timestamps,
+            self.schema,
+            start=self.start + lo,
+            stop=self.start + hi,
+        )
+
+    def select(self, indices: Sequence[int]) -> "ColumnBatch":
+        """A materialized batch keeping only the given row indices (gather)."""
+        base = self.start
+        cols = tuple([col[base + i] for i in indices] for col in self.columns)
+        if self.shared_timestamp:
+            stamps: Sequence[float] | float = self.timestamps
+        else:
+            ts = self.timestamps
+            stamps = [ts[base + i] for i in indices]
+        return ColumnBatch(cols, stamps, self.schema)
+
+    # ------------------------------------------------------------------
+    # Row materialization (the compatibility boundary)
+    # ------------------------------------------------------------------
+    def to_rows(self) -> list[tuple]:
+        """All rows as plain tuples, via one C-speed pivot."""
+        if not self.columns:
+            return []
+        lo, hi = self.start, self.stop
+        if lo == 0 and hi == len(self.columns[0]):
+            return list(zip(*self.columns))
+        return list(zip(*(col[lo:hi] for col in self.columns)))
+
+    def stream_tuples(self, lo: int = 0, hi: int | None = None) -> list[StreamTuple]:
+        """Rows ``[lo, hi)`` as :class:`StreamTuple`s, one fused pass.
+
+        ``map(StreamTuple, ...)`` drives both the pivot and the wrapper
+        construction from C, which is the whole point of carrying columns
+        this far: the only per-row Python object created on the ingest path
+        is the StreamTuple the queue buffer actually stores.
+        """
+        n = len(self)
+        hi = n if hi is None else min(hi, n)
+        if hi <= lo:
+            return []
+        a, b = self.start + lo, self.start + hi
+        rows = zip(*(col[a:b] for col in self.columns)) if self.columns else ()
+        if self.shared_timestamp:
+            return list(map(StreamTuple, repeat(self.timestamps, hi - lo), rows))
+        return list(map(StreamTuple, self.timestamps[a:b], rows))
+
+    def __iter__(self):
+        """Iterate StreamTuple views (materializes; prefer stream_tuples)."""
+        return iter(self.stream_tuples())
+
+    def __repr__(self) -> str:
+        ncols = len(self.columns)
+        return f"ColumnBatch({len(self)} rows x {ncols} cols)"

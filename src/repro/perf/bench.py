@@ -225,6 +225,101 @@ def bench_service_ingest(quick: bool) -> dict:
     )
 
 
+def bench_columnar_ingest(quick: bool) -> dict:
+    """The service_ingest batches through the columnar interior.
+
+    Identical rows, timestamps, and server config to ``service_ingest``;
+    the only difference is the encoding — batches are pivoted to column
+    lists *outside* the timed region and published via
+    ``ingest_rows(..., columnar=True)``, so the delta against
+    ``service_ingest`` is the row-pivot + per-row validation cost the
+    ColumnBatch path eliminates.
+    """
+    from repro.core.strategies import PipelineConfig
+    from repro.engine.window import WindowSpec
+    from repro.experiments import PAPER_QUERY, STREAM_NAMES, paper_catalog
+    from repro.service import ServiceConfig, TriageServer
+    from repro.sources.generators import paper_row_generators
+
+    rows_per_stream = 500 if quick else 2000
+    batch = 500
+    rng = random.Random(13)
+    gens = paper_row_generators()
+    cols_by_batch = {}
+    for name in STREAM_NAMES:
+        rows = [gens[name].draw(rng) for _ in range(rows_per_stream)]
+        cols_by_batch[name] = [
+            [list(c) for c in zip(*rows[lo : lo + batch])]
+            for lo in range(0, rows_per_stream, batch)
+        ]
+    timestamps = [i * 0.01 for i in range(rows_per_stream)]
+    config = PipelineConfig(
+        window=WindowSpec(width=1.0),
+        queue_capacity=200,
+        compute_ideal=False,
+    )
+    service = ServiceConfig(tick_interval=None, clock=lambda: 0.0)
+    catalog = paper_catalog()
+
+    def one_rep() -> None:
+        server = TriageServer(catalog, PAPER_QUERY, config, service)
+        for name in STREAM_NAMES:
+            for b, cols in enumerate(cols_by_batch[name]):
+                lo = b * batch
+                server.ingest_rows(
+                    name,
+                    cols,
+                    timestamps=timestamps[lo : lo + batch],
+                    now=0.0,
+                    columnar=True,
+                )
+
+    return _time_suite(
+        one_rep,
+        reps=5 if quick else 11,
+        units_per_rep=len(STREAM_NAMES) * rows_per_stream,
+        unit="rows",
+    )
+
+
+def bench_executor_vectorized(quick: bool) -> dict:
+    """Vectorized expression kernels: filter + projection over one scan.
+
+    A compiled ``SELECT`` whose batch path runs entirely on the
+    :mod:`repro.perf.vector` kernels (index-vector filter, column-wise
+    projection) over a large static table — the per-expression vectorization
+    win, isolated from join/aggregate effects (those are ``executor_micro``'s
+    territory).
+    """
+    from repro.algebra import Multiset
+    from repro.experiments import paper_catalog
+    from repro.perf.compile import compile_query
+    from repro.sql import Binder, parse_statement
+
+    n_rows = 10_000 if quick else 50_000
+    rng = random.Random(19)
+    inputs = {
+        "s": Multiset(
+            [(rng.randint(1, 100), rng.randint(1, 100)) for _ in range(n_rows)]
+        ),
+        "r": Multiset(),
+        "t": Multiset(),
+    }
+    sql = (
+        "SELECT b + c AS bc, b * 2 - 1 AS b2, c FROM S "
+        "WHERE b > 20 AND c <= 90"
+    )
+    bound = Binder(paper_catalog()).bind(parse_statement(sql))
+    cq = compile_query(bound, None)
+    cq.execute(inputs)  # warm
+    return _time_suite(
+        lambda: cq.execute(inputs),
+        reps=5 if quick else 11,
+        units_per_rep=n_rows,
+        unit="rows",
+    )
+
+
 def bench_service_ingest_sharded(quick: bool, shards: int) -> dict:
     """The service_ingest batches through an N-shard worker data plane.
 
@@ -375,6 +470,8 @@ SUITES = {
     "synopsis_join": bench_synopsis,
     "synopsis_union": bench_synopsis_union,
     "service_ingest": bench_service_ingest,
+    "columnar_ingest": bench_columnar_ingest,
+    "executor_vectorized": bench_executor_vectorized,
     "service_ingest_shards2": lambda quick: bench_service_ingest_sharded(quick, 2),
     "service_ingest_shards4": lambda quick: bench_service_ingest_sharded(quick, 4),
     "cep_pattern": bench_cep_pattern,
@@ -448,6 +545,31 @@ def shard_metrics_snapshot(shards: int = 2) -> str:
         return registry.render_prometheus()
     finally:
         plane.close()
+
+
+def baseline_mismatch(doc: dict, baseline: dict) -> str | None:
+    """One-line reason ``baseline`` cannot gate ``doc``, or None if it can.
+
+    A baseline written under a different schema, or one missing a suite
+    this run produced, would make the regression gate silently vacuous —
+    the CLI turns the returned line into a nonzero exit instead.
+    """
+    schema = baseline.get("schema")
+    if schema != BENCH_SCHEMA:
+        return (
+            f"baseline schema {schema!r} does not match {BENCH_SCHEMA!r}; "
+            f"regenerate it with `repro bench`"
+        )
+    base_suites = baseline.get("suites")
+    if not isinstance(base_suites, dict) or not base_suites:
+        return "baseline has no suite results"
+    missing = sorted(n for n in doc.get("suites", {}) if n not in base_suites)
+    if missing:
+        return (
+            f"baseline is missing suite(s) {', '.join(missing)}; "
+            f"regenerate it with `repro bench`"
+        )
+    return None
 
 
 def compare_results(

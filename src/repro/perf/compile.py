@@ -30,6 +30,7 @@ interpreted path permanently for that query.
 
 from __future__ import annotations
 
+from collections import Counter
 from collections.abc import Callable, Iterator
 from typing import Any
 
@@ -103,6 +104,19 @@ class _Emitter:
         self._n += 1
         return f"_t{self._n}"
 
+    def _stmt(
+        self, target: str, body: str, deps: tuple = (), volatile: bool = False
+    ) -> None:
+        """Emit one SSA statement ``target = body``.
+
+        ``deps`` lists every atom the body references — unused here, but
+        the vectorizing subclass (:mod:`repro.perf.vector`) rewrites the
+        statement into a list comprehension over its vector-valued deps.
+        ``volatile`` marks bodies that must run once per row even with no
+        row-dependent inputs (user function calls may be impure).
+        """
+        self.lines.append(f"{target} = {body}")
+
     def _const(self, value: Any) -> str:
         name = f"_c{len(self.env)}"
         self.env[name] = value
@@ -132,18 +146,19 @@ class _Emitter:
             t = self._fresh()
             op = expr.op.upper()
             if op == "NOT":
-                body = f"not ({a})"
+                val = f"not ({a})"
             elif expr.op == "-":
-                body = f"-({a})"
+                val = f"-({a})"
             else:
                 raise CompileError(f"unknown unary operator {expr.op!r}")
             nt = self._null_test(a)
             if nt == "False":
-                self.lines.append(f"{t} = {body}")
+                body = val
             elif nt == "True":
-                self.lines.append(f"{t} = None")
+                body = "None"
             else:
-                self.lines.append(f"{t} = None if {nt} else {body}")
+                body = f"None if {nt} else {val}"
+            self._stmt(t, body, (a,))
             return t
         if isinstance(expr, FunctionCall):
             try:
@@ -153,7 +168,7 @@ class _Emitter:
             args = [self.emit(a) for a in expr.args]
             fvar = self._const(fn)
             t = self._fresh()
-            self.lines.append(f"{t} = {fvar}({', '.join(args)})")
+            self._stmt(t, f"{fvar}({', '.join(args)})", tuple(args), volatile=True)
             return t
         raise CompileError(f"cannot compile {type(expr).__name__} nodes")
 
@@ -195,9 +210,9 @@ class _Emitter:
                 if p != "False"
             ) or "False"
             if absorb == "True":
-                self.lines.append(f"{t} = {const}")
+                body = f"{const}"
             elif nt == "True":
-                self.lines.append(f"{t} = {const} if {absorb} else None")
+                body = f"{const} if {absorb} else None"
             else:
                 inner = (
                     f"bool({a}) {word} bool({b})"
@@ -205,9 +220,9 @@ class _Emitter:
                     else f"None if {nt} else bool({a}) {word} bool({b})"
                 )
                 if absorb == "False":
-                    self.lines.append(f"{t} = {inner}")
+                    body = inner
                 else:
-                    self.lines.append(f"{t} = {const} if {absorb} else ({inner})")
+                    body = f"{const} if {absorb} else ({inner})"
         else:
             try:
                 py = _PY_OPS[expr.op]
@@ -216,11 +231,12 @@ class _Emitter:
                     f"unknown binary operator {expr.op!r}"
                 ) from None
             if nt == "False":
-                self.lines.append(f"{t} = {a} {py} {b}")
+                body = f"{a} {py} {b}"
             elif nt == "True":
-                self.lines.append(f"{t} = None")
+                body = "None"
             else:
-                self.lines.append(f"{t} = None if {nt} else {a} {py} {b}")
+                body = f"None if {nt} else {a} {py} {b}"
+        self._stmt(t, body, (a, b))
         return t
 
 
@@ -254,13 +270,78 @@ def compile_tuple(
 # ---------------------------------------------------------------------------
 # Compiled operator tree
 # ---------------------------------------------------------------------------
+def _try_vector_pred(expr, schema, functions) -> Callable | None:
+    """A vectorized predicate kernel, or None (row fallback) on failure."""
+    from repro.perf.vector import compile_filter_vector
+
+    try:
+        return compile_filter_vector(expr, schema, functions)
+    except CompileError:
+        return None
+
+
+def _try_vector_tuple(exprs, schema, functions) -> Callable | None:
+    """A vectorized tuple kernel, or None (row fallback) on failure."""
+    from repro.perf.vector import compile_tuple_vector
+
+    try:
+        return compile_tuple_vector(exprs, schema, functions)
+    except CompileError:
+        return None
+
+
+def _pure_key_positions(exprs, schema) -> frozenset | None:
+    """Column positions read by ``exprs``, or None when ineligible.
+
+    Eligible expressions are pure (no user function calls) and built from
+    column refs, literals, and unary/binary operators — the analysis behind
+    the COUNT(*)-over-join pushdown, which re-evaluates key expressions per
+    *left* row instead of per joined row.
+    """
+    acc: set[int] = set()
+
+    def walk(e) -> bool:
+        if isinstance(e, ColumnRef):
+            acc.add(resolve_column(e, schema))
+            return True
+        if isinstance(e, Literal):
+            return True
+        if isinstance(e, BinaryOp):
+            return walk(e.left) and walk(e.right)
+        if isinstance(e, UnaryOp):
+            return walk(e.operand)
+        return False
+
+    for e in exprs:
+        if not walk(e):
+            return None
+    return frozenset(acc)
+
+
+def _rows_of(node, inputs) -> list[tuple]:
+    """All of a node's output rows as one list.
+
+    Prefers the node's ``batch`` method; profiling proxies
+    (:mod:`repro.obs.profile` wraps nodes with iterate-only counters) and
+    any other iterate-only node fall back to draining ``iterate`` — same
+    rows, same order.
+    """
+    batch = getattr(node, "batch", None)
+    if batch is not None:
+        return batch(inputs)
+    return list(node.iterate(inputs))
+
+
 class CompiledNode:
     """A plan node bound to schemas and closures, re-bindable to inputs.
 
     Unlike :class:`~repro.engine.operators.PhysicalOperator` (which holds a
     window's rows), a compiled node is content-free: ``iterate(inputs)``
     binds it to one window's input bags, so the tree is built once per query
-    and reused for every window.
+    and reused for every window.  ``batch(inputs)`` returns the same rows
+    in the same order as draining ``iterate(inputs)``, but whole-batch:
+    filters/projections run vectorized kernels, joins build output lists
+    without generator resumption.
     """
 
     __slots__ = ("schema",)
@@ -269,6 +350,9 @@ class CompiledNode:
 
     def iterate(self, inputs: dict[str, Multiset]) -> Iterator[tuple]:
         raise NotImplementedError
+
+    def batch(self, inputs: dict[str, Multiset]) -> list[tuple]:
+        return list(self.iterate(inputs))
 
 
 class _CScan(CompiledNode):
@@ -285,6 +369,16 @@ class _CScan(CompiledNode):
             rows = inputs.get(self.key)
         return iter(rows) if rows is not None else iter(())
 
+    def batch(self, inputs):
+        rows = inputs.get(self.key_lower)
+        if rows is None:
+            rows = inputs.get(self.key)
+        if rows is None:
+            return []
+        if isinstance(rows, Multiset):
+            return rows.rows_list()
+        return list(rows)
+
 
 class _CSubquery(CompiledNode):
     __slots__ = ("inner",)
@@ -296,13 +390,19 @@ class _CSubquery(CompiledNode):
     def iterate(self, inputs):
         return iter(self.inner.execute(inputs).rows)
 
+    def batch(self, inputs):
+        return self.inner.execute(inputs).rows.rows_list()
+
 
 class _CFilter(CompiledNode):
-    __slots__ = ("child", "pred")
+    __slots__ = ("child", "pred", "vpred")
 
-    def __init__(self, child: CompiledNode, pred: Callable) -> None:
+    def __init__(
+        self, child: CompiledNode, pred: Callable, vpred: Callable | None = None
+    ) -> None:
         self.child = child
         self.pred = pred
+        self.vpred = vpred
         self.schema = child.schema
 
     def iterate(self, inputs):
@@ -311,19 +411,46 @@ class _CFilter(CompiledNode):
             if pred(row) is True:
                 yield row
 
+    def batch(self, inputs):
+        rows = _rows_of(self.child, inputs)
+        if not rows:
+            return rows
+        vpred = self.vpred
+        if vpred is not None:
+            return [rows[i] for i in vpred(rows)]
+        pred = self.pred
+        return [row for row in rows if pred(row) is True]
+
 
 class _CProject(CompiledNode):
-    __slots__ = ("child", "row_fn")
+    __slots__ = ("child", "row_fn", "vrow_fn")
 
-    def __init__(self, child: CompiledNode, row_fn: Callable, schema: Schema) -> None:
+    def __init__(
+        self,
+        child: CompiledNode,
+        row_fn: Callable,
+        schema: Schema,
+        vrow_fn: Callable | None = None,
+    ) -> None:
         self.child = child
         self.row_fn = row_fn
+        self.vrow_fn = vrow_fn
         self.schema = schema
 
     def iterate(self, inputs):
         row_fn = self.row_fn
         for row in self.child.iterate(inputs):
             yield row_fn(row)
+
+    def batch(self, inputs):
+        rows = _rows_of(self.child, inputs)
+        if not rows:
+            return rows
+        vrow_fn = self.vrow_fn
+        if vrow_fn is not None:
+            return vrow_fn(rows)
+        row_fn = self.row_fn
+        return [row_fn(row) for row in rows]
 
 
 class _CHashJoin(CompiledNode):
@@ -393,6 +520,121 @@ class _CHashJoin(CompiledNode):
                 for rrow in matches:
                     yield lrow + rrow
 
+    def batch(self, inputs):
+        # Same pairs, same order as iterate, but output rows land in one
+        # list via extend-with-listcomp instead of per-row generator
+        # resumption — the dominant cost of wide joins.
+        out: list[tuple] = []
+        right_rows = _rows_of(self.right, inputs)
+        if len(self.rpos) == 1:
+            rp = self.rpos[0]
+            table: dict[Any, list[tuple]] = {}
+            setdefault = table.setdefault
+            for row in right_rows:
+                key = row[rp]
+                if key is not None:
+                    setdefault(key, []).append(row)
+            if not table:
+                return out
+            lp = self.lpos[0]
+            get = table.get
+            append = out.append
+            extend = out.extend
+            for lrow in _rows_of(self.left, inputs):
+                key = lrow[lp]
+                if key is None:
+                    continue
+                matches = get(key)
+                if matches is not None:
+                    if len(matches) == 1:
+                        append(lrow + matches[0])
+                    else:
+                        extend([lrow + rrow for rrow in matches])
+            return out
+        rpos = self.rpos
+        mtable: dict[tuple, list[tuple]] = {}
+        msetdefault = mtable.setdefault
+        for row in right_rows:
+            key = tuple(row[p] for p in rpos)
+            if None not in key:
+                msetdefault(key, []).append(row)
+        if not mtable:
+            return out
+        lpos = self.lpos
+        mget = mtable.get
+        append = out.append
+        extend = out.extend
+        for lrow in _rows_of(self.left, inputs):
+            key = tuple(lrow[p] for p in lpos)
+            if None in key:
+                continue
+            matches = mget(key)
+            if matches is not None:
+                if len(matches) == 1:
+                    append(lrow + matches[0])
+                else:
+                    extend([lrow + rrow for rrow in matches])
+        return out
+
+    def left_match_counts(self, inputs) -> tuple[list[tuple], list[int]]:
+        """Factored probe: matching left rows and their join fan-out.
+
+        Returns ``(lrows, mult)`` where ``lrows`` are the probe-order left
+        rows with at least one match and ``mult[i]`` is how many joined
+        rows ``lrows[i]`` would produce.  The COUNT(*) aggregate pushdown
+        consumes this instead of :meth:`batch`, so wide joins never
+        materialize their output (concatenating ``lrow + rrow`` per pair
+        is most of a join-heavy plan's cost).
+        """
+        right_rows = _rows_of(self.right, inputs)
+        lrows: list[tuple] = []
+        mult: list[int] = []
+        if len(self.rpos) == 1:
+            rp = self.rpos[0]
+            counts: dict[Any, int] = {}
+            cget = counts.get
+            for row in right_rows:
+                key = row[rp]
+                if key is not None:
+                    counts[key] = cget(key, 0) + 1
+            if not counts:
+                return lrows, mult
+            lp = self.lpos[0]
+            get = counts.get
+            la = lrows.append
+            ma = mult.append
+            for lrow in _rows_of(self.left, inputs):
+                key = lrow[lp]
+                if key is None:
+                    continue
+                m = get(key)
+                if m is not None:
+                    la(lrow)
+                    ma(m)
+            return lrows, mult
+        rpos = self.rpos
+        mcounts: dict[tuple, int] = {}
+        mcget = mcounts.get
+        for row in right_rows:
+            key = tuple(row[p] for p in rpos)
+            if None not in key:
+                mcounts[key] = mcget(key, 0) + 1
+        if not mcounts:
+            return lrows, mult
+        lpos = self.lpos
+        get = mcounts.get
+        la = lrows.append
+        ma = mult.append
+        for lrow in _rows_of(self.left, inputs):
+            key = tuple(lrow[p] for p in lpos)
+            if None in key:
+                continue
+            m = get(key)
+            if m is not None:
+                la(lrow)
+                ma(m)
+        return lrows, mult
+
 
 class _CNestedLoop(CompiledNode):
     __slots__ = ("left", "right", "pred")
@@ -417,6 +659,29 @@ class _CNestedLoop(CompiledNode):
                 if pred is None or pred(row) is True:
                     yield row
 
+    def batch(self, inputs):
+        right_rows = _rows_of(self.right, inputs)
+        out: list[tuple] = []
+        if not right_rows:
+            # iterate() still drains the left side in this case; keep any
+            # error behaviour of the left subtree identical.
+            _rows_of(self.left, inputs)
+            return out
+        pred = self.pred
+        extend = out.extend
+        for lrow in _rows_of(self.left, inputs):
+            if pred is None:
+                extend([lrow + rrow for rrow in right_rows])
+            else:
+                extend(
+                    [
+                        row
+                        for rrow in right_rows
+                        if pred(row := lrow + rrow) is True
+                    ]
+                )
+        return out
+
 
 class _CAggregate(CompiledNode):
     """GROUP BY + aggregates via one compiled key/argument closure.
@@ -427,7 +692,10 @@ class _CAggregate(CompiledNode):
     everything except ``COUNT(*)``; empty input yields no groups).
     """
 
-    __slots__ = ("child", "row_fn", "n_keys", "agg_slots", "functions_")
+    __slots__ = (
+        "child", "row_fn", "vrow_fn", "n_keys", "agg_slots", "functions_",
+        "key_positions",
+    )
 
     def __init__(
         self,
@@ -446,7 +714,11 @@ class _CAggregate(CompiledNode):
                 slots.append(len(exprs))
                 exprs.append(spec.argument)
         self.row_fn = compile_tuple(exprs, child.schema, functions)
+        self.vrow_fn = _try_vector_tuple(exprs, child.schema, functions)
         self.n_keys = len(group_by)
+        self.key_positions = _pure_key_positions(
+            [e for _, e in group_by], child.schema
+        )
         self.agg_slots = tuple(slots)
         self.functions_ = [spec.function.lower() for spec in aggregates]
         cols = [
@@ -517,6 +789,96 @@ class _CAggregate(CompiledNode):
                     out.append(maximum[i])
             yield tuple(out)
 
+    def batch(self, inputs):
+        slots = self.agg_slots
+        n = len(slots)
+        if all(slot is None for slot in slots):
+            child = self.child
+            kp = self.key_positions
+            if (
+                kp is not None
+                and type(child) is _CHashJoin
+                and all(p < len(child.left.schema) for p in kp)
+            ):
+                # Factored COUNT(*)-over-join: the group keys only read
+                # left-side columns, so count each left row's join fan-out
+                # instead of materializing the concatenated output.  Group
+                # first-occurrence order equals probe order, which is the
+                # order iterate() first bumps each key.
+                lrows, mult = child.left_match_counts(inputs)
+                if not lrows:
+                    return []
+                vrow_fn = self.vrow_fn
+                if vrow_fn is not None:
+                    keys = vrow_fn(lrows)
+                else:
+                    row_fn = self.row_fn
+                    keys = [row_fn(row) for row in lrows]
+                counts: dict[tuple, int] = {}
+                cget = counts.get
+                for key, m in zip(keys, mult):
+                    counts[key] = cget(key, 0) + m
+                return [key + (c,) * n for key, c in counts.items()]
+            rows = _rows_of(child, inputs)
+            # Pure COUNT(*): vectorized key computation + Counter's C-level
+            # counting loop.  Counter preserves first-occurrence order, so
+            # group order matches the dict-bump loop in iterate().
+            if not rows:
+                return []
+            vrow_fn = self.vrow_fn
+            if vrow_fn is not None:
+                keys = vrow_fn(rows)
+            else:
+                row_fn = self.row_fn
+                keys = [row_fn(row) for row in rows]
+            return [key + (c,) * n for key, c in Counter(keys).items()]
+        rows = _rows_of(self.child, inputs)
+        if rows and self.vrow_fn is not None:
+            vals_list = self.vrow_fn(rows)
+        else:
+            row_fn = self.row_fn
+            vals_list = [row_fn(row) for row in rows]
+        nk = self.n_keys
+        groups: dict[tuple, list] = {}
+        get = groups.get
+        for vals in vals_list:
+            key = vals[:nk]
+            state = get(key)
+            if state is None:
+                state = groups[key] = [0, [0] * n, [0.0] * n, [None] * n, [None] * n]
+            state[0] += 1
+            nonnull, total, minimum, maximum = state[1], state[2], state[3], state[4]
+            for i, slot in enumerate(slots):
+                if slot is None:
+                    continue
+                v = vals[slot]
+                if v is None:
+                    continue
+                nonnull[i] += 1
+                total[i] += v
+                if minimum[i] is None or v < minimum[i]:
+                    minimum[i] = v
+                if maximum[i] is None or v > maximum[i]:
+                    maximum[i] = v
+        fns = self.functions_
+        results: list[tuple] = []
+        for key, state in groups.items():
+            out = list(key)
+            count, nonnull, total, minimum, maximum = state
+            for i, fn in enumerate(fns):
+                if fn == "count":
+                    out.append(count if slots[i] is None else nonnull[i])
+                elif fn == "sum":
+                    out.append(total[i] if nonnull[i] else None)
+                elif fn == "avg":
+                    out.append(total[i] / nonnull[i] if nonnull[i] else None)
+                elif fn == "min":
+                    out.append(minimum[i])
+                else:  # max
+                    out.append(maximum[i])
+            results.append(tuple(out))
+        return results
+
 
 class _CDistinct(CompiledNode):
     __slots__ = ("child",)
@@ -532,6 +894,11 @@ class _CDistinct(CompiledNode):
             if row not in seen:
                 add(row)
                 yield row
+
+    def batch(self, inputs):
+        # dict.fromkeys keeps first occurrences in order — same rows, same
+        # order as the seen-set loop in iterate().
+        return list(dict.fromkeys(_rows_of(self.child, inputs)))
 
 
 # ---------------------------------------------------------------------------
@@ -550,11 +917,9 @@ class CompiledQuery:
 
     def execute(self, inputs: dict[str, Multiset]) -> QueryResult:
         bound = self.bound
+        rows = _rows_of(self.root, inputs)
         if not bound.order_by and bound.limit is None:
-            return QueryResult(
-                rows=Multiset(self.root.iterate(inputs)), schema=self.schema
-            )
-        rows = list(self.root.iterate(inputs))
+            return QueryResult(rows=Multiset(rows), schema=self.schema)
         if bound.order_by:
             rows = _order_rows(rows, self.schema, bound.order_by, self._functions)
         if bound.limit is not None:
@@ -610,7 +975,9 @@ def _compile_select(bound, functions) -> CompiledNode:
         if pred is not None:
             node = per_source[name]
             per_source[name] = _CFilter(
-                node, compile_scalar(pred, node.schema, functions)
+                node,
+                compile_scalar(pred, node.schema, functions),
+                _try_vector_pred(pred, node.schema, functions),
             )
 
     order = [src.name for src in bound.sources]
@@ -627,23 +994,33 @@ def _compile_select(bound, functions) -> CompiledNode:
     residual = conjoin(bound.residual_predicates)
     if residual is not None:
         current = _CFilter(
-            current, compile_scalar(residual, current.schema, functions)
+            current,
+            compile_scalar(residual, current.schema, functions),
+            _try_vector_pred(residual, current.schema, functions),
         )
 
     if bound.is_aggregate:
         current = _CAggregate(current, bound.group_by, bound.aggregates, functions)
         if bound.having is not None:
             current = _CFilter(
-                current, compile_scalar(bound.having, current.schema, functions)
+                current,
+                compile_scalar(bound.having, current.schema, functions),
+                _try_vector_pred(bound.having, current.schema, functions),
             )
     elif not bound.select_star:
         outputs = bound.outputs
-        row_fn = compile_tuple([e for _, e in outputs], current.schema, functions)
+        exprs = [e for _, e in outputs]
+        row_fn = compile_tuple(exprs, current.schema, functions)
         types = [_infer_type(expr, current.schema) for _, expr in outputs]
         schema = Schema(
             [Column(name, t) for (name, _), t in zip(outputs, types)]
         )
-        current = _CProject(current, row_fn, schema)
+        current = _CProject(
+            current,
+            row_fn,
+            schema,
+            _try_vector_tuple(exprs, current.schema, functions),
+        )
 
     if bound.distinct:
         current = _CDistinct(current)

@@ -234,6 +234,70 @@ class StreamDataPlane:
         queue.offer_bulk(batch)
         return len(batch), late, len(queue), queue.stats.dropped
 
+    def ingest_columns(
+        self,
+        source: str,
+        cols,
+        timestamps=None,
+        now: float = 0.0,
+        validate: bool = True,
+    ) -> tuple[int, int, int, int]:
+        """Columnar ingest: same contract as :meth:`ingest`, no row pivot.
+
+        ``cols`` is one value list per schema column (the ``cols`` wire
+        encoding).  The batch reaches the queue as a
+        :class:`~repro.engine.columns.ColumnBatch` — row tuples are only
+        materialized by the queue itself, for exactly the tuples it keeps.
+        Validation is column-wise (one homogeneous-type scan per column)
+        and, like :meth:`ingest`, runs before any window accounting so a
+        bad batch is rejected atomically.
+        """
+        from repro.engine.columns import ColumnBatch
+
+        queue = self.queues[source]
+        schema = self._schemas[source]
+        # cols == [] is the columnar spelling of an empty batch (a zero-row
+        # pivot has no column structure to arity-check); everything below
+        # degenerates correctly for n == 0.
+        if validate and cols:
+            schema.validate_columns(cols)
+        n = len(cols[0]) if cols else 0
+        ids = self.config.window.ids
+        arrived = self.arrived[source]
+        known = self.known_windows
+        last_closed = self.last_closed_wid
+        late = 0
+        if timestamps is None:
+            wids = ids(now)
+            if last_closed is not None and (not wids or wids[0] <= last_closed):
+                late = n
+                batch = ColumnBatch((), now, schema)
+            else:
+                batch = ColumnBatch(cols, now, schema)
+                for wid in wids:
+                    arrived[wid] = arrived.get(wid, 0) + n
+                    known.add(wid)
+        else:
+            stamps = [float(t) for t in timestamps]
+            keep: list[int] = []
+            ka = keep.append
+            for i, ts in enumerate(stamps):
+                wids = ids(ts)
+                if last_closed is not None and (
+                    not wids or wids[0] <= last_closed
+                ):
+                    late += 1
+                    continue
+                for wid in wids:
+                    arrived[wid] = arrived.get(wid, 0) + 1
+                    known.add(wid)
+                ka(i)
+            batch = ColumnBatch(cols, stamps, schema)
+            if len(keep) != n:
+                batch = batch.select(keep)
+        queue.offer_bulk(batch)
+        return len(batch), late, len(queue), queue.stats.dropped
+
     # ------------------------------------------------------------------
     # Engine emulation
     # ------------------------------------------------------------------

@@ -718,37 +718,37 @@ class TriageServer:
                 ).to_frame()
             )
             return True
-        validate = True
-        if rows is None:
-            if cols:
-                # Columnar framing: validate column-wise (one type check
-                # per homogeneous column in the common case), then pivot to
-                # row tuples; the plane skips its per-row re-validation.
-                schema = self.pipeline.bound.source(source).schema
-                try:
-                    schema.validate_columns(cols)
-                except SchemaError as exc:
-                    await session.send_now(
-                        ProtocolError("bad-row", str(exc)).to_frame()
-                    )
-                    return True
-                rows = list(zip(*cols))
-            else:
-                # cols == [] carries no column structure to arity-check:
-                # it is the columnar spelling of an empty batch (the
-                # client's zero-row pivot produces it) and must ack
-                # accepted=0 exactly like rows == [].
-                rows = []
-            validate = False
         try:
-            accepted, late, depth, dropped_total = await self._ingest_async(
-                source,
-                rows,
-                timestamps=frame.get("timestamps"),
-                now=now,
-                trace=frame.get("trace"),
-                validate=validate,
-            )
+            if rows is None and cols:
+                # Columnar framing: the batch stays column-major end to
+                # end — validated column-wise and offered to the triage
+                # queue as a ColumnBatch; no coordinator-side pivot to
+                # row tuples (and, sharded, no per-row pickling either).
+                accepted, late, depth, dropped_total = await self._ingest_async(
+                    source,
+                    cols,
+                    columnar=True,
+                    timestamps=frame.get("timestamps"),
+                    now=now,
+                    trace=frame.get("trace"),
+                )
+            else:
+                validate = True
+                if rows is None:
+                    # cols == [] carries no column structure to
+                    # arity-check: it is the columnar spelling of an empty
+                    # batch (the client's zero-row pivot produces it) and
+                    # must ack accepted=0 exactly like rows == [].
+                    rows = []
+                    validate = False
+                accepted, late, depth, dropped_total = await self._ingest_async(
+                    source,
+                    rows,
+                    timestamps=frame.get("timestamps"),
+                    now=now,
+                    trace=frame.get("trace"),
+                    validate=validate,
+                )
         except SchemaError as exc:
             await session.send_now(ProtocolError("bad-row", str(exc)).to_frame())
             return True
@@ -767,13 +767,13 @@ class TriageServer:
         )
         return True
 
-    async def _ingest_async(self, source: str, rows, **kwargs):
+    async def _ingest_async(self, source: str, batch, **kwargs):
         """Run an ingest off the event loop when it crosses a shard pipe."""
         if self.sharded:
             return await asyncio.get_running_loop().run_in_executor(
-                None, lambda: self.ingest_rows(source, rows, **kwargs)
+                None, lambda: self.ingest_rows(source, batch, **kwargs)
             )
-        return self.ingest_rows(source, rows, **kwargs)
+        return self.ingest_rows(source, batch, **kwargs)
 
     def ingest_rows(
         self,
@@ -783,6 +783,7 @@ class TriageServer:
         now: float | None = None,
         trace: dict | None = None,
         validate: bool = True,
+        columnar: bool = False,
     ) -> tuple[int, int, int, int]:
         """Validate, window-account, and enqueue a batch for ``source``.
 
@@ -793,6 +794,11 @@ class TriageServer:
         path, shared by the PUBLISH handler and the bench harness's
         service-ingest suite; the actual work happens in the data plane
         (in-process, or one shard worker over its pipe).
+
+        ``columnar=True`` means ``rows`` is the ``cols`` encoding (one
+        value list per schema column); it is routed to the plane's
+        :meth:`~repro.service.dataplane.StreamDataPlane.ingest_columns`
+        and never pivoted to row tuples coordinator-side.
 
         ``trace`` is a ``{trace_id, parent}`` context from a traced PUBLISH:
         the batch's queue/window events inherit it (the tracer context is
@@ -821,18 +827,24 @@ class TriageServer:
                     continue
                 traced_wids.update(wids)
             if self.obs is not None and self.obs.tracer.enabled:
+                nrows = (len(rows[0]) if rows else 0) if columnar else len(rows)
                 tracer = self.obs.tracer
                 tracer.set_context(trace["trace_id"], trace.get("parent"))
                 tracer.flow(
                     "publish", trace["trace_id"], phase="t", source=source
                 )
                 span_cm = tracer.span("ingest", cat="service", source=source,
-                                      rows=len(rows))
+                                      rows=nrows)
                 span_cm.__enter__()
         try:
-            accepted, late, depth, dropped_total = self.plane.ingest(
-                source, rows, timestamps, now, validate=validate
-            )
+            if columnar:
+                accepted, late, depth, dropped_total = self.plane.ingest_columns(
+                    source, rows, timestamps, now, validate=validate
+                )
+            else:
+                accepted, late, depth, dropped_total = self.plane.ingest(
+                    source, rows, timestamps, now, validate=validate
+                )
         finally:
             if tracer is not None:
                 span_cm.__exit__(None, None, None)

@@ -92,6 +92,11 @@ def _worker_main(conn, payload: bytes, owned: list[str]) -> None:
                 reply = plane.ingest(
                     source, rows, timestamps, now, validate=validate
                 )
+            elif op == "ingest_cols":
+                _, source, cols, timestamps, now, validate = msg
+                reply = plane.ingest_columns(
+                    source, cols, timestamps, now, validate=validate
+                )
             elif op == "tick":
                 _, elapsed = msg
                 if elapsed > 0:
@@ -304,6 +309,25 @@ class ShardedDataPlane:
         self._depths[source] = depth
         return accepted, late, depth, dropped
 
+    def ingest_columns(
+        self,
+        source: str,
+        cols,
+        timestamps=None,
+        now: float = 0.0,
+        validate: bool = True,
+    ) -> tuple[int, int, int, int]:
+        """Columnar routed ingest: the ``cols`` encoding crosses the pipe
+        as-is (column lists pickle as a handful of large objects instead of
+        one tuple per row) and the worker offers it without ever pivoting
+        to rows — see :meth:`StreamDataPlane.ingest_columns`."""
+        reply = self._worker_for(source).call(
+            ("ingest_cols", source, cols, timestamps, now, validate)
+        )
+        accepted, late, depth, dropped = _unwrap(reply)
+        self._depths[source] = depth
+        return accepted, late, depth, dropped
+
     def submit_ingest(
         self,
         source: str,
@@ -328,6 +352,20 @@ class ShardedDataPlane:
         """
         self._worker_for(source).submit(
             ("ingest", source, rows, timestamps, now, validate)
+        )
+
+    def submit_ingest_columns(
+        self,
+        source: str,
+        cols,
+        timestamps=None,
+        now: float = 0.0,
+        validate: bool = True,
+    ) -> None:
+        """Pipelined columnar ingest (see :meth:`submit_ingest` for the
+        single-conversation constraint; acks owed to :meth:`flush_ingest`)."""
+        self._worker_for(source).submit(
+            ("ingest_cols", source, cols, timestamps, now, validate)
         )
 
     def flush_ingest(self) -> tuple[int, int]:

@@ -125,6 +125,30 @@ class Synopsis(abc.ABC):
         for row in rows:
             self.insert(row)
 
+    def insert_bulk(
+        self,
+        rows: Iterable[Sequence[float]],
+        positions: Sequence[int] | None = None,
+        weight: float = 1.0,
+    ) -> None:
+        """Fold many tuples at once, in order.
+
+        When ``positions`` is given, ``rows`` are full stream rows and
+        ``positions`` selects the dimension fields (the triage queue's
+        batched shed flush); with ``positions=None`` each row is already a
+        dimension-value vector.  Implementations may override with a fused
+        loop, but must preserve insert order and per-insert semantics —
+        reservoir samples are order- and RNG-sensitive, and every row adds
+        exactly ``weight`` to :meth:`total`.
+        """
+        insert = self.insert
+        if positions is None:
+            for row in rows:
+                insert(row, weight)
+        else:
+            for row in rows:
+                insert([row[p] for p in positions], weight)
+
     @abc.abstractmethod
     def total(self) -> float:
         """Estimated number of summarized tuples."""

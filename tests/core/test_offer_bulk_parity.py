@@ -1,9 +1,11 @@
 """offer_bulk must equal an offer loop even when DROP_INCOMING fires mid-batch."""
 
 import dataclasses
+import time
 
 from repro.core.policies import DROP_INCOMING, DropPolicy
 from repro.core.triage_queue import TriageQueue
+from repro.engine.columns import ColumnBatch
 from repro.engine.types import StreamTuple
 from repro.engine.window import WindowSpec
 from repro.synopses import Dimension, SparseHistogramFactory
@@ -96,3 +98,68 @@ class TestOfferBulkParity:
                 bulk_w.latest,
             )
             assert loop_w.synopsis._buckets == bulk_w.synopsis._buckets
+
+    def test_column_batch_input_matches_offer_loop(self):
+        # A ColumnBatch must be consumed natively with the exact semantics
+        # of offering its StreamTuples one by one.
+        loop_q = make_queue()
+        bulk_q = make_queue()
+        tuples = workload()
+        for tup in tuples:
+            loop_q.offer(tup)
+        dropped = bulk_q.offer_bulk(ColumnBatch.from_stream_tuples(tuples))
+        assert dropped == loop_q.stats.dropped
+        assert dataclasses.asdict(loop_q.stats) == dataclasses.asdict(
+            bulk_q.stats
+        )
+        assert loop_q.windows_with_drops() == bulk_q.windows_with_drops()
+        for wid in loop_q.windows_with_drops():
+            assert (
+                loop_q.window_synopsis(wid).synopsis._buckets
+                == bulk_q.window_synopsis(wid).synopsis._buckets
+            )
+        assert loop_q.drain() == bulk_q.drain()
+
+    def test_empty_column_batch_is_a_noop(self):
+        q = make_queue()
+        assert q.offer_bulk(ColumnBatch((), 0.0)) == 0
+        assert q.stats.offered == 0
+
+
+class TestZeroObserverFastPath:
+    """Unobserved queues must skip all event/byte accounting entirely."""
+
+    def _shed_heavy(self, observer, n=4000):
+        q = make_queue(observer)
+        cols = ([i % 20 for i in range(n)], list(range(n)))
+        batch = ColumnBatch(cols, [i * 0.001 for i in range(n)])
+        t0 = time.perf_counter()
+        q.offer_bulk(batch)
+        return time.perf_counter() - t0, q
+
+    def test_no_byte_accounting_without_observer(self, monkeypatch):
+        import repro.core.triage_queue as tq
+
+        calls = {"n": 0}
+        real = tq.sys.getsizeof
+
+        def counting(obj):
+            calls["n"] += 1
+            return real(obj)
+
+        monkeypatch.setattr(tq.sys, "getsizeof", counting)
+        _, q = self._shed_heavy(observer=None)
+        assert q.stats.dropped > 0
+        assert calls["n"] == 0  # the fast path never prices shed rows
+        _, q = self._shed_heavy(observer=lambda *a: None)
+        assert calls["n"] == q.stats.dropped > 0
+
+    def test_microbench_unobserved_not_slower(self):
+        # The fast path does strictly less work per shed tuple (no sizeof,
+        # no event aggregation); best-of-5 timings must reflect that.  The
+        # generous margin keeps CI noise from flaking the assertion.
+        unobserved = min(self._shed_heavy(None)[0] for _ in range(5))
+        observed = min(
+            self._shed_heavy(lambda *a: None)[0] for _ in range(5)
+        )
+        assert unobserved < observed * 1.25

@@ -1,0 +1,90 @@
+"""ColumnBatch: zero-copy views, gathers, and row-materialization parity."""
+
+import pytest
+
+from repro.engine.columns import ColumnBatch
+from repro.engine.types import Column, ColumnType, Schema, StreamTuple
+
+SCHEMA = Schema([Column("a", ColumnType.INTEGER), Column("b", ColumnType.TEXT)])
+
+
+def make_batch(shared=True):
+    cols = ([1, 2, 3, 4], ["w", "x", "y", "z"])
+    ts = 5.0 if shared else [0.1, 0.2, 0.3, 0.4]
+    return ColumnBatch(cols, ts, SCHEMA)
+
+
+class TestConstruction:
+    def test_from_rows_round_trips(self):
+        rows = [(1, "w"), (2, "x"), (3, "y")]
+        batch = ColumnBatch.from_rows(rows, 1.5, SCHEMA)
+        assert len(batch) == 3
+        assert batch.to_rows() == rows
+        assert batch.shared_timestamp
+        assert batch.timestamp_at(2) == 1.5
+
+    def test_from_stream_tuples(self):
+        tuples = [StreamTuple(0.1, (1, "w")), StreamTuple(0.2, (2, "x"))]
+        batch = ColumnBatch.from_stream_tuples(tuples, SCHEMA)
+        assert batch.stream_tuples() == tuples
+        assert not batch.shared_timestamp
+
+    def test_empty(self):
+        batch = ColumnBatch.from_rows([], 0.0, SCHEMA)
+        assert len(batch) == 0
+        assert batch.to_rows() == []
+        assert batch.stream_tuples() == []
+        assert list(batch) == []
+
+
+class TestViews:
+    def test_slice_is_zero_copy(self):
+        batch = make_batch()
+        view = batch.slice(1, 3)
+        assert len(view) == 2
+        assert view.columns is batch.columns  # shared, not copied
+        assert view.to_rows() == [(2, "x"), (3, "y")]
+        assert view.row(0) == (2, "x")
+        assert view.tuple_at(1) == StreamTuple(5.0, (3, "y"))
+
+    def test_slice_of_slice_composes(self):
+        view = make_batch(shared=False).slice(1).slice(1, 2)
+        assert view.to_rows() == [(3, "y")]
+        assert view.timestamp_at(0) == 0.3
+
+    def test_slice_clamps_hi(self):
+        assert len(make_batch().slice(2, 99)) == 2
+
+    def test_select_gathers_rows_and_timestamps(self):
+        batch = make_batch(shared=False)
+        picked = batch.select([3, 0])
+        assert picked.to_rows() == [(4, "z"), (1, "w")]
+        assert picked.timestamps == [0.4, 0.1]
+        shared = make_batch().select([1])
+        assert shared.timestamps == 5.0  # scalar stays scalar
+
+    def test_select_respects_view_offset(self):
+        picked = make_batch(shared=False).slice(2).select([1])
+        assert picked.to_rows() == [(4, "z")]
+        assert picked.timestamps == [0.4]
+
+
+class TestMaterialization:
+    @pytest.mark.parametrize("shared", [True, False])
+    def test_stream_tuples_matches_per_row_pivot(self, shared):
+        batch = make_batch(shared)
+        expected = [batch.tuple_at(i) for i in range(len(batch))]
+        assert batch.stream_tuples() == expected
+        assert list(batch) == expected
+        assert batch.stream_tuples(1, 3) == expected[1:3]
+        assert batch.stream_tuples(3, 2) == []
+
+    def test_stream_tuples_on_view(self):
+        view = make_batch(shared=False).slice(1, 3)
+        assert view.stream_tuples() == [
+            StreamTuple(0.2, (2, "x")),
+            StreamTuple(0.3, (3, "y")),
+        ]
+
+    def test_repr(self):
+        assert "4 rows x 2 cols" in repr(make_batch())

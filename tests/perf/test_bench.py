@@ -81,9 +81,10 @@ class TestRunBenchSuites:
 
 def _doc(**ops):
     return {
+        "schema": bench.BENCH_SCHEMA,
         "suites": {
             name: {"ops_per_sec": value} for name, value in ops.items()
-        }
+        },
     }
 
 
@@ -106,6 +107,30 @@ class TestCompareResults:
             _doc(a=100.0), _doc(b=100.0), 10.0
         )
         assert violations == []
+
+
+class TestBaselineMismatch:
+    def test_matching_baseline_passes(self):
+        assert bench.baseline_mismatch(_doc(a=1.0), _doc(a=2.0)) is None
+
+    def test_schema_mismatch_reported(self):
+        stale = dict(_doc(a=1.0), schema="repro-bench/v0")
+        problem = bench.baseline_mismatch(_doc(a=1.0), stale)
+        assert problem is not None and "repro-bench/v0" in problem
+        assert "\n" not in problem
+
+    def test_missing_schema_reported(self):
+        baseline = _doc(a=1.0)
+        del baseline["schema"]
+        assert bench.baseline_mismatch(_doc(a=1.0), baseline) is not None
+
+    def test_missing_suite_reported(self):
+        problem = bench.baseline_mismatch(_doc(a=1.0, b=1.0), _doc(b=2.0))
+        assert problem is not None and "a" in problem
+        assert "\n" not in problem
+
+    def test_empty_baseline_reported(self):
+        assert bench.baseline_mismatch(_doc(a=1.0), _doc()) is not None
 
 
 class TestShardMetricsSnapshot:
@@ -171,3 +196,62 @@ class TestCli:
         )
         assert rc == 1
         assert "regression gate FAILED" in out.getvalue()
+
+    def _run_compare(self, monkeypatch, tmp_path, baseline_path):
+        from repro import cli
+
+        monkeypatch.setitem(
+            bench.SUITES,
+            "fake",
+            lambda quick: bench._time_suite(lambda: None, 3, 10, "ops"),
+        )
+        out = io.StringIO()
+        rc = cli.main(
+            [
+                "bench", "--quick", "--suite", "fake",
+                "--out", str(tmp_path / "new.json"),
+                "--compare", str(baseline_path),
+            ],
+            out=out,
+        )
+        return rc, out.getvalue()
+
+    def test_bench_compare_missing_baseline(self, monkeypatch, tmp_path):
+        rc, text = self._run_compare(
+            monkeypatch, tmp_path, tmp_path / "no-such-baseline.json"
+        )
+        assert rc == 2
+        (line,) = [
+            ln for ln in text.splitlines() if ln.startswith("bench compare error:")
+        ]
+        assert "cannot read baseline" in line
+
+    def test_bench_compare_invalid_json(self, monkeypatch, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{not json")
+        rc, text = self._run_compare(monkeypatch, tmp_path, baseline)
+        assert rc == 2
+        assert "bench compare error:" in text
+        assert "not valid JSON" in text
+
+    def test_bench_compare_schema_mismatch(self, monkeypatch, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(dict(_doc(fake=100.0), schema="repro-bench/v0"))
+        )
+        rc, text = self._run_compare(monkeypatch, tmp_path, baseline)
+        assert rc == 2
+        assert "bench compare error:" in text
+        assert "repro bench" in text  # tells the user how to regenerate
+
+    def test_bench_compare_baseline_missing_suite(self, monkeypatch, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_doc(other=100.0)))
+        rc, text = self._run_compare(monkeypatch, tmp_path, baseline)
+        assert rc == 2
+        assert "bench compare error:" in text
+        assert "fake" in text
+
+    def test_new_columnar_suites_registered(self):
+        assert "columnar_ingest" in bench.SUITES
+        assert "executor_vectorized" in bench.SUITES
