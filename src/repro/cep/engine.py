@@ -131,6 +131,7 @@ class PatternEngine:
         max_runs: int = 1024,
         observer: EngineObserver | None = None,
         utility=None,
+        audit=None,
     ) -> None:
         if max_runs < 1:
             raise ValueError(f"max_runs must be >= 1, got {max_runs}")
@@ -138,6 +139,10 @@ class PatternEngine:
         self.max_runs = max_runs
         self.observer = observer
         self.utility = utility
+        #: Optional :class:`repro.obs.audit.DropLedger`: records every
+        #: partial-match evict (``cep_evict``) with the retired run's
+        #: utility score.  Assignable post-construction.
+        self.audit = audit
         self.stats = EngineStats()
         self._steps = [_CompiledStep(s, pattern) for s in pattern.steps]
         self._runs: list[_Run] = []
@@ -329,10 +334,21 @@ class PatternEngine:
             if worst_key is None or key < worst_key:
                 worst_key = key
                 worst_idx = i
+        worst = self._runs[worst_idx]
         del self._runs[worst_idx]
         self.stats.runs_shed += 1
         self._version += 1
         self._notify("run_shed")
+        if self.audit is not None:
+            self.audit.record(
+                "cep_evict",
+                policy="pspice",
+                stream=self._steps[0].stream,
+                windows=(),
+                timestamp=worst.start,
+                depth=len(self._runs),
+                score=worst_key[0] if worst_key is not None else None,
+            )
 
     def _notify(self, event: str, value: float = 1.0) -> None:
         if self.observer is not None:

@@ -103,6 +103,10 @@ class PatternUtilityPolicy(DropPolicy):
             s = score(buffer[i])
             if s < best:
                 best, best_idx = s, i
-        if score(incoming) < best:
+        incoming_score = score(incoming)
+        if incoming_score < best:
+            # Score sink for the audit ledger: the shed tuple's utility.
+            context.last_score = incoming_score
             return DROP_INCOMING
+        context.last_score = best
         return best_idx

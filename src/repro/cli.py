@@ -12,6 +12,7 @@
     python -m repro.cli trace --merge a.jsonl b.jsonl  # stitch process traces
     python -m repro.cli serve [--port 7077] [...]   # live triage service
     python -m repro.cli top [--once]                # live service dashboard
+    python -m repro.cli audit [--once|--ledger f]   # shed-provenance scorecard
 
 All load experiments print the figure's data table, a terminal chart, and a
 CSV block.  ``explain``/``rewrite`` operate on the paper's R/S/T catalog,
@@ -39,7 +40,7 @@ from repro.experiments import (
     paper_catalog,
     slow_synopsis_factory,
 )
-from repro.core.policies import POLICY_CHOICES
+from repro.core.policies import POLICY_CHOICES, policy_help
 from repro.rewrite import SPJPlan, explain_rewrite, rewrite_to_sql
 from repro.sql import Binder, parse_statement
 
@@ -124,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the drop policy the queue-centric suites use "
         "(default: each suite's own; cep_pattern always scores "
-        "pattern-utility against random)",
+        "pattern-utility against random). " + policy_help(),
     )
 
     trace = sub.add_parser(
@@ -154,6 +155,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also write a Prometheus text snapshot of the run's metrics",
+    )
+    trace.add_argument(
+        "--audit-out",
+        default=None,
+        metavar="PATH",
+        help="also run the pipeline with a shed-provenance audit ledger and "
+        "write it (JSONL, with per-window RMS attribution) to this path; "
+        "read it back with `repro audit --ledger PATH`",
     )
     trace.add_argument(
         "--capacity",
@@ -257,7 +266,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=POLICY_CHOICES,
         default="random",
         help="triage-queue victim selection (default: random; "
-        "pattern-utility needs --pattern to see engine state)",
+        "pattern-utility needs --pattern to see engine state). "
+        + policy_help(),
     )
     serve.add_argument(
         "--pattern",
@@ -265,6 +275,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SQL",
         help="also host a PATTERN SEQ(...) query over the served streams "
         "(serial plane only; cep_* metrics appear in STATS)",
+    )
+    serve.add_argument(
+        "--audit",
+        action="store_true",
+        help="record every shed decision in the provenance audit ledger "
+        "(audit_* metrics, STATS/TELEMETRY audit blocks, `repro audit`)",
+    )
+    serve.add_argument(
+        "--audit-ring",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="audit event-ring capacity, sampled exemplars (default: 1024)",
     )
 
     top = sub.add_parser(
@@ -292,6 +315,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     top.add_argument(
         "--no-color", action="store_true", help="plain text, no ANSI colors"
+    )
+
+    audit = sub.add_parser(
+        "audit",
+        help="shed-provenance scorecard: which policy shed what, at what "
+        "quality cost (live server, or a JSONL ledger export)",
+    )
+    audit.add_argument("--host", default="127.0.0.1")
+    audit.add_argument("--port", type=int, default=7077)
+    audit.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="read a JSONL ledger export (e.g. from `repro trace "
+        "--audit-out`) instead of querying a live server",
+    )
+    audit.add_argument(
+        "--once",
+        action="store_true",
+        help="print one scorecard and exit (implied by --ledger)",
+    )
+    audit.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="live refresh period, seconds (default: 2)",
+    )
+    audit.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw audit block as JSON instead of the scorecard",
     )
 
     return parser
@@ -361,6 +415,7 @@ def cmd_bench(args, out) -> int:
 
     from repro.perf.bench import (
         baseline_mismatch,
+        baseline_skipped,
         compare_results,
         render_text,
         run_bench_suites,
@@ -401,6 +456,12 @@ def cmd_bench(args, out) -> int:
         if problem is not None:
             out.write(f"bench compare error: {problem}\n")
             return 2
+        skipped = baseline_skipped(doc, baseline)
+        if skipped:
+            out.write(
+                f"bench compare note: baseline predates suite(s) "
+                f"{', '.join(skipped)}; not gated\n"
+            )
         violations = compare_results(doc, baseline, args.max_regression)
         if violations:
             out.write("bench regression gate FAILED:\n")
@@ -432,6 +493,12 @@ def cmd_trace(args, out) -> int:
     pipeline, streams = bursty_pipeline(
         ShedStrategy.DATA_TRIAGE, args.peak, params, args.seed, obs=obs
     )
+    ledger = None
+    if args.audit_out:
+        from repro.obs.audit import DropLedger
+
+        ledger = DropLedger(seed=args.seed, metrics=obs.registry)
+        pipeline.audit = ledger
     result = pipeline.run(streams)
 
     tracer = obs.tracer
@@ -456,6 +523,20 @@ def cmd_trace(args, out) -> int:
         f"{len(tracer)} events retained ({tracer.emitted} emitted, "
         f"{tracer.dropped} evicted) -> {args.out} [{args.format}]\n"
     )
+    if ledger is not None:
+        from repro.obs.audit import attribute_reports
+
+        # This run computed an ideal answer, so attribution joins the
+        # ledger against each window's real RMS error (not a proxy).
+        taken = ledger.take_windows(sorted(ledger.pending_windows()))
+        attributions = attribute_reports(taken, reports)
+        with open(args.audit_out, "w", encoding="utf-8") as fp:
+            lines = ledger.export_jsonl(fp, attributions)
+        out.write(
+            f"audit ledger: {ledger.total} shed events, "
+            f"{len(attributions)} windows attributed "
+            f"-> {args.audit_out} ({lines} lines)\n"
+        )
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as fp:
             fp.write(obs.registry.render_prometheus())
@@ -508,6 +589,81 @@ def cmd_top(args, out) -> int:
         return 1
 
 
+def cmd_audit(args, out) -> int:
+    """Render the shed-provenance scorecard (see repro.obs.audit).
+
+    With ``--ledger`` the source is a JSONL export (validated against the
+    ``repro-audit/v1`` schema); otherwise a live server's STATS audit block,
+    printed once or on a refresh loop.
+    """
+    import json
+
+    from repro.obs.audit import read_ledger_jsonl, render_scorecard
+
+    if args.ledger:
+        try:
+            doc = read_ledger_jsonl(args.ledger)
+        except OSError as exc:
+            out.write(f"audit error: cannot read {args.ledger}: {exc}\n")
+            return 2
+        except ValueError as exc:
+            out.write(f"audit error: invalid ledger {args.ledger}: {exc}\n")
+            return 2
+        attributions = doc["attributions"]
+        if args.json:
+            out.write(
+                json.dumps(
+                    {"summary": doc["header"], "attributions": attributions},
+                    indent=1,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        else:
+            out.write(render_scorecard(doc["header"], attributions) + "\n")
+        return 0
+
+    from repro.service.client import TriageClient
+
+    async def run() -> int:
+        client = await TriageClient.connect(
+            args.host, args.port, client_name="repro-audit"
+        )
+        try:
+            while True:
+                stats = await client.stats()
+                audit = stats.get("audit")
+                if audit is None:
+                    out.write(
+                        "server is not auditing (start it with "
+                        "`repro serve --audit`)\n"
+                    )
+                    return 1
+                if args.json:
+                    out.write(json.dumps(audit, indent=1, sort_keys=True) + "\n")
+                else:
+                    out.write(
+                        render_scorecard(
+                            audit.get("summary") or {},
+                            audit.get("attributions") or (),
+                        )
+                        + "\n"
+                    )
+                if args.once:
+                    return 0
+                await asyncio.sleep(args.interval)
+        finally:
+            await client.close()
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+    except ConnectionError as exc:
+        out.write(f"cannot reach {args.host}:{args.port}: {exc}\n")
+        return 1
+
+
 def cmd_serve(args, out) -> int:
     from repro.core.policies import make_policy
     from repro.core.strategies import PipelineConfig
@@ -531,6 +687,8 @@ def cmd_serve(args, out) -> int:
         rate_limit=args.rate_limit,
         telemetry_interval=args.telemetry_interval or None,
         shards=args.shards,
+        audit=args.audit,
+        audit_ring=args.audit_ring,
     )
     obs = None
     if args.trace_out:
@@ -555,6 +713,11 @@ def cmd_serve(args, out) -> int:
             out.write(
                 f"pattern query attached: {args.pattern} "
                 f"(policy {args.drop_policy})\n"
+            )
+        if args.audit:
+            out.write(
+                f"shed-provenance audit on (ring {args.audit_ring}); "
+                f"inspect with `repro audit --port {server.port}`\n"
             )
         try:
             if args.duration is not None:
@@ -599,6 +762,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return cmd_serve(args, out)
     if args.command == "top":
         return cmd_top(args, out)
+    if args.command == "audit":
+        return cmd_audit(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

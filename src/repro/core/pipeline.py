@@ -113,9 +113,15 @@ class DataTriagePipeline:
         domains: dict[str, tuple[int, int]] | None = None,
         *,
         obs: "Observability | None" = None,
+        audit=None,
     ) -> None:
         """``domains`` maps qualified columns (``'R.a'``) to value bounds;
         unlisted columns default to the paper's 1..100.
+
+        ``audit`` attaches a :class:`repro.obs.audit.DropLedger`: queued
+        runs then record every shed decision (kind, policy, window ids,
+        score, sampled exemplar) for post-run error attribution.  ``None``
+        (default) keeps the shed paths unaudited and unchanged.
 
         ``obs`` attaches an observability bundle (:class:`repro.obs.Observability`):
         runs then record queue/engine metrics into its registry, spans and
@@ -126,6 +132,7 @@ class DataTriagePipeline:
         self.catalog = catalog
         self.config = config
         self.obs = obs
+        self.audit = audit
         #: ``hook(outcome)`` callbacks run once per evaluated
         #: :class:`WindowOutcome` — see :meth:`add_window_hook`.
         self.window_hooks: list = []
@@ -228,6 +235,7 @@ class DataTriagePipeline:
         seed: int | None = None,
         observer=None,
         thread_safe: bool = False,
+        audit=None,
     ) -> TriageQueue:
         """A :class:`TriageQueue` for ``source``, configured like the
         pipeline's own (dimensions, window, synopsis factory), for callers
@@ -249,6 +257,7 @@ class DataTriagePipeline:
             seed=(cfg.seed if seed is None else seed) * 7919 + index,
             observer=observer,
             thread_safe=thread_safe,
+            audit=audit,
         )
 
     def add_window_hook(self, hook) -> None:
@@ -467,6 +476,7 @@ class DataTriagePipeline:
                 summarize=cfg.strategy.summarizes_drops,
                 seed=cfg.seed * 7919 + i,
                 observer=observer,
+                audit=self.audit,
             )
 
         kept_rows: dict[str, dict[int, Multiset]] = {s: {} for s in sources}

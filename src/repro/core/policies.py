@@ -46,6 +46,12 @@ class PolicyContext:
     :attr:`DropPolicy.wants_window_counts`; otherwise it is ``None`` and
     costs nothing.  ``window`` is the queue's window spec, needed to map a
     candidate tuple's timestamp onto those counts.
+
+    ``last_score`` is an optional *score sink*: a policy that ranks
+    candidates numerically (e.g. ``PatternUtilityPolicy``) writes the
+    chosen victim's utility score here so the audit ledger can record it.
+    The queue resets it before each decision only when auditing is on;
+    policies that never score leave it ``None`` and pay nothing.
     """
 
     rng: random.Random
@@ -54,6 +60,7 @@ class PolicyContext:
     queue_name: str | None = None
     window: "WindowSpec | None" = None
     window_counts: Mapping[int, int] | None = None
+    last_score: float | None = None
 
 
 class DropPolicy(abc.ABC):
@@ -220,5 +227,14 @@ def make_policy(name: str) -> DropPolicy:
         return POLICIES[key]()
     except KeyError:
         raise ValueError(
-            f"unknown drop policy {name!r}; choose one of {sorted(POLICIES) + ['pattern-utility']}"
+            f"unknown drop policy {name!r}; {policy_help()}"
         ) from None
+
+
+def policy_help() -> str:
+    """One line naming every accepted policy spelling, for errors/--help."""
+    aliases = ", ".join(
+        f"{alias}={target}" for alias, target in sorted(POLICY_ALIASES.items())
+    )
+    names = sorted(POLICIES) + ["pattern-utility"]
+    return f"valid policies: {', '.join(names)} (aliases: {aliases})"

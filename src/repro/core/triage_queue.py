@@ -105,6 +105,7 @@ class TriageQueue:
         seed: int = 0,
         observer: QueueObserver | None = None,
         thread_safe: bool = False,
+        audit=None,
     ) -> None:
         """``dimensions[i]`` describes row position ``dim_positions[i]``.
 
@@ -113,6 +114,11 @@ class TriageQueue:
         ``(queue_name, event, value)`` callbacks on the enqueue/drop/
         summarize/poll paths; ``thread_safe=True`` serializes mutations
         behind an RLock (see the module docstring's concurrency contract).
+        ``audit`` is an optional :class:`~repro.obs.audit.DropLedger`; when
+        set, every shed decision is recorded with its kind, window ids,
+        queue depth, and the policy's score (``PolicyContext.last_score``).
+        The ledger never touches the queue's RNG, so drop decisions are
+        identical with audit on or off.
         """
         if capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity}")
@@ -127,6 +133,9 @@ class TriageQueue:
         self.window = window
         self.summarize = summarize
         self.observer = observer
+        #: Optional DropLedger (assignable post-construction; the service
+        #: data plane enables auditing on already-built queues).
+        self.audit = audit
         self._lock = threading.RLock() if thread_safe else nullcontext()
         self._rng = random.Random(seed)
         self._buffer: deque[StreamTuple] = deque()
@@ -183,9 +192,11 @@ class TriageQueue:
                 )
                 return
             self.stats.overflows += 1
-            victim_idx = self.policy.select_victim(
-                self._buffer, tup, self._context(tup)
-            )
+            ctx = self._context(tup)
+            auditing = self.audit is not None
+            if auditing:
+                ctx.last_score = None
+            victim_idx = self.policy.select_victim(self._buffer, tup, ctx)
             if victim_idx == DROP_INCOMING:
                 victim = tup
                 self._notify("drop_incoming")
@@ -197,6 +208,18 @@ class TriageQueue:
                     self._occ_remove(victim)
                     self._occ_add(tup)
                 self._notify("evict_buffered")
+            if auditing:
+                self.audit.record(
+                    "drop_incoming" if victim_idx == DROP_INCOMING
+                    else "evict_buffered",
+                    policy=self.policy.name,
+                    stream=self.name,
+                    windows=self.window.ids(victim.timestamp),
+                    timestamp=victim.timestamp,
+                    depth=len(self._buffer),
+                    score=ctx.last_score,
+                    row=victim.row,
+                )
             self._shed(victim)
 
     def offer_bulk(self, batch) -> int:
@@ -285,9 +308,14 @@ class TriageQueue:
                 pending: dict[int, list] | None = (
                     {} if summarize and not needs_syn else None
                 )
+                audit = self.audit
+                audit_record = audit.record if audit is not None else None
+                policy_name = policy.name if audit is not None else ""
                 for tup in tail:
                     if needs_syn:
                         ctx.synopsis = syn_get(primary(tup.timestamp))
+                    if audit_record is not None:
+                        ctx.last_score = None
                     victim_idx = select(buffer, tup, ctx)
                     if victim_idx == DROP_INCOMING:
                         victim = tup
@@ -306,7 +334,20 @@ class TriageQueue:
                     # window containing it (one for tumbling specs).
                     vts = victim.timestamp
                     vrow = victim.row
-                    for wid in ids(vts):
+                    vwids = ids(vts)
+                    if audit_record is not None:
+                        audit_record(
+                            "drop_incoming" if victim_idx == DROP_INCOMING
+                            else "evict_buffered",
+                            policy=policy_name,
+                            stream=self.name,
+                            windows=vwids,
+                            timestamp=vts,
+                            depth=len(buffer),
+                            score=ctx.last_score,
+                            row=vrow,
+                        )
+                    for wid in vwids:
                         counts[wid] = counts_get(wid, 0) + 1
                         b = bounds_get(wid)
                         if b is None:

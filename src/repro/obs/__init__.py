@@ -80,8 +80,18 @@ __all__ = [
     "Alert",
     "SLOEngine",
     "default_service_slos",
+    "audit_service_slos",
     "Dashboard",
     "sparkline",
+    "AUDIT_SCHEMA",
+    "DropLedger",
+    "ShedEvent",
+    "attribute_window",
+    "attribute_reports",
+    "validate_ledger_jsonl",
+    "read_ledger_jsonl",
+    "scorecard_rollup",
+    "render_scorecard",
 ]
 
 #: Names resolved on first attribute access (PEP 562), keeping this package
@@ -99,8 +109,18 @@ _LAZY = {
     "Alert": "repro.obs.slo",
     "SLOEngine": "repro.obs.slo",
     "default_service_slos": "repro.obs.slo",
+    "audit_service_slos": "repro.obs.slo",
     "Dashboard": "repro.obs.top",
     "sparkline": "repro.obs.top",
+    "AUDIT_SCHEMA": "repro.obs.audit",
+    "DropLedger": "repro.obs.audit",
+    "ShedEvent": "repro.obs.audit",
+    "attribute_window": "repro.obs.audit",
+    "attribute_reports": "repro.obs.audit",
+    "validate_ledger_jsonl": "repro.obs.audit",
+    "read_ledger_jsonl": "repro.obs.audit",
+    "scorecard_rollup": "repro.obs.audit",
+    "render_scorecard": "repro.obs.audit",
 }
 
 

@@ -1,0 +1,681 @@
+"""Shed-provenance audit ledger and per-window error attribution.
+
+Data Triage's contract is *bounded quality loss under overload*, but the
+aggregate counters (``shed_total``, per-window RMS) cannot say *why* an
+answer is approximate: which policy decision shed what, at what utility
+score, costing how much accuracy.  This module closes that gap with two
+pieces:
+
+:class:`DropLedger`
+    A bounded-memory record of every shed decision.  Exact per-window
+    aggregate counts (keyed ``(stream, policy, kind)``) reconcile 1:1
+    against the ``triage_drops_total``/``drop_incoming``/``evict_buffered``
+    counters, while a fixed-size ring of :class:`ShedEvent` records keeps
+    the most recent decisions with reservoir-sampled tuple exemplars and
+    trace context for forensics.  Ledgers serialize (:meth:`DropLedger.ship`
+    / :meth:`DropLedger.absorb`) so shard workers can stream their entries
+    to the coordinator over the existing RPC, next to ``WindowPartials``.
+
+Attribution join
+    At window close, :func:`attribute_reports` joins the ledger's
+    per-window aggregates against :class:`~repro.obs.report.WindowReport`
+    (RMS error when the run computed an ideal; the realized shed fraction
+    as a proxy on the live service, where no ideal exists) to produce
+    per-window, per-policy, per-stream **quality cost** records —
+    "which shedding decisions made this window wrong, and by how much."
+
+Event kinds
+-----------
+
+``drop_incoming``
+    The drop policy shed the arriving tuple at queue overflow.
+``evict_buffered``
+    The drop policy evicted a previously buffered tuple.
+``edge_shed``
+    The service admission edge discarded late rows for already-closed
+    windows (no policy consulted; recorded with ``policy="admission"``).
+``cep_evict``
+    The pattern engine retired its lowest-utility partial match to stay
+    within ``max_runs`` (pSPICE-style state shedding).
+
+Every event carries the event kind, policy name, victim stream, the window
+ids containing the victim, the policy's utility score when it computed one
+(:attr:`~repro.core.policies.PolicyContext.last_score`), the queue depth at
+decision time, and — for a reservoir-sampled subset — the victim row itself
+plus the active trace id.
+
+Attribution unit: an event is *attributed* to the youngest window
+containing the victim (``max(windows)``), so the per-window buckets
+partition the event stream exactly — ``sum(buckets) + unattributed ==
+totals`` holds at all times, which is what the reconciliation tests pin.
+Sliding-window damage to older windows is approximated by the same record;
+the full membership list is preserved on the ring events.
+
+Auditing is opt-in everywhere and byte-invisible to results: the ledger
+has its own RNG (reservoir sampling never touches a queue's RNG, so drop
+decisions are identical with audit on or off), and the recording hooks sit
+behind a single ``is not None`` check on the hot paths.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import IO, Iterable, Mapping, Sequence
+
+AUDIT_SCHEMA = "repro-audit/v1"
+
+#: Every event kind the ledger accepts, in catalog order.
+EVENT_KINDS = ("drop_incoming", "evict_buffered", "edge_shed", "cep_evict")
+
+#: Aggregate key: ``(stream, policy, kind)``.
+_KEY_FIELDS = ("stream", "policy", "kind")
+
+
+@dataclass(frozen=True)
+class ShedEvent:
+    """One recorded shed decision (a ring entry, not the aggregate)."""
+
+    seq: int
+    kind: str
+    policy: str
+    stream: str
+    windows: tuple[int, ...]
+    timestamp: float
+    depth: int
+    count: int = 1
+    score: float | None = None
+    exemplar: tuple | None = None
+    trace_id: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "event",
+            "seq": self.seq,
+            "kind": self.kind,
+            "policy": self.policy,
+            "stream": self.stream,
+            "windows": list(self.windows),
+            "ts": self.timestamp,
+            "depth": self.depth,
+            "count": self.count,
+            "score": self.score,
+            "exemplar": list(self.exemplar) if self.exemplar is not None else None,
+            "trace_id": self.trace_id,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "ShedEvent":
+        return cls(
+            seq=int(doc["seq"]),
+            kind=str(doc["kind"]),
+            policy=str(doc["policy"]),
+            stream=str(doc["stream"]),
+            windows=tuple(doc.get("windows") or ()),
+            timestamp=float(doc.get("ts", 0.0)),
+            depth=int(doc.get("depth", 0)),
+            count=int(doc.get("count", 1)),
+            score=doc.get("score"),
+            exemplar=tuple(doc["exemplar"]) if doc.get("exemplar") is not None else None,
+            trace_id=doc.get("trace_id"),
+        )
+
+
+class DropLedger:
+    """Bounded-memory shed-decision ledger with exact window aggregates.
+
+    ``capacity`` bounds the event ring (oldest entries evicted, counted);
+    ``exemplars`` is the reservoir size *per (stream, kind)* for sampled
+    victim rows; ``seed`` makes the reservoir deterministic.  Aggregates
+    are exact and tiny (one ``[count, score_sum, score_n]`` triple per
+    ``(window, stream, policy, kind)``) and are popped at window close via
+    :meth:`take_windows`, so steady-state memory is bounded by the number
+    of open windows.
+
+    Pass ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) to
+    surface ``audit_*`` counters; a ledger without one costs nothing extra.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 1024,
+        exemplars: int = 4,
+        seed: int = 0,
+        metrics=None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"ledger capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.exemplars = max(0, exemplars)
+        self._rng = random.Random(seed * 48271 + 11)
+        self._ring: deque[ShedEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        self._evicted = 0
+        self._counts: dict[str, int] = {}
+        self._shipped_counts: dict[str, int] = {}
+        # wid -> {(stream, policy, kind): [count, score_sum, score_n]}
+        self._windows: dict[int, dict[tuple, list]] = {}
+        self._unattributed: dict[tuple, list] = {}
+        self._reservoir_seen: dict[tuple, int] = {}
+        self._trace_id: str | None = None
+        self._c_events = None
+        self._c_exemplars = None
+        self._c_ring_evicted = None
+        self._c_windows_attributed = None
+        self._c_attributed_events = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
+
+    # ------------------------------------------------------------------
+    def bind_metrics(self, registry) -> None:
+        """Register the ``audit_*`` counters against ``registry``."""
+        self._c_events = registry.counter(
+            "audit_events_total",
+            "Shed decisions recorded in the audit ledger",
+            labels=("kind",),
+        )
+        self._c_exemplars = registry.counter(
+            "audit_exemplars_total",
+            "Victim rows kept by the exemplar reservoir",
+        )
+        self._c_ring_evicted = registry.counter(
+            "audit_ring_evictions_total",
+            "Audit ring entries evicted to stay within capacity",
+        )
+        self._c_windows_attributed = registry.counter(
+            "audit_windows_attributed_total",
+            "Windows whose ledger entries were joined against a report",
+        )
+        self._c_attributed_events = registry.counter(
+            "audit_attributed_events_total",
+            "Shed events attributed to a closed window",
+        )
+
+    # ------------------------------------------------------------------
+    def set_trace(self, trace_id: str | None) -> None:
+        """Ambient trace context: stamped on events recorded while set.
+
+        The service installs the publishing client's trace id around the
+        ingest hot path (mirroring ``Tracer.set_context``) so sampled
+        exemplars carry the originating trace without per-call plumbing.
+        """
+        self._trace_id = trace_id
+
+    def record(
+        self,
+        kind: str,
+        *,
+        policy: str,
+        stream: str,
+        windows: Sequence[int] = (),
+        timestamp: float = 0.0,
+        depth: int = 0,
+        score: float | None = None,
+        row=None,
+        count: int = 1,
+        trace_id: str | None = None,
+    ) -> None:
+        """Record one shed decision (``count`` folds identical decisions)."""
+        if trace_id is None:
+            trace_id = self._trace_id
+        self._seq += 1
+        self._counts[kind] = self._counts.get(kind, 0) + count
+        key = (stream, policy, kind)
+        if windows:
+            slot = self._windows.setdefault(max(windows), {}).setdefault(
+                key, [0, 0.0, 0]
+            )
+        else:
+            slot = self._unattributed.setdefault(key, [0, 0.0, 0])
+        slot[0] += count
+        if score is not None:
+            slot[1] += score
+            slot[2] += 1
+        exemplar = None
+        if row is not None and self.exemplars:
+            rkey = (stream, kind)
+            seen = self._reservoir_seen.get(rkey, 0) + 1
+            self._reservoir_seen[rkey] = seen
+            if seen <= self.exemplars or (
+                self._rng.random() * seen < self.exemplars
+            ):
+                exemplar = tuple(row)
+                if self._c_exemplars is not None:
+                    self._c_exemplars.inc()
+        if len(self._ring) == self.capacity:
+            self._evicted += 1
+            if self._c_ring_evicted is not None:
+                self._c_ring_evicted.inc()
+        self._ring.append(
+            ShedEvent(
+                seq=self._seq,
+                kind=kind,
+                policy=policy,
+                stream=stream,
+                windows=tuple(windows),
+                timestamp=timestamp,
+                depth=depth,
+                count=count,
+                score=score,
+                exemplar=exemplar,
+                trace_id=trace_id,
+            )
+        )
+        if self._c_events is not None:
+            self._c_events.inc(count, kind=kind)
+
+    # ------------------------------------------------------------------
+    @property
+    def counts(self) -> dict[str, int]:
+        """Monotonic event counts by kind (includes absorbed shipments)."""
+        return dict(self._counts)
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    @property
+    def ring(self) -> list[ShedEvent]:
+        return list(self._ring)
+
+    def pending_windows(self) -> list[int]:
+        return sorted(self._windows)
+
+    def unattributed(self) -> list[dict]:
+        """Windowless entries (edge sheds, CEP evicts) as plain dicts."""
+        return [
+            _entry_dict(key, slot)
+            for key, slot in sorted(self._unattributed.items())
+        ]
+
+    # ------------------------------------------------------------------
+    def take_windows(self, window_ids: Iterable[int]) -> dict[int, list[dict]]:
+        """Pop and return the aggregates for closed windows.
+
+        Returns ``{wid: [{stream, policy, kind, count, mean_score}, ...]}``
+        for every requested window that had shed events; popped entries no
+        longer count toward :meth:`pending_windows` (but remain in the
+        monotonic :attr:`counts`).
+        """
+        taken: dict[int, list[dict]] = {}
+        attributed = 0
+        for wid in window_ids:
+            entries = self._windows.pop(wid, None)
+            if not entries:
+                continue
+            taken[wid] = [
+                _entry_dict(key, slot) for key, slot in sorted(entries.items())
+            ]
+            attributed += sum(slot[0] for slot in entries.values())
+        if taken and self._c_windows_attributed is not None:
+            self._c_windows_attributed.inc(len(taken))
+            self._c_attributed_events.inc(attributed)
+        return taken
+
+    # ------------------------------------------------------------------
+    def ship(self, window_ids: Iterable[int] | None = None) -> dict:
+        """Serialize this ledger's new state for the coordinator.
+
+        Pops the aggregates for ``window_ids`` (all pending windows when
+        ``None``), drains the event ring, and reports the per-kind count
+        delta since the last shipment.  The result is a plain dict safe to
+        send over the shard RPC pipe; feed it to :meth:`absorb` on the
+        other side.
+        """
+        wids = list(self._windows) if window_ids is None else list(window_ids)
+        windows = {}
+        for wid in wids:
+            entries = self._windows.pop(wid, None)
+            if entries:
+                windows[wid] = [
+                    [*key, *slot] for key, slot in sorted(entries.items())
+                ]
+        events = [e.to_dict() for e in self._ring]
+        self._ring.clear()
+        delta = {}
+        for kind, n in self._counts.items():
+            d = n - self._shipped_counts.get(kind, 0)
+            if d:
+                delta[kind] = d
+                self._shipped_counts[kind] = n
+        return {
+            "windows": windows,
+            "events": events,
+            "counts": delta,
+            "evicted": self._evicted,
+        }
+
+    def absorb(self, shipment: Mapping) -> None:
+        """Merge a worker's :meth:`ship` output into this ledger."""
+        for kind, n in shipment.get("counts", {}).items():
+            self._counts[kind] = self._counts.get(kind, 0) + n
+            if self._c_events is not None:
+                self._c_events.inc(n, kind=kind)
+        for wid, entries in shipment.get("windows", {}).items():
+            bucket = self._windows.setdefault(int(wid), {})
+            for stream, policy, kind, count, ssum, sn in entries:
+                slot = bucket.setdefault((stream, policy, kind), [0, 0.0, 0])
+                slot[0] += count
+                slot[1] += ssum
+                slot[2] += sn
+        for doc in shipment.get("events", ()):
+            event = ShedEvent.from_dict(doc)
+            self._seq += 1
+            if len(self._ring) == self.capacity:
+                self._evicted += 1
+                if self._c_ring_evicted is not None:
+                    self._c_ring_evicted.inc()
+            # Re-sequence into the coordinator's stream; the worker's own
+            # ordering is preserved within the shipment.
+            self._ring.append(
+                ShedEvent(**{**_event_kwargs(event), "seq": self._seq})
+            )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """The compact JSON block STATS replies and TELEMETRY frames carry."""
+        return {
+            "schema": AUDIT_SCHEMA,
+            "total": self.total,
+            "events": dict(sorted(self._counts.items())),
+            "ring": len(self._ring),
+            "ring_evicted": self._evicted,
+            "pending_windows": len(self._windows),
+            "unattributed": self.unattributed(),
+        }
+
+    # ------------------------------------------------------------------
+    def export_jsonl(
+        self, fh: IO[str], attributions: Sequence[Mapping] = ()
+    ) -> int:
+        """Write the ledger as JSON Lines; returns the line count.
+
+        Line 1 is a ``type: "header"`` record with the schema and totals;
+        then one ``type: "event"`` line per ring entry and one
+        ``type: "attribution"`` line per attribution record (see
+        :func:`attribute_reports`).  :func:`validate_ledger_jsonl` checks
+        the inverse.
+        """
+        lines = 1
+        header = dict(self.summary(), type="header")
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for event in self._ring:
+            fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+            lines += 1
+        for record in attributions:
+            fh.write(
+                json.dumps(dict(record, type="attribution"), sort_keys=True)
+                + "\n"
+            )
+            lines += 1
+        return lines
+
+
+def _entry_dict(key: tuple, slot: list) -> dict:
+    stream, policy, kind = key
+    count, ssum, sn = slot
+    return {
+        "stream": stream,
+        "policy": policy,
+        "kind": kind,
+        "count": count,
+        "mean_score": (ssum / sn) if sn else None,
+    }
+
+
+def _event_kwargs(event: ShedEvent) -> dict:
+    return {
+        "seq": event.seq,
+        "kind": event.kind,
+        "policy": event.policy,
+        "stream": event.stream,
+        "windows": event.windows,
+        "timestamp": event.timestamp,
+        "depth": event.depth,
+        "count": event.count,
+        "score": event.score,
+        "exemplar": event.exemplar,
+        "trace_id": event.trace_id,
+    }
+
+
+# ----------------------------------------------------------------------
+# Attribution join
+
+
+def attribute_window(
+    window_id: int,
+    entries: Sequence[Mapping],
+    *,
+    rms_error: float | None = None,
+    arrived: int | None = None,
+    dropped: int | None = None,
+) -> dict:
+    """Join one window's ledger entries against its realized error.
+
+    ``rms_error`` is the :class:`~repro.obs.report.WindowReport` RMS when
+    the run computed an ideal answer; on the live service (no ideal) the
+    shed fraction ``dropped / arrived`` stands in as the cost basis.  Each
+    ``(stream, policy, kind)`` entry is charged ``basis * share`` where
+    ``share`` is its fraction of the window's recorded shed events — the
+    window's quality loss apportioned by drop responsibility.
+    """
+    total = sum(int(e["count"]) for e in entries)
+    if rms_error is not None:
+        basis, basis_kind = float(rms_error), "rms"
+    elif arrived:
+        basis, basis_kind = (dropped or 0) / arrived, "shed_fraction"
+    else:
+        basis, basis_kind = 0.0, "shed_fraction"
+    policies = []
+    for entry in entries:
+        share = (int(entry["count"]) / total) if total else 0.0
+        policies.append(
+            {
+                "stream": entry["stream"],
+                "policy": entry["policy"],
+                "kind": entry["kind"],
+                "count": int(entry["count"]),
+                "share": round(share, 6),
+                "mean_score": entry.get("mean_score"),
+                "quality_cost": round(basis * share, 9),
+            }
+        )
+    policies.sort(key=lambda p: (-p["quality_cost"], p["policy"], p["stream"]))
+    return {
+        "window": window_id,
+        "basis": basis_kind,
+        "error": round(basis, 9),
+        "events": total,
+        "policies": policies,
+    }
+
+
+def attribute_reports(
+    taken: Mapping[int, Sequence[Mapping]],
+    reports: Iterable,
+) -> list[dict]:
+    """Attribution records for every window in ``taken``.
+
+    ``reports`` is an iterable of :class:`~repro.obs.report.WindowReport`
+    (or anything with ``window_id``/``rms_error``/``arrived``/``dropped``
+    attributes); windows without a matching report fall back to the shed
+    fraction derivable from the ledger alone (basis 0 — no error signal).
+    """
+    by_wid = {}
+    for r in reports:
+        by_wid[getattr(r, "window_id", None)] = r
+    out = []
+    for wid in sorted(taken):
+        report = by_wid.get(wid)
+        out.append(
+            attribute_window(
+                wid,
+                taken[wid],
+                rms_error=getattr(report, "rms_error", None),
+                arrived=getattr(report, "arrived", None),
+                dropped=getattr(report, "dropped", None),
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# JSONL schema validation + scorecard rendering
+
+
+def validate_ledger_jsonl(lines: Iterable[str]) -> dict:
+    """Validate a JSONL ledger export; returns its parsed structure.
+
+    Raises :class:`ValueError` on any malformed line.  Returns
+    ``{"header": dict, "events": [ShedEvent], "attributions": [dict]}``.
+    """
+    header = None
+    events: list[ShedEvent] = []
+    attributions: list[dict] = []
+    for lineno, raw in enumerate(lines, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            doc = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not valid JSON: {exc}") from None
+        if not isinstance(doc, dict):
+            raise ValueError(f"line {lineno}: expected an object")
+        kind = doc.get("type")
+        if kind == "header":
+            if header is not None:
+                raise ValueError(f"line {lineno}: duplicate header")
+            if doc.get("schema") != AUDIT_SCHEMA:
+                raise ValueError(
+                    f"line {lineno}: schema {doc.get('schema')!r} is not"
+                    f" {AUDIT_SCHEMA!r}"
+                )
+            header = doc
+        elif kind == "event":
+            if header is None:
+                raise ValueError(f"line {lineno}: event before header")
+            try:
+                event = ShedEvent.from_dict(doc)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"line {lineno}: bad event: {exc}") from None
+            if event.kind not in EVENT_KINDS:
+                raise ValueError(
+                    f"line {lineno}: unknown event kind {event.kind!r}"
+                )
+            events.append(event)
+        elif kind == "attribution":
+            required = {"window", "basis", "error", "events", "policies"}
+            missing = required - doc.keys()
+            if missing:
+                raise ValueError(
+                    f"line {lineno}: attribution missing {sorted(missing)}"
+                )
+            attributions.append(doc)
+        else:
+            raise ValueError(f"line {lineno}: unknown record type {kind!r}")
+    if header is None:
+        raise ValueError("ledger has no header line")
+    return {"header": header, "events": events, "attributions": attributions}
+
+
+def read_ledger_jsonl(path) -> dict:
+    """:func:`validate_ledger_jsonl` over a file path."""
+    with open(path, encoding="utf-8") as fh:
+        return validate_ledger_jsonl(fh)
+
+
+def scorecard_rollup(attributions: Iterable[Mapping]) -> list[dict]:
+    """Cross-window per-``(policy, stream, kind)`` cost rollup."""
+    acc: dict[tuple, dict] = {}
+    for record in attributions:
+        for p in record.get("policies", ()):
+            key = (p["policy"], p["stream"], p["kind"])
+            slot = acc.setdefault(
+                key,
+                {
+                    "policy": p["policy"],
+                    "stream": p["stream"],
+                    "kind": p["kind"],
+                    "windows": 0,
+                    "events": 0,
+                    "quality_cost": 0.0,
+                    "_score_sum": 0.0,
+                    "_score_n": 0,
+                },
+            )
+            slot["windows"] += 1
+            slot["events"] += p["count"]
+            slot["quality_cost"] += p["quality_cost"]
+            if p.get("mean_score") is not None:
+                slot["_score_sum"] += p["mean_score"]
+                slot["_score_n"] += 1
+    out = []
+    for slot in acc.values():
+        sn = slot.pop("_score_n")
+        ssum = slot.pop("_score_sum")
+        slot["mean_score"] = (ssum / sn) if sn else None
+        slot["quality_cost"] = round(slot["quality_cost"], 9)
+        out.append(slot)
+    out.sort(key=lambda s: (-s["quality_cost"], -s["events"], s["policy"]))
+    return out
+
+
+def render_scorecard(
+    summary: Mapping, attributions: Sequence[Mapping], *, width: int = 78
+) -> str:
+    """The ``repro audit`` text scorecard: totals, rollup, recent windows."""
+    lines = ["repro audit — shed provenance scorecard"]
+    counts = summary.get("events", {})
+    total = summary.get("total", sum(counts.values()))
+    by_kind = "  ".join(f"{k}={counts[k]}" for k in sorted(counts)) or "none"
+    lines.append(f" events: {total}  ({by_kind})")
+    lines.append(
+        f" ring: {summary.get('ring', 0)} kept,"
+        f" {summary.get('ring_evicted', 0)} evicted;"
+        f" pending windows: {summary.get('pending_windows', 0)}"
+    )
+    rollup = scorecard_rollup(attributions)
+    if rollup:
+        lines.append("")
+        lines.append(
+            f" {'policy':<22} {'stream':<10} {'kind':<15}"
+            f" {'events':>7} {'score':>8} {'cost':>10}"
+        )
+        for slot in rollup[:20]:
+            score = (
+                f"{slot['mean_score']:.4f}"
+                if slot["mean_score"] is not None
+                else "-"
+            )
+            lines.append(
+                f" {slot['policy']:<22} {slot['stream']:<10}"
+                f" {slot['kind']:<15} {slot['events']:>7}"
+                f" {score:>8} {slot['quality_cost']:>10.5f}"
+            )
+    unattributed = summary.get("unattributed") or ()
+    for entry in unattributed:
+        lines.append(
+            f" unattributed: {entry['policy']} {entry['stream']}"
+            f" {entry['kind']} x{entry['count']}"
+        )
+    if attributions:
+        lines.append("")
+        lines.append(" recent windows:")
+        for record in list(attributions)[-8:]:
+            top = record["policies"][0] if record["policies"] else None
+            top_text = (
+                f"  top: {top['policy']}/{top['stream']}"
+                f" share={top['share']:.2f}"
+                if top
+                else ""
+            )
+            lines.append(
+                f"  w={record['window']:<6} {record['basis']}="
+                f"{record['error']:.5f} events={record['events']}{top_text}"
+            )
+    return "\n".join(line[:width] for line in lines)

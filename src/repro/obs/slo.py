@@ -36,7 +36,13 @@ from dataclasses import dataclass, field
 
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["SLO", "Alert", "SLOEngine", "default_service_slos"]
+__all__ = [
+    "SLO",
+    "Alert",
+    "SLOEngine",
+    "default_service_slos",
+    "audit_service_slos",
+]
 
 
 @dataclass(frozen=True)
@@ -309,5 +315,34 @@ def default_service_slos(window_width: float) -> list[SLO]:
             fast_window=fast,
             slow_window=slow,
             description="fraction of a window's arrivals shed to synopses",
+        ),
+    ]
+
+
+def audit_service_slos(window_width: float) -> list[SLO]:
+    """Objectives over the audit ledger's attributed error, scaled like
+    :func:`default_service_slos`.
+
+    * ``attributed_error_burn`` — a window whose ledger-attributed error
+      basis (RMS error when the pipeline computes ideals, shed fraction
+      on the live service) exceeds 0.25 is a bad window; 90% compliance.
+      This turns the attribution join into a burn-rate signal: sustained
+      quality loss from shedding fires an alert even when raw drop
+      counters look steady.
+
+    Appended to the service's SLO set only when auditing is enabled, so
+    an audit-off server's SLO state is byte-identical to before.
+    """
+    width = float(window_width)
+    if width <= 0:
+        raise ValueError(f"window width must be positive: {window_width}")
+    return [
+        SLO(
+            "attributed_error_burn",
+            threshold=0.25,
+            objective=0.9,
+            fast_window=4 * width,
+            slow_window=16 * width,
+            description="ledger-attributed per-window quality cost",
         ),
     ]

@@ -87,6 +87,13 @@ class Dashboard:
         self.depth = deque(maxlen=history)
         self.alerts_log = deque(maxlen=8)
         self.counters: dict[str, float] = {}
+        #: Latest audit-ledger summary (empty when the server runs audit-off,
+        #: in which case the quality panel is not rendered at all).
+        self.audit: dict = {}
+        #: Recent per-window attribution records (newest last).
+        self.attributions = deque(maxlen=history)
+        #: Attributed error basis per window, for the quality sparkline.
+        self.quality = deque(maxlen=history)
 
     # ------------------------------------------------------------------
     def feed(self, payload: dict) -> None:
@@ -110,6 +117,7 @@ class Dashboard:
             self.firing = list(payload.get("firing") or ())
         for alert in payload.get("alerts", ()):
             self.alerts_log.append(alert)
+        self._feed_audit(payload.get("audit"))
 
     def feed_stats(self, stats: dict) -> None:
         """Ingest one STATS response (the ``--once`` path, no telemetry)."""
@@ -126,6 +134,15 @@ class Dashboard:
             self.firing = [
                 name for name, st in sorted(slo.items()) if st.get("firing")
             ]
+        self._feed_audit(stats.get("audit"))
+
+    def _feed_audit(self, audit: dict | None) -> None:
+        if not audit:
+            return
+        self.audit = audit.get("summary") or {}
+        for record in audit.get("attributions", ()):
+            self.attributions.append(record)
+            self.quality.append(float(record.get("error") or 0.0))
 
     def _feed_report(self, report: dict) -> None:
         latency = report.get("result_latency")
@@ -188,6 +205,37 @@ class Dashboard:
         if self.error:
             lines.append(row("rms err", self.error))
         lines.append("")
+
+        # Quality panel: only rendered when the server runs audit-on, so an
+        # audit-off server's `repro top` output is unchanged.
+        if self.audit:
+            from repro.obs.audit import scorecard_rollup
+
+            events = self.audit.get("events") or {}
+            kinds = "  ".join(f"{k}={int(v)}" for k, v in sorted(events.items()))
+            loose = sum(
+                int(e.get("count", 0))
+                for e in self.audit.get("unattributed") or ()
+            )
+            lines.append(
+                self._c(_BOLD, "quality")
+                + f"  shed events={self.audit.get('total', 0)}"
+                + (f"  [{kinds}]" if kinds else "")
+                + f"  unattributed={loose}"
+            )
+            if self.quality:
+                lines.append(row("attr err", self.quality))
+            for slot in scorecard_rollup(self.attributions)[:3]:
+                lines.append(
+                    self._c(
+                        _DIM,
+                        f"  {slot['policy']}/{slot['stream']}"
+                        f" {slot['kind']}"
+                        f"  events={slot['events']}"
+                        f"  cost={_fmt_num(slot['quality_cost'])}",
+                    )
+                )
+            lines.append("")
 
         if self.firing:
             names = ", ".join(self.firing)

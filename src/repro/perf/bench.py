@@ -147,6 +147,39 @@ def bench_pipeline_traced(quick: bool) -> dict:
     )
 
 
+def bench_pipeline_audited(quick: bool) -> dict:
+    """The Figure 9 workload with the shed-provenance audit ledger attached.
+
+    Byte-identical streams and config to ``pipeline_fig9_bursty`` (same
+    :func:`repro.experiments.bursty_pipeline` seed), so the gap between the
+    two suites *is* the cost of recording every drop decision in the
+    :class:`repro.obs.audit.DropLedger` — the audit overhead budget
+    (acceptance: within 10% of the un-audited run).
+    """
+    from repro.core.strategies import ShedStrategy
+    from repro.experiments import STREAM_NAMES, ExperimentParams, bursty_pipeline
+    from repro.obs.audit import DropLedger
+
+    params = ExperimentParams()
+    pipeline, streams = bursty_pipeline(
+        ShedStrategy.DATA_TRIAGE, 2000.0, params, 0
+    )
+    pipeline.audit = DropLedger(seed=0)
+    pipeline.run(streams)  # warm the plan cache + window-id cache
+
+    def one_rep() -> None:
+        pipeline.audit = DropLedger(seed=0)  # fresh ledger, as a real run has
+        pipeline.run(streams)
+
+    tuples = len(STREAM_NAMES) * params.tuples_per_stream
+    return _time_suite(
+        one_rep,
+        reps=5 if quick else 15,
+        units_per_rep=tuples,
+        unit="tuples",
+    )
+
+
 def bench_executor(quick: bool) -> dict:
     """Figure 6 original query: 3-way join + aggregate over static tables."""
     from repro.experiments import microbench_original, microbench_setup
@@ -466,6 +499,7 @@ def bench_cep_pattern(quick: bool, drop_policy: str | None = None) -> dict:
 SUITES = {
     "pipeline_fig9_bursty": bench_pipeline,
     "pipeline_fig9_traced": bench_pipeline_traced,
+    "pipeline_fig9_audited": bench_pipeline_audited,
     "executor_micro": bench_executor,
     "synopsis_join": bench_synopsis,
     "synopsis_union": bench_synopsis_union,
@@ -514,12 +548,15 @@ def shard_metrics_snapshot(shards: int = 2) -> str:
     This is the per-shard metrics artifact CI uploads next to the bench
     numbers: it proves ``shard_queue_depth`` / ``shard_windows_merged_total``
     / ``shard_merge_seconds`` flow through the registry on a real sharded
-    close, without needing a long-lived server in the workflow.
+    close, without needing a long-lived server in the workflow.  The cycle
+    runs with the shed-provenance audit ledger attached, so the ``audit_*``
+    counter family lands in the same snapshot.
     """
     from repro.core.pipeline import DataTriagePipeline
     from repro.core.strategies import PipelineConfig
     from repro.engine.window import WindowSpec
     from repro.experiments import PAPER_QUERY, STREAM_NAMES, paper_catalog
+    from repro.obs.audit import DropLedger
     from repro.service.metrics import MetricsRegistry
     from repro.service.shard import ShardedDataPlane
     from repro.sources.generators import paper_row_generators
@@ -529,7 +566,8 @@ def shard_metrics_snapshot(shards: int = 2) -> str:
         window=WindowSpec(width=1.0), queue_capacity=50, compute_ideal=False
     )
     pipeline = DataTriagePipeline(paper_catalog(), PAPER_QUERY, config)
-    plane = ShardedDataPlane(pipeline, shards, metrics=registry)
+    ledger = DropLedger(seed=0, metrics=registry)
+    plane = ShardedDataPlane(pipeline, shards, metrics=registry, audit=ledger)
     try:
         rng = random.Random(5)
         gens = paper_row_generators()
@@ -550,9 +588,12 @@ def shard_metrics_snapshot(shards: int = 2) -> str:
 def baseline_mismatch(doc: dict, baseline: dict) -> str | None:
     """One-line reason ``baseline`` cannot gate ``doc``, or None if it can.
 
-    A baseline written under a different schema, or one missing a suite
-    this run produced, would make the regression gate silently vacuous —
-    the CLI turns the returned line into a nonzero exit instead.
+    A baseline written under a different schema, or one sharing *no* suite
+    with this run, would make the regression gate silently vacuous — the
+    CLI turns the returned line into a nonzero exit instead.  A baseline
+    that merely predates some newly added suites is fine: the shared
+    suites still gate, and :func:`baseline_skipped` names the rest so the
+    CLI can print them as a note rather than an error.
     """
     schema = baseline.get("schema")
     if schema != BENCH_SCHEMA:
@@ -563,13 +604,20 @@ def baseline_mismatch(doc: dict, baseline: dict) -> str | None:
     base_suites = baseline.get("suites")
     if not isinstance(base_suites, dict) or not base_suites:
         return "baseline has no suite results"
-    missing = sorted(n for n in doc.get("suites", {}) if n not in base_suites)
-    if missing:
+    if not any(n in base_suites for n in doc.get("suites", {})):
         return (
-            f"baseline is missing suite(s) {', '.join(missing)}; "
-            f"regenerate it with `repro bench`"
+            "baseline shares no suites with this run; "
+            "regenerate it with `repro bench`"
         )
     return None
+
+
+def baseline_skipped(doc: dict, baseline: dict) -> list[str]:
+    """Suites this run produced that ``baseline`` predates (ungated)."""
+    base_suites = baseline.get("suites")
+    if not isinstance(base_suites, dict):
+        return sorted(doc.get("suites", {}))
+    return sorted(n for n in doc.get("suites", {}) if n not in base_suites)
 
 
 def compare_results(

@@ -50,13 +50,17 @@ class StreamDataPlane:
         sources: list[str] | None = None,
         observer=None,
         thread_safe: bool = False,
+        audit=None,
     ) -> None:
         """``sources=None`` owns every source of the pipeline's query;
         a shard worker passes its assigned subset.  ``observer`` and
         ``thread_safe`` are forwarded to the queues (the in-server plane
         wires its metrics observer and shares queues across publisher
         threads; shard workers are single-threaded and unobserved — their
-        stats travel back in tick snapshots instead).
+        stats travel back in tick snapshots instead).  ``audit`` is an
+        optional :class:`~repro.obs.audit.DropLedger` shared by every
+        owned queue (and the hosted pattern engine); see
+        :meth:`enable_audit` for turning it on after construction.
         """
         self.pipeline = pipeline
         self.config = pipeline.config
@@ -65,6 +69,7 @@ class StreamDataPlane:
         )
         self._observer = observer
         self._thread_safe = thread_safe
+        self._audit = audit
         self._schemas = {
             s: pipeline.bound.source(s).schema for s in self.sources
         }
@@ -84,7 +89,10 @@ class StreamDataPlane:
         self.queues.update(
             {
                 s: self.pipeline.build_queue(
-                    s, observer=self._observer, thread_safe=self._thread_safe
+                    s,
+                    observer=self._observer,
+                    thread_safe=self._thread_safe,
+                    audit=self._audit,
                 )
                 for s in self.sources
             }
@@ -141,7 +149,11 @@ class StreamDataPlane:
             UtilityModel(pattern.within, bins=bins) if with_utility else None
         )
         self._pattern_engine = PatternEngine(
-            pattern, max_runs=max_runs, observer=observer, utility=utility
+            pattern,
+            max_runs=max_runs,
+            observer=observer,
+            utility=utility,
+            audit=self._audit,
         )
         self._pattern_sources = frozenset(pattern.streams)
         self._pattern_matches = []
@@ -151,6 +163,34 @@ class StreamDataPlane:
     def pattern_engine(self):
         """The hosted pattern engine, or None."""
         return self._pattern_engine
+
+    # ------------------------------------------------------------------
+    # Shed-provenance auditing
+    # ------------------------------------------------------------------
+    @property
+    def audit(self):
+        """The attached :class:`~repro.obs.audit.DropLedger`, or None."""
+        return self._audit
+
+    def enable_audit(self, ledger) -> None:
+        """Attach ``ledger`` to the live queues (and survive resets).
+
+        Shard workers receive the enable over RPC *after* their plane is
+        built, so this rewires already-constructed queues in place; the
+        queue's recording hook is one ``is not None`` check, so attaching
+        mid-run changes no drop decision (the ledger has its own RNG).
+        """
+        self._audit = ledger
+        for q in self.queues.values():
+            q.audit = ledger
+        if self._pattern_engine is not None:
+            self._pattern_engine.audit = ledger
+
+    def audit_ship(self, wids: list[int] | None = None):
+        """Serialize the ledger's new state for the coordinator (or None)."""
+        if self._audit is None:
+            return None
+        return self._audit.ship(wids)
 
     def take_matches(self) -> list[StreamTuple]:
         """Pop the pattern matches emitted since the last call."""

@@ -50,9 +50,10 @@ from repro.core.strategies import PipelineConfig
 from repro.core.triage_queue import TriageQueue
 from repro.engine.catalog import Catalog
 from repro.engine.types import SchemaError
+from repro.obs.audit import DropLedger, attribute_reports
 from repro.obs.metrics import DeltaSnapshotter
 from repro.obs.report import WindowReport, summarize_reports
-from repro.obs.slo import SLOEngine, default_service_slos
+from repro.obs.slo import SLOEngine, audit_service_slos, default_service_slos
 from repro.service import protocol
 from repro.service.dataplane import StreamDataPlane
 from repro.service.metrics import LATENCY_BUCKETS, MetricsRegistry
@@ -102,12 +103,25 @@ class ServiceConfig:
     #: queues, drop policies, and engine drain budget (see
     #: :mod:`repro.service.shard`).  Results are byte-identical either way.
     shards: int = 1
+    #: Shed-provenance audit ledger (see :mod:`repro.obs.audit`).  Off by
+    #: default: the ledger is opt-in observability and, when off, the hot
+    #: paths carry no audit branches beyond a single ``is not None`` check,
+    #: so results and drop decisions are byte-identical either way.
+    audit: bool = False
+    #: Audit event-ring capacity (sampled exemplars retained), and the
+    #: per-``(stream, kind)`` reservoir size for tuple exemplars.
+    audit_ring: int = 1024
+    audit_exemplars: int = 4
 
     def __post_init__(self) -> None:
         if self.tick_interval is not None and self.tick_interval <= 0:
             raise ValueError("tick_interval must be positive or None")
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        if self.audit_ring < 1:
+            raise ValueError("audit_ring must be >= 1")
+        if self.audit_exemplars < 0:
+            raise ValueError("audit_exemplars must be >= 0")
         if self.grace < 0:
             raise ValueError("grace must be >= 0")
         if self.telemetry_interval is not None and self.telemetry_interval <= 0:
@@ -153,14 +167,36 @@ class TriageServer:
         #: exported in the STATS reply.
         self._window_reports: deque[WindowReport] = deque(maxlen=128)
 
+        #: Shed-provenance audit ledger (None when auditing is off).  The
+        #: coordinator ledger is the single source of truth: the serial
+        #: plane's queues write to it directly; shard workers keep their
+        #: own ledgers and ship state back at window close (see
+        #: :meth:`ShardedDataPlane.collect`).
+        self.audit: DropLedger | None = None
+        if self.service.audit:
+            self.audit = DropLedger(
+                capacity=self.service.audit_ring,
+                exemplars=self.service.audit_exemplars,
+                seed=self.config.seed,
+                metrics=self.metrics,
+            )
+        #: Recent attribution records (newest last) for STATS / `repro audit`.
+        self._audit_attributions: deque[dict] = deque(maxlen=128)
+        #: Attribution records accumulated since the last TELEMETRY push.
+        self._pending_audit: list[dict] = []
+
         # SLO scoring: every closed window feeds measurements; evaluation
         # happens on the telemetry cadence (see tick()).
-        self.slo = SLOEngine(
+        slos = (
             self.service.slos
             if self.service.slos is not None
-            else default_service_slos(self.config.window.width),
-            self.metrics,
+            else default_service_slos(self.config.window.width)
         )
+        if self.audit is not None:
+            # Only append when auditing so an audit-off server's SLO set
+            # (and therefore its STATS/TELEMETRY payloads) is unchanged.
+            slos = list(slos) + audit_service_slos(self.config.window.width)
+        self.slo = SLOEngine(slos, self.metrics)
         self._snapshotter = DeltaSnapshotter(self.metrics)
         self._telemetry_seq = 0
         self._last_telemetry: float | None = None
@@ -183,14 +219,20 @@ class TriageServer:
             from repro.service.shard import ShardedDataPlane
 
             self.plane = ShardedDataPlane(
-                self.pipeline, self.service.shards, metrics=self.metrics
+                self.pipeline,
+                self.service.shards,
+                metrics=self.metrics,
+                audit=self.audit,
             )
             #: Sharded queues live inside worker processes; the in-process
             #: map is empty and introspection goes through the plane facade.
             self.queues: dict[str, TriageQueue] = {}
         else:
             self.plane = StreamDataPlane(
-                self.pipeline, observer=self._queue_event, thread_safe=True
+                self.pipeline,
+                observer=self._queue_event,
+                thread_safe=True,
+                audit=self.audit,
             )
             self.queues = self.plane.queues
         for s, capacity in self.plane.capacities().items():
@@ -493,6 +535,13 @@ class TriageServer:
             self.plane.drain(None)
         try:
             await self._close_windows(now, force=True)
+            if self.audit is not None and self.sharded:
+                # Pull any residual worker ledger state (windowless events
+                # such as cep_evict ship only with a collect) so the final
+                # coordinator counts reconcile exactly with plane totals.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self.plane.audit_sync
+                )
         except Exception:
             if not self.sharded:
                 raise
@@ -836,6 +885,10 @@ class TriageServer:
                 span_cm = tracer.span("ingest", cat="service", source=source,
                                       rows=nrows)
                 span_cm.__enter__()
+            if self.audit is not None:
+                # Exemplars sampled during this batch carry the client's
+                # trace id (mirrors the tracer context lifecycle above).
+                self.audit.set_trace(trace["trace_id"])
         try:
             if columnar:
                 accepted, late, depth, dropped_total = self.plane.ingest_columns(
@@ -849,8 +902,24 @@ class TriageServer:
             if tracer is not None:
                 span_cm.__exit__(None, None, None)
                 tracer.clear_context()
+            if trace is not None and self.audit is not None:
+                self.audit.set_trace(None)
         if late:
             self._c_late.inc(late, stream=source)
+            if self.audit is not None:
+                # Edge shedding: rows refused coordinator-side because their
+                # window already closed.  No window bucket (the window is
+                # gone), so these land in the ledger's unattributed pool.
+                self.audit.record(
+                    "edge_shed",
+                    policy="admission",
+                    stream=source,
+                    windows=(),
+                    timestamp=now,
+                    depth=depth,
+                    count=late,
+                    trace_id=trace["trace_id"] if trace is not None else None,
+                )
         if traced_wids:
             ctx = {
                 "trace_id": trace["trace_id"],
@@ -873,6 +942,11 @@ class TriageServer:
                 "summary": self._summary(),
                 "window_reports": [r.to_dict() for r in self._window_reports],
             }
+            if self.audit is not None:
+                reply["audit"] = {
+                    "summary": self.audit.summary(),
+                    "attributions": list(self._audit_attributions),
+                }
         await session.send_now(reply)
         return True
 
@@ -964,6 +1038,7 @@ class TriageServer:
         subscribers = self.registry.telemetry_subscribers()
         if not subscribers:
             self._pending_reports.clear()
+            self._pending_audit.clear()
             return
         self._telemetry_seq += 1
         frame = {
@@ -978,6 +1053,12 @@ class TriageServer:
             "slo": self.slo.status(),
             "summary": self._telemetry_summary(),
         }
+        if self.audit is not None:
+            frame["audit"] = {
+                "summary": self.audit.summary(),
+                "attributions": self._pending_audit,
+            }
+            self._pending_audit = []
         self._pending_reports = []
         self._c_telemetry.inc(len(subscribers))
         evicted = await self.registry.broadcast(frame, group="telemetry")
@@ -1061,7 +1142,32 @@ class TriageServer:
             dropped_counts=partials.dropped_counts,
             arrived=partials.arrived,
         )
-        return [self._frame_outcome(o, now) for o in outcomes]
+        frames = [self._frame_outcome(o, now) for o in outcomes]
+        if self.audit is not None:
+            # Attribution join: sharded planes shipped worker ledger state
+            # during collect() above, so by now the coordinator ledger holds
+            # every shed decision for these windows at any shard count.
+            self._attribute_closed_windows(wids, now)
+        return frames
+
+    def _attribute_closed_windows(self, wids: list[int], now: float) -> None:
+        """Join the ledger's per-window shed aggregates against the freshly
+        built :class:`WindowReport` rows, producing quality-cost records.
+
+        The live service has no ideal reference (``rms_error`` is None), so
+        the error basis degrades to the window's shed fraction — still a
+        meaningful burn signal for the ``attributed_error_burn`` SLO.
+        """
+        taken = self.audit.take_windows(wids)
+        if not taken:
+            return
+        recent = list(self._window_reports)[-len(wids):]
+        for record in attribute_reports(taken, recent):
+            self._audit_attributions.append(record)
+            if self._telemetry_interval is not None:
+                self._pending_audit.append(record)
+                del self._pending_audit[:-256]  # bound a subscriber-less gap
+            self.slo.observe("attributed_error_burn", record["error"], now)
 
     def _frame_outcome(self, outcome, now: float) -> dict:
         wid = outcome.window_id

@@ -115,6 +115,21 @@ def _worker_main(conn, payload: bytes, owned: list[str]) -> None:
                 _, wids = msg
                 reply = plane.collect(list(wids))
                 plane.mark_closed(list(wids))
+            elif op == "audit_enable":
+                _, capacity, exemplars, seed = msg
+                from repro.obs.audit import DropLedger
+
+                plane.enable_audit(
+                    DropLedger(
+                        capacity=capacity, exemplars=exemplars, seed=seed
+                    )
+                )
+                reply = True
+            elif op == "audit_ship":
+                _, wids = msg
+                reply = plane.audit_ship(
+                    None if wids is None else list(wids)
+                )
             elif op == "reset":
                 plane.reset()
                 reply = True
@@ -244,7 +259,7 @@ class ShardedDataPlane:
     staleness tolerance the queues' unlocked stats reads already have.
     """
 
-    def __init__(self, pipeline, shards: int, *, metrics=None) -> None:
+    def __init__(self, pipeline, shards: int, *, metrics=None, audit=None) -> None:
         if shards < 2:
             raise ValueError(
                 "ShardedDataPlane needs >= 2 shards; use StreamDataPlane "
@@ -286,6 +301,51 @@ class ShardedDataPlane:
             child_conn.close()
             self.workers.append(_ShardWorker(i, owned, proc, parent_conn))
         self._closed = False
+        self._audit = None
+        if audit is not None:
+            self.enable_audit(audit)
+
+    # ------------------------------------------------------------------
+    # Shed-provenance auditing
+    # ------------------------------------------------------------------
+    @property
+    def audit(self):
+        """The coordinator-side :class:`~repro.obs.audit.DropLedger`, or None."""
+        return self._audit
+
+    def enable_audit(self, ledger) -> None:
+        """Attach a coordinator ledger; workers grow local ones over RPC.
+
+        Each worker builds a private :class:`DropLedger` (seeded by shard
+        index — the ledger RNG only drives exemplar sampling, never drop
+        decisions) and ships its entries back at window close
+        (:meth:`collect`), where they merge into ``ledger`` alongside the
+        ``WindowPartials`` — the audit analogue of ``merge_partials``.
+        """
+        self._audit = ledger
+        for worker in self.workers:
+            worker.submit(
+                ("audit_enable", ledger.capacity, ledger.exemplars,
+                 worker.index + 1)
+            )
+        for worker in self.workers:
+            _unwrap(_one_reply(worker))
+
+    def audit_sync(self) -> None:
+        """Pull every worker's remaining ledger state (shutdown, tests).
+
+        Pops *all* pending worker-side window aggregates, not just closed
+        windows — after this, the coordinator ledger's counts equal the
+        sum of every shard's shed decisions.
+        """
+        if self._audit is None:
+            return
+        for worker in self.workers:
+            worker.submit(("audit_ship", None))
+        for worker in self.workers:
+            shipment = _unwrap(_one_reply(worker))
+            if shipment:
+                self._audit.absorb(shipment)
 
     # ------------------------------------------------------------------
     # Ingest
@@ -453,6 +513,16 @@ class ShardedDataPlane:
                 time.perf_counter() - t0
             )
         merged.window_ids = list(wids)
+        if self._audit is not None:
+            # Second broadcast conversation: workers pop these windows'
+            # ledger aggregates, drain their event rings, and the shipments
+            # merge into the coordinator ledger next to the partials.
+            for worker in self.workers:
+                worker.submit(("audit_ship", list(wids)))
+            for worker in self.workers:
+                shipment = _unwrap(_one_reply(worker))
+                if shipment:
+                    self._audit.absorb(shipment)
         return merged
 
     def mark_closed(self, wids: list[int]) -> None:

@@ -1,0 +1,313 @@
+"""DropLedger unit tests: recording, bounds, shipping, attribution, JSONL.
+
+The ledger's core contract is exact partition: every recorded event lands
+in exactly one window bucket (the youngest window of its victim) or the
+unattributed pool, so ``sum(buckets) + unattributed == counts`` always —
+that is what makes ledger↔counter reconciliation possible downstream.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.audit import (
+    AUDIT_SCHEMA,
+    DropLedger,
+    ShedEvent,
+    attribute_reports,
+    attribute_window,
+    read_ledger_jsonl,
+    render_scorecard,
+    scorecard_rollup,
+    validate_ledger_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import WindowReport
+
+
+def _fill(ledger, n=10, *, kind="evict_buffered", window=3, stream="R"):
+    for i in range(n):
+        ledger.record(
+            kind,
+            policy="random",
+            stream=stream,
+            windows=(window,),
+            timestamp=float(i),
+            depth=i,
+            score=float(i) / 10,
+            row=(i, "x"),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Recording + bounds
+# ---------------------------------------------------------------------------
+def test_record_counts_and_window_buckets():
+    ledger = DropLedger()
+    _fill(ledger, 5, window=2)
+    _fill(ledger, 3, kind="drop_incoming", window=2)
+    ledger.record("edge_shed", policy="admission", stream="S", count=4)
+    assert ledger.counts == {
+        "evict_buffered": 5,
+        "drop_incoming": 3,
+        "edge_shed": 4,
+    }
+    assert ledger.total == 12
+    assert ledger.pending_windows() == [2]
+    (loose,) = ledger.unattributed()
+    assert loose["kind"] == "edge_shed" and loose["count"] == 4
+
+
+def test_multiwindow_victim_charged_to_youngest_window_only():
+    ledger = DropLedger()
+    ledger.record(
+        "evict_buffered", policy="tail", stream="R", windows=(4, 5, 6)
+    )
+    assert ledger.pending_windows() == [6]
+    taken = ledger.take_windows([4, 5, 6])
+    assert list(taken) == [6]
+    assert taken[6][0]["count"] == 1
+
+
+def test_ring_is_bounded_and_eviction_counted():
+    ledger = DropLedger(capacity=4)
+    _fill(ledger, 10)
+    assert len(ledger.ring) == 4
+    assert ledger.summary()["ring_evicted"] == 6
+    # Aggregates stay exact even after ring eviction.
+    assert ledger.counts["evict_buffered"] == 10
+
+
+def test_reservoir_keeps_first_k_and_is_deterministic():
+    a, b = DropLedger(exemplars=2, seed=7), DropLedger(exemplars=2, seed=7)
+    for ledger in (a, b):
+        _fill(ledger, 50)
+    kept_a = [e.seq for e in a.ring if e.exemplar is not None]
+    kept_b = [e.seq for e in b.ring if e.exemplar is not None]
+    assert kept_a == kept_b  # same seed, same sample
+    early = DropLedger(exemplars=2, seed=7)
+    _fill(early, 2)
+    assert all(e.exemplar is not None for e in early.ring)  # first k kept
+
+
+def test_exemplars_zero_disables_sampling():
+    ledger = DropLedger(exemplars=0)
+    _fill(ledger, 5)
+    assert all(e.exemplar is None for e in ledger.ring)
+
+
+def test_ambient_trace_context():
+    ledger = DropLedger()
+    ledger.set_trace("t-123")
+    ledger.record("edge_shed", policy="admission", stream="R")
+    ledger.set_trace(None)
+    ledger.record("edge_shed", policy="admission", stream="R")
+    first, second = ledger.ring
+    assert first.trace_id == "t-123" and second.trace_id is None
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError, match="capacity"):
+        DropLedger(capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# take_windows partition
+# ---------------------------------------------------------------------------
+def test_take_windows_partitions_event_stream():
+    ledger = DropLedger()
+    _fill(ledger, 5, window=1)
+    _fill(ledger, 7, window=2, stream="S")
+    ledger.record("edge_shed", policy="admission", stream="T", count=2)
+    taken = ledger.take_windows([1, 2, 99])
+    bucketed = sum(
+        e["count"] for entries in taken.values() for e in entries
+    )
+    loose = sum(e["count"] for e in ledger.unattributed())
+    assert bucketed + loose == ledger.total
+    assert ledger.pending_windows() == []  # popped
+    # Counts stay monotonic after the pop.
+    assert ledger.total == 14
+
+
+# ---------------------------------------------------------------------------
+# ship / absorb (the shard protocol)
+# ---------------------------------------------------------------------------
+def test_ship_absorb_preserves_totals_and_buckets():
+    worker = DropLedger(seed=3)
+    _fill(worker, 6, window=4)
+    worker.record("edge_shed", policy="admission", stream="S", count=2)
+    coordinator = DropLedger()
+    coordinator.absorb(worker.ship([4]))
+    assert coordinator.counts == {"evict_buffered": 6, "edge_shed": 2}
+    taken = coordinator.take_windows([4])
+    assert taken[4][0]["count"] == 6
+    # The worker's ring drained into the shipment.
+    assert worker.ring == []
+    # A second ship reports only the delta (here: nothing new).
+    again = worker.ship()
+    assert again["counts"] == {} and again["events"] == []
+
+
+def test_ship_delta_counts_across_shipments():
+    worker = DropLedger()
+    _fill(worker, 3, window=1)
+    coordinator = DropLedger()
+    coordinator.absorb(worker.ship([1]))
+    _fill(worker, 2, window=2)
+    coordinator.absorb(worker.ship([2]))
+    assert coordinator.counts["evict_buffered"] == 5
+
+
+def test_absorb_resequences_events():
+    a, b = DropLedger(), DropLedger()
+    _fill(a, 2, window=1)
+    _fill(b, 2, window=1, stream="S")
+    coordinator = DropLedger()
+    coordinator.absorb(a.ship())
+    coordinator.absorb(b.ship())
+    seqs = [e.seq for e in coordinator.ring]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+
+# ---------------------------------------------------------------------------
+# Attribution
+# ---------------------------------------------------------------------------
+def test_attribute_window_shares_sum_to_basis():
+    entries = [
+        {"stream": "R", "policy": "random", "kind": "evict_buffered",
+         "count": 6, "mean_score": 0.5},
+        {"stream": "S", "policy": "random", "kind": "drop_incoming",
+         "count": 2, "mean_score": None},
+    ]
+    record = attribute_window(9, entries, rms_error=0.4)
+    assert record["basis"] == "rms" and record["error"] == 0.4
+    assert record["events"] == 8
+    costs = [p["quality_cost"] for p in record["policies"]]
+    assert abs(sum(costs) - 0.4) < 1e-9
+    assert record["policies"][0]["count"] == 6  # biggest share first
+
+
+def test_attribute_window_falls_back_to_shed_fraction():
+    entries = [{"stream": "R", "policy": "tail", "kind": "evict_buffered",
+                "count": 5, "mean_score": None}]
+    record = attribute_window(1, entries, arrived=100, dropped=25)
+    assert record["basis"] == "shed_fraction"
+    assert record["error"] == 0.25
+
+
+def test_attribute_reports_joins_by_window_id():
+    taken = {
+        7: [{"stream": "R", "policy": "random", "kind": "evict_buffered",
+             "count": 3, "mean_score": None}],
+    }
+    report = WindowReport(
+        window_id=7, start=7.0, end=8.0, arrived=50, kept=47,
+        dropped=3, result_latency=0.1, rms_error=0.125,
+    )
+    (record,) = attribute_reports(taken, [report])
+    assert record["window"] == 7
+    assert record["basis"] == "rms" and record["error"] == 0.125
+
+
+# ---------------------------------------------------------------------------
+# JSONL round-trip + validation
+# ---------------------------------------------------------------------------
+def test_export_and_validate_roundtrip():
+    ledger = DropLedger(seed=1)
+    _fill(ledger, 4, window=2)
+    taken = ledger.take_windows([2])
+    reports = [
+        WindowReport(window_id=2, start=2.0, end=3.0, arrived=20, kept=16,
+                     dropped=4, result_latency=0.0, rms_error=0.3)
+    ]
+    attributions = attribute_reports(taken, reports)
+    buf = io.StringIO()
+    lines = ledger.export_jsonl(buf, attributions)
+    assert lines == 1 + 4 + 1
+    doc = validate_ledger_jsonl(buf.getvalue().splitlines())
+    assert doc["header"]["schema"] == AUDIT_SCHEMA
+    assert len(doc["events"]) == 4
+    assert all(isinstance(e, ShedEvent) for e in doc["events"])
+    assert doc["attributions"][0]["window"] == 2
+
+
+def test_read_ledger_jsonl(tmp_path):
+    ledger = DropLedger()
+    _fill(ledger, 2)
+    path = tmp_path / "ledger.jsonl"
+    with open(path, "w", encoding="utf-8") as fp:
+        ledger.export_jsonl(fp)
+    doc = read_ledger_jsonl(path)
+    assert len(doc["events"]) == 2
+
+
+@pytest.mark.parametrize(
+    "lines, message",
+    [
+        (["{not json"], "not valid JSON"),
+        (['["a list"]'], "expected an object"),
+        (['{"type": "event", "seq": 1}'], "event before header"),
+        ([], "no header"),
+        (
+            ['{"type": "header", "schema": "other/v9"}'],
+            "is not",
+        ),
+        (
+            [
+                json.dumps({"type": "header", "schema": AUDIT_SCHEMA}),
+                json.dumps({"type": "mystery"}),
+            ],
+            "unknown record type",
+        ),
+        (
+            [
+                json.dumps({"type": "header", "schema": AUDIT_SCHEMA}),
+                json.dumps({"type": "attribution", "window": 1}),
+            ],
+            "attribution missing",
+        ),
+        (
+            [
+                json.dumps({"type": "header", "schema": AUDIT_SCHEMA}),
+                json.dumps(
+                    {"type": "event", "seq": 1, "kind": "nope",
+                     "policy": "p", "stream": "R"}
+                ),
+            ],
+            "unknown event kind",
+        ),
+    ],
+)
+def test_validate_rejects_malformed(lines, message):
+    with pytest.raises(ValueError, match=message):
+        validate_ledger_jsonl(lines)
+
+
+# ---------------------------------------------------------------------------
+# Metrics + scorecard
+# ---------------------------------------------------------------------------
+def test_audit_counters_flow_through_registry():
+    registry = MetricsRegistry()
+    ledger = DropLedger(capacity=2, exemplars=1, metrics=registry)
+    _fill(ledger, 5, window=1)
+    ledger.take_windows([1])
+    text = registry.render_prometheus()
+    assert 'audit_events_total{kind="evict_buffered"} 5' in text
+    assert "audit_windows_attributed_total 1" in text
+    assert "audit_attributed_events_total 5" in text
+    assert "audit_ring_evictions_total 3" in text
+
+
+def test_scorecard_renders_rollup_and_recent_windows():
+    ledger = DropLedger()
+    _fill(ledger, 4, window=2)
+    taken = ledger.take_windows([2])
+    attributions = attribute_reports(taken, [])
+    rollup = scorecard_rollup(attributions)
+    assert rollup[0]["events"] == 4
+    text = render_scorecard(ledger.summary(), attributions)
+    assert "shed provenance scorecard" in text
+    assert "events: 4" in text
+    assert "recent windows:" in text

@@ -124,13 +124,23 @@ class TestBaselineMismatch:
         del baseline["schema"]
         assert bench.baseline_mismatch(_doc(a=1.0), baseline) is not None
 
-    def test_missing_suite_reported(self):
-        problem = bench.baseline_mismatch(_doc(a=1.0, b=1.0), _doc(b=2.0))
-        assert problem is not None and "a" in problem
+    def test_added_suite_tolerated(self):
+        # A baseline predating a newly added suite still gates the shared
+        # ones; the new suite is merely reported as skipped.
+        doc = _doc(a=1.0, b=1.0)
+        assert bench.baseline_mismatch(doc, _doc(b=2.0)) is None
+        assert bench.baseline_skipped(doc, _doc(b=2.0)) == ["a"]
+
+    def test_no_shared_suites_reported(self):
+        problem = bench.baseline_mismatch(_doc(a=1.0), _doc(z=1.0))
+        assert problem is not None and "no suites" in problem
         assert "\n" not in problem
 
     def test_empty_baseline_reported(self):
         assert bench.baseline_mismatch(_doc(a=1.0), _doc()) is not None
+
+    def test_skipped_empty_when_baseline_covers_all(self):
+        assert bench.baseline_skipped(_doc(a=1.0), _doc(a=2.0, b=1.0)) == []
 
 
 class TestShardMetricsSnapshot:
@@ -139,6 +149,9 @@ class TestShardMetricsSnapshot:
         assert "shard_queue_depth" in text
         assert "shard_windows_merged_total" in text
         assert "shard_merge_seconds" in text
+        # The cycle runs audited, so the audit counter family rides along.
+        assert "audit_events_total" in text
+        assert "audit_windows_attributed_total" in text
 
 
 class TestLazyExports:
@@ -244,14 +257,50 @@ class TestCli:
         assert "bench compare error:" in text
         assert "repro bench" in text  # tells the user how to regenerate
 
-    def test_bench_compare_baseline_missing_suite(self, monkeypatch, tmp_path):
+    def test_bench_compare_baseline_no_overlap(self, monkeypatch, tmp_path):
         baseline = tmp_path / "baseline.json"
         baseline.write_text(json.dumps(_doc(other=100.0)))
         rc, text = self._run_compare(monkeypatch, tmp_path, baseline)
         assert rc == 2
         assert "bench compare error:" in text
-        assert "fake" in text
+        assert "no suites" in text
+
+    def test_bench_compare_added_suite_noted_not_fatal(
+        self, monkeypatch, tmp_path
+    ):
+        # The baseline covers "fake" but predates "fresh": the gate still
+        # passes, and the skipped suite is called out as a note.
+        monkeypatch.setitem(
+            bench.SUITES,
+            "fresh",
+            lambda quick: bench._time_suite(lambda: None, 3, 10, "ops"),
+        )
+        monkeypatch.setitem(
+            bench.SUITES,
+            "fake",
+            lambda quick: bench._time_suite(lambda: None, 3, 10, "ops"),
+        )
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_doc(fake=0.000001)))
+        from repro import cli
+
+        out = io.StringIO()
+        rc = cli.main(
+            [
+                "bench", "--quick", "--suite", "fake", "--suite", "fresh",
+                "--out", str(tmp_path / "new.json"),
+                "--compare", str(baseline),
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert rc == 0
+        assert "bench compare note:" in text and "fresh" in text
+        assert "regression gate passed" in text
 
     def test_new_columnar_suites_registered(self):
         assert "columnar_ingest" in bench.SUITES
         assert "executor_vectorized" in bench.SUITES
+
+    def test_audited_suite_registered(self):
+        assert "pipeline_fig9_audited" in bench.SUITES

@@ -1,0 +1,345 @@
+"""Ledger ↔ counter reconciliation and audit invisibility (ISSUE 8 gate).
+
+Three contracts, each at every shard count:
+
+* **Reconciliation** — the audit ledger's per-kind event counts equal the
+  plane's/queues' own drop accounting exactly: nothing double-counted,
+  nothing lost, including across the shard RPC ship/absorb hop.
+* **Invisibility** — results and drop decisions are byte-identical with
+  auditing on and off: the ledger has its own RNG and the queues' policy
+  RNG chain never sees it.
+* **Attribution** — every bucketed shed event lands in exactly one closed
+  window's attribution record (plus the windowless unattributed pool), so
+  the records partition the event stream.
+"""
+
+import asyncio
+import contextlib
+import random
+
+import pytest
+
+from repro.core.pipeline import DataTriagePipeline
+from repro.core.strategies import PipelineConfig, ShedStrategy
+from repro.engine.window import WindowSpec
+from repro.experiments import (
+    PAPER_QUERY,
+    ExperimentParams,
+    bursty_pipeline,
+    paper_catalog,
+)
+from repro.obs.audit import DropLedger, attribute_reports
+from repro.service import ServiceConfig, TriageServer
+from repro.service.dataplane import StreamDataPlane
+from repro.service.shard import ShardedDataPlane
+from repro.sources.generators import paper_row_generators
+
+STREAMS = ("R", "S", "T")
+
+DROP_KINDS = ("drop_incoming", "evict_buffered")
+
+
+def make_pipeline(queue_capacity=40):
+    config = PipelineConfig(
+        window=WindowSpec(width=1.0),
+        queue_capacity=queue_capacity,
+        service_time=0.002,
+        compute_ideal=False,
+    )
+    return DataTriagePipeline(paper_catalog(), PAPER_QUERY, config)
+
+
+def workload(seed=17, n_windows=3, rows_per_batch=120, batches_per_window=2):
+    rng = random.Random(seed)
+    gens = paper_row_generators()
+    schedule = []
+    for w in range(n_windows):
+        batches = []
+        for b in range(batches_per_window):
+            for source in STREAMS:
+                t0 = float(w) + b * (1.0 / batches_per_window)
+                step = 0.4 / (batches_per_window * rows_per_batch)
+                rows = [
+                    list(gens[source].draw(rng)) for _ in range(rows_per_batch)
+                ]
+                stamps = [t0 + i * step for i in range(rows_per_batch)]
+                batches.append((source, rows, stamps))
+        schedule.append(batches)
+    return schedule
+
+
+def outcome_key(outcome):
+    return (
+        outcome.window_id,
+        outcome.merged,
+        outcome.exact,
+        outcome.estimated,
+        outcome.arrived,
+        outcome.kept,
+        outcome.dropped,
+    )
+
+
+def drive(plane, pipeline, schedule):
+    """Ingest/drain/close the schedule; returns (outcome keys, totals)."""
+    outcomes = []
+    for w, batches in enumerate(schedule):
+        for source, rows, stamps in batches:
+            plane.ingest(source, rows, stamps)
+        plane.advance(1000.0)
+        due = plane.due_windows(float(w + 1))
+        if due:
+            partials = plane.collect(due)
+            outcomes.extend(
+                pipeline.evaluate_windows(
+                    window_ids=due,
+                    kept_rows=partials.kept_rows,
+                    kept_synopses=partials.kept_synopses,
+                    dropped_synopses=partials.dropped_synopses,
+                    dropped_counts=partials.dropped_counts,
+                    arrived=partials.arrived,
+                )
+            )
+            plane.mark_closed(due)
+    plane.advance(1000.0)
+    leftovers = sorted(plane.known_windows)
+    if leftovers:
+        partials = plane.collect(leftovers)
+        outcomes.extend(
+            pipeline.evaluate_windows(
+                window_ids=leftovers,
+                kept_rows=partials.kept_rows,
+                kept_synopses=partials.kept_synopses,
+                dropped_synopses=partials.dropped_synopses,
+                dropped_counts=partials.dropped_counts,
+                arrived=partials.arrived,
+            )
+        )
+        plane.mark_closed(leftovers)
+    outcomes.sort(key=lambda o: o.window_id)
+    return [outcome_key(o) for o in outcomes], plane.totals()
+
+
+# ---------------------------------------------------------------------------
+# Serial plane: ledger counts == queue observer counts, exactly
+# ---------------------------------------------------------------------------
+def test_serial_ledger_reconciles_with_observer_counters():
+    decisions = {"drop_incoming": 0, "evict_buffered": 0}
+
+    def observer(stream, event, value):
+        if event in decisions:
+            decisions[event] += int(value)
+
+    ledger = DropLedger(seed=0)
+    pipeline = make_pipeline()
+    plane = StreamDataPlane(pipeline, observer=observer, audit=ledger)
+    _, (offered, dropped) = drive(plane, pipeline, workload())
+    assert dropped > 0, "workload must force shedding to be a real test"
+
+    counts = ledger.counts
+    for kind in DROP_KINDS:
+        assert counts.get(kind, 0) == decisions[kind], kind
+    assert sum(counts.get(k, 0) for k in DROP_KINDS) == dropped
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_ledger_reconciles_at_every_shard_count(shards):
+    """Fixed seed, shards {1, 2, 4}: the coordinator ledger's counts equal
+    the plane's drop total exactly, and are identical across shard counts."""
+    schedule = workload(seed=17)
+    reference = DropLedger(seed=0)
+    ref_pipeline = make_pipeline()
+    ref_outcomes, (_, ref_dropped) = drive(
+        StreamDataPlane(ref_pipeline, audit=reference), ref_pipeline, schedule
+    )
+    assert ref_dropped > 0
+
+    if shards == 1:
+        counts, dropped, outcomes = reference.counts, ref_dropped, ref_outcomes
+    else:
+        ledger = DropLedger(seed=0)
+        pipeline = make_pipeline()
+        plane = ShardedDataPlane(pipeline, shards, audit=ledger)
+        try:
+            outcomes, (_, dropped) = drive(plane, pipeline, schedule)
+            plane.audit_sync()
+        finally:
+            plane.close()
+        counts = ledger.counts
+
+    assert sum(counts.get(k, 0) for k in DROP_KINDS) == dropped
+    assert counts == reference.counts  # same decisions at any layout
+    assert outcomes == ref_outcomes
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_sharded_attribution_partitions_events(shards):
+    ledger = DropLedger(seed=0)
+    pipeline = make_pipeline()
+    plane = ShardedDataPlane(pipeline, shards, audit=ledger)
+    try:
+        drive(plane, pipeline, workload())
+        plane.audit_sync()
+    finally:
+        plane.close()
+    taken = ledger.take_windows(ledger.pending_windows())
+    bucketed = sum(
+        e["count"] for entries in taken.values() for e in entries
+    )
+    loose = sum(e["count"] for e in ledger.unattributed())
+    assert bucketed + loose == ledger.total
+    assert bucketed > 0
+
+
+# ---------------------------------------------------------------------------
+# Invisibility: audit on/off is byte-identical
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("shards", [1, 2])
+def test_audit_is_invisible_to_results(shards):
+    schedule = workload(seed=23)
+
+    def run_once(audit):
+        if shards == 1:
+            pipeline = make_pipeline()
+            return drive(
+                StreamDataPlane(pipeline, audit=audit), pipeline, schedule
+            )
+        pipeline = make_pipeline()
+        plane = ShardedDataPlane(pipeline, shards, audit=audit)
+        try:
+            return drive(plane, pipeline, schedule)
+        finally:
+            plane.close()
+
+    plain = run_once(None)
+    audited = run_once(DropLedger(seed=0))
+    assert audited == plain
+
+
+def test_fig9_pipeline_run_reconciles_and_attributes():
+    """The paper's bursty Figure 9 run: ledger total == result drop total,
+    and the RMS attribution join covers every bucketed event."""
+    params = ExperimentParams(n_windows=2)
+    ledger = DropLedger(seed=0)
+    pipeline, streams = bursty_pipeline(
+        ShedStrategy.DATA_TRIAGE, 3000.0, params, 0
+    )
+    pipeline.audit = ledger
+    result = pipeline.run(streams)
+    dropped = result.total_dropped
+    assert dropped > 0
+    assert ledger.total == dropped
+
+    from repro.obs.report import build_window_reports
+
+    reports = build_window_reports(result, pipeline.config.window)
+    taken = ledger.take_windows(ledger.pending_windows())
+    records = attribute_reports(taken, reports)
+    assert sum(r["events"] for r in records) + sum(
+        e["count"] for e in ledger.unattributed()
+    ) == dropped
+    assert any(r["basis"] == "rms" for r in records)
+
+
+# ---------------------------------------------------------------------------
+# Server-level: edge sheds, STATS block, SLO wiring
+# ---------------------------------------------------------------------------
+class ManualClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@contextlib.asynccontextmanager
+async def serve(**service_kwargs):
+    clock = ManualClock()
+    config = PipelineConfig(
+        window=WindowSpec(width=1.0),
+        queue_capacity=30,
+        service_time=0.001,
+        compute_ideal=False,
+    )
+    service = ServiceConfig(tick_interval=None, clock=clock, **service_kwargs)
+    server = TriageServer(
+        paper_catalog(),
+        "SELECT a, COUNT(*) AS n FROM R GROUP BY a;",
+        config,
+        service,
+    )
+    await server.start()
+    server.clock = clock
+    try:
+        yield server
+    finally:
+        await server.shutdown()
+
+
+def test_server_audit_off_has_no_audit_state():
+    async def main():
+        async with serve() as server:
+            assert server.audit is None
+            assert "attributed_error_burn" not in server.slo.status()
+
+    asyncio.run(main())
+
+
+def test_server_audit_counts_edge_sheds_and_attributes_windows():
+    async def main():
+        async with serve(audit=True) as server:
+            rows = [[1] for _ in range(120)]
+            ts = [i / 120 for i in range(120)]
+            server.ingest_rows("R", rows, ts, now=0.5)
+            server.clock.t = 2.0
+            await server.tick()
+            # The window is closed: its ledger bucket became an attribution.
+            assert server._audit_attributions
+            record = server._audit_attributions[-1]
+            assert record["basis"] == "shed_fraction"
+            assert server.audit.pending_windows() == []
+            # Rows for the closed window are edge sheds in the ledger.
+            _, late, _, _ = server.ingest_rows("R", [[2]], [0.1], now=2.0)
+            assert late == 1
+            assert server.audit.counts.get("edge_shed") == 1
+            (loose,) = server.audit.unattributed()
+            assert loose["policy"] == "admission"
+            # The audit SLO exists and observed the closed window.
+            assert "attributed_error_burn" in server.slo.status()
+
+    asyncio.run(main())
+
+
+def test_server_stats_reply_carries_audit_block():
+    from repro.service import TriageClient
+
+    async def main():
+        async with serve(audit=True) as server:
+            rows = [[1] for _ in range(80)]
+            ts = [i / 80 for i in range(80)]
+            server.ingest_rows("R", rows, ts, now=0.5)
+            server.clock.t = 2.0
+            await server.tick()
+            client = await TriageClient.connect(
+                "127.0.0.1", server.port, client_name="audit-test"
+            )
+            try:
+                stats = await client.stats()
+            finally:
+                await client.close()
+            audit = stats["audit"]
+            assert audit["summary"]["schema"] == "repro-audit/v1"
+            assert audit["summary"]["total"] >= 0
+            assert isinstance(audit["attributions"], list)
+
+        async with serve() as server:
+            client = await TriageClient.connect(
+                "127.0.0.1", server.port, client_name="audit-test"
+            )
+            try:
+                stats = await client.stats()
+            finally:
+                await client.close()
+            assert "audit" not in stats  # audit-off replies are unchanged
+
+    asyncio.run(main())
