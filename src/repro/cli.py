@@ -13,6 +13,9 @@
     python -m repro.cli serve [--port 7077] [...]   # live triage service
     python -m repro.cli top [--once]                # live service dashboard
     python -m repro.cli audit [--once|--ledger f]   # shed-provenance scorecard
+    python -m repro.cli prof out.collapsed          # hot-function table / SVG
+    python -m repro.cli prof --diff base.collapsed new.collapsed  # regressions
+    python -m repro.cli prof --port 7077            # live capture from a server
 
 All load experiments print the figure's data table, a terminal chart, and a
 CSV block.  ``explain``/``rewrite`` operate on the paper's R/S/T catalog,
@@ -120,6 +123,16 @@ def build_parser() -> argparse.ArgumentParser:
         "a small sharded ingest/close cycle",
     )
     bench.add_argument(
+        "--profile",
+        nargs="?",
+        const="bench_profiles",
+        default=None,
+        metavar="DIR",
+        help="sample each suite with the continuous profiler and write "
+        "DIR/<suite>.collapsed (default DIR: bench_profiles); inspect "
+        "with `repro prof`",
+    )
+    bench.add_argument(
         "--drop-policy",
         choices=POLICY_CHOICES,
         default=None,
@@ -163,6 +176,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the pipeline with a shed-provenance audit ledger and "
         "write it (JSONL, with per-window RMS attribution) to this path; "
         "read it back with `repro audit --ledger PATH`",
+    )
+    trace.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="also sample the run with the continuous profiler and write "
+        "collapsed stacks (repro-prof/v1) to this path",
+    )
+    trace.add_argument(
+        "--profile-hz",
+        type=float,
+        default=97.0,
+        help="sampling rate for --profile-out, samples/second (default: 97)",
     )
     trace.add_argument(
         "--capacity",
@@ -283,6 +309,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(audit_* metrics, STATS/TELEMETRY audit blocks, `repro audit`)",
     )
     serve.add_argument(
+        "--profile-hz",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="run the continuous sampling profiler at this rate; STATS and "
+        "TELEMETRY gain a prof block and `repro prof` can capture live "
+        "flamegraph data (default: off)",
+    )
+    serve.add_argument(
         "--audit-ring",
         type=int,
         default=1024,
@@ -346,6 +381,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the raw audit block as JSON instead of the scorecard",
+    )
+
+    prof = sub.add_parser(
+        "prof",
+        help="inspect repro-prof/v1 collapsed-stack profiles: hot-function "
+        "table, flamegraph SVG, regression diff, or live capture",
+    )
+    prof.add_argument(
+        "collapsed",
+        nargs="*",
+        metavar="COLLAPSED",
+        help="collapsed-stack file(s) (e.g. from `repro bench --profile` or "
+        "`repro trace --profile-out`); several are merged. Omit to "
+        "capture live from a server started with --profile-hz",
+    )
+    prof.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("BASE", "NEW"),
+        default=None,
+        help="instead of a table: compare two profiles and exit 1 if any "
+        "function's self-time share regressed past --max-ratio",
+    )
+    prof.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="--diff: tolerated new/base self-time share ratio (default: 2)",
+    )
+    prof.add_argument(
+        "--min-share",
+        type=float,
+        default=0.02,
+        help="--diff: ignore functions below this self-time share "
+        "(default: 0.02)",
+    )
+    prof.add_argument(
+        "--min-samples",
+        type=int,
+        default=5,
+        help="--diff: ignore functions backed by fewer raw samples in the "
+        "new capture (default: 5)",
+    )
+    prof.add_argument(
+        "--top", type=int, default=15, help="table size (default: 15)"
+    )
+    prof.add_argument(
+        "--svg",
+        default=None,
+        metavar="PATH",
+        help="also render a flamegraph SVG of the profile to this path",
+    )
+    prof.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the (merged or captured) collapsed profile to this path",
+    )
+    prof.add_argument("--host", default="127.0.0.1")
+    prof.add_argument("--port", type=int, default=7077)
+    prof.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="live capture: cap the reply at the N hottest stacks",
     )
 
     return parser
@@ -424,11 +525,19 @@ def cmd_bench(args, out) -> int:
     )
 
     doc = run_bench_suites(
-        quick=args.quick, suites=args.suites, drop_policy=args.drop_policy
+        quick=args.quick,
+        suites=args.suites,
+        drop_policy=args.drop_policy,
+        profile_dir=args.profile,
     )
     path = write_results(doc, args.out)
     out.write(render_text(doc) + "\n")
     out.write(f"results written to {path}\n")
+    if args.profile:
+        out.write(
+            f"per-suite profiles -> {args.profile}/<suite>.collapsed "
+            f"(inspect with `repro prof`)\n"
+        )
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as fp:
             fp.write(shard_metrics_snapshot())
@@ -499,7 +608,21 @@ def cmd_trace(args, out) -> int:
 
         ledger = DropLedger(seed=args.seed, metrics=obs.registry)
         pipeline.audit = ledger
+    if args.profile_out:
+        from repro.obs.prof import SamplingProfiler
+
+        pipeline.prof = SamplingProfiler(
+            args.profile_hz, label="trace-fig9", metrics=obs.registry
+        )
     result = pipeline.run(streams)
+    if args.profile_out:
+        pipeline.prof.stop()
+        with open(args.profile_out, "w", encoding="utf-8") as fp:
+            fp.write(pipeline.prof.export_collapsed())
+        out.write(
+            f"profile: {pipeline.prof.samples} samples at "
+            f"{args.profile_hz:g} Hz -> {args.profile_out}\n"
+        )
 
     tracer = obs.tracer
     if args.format == "chrome":
@@ -664,6 +787,100 @@ def cmd_audit(args, out) -> int:
         return 1
 
 
+def cmd_prof(args, out) -> int:
+    """Offline or live view over ``repro-prof/v1`` collapsed profiles.
+
+    File mode renders a hot-function table (or ``--diff`` regressions,
+    exit 1 when any fire); with no files it captures live from a server
+    started with ``--profile-hz``.  Exit 2 means a file could not be
+    read or failed schema validation.
+    """
+    from repro.obs.prof import (
+        ProfError,
+        merge_collapsed,
+        parse_collapsed,
+        profile_diff,
+        render_diff,
+        render_top,
+        validate_collapsed,
+        write_flamegraph_svg,
+    )
+
+    def read_profile(path: str) -> str:
+        with open(path, "r", encoding="utf-8") as fp:
+            text = fp.read()
+        validate_collapsed(text)
+        return text
+
+    try:
+        if args.diff is not None:
+            base_path, new_path = args.diff
+            regressions = profile_diff(
+                read_profile(base_path),
+                read_profile(new_path),
+                max_ratio=args.max_ratio,
+                min_share=args.min_share,
+                min_samples=args.min_samples,
+            )
+            out.write(
+                f"profile diff: {base_path} -> {new_path}\n"
+                + render_diff(regressions, args.max_ratio, args.min_share)
+                + "\n"
+            )
+            return 1 if regressions else 0
+        if args.collapsed:
+            texts = [read_profile(path) for path in args.collapsed]
+            text = texts[0] if len(texts) == 1 else merge_collapsed(texts)
+            source = ", ".join(args.collapsed)
+        else:
+            from repro.service.client import TriageClient
+
+            async def capture() -> str:
+                client = await TriageClient.connect(
+                    args.host, args.port, client_name="repro-prof"
+                )
+                try:
+                    return await client.profile(limit=args.limit)
+                finally:
+                    await client.close()
+
+            try:
+                text = asyncio.run(capture())
+            except ConnectionError as exc:
+                out.write(f"cannot reach {args.host}:{args.port}: {exc}\n")
+                return 1
+            except RuntimeError as exc:
+                out.write(f"{exc}\n")
+                return 1
+            validate_collapsed(text)
+            source = f"{args.host}:{args.port}"
+    except OSError as exc:
+        out.write(f"prof error: cannot read profile: {exc}\n")
+        return 2
+    except ProfError as exc:
+        out.write(f"prof error: invalid profile: {exc}\n")
+        return 2
+
+    header, counts = parse_collapsed(text)
+    out.write(
+        f"profile {source}: {header['samples']} samples at "
+        f"{header['hz']:g} Hz ({header['truncated']} truncated)\n"
+    )
+    out.write(render_top(counts, n=args.top) + "\n")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fp:
+            fp.write(text)
+        out.write(f"collapsed profile -> {args.out}\n")
+    if args.svg:
+        try:
+            write_flamegraph_svg(counts, args.svg)
+        except ProfError as exc:
+            out.write(f"prof error: {exc}\n")
+            return 2
+        out.write(f"flamegraph -> {args.svg}\n")
+    return 0
+
+
 def cmd_serve(args, out) -> int:
     from repro.core.policies import make_policy
     from repro.core.strategies import PipelineConfig
@@ -689,6 +906,7 @@ def cmd_serve(args, out) -> int:
         shards=args.shards,
         audit=args.audit,
         audit_ring=args.audit_ring,
+        profile_hz=args.profile_hz,
     )
     obs = None
     if args.trace_out:
@@ -718,6 +936,11 @@ def cmd_serve(args, out) -> int:
             out.write(
                 f"shed-provenance audit on (ring {args.audit_ring}); "
                 f"inspect with `repro audit --port {server.port}`\n"
+            )
+        if args.profile_hz:
+            out.write(
+                f"continuous profiler on at {args.profile_hz:g} Hz; "
+                f"capture with `repro prof --port {server.port}`\n"
             )
         try:
             if args.duration is not None:
@@ -764,6 +987,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return cmd_top(args, out)
     if args.command == "audit":
         return cmd_audit(args, out)
+    if args.command == "prof":
+        return cmd_prof(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

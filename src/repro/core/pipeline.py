@@ -133,6 +133,11 @@ class DataTriagePipeline:
         self.config = config
         self.obs = obs
         self.audit = audit
+        #: Optional :class:`repro.obs.prof.SamplingProfiler`.  Assigned
+        #: directly or auto-built by :meth:`run` from ``config.profile_hz``;
+        #: sampling happens on a daemon thread, so the hot paths below only
+        #: ever pay the ambient phase-tag stores (and only when set).
+        self.prof = None
         #: ``hook(outcome)`` callbacks run once per evaluated
         #: :class:`WindowOutcome` — see :meth:`add_window_hook`.
         self.window_hooks: list = []
@@ -376,6 +381,12 @@ class DataTriagePipeline:
         ``streams`` maps chain *source names* to timestamp-sorted arrivals.
         """
         cfg = self.config
+        if self.prof is None and cfg.profile_hz is not None:
+            from repro.obs.prof import SamplingProfiler
+
+            self.prof = SamplingProfiler(cfg.profile_hz)
+        if self.prof is not None and not self.prof.running:
+            self.prof.start()
         sources = [link.source_name for link in self.plan.chain]
         missing = [s for s in sources if s not in streams]
         if missing:
@@ -589,8 +600,23 @@ class DataTriagePipeline:
                 g_capacity.set(queues[s].capacity, stream=s)
         drain_seconds = 0.0
 
+        # Ambient phase tags join sampled stacks to the identically-named
+        # trace spans; two global stores per arrival, and only when a
+        # profiler is attached.
+        prof_on = self.prof is not None
+        if prof_on:
+            # Per-arrival phase flips store straight into the prof module's
+            # globals dict (the slot set_phase guards and the sampler thread
+            # reads) — one dict store per flip, no function-call overhead.
+            import repro.obs.prof as _prof
+
+            _phase = _prof.__dict__
+            _phase["_current_phase"] = "ingest"
+
         source_index = {s: i for i, s in enumerate(sources)}
         for ts, _, source, tup in events:
+            if prof_on:
+                _phase["_current_phase"] = "drain"
             if obs is None:
                 engine_free = drain(until=ts)
             else:
@@ -604,6 +630,8 @@ class DataTriagePipeline:
                     n = sum(q.stats.polled for q in qlist) - polled_before
                     if n:
                         tracer.complete("drain", t0, polled=n, until=ts)
+            if prof_on:
+                _phase["_current_phase"] = "ingest"
             if controllers is not None and ts >= next_control:
                 elapsed = control_dt
                 while next_control <= ts:
@@ -635,6 +663,8 @@ class DataTriagePipeline:
                     )
                 h_depth.observe(len(q), stream=source)
             sync_head(source_index[source])
+        if prof_on:
+            _phase["_current_phase"] = "drain"
         if obs is None:
             engine_free = drain(until=math.inf)
         else:
@@ -647,6 +677,8 @@ class DataTriagePipeline:
                 if n:
                     tracer.complete("drain", t0, polled=n, final=True)
             obs.record_run_phase("drain", drain_seconds)
+        if prof_on:
+            _phase["_current_phase"] = None
 
         dropped_syn: dict[str, dict[int, Synopsis | None]] = {s: {} for s in sources}
         dropped_counts: dict[str, dict[int, int]] = {s: {} for s in sources}
@@ -785,6 +817,9 @@ class DataTriagePipeline:
         obs = self.obs
         tracer = obs.tracer if obs is not None else None
         trace_on = tracer is not None and tracer.enabled
+        prof_on = self.prof is not None
+        if prof_on:
+            from repro.obs.prof import set_phase as _set_phase
         clock = time.perf_counter
         windows: list[WindowOutcome] = []
         for wid in window_ids:
@@ -806,10 +841,14 @@ class DataTriagePipeline:
             exact_inputs = {
                 stream_of[s]: kept_rows[s].get(wid, empty) for s in sources
             }
+            if prof_on:
+                _set_phase("exact")
             t0 = clock()
             result = self.executor.execute(self.bound, exact_inputs)
             t1 = clock()
 
+            if prof_on:
+                _set_phase("shadow")
             result_syn: Synopsis | None = None
             if dropped_synopses is not None:
                 assert kept_synopses is not None
@@ -819,6 +858,8 @@ class DataTriagePipeline:
                 )
             t2 = clock()
 
+            if prof_on:
+                _set_phase("merge")
             raw_rows = None
             exact: Groups = {}
             estimated: Groups = {}
@@ -834,6 +875,8 @@ class DataTriagePipeline:
                 else:
                     merged = exact
             t3 = clock()
+            if prof_on:
+                _set_phase(None)
 
             ideal = self._ideal_for(ideal_inputs, wid) if ideal_inputs else None
             if obs is not None:

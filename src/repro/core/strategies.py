@@ -73,6 +73,11 @@ class PipelineConfig:
     #: either way, so the knob never changes a RunResult.
     parallel_windows: int | None = None
 
+    #: Background sampling-profiler rate in Hz (None disables profiling).
+    #: Sampling runs on a daemon thread and is byte-transparent to results
+    #: and drop decisions; the pipeline exposes the profiler as ``.prof``.
+    profile_hz: float | None = None
+
     def __post_init__(self) -> None:
         if self.service_time <= 0:
             raise ValueError(f"service_time must be positive: {self.service_time}")
@@ -86,6 +91,8 @@ class PipelineConfig:
             raise ValueError(
                 f"parallel_windows must be >= 1: {self.parallel_windows}"
             )
+        if self.profile_hz is not None and not self.profile_hz > 0:
+            raise ValueError(f"profile_hz must be > 0: {self.profile_hz}")
 
     @property
     def engine_capacity(self) -> float:

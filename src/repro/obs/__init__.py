@@ -92,6 +92,18 @@ __all__ = [
     "read_ledger_jsonl",
     "scorecard_rollup",
     "render_scorecard",
+    "PROF_SCHEMA",
+    "ProfError",
+    "SamplingProfiler",
+    "set_phase",
+    "current_phase",
+    "validate_collapsed",
+    "parse_collapsed",
+    "merge_collapsed",
+    "profile_diff",
+    "top_functions",
+    "render_top",
+    "write_flamegraph_svg",
 ]
 
 #: Names resolved on first attribute access (PEP 562), keeping this package
@@ -121,6 +133,18 @@ _LAZY = {
     "read_ledger_jsonl": "repro.obs.audit",
     "scorecard_rollup": "repro.obs.audit",
     "render_scorecard": "repro.obs.audit",
+    "PROF_SCHEMA": "repro.obs.prof",
+    "ProfError": "repro.obs.prof",
+    "SamplingProfiler": "repro.obs.prof",
+    "set_phase": "repro.obs.prof",
+    "current_phase": "repro.obs.prof",
+    "validate_collapsed": "repro.obs.prof",
+    "parse_collapsed": "repro.obs.prof",
+    "merge_collapsed": "repro.obs.prof",
+    "profile_diff": "repro.obs.prof",
+    "top_functions": "repro.obs.prof",
+    "render_top": "repro.obs.prof",
+    "write_flamegraph_svg": "repro.obs.prof",
 }
 
 

@@ -130,7 +130,14 @@ class _ProfiledIter:
 
 
 class _CompiledProxy:
-    """Stands in for a compiled node's child: same ``iterate``, counted."""
+    """Stands in for a compiled node's child: same rows, counted.
+
+    Forwards both execution faces — ``iterate`` (per-row, wrapped in the
+    per-``next()`` clock) and ``batch`` (the PR 7 vectorized whole-window
+    path, bracketed once) — so parents that prefer ``batch`` via
+    :func:`~repro.perf.compile._rows_of` still report the rows that flowed
+    through this node.
+    """
 
     __slots__ = ("_node", "_prof")
 
@@ -144,6 +151,41 @@ class _CompiledProxy:
 
     def iterate(self, inputs):
         return iter(_ProfiledIter(_BoundIterate(self._node, inputs), self._prof))
+
+    def batch(self, inputs):
+        prof = self._prof
+        prof.invocations += 1
+        t0 = _CLOCK()
+        rows = self._node.batch(inputs)
+        prof.seconds += _CLOCK() - t0
+        prof.rows_out += len(rows)
+        return rows
+
+
+class _CompiledJoinProxy(_CompiledProxy):
+    """Join proxy additionally forwarding the COUNT(*) pushdown probe.
+
+    ``left_match_counts`` never materializes joined rows, so the proxy
+    charges its time and counts the *logical* fan-out (``sum(mult)``) as
+    rows out — the same cardinality ``batch`` would have reported.  The
+    ``left`` forward lets the aggregate's key-position check see the join's
+    left schema through the proxy.
+    """
+
+    __slots__ = ()
+
+    @property
+    def left(self):
+        return self._node.left
+
+    def left_match_counts(self, inputs):
+        prof = self._prof
+        prof.invocations += 1
+        t0 = _CLOCK()
+        lrows, mult = self._node.left_match_counts(inputs)
+        prof.seconds += _CLOCK() - t0
+        prof.rows_out += sum(mult)
+        return lrows, mult
 
 
 class _BoundIterate:
@@ -210,7 +252,12 @@ def _wrap_compiled_node(node) -> tuple[_CompiledProxy, OperatorProfile]:
         wrapped, inner_prof = _wrap_compiled_plan(inner)
         clone.inner = wrapped
         prof.children.append(inner_prof)
-    return _CompiledProxy(clone, prof), prof
+    proxy_cls = (
+        _CompiledJoinProxy
+        if hasattr(node, "left_match_counts")
+        else _CompiledProxy
+    )
+    return proxy_cls(clone, prof), prof
 
 
 def _wrap_compiled_plan(plan) -> tuple[object, OperatorProfile]:

@@ -94,6 +94,9 @@ class Dashboard:
         self.attributions = deque(maxlen=history)
         #: Attributed error basis per window, for the quality sparkline.
         self.quality = deque(maxlen=history)
+        #: Latest profiler summary + top self-time frames (empty when the
+        #: server runs with profiling off — panel not rendered at all).
+        self.prof: dict = {}
 
     # ------------------------------------------------------------------
     def feed(self, payload: dict) -> None:
@@ -118,6 +121,7 @@ class Dashboard:
         for alert in payload.get("alerts", ()):
             self.alerts_log.append(alert)
         self._feed_audit(payload.get("audit"))
+        self._feed_prof(payload.get("prof"))
 
     def feed_stats(self, stats: dict) -> None:
         """Ingest one STATS response (the ``--once`` path, no telemetry)."""
@@ -135,6 +139,11 @@ class Dashboard:
                 name for name, st in sorted(slo.items()) if st.get("firing")
             ]
         self._feed_audit(stats.get("audit"))
+        self._feed_prof(stats.get("prof"))
+
+    def _feed_prof(self, prof: dict | None) -> None:
+        if prof:
+            self.prof = prof
 
     def _feed_audit(self, audit: dict | None) -> None:
         if not audit:
@@ -237,6 +246,27 @@ class Dashboard:
                 )
             lines.append("")
 
+        # Hot-functions panel: only rendered when the server profiles
+        # (`--profile-hz`), so a prof-off server's output is unchanged.
+        if self.prof:
+            summary = self.prof.get("summary") or {}
+            lines.append(
+                self._c(_BOLD, "hot functions")
+                + f"  samples={summary.get('samples', 0)}"
+                + f"  hz={summary.get('hz', 0):g}"
+                + f"  stacks={summary.get('stacks', 0)}"
+                + f"  truncated={summary.get('truncated', 0)}"
+            )
+            for frame in (self.prof.get("top") or ())[:5]:
+                share = float(frame.get("self_share") or 0.0)
+                lines.append(
+                    self._c(
+                        _DIM,
+                        f"  {share * 100:5.1f}%  {frame.get('function', '?')}",
+                    )
+                )
+            lines.append("")
+
         if self.firing:
             names = ", ".join(self.firing)
             lines.append(self._c(_BOLD + _RED, f"ALERTS FIRING: {names}"))
@@ -258,6 +288,26 @@ class Dashboard:
                     code,
                     f"   [{_fmt_num(alert.get('at', 0.0))}s]"
                     f" {alert.get('slo', '?')} {state}",
+                )
+            )
+
+        # Observability health footer: errors swallowed by obs hooks and
+        # trace events evicted from the ring.  Counter keys may carry label
+        # suffixes (`name{label="..."}`), so sum by prefix.  Rendered only
+        # when something was actually lost, keeping healthy output stable.
+        def _counter_sum(prefix: str) -> float:
+            return sum(
+                v for k, v in self.counters.items() if k.startswith(prefix)
+            )
+
+        hook_errors = _counter_sum("obs_hook_errors_total")
+        trace_drops = _counter_sum("trace_events_dropped_total")
+        if hook_errors or trace_drops:
+            lines.append(
+                self._c(
+                    _YELLOW,
+                    f"obs health: hook errors={int(hook_errors)}"
+                    f"  trace events dropped={int(trace_drops)}",
                 )
             )
         lines.append("")

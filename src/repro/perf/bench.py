@@ -10,6 +10,9 @@ are comparable run-to-run and PR-to-PR:
 * ``pipeline_fig9_traced`` — the identical workload with observability
   attached (metrics + tracing + tuple-lifecycle events); the delta against
   ``pipeline_fig9_bursty`` is the instrumentation overhead.
+* ``pipeline_fig9_profiled`` — the identical workload with the continuous
+  sampling profiler attached at 97 Hz; the delta against
+  ``pipeline_fig9_bursty`` is the profiling overhead (budget: ≤5%).
 * ``executor_micro`` — the Figure 6 "original query" microbenchmark: one
   3-way join + aggregate execution over static tables, through the compiled
   query plan.  Reported in executions/second.
@@ -178,6 +181,37 @@ def bench_pipeline_audited(quick: bool) -> dict:
         units_per_rep=tuples,
         unit="tuples",
     )
+
+
+def bench_pipeline_profiled(quick: bool) -> dict:
+    """The Figure 9 workload with the sampling profiler attached.
+
+    Byte-identical streams and config to ``pipeline_fig9_bursty`` (same
+    :func:`repro.experiments.bursty_pipeline` seed); the profiler samples
+    from its own daemon thread at the default 97 Hz, so the gap between
+    the two suites *is* the continuous-profiling overhead budget
+    (acceptance: within 5% of the unprofiled run).
+    """
+    from repro.core.strategies import ShedStrategy
+    from repro.experiments import STREAM_NAMES, ExperimentParams, bursty_pipeline
+    from repro.obs.prof import SamplingProfiler
+
+    params = ExperimentParams()
+    pipeline, streams = bursty_pipeline(
+        ShedStrategy.DATA_TRIAGE, 2000.0, params, 0
+    )
+    pipeline.prof = SamplingProfiler(hz=97.0)
+    pipeline.run(streams)  # warm the plan cache; run() starts the sampler
+    tuples = len(STREAM_NAMES) * params.tuples_per_stream
+    try:
+        return _time_suite(
+            lambda: pipeline.run(streams),
+            reps=5 if quick else 15,
+            units_per_rep=tuples,
+            unit="tuples",
+        )
+    finally:
+        pipeline.prof.stop()
 
 
 def bench_executor(quick: bool) -> dict:
@@ -500,6 +534,7 @@ SUITES = {
     "pipeline_fig9_bursty": bench_pipeline,
     "pipeline_fig9_traced": bench_pipeline_traced,
     "pipeline_fig9_audited": bench_pipeline_audited,
+    "pipeline_fig9_profiled": bench_pipeline_profiled,
     "executor_micro": bench_executor,
     "synopsis_join": bench_synopsis,
     "synopsis_union": bench_synopsis_union,
@@ -519,20 +554,47 @@ def run_bench_suites(
     quick: bool = False,
     suites: list[str] | None = None,
     drop_policy: str | None = None,
+    profile_dir: str | Path | None = None,
 ) -> dict:
-    """Run the curated suites; return the ``repro-bench/v1`` result document."""
+    """Run the curated suites; return the ``repro-bench/v1`` result document.
+
+    ``profile_dir`` attaches a fresh sampling profiler around each suite
+    and writes ``<dir>/<suite>.collapsed`` (``repro-prof/v1``) — the
+    per-suite function-level sentinel ``repro bench --profile`` feeds the
+    CI profile-diff gate.  The profiler samples from its own thread, so
+    the timed numbers are the same suites, merely observed.
+    """
     names = list(SUITES) if suites is None else list(suites)
     unknown = [n for n in names if n not in SUITES]
     if unknown:
         raise ValueError(f"unknown bench suites: {unknown}; have {list(SUITES)}")
-    results = {
-        name: (
-            SUITES[name](quick, drop_policy)
+    if profile_dir is not None:
+        from repro.obs.prof import SamplingProfiler
+
+        profile_dir = Path(profile_dir)
+        profile_dir.mkdir(parents=True, exist_ok=True)
+    results = {}
+    for name in names:
+        run = (
+            (lambda n=name: SUITES[n](quick, drop_policy))
             if name in POLICY_AWARE_SUITES
-            else SUITES[name](quick)
+            else (lambda n=name: SUITES[n](quick))
         )
-        for name in names
-    }
+        if profile_dir is None:
+            results[name] = run()
+            continue
+        # 499 Hz (prime, so it cannot phase-lock with periodic work): the
+        # capture exists to diff function shares, and short quick-mode
+        # suites need sample density more than they need a gentle rate.
+        prof = SamplingProfiler(hz=499.0, label=name)
+        prof.start()
+        try:
+            results[name] = run()
+        finally:
+            prof.stop()
+        (profile_dir / f"{name}.collapsed").write_text(
+            prof.export_collapsed(), encoding="utf-8"
+        )
     return {
         "schema": BENCH_SCHEMA,
         "git_rev": git_revision(),
@@ -550,13 +612,15 @@ def shard_metrics_snapshot(shards: int = 2) -> str:
     / ``shard_merge_seconds`` flow through the registry on a real sharded
     close, without needing a long-lived server in the workflow.  The cycle
     runs with the shed-provenance audit ledger attached, so the ``audit_*``
-    counter family lands in the same snapshot.
+    counter family lands in the same snapshot, and with a sampling profiler
+    bound to the registry, so the ``prof_*`` family does too.
     """
     from repro.core.pipeline import DataTriagePipeline
     from repro.core.strategies import PipelineConfig
     from repro.engine.window import WindowSpec
     from repro.experiments import PAPER_QUERY, STREAM_NAMES, paper_catalog
     from repro.obs.audit import DropLedger
+    from repro.obs.prof import SamplingProfiler
     from repro.service.metrics import MetricsRegistry
     from repro.service.shard import ShardedDataPlane
     from repro.sources.generators import paper_row_generators
@@ -567,6 +631,8 @@ def shard_metrics_snapshot(shards: int = 2) -> str:
     )
     pipeline = DataTriagePipeline(paper_catalog(), PAPER_QUERY, config)
     ledger = DropLedger(seed=0, metrics=registry)
+    prof = SamplingProfiler(hz=97.0, metrics=registry)
+    prof.start()
     plane = ShardedDataPlane(pipeline, shards, metrics=registry, audit=ledger)
     try:
         rng = random.Random(5)
@@ -580,8 +646,11 @@ def shard_metrics_snapshot(shards: int = 2) -> str:
         if due:
             plane.collect(due)
             plane.mark_closed(due)
+        prof.stop()
+        prof.export_collapsed()  # exercise prof_export_seconds_total
         return registry.render_prometheus()
     finally:
+        prof.stop()
         plane.close()
 
 

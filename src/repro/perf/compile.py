@@ -795,9 +795,13 @@ class _CAggregate(CompiledNode):
         if all(slot is None for slot in slots):
             child = self.child
             kp = self.key_positions
+            # Duck-typed on left_match_counts so profiling proxies (which
+            # wrap _CHashJoin and forward the method with row accounting)
+            # keep the pushdown instead of silently falling off it.
+            lmc = getattr(child, "left_match_counts", None)
             if (
                 kp is not None
-                and type(child) is _CHashJoin
+                and lmc is not None
                 and all(p < len(child.left.schema) for p in kp)
             ):
                 # Factored COUNT(*)-over-join: the group keys only read
@@ -805,7 +809,7 @@ class _CAggregate(CompiledNode):
                 # instead of materializing the concatenated output.  Group
                 # first-occurrence order equals probe order, which is the
                 # order iterate() first bumps each key.
-                lrows, mult = child.left_match_counts(inputs)
+                lrows, mult = lmc(inputs)
                 if not lrows:
                     return []
                 vrow_fn = self.vrow_fn

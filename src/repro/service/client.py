@@ -301,9 +301,32 @@ class TriageClient:
         finally:
             tracer.clear_context()
 
-    async def stats(self, format: str = "json") -> dict:
-        """A telemetry snapshot: ``metrics``+``summary`` or ``prometheus``."""
-        return await self._request({"type": "STATS", "format": format})
+    async def stats(self, format: str = "json", *, profile=None) -> dict:
+        """A telemetry snapshot: ``metrics``+``summary`` or ``prometheus``.
+
+        ``profile=True`` (or a positive stack-line bound) asks a profiling
+        server to attach a live bounded collapsed profile to the reply's
+        ``prof`` block; see :meth:`profile`.
+        """
+        frame = {"type": "STATS", "format": format}
+        if profile:
+            frame["profile"] = profile
+        return await self._request(frame)
+
+    async def profile(self, limit: int | None = None) -> str:
+        """Live-capture a bounded collapsed profile from the server.
+
+        Returns the ``repro-prof/v1`` collapsed text (validate with
+        :func:`repro.obs.prof.validate_collapsed`).  Raises RuntimeError if
+        the server is not profiling (``repro serve --profile-hz``).
+        """
+        stats = await self.stats(profile=limit if limit else True)
+        prof = stats.get("prof")
+        if prof is None or "collapsed" not in prof:
+            raise RuntimeError(
+                "server is not profiling (start it with --profile-hz)"
+            )
+        return prof["collapsed"]
 
     async def results(self):
         """Async-iterate RESULT frames until the connection ends."""

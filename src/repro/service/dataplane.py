@@ -70,6 +70,7 @@ class StreamDataPlane:
         self._observer = observer
         self._thread_safe = thread_safe
         self._audit = audit
+        self._prof = None
         self._schemas = {
             s: pipeline.bound.source(s).schema for s in self.sources
         }
@@ -191,6 +192,30 @@ class StreamDataPlane:
         if self._audit is None:
             return None
         return self._audit.ship(wids)
+
+    # ------------------------------------------------------------------
+    # Continuous profiling (shard workers sample locally, ship deltas)
+    # ------------------------------------------------------------------
+    @property
+    def prof(self):
+        """The attached :class:`~repro.obs.prof.SamplingProfiler`, or None."""
+        return self._prof
+
+    def enable_profile(self, prof) -> None:
+        """Attach and start a local sampling profiler.
+
+        The profiler runs on its own daemon thread; nothing on the
+        ingest/drain paths changes, so enabling profiling cannot alter a
+        result or a drop decision.
+        """
+        self._prof = prof
+        prof.start()
+
+    def prof_ship(self):
+        """Serialize the profiler's new samples for the coordinator."""
+        if self._prof is None:
+            return None
+        return self._prof.ship()
 
     def take_matches(self) -> list[StreamTuple]:
         """Pop the pattern matches emitted since the last call."""

@@ -21,7 +21,10 @@ Client → server frames::
                                                 validate and pivot); ``trace``
                                                 carries {trace_id, parent}
                                                 distributed-trace context
-    STATS     {type, format?}                   request a telemetry snapshot
+    STATS     {type, format?, profile?}         request a telemetry snapshot;
+                                                ``profile: true`` (or a stack
+                                                -line bound) additionally asks
+                                                for a live collapsed profile
     BYE       {type}                            graceful goodbye
 
 Server → client frames::
@@ -309,6 +312,19 @@ def _validate_stats_request_or_reply(f: dict) -> None:
     fmt = _require(f, "format", str, optional=True)
     if fmt is not None and fmt not in ("json", "prometheus"):
         raise ProtocolError("bad-field", f"unknown STATS format {fmt!r}")
+    # Live profile capture: True requests the default bounded collapsed
+    # export, a positive int overrides the stack-line bound.
+    profile = f.get("profile")
+    if profile is not None and profile is not False:
+        if profile is not True and not (
+            isinstance(profile, int)
+            and not isinstance(profile, bool)
+            and profile > 0
+        ):
+            raise ProtocolError(
+                "bad-field",
+                f"STATS profile must be true or a positive int: {profile!r}",
+            )
 
 
 def _validate_bye(f: dict) -> None:

@@ -112,6 +112,12 @@ class ServiceConfig:
     #: per-``(stream, kind)`` reservoir size for tuple exemplars.
     audit_ring: int = 1024
     audit_exemplars: int = 4
+    #: Continuous sampling-profiler rate in Hz; None (default) disables
+    #: profiling.  Like audit, profiling is opt-in observability: sampling
+    #: runs on a daemon thread (workers sample locally and ship deltas),
+    #: so results, drop decisions, and replies are byte-identical either
+    #: way.  Enables the STATS/TELEMETRY ``prof`` block and live capture.
+    profile_hz: float | None = None
 
     def __post_init__(self) -> None:
         if self.tick_interval is not None and self.tick_interval <= 0:
@@ -122,6 +128,8 @@ class ServiceConfig:
             raise ValueError("audit_ring must be >= 1")
         if self.audit_exemplars < 0:
             raise ValueError("audit_exemplars must be >= 0")
+        if self.profile_hz is not None and not self.profile_hz > 0:
+            raise ValueError(f"profile_hz must be > 0: {self.profile_hz}")
         if self.grace < 0:
             raise ValueError("grace must be >= 0")
         if self.telemetry_interval is not None and self.telemetry_interval <= 0:
@@ -185,6 +193,20 @@ class TriageServer:
         #: Attribution records accumulated since the last TELEMETRY push.
         self._pending_audit: list[dict] = []
 
+        #: Continuous sampling profiler (None when profiling is off).  The
+        #: coordinator profiler is the merge target: the serial plane runs
+        #: under it directly; shard workers sample locally and ship
+        #: collapsed deltas that :meth:`ShardedDataPlane.prof_sync` absorbs
+        #: here, so its total sample count is the fleet-wide total.
+        self.prof = None
+        if self.service.profile_hz is not None:
+            from repro.obs.prof import SamplingProfiler
+
+            self.prof = SamplingProfiler(
+                self.service.profile_hz, metrics=self.metrics
+            )
+            self.pipeline.prof = self.prof
+
         # SLO scoring: every closed window feeds measurements; evaluation
         # happens on the telemetry cadence (see tick()).
         slos = (
@@ -223,6 +245,7 @@ class TriageServer:
                 self.service.shards,
                 metrics=self.metrics,
                 audit=self.audit,
+                prof=self.prof,
             )
             #: Sharded queues live inside worker processes; the in-process
             #: map is empty and introspection goes through the plane facade.
@@ -489,6 +512,8 @@ class TriageServer:
         )
         self._t0 = asyncio.get_running_loop().time()
         self._last_tick = self.now()
+        if self.prof is not None:
+            self.prof.start()
         if self.service.tick_interval is not None:
             self._ticker_task = asyncio.get_running_loop().create_task(
                 self._ticker()
@@ -542,6 +567,12 @@ class TriageServer:
                 await asyncio.get_running_loop().run_in_executor(
                     None, self.plane.audit_sync
                 )
+            if self.prof is not None and self.sharded:
+                # Same for profiles: absorb the workers' final sample
+                # deltas so the merged profile's total is the fleet total.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self.plane.prof_sync
+                )
         except Exception:
             if not self.sharded:
                 raise
@@ -549,6 +580,8 @@ class TriageServer:
             # sessions still deserve their BYE and the ports their close.
         await self.registry.close_all(farewell={"type": "BYE"})
         self._g_sessions.set(0)
+        if self.prof is not None:
+            self.prof.stop()
         if self.sharded:
             self.plane.close()
 
@@ -947,8 +980,40 @@ class TriageServer:
                     "summary": self.audit.summary(),
                     "attributions": list(self._audit_attributions),
                 }
+            if self.prof is not None:
+                want = frame.get("profile")
+                if want and self.sharded:
+                    # Live capture wants the fleet-wide view: absorb the
+                    # workers' sample deltas before exporting.
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, self.plane.prof_sync
+                    )
+                reply["prof"] = self._prof_block(live=want)
         await session.send_now(reply)
         return True
+
+    def _prof_block(self, live=None) -> dict:
+        """The ``prof`` block for STATS/TELEMETRY: summary + top frames.
+
+        ``live`` (a STATS request's ``profile`` field) additionally attaches
+        a bounded collapsed export — ``True`` uses the default stack-line
+        bound, an integer overrides it — which is the on-demand live-capture
+        path: the client asks, the server answers from the running sampler.
+        """
+        from repro.obs.prof import top_functions
+
+        counts = self.prof.snapshot()
+        block = {
+            "summary": self.prof.summary(),
+            "top": [
+                {"function": fn, "self_share": round(share, 6)}
+                for fn, share in top_functions(counts, 10)
+            ],
+        }
+        if live:
+            limit = live if isinstance(live, int) and live is not True else 200
+            block["collapsed"] = self.prof.export_collapsed(limit=limit)
+        return block
 
     def _summary(self) -> dict:
         offered, dropped = self.plane.totals()
@@ -1059,6 +1124,8 @@ class TriageServer:
                 "attributions": self._pending_audit,
             }
             self._pending_audit = []
+        if self.prof is not None:
+            frame["prof"] = self._prof_block()
         self._pending_reports = []
         self._c_telemetry.inc(len(subscribers))
         evicted = await self.registry.broadcast(frame, group="telemetry")

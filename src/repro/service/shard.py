@@ -130,6 +130,16 @@ def _worker_main(conn, payload: bytes, owned: list[str]) -> None:
                 reply = plane.audit_ship(
                     None if wids is None else list(wids)
                 )
+            elif op == "prof_enable":
+                _, hz, max_stacks = msg
+                from repro.obs.prof import SamplingProfiler
+
+                plane.enable_profile(
+                    SamplingProfiler(hz, max_stacks=max_stacks)
+                )
+                reply = True
+            elif op == "prof_ship":
+                reply = plane.prof_ship()
             elif op == "reset":
                 plane.reset()
                 reply = True
@@ -259,7 +269,9 @@ class ShardedDataPlane:
     staleness tolerance the queues' unlocked stats reads already have.
     """
 
-    def __init__(self, pipeline, shards: int, *, metrics=None, audit=None) -> None:
+    def __init__(
+        self, pipeline, shards: int, *, metrics=None, audit=None, prof=None
+    ) -> None:
         if shards < 2:
             raise ValueError(
                 "ShardedDataPlane needs >= 2 shards; use StreamDataPlane "
@@ -304,6 +316,9 @@ class ShardedDataPlane:
         self._audit = None
         if audit is not None:
             self.enable_audit(audit)
+        self._prof = None
+        if prof is not None:
+            self.enable_profile(prof)
 
     # ------------------------------------------------------------------
     # Shed-provenance auditing
@@ -346,6 +361,51 @@ class ShardedDataPlane:
             shipment = _unwrap(_one_reply(worker))
             if shipment:
                 self._audit.absorb(shipment)
+
+    # ------------------------------------------------------------------
+    # Continuous profiling
+    # ------------------------------------------------------------------
+    @property
+    def prof(self):
+        """The coordinator-side merge profiler, or None."""
+        return self._prof
+
+    def enable_profile(self, prof) -> None:
+        """Attach a coordinator merge profiler; workers sample locally.
+
+        Each worker starts a private
+        :class:`~repro.obs.prof.SamplingProfiler` on its own daemon thread
+        and ships per-stack count *deltas* back on :meth:`prof_sync`, where
+        they merge into ``prof`` — the profiling analogue of the audit
+        ship/absorb hop.  ``prof`` itself is not started here: whether the
+        coordinator process also samples is its owner's call (the server
+        starts it; a pure merge target stays stopped, so its totals are
+        exactly the sum of worker totals).
+        """
+        self._prof = prof
+        for worker in self.workers:
+            worker.submit(("prof_enable", prof.hz, prof.max_stacks))
+        for worker in self.workers:
+            _unwrap(_one_reply(worker))
+
+    def prof_sync(self) -> int:
+        """Absorb every worker's new samples; returns samples absorbed.
+
+        Shipments are deltas, so syncing any number of times never double
+        counts: after a final sync the coordinator profile's total sample
+        count equals the sum of the workers' totals (plus whatever the
+        coordinator itself sampled) exactly.
+        """
+        if self._prof is None:
+            return 0
+        for worker in self.workers:
+            worker.submit(("prof_ship",))
+        absorbed = 0
+        for worker in self.workers:
+            shipment = _unwrap(_one_reply(worker))
+            if shipment:
+                absorbed += self._prof.absorb(shipment)
+        return absorbed
 
     # ------------------------------------------------------------------
     # Ingest

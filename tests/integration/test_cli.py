@@ -139,3 +139,69 @@ class TestCli:
         assert all("ph" in e for e in lines)
         # Lifecycle instants silenced: spans/instants only.
         assert not any(e.get("cat") == "tuple" for e in lines)
+
+    def test_trace_profile_out_and_prof_table(self, tmp_path):
+        from repro.obs.prof import validate_collapsed
+
+        collapsed = tmp_path / "fig9.collapsed"
+        code, text = run_cli(
+            ["trace", "--quick", "--out", str(tmp_path / "t.json"),
+             "--profile-out", str(collapsed), "--profile-hz", "250"]
+        )
+        assert code == 0
+        assert "profile:" in text
+        header = validate_collapsed(collapsed.read_text())
+        assert header["schema"] == "repro-prof/v1"
+
+        svg = tmp_path / "flame.svg"
+        code, text = run_cli(
+            ["prof", str(collapsed), "--top", "3", "--svg", str(svg)]
+        )
+        assert code == 0
+        assert "hot functions" in text
+        assert "<svg" in svg.read_text()
+
+    def test_prof_diff_exit_codes(self, tmp_path):
+        base = tmp_path / "base.collapsed"
+        slow = tmp_path / "slow.collapsed"
+        base.write_text(
+            "# repro-prof/v1 hz=97 samples=100 truncated=0 label=x\n"
+            "m:f:1 80\nm:g:2 20\n"
+        )
+        slow.write_text(
+            "# repro-prof/v1 hz=97 samples=100 truncated=0 label=x\n"
+            "m:f:1 50\nm:g:2 50\n"
+        )
+        code, text = run_cli(["prof", "--diff", str(base), str(base)])
+        assert code == 0
+        assert "no per-function self-time regressions" in text
+        code, text = run_cli(["prof", "--diff", str(base), str(slow)])
+        assert code == 1
+        assert "REGRESSION" in text and "m:g" in text
+
+    def test_prof_bad_file_exits_2(self, tmp_path):
+        missing = tmp_path / "nope.collapsed"
+        code, text = run_cli(["prof", str(missing)])
+        assert code == 2
+        assert "prof error" in text
+        bad = tmp_path / "bad.collapsed"
+        bad.write_text("not a profile\n")
+        code, text = run_cli(["prof", str(bad)])
+        assert code == 2
+        assert "invalid profile" in text
+
+    def test_bench_profile_writes_per_suite_collapsed(self, tmp_path):
+        from repro.obs.prof import validate_collapsed
+
+        prof_dir = tmp_path / "profiles"
+        code, text = run_cli(
+            ["bench", "--quick", "--suite", "service_ingest",
+             "--out", str(tmp_path / "bench.json"),
+             "--profile", str(prof_dir)]
+        )
+        assert code == 0
+        assert "per-suite profiles" in text
+        header = validate_collapsed(
+            (prof_dir / "service_ingest.collapsed").read_text()
+        )
+        assert header["label"] == "service_ingest"

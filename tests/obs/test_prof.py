@@ -1,0 +1,367 @@
+"""Unit tests for the continuous sampling profiler (repro.obs.prof).
+
+Covers the sampler lifecycle (start/stop idempotence, daemon thread),
+bounded memory under adversarial stack diversity, the ``repro-prof/v1``
+collapsed-stack format round-trip, merge/diff analytics, the ambient
+phase context, delta shipping, and the Chrome-trace export.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.prof import (
+    PHASE_PREFIX,
+    PROF_SCHEMA,
+    TRUNCATED_FRAME,
+    ProfError,
+    SamplingProfiler,
+    current_phase,
+    merge_collapsed,
+    parse_collapsed,
+    phase,
+    profile_diff,
+    self_time_shares,
+    set_phase,
+    top_functions,
+    validate_collapsed,
+    write_flamegraph_svg,
+)
+
+
+def busy_wait(seconds: float) -> None:
+    """Burn CPU in Python frames so the sampler has something to see."""
+    deadline = time.monotonic() + seconds
+    x = 0
+    while time.monotonic() < deadline:
+        x += 1
+    assert x >= 0
+
+
+def synthetic_shipment(stacks, hz=97.0):
+    return {
+        "schema": PROF_SCHEMA,
+        "hz": hz,
+        "stacks": [[list(stack), count] for stack, count in stacks],
+        "samples": sum(count for _, count in stacks),
+        "truncated": 0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle
+# ---------------------------------------------------------------------------
+def test_start_stop_idempotent():
+    p = SamplingProfiler(hz=200.0)
+    assert not p.running
+    p.start()
+    p.start()  # second start is a no-op, not a second thread
+    assert p.running
+    samplers = [
+        t for t in threading.enumerate() if t.name == "repro-prof-sampler"
+    ]
+    assert len(samplers) == 1
+    p.stop()
+    p.stop()  # second stop is a no-op
+    assert not p.running
+    # restart works and keeps accumulating into the same table
+    p.start()
+    busy_wait(0.05)
+    p.stop()
+    assert p.samples >= 0
+
+
+def test_invalid_hz_rejected():
+    with pytest.raises(ValueError):
+        SamplingProfiler(hz=0.0)
+    with pytest.raises(ValueError):
+        SamplingProfiler(hz=-5.0)
+
+
+def test_sampler_collects_python_frames():
+    p = SamplingProfiler(hz=250.0)
+    p.start()
+    try:
+        busy_wait(0.3)
+    finally:
+        p.stop()
+    assert p.samples > 0
+    counts = p.snapshot()
+    assert sum(counts.values()) == p.samples
+    # Every frame is module:function:line; the busy loop shows up.
+    joined = ";".join(frame for stack in counts for frame in stack)
+    assert "busy_wait" in joined
+
+
+# ---------------------------------------------------------------------------
+# Bounded memory
+# ---------------------------------------------------------------------------
+def test_bounded_memory_truncation_bucket_conserves_totals():
+    p = SamplingProfiler(hz=97.0, max_stacks=4)
+    stacks = [((f"mod:fn{i}:1",), 2) for i in range(50)]
+    p.absorb(synthetic_shipment(stacks))
+    counts = p.snapshot()
+    assert len(counts) <= 4
+    assert (TRUNCATED_FRAME,) in counts
+    # Total sample mass is conserved: overflow folds, never disappears.
+    assert sum(counts.values()) == 100
+    assert p.samples == 100
+    assert p.truncated > 0
+
+
+def test_absorb_rejects_wrong_schema():
+    p = SamplingProfiler(hz=97.0)
+    bad = synthetic_shipment([(("m:f:1",), 1)])
+    bad["schema"] = "not-a-profile"
+    with pytest.raises(ProfError):
+        p.absorb(bad)
+
+
+# ---------------------------------------------------------------------------
+# Collapsed format round-trip
+# ---------------------------------------------------------------------------
+def test_collapsed_round_trip():
+    p = SamplingProfiler(hz=97.0, label="unit")
+    p.absorb(
+        synthetic_shipment(
+            [(("a:f:1", "a:g:2"), 3), (("a:f:1",), 2), (("b:h:9",), 1)]
+        )
+    )
+    text = p.export_collapsed()
+    header = validate_collapsed(text)
+    assert header["schema"] == PROF_SCHEMA
+    assert header["samples"] == 6
+    assert header["label"] == "unit"
+    header2, counts = parse_collapsed(text)
+    assert header2 == header
+    assert counts[("a:f:1", "a:g:2")] == 3
+    assert sum(counts.values()) == p.samples
+
+
+def test_export_limit_keeps_hottest_stacks():
+    p = SamplingProfiler(hz=97.0)
+    p.absorb(
+        synthetic_shipment([(("hot:f:1",), 90), (("cold:g:1",), 1)])
+    )
+    _, counts = parse_collapsed(p.export_collapsed(limit=1))
+    assert list(counts) == [("hot:f:1",)]
+
+
+def test_parse_errors_raise_proferror():
+    with pytest.raises(ProfError):
+        validate_collapsed("")  # no header
+    with pytest.raises(ProfError):
+        validate_collapsed("# wrong-schema/v1 hz=97 samples=0 truncated=0\n")
+    good = SamplingProfiler(hz=97.0).export_collapsed()
+    with pytest.raises(ProfError):
+        parse_collapsed(good + "this line has no count\n")
+
+
+def test_merge_collapsed_sums_headers_and_counts():
+    a = SamplingProfiler(hz=97.0)
+    a.absorb(synthetic_shipment([(("m:f:1",), 4)]))
+    b = SamplingProfiler(hz=97.0)
+    b.absorb(synthetic_shipment([(("m:f:1",), 1), (("m:g:2",), 2)]))
+    merged = merge_collapsed([a.export_collapsed(), b.export_collapsed()])
+    header, counts = parse_collapsed(merged)
+    assert header["samples"] == 7
+    assert counts[("m:f:1",)] == 5
+    assert counts[("m:g:2",)] == 2
+
+
+# ---------------------------------------------------------------------------
+# Phase context
+# ---------------------------------------------------------------------------
+def test_phase_context_nesting_and_reset():
+    assert current_phase() is None
+    prev = set_phase("ingest")
+    assert prev is None
+    assert current_phase() == "ingest"
+    with phase("exact"):
+        assert current_phase() == "exact"
+    assert current_phase() == "ingest"
+    set_phase(None)
+    assert current_phase() is None
+
+
+def test_samples_carry_phase_root_frame():
+    p = SamplingProfiler(hz=250.0)
+    p.start()
+    try:
+        with phase("exact"):
+            busy_wait(0.3)
+    finally:
+        p.stop()
+        set_phase(None)
+    tagged = [
+        stack
+        for stack in p.snapshot()
+        if stack and stack[0] == f"{PHASE_PREFIX}exact"
+    ]
+    assert tagged, "sampling during a phase must tag stacks with it"
+
+
+# ---------------------------------------------------------------------------
+# Analytics: shares, top table, diff
+# ---------------------------------------------------------------------------
+def test_self_time_shares_use_leaf_frames():
+    shares = self_time_shares(
+        {("m:f:1", "m:g:2"): 3, ("m:g:7",): 1}
+    )
+    # g is the leaf in both stacks (line numbers stripped).
+    assert shares["m:g"] == pytest.approx(1.0)
+
+
+def test_top_functions_ranked():
+    counts = {("m:f:1",): 6, ("m:g:2",): 3, ("m:h:3",): 1}
+    top = top_functions(counts, n=2)
+    assert [fn for fn, _ in top] == ["m:f", "m:g"]
+    assert top[0][1] == pytest.approx(0.6)
+
+
+def test_profile_diff_names_injected_slowdown():
+    base = (
+        f"# {PROF_SCHEMA} hz=97 samples=100 truncated=0 label=x\n"
+        "m:f:1 80\nm:g:2 20\n"
+    )
+    slow = (
+        f"# {PROF_SCHEMA} hz=97 samples=100 truncated=0 label=x\n"
+        "m:f:1 50\nm:g:2 50\n"
+    )
+    regressions = profile_diff(base, slow, max_ratio=2.0, min_share=0.02)
+    assert [r["function"] for r in regressions] == ["m:g"]
+    assert regressions[0]["ratio"] == pytest.approx(2.5)
+    # Symmetric check: nothing fires when profiles match.
+    assert profile_diff(base, base) == []
+
+
+def test_profile_diff_detects_sampled_injected_slowdown():
+    """End to end: a ~2x slowdown injected into a named function shows up
+    in real sampled captures, and the diff names that function."""
+
+    def steady_work(seconds):
+        busy_wait(seconds)
+
+    def injected_regression(seconds):
+        # Burns inline (not via busy_wait) so samples land on *this*
+        # function's frames — self time is attributed to leaf frames.
+        deadline = time.monotonic() + seconds
+        x = 0
+        while time.monotonic() < deadline:
+            x += 1
+        return x
+
+    def capture(regress):
+        p = SamplingProfiler(hz=499.0, label="diff-e2e")
+        p.start()
+        try:
+            steady_work(0.15)
+            if regress:
+                injected_regression(0.3)
+        finally:
+            p.stop()
+        return p.export_collapsed()
+
+    base, new = capture(False), capture(True)
+    regressions = profile_diff(base, new, max_ratio=2.0, min_share=0.02)
+    assert any(
+        r["function"].endswith(":injected_regression") for r in regressions
+    ), regressions
+
+
+def test_profile_diff_min_samples_suppresses_blips():
+    base = f"# {PROF_SCHEMA} hz=97 samples=6 truncated=0 label=x\nm:f:1 6\n"
+    blip = (
+        f"# {PROF_SCHEMA} hz=97 samples=6 truncated=0 label=x\n"
+        "m:f:1 5\nm:g:2 1\n"
+    )
+    # One stray sample is 16% share — huge, but statistically meaningless.
+    assert profile_diff(base, blip, min_samples=5) == []
+    assert profile_diff(base, blip, min_samples=1) != []
+
+
+def test_profile_diff_flags_new_hotspot_with_zero_base():
+    base = f"# {PROF_SCHEMA} hz=97 samples=10 truncated=0 label=x\nm:f:1 10\n"
+    new = (
+        f"# {PROF_SCHEMA} hz=97 samples=10 truncated=0 label=x\n"
+        "m:f:1 5\nm:new:9 5\n"
+    )
+    regressions = profile_diff(base, new)
+    names = {r["function"] for r in regressions}
+    assert "m:new" in names
+    (hotspot,) = [r for r in regressions if r["function"] == "m:new"]
+    assert hotspot["ratio"] is None  # unbounded: absent from baseline
+
+
+# ---------------------------------------------------------------------------
+# Exports: flamegraph SVG, Chrome trace
+# ---------------------------------------------------------------------------
+def test_flamegraph_svg_written(tmp_path):
+    p = SamplingProfiler(hz=97.0)
+    p.absorb(
+        synthetic_shipment([(("a:f:1", "a:g:2"), 3), (("a:f:1",), 1)])
+    )
+    out = tmp_path / "flame.svg"
+    write_flamegraph_svg(p.snapshot(), str(out))
+    text = out.read_text()
+    assert text.startswith("<svg") or "<svg" in text
+    assert "a:g:2" in text
+
+
+def test_flamegraph_empty_profile_rejected(tmp_path):
+    with pytest.raises(ProfError):
+        write_flamegraph_svg({}, str(tmp_path / "flame.svg"))
+
+
+def test_chrome_export_validates():
+    import json
+
+    from repro.obs.trace import validate_chrome_trace
+
+    p = SamplingProfiler(hz=97.0, label="chrome-test")
+    p.absorb(synthetic_shipment([(("m:f:1",), 2)]))
+    events = [
+        json.loads(line) for line in p.to_jsonl().splitlines() if line
+    ]
+    validate_chrome_trace({"traceEvents": events})
+    names = {e["name"] for e in events}
+    assert {"process_name", "trace_epoch", "prof_stack"} <= names
+
+
+# ---------------------------------------------------------------------------
+# Delta shipping
+# ---------------------------------------------------------------------------
+def test_ship_returns_deltas_absorb_is_exactly_additive():
+    worker = SamplingProfiler(hz=97.0)
+    coord = SamplingProfiler(hz=97.0)  # never started: pure merge target
+    worker.absorb(synthetic_shipment([(("m:f:1",), 5)]))
+    coord.absorb(worker.ship())
+    assert coord.samples == 5
+    # Nothing new sampled: the next shipment is empty, not a re-send.
+    empty = worker.ship()
+    assert empty["samples"] == 0
+    assert empty["stacks"] == []
+    coord.absorb(empty)
+    assert coord.samples == 5
+    worker.absorb(synthetic_shipment([(("m:f:1",), 1), (("m:g:2",), 2)]))
+    coord.absorb(worker.ship())
+    assert coord.samples == worker.samples == 8
+    assert coord.snapshot() == worker.snapshot()
+
+
+def test_metrics_counters_bound(tmp_path):
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    p = SamplingProfiler(hz=250.0, metrics=registry)
+    p.start()
+    try:
+        busy_wait(0.2)
+    finally:
+        p.stop()
+    p.export_collapsed()
+    text = registry.render_prometheus()
+    assert "prof_samples_total" in text
+    assert "prof_frames_truncated_total" in text
+    assert "prof_export_seconds_total" in text
