@@ -12,9 +12,10 @@ Processing" — see PAPERS.md).
 
 Semantics, chosen for determinism and small-code clarity:
 
-* Events are consumed one at a time in arrival order; every run inspects the
-  event in ascending run-id order, so the produced match set is a pure
-  function of the input sequence — no RNG anywhere in the engine.
+* Events are consumed one at a time in arrival order; every run that could
+  consume the event inspects it in ascending run-id order, so the produced
+  match set is a pure function of the input sequence — no RNG anywhere in
+  the engine.
 * A run advances *greedily toward progress*: if the event can move the run
   to its next step, it does; otherwise, if the run sits in a Kleene step,
   the event may be absorbed there.  Each run consumes an event at most once.
@@ -23,20 +24,52 @@ Semantics, chosen for determinism and small-code clarity:
 * A run completes — and is removed — the moment its final step binds; the
   match row is ``(match_start, match_end, <step columns...>)`` with Kleene
   steps contributing a count plus the last absorbed event's columns.
+
+The fast path (behaviour-preserving; every structure below produces the
+byte-identical match stream of the naive scan-everything engine):
+
+* **Compiled predicates** — step predicates are lowered through
+  :func:`repro.perf.compile.compile_scalar` against the env schema; any
+  :class:`~repro.perf.compile.CompileError` leaves that predicate on the
+  interpreted ``Expression.bind`` closure (the executor's permanent
+  fallback idiom).  ``compiled=False`` forces the interpreted path.
+* **Stream/key-indexed run scheduling** — each run is indexed under one
+  *token* per step it could consume next: ``(stream, None, None)`` when no
+  usable key constraint exists, else ``(stream, row_pos, key_value)`` from
+  the step's bind-time equality link.  An incoming event only visits the
+  runs in its stream's ``any`` bucket plus the matching key buckets; every
+  skipped run is one whose key-link predicate would have rejected the
+  event anyway.  The same index *is* the protection view the drop policy
+  reads — :meth:`protection_index` no longer rebuilds anything.
+* **Heap expiry** — runs live in a ``(start, rid)`` min-heap; expiry pops
+  only actually-expired entries instead of rebuilding the run list per
+  event.  Entries for already-retired runs are skipped lazily.
+* **Batch absorption** — :meth:`advance_batch` (row events) and
+  :meth:`advance_columns` (a ColumnBatch of one stream) absorb whole
+  batches.  Events failing a step's *local* predicates (run-independent
+  conjuncts, vectorized via :func:`~repro.perf.vector.compile_filter_vector`)
+  for every step of their stream are provably inert — they cannot start,
+  extend, or complete any run — so they are discarded in bulk; only their
+  timestamps still drive expiry (as a running maximum) and the utility
+  model's ``seen`` counters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Callable
 
-from repro.engine.expressions import is_equijoin_conjunct
+from repro.engine.expressions import BinaryOp, is_equijoin_conjunct
 from repro.engine.types import StreamTuple
+from repro.perf.compile import CompileError, compile_scalar
+from repro.perf.vector import compile_filter_vector, compile_filter_vector_cols
 from repro.sql.binder import BoundPattern
 
 #: Engine observer signature: ``observer(event, value)``.  Events:
 #: ``"run_start"``, ``"run_extend"``, ``"match"``, ``"run_expire"``,
-#: ``"run_shed"`` — each with value 1.0 per occurrence.
+#: ``"run_shed"`` — each with value 1.0 per occurrence (``run_expire``
+#: batches: one call with the count of runs expired together).
 EngineObserver = Callable[[str, float], None]
 
 
@@ -63,24 +96,56 @@ class _CompiledStep:
         "width",
         "predicates",
         "key_link",
+        "local_rows",
+        "local_cols",
     )
 
-    def __init__(self, bound_step, pattern: "BoundPattern") -> None:
+    def __init__(self, bound_step, pattern: "BoundPattern", compiled: bool) -> None:
         self.variable = bound_step.variable
         self.stream = bound_step.stream_name
         self.kleene = bound_step.kleene
         self.env_offset = bound_step.env_offset
         self.width = len(bound_step.schema)
         self.predicates = [
-            p.bind(pattern.env_schema) for p in bound_step.predicates
+            _compile_pred(p, pattern, compiled) for p in bound_step.predicates
         ]
         self.key_link = _find_key_link(bound_step, pattern)
+        # Vectorized run-independent pre-filter over this step's own stream
+        # schema (the batch paths evaluate it against raw candidate rows,
+        # not the env).  None means "cannot pre-filter at this step".
+        self.local_rows = None
+        self.local_cols = None
+        local = getattr(bound_step, "local_predicates", ())
+        if compiled and local:
+            expr = local[0]
+            for p in local[1:]:
+                expr = BinaryOp("AND", expr, p)
+            try:
+                self.local_rows = compile_filter_vector(expr, bound_step.schema)
+                self.local_cols = compile_filter_vector_cols(
+                    expr, bound_step.schema
+                )
+            except CompileError:
+                self.local_rows = None
+                self.local_cols = None
+
+
+def _compile_pred(pred, pattern: BoundPattern, compiled: bool) -> Callable:
+    """Compile one predicate; fall back to the interpreted closure."""
+    if compiled:
+        try:
+            return compile_scalar(pred, pattern.env_schema)
+        except CompileError:
+            pass
+    return pred.bind(pattern.env_schema)
 
 
 class _Run:
     """One partial match."""
 
-    __slots__ = ("rid", "step", "counts", "env", "events", "start", "progress")
+    __slots__ = (
+        "rid", "step", "counts", "env", "events", "start", "progress", "tokens"
+    )
 
     def __init__(self, rid: int, n_steps: int, env_len: int, start: float) -> None:
         self.rid = rid
@@ -90,35 +155,46 @@ class _Run:
         self.events: list[tuple[str, float]] = []
         self.start = start
         self.progress = 0  # number of steps with at least one event bound
+        self.tokens: tuple = ()  # index tokens this run is currently filed under
+
+
+class _StreamIndex:
+    """Per-stream run buckets: who could consume this stream's next event."""
+
+    __slots__ = ("any", "keyed")
+
+    def __init__(self) -> None:
+        #: rid -> run, for runs wanting this stream with no usable key.
+        self.any: dict[int, _Run] = {}
+        #: row position -> key value -> rid -> run.
+        self.keyed: dict[int, dict] = {}
 
 
 class PatternProtection:
     """Which (stream, row) pairs currently extend an active partial match.
 
-    Built from live runs: a stream is in ``any_streams`` when some run wants
-    its next event from that stream without a usable key constraint; keyed
-    entries map ``stream -> row position -> set of wanted key values``.
+    A *live view* over the engine's run index, maintained incrementally on
+    every run transition — there is no rebuild step and no staleness.  A
+    stream protects unconditionally while some run wants its next event
+    from that stream without a usable key constraint; otherwise a row is
+    protected iff one of its key positions hits a non-empty value bucket.
     """
 
-    __slots__ = ("any_streams", "keyed")
+    __slots__ = ("_index",)
 
-    def __init__(self) -> None:
-        self.any_streams: set[str] = set()
-        self.keyed: dict[str, dict[int, set]] = {}
-
-    def want_any(self, stream: str) -> None:
-        self.any_streams.add(stream)
-
-    def want_key(self, stream: str, position: int, value) -> None:
-        self.keyed.setdefault(stream, {}).setdefault(position, set()).add(value)
+    def __init__(self, index: dict[str, _StreamIndex]) -> None:
+        self._index = index
 
     def protects(self, stream: str, row: tuple) -> bool:
-        if stream in self.any_streams:
-            return True
-        by_pos = self.keyed.get(stream)
-        if not by_pos:
+        si = self._index.get(stream)
+        if si is None:
             return False
-        return any(row[pos] in values for pos, values in by_pos.items())
+        if si.any:
+            return True
+        for pos, by_val in si.keyed.items():
+            if by_val.get(row[pos]):
+                return True
+        return False
 
 
 class PatternEngine:
@@ -132,6 +208,7 @@ class PatternEngine:
         observer: EngineObserver | None = None,
         utility=None,
         audit=None,
+        compiled: bool = True,
     ) -> None:
         if max_runs < 1:
             raise ValueError(f"max_runs must be >= 1, got {max_runs}")
@@ -143,12 +220,37 @@ class PatternEngine:
         #: partial-match evict (``cep_evict``) with the retired run's
         #: utility score.  Assignable post-construction.
         self.audit = audit
+        #: False pins every predicate on the interpreted closures (and
+        #: disables the vectorized batch pre-filter) — the permanent
+        #: fallback, also useful to A/B the compiled path's byte-identity.
+        self.compiled = compiled
         self.stats = EngineStats()
-        self._steps = [_CompiledStep(s, pattern) for s in pattern.steps]
-        self._runs: list[_Run] = []
+        self._steps = [_CompiledStep(s, pattern, compiled) for s in pattern.steps]
+        self._within = pattern.within
+        self._env_len = len(pattern.env_schema)
+        self._runs: dict[int, _Run] = {}
+        self._expiry: list[tuple[float, int]] = []  # (start, rid) min-heap
+        self._index: dict[str, _StreamIndex] = {}
+        self._protection = PatternProtection(self._index)
         self._next_rid = 0
         self._version = 0  # bumped on any run mutation; caches key off it
-        self._protection: tuple[int, PatternProtection] | None = None
+        # Batch pre-filter kernels: stream -> one local-predicate kernel per
+        # step of that stream.  Only streams where *every* step carries a
+        # kernel are eligible — a step without one admits any event, so the
+        # union of per-step survivors would be the whole batch anyway.
+        by_stream: dict[str, list[_CompiledStep]] = {}
+        for st in self._steps:
+            by_stream.setdefault(st.stream, []).append(st)
+        self._kernels_rows = {
+            s: [st.local_rows for st in sts]
+            for s, sts in by_stream.items()
+            if all(st.local_rows is not None for st in sts)
+        }
+        self._kernels_cols = {
+            s: [st.local_cols for st in sts]
+            for s, sts in by_stream.items()
+            if all(st.local_cols is not None for st in sts)
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -165,61 +267,263 @@ class PatternEngine:
         self.stats.events += 1
         if self.utility is not None:
             self.utility.observe(stream, tup.timestamp)
-        ts = tup.timestamp
-        self._expire(ts)
+        return self._step_event(stream, tup)
+
+    def advance_batch(
+        self, events: "list[tuple[str, StreamTuple]]"
+    ) -> list[StreamTuple]:
+        """Absorb a batch of ``(stream, tuple)`` events; return its matches.
+
+        Byte-identical to calling :meth:`consume` per event in order.  The
+        batch win: ``seen``-counter updates happen in bulk per stream, and
+        events failing every step's vectorized local predicates are skipped
+        without touching run state — only their timestamps participate, as
+        a running maximum driving expiry.
+        """
+        if not events:
+            return []
+        self.stats.events += len(events)
+        if self.utility is not None:
+            by_stream: dict[str, list[float]] = {}
+            for stream, tup in events:
+                lst = by_stream.get(stream)
+                if lst is None:
+                    lst = by_stream[stream] = []
+                lst.append(tup.timestamp)
+            for stream, stamps in by_stream.items():
+                self.utility.observe_bulk(stream, stamps)
+        live = self._live_indices(events)
         matches: list[StreamTuple] = []
-        completed: list[_Run] = []
-        for run in self._runs:
-            if self._extend(run, stream, tup):
-                self.stats.runs_extended += 1
-                self._notify("run_extend")
-                if run.step >= len(self._steps):
-                    completed.append(run)
+        step = self._step_event
+        if live is None:
+            for stream, tup in events:
+                m = step(stream, tup)
+                if m:
+                    matches.extend(m)
+            return matches
+        prev = 0
+        pend = None  # max timestamp among skipped events awaiting expiry
+        for gi in live:
+            while prev < gi:
+                ts = events[prev][1].timestamp
+                if pend is None or ts > pend:
+                    pend = ts
+                prev += 1
+            stream, tup = events[gi]
+            if pend is not None and pend > tup.timestamp:
+                self._expire(pend)
+            pend = None
+            m = step(stream, tup)
+            if m:
+                matches.extend(m)
+            prev = gi + 1
+        while prev < len(events):
+            ts = events[prev][1].timestamp
+            if pend is None or ts > pend:
+                pend = ts
+            prev += 1
+        if pend is not None:
+            self._expire(pend)
+        return matches
+
+    def advance_columns(self, stream: str, batch) -> list[StreamTuple]:
+        """Absorb one stream's :class:`~repro.engine.columns.ColumnBatch`.
+
+        The column-native twin of :meth:`advance_batch`: local predicates
+        evaluate zero-copy against the batch's column lists, and only
+        surviving rows are materialized into :class:`StreamTuple`\\ s.
+        """
+        n = len(batch)
+        if n == 0:
+            return []
+        self.stats.events += n
+        if batch.shared_timestamp:
+            stamps = [batch.timestamps] * n
+        elif batch.start == 0 and batch.stop == len(batch.timestamps):
+            stamps = batch.timestamps
+        else:
+            stamps = batch.timestamps[batch.start : batch.stop]
+        if self.utility is not None:
+            self.utility.observe_bulk(stream, stamps)
+        kernels = self._kernels_cols.get(stream)
+        live = None
+        if kernels is not None:
+            cols = batch.columns
+            if batch.start != 0 or (cols and batch.stop != len(cols[0])):
+                cols = tuple(c[batch.start : batch.stop] for c in cols)
+            passing: set[int] = set()
+            for kern in kernels:
+                passing.update(kern(cols))
+                if len(passing) == n:
+                    break
+            if len(passing) < n:
+                live = sorted(passing)
+        matches: list[StreamTuple] = []
+        step = self._step_event
+        if live is None:
+            for i in range(n):
+                m = step(stream, StreamTuple(stamps[i], batch.row(i)))
+                if m:
+                    matches.extend(m)
+            return matches
+        prev = 0
+        pend = None
+        for gi in live:
+            if prev < gi:
+                span = max(stamps[prev:gi])
+                if pend is None or span > pend:
+                    pend = span
+            tup = StreamTuple(stamps[gi], batch.row(gi))
+            if pend is not None and pend > tup.timestamp:
+                self._expire(pend)
+            pend = None
+            m = step(stream, tup)
+            if m:
+                matches.extend(m)
+            prev = gi + 1
+        if prev < n:
+            span = max(stamps[prev:n])
+            if pend is None or span > pend:
+                pend = span
+        if pend is not None:
+            self._expire(pend)
+        return matches
+
+    def run_snapshot(self) -> list[tuple[int, int, float]]:
+        """(rid, current step, start time) per active run — for debugging/UI."""
+        return [(r.rid, r.step, r.start) for r in self._runs.values()]
+
+    # ------------------------------------------------------------------
+    def protection_index(self) -> PatternProtection:
+        """The live protection view — maintained incrementally, never rebuilt.
+
+        The returned object is stable for the engine's lifetime and always
+        reflects the current run set; callers must not assume snapshot
+        semantics across engine mutations.
+        """
+        return self._protection
+
+    # ------------------------------------------------------------------
+    def _step_event(self, stream: str, tup: StreamTuple) -> list[StreamTuple]:
+        ts = tup.timestamp
+        expiry = self._expiry
+        if expiry and ts - expiry[0][0] > self._within:
+            self._expire(ts)
+        matches: list[StreamTuple] = []
+        completed: list[_Run] | None = None
+        cands = self._candidates(stream, tup.row)
+        if cands:
+            n = len(self._steps)
+            for run in cands:
+                if self._extend(run, stream, tup):
+                    self.stats.runs_extended += 1
+                    if self.observer is not None:
+                        self.observer("run_extend", 1.0)
+                    if run.step >= n:
+                        if completed is None:
+                            completed = []
+                        completed.append(run)
+                    else:
+                        self._reindex(run)
         if completed:
-            done = set(id(r) for r in completed)
-            self._runs = [r for r in self._runs if id(r) not in done]
+            runs = self._runs
             for run in completed:
+                del runs[run.rid]
+                self._index_remove(run)
                 matches.append(self._emit(run, ts))
         self._start_run(stream, tup, matches)
         if matches or completed:
             self._version += 1
         return matches
 
-    def run_snapshot(self) -> list[tuple[int, int, float]]:
-        """(rid, current step, start time) per active run — for debugging/UI."""
-        return [(r.rid, r.step, r.start) for r in self._runs]
+    def _candidates(self, stream: str, row: tuple) -> "list[_Run] | tuple":
+        """Runs that could consume this event, in ascending rid order."""
+        si = self._index.get(stream)
+        if si is None:
+            return ()
+        keyed = si.keyed
+        if keyed:
+            found = dict(si.any)
+            for pos, by_val in keyed.items():
+                bucket = by_val.get(row[pos])
+                if bucket:
+                    found.update(bucket)
+        else:
+            found = si.any
+        if not found:
+            return ()
+        if len(found) == 1:
+            return list(found.values())
+        return [found[rid] for rid in sorted(found)]
 
     # ------------------------------------------------------------------
-    def protection_index(self) -> PatternProtection:
-        """The live protection set, cached against the engine version."""
-        cached = self._protection
-        if cached is not None and cached[0] == self._version:
-            return cached[1]
-        out = PatternProtection()
+    # Run index maintenance
+    # ------------------------------------------------------------------
+    def _run_tokens(self, run: _Run) -> tuple:
         steps = self._steps
         n = len(steps)
-        for run in self._runs:
-            targets = []
-            k = run.step
-            if k < n:
-                # Advancing out of an open Kleene group is also an extension.
-                if steps[k].kleene and run.counts[k] >= 1 and k + 1 < n:
-                    targets.append(k + 1)
-                targets.append(k)
-            for t in targets:
-                step = steps[t]
-                link = step.key_link
-                if link is None:
-                    out.want_any(step.stream)
-                    continue
-                cand_pos, env_pos = link
-                value = run.env[env_pos]
-                if value is None:
-                    out.want_any(step.stream)
-                else:
-                    out.want_key(step.stream, cand_pos, value)
-        self._protection = (self._version, out)
-        return out
+        k = run.step
+        if k >= n:
+            return ()
+        # Advancing out of an open Kleene group is also an extension.
+        if steps[k].kleene and run.counts[k] >= 1 and k + 1 < n:
+            first = self._token(steps[k + 1], run)
+            second = self._token(steps[k], run)
+            if first == second:
+                return (first,)
+            return (first, second)
+        return (self._token(steps[k], run),)
+
+    @staticmethod
+    def _token(step: _CompiledStep, run: _Run) -> tuple:
+        link = step.key_link
+        if link is not None:
+            value = run.env[link[1]]
+            if value is not None:
+                try:
+                    hash(value)
+                except TypeError:
+                    return (step.stream, None, None)
+                return (step.stream, link[0], value)
+        return (step.stream, None, None)
+
+    def _index_add(self, run: _Run) -> None:
+        index = self._index
+        for stream, pos, value in run.tokens:
+            si = index.get(stream)
+            if si is None:
+                si = index[stream] = _StreamIndex()
+            if pos is None:
+                si.any[run.rid] = run
+            else:
+                si.keyed.setdefault(pos, {}).setdefault(value, {})[run.rid] = run
+
+    def _index_remove(self, run: _Run) -> None:
+        index = self._index
+        for stream, pos, value in run.tokens:
+            si = index.get(stream)
+            if si is None:
+                continue
+            if pos is None:
+                si.any.pop(run.rid, None)
+            else:
+                by_pos = si.keyed.get(pos)
+                bucket = by_pos.get(value) if by_pos is not None else None
+                if bucket is not None:
+                    bucket.pop(run.rid, None)
+                    if not bucket:
+                        del by_pos[value]
+                        if not by_pos:
+                            del si.keyed[pos]
+            if not si.any and not si.keyed:
+                del index[stream]
+
+    def _reindex(self, run: _Run) -> None:
+        tokens = self._run_tokens(run)
+        if tokens != run.tokens:
+            self._index_remove(run)
+            run.tokens = tokens
+            self._index_add(run)
 
     # ------------------------------------------------------------------
     def _extend(self, run: _Run, stream: str, tup: StreamTuple) -> bool:
@@ -276,9 +580,7 @@ class PatternEngine:
         step0 = self._steps[0]
         if step0.stream != stream:
             return
-        run = _Run(
-            self._next_rid, len(self._steps), len(self.pattern.env_schema), tup.timestamp
-        )
+        run = _Run(self._next_rid, len(self._steps), self._env_len, tup.timestamp)
         if not self._bind(run, 0, tup):
             return
         self._next_rid += 1
@@ -288,7 +590,10 @@ class PatternEngine:
         if run.step >= len(self._steps):  # single-step pattern
             matches.append(self._emit(run, tup.timestamp))
         else:
-            self._runs.append(run)
+            self._runs[run.rid] = run
+            run.tokens = self._run_tokens(run)
+            self._index_add(run)
+            heappush(self._expiry, (run.start, run.rid))
             self.stats.runs_started += 1
             self._notify("run_start")
             if len(self._runs) > self.max_runs:
@@ -309,11 +614,18 @@ class PatternEngine:
         return StreamTuple(end_ts, tuple(row))
 
     def _expire(self, now: float) -> None:
-        within = self.pattern.within
-        alive = [r for r in self._runs if now - r.start <= within]
-        expired = len(self._runs) - len(alive)
+        heap = self._expiry
+        within = self._within
+        runs = self._runs
+        expired = 0
+        while heap and now - heap[0][0] > within:
+            _, rid = heappop(heap)
+            run = runs.pop(rid, None)
+            if run is None:
+                continue  # stale entry: run already completed or was shed
+            self._index_remove(run)
+            expired += 1
         if expired:
-            self._runs = alive
             self.stats.runs_expired += expired
             self._version += 1
             self._notify("run_expire", float(expired))
@@ -325,17 +637,17 @@ class PatternEngine:
         break toward the oldest run id, so the choice is deterministic.
         """
         n = len(self._steps)
-        within = self.pattern.within
-        worst_idx = 0
+        within = self._within
+        worst: _Run | None = None
         worst_key = None
-        for i, run in enumerate(self._runs):
+        for run in self._runs.values():
             utility = run.progress / n + max(0.0, 1.0 - (now - run.start) / within)
             key = (utility, run.rid)
             if worst_key is None or key < worst_key:
                 worst_key = key
-                worst_idx = i
-        worst = self._runs[worst_idx]
-        del self._runs[worst_idx]
+                worst = run
+        del self._runs[worst.rid]
+        self._index_remove(worst)
         self.stats.runs_shed += 1
         self._version += 1
         self._notify("run_shed")
@@ -350,6 +662,42 @@ class PatternEngine:
                 score=worst_key[0] if worst_key is not None else None,
             )
 
+    def _live_indices(self, events) -> "list[int] | None":
+        """Indices of events that could touch run state; None = all of them.
+
+        An event is *inert* when it fails the vectorized local-predicate
+        kernel of every step on its stream: no bind can succeed anywhere
+        (local conjuncts are a necessary subset of each step's predicate
+        list), so it can neither start, extend, nor complete a run.
+        """
+        kernels = self._kernels_rows
+        if not kernels:
+            return None
+        by_stream: dict[str, tuple[list[int], list[tuple]]] = {}
+        for i, (stream, tup) in enumerate(events):
+            if stream in kernels:
+                entry = by_stream.get(stream)
+                if entry is None:
+                    entry = by_stream[stream] = ([], [])
+                entry[0].append(i)
+                entry[1].append(tup.row)
+        if not by_stream:
+            return None
+        inert: set[int] = set()
+        for stream, (idxs, rows) in by_stream.items():
+            passing: set[int] = set()
+            for kern in kernels[stream]:
+                passing.update(kern(rows))
+                if len(passing) == len(rows):
+                    break
+            if len(passing) < len(rows):
+                inert.update(
+                    idxs[j] for j in range(len(rows)) if j not in passing
+                )
+        if not inert:
+            return None
+        return [i for i in range(len(events)) if i not in inert]
+
     def _notify(self, event: str, value: float = 1.0) -> None:
         if self.observer is not None:
             self.observer(event, value)
@@ -359,9 +707,9 @@ def _find_key_link(bound_step, pattern: BoundPattern) -> tuple[int, int] | None:
     """``(candidate row position, env position of the partner value)``.
 
     The first predicate of the form ``me.col = other_var.col`` (either
-    orientation) where ``other_var`` is a different step.  Lets the
-    protection index enumerate exactly which key values on this stream would
-    extend each active run; steps without one protect their whole stream.
+    orientation) where ``other_var`` is a different step.  Lets the run
+    index file each run under exactly the key values on this stream that
+    would extend it; steps without one index their whole stream.
     """
     me = bound_step.variable.lower()
     by_var = {s.variable.lower(): s for s in pattern.steps}

@@ -136,11 +136,10 @@ class PatternPipeline:
         if isinstance(events, dict):
             events = merge_streams(events, self.pattern.streams)
 
-        # Ideal reference: the same events straight into an unshedded engine.
+        # Ideal reference: the same events straight into an unshedded engine,
+        # absorbed as one batch (byte-identical to the per-event loop).
         ideal_engine = PatternEngine(self.pattern, max_runs=1 << 30)
-        ideal: list[StreamTuple] = []
-        for stream, tup in events:
-            ideal.extend(ideal_engine.consume(stream, tup))
+        ideal = ideal_engine.advance_batch(events)
 
         engine = self.build_engine()
         policy = self.config.policy
@@ -150,16 +149,24 @@ class PatternPipeline:
         queue = self.build_queue()
         matches: list[StreamTuple] = []
 
-        def drain_one() -> bool:
-            tagged = queue.poll()
-            if tagged is None:
-                return False
-            matches.extend(
-                engine.consume(
-                    tagged.row[0], StreamTuple(tagged.timestamp, tagged.row[1:])
+        def drain_batch(limit: int) -> int:
+            """Poll up to ``limit`` tuples and absorb them as one batch."""
+            polled = []
+            for _ in range(limit):
+                tagged = queue.poll()
+                if tagged is None:
+                    break
+                polled.append(tagged)
+            if polled:
+                matches.extend(
+                    engine.advance_batch(
+                        [
+                            (t.row[0], StreamTuple(t.timestamp, t.row[1:]))
+                            for t in polled
+                        ]
+                    )
                 )
-            )
-            return True
+            return len(polled)
 
         budget = 0.0
         last_ts = events[0][1].timestamp if events else 0.0
@@ -172,12 +179,10 @@ class PatternPipeline:
             whole = int(budget)
             if whole:
                 budget -= whole
-                for _ in range(whole):
-                    if not drain_one():
-                        budget = 0.0  # idle engine cannot bank work
-                        break
+                if drain_batch(whole) < whole:
+                    budget = 0.0  # idle engine cannot bank work
             queue.offer(StreamTuple(ts, (stream,) + tup.row))
-        while drain_one():  # end of input: let the engine catch up fully
+        while drain_batch(64) == 64:  # end of input: catch up fully
             pass
 
         return PatternRunResult(

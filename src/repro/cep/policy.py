@@ -7,9 +7,9 @@ pattern-aware.  Two signals rank candidates:
 
 * **Protection** (hSPICE/pSPICE lineage): a tuple whose key would extend an
   active partial match gets a large score bonus.  The engine exposes this
-  as a :class:`~repro.cep.engine.PatternProtection` index derived from
-  bind-time equality links, rebuilt only when the run set changes — victim
-  selection never walks the run list per candidate.
+  as a :class:`~repro.cep.engine.PatternProtection` live view over its run
+  index, maintained incrementally on run transitions — victim selection
+  never walks the run list per candidate.
 * **Learned contribution probability** (eSPICE): the
   :class:`~repro.cep.utility.UtilityModel` histogram supplies
   P(contributes to a match | stream, phase-in-window), so among unprotected
@@ -20,6 +20,17 @@ incrementally by the queue) breaks remaining ties toward tuples in crowded
 windows, where each individual tuple is most redundant.  The policy is
 fully deterministic: no RNG, ties resolved by lowest buffer index, and the
 incoming tuple is shed only when *strictly* worse than every buffered one.
+
+Victim selection is the CEP hot path during bursts — every overflow scores
+the whole buffer — so the state-dependent part of each tuple's score
+(probability + protection bonus) is memoized per tuple and invalidated
+against the ``(engine.version, model.version)`` epoch.  Between two engine
+steps nothing that feeds a base score can change, which is the common case
+during a burst: arrivals outpace the service rate, so the queue overflows
+many times per drain.  The occupancy term reads the queue's live counts and
+is recomputed every call.  Scores, and therefore decisions, are bit-equal
+to the uncached formula: the addition order (probability, + bonus,
++ occupancy) is preserved exactly.
 """
 
 from __future__ import annotations
@@ -57,9 +68,19 @@ class PatternUtilityPolicy(DropPolicy):
         #: pattern queue tags rows at position 0).  ``None`` means the queue
         #: is single-stream and ``PolicyContext.queue_name`` identifies it.
         self.stream_tag = stream_tag
+        self._epoch: tuple | None = None
+        #: tuple -> (epoch, base score, window id).  One dict, so scoring a
+        #: cached tuple hashes its row once, not once per sub-cache.  The
+        #: epoch is stored *in* the entry (compared by identity) so an epoch
+        #: flip invalidates every base lazily while the window ids — which
+        #: only depend on the timestamp — survive untouched.
+        self._cache: dict[StreamTuple, tuple] = {}
+        self._window = None
 
     def bind_engine(self, engine) -> None:
         self.engine = engine
+        self._epoch = None
+        self._cache.clear()
 
     # ------------------------------------------------------------------
     def select_victim(
@@ -72,41 +93,89 @@ class PatternUtilityPolicy(DropPolicy):
         if engine is None:
             # No pattern state yet: degrade to deterministic head drop.
             return 0
-        queue_stream = context.queue_name or ""
-        protection = engine.protection_index()
         model = engine.utility
+        epoch = (engine.version, -1 if model is None else model.version)
+        if epoch != self._epoch:
+            self._epoch = epoch
+        epoch = self._epoch
+        cget = self._cache.get
+        entry = self._score_entry
         counts = context.window_counts
         window = context.window
-        tag = self.stream_tag
-
-        def score(tup: StreamTuple) -> float:
-            if tag is None:
-                stream, row = queue_stream, tup.row
+        if counts is not None and window is not None:
+            if window is not self._window:
+                self._window = window
+                self._cache.clear()
+            # Occupancy varies only per *window*, not per tuple: fold the
+            # division into a tiny per-call table so the per-tuple cost is
+            # one cache hit, one int-keyed get, and one add.  0.01 /
+            # (1.0 + n) with the same operands is bit-equal whether
+            # computed here or inline.
+            occ = {w: 0.01 / (1.0 + n) for w, n in counts.items()}
+            oget = occ.get
+            scores = [
+                e[1] + oget(e[2], 0.01)
+                if (e := cget(t)) is not None and e[0] is epoch
+                else (p := entry(t, context))[0] + oget(p[1], 0.01)
+                for t in buffer
+            ]
+            e = cget(incoming)
+            if e is not None and e[0] is epoch:
+                incoming_score = e[1] + oget(e[2], 0.01)
             else:
-                stream = tup.row[tag]
-                row = tup.row[:tag] + tup.row[tag + 1 :]
-            s = (
-                model.probability(stream, tup.timestamp)
-                if model is not None
-                else 0.0
-            )
-            if protection.protects(stream, row):
-                s += self.protect_bonus
-            if counts is not None and window is not None:
-                occ = counts.get(window.primary_window(tup.timestamp), 0)
-                s += 0.01 / (1.0 + occ)
-            return s
-
-        best_idx = 0
-        best = score(buffer[0]) if buffer else float("inf")
-        for i in range(1, len(buffer)):
-            s = score(buffer[i])
-            if s < best:
-                best, best_idx = s, i
-        incoming_score = score(incoming)
+                p = entry(incoming, context)
+                incoming_score = p[0] + oget(p[1], 0.01)
+        else:
+            scores = [
+                e[1]
+                if (e := cget(t)) is not None and e[0] is epoch
+                else entry(t, context)[0]
+                for t in buffer
+            ]
+            e = cget(incoming)
+            if e is not None and e[0] is epoch:
+                incoming_score = e[1]
+            else:
+                incoming_score = entry(incoming, context)[0]
+        if not scores:
+            context.last_score = incoming_score
+            return DROP_INCOMING
+        best = min(scores)
         if incoming_score < best:
             # Score sink for the audit ledger: the shed tuple's utility.
             context.last_score = incoming_score
             return DROP_INCOMING
         context.last_score = best
-        return best_idx
+        return scores.index(best)
+
+    # ------------------------------------------------------------------
+    def _score_entry(
+        self, tup: StreamTuple, context: PolicyContext
+    ) -> tuple[float, int | None]:
+        """(probability + protection bonus, window id), cached per epoch."""
+        tag = self.stream_tag
+        if tag is None:
+            stream, row = context.queue_name or "", tup.row
+        else:
+            stream = tup.row[tag]
+            row = tup.row[:tag] + tup.row[tag + 1 :]
+        engine = self.engine
+        model = engine.utility
+        if model is not None:
+            # probability_row()[bin] is bit-equal to probability(); the
+            # bin arithmetic is inlined to keep the rescore path call-free.
+            w = model.within
+            b = model.bins
+            idx = int((tup.timestamp % w) / w * b)
+            s = model.probability_row(stream)[idx if idx < b else b - 1]
+        else:
+            s = 0.0
+        if engine.protection_index().protects(stream, row):
+            s += self.protect_bonus
+        window = self._window
+        wid = None if window is None else window.primary_window(tup.timestamp)
+        try:
+            self._cache[tup] = (self._epoch, s, wid)
+        except TypeError:
+            pass  # unhashable row values: skip caching, stay correct
+        return s, wid

@@ -29,8 +29,12 @@ class UtilityModel:
         self.within = within
         self.bins = bins
         self.smoothing = smoothing
+        #: Bumped on every counter mutation; probability caches key off it.
+        self.version = 0
         self._seen: dict[str, list[int]] = {}
         self._credited: dict[str, list[int]] = {}
+        self._prob_version = -1
+        self._prob_rows: dict[str, list[float]] = {}
 
     # ------------------------------------------------------------------
     def _bin(self, timestamp: float) -> int:
@@ -48,10 +52,23 @@ class UtilityModel:
     def observe(self, stream: str, timestamp: float) -> None:
         """An event of ``stream`` was consumed by the engine."""
         self._row(self._seen, stream)[self._bin(timestamp)] += 1
+        self.version += 1
+
+    def observe_bulk(self, stream: str, timestamps) -> None:
+        """Batch :meth:`observe`: same counters, one row lookup per batch."""
+        row = self._row(self._seen, stream)
+        w = self.within
+        b = self.bins
+        top = b - 1
+        for ts in timestamps:
+            idx = int((ts % w) / w * b)
+            row[idx if idx < b else top] += 1
+        self.version += 1
 
     def credit(self, stream: str, timestamp: float) -> None:
         """An event of ``stream`` contributed to a completed match."""
         self._row(self._credited, stream)[self._bin(timestamp)] += 1
+        self.version += 1
 
     def probability(self, stream: str, timestamp: float) -> float:
         """Smoothed P(contributes to a match | stream, window phase)."""
@@ -62,6 +79,32 @@ class UtilityModel:
         c = credited[b] if credited else 0
         a = self.smoothing
         return (c + a) / (s + 2.0 * a)
+
+    def probability_row(self, stream: str) -> list[float]:
+        """Per-bin probabilities for ``stream``, memoized until a mutation.
+
+        ``probability_row(s)[_bin(ts)]`` is bit-equal to
+        ``probability(s, ts)`` — same smoothing expression per bin — but
+        amortizes the division over every lookup between counter updates.
+        The drop policy's epoch-invalidated rescore leans on this: a full
+        buffer rescan costs one table build per stream, not one division
+        and two histogram probes per tuple.
+        """
+        if self._prob_version != self.version:
+            self._prob_rows.clear()
+            self._prob_version = self.version
+        row = self._prob_rows.get(stream)
+        if row is None:
+            seen = self._seen.get(stream)
+            credited = self._credited.get(stream)
+            a = self.smoothing
+            row = [
+                ((credited[b] if credited else 0) + a)
+                / ((seen[b] if seen else 0) + 2.0 * a)
+                for b in range(self.bins)
+            ]
+            self._prob_rows[stream] = row
+        return row
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, list[float]]:

@@ -97,6 +97,14 @@ class Dashboard:
         #: Latest profiler summary + top self-time frames (empty when the
         #: server runs with profiling off — panel not rendered at all).
         self.prof: dict = {}
+        #: Latest CEP pattern block (empty when no pattern is attached, in
+        #: which case the cep panel is not rendered at all).
+        self.pattern: dict = {}
+        #: Active-run gauge history, for the runs sparkline.
+        self.cep_runs = deque(maxlen=history)
+        #: Matches completed per frame (delta of the matches counter).
+        self.cep_rate = deque(maxlen=history)
+        self._cep_prev_matches: int | None = None
 
     # ------------------------------------------------------------------
     def feed(self, payload: dict) -> None:
@@ -109,6 +117,7 @@ class Dashboard:
             depth = self.summary.get("queue_depth")
             if depth is not None:
                 self.depth.append(float(depth))
+            self._feed_pattern(self.summary.get("pattern"))
         for report in payload.get("reports", ()):
             self._feed_report(report)
         for name, value in (payload.get("metrics") or {}).items():
@@ -130,6 +139,7 @@ class Dashboard:
         depth = self.summary.get("queue_depth")
         if depth is not None:
             self.depth.append(float(depth))
+        self._feed_pattern(self.summary.get("pattern"))
         for report in stats.get("window_reports", ()):
             self._feed_report(report)
         slo = self.summary.get("slo")
@@ -144,6 +154,20 @@ class Dashboard:
     def _feed_prof(self, prof: dict | None) -> None:
         if prof:
             self.prof = prof
+
+    def _feed_pattern(self, pattern: dict | None) -> None:
+        if not pattern:
+            return
+        self.pattern = pattern
+        runs = pattern.get("active_runs")
+        if runs is not None:
+            self.cep_runs.append(float(runs))
+        matches = pattern.get("matches")
+        if matches is not None:
+            prev = self._cep_prev_matches
+            if prev is not None:
+                self.cep_rate.append(float(max(0, matches - prev)))
+            self._cep_prev_matches = matches
 
     def _feed_audit(self, audit: dict | None) -> None:
         if not audit:
@@ -214,6 +238,26 @@ class Dashboard:
         if self.error:
             lines.append(row("rms err", self.error))
         lines.append("")
+
+        # CEP panel: only rendered when a pattern query is attached, so a
+        # pattern-free server's `repro top` output is unchanged.
+        if self.pattern:
+            p = self.pattern
+            streams = ",".join(p.get("streams") or ())
+            lines.append(
+                self._c(_BOLD, "cep")
+                + (f"  SEQ({streams})" if streams else "")
+                + f"  active runs={p.get('active_runs', 0)}"
+                + f"  evicted={p.get('runs_shed', 0)}"
+                + f"  expired={p.get('runs_expired', 0)}"
+                + f"  matches={p.get('matches', 0)}"
+            )
+            lines.append(row("runs", self.cep_runs))
+            if self.cep_rate:
+                lines.append(
+                    row("match/f", self.cep_rate, lambda v: f"{v:.0f}")
+                )
+            lines.append("")
 
         # Quality panel: only rendered when the server runs audit-on, so an
         # audit-off server's `repro top` output is unchanged.

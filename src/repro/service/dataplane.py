@@ -393,6 +393,13 @@ class StreamDataPlane:
         polled = 0
         queues = self.queues
         names = list(queues)
+        # Pattern feed: drained tuples of pattern sources accumulate here
+        # and hit the engine as one advance_batch at the end of the drain
+        # (byte-identical to per-tuple consume; the engine vectorizes its
+        # utility updates and local-predicate pre-filter over the batch).
+        pattern_feed: list[tuple[str, StreamTuple]] | None = (
+            [] if self._pattern_engine is not None else None
+        )
         heap = []
         for idx, s in enumerate(names):
             ts = queues[s].peek_timestamp()
@@ -417,13 +424,8 @@ class StreamDataPlane:
             if nts is not None:
                 heapq.heappush(heap, (nts, idx))
             polled += 1
-            if (
-                self._pattern_engine is not None
-                and source in self._pattern_sources
-            ):
-                self._pattern_matches.extend(
-                    self._pattern_engine.consume(source, tup)
-                )
+            if pattern_feed is not None and source in self._pattern_sources:
+                pattern_feed.append((source, tup))
             kept_rows = self._kept_rows[source]
             for wid in window_ids(tup.timestamp):
                 if last_closed is not None and wid <= last_closed:
@@ -439,6 +441,10 @@ class StreamDataPlane:
                             self.pipeline.make_kept_synopsis(source)
                         )
                     self.pipeline.insert_into_synopsis(source, syn, tup.row)
+        if pattern_feed:
+            self._pattern_matches.extend(
+                self._pattern_engine.advance_batch(pattern_feed)
+            )
 
     # ------------------------------------------------------------------
     # Window closing

@@ -429,7 +429,7 @@ class TriageServer:
         if self.sharded:
             raise ValueError(
                 "pattern queries need the serial data plane (one ordered "
-                "NFA consumer); run with shards=1"
+                "NFA consumer); re-run with --shards 1"
             )
         if isinstance(pattern, str):
             pattern = parse_statement(pattern)
@@ -1147,6 +1147,18 @@ class TriageServer:
         if self.sharded:
             summary["shards"] = {
                 str(i): d for i, d in self.plane.shard_depths().items()
+            }
+        if self.pattern is not None and not self.sharded:
+            engine = self.plane.pattern_engine
+            stats = engine.stats
+            summary["pattern"] = {
+                "streams": list(self.pattern.streams),
+                "active_runs": engine.active_runs,
+                "runs_started": stats.runs_started,
+                "runs_expired": stats.runs_expired,
+                "runs_shed": stats.runs_shed,
+                "events": stats.events,
+                "matches": stats.matches,
             }
         return summary
 

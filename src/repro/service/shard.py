@@ -321,6 +321,31 @@ class ShardedDataPlane:
             self.enable_profile(prof)
 
     # ------------------------------------------------------------------
+    # CEP pattern hosting (refused: needs one totally-ordered consumer)
+    # ------------------------------------------------------------------
+    @property
+    def pattern_engine(self):
+        """Sharded planes never host a pattern engine."""
+        return None
+
+    def attach_pattern(self, pattern, **kwargs):
+        """Always refuses: a sequence NFA needs one ordered consumer.
+
+        Hash-partitioned shards each drain their own sources concurrently,
+        so no shard observes the totally-ordered event sequence a
+        ``PATTERN SEQ(...)`` NFA requires.  Raise the actionable error here
+        too — not just at the server door — so embedders driving the plane
+        directly get told about the ``--shards`` restriction instead of an
+        ``AttributeError``.
+        """
+        raise ValueError(
+            f"pattern queries are not supported on a sharded data plane "
+            f"(shards={self.nshards}): a PATTERN SEQ NFA needs one "
+            f"totally-ordered event consumer. Re-run with --shards 1 "
+            f"(the serial StreamDataPlane) to attach a pattern."
+        )
+
+    # ------------------------------------------------------------------
     # Shed-provenance auditing
     # ------------------------------------------------------------------
     @property

@@ -121,6 +121,12 @@ class BoundPatternStep:
     inside them are rewritten to qualified ``variable.column`` form, which
     is exactly how the pattern environment schema names its slots.
     ``env_offset`` is where this step's columns start in the environment row.
+
+    ``local_predicates`` is the run-independent subset of ``predicates``:
+    conjuncts whose every column reference is *this* step's variable.  They
+    depend only on the candidate event, never on partial-match state, so the
+    engine's batch path can vectorize them over a whole batch and discard
+    can't-ever-bind events before touching any run.
     """
 
     variable: str
@@ -129,6 +135,7 @@ class BoundPatternStep:
     kleene: bool
     predicates: tuple[Expression, ...]
     env_offset: int
+    local_predicates: tuple[Expression, ...] = ()
 
 
 @dataclass
@@ -209,12 +216,16 @@ class Binder:
         # every column reference rewritten to qualified variable.column form.
         var_index = {s.variable.lower(): i for i, s in enumerate(stmt.steps)}
         step_preds: list[list[Expression]] = [[] for _ in stmt.steps]
+        step_local: list[list[Expression]] = [[] for _ in stmt.steps]
         for conj in conjuncts(stmt.where):
             qualified = self._qualify_pattern_expr(conj, stmt.steps, schemas)
+            refs = _column_refs(qualified)
             latest = 0
-            for ref in _column_refs(qualified):
+            for ref in refs:
                 latest = max(latest, var_index[ref.table.lower()])
             step_preds[latest].append(qualified)
+            if all(var_index[r.table.lower()] == latest for r in refs):
+                step_local[latest].append(qualified)
 
         bound_steps = [
             BoundPatternStep(
@@ -224,6 +235,7 @@ class Binder:
                 kleene=step.kleene,
                 predicates=tuple(step_preds[i]),
                 env_offset=offsets[i],
+                local_predicates=tuple(step_local[i]),
             )
             for i, (step, schema) in enumerate(zip(stmt.steps, schemas))
         ]

@@ -129,13 +129,18 @@ class TestProtection:
         protection = engine.protection_index()
         assert protection.protects("C", (123,))
 
-    def test_index_cached_until_state_changes(self):
+    def test_index_is_a_live_view(self):
+        # The protection index is maintained incrementally on run
+        # transitions: one stable object whose answers track engine state,
+        # never a rebuilt snapshot.
         engine = PatternEngine(bind(FULL))
         feed(engine, [("A", 0.1, 7)])
         first = engine.protection_index()
         assert engine.protection_index() is first
+        assert not first.protects("B", (8,))
         feed(engine, [("A", 0.2, 8)])
-        assert engine.protection_index() is not first
+        assert engine.protection_index() is first
+        assert first.protects("B", (8,))  # same object, updated answer
 
 
 class TestObserverAndUtility:

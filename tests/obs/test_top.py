@@ -127,6 +127,64 @@ class TestDashboardFeed:
         assert dash.firing == ["window_staleness"]
 
 
+def pattern_summary(**extra):
+    summary = {
+        "queue_depth": 3,
+        "queue_capacity": 10,
+        "pattern": {
+            "streams": ["A", "B", "C"],
+            "active_runs": 4,
+            "runs_started": 9,
+            "runs_expired": 2,
+            "runs_shed": 1,
+            "events": 120,
+            "matches": 5,
+        },
+    }
+    summary["pattern"].update(extra)
+    return summary
+
+
+class TestCepPanel:
+    def test_pattern_block_populates_series(self):
+        dash = Dashboard(color=False)
+        dash.feed(telemetry_payload(summary=pattern_summary()))
+        dash.feed(
+            telemetry_payload(
+                seq=2, summary=pattern_summary(active_runs=6, matches=9)
+            )
+        )
+        assert list(dash.cep_runs) == [4.0, 6.0]
+        # Match rate is a per-frame delta; the first frame has no baseline.
+        assert list(dash.cep_rate) == [4.0]
+
+    def test_match_rate_never_negative_after_restart(self):
+        dash = Dashboard(color=False)
+        dash.feed(telemetry_payload(summary=pattern_summary(matches=50)))
+        dash.feed(telemetry_payload(seq=2, summary=pattern_summary(matches=3)))
+        assert list(dash.cep_rate) == [0.0]
+
+    def test_panel_renders_when_pattern_attached(self):
+        dash = Dashboard(color=False)
+        dash.feed(telemetry_payload(summary=pattern_summary()))
+        screen = dash.render()
+        assert "cep  SEQ(A,B,C)" in screen
+        assert "active runs=4" in screen
+        assert "evicted=1" in screen
+        assert "matches=5" in screen
+
+    def test_panel_absent_without_pattern(self):
+        dash = Dashboard(color=False)
+        dash.feed(telemetry_payload())
+        assert "cep" not in dash.render()
+
+    def test_feed_stats_also_feeds_pattern(self):
+        dash = Dashboard(color=False)
+        dash.feed_stats({"summary": pattern_summary()})
+        assert list(dash.cep_runs) == [4.0]
+        assert "cep  SEQ(A,B,C)" in dash.render()
+
+
 class TestRender:
     def test_render_without_color_has_no_escape_codes(self):
         dash = Dashboard(color=False)

@@ -59,10 +59,28 @@ class TestAttachPattern:
         assert server.take_matches() == []
 
     def test_sharded_plane_refuses_pattern(self):
+        # The error must be actionable: it names the --shards restriction.
         server = make_server(shards=2)
         try:
-            with pytest.raises(ValueError, match="serial"):
+            with pytest.raises(ValueError, match="--shards 1"):
                 server.attach_pattern(DEMO_PATTERN)
+        finally:
+            server.plane.close()
+
+    def test_sharded_plane_object_refuses_pattern_directly(self):
+        # Embedders driving the plane (not the server) get the same clear
+        # refusal, not an AttributeError.
+        from repro.sql.binder import Binder
+        from repro.sql.parser import parse_statement
+
+        server = make_server(shards=2)
+        try:
+            bound = Binder(demo_catalog()).bind_pattern(
+                parse_statement(DEMO_PATTERN)
+            )
+            assert server.plane.pattern_engine is None
+            with pytest.raises(ValueError, match="--shards 1"):
+                server.plane.attach_pattern(bound)
         finally:
             server.plane.close()
 
